@@ -1,0 +1,16 @@
+; Figure 2 of the paper, hand-written in TRIPS assembly.
+;   if (i == j) { b = a + 2; } else { b = a + 3; }
+;   c = b * 2;          (the shift implements * 2)
+; i, j, a arrive in g2, g3, g4; the result c is written to g1.
+program (entry main)
+block main
+  R0  read g2 -> I0.L
+  R1  read g3 -> I0.R
+  R2  read g4 -> I1.L
+  I0   teq -> I2.P -> I3.P
+  I1   mov -> I2.L -> I3.L
+  I2   addi_t #2 -> I4.L
+  I3   addi_f #3 -> I4.L
+  I4   slli #1 -> W0
+  I5   halt
+  W0  write g1
