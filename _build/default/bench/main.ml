@@ -1,0 +1,156 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation.
+
+     dune exec bench/main.exe            -- everything (Figure 7, Section 6
+                                            statistics, genalg case study,
+                                            ablations)
+     dune exec bench/main.exe fig7       -- Figure 7 sweep only
+     dune exec bench/main.exe stats      -- Section 6 dynamic statistics
+     dune exec bench/main.exe genalg     -- Section 5.3 case study
+     dune exec bench/main.exe ablation   -- mechanism ablations
+     dune exec bench/main.exe micro      -- Bechamel microbenchmarks (one
+                                            Test.make per experiment, timing
+                                            the pipeline itself)
+
+   The paper-facing numbers are simulated cycle counts, not wall-clock:
+   the Bechamel tests exist to track the toolchain's own performance
+   (compile time, functional- and cycle-simulation throughput). *)
+
+let fig7 ?(progress = true) () =
+  Edge_harness.Figure7.run
+    ~progress:(fun n -> if progress then Printf.eprintf "  %s...\n%!" n)
+    ()
+
+let run_fig7 () =
+  let r = fig7 () in
+  Format.printf "%a@." Edge_harness.Figure7.pp r
+
+let run_stats () =
+  let r = fig7 () in
+  Format.printf
+    "@[<v>Section 6 dynamic statistics (Intra vs Hyper, all benchmarks)@,\
+     move instructions: -%.1f%% (paper: -14%%)@,\
+     total instructions: -%.1f%% (paper: -2%%)@,\
+     blocks executed: -%.1f%% (paper: -5%%)@]@."
+    (100.0 *. r.Edge_harness.Figure7.move_reduction)
+    (100.0 *. r.Edge_harness.Figure7.instr_reduction)
+    (100.0 *. r.Edge_harness.Figure7.block_reduction)
+
+let run_genalg () =
+  match Edge_harness.Genalg_study.run () with
+  | Ok s -> Format.printf "%a@." Edge_harness.Genalg_study.pp s
+  | Error e -> Format.printf "genalg: error %s@." e
+
+let run_ablation () =
+  let entries, errors = Edge_harness.Ablation.run () in
+  Format.printf "%a@." Edge_harness.Ablation.pp entries;
+  List.iter (fun (w, e) -> Format.printf "error %s: %s@." w e) errors
+
+(* Bechamel microbenchmarks: one Test.make per regenerated artifact,
+   measuring the machinery that produces it on a small representative
+   input. *)
+let micro_tests () =
+  let open Bechamel in
+  let w = Option.get (Edge_workloads.Registry.find "tblook01") in
+  let both =
+    match Edge_harness.Experiment.compile w Dfp.Config.both with
+    | Ok c -> c
+    | Error e -> failwith e
+  in
+  let run_functional () =
+    let mem = Edge_isa.Mem.create ~size:w.Edge_workloads.Workload.mem_size in
+    let args = w.Edge_workloads.Workload.setup mem in
+    let regs = Array.make 128 0L in
+    List.iteri (fun i v -> regs.(Edge_isa.Conventions.param_reg i) <- v) args;
+    match Edge_sim.Functional.run both.Dfp.Driver.program ~regs ~mem with
+    | Ok _ -> ()
+    | Error e -> failwith e
+  in
+  let run_cycle () =
+    let mem = Edge_isa.Mem.create ~size:w.Edge_workloads.Workload.mem_size in
+    let args = w.Edge_workloads.Workload.setup mem in
+    let regs = Array.make 128 0L in
+    List.iteri (fun i v -> regs.(Edge_isa.Conventions.param_reg i) <- v) args;
+    let placement n =
+      match List.assoc_opt n both.Dfp.Driver.placements with
+      | Some p -> p
+      | None -> [||]
+    in
+    match
+      Edge_sim.Cycle_sim.run ~placement both.Dfp.Driver.program ~regs ~mem
+    with
+    | Ok _ -> ()
+    | Error e -> failwith e
+  in
+  let compile_one () =
+    match Edge_harness.Experiment.compile w Dfp.Config.both with
+    | Ok _ -> ()
+    | Error e -> failwith e
+  in
+  let genalg_point () =
+    match
+      Edge_harness.Experiment.run_one Edge_workloads.Registry.genalg
+        ("Both", Dfp.Config.both)
+    with
+    | Ok _ -> ()
+    | Error e -> failwith e
+  in
+  let ablation_point () =
+    let machine =
+      { Edge_sim.Machine.default with Edge_sim.Machine.early_termination = false }
+    in
+    match Edge_harness.Experiment.run_one ~machine w ("Both", Dfp.Config.both) with
+    | Ok _ -> ()
+    | Error e -> failwith e
+  in
+  [
+    Test.make ~name:"fig7:compile" (Staged.stage compile_one);
+    Test.make ~name:"fig7:functional-sim" (Staged.stage run_functional);
+    Test.make ~name:"fig7:cycle-sim" (Staged.stage run_cycle);
+    Test.make ~name:"sec6-stats:cycle-sim" (Staged.stage run_cycle);
+    Test.make ~name:"genalg-study:point" (Staged.stage genalg_point);
+    Test.make ~name:"ablation:point" (Staged.stage ablation_point);
+  ]
+
+let run_micro () =
+  let open Bechamel in
+  let tests = micro_tests () in
+  let instances = [ Toolkit.Instance.monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 1.0) ~kde:None () in
+  List.iter
+    (fun test ->
+      let results =
+        Benchmark.all cfg instances (Test.make_grouped ~name:"g" [ test ])
+      in
+      Hashtbl.iter
+        (fun name result ->
+          let stats =
+            Analyze.one
+              (Analyze.ols ~bootstrap:0 ~r_square:false
+                 ~predictors:[| Measure.run |])
+              Toolkit.Instance.monotonic_clock result
+          in
+          match Analyze.OLS.estimates stats with
+          | Some [ est ] -> Format.printf "%-28s %12.0f ns/run@." name est
+          | _ -> Format.printf "%-28s (no estimate)@." name)
+        results)
+    tests
+
+let () =
+  let mode = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  match mode with
+  | "fig7" -> run_fig7 ()
+  | "stats" -> run_stats ()
+  | "genalg" -> run_genalg ()
+  | "ablation" -> run_ablation ()
+  | "micro" -> run_micro ()
+  | "all" ->
+      Format.printf "== Figure 7 ==@.";
+      run_fig7 ();
+      Format.printf "@.== genalg case study (Section 5.3 / Figure 6) ==@.";
+      run_genalg ();
+      Format.printf "@.== ablations ==@.";
+      run_ablation ()
+  | m ->
+      Printf.eprintf "unknown mode %s (fig7|stats|genalg|ablation|micro|all)\n" m;
+      exit 1

@@ -1,0 +1,136 @@
+(* edgec: the kernel-language compiler driver.
+
+   Compiles a kernel source file (or a named workload) under a chosen
+   configuration and dumps the requested phase: the CFG after classic
+   optimizations, the predicated hyperblocks, or the final TRIPS blocks
+   (default). *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let config_of_name = function
+  | "bb" -> Ok Dfp.Config.bb
+  | "hyper" -> Ok Dfp.Config.hyper_baseline
+  | "intra" -> Ok Dfp.Config.intra
+  | "inter" -> Ok Dfp.Config.inter
+  | "both" -> Ok Dfp.Config.both
+  | "merge" -> Ok Dfp.Config.merge
+  | "sand" -> Ok Dfp.Config.sand
+  | "hand" -> Ok Dfp.Config.hand_optimized
+  | s -> Error (Printf.sprintf "unknown config %s (bb|hyper|intra|inter|both|merge|hand)" s)
+
+let load_source input =
+  if Sys.file_exists input then Ok (read_file input)
+  else
+    match Edge_workloads.Registry.find input with
+    | Some w -> Ok w.Edge_workloads.Workload.source
+    | None -> Error (Printf.sprintf "no such file or workload: %s" input)
+
+let dump_hyperblocks src config =
+  match Edge_lang.Lower.compile src with
+  | Error e -> Error e
+  | Ok cfg ->
+      Edge_ir.Ssa.construct cfg;
+      Dfp.Opt_classic.run cfg;
+      Edge_ir.Ssa.destruct cfg;
+      Edge_ir.Cfg.prune_unreachable cfg;
+      if config.Dfp.Config.mode = Dfp.Config.Hyper then
+        Dfp.Unroll.run cfg ~max_unroll:config.Dfp.Config.max_unroll
+          ~target_instrs:(config.Dfp.Config.max_block_instrs / 2);
+      let retq = Edge_ir.Temp.Gen.fresh cfg.Edge_ir.Cfg.gen in
+      let liveness = Edge_ir.Liveness.compute cfg in
+      let regions =
+        match config.Dfp.Config.mode with
+        | Dfp.Config.Bb -> Dfp.Region.singletons cfg
+        | Dfp.Config.Hyper -> Dfp.Region.select cfg ~budget:57
+      in
+      List.iter
+        (fun r ->
+          match Dfp.If_convert.convert cfg liveness r ~retq with
+          | Ok h -> Format.printf "%a@." Edge_ir.Hblock.pp h
+          | Error e -> Format.printf "(region %s: %s)@." r.Dfp.If_convert.head e)
+        regions;
+      Ok ()
+
+let run input config_name phase stats image_out =
+  let ( let* ) = Result.bind in
+  let result =
+    let* src = load_source input in
+    let* config = config_of_name config_name in
+    let* () =
+      match image_out with
+      | None -> Ok ()
+      | Some path ->
+          let* cfg = Edge_lang.Lower.compile src in
+          let* compiled = Dfp.Driver.compile_cfg cfg config in
+          let* () = Edge_isa.Image.write_file path compiled.Dfp.Driver.program in
+          Format.printf "wrote %s@." path;
+          Ok ()
+    in
+    match phase with
+    | "cfg" ->
+        let* cfg = Edge_lang.Lower.compile src in
+        Edge_ir.Ssa.construct cfg;
+        Dfp.Opt_classic.run cfg;
+        Edge_ir.Ssa.destruct cfg;
+        Format.printf "%a@." Edge_ir.Cfg.pp cfg;
+        Ok ()
+    | "hblocks" -> dump_hyperblocks src config
+    | "dot" ->
+        let* cfg = Edge_lang.Lower.compile src in
+        let* compiled = Dfp.Driver.compile_cfg cfg config in
+        print_string (Edge_isa.Dot.program_to_dot compiled.Dfp.Driver.program);
+        Ok ()
+    | "blocks" ->
+        let* cfg = Edge_lang.Lower.compile src in
+        let* compiled = Dfp.Driver.compile_cfg cfg config in
+        Format.printf "%a@." Edge_isa.Program.pp compiled.Dfp.Driver.program;
+        if stats then
+          Format.printf
+            "; static: %d instructions, %d blocks, %d fanout moves, %d \
+             explicit predicates@."
+            compiled.Dfp.Driver.static_instrs compiled.Dfp.Driver.static_blocks
+            compiled.Dfp.Driver.static_fanout_moves
+            compiled.Dfp.Driver.explicit_predicates;
+        Ok ()
+    | p -> Error (Printf.sprintf "unknown phase %s (cfg|hblocks|blocks|dot)" p)
+  in
+  match result with
+  | Ok () -> 0
+  | Error e ->
+      prerr_endline ("edgec: " ^ e);
+      1
+
+let input_arg =
+  let doc = "Kernel source file, or the name of a built-in workload." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"INPUT" ~doc)
+
+let config_arg =
+  let doc = "Compiler configuration: bb, hyper, intra, inter, both, merge, hand." in
+  Arg.(value & opt string "both" & info [ "c"; "config" ] ~docv:"CONFIG" ~doc)
+
+let phase_arg =
+  let doc = "Phase to dump: cfg, hblocks, blocks, or dot (Graphviz)." in
+  Arg.(value & opt string "blocks" & info [ "p"; "phase" ] ~docv:"PHASE" ~doc)
+
+let stats_arg =
+  let doc = "Print static statistics after the dump." in
+  Arg.(value & flag & info [ "s"; "stats" ] ~doc)
+
+let image_arg =
+  let doc = "Also write the binary program image (1024-byte block frames)." in
+  Arg.(value & opt (some string) None & info [ "o"; "emit-image" ] ~docv:"FILE" ~doc)
+
+let cmd =
+  let doc = "compile kernels to predicated TRIPS blocks" in
+  Cmd.v
+    (Cmd.info "edgec" ~doc)
+    Term.(const run $ input_arg $ config_arg $ phase_arg $ stats_arg $ image_arg)
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,22 @@
+(* experiments: regenerate every number reported in EXPERIMENTS.md —
+   the Figure 7 sweep, the Section 6 dynamic statistics, the genalg case
+   study and the ablations. *)
+
+let () =
+  let t0 = Unix.gettimeofday () in
+  Format.printf "== Figure 7 (28 EEMBC-style benchmarks x 5 configurations) ==@.";
+  let fig7 =
+    Edge_harness.Figure7.run
+      ~progress:(fun n -> Printf.eprintf "  %s...\n%!" n)
+      ()
+  in
+  Format.printf "%a@.@." Edge_harness.Figure7.pp fig7;
+  Format.printf "== genalg case study (Section 5.3) ==@.";
+  (match Edge_harness.Genalg_study.run () with
+  | Ok s -> Format.printf "%a@.@." Edge_harness.Genalg_study.pp s
+  | Error e -> Format.printf "error: %s@.@." e);
+  Format.printf "== ablations ==@.";
+  let entries, errors = Edge_harness.Ablation.run () in
+  Format.printf "%a@." Edge_harness.Ablation.pp entries;
+  List.iter (fun (w, e) -> Format.printf "error %s: %s@." w e) errors;
+  Format.printf "@.total time: %.1fs@." (Unix.gettimeofday () -. t0)

@@ -1,0 +1,134 @@
+(* tsim: run a workload through the functional and cycle simulators. *)
+
+open Cmdliner
+
+let config_of_name = function
+  | "bb" -> Ok ("BB", Dfp.Config.bb)
+  | "hyper" -> Ok ("Hyper", Dfp.Config.hyper_baseline)
+  | "intra" -> Ok ("Intra", Dfp.Config.intra)
+  | "inter" -> Ok ("Inter", Dfp.Config.inter)
+  | "both" -> Ok ("Both", Dfp.Config.both)
+  | "merge" -> Ok ("Merge", Dfp.Config.merge)
+  | "sand" -> Ok ("Sand", Dfp.Config.sand)
+  | "hand" -> Ok ("Hand", Dfp.Config.hand_optimized)
+  | s -> Error (Printf.sprintf "unknown config %s" s)
+
+(* run a hand-written assembly program: arguments land in the parameter
+   registers, g1 is printed on halt *)
+let run_asm path args =
+  let parsed =
+    if Filename.check_suffix path ".img" then Edge_isa.Image.read_file path
+    else begin
+      let ic = open_in_bin path in
+      let src = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      Edge_isa.Asm.parse_program src
+    end
+  in
+  match parsed with
+  | Error e -> Error ("program: " ^ e)
+  | Ok program -> (
+      match Edge_isa.Program.validate program with
+      | Error es -> Error ("invalid program: " ^ String.concat "; " es)
+      | Ok () -> (
+          let regs = Array.make 128 0L in
+          List.iteri
+            (fun i v -> regs.(Edge_isa.Conventions.param_reg i) <- v)
+            args;
+          let mem = Edge_isa.Mem.create ~size:(1 lsl 20) in
+          match Edge_sim.Cycle_sim.run program ~regs ~mem with
+          | Error e -> Error e
+          | Ok stats ->
+              Format.printf "g1 = %Ld@.%a@."
+                regs.(Edge_isa.Conventions.result_reg)
+                Edge_sim.Stats.pp stats;
+              Ok ()))
+
+let run workload config_name functional_only no_early in_order asm_args =
+  let ( let* ) = Result.bind in
+  let result =
+    if Filename.check_suffix workload ".s" || Filename.check_suffix workload ".img"
+    then
+      run_asm workload
+        (List.filter_map Int64.of_string_opt
+           (String.split_on_char ',' asm_args))
+    else
+    let* w =
+      match Edge_workloads.Registry.find workload with
+      | Some w -> Ok w
+      | None ->
+          Error
+            (Printf.sprintf "unknown workload %s; available: %s" workload
+               (String.concat ", " (Edge_workloads.Registry.names ())))
+    in
+    let* name_config = config_of_name config_name in
+    if functional_only then begin
+      let* compiled = Edge_harness.Experiment.compile w (snd name_config) in
+      let mem = Edge_isa.Mem.create ~size:w.Edge_workloads.Workload.mem_size in
+      let args = w.Edge_workloads.Workload.setup mem in
+      let regs = Array.make 128 0L in
+      List.iteri
+        (fun i v -> regs.(Edge_isa.Conventions.param_reg i) <- v)
+        args;
+      let* stats =
+        Edge_sim.Functional.run compiled.Dfp.Driver.program ~regs ~mem
+      in
+      Format.printf "returned %Ld@.%a@."
+        regs.(Edge_isa.Conventions.result_reg)
+        Edge_sim.Stats.pp stats;
+      Ok ()
+    end
+    else begin
+      let machine =
+        {
+          Edge_sim.Machine.default with
+          Edge_sim.Machine.early_termination = not no_early;
+          aggressive_loads = not in_order;
+        }
+      in
+      let* r = Edge_harness.Experiment.run_one ~machine w name_config in
+      Format.printf "%s/%s: verified against the reference interpreter@."
+        r.Edge_harness.Experiment.workload r.Edge_harness.Experiment.config;
+      Format.printf "%a@." Edge_sim.Stats.pp r.Edge_harness.Experiment.stats;
+      Ok ()
+    end
+  in
+  match result with
+  | Ok () -> 0
+  | Error e ->
+      prerr_endline ("tsim: " ^ e);
+      1
+
+let asm_args_arg =
+  let doc = "Comma-separated integer arguments for .s programs." in
+  Arg.(value & opt string "" & info [ "args" ] ~doc)
+
+let workload_arg =
+  let doc = "Workload name, or a path to a .s assembly / .img binary program." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"WORKLOAD" ~doc)
+
+let config_arg =
+  let doc = "Compiler configuration." in
+  Arg.(value & opt string "both" & info [ "c"; "config" ] ~doc)
+
+let functional_arg =
+  let doc = "Run only the functional (untimed) simulator." in
+  Arg.(value & flag & info [ "f"; "functional" ] ~doc)
+
+let no_early_arg =
+  let doc = "Disable early mispredication termination (Section 4.3 ablation)." in
+  Arg.(value & flag & info [ "no-early-termination" ] ~doc)
+
+let in_order_arg =
+  let doc = "In-order memory: loads wait for all older stores." in
+  Arg.(value & flag & info [ "in-order-memory" ] ~doc)
+
+let cmd =
+  let doc = "cycle-level TRIPS-like simulator" in
+  Cmd.v
+    (Cmd.info "tsim" ~doc)
+    Term.(
+      const run $ workload_arg $ config_arg $ functional_arg $ no_early_arg
+      $ in_order_arg $ asm_args_arg)
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,99 @@
+(* The paper's Figure 3a: a while loop statically unrolled into a single
+   TRIPS block.
+
+       while (x > 0) { x = *ptr; ptr++; }
+
+   Each unrolled iteration's test is predicated on the previous
+   iteration's test — the implicit predicate-AND chain of Section 3.4 —
+   and the loop exits use predicate-OR (Section 3.5): several bro
+   instructions (one per unrolled test) target the same exit, and after
+   disjoint instruction merging they collapse into a single bro receiving
+   multiple predicates, of which at most one can match. *)
+
+let source =
+  {|
+kernel fig3a(int x, int* ptr, int limit) {
+  int steps = 0;
+  while (x > 0 && steps < limit) {
+    x = ptr[steps];
+    steps = steps + 1;
+  }
+  return x * 1000 + steps;
+}
+|}
+
+let count_pred_and_chain (b : Edge_isa.Block.t) =
+  let tests =
+    Array.to_list b.Edge_isa.Block.instrs
+    |> List.filter (fun (i : Edge_isa.Instr.t) ->
+           Edge_isa.Opcode.is_test i.Edge_isa.Instr.opcode)
+  in
+  let chained = List.filter Edge_isa.Instr.is_predicated tests in
+  (List.length tests, List.length chained)
+
+let exit_fanin (b : Edge_isa.Block.t) =
+  (* bro instructions per exit-table entry *)
+  Array.to_list b.Edge_isa.Block.instrs
+  |> List.filter_map (fun (i : Edge_isa.Instr.t) ->
+         match i.Edge_isa.Instr.opcode with
+         | Edge_isa.Opcode.Bro -> Some i.Edge_isa.Instr.exit_idx
+         | _ -> None)
+  |> List.sort_uniq compare
+  |> List.map (fun idx ->
+         ( b.Edge_isa.Block.exits.(idx),
+           Array.to_list b.Edge_isa.Block.instrs
+           |> List.filter (fun (i : Edge_isa.Instr.t) ->
+                  i.Edge_isa.Instr.exit_idx = idx)
+           |> List.length ))
+
+let compile config =
+  let cfg = Result.get_ok (Edge_lang.Lower.compile source) in
+  Result.get_ok (Dfp.Driver.compile_cfg cfg config)
+
+let loop_block compiled =
+  (* the block with the most test instructions is the unrolled loop *)
+  List.fold_left
+    (fun best (_, b) ->
+      let t, _ = count_pred_and_chain b in
+      match best with
+      | Some bb when fst (count_pred_and_chain bb) >= t -> best
+      | _ -> Some b)
+    None compiled.Dfp.Driver.program.Edge_isa.Program.blocks
+  |> Option.get
+
+let () =
+  Format.printf "source:@.%s@." source;
+  let baseline = compile Dfp.Config.hyper_baseline in
+  let merged = compile Dfp.Config.merge in
+  let b0 = loop_block baseline and b1 = loop_block merged in
+  let tests0, chained0 = count_pred_and_chain b0 in
+  Format.printf
+    "baseline loop block: %d instructions, %d tests of which %d are \
+     predicated on the previous test (the implicit AND chain)@."
+    (Array.length b0.Edge_isa.Block.instrs)
+    tests0 chained0;
+  Format.printf "baseline exits (bro instructions per target):@.";
+  List.iter
+    (fun (target, n) -> Format.printf "  -> %-12s x%d@." target n)
+    (exit_fanin b0);
+  Format.printf "after disjoint instruction merging:@.";
+  List.iter
+    (fun (target, n) ->
+      Format.printf "  -> %-12s x%d%s@." target n
+        (if n = 1 then "  (predicate-OR: one bro, many predicates)" else ""))
+    (exit_fanin b1);
+  Format.printf "@.merged loop block:@.%a@." Edge_isa.Block.pp b1;
+  (* execute: 12 positive values then a zero *)
+  let regs = Array.make 128 0L in
+  regs.(Edge_isa.Conventions.param_reg 0) <- 1L;
+  regs.(Edge_isa.Conventions.param_reg 1) <- 1024L;
+  regs.(Edge_isa.Conventions.param_reg 2) <- 40L;
+  let mem = Edge_isa.Mem.create ~size:4096 in
+  for i = 0 to 11 do
+    Edge_isa.Mem.store_int mem (1024 + (8 * i)) (Int64.of_int (12 - i))
+  done;
+  (match Edge_sim.Functional.run merged.Dfp.Driver.program ~regs ~mem with
+  | Ok _ -> ()
+  | Error e -> failwith e);
+  Format.printf "result: %Ld (x exhausted after 13 steps)@."
+    regs.(Edge_isa.Conventions.result_reg)

@@ -1,0 +1,1 @@
+lib/core/codegen.ml: Array Edge_ir Edge_isa Format Hashtbl Int64 List Option Printf Regalloc String

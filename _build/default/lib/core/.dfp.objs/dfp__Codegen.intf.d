@@ -1,0 +1,1 @@
+lib/core/codegen.mli: Edge_ir Edge_isa Regalloc

@@ -1,0 +1,1 @@
+lib/core/driver.ml: Array Codegen Config Edge_ir Edge_isa If_convert List Opt_classic Opt_fanout Opt_hclean Opt_merge Opt_path Opt_sand Regalloc Region Result Schedule String Unroll

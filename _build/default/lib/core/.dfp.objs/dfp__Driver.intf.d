@@ -1,0 +1,1 @@
+lib/core/driver.mli: Config Edge_ir Edge_isa

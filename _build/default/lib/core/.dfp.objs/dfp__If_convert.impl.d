@@ -1,0 +1,1 @@
+lib/core/if_convert.ml: Edge_ir Edge_isa Fun Hashtbl List Option Printf String

@@ -1,0 +1,1 @@
+lib/core/if_convert.mli: Edge_ir

@@ -1,0 +1,1 @@
+lib/core/loops.ml: Edge_ir Hashtbl List Option Queue

@@ -1,0 +1,1 @@
+lib/core/loops.mli: Edge_ir

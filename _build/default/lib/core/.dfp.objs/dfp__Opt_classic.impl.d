@@ -1,0 +1,1 @@
+lib/core/opt_classic.ml: Edge_ir Edge_isa Format Hashtbl Int64 List

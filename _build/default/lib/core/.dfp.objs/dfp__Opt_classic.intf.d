@@ -1,0 +1,1 @@
+lib/core/opt_classic.mli: Edge_ir

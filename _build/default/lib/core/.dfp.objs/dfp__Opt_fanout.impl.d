@@ -1,0 +1,1 @@
+lib/core/opt_fanout.ml: Array Edge_ir Hashtbl List Option

@@ -1,0 +1,1 @@
+lib/core/opt_fanout.mli: Edge_ir

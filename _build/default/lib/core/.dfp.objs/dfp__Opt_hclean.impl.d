@@ -1,0 +1,1 @@
+lib/core/opt_hclean.ml: Edge_ir Edge_isa Hashtbl List Option

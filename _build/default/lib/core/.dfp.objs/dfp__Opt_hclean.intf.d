@@ -1,0 +1,1 @@
+lib/core/opt_hclean.mli: Edge_ir

@@ -1,0 +1,1 @@
+lib/core/opt_merge.ml: Array Edge_ir Edge_isa Format Hashtbl List Option Printf

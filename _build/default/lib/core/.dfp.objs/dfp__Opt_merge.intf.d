@@ -1,0 +1,1 @@
+lib/core/opt_merge.mli: Edge_ir

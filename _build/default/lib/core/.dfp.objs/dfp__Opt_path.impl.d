@@ -1,0 +1,1 @@
+lib/core/opt_path.ml: Array Edge_ir Edge_isa Hashtbl List

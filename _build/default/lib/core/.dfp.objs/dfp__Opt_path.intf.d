@@ -1,0 +1,1 @@
+lib/core/opt_path.mli: Edge_ir

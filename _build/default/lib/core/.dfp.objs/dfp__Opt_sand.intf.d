@@ -1,0 +1,1 @@
+lib/core/opt_sand.mli: Edge_ir

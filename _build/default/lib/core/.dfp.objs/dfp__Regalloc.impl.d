@@ -1,0 +1,1 @@
+lib/core/regalloc.ml: Edge_ir Edge_isa Hashtbl List Option Printf

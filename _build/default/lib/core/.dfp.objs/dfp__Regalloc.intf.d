@@ -1,0 +1,1 @@
+lib/core/regalloc.mli: Edge_ir

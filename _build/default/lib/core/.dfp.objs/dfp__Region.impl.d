@@ -1,0 +1,1 @@
+lib/core/region.ml: Edge_ir If_convert List Loops

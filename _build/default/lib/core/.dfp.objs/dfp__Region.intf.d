@@ -1,0 +1,1 @@
+lib/core/region.mli: Edge_ir If_convert

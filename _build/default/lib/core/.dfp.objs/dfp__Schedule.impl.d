@@ -1,0 +1,1 @@
+lib/core/schedule.ml: Array Edge_isa List Queue

@@ -1,0 +1,1 @@
+lib/core/schedule.mli: Edge_isa

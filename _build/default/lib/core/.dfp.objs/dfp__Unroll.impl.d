@@ -1,0 +1,1 @@
+lib/core/unroll.ml: Edge_ir List Loops Printf

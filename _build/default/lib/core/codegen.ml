@@ -1,0 +1,556 @@
+module Hb = Edge_ir.Hblock
+module Tac = Edge_ir.Tac
+module Temp = Edge_ir.Temp
+module Opcode = Edge_isa.Opcode
+module Instr = Edge_isa.Instr
+module Target = Edge_isa.Target
+module Block = Edge_isa.Block
+
+type emitted = {
+  block : Edge_isa.Block.t;
+  fanout_moves : int;
+  explicit_predicates : int;
+}
+
+type pending = {
+  p_opcode : Opcode.t;
+  p_pred : Instr.predication;
+  p_imm : int64;
+  p_lsid : int;
+  p_exit : int;
+  p_dst : Temp.t option;  (** value produced, if any *)
+  (* operand sources; [`Temp t] wires all defs of [t], [`Const c]
+     materializes a constant generator, [`None] leaves the slot empty *)
+  p_left : [ `Temp of Temp.t | `Const of int64 | `None ];
+  p_right : [ `Temp of Temp.t | `Const of int64 | `None ];
+  p_guards : Temp.t list;  (** temps whose defs feed the predicate slot *)
+  p_write : int;  (** write slot this instruction feeds, or -1 *)
+}
+
+let imm_ok c = c >= -256L && c <= 255L
+
+let commutative_ibinop = function
+  | Opcode.Add | Opcode.Mul | Opcode.And | Opcode.Or | Opcode.Xor -> true
+  | Opcode.Sub | Opcode.Div | Opcode.Rem | Opcode.Sll | Opcode.Srl
+  | Opcode.Sra ->
+      false
+
+let swap_cond = function
+  | Opcode.Eq -> Opcode.Eq
+  | Opcode.Ne -> Opcode.Ne
+  | Opcode.Lt -> Opcode.Gt
+  | Opcode.Le -> Opcode.Ge
+  | Opcode.Gt -> Opcode.Lt
+  | Opcode.Ge -> Opcode.Le
+
+let predication_of = function
+  | None -> Instr.Unpredicated
+  | Some g -> if g.Hb.gpol then Instr.If_true else Instr.If_false
+
+let guard_preds = function None -> [] | Some g -> g.Hb.gpreds
+
+let emit (h : Hb.t) ~alloc ~gen ~use_mov4 =
+  let err = ref None in
+  let fail fmt = Format.kasprintf (fun s -> if !err = None then err := Some s) fmt in
+  let pendings = ref [] in
+  let n_pending = ref 0 in
+  let add p =
+    pendings := p :: !pendings;
+    incr n_pending
+  in
+  let blank =
+    {
+      p_opcode = Opcode.Null;
+      p_pred = Instr.Unpredicated;
+      p_imm = 0L;
+      p_lsid = -1;
+      p_exit = -1;
+      p_dst = None;
+      p_left = `None;
+      p_right = `None;
+      p_guards = [];
+      p_write = -1;
+    }
+  in
+  (* store index -> lsid, filled while walking the body *)
+  let store_lsid : (int, int) Hashtbl.t = Hashtbl.create 8 in
+  let lsid_counter = ref 0 in
+  let next_lsid () =
+    let l = !lsid_counter in
+    incr lsid_counter;
+    l
+  in
+  (* write slots *)
+  let writes = ref [] and n_writes = ref 0 in
+  let write_slot_of : (Temp.t, int) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun (x, prod) ->
+      match Regalloc.reg_of alloc x with
+      | None -> fail "output temp t%d has no register" x
+      | Some reg ->
+          let w = !n_writes in
+          incr n_writes;
+          writes := { Block.wslot = w; wreg = reg } :: !writes;
+          Hashtbl.replace write_slot_of prod w)
+    h.Hb.houts;
+  (* body walk *)
+  List.iter
+    (fun hi ->
+      let g = hi.Hb.guard in
+      let pred = predication_of g in
+      let gps = guard_preds g in
+      let base = { blank with p_pred = pred; p_guards = gps } in
+      let operand o = match o with Tac.T t -> `Temp t | Tac.C c -> `Const c in
+      match hi.Hb.hop with
+      | Hb.Op (Tac.Bin { dst; op; a; b }) -> (
+          match (a, b) with
+          | a, Tac.C c when imm_ok c ->
+              add
+                {
+                  base with
+                  p_opcode = Opcode.Iopi op;
+                  p_imm = c;
+                  p_dst = Some dst;
+                  p_left = operand a;
+                }
+          | Tac.C c, b when imm_ok c && commutative_ibinop op ->
+              add
+                {
+                  base with
+                  p_opcode = Opcode.Iopi op;
+                  p_imm = c;
+                  p_dst = Some dst;
+                  p_left = operand b;
+                }
+          | a, b ->
+              add
+                {
+                  base with
+                  p_opcode = Opcode.Iop op;
+                  p_dst = Some dst;
+                  p_left = operand a;
+                  p_right = operand b;
+                })
+      | Hb.Op (Tac.Fbin { dst; op; a; b }) ->
+          add
+            {
+              base with
+              p_opcode = Opcode.Fop op;
+              p_dst = Some dst;
+              p_left = operand a;
+              p_right = operand b;
+            }
+      | Hb.Op (Tac.Cmp { dst; cond; fp; a; b }) ->
+          if fp then
+            add
+              {
+                base with
+                p_opcode = Opcode.Ftst cond;
+                p_dst = Some dst;
+                p_left = operand a;
+                p_right = operand b;
+              }
+          else (
+            match (a, b) with
+            | a, Tac.C c when imm_ok c ->
+                add
+                  {
+                    base with
+                    p_opcode = Opcode.Tsti cond;
+                    p_imm = c;
+                    p_dst = Some dst;
+                    p_left = operand a;
+                  }
+            | Tac.C c, b when imm_ok c ->
+                add
+                  {
+                    base with
+                    p_opcode = Opcode.Tsti (swap_cond cond);
+                    p_imm = c;
+                    p_dst = Some dst;
+                    p_left = operand b;
+                  }
+            | a, b ->
+                add
+                  {
+                    base with
+                    p_opcode = Opcode.Tst cond;
+                    p_dst = Some dst;
+                    p_left = operand a;
+                    p_right = operand b;
+                  })
+      | Hb.Op (Tac.Un { dst; op; a }) -> (
+          match (op, a) with
+          | Opcode.Mov, Tac.C c ->
+              if imm_ok c then
+                add { base with p_opcode = Opcode.Movi; p_imm = c; p_dst = Some dst }
+              else if base.p_pred = Instr.Unpredicated then
+                add { base with p_opcode = Opcode.Geni; p_imm = c; p_dst = Some dst }
+              else begin
+                (* Geni cannot be predicated (Section 3.1 rule 1): generate
+                   the wide constant unconditionally into a scratch temp and
+                   route it through a predicated move *)
+                let scratch = Temp.Gen.fresh gen in
+                add
+                  {
+                    blank with
+                    p_opcode = Opcode.Geni;
+                    p_imm = c;
+                    p_dst = Some scratch;
+                  };
+                add
+                  {
+                    base with
+                    p_opcode = Opcode.Un Opcode.Mov;
+                    p_dst = Some dst;
+                    p_left = `Temp scratch;
+                  }
+              end
+          | _, a ->
+              add
+                {
+                  base with
+                  p_opcode = Opcode.Un op;
+                  p_dst = Some dst;
+                  p_left = operand a;
+                })
+      | Hb.Op (Tac.Load { dst; width; addr; off }) ->
+          add
+            {
+              base with
+              p_opcode = Opcode.Ld width;
+              p_imm = Int64.of_int off;
+              p_lsid = next_lsid ();
+              p_dst = Some dst;
+              p_left = operand addr;
+            }
+      | Hb.Op (Tac.Store { width; addr; off; v }) ->
+          let lsid = next_lsid () in
+          Hashtbl.replace store_lsid (Hashtbl.length store_lsid) lsid;
+          add
+            {
+              base with
+              p_opcode = Opcode.St width;
+              p_imm = Int64.of_int off;
+              p_lsid = lsid;
+              p_left = operand addr;
+              p_right = operand v;
+            }
+      | Hb.Op (Tac.Phi _) -> fail "phi reached codegen"
+      | Hb.Sand { dst; a; b } ->
+          add
+            {
+              base with
+              p_opcode = Opcode.Sand;
+              p_dst = Some dst;
+              p_left = `Temp a;
+              p_right = `Temp b;
+            }
+      | Hb.Null_write t -> (
+          match Hashtbl.find_opt write_slot_of t with
+          | None -> fail "null write for unknown output t%d" t
+          | Some w -> add { base with p_opcode = Opcode.Null; p_write = w })
+      | Hb.Null_store idx -> (
+          match Hashtbl.find_opt store_lsid idx with
+          | None -> fail "null store for unknown store %d" idx
+          | Some _ ->
+              (* target resolved after layout: record via p_exit reuse? use
+                 a dedicated marker: p_imm holds the store body index *)
+              add
+                {
+                  base with
+                  p_opcode = Opcode.Null;
+                  p_imm = Int64.of_int idx;
+                  p_write = -2;
+                }))
+    h.Hb.body;
+  (* exits *)
+  let exit_table = ref [] in
+  let exit_idx_of target =
+    let name = match target with None -> Block.halt_exit | Some l -> l in
+    match
+      List.find_index (fun e -> String.equal e name) (List.rev !exit_table)
+    with
+    | Some i -> i
+    | None ->
+        exit_table := name :: !exit_table;
+        List.length !exit_table - 1
+  in
+  List.iter
+    (fun e ->
+      let idx = exit_idx_of e.Hb.etarget in
+      add
+        {
+          blank with
+          p_opcode = Opcode.Bro;
+          p_pred = predication_of e.Hb.eguard;
+          p_guards = guard_preds e.Hb.eguard;
+          p_exit = idx;
+        })
+    h.Hb.hexits;
+  match !err with
+  | Some e -> Error e
+  | None ->
+      let pend = Array.of_list (List.rev !pendings) in
+      let n = Array.length pend in
+      (* materialize constants: one extra producer per constant operand *)
+      let extra = ref [] in
+      let n_extra = ref 0 in
+      let const_producers = ref [] in
+      Array.iteri
+        (fun i p ->
+          let mat c slot =
+            let opc = if imm_ok c then Opcode.Movi else Opcode.Geni in
+            let id = n + !n_extra in
+            incr n_extra;
+            extra :=
+              Instr.make ~id ~opcode:opc ~imm:c
+                ~targets:[ Target.To_instr { id = i; slot } ]
+                ()
+              :: !extra;
+            const_producers := id :: !const_producers
+          in
+          (match p.p_left with `Const c -> mat c Target.Left | `Temp _ | `None -> ());
+          match p.p_right with
+          | `Const c -> mat c Target.Right
+          | `Temp _ | `None -> ())
+        pend;
+      (* consumer lists per temp *)
+      let consumers : (Temp.t, Target.t list ref) Hashtbl.t = Hashtbl.create 64 in
+      let add_consumer t tgt =
+        let r =
+          match Hashtbl.find_opt consumers t with
+          | Some r -> r
+          | None ->
+              let r = ref [] in
+              Hashtbl.replace consumers t r;
+              r
+        in
+        r := tgt :: !r
+      in
+      Array.iteri
+        (fun i p ->
+          (match p.p_left with
+          | `Temp t -> add_consumer t (Target.To_instr { id = i; slot = Target.Left })
+          | `Const _ | `None -> ());
+          (match p.p_right with
+          | `Temp t -> add_consumer t (Target.To_instr { id = i; slot = Target.Right })
+          | `Const _ | `None -> ());
+          List.iter
+            (fun t -> add_consumer t (Target.To_instr { id = i; slot = Target.Pred }))
+            p.p_guards)
+        pend;
+      (* write-slot consumers *)
+      List.iter
+        (fun (_, prod) ->
+          match Hashtbl.find_opt write_slot_of prod with
+          | Some w -> add_consumer prod (Target.To_write w)
+          | None -> ())
+        h.Hb.houts;
+      (* producer sets per temp *)
+      let producers : (Temp.t, int list ref) Hashtbl.t = Hashtbl.create 64 in
+      Array.iteri
+        (fun i p ->
+          match p.p_dst with
+          | Some d ->
+              let r =
+                match Hashtbl.find_opt producers d with
+                | Some r -> r
+                | None ->
+                    let r = ref [] in
+                    Hashtbl.replace producers d r;
+                    r
+              in
+              r := i :: !r
+          | None -> ())
+        pend;
+      (* null-store targets: Null with p_write = -2 targets the store's
+         left slot; find the store pending index for body store idx *)
+      let store_pending_idx = Hashtbl.create 8 in
+      let store_count = ref 0 in
+      Array.iteri
+        (fun i p ->
+          match p.p_opcode with
+          | Opcode.St _ ->
+              Hashtbl.replace store_pending_idx !store_count i;
+              incr store_count
+          | _ -> ())
+        pend;
+      (* assemble instruction records with target lists, then fan out *)
+      let fanout_moves = ref 0 in
+      let mov_cap = if use_mov4 then 4 else 2 in
+      let instrs : Instr.t list ref = ref [] in
+      let next_id = ref (n + !n_extra) in
+      (* final targets for each pending instr *)
+      let final_targets = Array.make (max n 1) [] in
+      (* fanout: given a producer with capacity [cap], return the direct
+         targets it should carry, appending mov instructions for the
+         rest *)
+      (* Build a *balanced* software fanout tree of moves covering
+         [targets], returning at most [roots] root targets. Every
+         producer of the same temp shares one tree: at most one producer
+         fires per execution, so one token flows through it (the paper's
+         Section 3.6 fanout trees). *)
+      let fanout ~roots targets =
+        let rec build targets =
+          let k = List.length targets in
+          if k <= roots then targets
+          else begin
+            (* group consecutive targets under mov nodes, then recurse:
+               a balanced tree of depth ceil(log_cap k) *)
+            let rec chunk acc cur cnt = function
+              | [] -> List.rev (if cur = [] then acc else List.rev cur :: acc)
+              | x :: tl ->
+                  if cnt = mov_cap then chunk (List.rev cur :: acc) [ x ] 1 tl
+                  else chunk acc (x :: cur) (cnt + 1) tl
+            in
+            let groups = chunk [] [] 0 targets in
+            let parents =
+              List.map
+                (fun group ->
+                  match group with
+                  | [ single ] -> single
+                  | _ ->
+                      let mov_id = !next_id in
+                      incr next_id;
+                      incr fanout_moves;
+                      let opc =
+                        if use_mov4 then Opcode.Mov4 else Opcode.Un Opcode.Mov
+                      in
+                      instrs :=
+                        Instr.make ~id:mov_id ~opcode:opc ~targets:group ()
+                        :: !instrs;
+                      Target.To_instr { id = mov_id; slot = Target.Left })
+                groups
+            in
+            build parents
+          end
+        in
+        build targets
+      in
+      (* one shared tree per temp, bounded by the smallest producer
+         capacity *)
+      let tree_targets : (Temp.t, Target.t list) Hashtbl.t = Hashtbl.create 32 in
+      Hashtbl.iter
+        (fun d prods ->
+          let min_cap =
+            List.fold_left
+              (fun acc i -> min acc (Opcode.max_targets pend.(i).p_opcode))
+              max_int !prods
+          in
+          let tgts =
+            match Hashtbl.find_opt consumers d with
+            | Some r -> List.rev !r
+            | None -> []
+          in
+          Hashtbl.replace tree_targets d (fanout ~roots:(max 1 min_cap) tgts))
+        producers;
+      Array.iteri
+        (fun i p ->
+          match p.p_dst with
+          | Some d ->
+              final_targets.(i) <-
+                Option.value ~default:[] (Hashtbl.find_opt tree_targets d)
+          | None ->
+              (* null instructions have explicit single targets *)
+              if p.p_write >= 0 then
+                final_targets.(i) <- [ Target.To_write p.p_write ]
+              else if p.p_write = -2 then begin
+                match Hashtbl.find_opt store_pending_idx (Int64.to_int p.p_imm) with
+                | Some st ->
+                    final_targets.(i) <-
+                      [ Target.To_instr { id = st; slot = Target.Left } ]
+                | None -> fail "null store target missing"
+              end)
+        pend;
+      (match !err with
+      | Some _ -> ()
+      | None -> ());
+      (* reads for live-in temps; duplicate read slots before moving *)
+      let reads = ref [] and n_reads = ref 0 in
+      let live_in_temps =
+        Hashtbl.fold
+          (fun t _ acc ->
+            if Hashtbl.mem producers t then acc else Temp.Set.add t acc)
+          consumers Temp.Set.empty
+      in
+      Temp.Set.iter
+        (fun t ->
+          match Regalloc.reg_of alloc t with
+          | None -> fail "live-in temp t%d has no register" t
+          | Some reg ->
+              let tgts = List.rev !(Hashtbl.find consumers t) in
+              (* split across duplicated read slots of two targets each
+                 while slots remain; overflow goes through fanout moves *)
+              let rec assign tgts =
+                match tgts with
+                | [] -> ()
+                | [ a ] ->
+                    reads :=
+                      { Block.rslot = !n_reads; reg; rtargets = [ a ] } :: !reads;
+                    incr n_reads
+                | [ a; b ] ->
+                    reads :=
+                      { Block.rslot = !n_reads; reg; rtargets = [ a; b ] }
+                      :: !reads;
+                    incr n_reads
+                | a :: b :: tl ->
+                    if !n_reads < Block.max_reads - 1 then begin
+                      reads :=
+                        { Block.rslot = !n_reads; reg; rtargets = [ a; b ] }
+                        :: !reads;
+                      incr n_reads;
+                      assign tl
+                    end
+                    else begin
+                      (* last slot: route everything through fanout moves *)
+                      let direct = fanout ~roots:2 tgts in
+                      reads :=
+                        { Block.rslot = !n_reads; reg; rtargets = direct }
+                        :: !reads;
+                      incr n_reads
+                    end
+              in
+              assign tgts)
+        live_in_temps;
+      (* assemble *)
+      let body_instrs =
+        Array.to_list
+          (Array.mapi
+             (fun i p ->
+               Instr.make ~id:i ~opcode:p.p_opcode ~pred:p.p_pred ~imm:p.p_imm
+                 ~targets:final_targets.(i) ~lsid:p.p_lsid ~exit_idx:p.p_exit
+                 ())
+             pend)
+        @ List.rev !extra @ List.rev !instrs
+      in
+      (* ids of extras/movs were allocated past n; verify density *)
+      let body =
+        List.sort (fun (a : Instr.t) b -> compare a.Instr.id b.Instr.id) body_instrs
+      in
+      let store_lsids =
+        List.sort_uniq compare (Hashtbl.fold (fun _ l acc -> l :: acc) store_lsid [])
+      in
+      let explicit_predicates =
+        List.length (List.filter (fun hi -> hi.Hb.guard <> None) h.Hb.body)
+      in
+      (match !err with
+      | Some e -> Error e
+      | None ->
+          let block =
+            {
+              Block.name = h.Hb.hname;
+              instrs = Array.of_list body;
+              reads = Array.of_list (List.rev !reads);
+              writes = Array.of_list (List.rev !writes);
+              store_lsids;
+              exits = Array.of_list (List.rev !exit_table);
+            }
+          in
+          (match Block.validate block with
+          | Ok () ->
+              Ok { block; fanout_moves = !fanout_moves; explicit_predicates }
+          | Error es ->
+              Error
+                (Printf.sprintf "block %s invalid: %s" h.Hb.hname
+                   (String.concat "; " es))))

@@ -1,0 +1,24 @@
+(** Code generation: predicated hyperblocks to TRIPS blocks.
+
+    Performs immediate-form selection (the 9-bit immediate field replaces
+    the second target, Figure 2), wide-constant materialization via
+    [Geni], LSID assignment in body order, dataflow target wiring (every
+    definition of a temp targets every consumer — dataflow joins), and
+    software fanout-tree construction with [Mov] (or [Mov4] when enabled)
+    when a value or predicate has more consumers than its producer has
+    target fields (Section 3.6). Register reads are duplicated before
+    falling back to moves, as the read file allows several slots per
+    register. *)
+
+type emitted = {
+  block : Edge_isa.Block.t;
+  fanout_moves : int;  (** move instructions inserted for fanout *)
+  explicit_predicates : int;  (** body instructions carrying a guard *)
+}
+
+val emit :
+  Edge_ir.Hblock.t ->
+  alloc:Regalloc.t ->
+  gen:Edge_ir.Temp.Gen.t ->
+  use_mov4:bool ->
+  (emitted, string) result

@@ -1,0 +1,61 @@
+type mode = Bb | Hyper
+
+type t = {
+  mode : mode;
+  opt_fanout : bool;
+  opt_path_sensitive : bool;
+  opt_merge : bool;
+  max_unroll : int;
+  use_mov4 : bool;
+  max_block_instrs : int;
+  aggressive_regions : bool;
+  use_sand : bool;
+}
+
+let base =
+  {
+    mode = Hyper;
+    opt_fanout = false;
+    opt_path_sensitive = false;
+    opt_merge = false;
+    max_unroll = 8;
+    use_mov4 = false;
+    max_block_instrs = 128;
+    aggressive_regions = false;
+    use_sand = false;
+  }
+
+let bb = { base with mode = Bb }
+let hyper_baseline = base
+let intra = { base with opt_fanout = true }
+let inter = { base with opt_path_sensitive = true }
+let both = { base with opt_fanout = true; opt_path_sensitive = true }
+let merge = { both with opt_merge = true }
+
+let sand = { both with use_sand = true }
+
+let hand_optimized =
+  (* the Section 5.3 case study: merging plus maximal unrolling, standing
+     in for the paper's hand-applied transformations *)
+  { merge with max_unroll = 16; aggressive_regions = true }
+
+let name t =
+  match t.mode with
+  | Bb -> "BB"
+  | Hyper -> (
+      match (t.opt_fanout, t.opt_path_sensitive, t.opt_merge) with
+      | false, false, false -> "Hyper"
+      | true, false, false -> "Intra"
+      | false, true, false -> "Inter"
+      | true, true, false -> "Both"
+      | true, true, true -> "Merge"
+      | _ -> "Custom")
+
+let all_paper_configs =
+  [
+    ("BB", bb);
+    ("Hyper", hyper_baseline);
+    ("Intra", intra);
+    ("Inter", inter);
+    ("Both", both);
+  ]

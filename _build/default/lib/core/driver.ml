@@ -1,0 +1,184 @@
+module Cfg = Edge_ir.Cfg
+module Hb = Edge_ir.Hblock
+module Temp = Edge_ir.Temp
+module Label = Edge_ir.Label
+module Liveness = Edge_ir.Liveness
+
+type compiled = {
+  program : Edge_isa.Program.t;
+  placements : (string * int array) list;
+  static_fanout_moves : int;
+  static_instrs : int;
+  static_blocks : int;
+  explicit_predicates : int;
+}
+
+let ( let* ) = Result.bind
+
+let rec convert_regions cfg liveness ~retq regions =
+  match regions with
+  | [] -> Ok []
+  | r :: rest ->
+      let* h = If_convert.convert cfg liveness r ~retq in
+      let* hs = convert_regions cfg liveness ~retq rest in
+      Ok (h :: hs)
+
+(* Generate code for all hyperblocks; when one exceeds machine limits,
+   split its region into basic blocks and redo the whole pipeline with
+   the refined region list. *)
+let apply_opts (config : Config.t) cfg liveness ~retq hblocks =
+  if config.Config.mode = Config.Hyper then begin
+    if config.Config.opt_path_sensitive then
+      Opt_path.run hblocks cfg liveness ~retq;
+    if config.Config.opt_fanout then List.iter Opt_fanout.run hblocks;
+    if config.Config.opt_merge then List.iter Opt_merge.run hblocks;
+    if config.Config.use_sand then
+      List.iter (fun h -> ignore (Opt_sand.run h ~gen:cfg.Cfg.gen)) hblocks;
+    List.iter Opt_hclean.run hblocks
+  end;
+  hblocks
+
+let rec generate cfg (config : Config.t) liveness ~retq ~params regions =
+  let* hblocks = convert_regions cfg liveness ~retq regions in
+  let hblocks = apply_opts config cfg liveness ~retq hblocks in
+  let* alloc =
+    Regalloc.allocate hblocks ~entry:cfg.Cfg.entry ~params ~retq
+  in
+  let rec emit_all acc = function
+    | [] -> Ok (List.rev acc)
+    | (h : Hb.t) :: tl -> (
+        match Codegen.emit h ~alloc ~gen:cfg.Cfg.gen ~use_mov4:config.Config.use_mov4 with
+        | Ok e -> emit_all ((h, e) :: acc) tl
+        | Error msg -> Error (h.Hb.hname, msg))
+  in
+  match emit_all [] hblocks with
+  | Ok emitted -> Ok emitted
+  | Error (bad, msg) -> (
+      (* split the offending region into singletons and retry *)
+      let offending =
+        List.find_opt (fun r -> Label.equal r.If_convert.head bad) regions
+      in
+      match offending with
+      | Some r when Label.Set.cardinal r.If_convert.blocks > 1 ->
+          let refined =
+            List.concat_map
+              (fun r' ->
+                if Label.equal r'.If_convert.head bad then Region.split r' cfg
+                else [ r' ])
+              regions
+          in
+          generate cfg config liveness ~retq ~params refined
+      | _ -> Error msg)
+
+(* Size regions against the *naive* (baseline) predication: if the fully
+   predicated form of a region fits the machine limits, every optimized
+   form does too, so all configurations compile the same hyperblocks and
+   the Figure 7 comparison is apples to apples. *)
+let rec fit_regions cfg (config : Config.t) liveness ~retq ~params regions =
+  (* aggressive mode sizes against the config's own (merged) code: filling
+     blocks beyond what naive predication could hold is exactly what
+     merging buys (Section 5.3) *)
+  let sizing_config =
+    if config.Config.aggressive_regions then config
+    else { Config.hyper_baseline with Config.mode = Config.Hyper }
+  in
+  let* hblocks = convert_regions cfg liveness ~retq regions in
+  let hblocks = apply_opts sizing_config cfg liveness ~retq hblocks in
+  let* alloc = Regalloc.allocate hblocks ~entry:cfg.Cfg.entry ~params ~retq in
+  let rec first_failure = function
+    | [] -> None
+    | (h : Hb.t) :: tl -> (
+        match
+          Codegen.emit h ~alloc ~gen:cfg.Cfg.gen
+            ~use_mov4:sizing_config.Config.use_mov4
+        with
+        | Ok _ -> first_failure tl
+        | Error _ -> Some h.Hb.hname)
+    in
+  match first_failure hblocks with
+  | None -> Ok regions
+  | Some bad ->
+      let any_split = ref false in
+      let refined =
+        List.concat_map
+          (fun r ->
+            if
+              Label.equal r.If_convert.head bad
+              && Label.Set.cardinal r.If_convert.blocks > 1
+            then begin
+              any_split := true;
+              (* re-partition under half the region's raw size; repeated
+                 failures keep halving until blocks fit (or become
+                 singletons) *)
+              let budget =
+                max 3 (Region.estimate cfg r.If_convert.blocks / 2)
+              in
+              Region.select_within cfg r ~budget
+            end
+            else [ r ])
+          regions
+      in
+      if !any_split then fit_regions cfg config liveness ~retq ~params refined
+      else
+        (* a singleton region that still does not fit is a real error;
+           let the config's own pipeline report it *)
+        Ok regions
+
+let compile_cfg cfg (config : Config.t) =
+  let params = cfg.Cfg.params in
+  Edge_ir.Ssa.construct cfg;
+  Opt_classic.run cfg;
+  Edge_ir.Ssa.destruct cfg;
+  Cfg.prune_unreachable cfg;
+  if config.Config.mode = Config.Hyper then begin
+    let target =
+      if config.Config.aggressive_regions then
+        config.Config.max_block_instrs * 9 / 10
+      else config.Config.max_block_instrs / 2
+    in
+    Unroll.run cfg ~max_unroll:config.Config.max_unroll ~target_instrs:target
+  end;
+  let retq = Temp.Gen.fresh cfg.Cfg.gen in
+  let liveness = Liveness.compute cfg in
+  let* regions =
+    match config.Config.mode with
+    | Config.Bb -> Ok (Region.singletons cfg)
+    | Config.Hyper ->
+        let frac = if config.Config.aggressive_regions then 70 else 45 in
+        let initial =
+          Region.select cfg
+            ~budget:(config.Config.max_block_instrs * frac / 100)
+        in
+        fit_regions cfg config liveness ~retq ~params initial
+  in
+  let* emitted = generate cfg config liveness ~retq ~params regions in
+  let blocks = List.map (fun (_, e) -> e.Codegen.block) emitted in
+  let entry = cfg.Cfg.entry in
+  let* program = Edge_isa.Program.make ~entry blocks in
+  let* () =
+    match Edge_isa.Program.validate program with
+    | Ok () -> Ok ()
+    | Error es -> Error (String.concat "; " es)
+  in
+  let placements =
+    List.map
+      (fun (b : Edge_isa.Block.t) -> (b.Edge_isa.Block.name, Schedule.place b))
+      blocks
+  in
+  Ok
+    {
+      program;
+      placements;
+      static_fanout_moves =
+        List.fold_left (fun a (_, e) -> a + e.Codegen.fanout_moves) 0 emitted;
+      static_instrs =
+        List.fold_left
+          (fun a (b : Edge_isa.Block.t) ->
+            a + Array.length b.Edge_isa.Block.instrs)
+          0 blocks;
+      static_blocks = List.length blocks;
+      explicit_predicates =
+        List.fold_left
+          (fun a (_, e) -> a + e.Codegen.explicit_predicates)
+          0 emitted;
+    }

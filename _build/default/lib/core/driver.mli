@@ -1,0 +1,23 @@
+(** End-to-end compilation pipeline.
+
+    SSA construction → classic scalar opts → SSA destruction → (Hyper
+    only: loop unrolling, region selection, if-conversion to naively
+    predicated hyperblocks) → predicate optimizations per config
+    (Sections 5.1–5.3) → register allocation → code generation → spatial
+    scheduling. The BB configuration uses singleton regions, so the same
+    machinery produces basic-block code. Regions whose generated blocks
+    exceed machine limits are split and retried. *)
+
+type compiled = {
+  program : Edge_isa.Program.t;
+  placements : (string * int array) list;
+      (** per block: instruction id → execution-tile index *)
+  static_fanout_moves : int;
+  static_instrs : int;
+  static_blocks : int;
+  explicit_predicates : int;
+}
+
+val compile_cfg : Edge_ir.Cfg.t -> Config.t -> (compiled, string) result
+(** The CFG is consumed (mutated); pass a fresh lowering or a
+    {!Edge_ir.Cfg.copy}. *)

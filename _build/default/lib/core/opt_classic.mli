@@ -1,0 +1,11 @@
+(** Traditional scalar optimizations, run on SSA form before hyperblock
+    formation (the paper's Scale compiler "performs all traditional loop
+    and scalar optimizations before it forms hyperblocks", Section 5).
+
+    Included: constant folding and propagation, copy propagation,
+    dominator-scoped common-subexpression elimination, phi simplification,
+    dead-code elimination, and constant branch folding. *)
+
+val run : Edge_ir.Cfg.t -> unit
+(** The CFG must be in SSA form; it stays in SSA form. Iterates to a
+    (bounded) fixpoint. *)

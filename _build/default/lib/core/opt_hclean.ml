@@ -1,0 +1,145 @@
+module Hb = Edge_ir.Hblock
+module Tac = Edge_ir.Tac
+module Temp = Edge_ir.Temp
+
+(* Copy propagation: an unguarded [mov a <- b] where [a] has exactly one
+   definition can forward [b] (temp or constant) into all uses of [a],
+   including guard uses when [b] is a temp. *)
+let copy_prop (h : Hb.t) =
+  let def_count = Hashtbl.create 16 in
+  List.iter
+    (fun hi ->
+      match Hb.hop_def hi.Hb.hop with
+      | Some d ->
+          Hashtbl.replace def_count d
+            (1 + Option.value ~default:0 (Hashtbl.find_opt def_count d))
+      | None -> ())
+    h.Hb.body;
+  let out_producers =
+    List.fold_left
+      (fun acc (_, p) -> Temp.Set.add p acc)
+      Temp.Set.empty h.Hb.houts
+  in
+  let subst : (Temp.t, Tac.operand) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun hi ->
+      match (hi.Hb.guard, hi.Hb.hop) with
+      | None, Hb.Op (Tac.Un { dst; op = Edge_isa.Opcode.Mov; a })
+        when Option.value ~default:0 (Hashtbl.find_opt def_count dst) = 1
+             && not (Temp.Set.mem dst out_producers) ->
+          Hashtbl.replace subst dst a
+      | _ -> ())
+    h.Hb.body;
+  let rec resolve seen o =
+    match o with
+    | Tac.C _ -> o
+    | Tac.T t -> (
+        if Temp.Set.mem t seen then o
+        else
+          match Hashtbl.find_opt subst t with
+          | Some o' -> resolve (Temp.Set.add t seen) o'
+          | None -> o)
+  in
+  let resolve_temp t =
+    (* guards can only reference temps *)
+    match resolve Temp.Set.empty (Tac.T t) with Tac.T t' -> Some t' | Tac.C _ -> None
+  in
+  let changed = ref false in
+  h.Hb.body <-
+    List.map
+      (fun hi ->
+        let hop =
+          match hi.Hb.hop with
+          | Hb.Sand { dst; a; b } ->
+              let res t =
+                match resolve Temp.Set.empty (Tac.T t) with
+                | Tac.T t' ->
+                    if not (Temp.equal t t') then changed := true;
+                    t'
+                | Tac.C _ -> t
+              in
+              Hb.Sand { dst; a = res a; b = res b }
+          | Hb.Op i ->
+              let i' =
+                Tac.map_operands
+                  (fun o ->
+                    let o' = resolve Temp.Set.empty o in
+                    if o' <> o then changed := true;
+                    o')
+                  i
+              in
+              Hb.Op i'
+          | (Hb.Null_write _ | Hb.Null_store _) as n -> n
+        in
+        let guard =
+          match hi.Hb.guard with
+          | None -> None
+          | Some g ->
+              let gpreds =
+                List.map
+                  (fun p ->
+                    match resolve_temp p with
+                    | Some p' ->
+                        if not (Temp.equal p p') then changed := true;
+                        p'
+                    | None -> p)
+                  g.Hb.gpreds
+              in
+              Some { g with Hb.gpreds }
+        in
+        { Hb.hop; guard })
+      h.Hb.body;
+  h.Hb.hexits <-
+    List.map
+      (fun e ->
+        match e.Hb.eguard with
+        | None -> e
+        | Some g ->
+            let gpreds =
+              List.map
+                (fun p ->
+                  match resolve_temp p with
+                  | Some p' ->
+                      if not (Temp.equal p p') then changed := true;
+                      p'
+                  | None -> p)
+                g.Hb.gpreds
+            in
+            { e with Hb.eguard = Some { g with Hb.gpreds } })
+      h.Hb.hexits;
+  !changed
+
+(* Remove instructions whose destination is never consumed as data, as a
+   predicate, or as a block-output producer. Stores, nulls and
+   instructions without destinations stay. *)
+let dce (h : Hb.t) =
+  let used = ref Temp.Set.empty in
+  let mark t = used := Temp.Set.add t !used in
+  List.iter (fun hi -> List.iter mark (Hb.hop_uses hi)) h.Hb.body;
+  List.iter
+    (fun e -> List.iter mark (Hb.guard_uses e.Hb.eguard))
+    h.Hb.hexits;
+  List.iter (fun (_, p) -> mark p) h.Hb.houts;
+  let before = List.length h.Hb.body in
+  h.Hb.body <-
+    List.filter
+      (fun hi ->
+        match hi.Hb.hop with
+        | Hb.Op (Tac.Store _) | Hb.Null_write _ | Hb.Null_store _ -> true
+        | Hb.Sand { dst; _ } -> Temp.Set.mem dst !used
+        | Hb.Op i -> (
+            match Tac.def i with
+            | None -> true
+            | Some d -> Temp.Set.mem d !used))
+      h.Hb.body;
+  List.length h.Hb.body <> before
+
+let run h =
+  let continue_clean = ref true in
+  let rounds = ref 0 in
+  while !continue_clean && !rounds < 8 do
+    incr rounds;
+    let c1 = copy_prop h in
+    let c2 = dce h in
+    continue_clean := c1 || c2
+  done

@@ -1,0 +1,8 @@
+(** Hyperblock cleanup after the predicate optimizations: unguarded
+    single-definition copy propagation and dead-code elimination
+    (tests whose predicates no longer guard anything, moves made
+    redundant by merging, unused speculative values). The paper runs
+    global CSE and peephole after its predicate phases (Section 5); this
+    is our equivalent. *)
+
+val run : Edge_ir.Hblock.t -> unit

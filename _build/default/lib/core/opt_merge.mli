@@ -1,0 +1,29 @@
+(** Disjoint instruction merging (Section 5.3) — including the paper's
+    three categories.
+
+    Lexically equivalent instructions (same operation, operands and
+    destination) with different guards are merged into one:
+
+    - category 1 — same predicate, opposite polarities: the pair fires on
+      either outcome, so the merged instruction takes the guard of the
+      instruction *defining* that predicate (promotion to the dominating
+      predicate block);
+    - category 2 — different predicates, same polarity: the merged
+      instruction receives both predicates, exploiting predicate-OR
+      (Section 3.5); at most one can match because the originals were on
+      disjoint paths;
+    - category 3 — different predicates, opposite polarities: the test
+      generating one predicate is inverted (and every guard mentioning it
+      flipped), reducing to category 2.
+
+    Guarded exits to the same target merge the same way — the bro_f
+    predicate-OR exit of Figure 3a. Stores are not merged (LSID
+    identity); null writes and null stores merge freely. *)
+
+val run : Edge_ir.Hblock.t -> unit
+
+val merge_body : Edge_ir.Hblock.t -> int
+(** Merge body instructions only; returns instructions eliminated. *)
+
+val merge_exits : Edge_ir.Hblock.t -> int
+(** Merge guarded exits to the same target; returns exits eliminated. *)

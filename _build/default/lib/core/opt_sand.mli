@@ -1,0 +1,25 @@
+(** Short-circuit AND chain conversion (the paper's Section 7 near-term
+    extension, automated).
+
+    The implicit predicate-AND chains of Section 3.4 serialize guard
+    resolution: test k fires only after test k-1's predicate routes to
+    it. This pass finds such chains — test t_k guarded {true; [p_{k-1}]}
+    where p_{k-1} is the previous test's result — unguards the tests so
+    they evaluate as soon as their (still chain-guarded) data arrives,
+    and folds them with [sand]: s_k = sand(s_{k-1}, t_k). C semantics
+    make this safe: when the prefix is false, [sand] fires without
+    demanding t_k, whose operands may never arrive.
+
+    True-polarity consumers of p_k are re-guarded on the conjunction s_k;
+    false-polarity consumers (the chain's exit edges) are re-guarded on
+    e_k = sand(s_{k-1}, not t_k), which fires true exactly on the first
+    divergence — an inverted copy of the test is materialized when
+    needed.
+
+    Conservative conditions: chain predicates must be singleton guards
+    everywhere, never used as data, and each test's transitive data
+    producers must be guarded only by earlier chain predicates (so a true
+    prefix guarantees the test eventually fires). *)
+
+val run : Edge_ir.Hblock.t -> gen:Edge_ir.Temp.Gen.t -> int
+(** Returns the number of chains converted. *)

@@ -1,0 +1,144 @@
+module Hb = Edge_ir.Hblock
+module Temp = Edge_ir.Temp
+module Label = Edge_ir.Label
+module Conventions = Edge_isa.Conventions
+
+type t = {
+  regs : int Temp.Map.t;
+  live_in : (Label.t, Temp.Set.t) Hashtbl.t;
+  live_out : (Label.t, Temp.Set.t) Hashtbl.t;
+}
+
+let block_uses (h : Hb.t) =
+  let defs = Hb.defs h in
+  let add acc u = if Temp.Set.mem u defs then acc else Temp.Set.add u acc in
+  let from_body =
+    List.fold_left
+      (fun acc hi -> List.fold_left add acc (Hb.hop_uses hi))
+      Temp.Set.empty h.Hb.body
+  in
+  (* exit guards consume predicate temps too: a branch predicated on a
+     live-in value keeps that value live into this block *)
+  List.fold_left
+    (fun acc e -> List.fold_left add acc (Hb.guard_uses e.Hb.eguard))
+    from_body h.Hb.hexits
+
+let block_defs (h : Hb.t) =
+  List.fold_left
+    (fun acc (x, _) -> Temp.Set.add x acc)
+    Temp.Set.empty h.Hb.houts
+
+let allocate hblocks ~entry ~params ~retq =
+  ignore entry;
+  let live_in = Hashtbl.create 16 and live_out = Hashtbl.create 16 in
+  let uses = Hashtbl.create 16 and defs = Hashtbl.create 16 in
+  List.iter
+    (fun h ->
+      Hashtbl.replace uses h.Hb.hname (block_uses h);
+      Hashtbl.replace defs h.Hb.hname (block_defs h);
+      Hashtbl.replace live_in h.Hb.hname Temp.Set.empty;
+      Hashtbl.replace live_out h.Hb.hname Temp.Set.empty)
+    hblocks;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun h ->
+        let out =
+          List.fold_left
+            (fun acc e ->
+              match e.Hb.etarget with
+              | None -> acc
+              | Some s ->
+                  Temp.Set.union acc
+                    (Option.value ~default:Temp.Set.empty
+                       (Hashtbl.find_opt live_in s)))
+            Temp.Set.empty h.Hb.hexits
+        in
+        let inn =
+          Temp.Set.union
+            (Hashtbl.find uses h.Hb.hname)
+            (Temp.Set.diff out (Hashtbl.find defs h.Hb.hname))
+        in
+        if not (Temp.Set.equal out (Hashtbl.find live_out h.Hb.hname)) then begin
+          Hashtbl.replace live_out h.Hb.hname out;
+          changed := true
+        end;
+        if not (Temp.Set.equal inn (Hashtbl.find live_in h.Hb.hname)) then begin
+          Hashtbl.replace live_in h.Hb.hname inn;
+          changed := true
+        end)
+      (List.rev hblocks)
+  done;
+  (* temps needing registers *)
+  let cross = ref (Temp.Set.add retq (Temp.Set.of_list params)) in
+  List.iter
+    (fun h ->
+      cross := Temp.Set.union !cross (Hashtbl.find uses h.Hb.hname);
+      cross := Temp.Set.union !cross (Hashtbl.find defs h.Hb.hname))
+    hblocks;
+  (* interference: pairs simultaneously live at a boundary, pairs written
+     by the same block, and written-while-live pairs *)
+  let interf : (Temp.t, Temp.Set.t) Hashtbl.t = Hashtbl.create 64 in
+  let add_edge a b =
+    if not (Temp.equal a b) then begin
+      let sa = Option.value ~default:Temp.Set.empty (Hashtbl.find_opt interf a) in
+      Hashtbl.replace interf a (Temp.Set.add b sa);
+      let sb = Option.value ~default:Temp.Set.empty (Hashtbl.find_opt interf b) in
+      Hashtbl.replace interf b (Temp.Set.add a sb)
+    end
+  in
+  let add_clique s =
+    Temp.Set.iter (fun a -> Temp.Set.iter (fun b -> add_edge a b) s) s
+  in
+  List.iter
+    (fun h ->
+      let inn = Hashtbl.find live_in h.Hb.hname in
+      let out = Hashtbl.find live_out h.Hb.hname in
+      let dfs = Hashtbl.find defs h.Hb.hname in
+      add_clique inn;
+      add_clique (Temp.Set.union out dfs))
+    hblocks;
+  (* parameters are all live on entry *)
+  add_clique (Temp.Set.of_list params);
+  let neighbors t =
+    Option.value ~default:Temp.Set.empty (Hashtbl.find_opt interf t)
+  in
+  let regs = ref Temp.Map.empty in
+  let pin t r = regs := Temp.Map.add t r !regs in
+  pin retq Conventions.result_reg;
+  List.iteri (fun i p -> pin p (Conventions.param_reg i)) params;
+  let taken t =
+    Temp.Set.fold
+      (fun n acc ->
+        match Temp.Map.find_opt n !regs with
+        | Some r -> r :: acc
+        | None -> acc)
+      (neighbors t) []
+  in
+  let error = ref None in
+  Temp.Set.iter
+    (fun t ->
+      if not (Temp.Map.mem t !regs) then begin
+        let used = taken t in
+        let r = ref Conventions.first_alloc_reg in
+        while List.mem !r used && !r < Conventions.num_regs do
+          incr r
+        done;
+        if !r >= Conventions.num_regs then
+          error := Some (Printf.sprintf "out of registers for t%d" t)
+        else pin t !r
+      end)
+    !cross;
+  match !error with
+  | Some e -> Error e
+  | None ->
+      Ok { regs = !regs; live_in; live_out }
+
+let reg_of t tmp = Temp.Map.find_opt tmp t.regs
+
+let live_in t l =
+  Option.value ~default:Temp.Set.empty (Hashtbl.find_opt t.live_in l)
+
+let live_out t l =
+  Option.value ~default:Temp.Set.empty (Hashtbl.find_opt t.live_out l)

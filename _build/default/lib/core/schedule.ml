@@ -1,0 +1,113 @@
+module Block = Edge_isa.Block
+module Instr = Edge_isa.Instr
+module Opcode = Edge_isa.Opcode
+module Target = Edge_isa.Target
+module Grid = Edge_isa.Grid
+
+let grid_rows = Grid.rows
+let grid_cols = Grid.cols
+let num_tiles = Grid.num_tiles
+let slots_per_tile = Grid.slots_per_tile
+let tile_row = Grid.tile_row
+let tile_col = Grid.tile_col
+let hops = Grid.hops
+let reg_access_hops = Grid.reg_access_hops
+let mem_access_hops = Grid.mem_access_hops
+
+let place (b : Block.t) =
+  let n = Array.length b.Block.instrs in
+  let placement = Array.make n (-1) in
+  let load = Array.make num_tiles 0 in
+  (* producers of each instruction's operands *)
+  let producers = Array.make n [] in
+  Array.iteri
+    (fun src (i : Instr.t) ->
+      List.iter
+        (function
+          | Target.To_instr { id; _ } ->
+              if id >= 0 && id < n then producers.(id) <- src :: producers.(id)
+          | Target.To_write _ -> ())
+        i.Instr.targets)
+    b.Block.instrs;
+  (* topological order over the (acyclic) dataflow graph: producers
+     before consumers, sources ordered by register/memory affinity *)
+  let indeg = Array.make n 0 in
+  Array.iteri (fun i _ -> indeg.(i) <- List.length producers.(i)) b.Block.instrs;
+  let queue = Queue.create () in
+  Array.iteri (fun i d -> if d = 0 then Queue.add i queue) indeg;
+  let topo = ref [] in
+  while not (Queue.is_empty queue) do
+    let i = Queue.pop queue in
+    topo := i :: !topo;
+    List.iter
+      (function
+        | Target.To_instr { id; _ } when id < n ->
+            indeg.(id) <- indeg.(id) - 1;
+            if indeg.(id) = 0 then Queue.add id queue
+        | Target.To_instr _ | Target.To_write _ -> ())
+      b.Block.instrs.(i).Instr.targets
+  done;
+  (* instructions on dependence cycles (impossible in well-formed blocks,
+     but be safe) go last in index order *)
+  Array.iteri (fun i d -> if d > 0 then topo := i :: !topo) indeg;
+  let topo = List.rev !topo in
+  (* list placement: estimated completion time per instruction; choose
+     the tile minimizing the estimated issue time, modeling operand
+     routing hops, register/data-edge distances and tile contention *)
+  let est = Array.make n 0 in
+  let tile_busy = Array.make num_tiles 0 in
+  List.iter
+    (fun i ->
+      let instr = b.Block.instrs.(i) in
+      let is_mem =
+        match instr.Instr.opcode with
+        | Opcode.Ld _ | Opcode.St _ -> true
+        | _ -> false
+      in
+      let writes_reg =
+        List.exists
+          (function Target.To_write _ -> true | Target.To_instr _ -> false)
+          instr.Instr.targets
+      in
+      let best = ref (-1) and best_cost = ref max_int in
+      for t = 0 to num_tiles - 1 do
+        if load.(t) < slots_per_tile then begin
+          let ready =
+            List.fold_left
+              (fun acc p ->
+                if placement.(p) >= 0 then
+                  max acc (est.(p) + hops placement.(p) t)
+                else acc)
+              0 producers.(i)
+          in
+          (* sources receive operands from the register file edge *)
+          let ready =
+            if producers.(i) = [] then reg_access_hops t else ready
+          in
+          let ready = if is_mem then ready + (2 * mem_access_hops t) else ready in
+          let ready = if writes_reg then ready + reg_access_hops t else ready in
+          let start = max ready tile_busy.(t) in
+          (* prefer spreading equal-start choices *)
+          let cost = (start * 4) + load.(t) in
+          if cost < !best_cost then begin
+            best_cost := cost;
+            best := t
+          end
+        end
+      done;
+      let t = if !best >= 0 then !best else 0 in
+      placement.(i) <- t;
+      load.(t) <- load.(t) + 1;
+      let ready =
+        List.fold_left
+          (fun acc p ->
+            if placement.(p) >= 0 then max acc (est.(p) + hops placement.(p) t)
+            else acc)
+          (if producers.(i) = [] then reg_access_hops t else 0)
+          producers.(i)
+      in
+      let start = max ready tile_busy.(t) in
+      tile_busy.(t) <- start + 1;
+      est.(i) <- start + Opcode.latency instr.Instr.opcode)
+    topo;
+  placement

@@ -1,0 +1,31 @@
+(** Spatial instruction scheduling.
+
+    Maps each instruction of a TRIPS block onto the 4×4 grid of execution
+    tiles (8 reservation-station slots per tile, 128 total). A greedy
+    critical-path-first placer in the spirit of spatial path scheduling:
+    instructions are placed, most critical first, at the tile minimizing
+    the weighted Manhattan distance to their producers, the register file
+    (top row) for reads/writes, and the data tiles (left column) for
+    memory operations. The cycle simulator charges one cycle per hop
+    (Section 6). *)
+
+val grid_rows : int
+val grid_cols : int
+val num_tiles : int
+val slots_per_tile : int
+
+val tile_row : int -> int
+val tile_col : int -> int
+
+val hops : int -> int -> int
+(** Manhattan distance between two tiles. *)
+
+val reg_access_hops : int -> int
+(** Hops between a tile and the register tiles (top edge). *)
+
+val mem_access_hops : int -> int
+(** Hops between a tile and the data tiles (left edge). *)
+
+val place : Edge_isa.Block.t -> int array
+(** [place b] returns the tile index for every instruction id. Slot
+    capacity (8 per tile) is respected. Deterministic. *)

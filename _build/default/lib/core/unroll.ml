@@ -1,0 +1,78 @@
+module Cfg = Edge_ir.Cfg
+module Tac = Edge_ir.Tac
+module Label = Edge_ir.Label
+
+let copy_suffix k = Printf.sprintf ".u%d" k
+
+let rename_label body k l =
+  if Label.Set.mem l body then l ^ copy_suffix k else l
+
+(* Instructions are replicated verbatim: the CFG is out of SSA here, so
+   temporaries may be freely redefined by each copy. Phis never appear. *)
+let copy_block (b : Cfg.bblock) ~body ~k ~header ~next_header =
+  let rl l =
+    if Label.equal l header then next_header else rename_label body k l
+  in
+  {
+    Cfg.label = rename_label body k b.Cfg.label;
+    instrs = b.Cfg.instrs;
+    term =
+      (match b.Cfg.term with
+      | Tac.Jmp l -> Tac.Jmp (rl l)
+      | Tac.Cbr r ->
+          Tac.Cbr { r with if_true = rl r.if_true; if_false = rl r.if_false }
+      | Tac.Ret _ as t -> t);
+  }
+
+let unroll_loop cfg (loop : Loops.loop) ~factor =
+  if factor > 1 then begin
+    let body = loop.Loops.body in
+    let header = loop.Loops.header in
+    (* copy k (for k in 1..factor-1) gets labels l.uk; the back edge of
+       copy k points at copy k+1's header, the last copy's back edge at
+       the original header *)
+    for k = 1 to factor - 1 do
+      let next_header =
+        if k = factor - 1 then header else header ^ copy_suffix (k + 1)
+      in
+      Label.Set.iter
+        (fun l ->
+          let b = Cfg.block cfg l in
+          Cfg.add_block cfg (copy_block b ~body ~k ~header ~next_header))
+        body
+    done;
+    (* original copy's back edges now enter copy 1 *)
+    let first_copy_header = header ^ copy_suffix 1 in
+    List.iter
+      (fun latch ->
+        let b = Cfg.block cfg latch in
+        let rl l = if Label.equal l header then first_copy_header else l in
+        b.Cfg.term <-
+          (match b.Cfg.term with
+          | Tac.Jmp l -> Tac.Jmp (rl l)
+          | Tac.Cbr r ->
+              Tac.Cbr
+                { r with if_true = rl r.if_true; if_false = rl r.if_false }
+          | Tac.Ret _ as t -> t))
+      loop.Loops.latches
+  end
+
+let estimate_instrs cfg body =
+  Label.Set.fold
+    (fun l acc ->
+      match Cfg.block_opt cfg l with
+      | None -> acc
+      | Some b -> acc + List.length b.Cfg.instrs + 2)
+    body 0
+
+let run cfg ~max_unroll ~target_instrs =
+  if max_unroll > 1 then begin
+    let loops = List.filter (fun l -> l.Loops.innermost) (Loops.find cfg) in
+    List.iter
+      (fun loop ->
+        let size = estimate_instrs cfg loop.Loops.body in
+        let budget = max 1 (target_instrs / max 1 size) in
+        let factor = min max_unroll budget in
+        if factor > 1 then unroll_loop cfg loop ~factor)
+      loops
+  end

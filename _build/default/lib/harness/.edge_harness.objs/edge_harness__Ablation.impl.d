@@ -1,0 +1,1 @@
+lib/harness/ablation.ml: Dfp Edge_sim Edge_workloads Experiment Format List

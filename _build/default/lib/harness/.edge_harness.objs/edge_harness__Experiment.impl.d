@@ -1,0 +1,1 @@
+lib/harness/experiment.ml: Array Dfp Edge_isa Edge_lang Edge_sim Edge_workloads Int64 List Option Printf Result

@@ -1,0 +1,1 @@
+lib/harness/experiment.mli: Dfp Edge_sim Edge_workloads

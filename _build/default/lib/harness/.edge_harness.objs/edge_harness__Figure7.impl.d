@@ -1,0 +1,1 @@
+lib/harness/figure7.ml: Dfp Edge_sim Edge_workloads Experiment Format Hashtbl List Option String

@@ -1,0 +1,1 @@
+lib/harness/figure7.mli: Edge_sim Edge_workloads Format

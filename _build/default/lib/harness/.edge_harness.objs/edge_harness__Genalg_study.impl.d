@@ -1,0 +1,1 @@
+lib/harness/genalg_study.ml: Dfp Edge_sim Edge_workloads Experiment Format Result

@@ -1,0 +1,1 @@
+lib/harness/genalg_study.mli: Edge_sim Format

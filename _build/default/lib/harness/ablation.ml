@@ -1,0 +1,69 @@
+type entry = {
+  bench : string;
+  variant : string;
+  cycles : int;
+  baseline_cycles : int;
+}
+
+let default_benches =
+  [ "a2time01"; "autcor00"; "conven00"; "matrix01"; "rotate01"; "viterb00" ]
+
+let variants =
+  [
+    ( "no-early-termination",
+      ( { Edge_sim.Machine.default with Edge_sim.Machine.early_termination = false },
+        Dfp.Config.both ) );
+    ( "in-order-memory",
+      ( { Edge_sim.Machine.default with Edge_sim.Machine.aggressive_loads = false },
+        Dfp.Config.both ) );
+    ( "mov4-fanout",
+      ( Edge_sim.Machine.default,
+        { Dfp.Config.both with Dfp.Config.use_mov4 = true } ) );
+    ( "merge",
+      (Edge_sim.Machine.default, Dfp.Config.merge) );
+    ( "no-unroll",
+      ( Edge_sim.Machine.default,
+        { Dfp.Config.both with Dfp.Config.max_unroll = 1 } ) );
+    ("sand", (Edge_sim.Machine.default, Dfp.Config.sand));
+  ]
+
+let run ?(benches = default_benches) () =
+  let errors = ref [] in
+  let entries = ref [] in
+  List.iter
+    (fun name ->
+      match Edge_workloads.Registry.find name with
+      | None -> errors := (name, "unknown workload") :: !errors
+      | Some w -> (
+          match Experiment.run_one w ("Both", Dfp.Config.both) with
+          | Error e -> errors := (name, e) :: !errors
+          | Ok base ->
+              List.iter
+                (fun (vname, (machine, config)) ->
+                  match Experiment.run_one ~machine w (vname, config) with
+                  | Error e -> errors := (name ^ "/" ^ vname, e) :: !errors
+                  | Ok r ->
+                      entries :=
+                        {
+                          bench = name;
+                          variant = vname;
+                          cycles = r.Experiment.cycles;
+                          baseline_cycles = base.Experiment.cycles;
+                        }
+                        :: !entries)
+                variants))
+    benches;
+  (List.rev !entries, List.rev !errors)
+
+let pp ppf entries =
+  let open Format in
+  fprintf ppf "@[<v>ablations (cycles relative to Both on the default machine)@,@,";
+  fprintf ppf "%-12s %-22s %10s %10s %8s@," "benchmark" "variant" "cycles"
+    "baseline" "ratio";
+  List.iter
+    (fun e ->
+      fprintf ppf "%-12s %-22s %10d %10d %8.2f@," e.bench e.variant e.cycles
+        e.baseline_cycles
+        (float_of_int e.cycles /. float_of_int e.baseline_cycles))
+    entries;
+  fprintf ppf "@]"

@@ -1,0 +1,92 @@
+module Conv = Edge_isa.Conventions
+module Mem = Edge_isa.Mem
+module Workload = Edge_workloads.Workload
+
+type run = {
+  workload : string;
+  config : string;
+  cycles : int;
+  stats : Edge_sim.Stats.t;
+  static_instrs : int;
+  static_blocks : int;
+  static_fanout_moves : int;
+  explicit_predicates : int;
+}
+
+let ( let* ) = Result.bind
+
+let compile (w : Workload.t) config =
+  let* ast = Workload.parse w in
+  let* cfg = Edge_lang.Lower.lower ast in
+  Dfp.Driver.compile_cfg cfg config
+
+let setup_run (w : Workload.t) =
+  let mem = Mem.create ~size:w.Workload.mem_size in
+  let args = w.Workload.setup mem in
+  let regs = Array.make Conv.num_regs 0L in
+  List.iteri (fun i v -> regs.(Conv.param_reg i) <- v) args;
+  (regs, mem)
+
+let run_one ?(machine = Edge_sim.Machine.default) (w : Workload.t)
+    (config_name, config) =
+  let* reference, ref_mem =
+    match Workload.reference_run w with
+    | Ok (r, m) -> Ok (Option.value ~default:0L r, m)
+    | Error e -> Error e
+  in
+  let* compiled = compile w config in
+  (* functional check *)
+  let regs, mem = setup_run w in
+  let* _ =
+    match
+      Edge_sim.Functional.run compiled.Dfp.Driver.program ~regs ~mem
+    with
+    | Ok s -> Ok s
+    | Error e -> Error (Printf.sprintf "%s/%s functional: %s" w.Workload.name config_name e)
+  in
+  let* () =
+    if Int64.equal regs.(Conv.result_reg) reference && Mem.equal mem ref_mem
+    then Ok ()
+    else
+      Error
+        (Printf.sprintf "%s/%s functional mismatch: ret %Ld vs %Ld"
+           w.Workload.name config_name
+           regs.(Conv.result_reg)
+           reference)
+  in
+  (* timed run *)
+  let regs, mem = setup_run w in
+  let placement n =
+    match List.assoc_opt n compiled.Dfp.Driver.placements with
+    | Some p -> p
+    | None -> [||]
+  in
+  let* stats =
+    match
+      Edge_sim.Cycle_sim.run ~machine ~placement compiled.Dfp.Driver.program
+        ~regs ~mem
+    with
+    | Ok s -> Ok s
+    | Error e -> Error (Printf.sprintf "%s/%s cycle: %s" w.Workload.name config_name e)
+  in
+  let* () =
+    if Int64.equal regs.(Conv.result_reg) reference && Mem.equal mem ref_mem
+    then Ok ()
+    else
+      Error
+        (Printf.sprintf "%s/%s cycle mismatch: ret %Ld vs %Ld" w.Workload.name
+           config_name
+           regs.(Conv.result_reg)
+           reference)
+  in
+  Ok
+    {
+      workload = w.Workload.name;
+      config = config_name;
+      cycles = stats.Edge_sim.Stats.cycles;
+      stats;
+      static_instrs = compiled.Dfp.Driver.static_instrs;
+      static_blocks = compiled.Dfp.Driver.static_blocks;
+      static_fanout_moves = compiled.Dfp.Driver.static_fanout_moves;
+      explicit_predicates = compiled.Dfp.Driver.explicit_predicates;
+    }

@@ -1,0 +1,28 @@
+(** Running one workload under one compiler configuration.
+
+    Every run is verified three ways before its numbers count: the
+    reference interpreter, the functional dataflow executor and the cycle
+    simulator must produce identical return values and final memory
+    images. *)
+
+type run = {
+  workload : string;
+  config : string;
+  cycles : int;
+  stats : Edge_sim.Stats.t;
+  static_instrs : int;
+  static_blocks : int;
+  static_fanout_moves : int;
+  explicit_predicates : int;
+}
+
+val run_one :
+  ?machine:Edge_sim.Machine.t ->
+  Edge_workloads.Workload.t ->
+  string * Dfp.Config.t ->
+  (run, string) result
+
+val compile :
+  Edge_workloads.Workload.t ->
+  Dfp.Config.t ->
+  (Dfp.Driver.compiled, string) result

@@ -1,0 +1,151 @@
+module Stats = Edge_sim.Stats
+
+type row = {
+  bench : string;
+  cycles : (string * int) list;
+  speedups : (string * float) list;
+}
+
+type result = {
+  rows : row list;
+  mean_speedups : (string * float) list;
+  move_reduction : float;
+  instr_reduction : float;
+  block_reduction : float;
+  errors : (string * string) list;
+}
+
+let configs = Dfp.Config.all_paper_configs
+let config_names = List.map fst configs
+
+let geomean = function
+  | [] -> 1.0
+  | xs ->
+      exp (List.fold_left (fun a x -> a +. log x) 0.0 xs /. float_of_int (List.length xs))
+
+let run ?(machine = Edge_sim.Machine.default)
+    ?(benches = Edge_workloads.Registry.eembc) ?(progress = fun _ -> ()) () =
+  let errors = ref [] in
+  let dyn_moves = Hashtbl.create 8 in
+  let dyn_instrs = Hashtbl.create 8 in
+  let dyn_blocks = Hashtbl.create 8 in
+  let bump tbl key v =
+    Hashtbl.replace tbl key (v + Option.value ~default:0 (Hashtbl.find_opt tbl key))
+  in
+  let rows =
+    List.filter_map
+      (fun w ->
+        progress w.Edge_workloads.Workload.name;
+        let runs =
+          List.filter_map
+            (fun (name, config) ->
+              match Experiment.run_one ~machine w (name, config) with
+              | Ok r -> Some (name, r)
+              | Error e ->
+                  errors := (w.Edge_workloads.Workload.name ^ "/" ^ name, e) :: !errors;
+                  None)
+            configs
+        in
+        match List.assoc_opt "Hyper" runs with
+        | Some base when List.length runs = List.length configs ->
+            List.iter
+              (fun (name, (r : Experiment.run)) ->
+                bump dyn_moves name r.Experiment.stats.Stats.moves_executed;
+                bump dyn_instrs name r.Experiment.stats.Stats.instrs_executed;
+                bump dyn_blocks name r.Experiment.stats.Stats.blocks_committed)
+              runs;
+            Some
+              {
+                bench = w.Edge_workloads.Workload.name;
+                cycles = List.map (fun (n, r) -> (n, r.Experiment.cycles)) runs;
+                speedups =
+                  List.map
+                    (fun (n, r) ->
+                      ( n,
+                        float_of_int base.Experiment.cycles
+                        /. float_of_int r.Experiment.cycles ))
+                    runs;
+              }
+        | _ -> None)
+      benches
+  in
+  let mean_speedups =
+    List.map
+      (fun name ->
+        ( name,
+          geomean (List.filter_map (fun r -> List.assoc_opt name r.speedups) rows) ))
+      config_names
+  in
+  let reduction tbl =
+    match (Hashtbl.find_opt tbl "Hyper", Hashtbl.find_opt tbl "Intra") with
+    | Some h, Some i when h > 0 -> float_of_int (h - i) /. float_of_int h
+    | _ -> 0.0
+  in
+  {
+    rows;
+    mean_speedups;
+    move_reduction = reduction dyn_moves;
+    instr_reduction = reduction dyn_instrs;
+    block_reduction = reduction dyn_blocks;
+    errors = List.rev !errors;
+  }
+
+let pp ppf r =
+  let open Format in
+  fprintf ppf "@[<v>";
+  fprintf ppf
+    "Figure 7: speedup over the Hyper baseline (cycles(Hyper)/cycles(X))@,@,";
+  fprintf ppf "%-14s" "benchmark";
+  List.iter (fun n -> fprintf ppf "%10s" n) config_names;
+  fprintf ppf "@,";
+  List.iter
+    (fun row ->
+      fprintf ppf "%-14s" row.bench;
+      List.iter
+        (fun n ->
+          match List.assoc_opt n row.speedups with
+          | Some s -> fprintf ppf "%10.2f" s
+          | None -> fprintf ppf "%10s" "-")
+        config_names;
+      fprintf ppf "@,")
+    r.rows;
+  fprintf ppf "%-14s" "geomean";
+  List.iter
+    (fun n ->
+      match List.assoc_opt n r.mean_speedups with
+      | Some s -> fprintf ppf "%10.2f" s
+      | None -> fprintf ppf "%10s" "-")
+    config_names;
+  fprintf ppf "@,@,";
+  (* ASCII bars for the headline configurations *)
+  fprintf ppf "speedup bars (x0.1 per char, | marks 1.0):@,";
+  List.iter
+    (fun row ->
+      List.iter
+        (fun n ->
+          if n <> "Hyper" then
+            match List.assoc_opt n row.speedups with
+            | Some s ->
+                let len = int_of_float (s *. 10.0) in
+                let bar = String.make (min 40 (max 1 len)) '#' in
+                fprintf ppf "%-14s %-6s %s@," row.bench n
+                  (if len >= 10 then
+                     String.sub bar 0 (min 10 (String.length bar))
+                     ^ "|"
+                     ^ String.sub bar 10 (String.length bar - min 10 (String.length bar))
+                   else bar)
+            | None -> ())
+        config_names)
+    r.rows;
+  fprintf ppf "@,Section 6 dynamic-statistics deltas (Intra vs Hyper):@,";
+  fprintf ppf "  move instructions: -%.1f%% (paper: -14%%)@,"
+    (100.0 *. r.move_reduction);
+  fprintf ppf "  total instructions: -%.1f%% (paper: -2%%)@,"
+    (100.0 *. r.instr_reduction);
+  fprintf ppf "  blocks executed: -%.1f%% (paper: -5%%)@,"
+    (100.0 *. r.block_reduction);
+  if r.errors <> [] then begin
+    fprintf ppf "@,errors:@,";
+    List.iter (fun (w, e) -> fprintf ppf "  %s: %s@," w e) r.errors
+  end;
+  fprintf ppf "@]"

@@ -1,0 +1,29 @@
+(** The Figure 7 experiment: speedup of BB / Intra / Inter / Both over
+    the hyperblock baseline across the 28 EEMBC-style benchmarks, plus
+    the Section 6 dynamic-statistics deltas (moves, total instructions,
+    blocks) for the intra configuration. *)
+
+type row = {
+  bench : string;
+  cycles : (string * int) list;  (** per config *)
+  speedups : (string * float) list;  (** vs Hyper *)
+}
+
+type result = {
+  rows : row list;
+  mean_speedups : (string * float) list;  (** geometric mean per config *)
+  move_reduction : float;  (** Intra vs Hyper, dynamic moves, fraction *)
+  instr_reduction : float;  (** Intra vs Hyper, dynamic instructions *)
+  block_reduction : float;  (** Intra vs Hyper, dynamic blocks *)
+  errors : (string * string) list;
+}
+
+val run :
+  ?machine:Edge_sim.Machine.t ->
+  ?benches:Edge_workloads.Workload.t list ->
+  ?progress:(string -> unit) ->
+  unit ->
+  result
+
+val pp : Format.formatter -> result -> unit
+(** Renders the table and an ASCII rendition of the Figure 7 bars. *)

@@ -1,0 +1,1 @@
+lib/ir/cfg.ml: Format Hashtbl Label List Option Printf Tac Temp

@@ -1,0 +1,1 @@
+lib/ir/dom.mli: Cfg Label

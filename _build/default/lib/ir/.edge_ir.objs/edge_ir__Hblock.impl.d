@@ -1,0 +1,1 @@
+lib/ir/hblock.ml: Array Format Label List Option Tac Temp

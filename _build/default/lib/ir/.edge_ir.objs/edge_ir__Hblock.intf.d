@@ -1,0 +1,1 @@
+lib/ir/hblock.mli: Format Label Tac Temp

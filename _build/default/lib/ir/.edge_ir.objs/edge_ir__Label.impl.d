@@ -1,0 +1,1 @@
+lib/ir/label.ml: Format Map Set String

@@ -1,0 +1,1 @@
+lib/ir/label.mli: Format Map Set

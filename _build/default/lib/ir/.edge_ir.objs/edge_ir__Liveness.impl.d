@@ -1,0 +1,1 @@
+lib/ir/liveness.ml: Cfg Hashtbl Label List Option Tac Temp

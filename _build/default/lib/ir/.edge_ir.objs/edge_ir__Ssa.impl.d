@@ -1,0 +1,1 @@
+lib/ir/ssa.ml: Cfg Dom Edge_isa Format Hashtbl Label List Liveness Option Printf Queue Tac Temp

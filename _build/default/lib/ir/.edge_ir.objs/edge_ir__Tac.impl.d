@@ -1,0 +1,1 @@
+lib/ir/tac.ml: Edge_isa Format Int64 Label List Temp

@@ -1,0 +1,1 @@
+lib/ir/tac.mli: Edge_isa Format Label Temp

@@ -1,0 +1,1 @@
+lib/ir/temp.ml: Format Hashtbl Int Map Set

@@ -1,0 +1,1 @@
+lib/ir/temp.mli: Format Map Set

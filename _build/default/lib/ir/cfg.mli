@@ -1,0 +1,34 @@
+(** Control-flow graphs of basic blocks over {!Tac}. *)
+
+type bblock = { label : Label.t; mutable instrs : Tac.instr list; mutable term : Tac.term }
+
+type t = {
+  fname : string;
+  params : Temp.t list;  (** values live on entry (function parameters) *)
+  entry : Label.t;
+  mutable blocks : bblock Label.Map.t;
+  gen : Temp.Gen.t;  (** fresh-temp supply for later phases *)
+}
+
+val create : fname:string -> params:Temp.t list -> entry:Label.t -> gen:Temp.Gen.t -> t
+val add_block : t -> bblock -> unit
+val block : t -> Label.t -> bblock
+val block_opt : t -> Label.t -> bblock option
+val remove_block : t -> Label.t -> unit
+val labels : t -> Label.t list
+val succs : t -> Label.t -> Label.t list
+val preds : t -> Label.t -> Label.t list
+
+val rpo : t -> Label.t list
+(** Reverse postorder from the entry; unreachable blocks are excluded. *)
+
+val prune_unreachable : t -> unit
+val iter_instrs : t -> (Label.t -> Tac.instr -> unit) -> unit
+val defs : t -> Label.Set.t Temp.Map.t
+(** For every temp, the set of blocks containing a definition. *)
+
+val max_temp : t -> Temp.t
+val copy : t -> t
+(** Deep copy (blocks are mutable). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,35 @@
+(** Dominator analysis (Cooper–Harvey–Kennedy iterative algorithm) and
+    dominance frontiers, over an abstract graph so the same code serves
+    the CFG, the reversed CFG (post-dominators) and the predicate flow
+    graph. *)
+
+type graph = {
+  g_entry : Label.t;
+  g_nodes : Label.t list;  (** reverse postorder from [g_entry] *)
+  g_preds : Label.t -> Label.t list;
+  g_succs : Label.t -> Label.t list;
+}
+
+type t
+
+val compute : graph -> t
+val of_cfg : Cfg.t -> t
+
+val of_cfg_post : Cfg.t -> t
+(** Post-dominators. The reversed graph is rooted at a virtual exit node
+    [exit_label] connected to every [Ret] block. *)
+
+val exit_label : Label.t
+
+val idom : t -> Label.t -> Label.t option
+(** Immediate dominator; [None] for the root. *)
+
+val dominates : t -> Label.t -> Label.t -> bool
+(** [dominates t a b]: does [a] dominate [b]? Reflexive. *)
+
+val strictly_dominates : t -> Label.t -> Label.t -> bool
+val frontier : t -> Label.t -> Label.t list
+val children : t -> Label.t -> Label.t list
+(** Dominator-tree children. *)
+
+val dom_tree_preorder : t -> Label.t list

@@ -1,0 +1,8 @@
+type t = string
+
+let equal = String.equal
+let compare = String.compare
+let pp = Format.pp_print_string
+
+module Set = Set.Make (String)
+module Map = Map.Make (String)

@@ -1,0 +1,11 @@
+(** Labels naming basic blocks, hyperblocks and, ultimately, TRIPS
+    blocks. *)
+
+type t = string
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t

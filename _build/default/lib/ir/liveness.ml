@@ -1,0 +1,86 @@
+type t = {
+  live_in : (Label.t, Temp.Set.t) Hashtbl.t;
+  live_out : (Label.t, Temp.Set.t) Hashtbl.t;
+}
+
+(* use/def per block, treating phi uses as live on the corresponding
+   incoming edge (handled separately in [live_on_edge]); for block-level
+   fixpoint purposes phi uses count at the predecessor's live-out, which
+   the classical formulation approximates by counting them here. *)
+let block_use_def (b : Cfg.bblock) =
+  let use = ref Temp.Set.empty and def = ref Temp.Set.empty in
+  List.iter
+    (fun i ->
+      List.iter
+        (fun u -> if not (Temp.Set.mem u !def) then use := Temp.Set.add u !use)
+        (Tac.uses i);
+      Option.iter (fun d -> def := Temp.Set.add d !def) (Tac.def i))
+    b.Cfg.instrs;
+  List.iter
+    (fun u -> if not (Temp.Set.mem u !def) then use := Temp.Set.add u !use)
+    (Tac.term_uses b.Cfg.term);
+  (!use, !def)
+
+let compute cfg =
+  let labels = Cfg.rpo cfg in
+  let live_in = Hashtbl.create 16 and live_out = Hashtbl.create 16 in
+  List.iter
+    (fun l ->
+      Hashtbl.replace live_in l Temp.Set.empty;
+      Hashtbl.replace live_out l Temp.Set.empty)
+    labels;
+  let usedefs =
+    List.map (fun l -> (l, block_use_def (Cfg.block cfg l))) labels
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun (l, (use, def)) ->
+        let out =
+          List.fold_left
+            (fun acc s ->
+              Temp.Set.union acc
+                (Option.value ~default:Temp.Set.empty
+                   (Hashtbl.find_opt live_in s)))
+            Temp.Set.empty (Cfg.succs cfg l)
+        in
+        let inn = Temp.Set.union use (Temp.Set.diff out def) in
+        if not (Temp.Set.equal out (Hashtbl.find live_out l)) then begin
+          Hashtbl.replace live_out l out;
+          changed := true
+        end;
+        if not (Temp.Set.equal inn (Hashtbl.find live_in l)) then begin
+          Hashtbl.replace live_in l inn;
+          changed := true
+        end)
+      (List.rev usedefs)
+  done;
+  { live_in; live_out }
+
+let live_in t l =
+  Option.value ~default:Temp.Set.empty (Hashtbl.find_opt t.live_in l)
+
+let live_out t l =
+  Option.value ~default:Temp.Set.empty (Hashtbl.find_opt t.live_out l)
+
+let live_on_edge t cfg src dst =
+  let base = live_in t dst in
+  match Cfg.block_opt cfg dst with
+  | None -> base
+  | Some b ->
+      List.fold_left
+        (fun acc i ->
+          match i with
+          | Tac.Phi { dst = d; args } ->
+              let acc = Temp.Set.remove d acc in
+              List.fold_left
+                (fun acc (l, o) ->
+                  if Label.equal l src then
+                    match o with
+                    | Tac.T tmp -> Temp.Set.add tmp acc
+                    | Tac.C _ -> acc
+                  else acc)
+                acc args
+          | _ -> acc)
+        base b.Cfg.instrs

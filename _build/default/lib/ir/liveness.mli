@@ -1,0 +1,17 @@
+(** Iterative backward liveness over a {!Cfg}.
+
+    Used for TRIPS-block output determination (which temps must be written
+    to registers), for the inter-block analysis behind path-sensitive
+    predicate removal (Section 5.2), and by the register allocator. *)
+
+type t
+
+val compute : Cfg.t -> t
+val live_in : t -> Label.t -> Temp.Set.t
+val live_out : t -> Label.t -> Temp.Set.t
+
+val live_on_edge : t -> Cfg.t -> Label.t -> Label.t -> Temp.Set.t
+(** [live_on_edge t cfg src dst] is the set of temps live along the edge
+    [src -> dst]: live-in of [dst], with phi-argument adjustment (temps
+    used by [dst]'s phis for predecessor [src] are included; phi dests
+    excluded). *)

@@ -1,0 +1,15 @@
+(** Static single assignment form: construction by dominance-frontier phi
+    placement and renaming (Cytron et al., the paper's reference [11]),
+    and destruction by copy insertion on incoming edges. *)
+
+val construct : Cfg.t -> unit
+(** Rewrites the CFG in place into SSA form. Function parameters are
+    treated as defined at entry. *)
+
+val destruct : Cfg.t -> unit
+(** Replaces phis by copies in predecessors (splitting critical edges as
+    needed). The result is conventional, phi-free TAC. *)
+
+val check : Cfg.t -> (unit, string list) result
+(** Verifies the single-assignment property and that every use is
+    dominated by its definition. *)

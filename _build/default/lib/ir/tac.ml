@@ -1,0 +1,181 @@
+module Opcode = Edge_isa.Opcode
+
+type operand = T of Temp.t | C of int64
+
+type instr =
+  | Bin of { dst : Temp.t; op : Opcode.ibinop; a : operand; b : operand }
+  | Fbin of { dst : Temp.t; op : Opcode.fbinop; a : operand; b : operand }
+  | Cmp of {
+      dst : Temp.t;
+      cond : Opcode.cond;
+      fp : bool;
+      a : operand;
+      b : operand;
+    }
+  | Un of { dst : Temp.t; op : Opcode.unop; a : operand }
+  | Load of { dst : Temp.t; width : Opcode.width; addr : operand; off : int }
+  | Store of { width : Opcode.width; addr : operand; off : int; v : operand }
+  | Phi of { dst : Temp.t; args : (Label.t * operand) list }
+
+type term =
+  | Jmp of Label.t
+  | Cbr of { c : Temp.t; if_true : Label.t; if_false : Label.t }
+  | Ret of operand option
+
+let def = function
+  | Bin { dst; _ }
+  | Fbin { dst; _ }
+  | Cmp { dst; _ }
+  | Un { dst; _ }
+  | Load { dst; _ }
+  | Phi { dst; _ } ->
+      Some dst
+  | Store _ -> None
+
+let op_temp = function T t -> [ t ] | C _ -> []
+
+let uses = function
+  | Bin { a; b; _ } | Fbin { a; b; _ } | Cmp { a; b; _ } ->
+      op_temp a @ op_temp b
+  | Un { a; _ } -> op_temp a
+  | Load { addr; _ } -> op_temp addr
+  | Store { addr; v; _ } -> op_temp addr @ op_temp v
+  | Phi { args; _ } -> List.concat_map (fun (_, o) -> op_temp o) args
+
+let term_uses = function
+  | Jmp _ -> []
+  | Cbr { c; _ } -> [ c ]
+  | Ret None -> []
+  | Ret (Some o) -> op_temp o
+
+let term_succs = function
+  | Jmp l -> [ l ]
+  | Cbr { if_true; if_false; _ } -> [ if_true; if_false ]
+  | Ret _ -> []
+
+let map_operands f = function
+  | Bin r -> Bin { r with a = f r.a; b = f r.b }
+  | Fbin r -> Fbin { r with a = f r.a; b = f r.b }
+  | Cmp r -> Cmp { r with a = f r.a; b = f r.b }
+  | Un r -> Un { r with a = f r.a }
+  | Load r -> Load { r with addr = f r.addr }
+  | Store r -> Store { r with addr = f r.addr; v = f r.v }
+  | Phi r -> Phi { r with args = List.map (fun (l, o) -> (l, f o)) r.args }
+
+let map_term_temp f = function
+  | Jmp l -> Jmp l
+  | Cbr r -> Cbr { r with c = f r.c }
+  | Ret None -> Ret None
+  | Ret (Some (T t)) -> Ret (Some (T (f t)))
+  | Ret (Some (C c)) -> Ret (Some (C c))
+
+let with_dst dst = function
+  | Bin r -> Bin { r with dst }
+  | Fbin r -> Fbin { r with dst }
+  | Cmp r -> Cmp { r with dst }
+  | Un r -> Un { r with dst }
+  | Load r -> Load { r with dst }
+  | Phi r -> Phi { r with dst }
+  | Store _ as s -> s
+
+let has_side_effect = function
+  | Store _ -> true
+  | Bin _ | Fbin _ | Cmp _ | Un _ | Load _ | Phi _ -> false
+
+let can_raise = function
+  | Load _ | Store _ -> true
+  | Bin { op = Opcode.Div; _ } | Bin { op = Opcode.Rem; _ } -> true
+  | Bin _ | Fbin _ | Cmp _ | Un _ | Phi _ -> false
+
+let is_cheap = function
+  | Bin { op; _ } -> (
+      match op with
+      | Opcode.Mul | Opcode.Div | Opcode.Rem -> false
+      | Opcode.Add | Opcode.Sub | Opcode.And | Opcode.Or | Opcode.Xor
+      | Opcode.Sll | Opcode.Srl | Opcode.Sra ->
+          true)
+  | Cmp { fp = false; _ } -> true
+  | Un { op = Opcode.Mov; _ } | Un { op = Opcode.Not; _ }
+  | Un { op = Opcode.Neg; _ } ->
+      true
+  | Un _ | Fbin _ | Cmp _ | Load _ | Store _ | Phi _ -> false
+
+let operand_equal a b =
+  match (a, b) with
+  | T x, T y -> Temp.equal x y
+  | C x, C y -> Int64.equal x y
+  | T _, C _ | C _, T _ -> false
+
+let instr_equal i1 i2 =
+  match (i1, i2) with
+  | Bin a, Bin b ->
+      Temp.equal a.dst b.dst && a.op = b.op && operand_equal a.a b.a
+      && operand_equal a.b b.b
+  | Fbin a, Fbin b ->
+      Temp.equal a.dst b.dst && a.op = b.op && operand_equal a.a b.a
+      && operand_equal a.b b.b
+  | Cmp a, Cmp b ->
+      Temp.equal a.dst b.dst && a.cond = b.cond && a.fp = b.fp
+      && operand_equal a.a b.a && operand_equal a.b b.b
+  | Un a, Un b ->
+      Temp.equal a.dst b.dst && a.op = b.op && operand_equal a.a b.a
+  | Load a, Load b ->
+      Temp.equal a.dst b.dst && a.width = b.width
+      && operand_equal a.addr b.addr && a.off = b.off
+  | Store a, Store b ->
+      a.width = b.width && operand_equal a.addr b.addr && a.off = b.off
+      && operand_equal a.v b.v
+  | Phi a, Phi b ->
+      Temp.equal a.dst b.dst
+      && List.length a.args = List.length b.args
+      && List.for_all2
+           (fun (l1, o1) (l2, o2) -> Label.equal l1 l2 && operand_equal o1 o2)
+           a.args b.args
+  | ( (Bin _ | Fbin _ | Cmp _ | Un _ | Load _ | Store _ | Phi _),
+      (Bin _ | Fbin _ | Cmp _ | Un _ | Load _ | Store _ | Phi _) ) ->
+      false
+
+let lexically_equal = instr_equal
+
+let pp_operand ppf = function
+  | T t -> Temp.pp ppf t
+  | C c -> Format.fprintf ppf "#%Ld" c
+
+let pp_instr ppf i =
+  let open Format in
+  match i with
+  | Bin { dst; op; a; b } ->
+      fprintf ppf "%a = %s %a, %a" Temp.pp dst (Opcode.mnemonic (Opcode.Iop op))
+        pp_operand a pp_operand b
+  | Fbin { dst; op; a; b } ->
+      fprintf ppf "%a = %s %a, %a" Temp.pp dst (Opcode.mnemonic (Opcode.Fop op))
+        pp_operand a pp_operand b
+  | Cmp { dst; cond; fp; a; b } ->
+      fprintf ppf "%a = %s %a, %a" Temp.pp dst
+        (Opcode.mnemonic
+           (if fp then Opcode.Ftst cond else Opcode.Tst cond))
+        pp_operand a pp_operand b
+  | Un { dst; op; a } ->
+      fprintf ppf "%a = %s %a" Temp.pp dst (Opcode.mnemonic (Opcode.Un op))
+        pp_operand a
+  | Load { dst; width; addr; off } ->
+      fprintf ppf "%a = %s %d(%a)" Temp.pp dst
+        (Opcode.mnemonic (Opcode.Ld width))
+        off pp_operand addr
+  | Store { width; addr; off; v } ->
+      fprintf ppf "%s %a, %d(%a)"
+        (Opcode.mnemonic (Opcode.St width))
+        pp_operand v off pp_operand addr
+  | Phi { dst; args } ->
+      fprintf ppf "%a = phi" Temp.pp dst;
+      List.iter
+        (fun (l, o) -> fprintf ppf " [%a: %a]" Label.pp l pp_operand o)
+        args
+
+let pp_term ppf = function
+  | Jmp l -> Format.fprintf ppf "jmp %a" Label.pp l
+  | Cbr { c; if_true; if_false } ->
+      Format.fprintf ppf "cbr %a ? %a : %a" Temp.pp c Label.pp if_true
+        Label.pp if_false
+  | Ret None -> Format.fprintf ppf "ret"
+  | Ret (Some o) -> Format.fprintf ppf "ret %a" pp_operand o

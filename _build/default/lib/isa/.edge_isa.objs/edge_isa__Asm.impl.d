@@ -1,0 +1,1 @@
+lib/isa/asm.ml: Array Block Conventions Format Instr Int64 List Opcode Printf Program String Target

@@ -1,0 +1,1 @@
+lib/isa/block.ml: Array Encode Format Instr List Opcode Target

@@ -1,0 +1,1 @@
+lib/isa/block.mli: Format Instr Target

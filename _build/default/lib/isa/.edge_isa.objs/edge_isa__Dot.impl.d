@@ -1,0 +1,1 @@
+lib/isa/dot.ml: Array Block Buffer Instr List Opcode Printf Program String Target

@@ -1,0 +1,1 @@
+lib/isa/dot.mli: Block Program

@@ -1,0 +1,1 @@
+lib/isa/encode.ml: Array Instr Int32 Int64 List Opcode Option Printf Result Target

@@ -1,0 +1,1 @@
+lib/isa/image.ml: Array Block Buffer Bytes Encode Fun Int32 List Printf Program Result String Target

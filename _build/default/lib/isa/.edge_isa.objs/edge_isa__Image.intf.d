@@ -1,0 +1,1 @@
+lib/isa/image.mli: Bytes Program

@@ -1,0 +1,1 @@
+lib/isa/mem.ml: Bytes Char Int64 List Opcode Token

@@ -1,0 +1,1 @@
+lib/isa/mem.mli: Opcode Token

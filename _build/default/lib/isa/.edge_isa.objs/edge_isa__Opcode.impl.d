@@ -1,0 +1,1 @@
+lib/isa/opcode.ml: Format List String

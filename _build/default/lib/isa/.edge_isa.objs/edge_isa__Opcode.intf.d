@@ -1,0 +1,1 @@
+lib/isa/opcode.mli: Format

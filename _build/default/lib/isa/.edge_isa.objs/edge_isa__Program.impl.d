@@ -1,0 +1,1 @@
+lib/isa/program.ml: Array Block Format List Printf String

@@ -1,0 +1,1 @@
+lib/isa/program.mli: Block Format

@@ -1,0 +1,1 @@
+lib/isa/target.ml: Format

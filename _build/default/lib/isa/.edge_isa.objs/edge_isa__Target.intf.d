@@ -1,0 +1,1 @@
+lib/isa/target.mli: Format

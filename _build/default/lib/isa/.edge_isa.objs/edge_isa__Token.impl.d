@@ -1,0 +1,1 @@
+lib/isa/token.ml: Format Int64

@@ -1,0 +1,4 @@
+let num_regs = 128
+let result_reg = 1
+let param_reg i = 2 + i
+let first_alloc_reg = 16

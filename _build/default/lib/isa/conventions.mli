@@ -1,0 +1,14 @@
+(** Software conventions shared by the compiler, simulators and harness. *)
+
+val num_regs : int
+(** 128 architectural registers, g0..g127. *)
+
+val result_reg : int
+(** g1 receives the kernel's return value. *)
+
+val param_reg : int -> int
+(** [param_reg i] is the register holding the i-th kernel parameter
+    (g2, g3, ...). *)
+
+val first_alloc_reg : int
+(** First register available to the cross-block allocator. *)

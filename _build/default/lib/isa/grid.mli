@@ -1,0 +1,20 @@
+(** The tiled topology of the microarchitecture: a 4×4 grid of execution
+    tiles with 8 reservation-station slots each (128 instructions), the
+    register tiles along the top edge and the data tiles along the left
+    edge. Operand routing costs one cycle per hop (Section 6). *)
+
+val rows : int
+val cols : int
+val num_tiles : int
+val slots_per_tile : int
+val tile_row : int -> int
+val tile_col : int -> int
+
+val hops : int -> int -> int
+(** Manhattan distance between two execution tiles. *)
+
+val reg_access_hops : int -> int
+(** Distance from a tile to the register file edge. *)
+
+val mem_access_hops : int -> int
+(** Distance from a tile to the data-tile edge. *)

@@ -1,0 +1,198 @@
+let frame_bytes = 1024
+let frame_words = frame_bytes / 4
+let magic = 0x45444745l
+let header_words = 4 + 32 + 32 + 8
+
+let ( let* ) = Result.bind
+
+let encode_read (r : Block.read) =
+  let n = List.length r.Block.rtargets in
+  if n > 2 then Error "read with more than 2 targets"
+  else
+    let t k =
+      match List.nth_opt r.Block.rtargets k with
+      | Some tgt -> Target.encode tgt
+      | None -> 0
+    in
+    Ok
+      (Int32.of_int
+         (r.Block.reg lor (n lsl 8) lor (t 0 lsl 12) lor (t 1 lsl 21)))
+
+let decode_read ~rslot w =
+  let w = Int32.to_int w land 0x3FFFFFFF in
+  let reg = w land 0x7F in
+  let n = (w lsr 8) land 0x3 in
+  let dec v =
+    match Target.decode v with
+    | Some t -> Ok t
+    | None -> Error (Printf.sprintf "bad read target %d" v)
+  in
+  let* rtargets =
+    match n with
+    | 0 -> Ok []
+    | 1 ->
+        let* a = dec ((w lsr 12) land 0x1FF) in
+        Ok [ a ]
+    | _ ->
+        let* a = dec ((w lsr 12) land 0x1FF) in
+        let* b = dec ((w lsr 21) land 0x1FF) in
+        Ok [ a; b ]
+  in
+  Ok { Block.rslot; reg; rtargets }
+
+let encode_block (b : Block.t) =
+  let buf = Bytes.make frame_bytes '\000' in
+  let setw i v = Bytes.set_int32_le buf (4 * i) v in
+  let* body = Encode.encode_block_body b.Block.instrs in
+  let nread = Array.length b.Block.reads in
+  let nwrite = Array.length b.Block.writes in
+  let nexit = Array.length b.Block.exits in
+  if nread > 32 || nwrite > 32 || nexit > 8 then Error "resource overflow"
+  else begin
+    setw 0 magic;
+    setw 1 (Int32.of_int (Array.length body));
+    setw 2 (Int32.of_int (nread lor (nwrite lsl 8) lor (nexit lsl 16)));
+    let mask =
+      List.fold_left (fun acc l -> acc lor (1 lsl l)) 0 b.Block.store_lsids
+    in
+    setw 3 (Int32.of_int mask);
+    let err = ref None in
+    Array.iteri
+      (fun i r ->
+        match encode_read r with
+        | Ok w -> setw (4 + i) w
+        | Error e -> if !err = None then err := Some e)
+      b.Block.reads;
+    Array.iteri
+      (fun i (w : Block.write) -> setw (36 + i) (Int32.of_int w.Block.wreg))
+      b.Block.writes;
+    (* string table: the block's own name first, then exit names *)
+    let strings = Buffer.create 64 in
+    let intern s =
+      let off = Buffer.length strings in
+      Buffer.add_string strings s;
+      Buffer.add_char strings '\000';
+      off
+    in
+    let self_off = intern b.Block.name in
+    assert (self_off = 0);
+    Array.iteri (fun i e -> setw (68 + i) (Int32.of_int (intern e))) b.Block.exits;
+    let body_off = header_words in
+    if Array.length body > frame_words - header_words then
+      Error
+        (Printf.sprintf "block %s: %d instruction words exceed the frame"
+           b.Block.name (Array.length body))
+    else begin
+      Array.iteri (fun i w -> setw (body_off + i) w) body;
+      let str_off = (body_off + Array.length body) * 4 in
+      let s = Buffer.contents strings in
+      if str_off + String.length s > frame_bytes then
+        Error (Printf.sprintf "block %s: string table overflow" b.Block.name)
+      else begin
+        Bytes.blit_string s 0 buf str_off (String.length s);
+        match !err with Some e -> Error e | None -> Ok buf
+      end
+    end
+  end
+
+let cstring bytes off =
+  let rec len i =
+    if off + i >= Bytes.length bytes || Bytes.get bytes (off + i) = '\000' then i
+    else len (i + 1)
+  in
+  Bytes.sub_string bytes off (len 0)
+
+let decode_block frame =
+  let getw i = Bytes.get_int32_le frame (4 * i) in
+  if getw 0 <> magic then Error "bad magic"
+  else begin
+    let nbody = Int32.to_int (getw 1) in
+    let counts = Int32.to_int (getw 2) in
+    let nread = counts land 0xFF in
+    let nwrite = (counts lsr 8) land 0xFF in
+    let nexit = (counts lsr 16) land 0xFF in
+    let mask = Int32.to_int (getw 3) in
+    let store_lsids =
+      List.filter (fun i -> mask land (1 lsl i) <> 0) (List.init 32 Fun.id)
+    in
+    let rec build_reads i acc =
+      if i >= nread then Ok (Array.of_list (List.rev acc))
+      else
+        let* r = decode_read ~rslot:i (getw (4 + i)) in
+        build_reads (i + 1) (r :: acc)
+    in
+    let* reads = build_reads 0 [] in
+    let writes =
+      Array.init nwrite (fun i ->
+          { Block.wslot = i; wreg = Int32.to_int (getw (36 + i)) land 0x7F })
+    in
+    let body_off = header_words in
+    let str_base = (body_off + nbody) * 4 in
+    let name = cstring frame str_base in
+    let exits =
+      Array.init nexit (fun i ->
+          cstring frame (str_base + Int32.to_int (getw (68 + i))))
+    in
+    let body_words = Array.init nbody (fun i -> getw (body_off + i)) in
+    let* instrs = Encode.decode_block_body body_words in
+    Ok { Block.name; instrs; reads; writes; store_lsids; exits }
+  end
+
+let encode_program (p : Program.t) =
+  (* the entry block leads the image *)
+  let blocks =
+    match Program.find p p.Program.entry with
+    | Some e ->
+        e
+        :: List.filter_map
+             (fun (n, b) ->
+               if String.equal n p.Program.entry then None else Some b)
+             p.Program.blocks
+    | None -> List.map snd p.Program.blocks
+  in
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | b :: tl ->
+        let* frame = encode_block b in
+        go (frame :: acc) tl
+  in
+  let* frames = go [] blocks in
+  let image = Bytes.create (List.length frames * frame_bytes) in
+  List.iteri
+    (fun i f -> Bytes.blit f 0 image (i * frame_bytes) frame_bytes)
+    frames;
+  Ok image
+
+let decode_program image =
+  let n = Bytes.length image in
+  if n = 0 || n mod frame_bytes <> 0 then Error "image size is not a frame multiple"
+  else begin
+    let rec go i acc =
+      if i * frame_bytes >= n then Ok (List.rev acc)
+      else
+        let frame = Bytes.sub image (i * frame_bytes) frame_bytes in
+        let* b = decode_block frame in
+        go (i + 1) (b :: acc)
+    in
+    let* blocks = go 0 [] in
+    match blocks with
+    | [] -> Error "empty image"
+    | entry :: _ -> Program.make ~entry:entry.Block.name blocks
+  end
+
+let write_file path p =
+  let* image = encode_program p in
+  let oc = open_out_bin path in
+  output_bytes oc image;
+  close_out oc;
+  Ok ()
+
+let read_file path =
+  match open_in_bin path with
+  | exception Sys_error e -> Error e
+  | ic ->
+      let n = in_channel_length ic in
+      let image = Bytes.create n in
+      really_input ic image 0 n;
+      close_in ic;
+      decode_program image

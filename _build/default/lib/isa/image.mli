@@ -1,0 +1,33 @@
+(** Binary program images.
+
+    TRIPS stores each block as a fixed 1024-byte frame in instruction
+    memory: a header naming the block's register reads and writes, store
+    mask and exits, followed by the instruction words (Section 3; the
+    I-cache model in {!Edge_sim} charges fetches against this layout).
+    This module serializes whole programs to that format and back.
+
+    Frame layout (little-endian 32-bit words):
+
+    {v
+    word 0        magic 0x45444745 ("EDGE")
+    word 1        instruction word count
+    word 2        read count | write count << 8 | exit count << 16
+    word 3        store LSID mask (bit i = LSID i declared)
+    words 4..35   read slots: reg | ntargets << 8 | t0 << 12 | t1 << 21
+    words 36..67  write slots: reg
+    words 68..75  exit table: offsets into the string table
+    words 76..    instruction words (Encode), then the string table
+                  (block names for exits, NUL-separated)
+    v}
+
+    Every block occupies exactly [frame_bytes]; block i of the program
+    sits at offset [i * frame_bytes], which is also the address layout
+    the cycle simulator's I-cache uses. *)
+
+val frame_bytes : int
+
+val encode_program : Program.t -> (Bytes.t, string) result
+val decode_program : Bytes.t -> (Program.t, string) result
+
+val write_file : string -> Program.t -> (unit, string) result
+val read_file : string -> (Program.t, string) result

@@ -1,0 +1,45 @@
+type predication = Unpredicated | If_true | If_false
+
+type t = {
+  id : int;
+  opcode : Opcode.t;
+  pred : predication;
+  imm : int64;
+  targets : Target.t list;
+  lsid : int;
+  exit_idx : int;
+}
+
+let make ~id ~opcode ?(pred = Unpredicated) ?(imm = 0L) ?(targets = [])
+    ?(lsid = -1) ?(exit_idx = -1) () =
+  { id; opcode; pred; imm; targets; lsid; exit_idx }
+
+let is_predicated t =
+  match t.pred with Unpredicated -> false | If_true | If_false -> true
+
+let predicate_matches pred tok =
+  match pred with
+  | Unpredicated -> false
+  | If_true -> Token.as_predicate tok
+  | If_false -> not (Token.as_predicate tok)
+
+let equal (a : t) (b : t) =
+  a.id = b.id
+  && Opcode.equal a.opcode b.opcode
+  && a.pred = b.pred && a.imm = b.imm
+  && List.length a.targets = List.length b.targets
+  && List.for_all2 Target.equal a.targets b.targets
+  && a.lsid = b.lsid && a.exit_idx = b.exit_idx
+
+let pred_pp ppf = function
+  | Unpredicated -> ()
+  | If_true -> Format.pp_print_string ppf "_t"
+  | If_false -> Format.pp_print_string ppf "_f"
+
+let pp ppf t =
+  Format.fprintf ppf "I%-3d %s%a" t.id (Opcode.mnemonic t.opcode) pred_pp
+    t.pred;
+  if Opcode.has_immediate t.opcode then Format.fprintf ppf " #%Ld" t.imm;
+  if t.lsid >= 0 then Format.fprintf ppf " [lsid %d]" t.lsid;
+  if t.exit_idx >= 0 then Format.fprintf ppf " [exit %d]" t.exit_idx;
+  List.iter (fun tgt -> Format.fprintf ppf " -> %a" Target.pp tgt) t.targets

@@ -1,0 +1,53 @@
+type t = Bytes.t
+
+let create ~size = Bytes.make size '\000'
+let size = Bytes.length
+let copy = Bytes.copy
+let equal = Bytes.equal
+let width_bytes = function Opcode.W1 -> 1 | Opcode.W4 -> 4 | Opcode.W8 -> 8
+
+let in_range t ~addr ~bytes =
+  addr >= 0L
+  && Int64.rem addr (Int64.of_int bytes) = 0L
+  && Int64.add addr (Int64.of_int bytes) <= Int64.of_int (Bytes.length t)
+
+let load t ~width ~addr =
+  let bytes = width_bytes width in
+  if not (in_range t ~addr ~bytes) then Token.with_exc (Token.of_int64 0L)
+  else
+    let a = Int64.to_int addr in
+    let v =
+      match width with
+      | Opcode.W1 -> Int64.of_int (Char.code (Bytes.get t a))
+      | Opcode.W4 -> Int64.of_int32 (Bytes.get_int32_le t a)
+      | Opcode.W8 -> Bytes.get_int64_le t a
+    in
+    let v =
+      match width with
+      | Opcode.W1 ->
+          (* sign-extend byte *)
+          if Int64.logand v 0x80L <> 0L then Int64.logor v (Int64.lognot 0xFFL)
+          else v
+      | Opcode.W4 | Opcode.W8 -> v
+    in
+    Token.of_int64 v
+
+let store t ~width ~addr v =
+  let bytes = width_bytes width in
+  if not (in_range t ~addr ~bytes) then Error ()
+  else begin
+    let a = Int64.to_int addr in
+    (match width with
+    | Opcode.W1 -> Bytes.set t a (Char.chr (Int64.to_int (Int64.logand v 0xFFL)))
+    | Opcode.W4 -> Bytes.set_int32_le t a (Int64.to_int32 v)
+    | Opcode.W8 -> Bytes.set_int64_le t a v);
+    Ok ()
+  end
+
+let load_int t addr = Bytes.get_int64_le t addr
+let store_int t addr v = Bytes.set_int64_le t addr v
+let load_float t addr = Int64.float_of_bits (load_int t addr)
+let store_float t addr v = store_int t addr (Int64.bits_of_float v)
+
+let blit_ints t addr vs =
+  List.iteri (fun i v -> store_int t (addr + (8 * i)) v) vs

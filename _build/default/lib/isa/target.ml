@@ -1,0 +1,35 @@
+type slot = Left | Right | Pred
+
+type t = To_instr of { id : int; slot : slot } | To_write of int
+
+let slot_equal (a : slot) (b : slot) = a = b
+let equal (a : t) (b : t) = a = b
+
+let slot_code = function Left -> 0 | Right -> 1 | Pred -> 2
+
+let encode = function
+  | To_instr { id; slot } ->
+      assert (id >= 0 && id < 128);
+      (slot_code slot lsl 7) lor id
+  | To_write w ->
+      assert (w >= 0 && w < 32);
+      (3 lsl 7) lor w
+
+let decode v =
+  if v < 0 || v > 511 then None
+  else
+    let idx = v land 127 in
+    match v lsr 7 with
+    | 0 -> Some (To_instr { id = idx; slot = Left })
+    | 1 -> Some (To_instr { id = idx; slot = Right })
+    | 2 -> Some (To_instr { id = idx; slot = Pred })
+    | 3 -> if idx < 32 then Some (To_write idx) else None
+    | _ -> None
+
+let pp_slot ppf slot =
+  Format.pp_print_string ppf
+    (match slot with Left -> "L" | Right -> "R" | Pred -> "P")
+
+let pp ppf = function
+  | To_instr { id; slot } -> Format.fprintf ppf "I%d.%a" id pp_slot slot
+  | To_write w -> Format.fprintf ppf "W%d" w

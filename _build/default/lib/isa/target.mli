@@ -1,0 +1,29 @@
+(** Instruction targets.
+
+    An EDGE instruction names the consumers of its result rather than its
+    own source operands. A 9-bit target encoding designates one of the 128
+    instruction slots of the block together with the operand position —
+    left, right, or predicate (Section 3 of the paper) — or one of the
+    block's register-write slots. *)
+
+type slot = Left | Right | Pred
+
+type t =
+  | To_instr of { id : int; slot : slot }
+      (** deliver the result to operand [slot] of instruction [id]
+          (0..127) within the same block *)
+  | To_write of int  (** deliver the result to register-write slot (0..31) *)
+
+val slot_equal : slot -> slot -> bool
+val equal : t -> t -> bool
+
+val encode : t -> int
+(** 9-bit encoding: two high bits select left (00) / right (01) /
+    predicate (10) / write (11); seven low bits hold the slot index. *)
+
+val decode : int -> t option
+(** Inverse of {!encode}; [None] if the value exceeds 9 bits or names a
+    write slot above 31. *)
+
+val pp : Format.formatter -> t -> unit
+val pp_slot : Format.formatter -> slot -> unit

@@ -1,0 +1,23 @@
+type t = { payload : int64; null : bool; exc : bool }
+
+let of_int64 payload = { payload; null = false; exc = false }
+let of_int i = of_int64 (Int64.of_int i)
+let of_float f = of_int64 (Int64.bits_of_float f)
+let to_float t = Int64.float_of_bits t.payload
+let null_token = { payload = 0L; null = true; exc = false }
+let with_exc t = { t with exc = true }
+let true_predicate = of_int64 1L
+let false_predicate = of_int64 0L
+
+let as_predicate t =
+  if t.exc then false else Int64.logand t.payload 1L <> 0L
+
+let taint a b =
+  { b with null = a.null || b.null; exc = a.exc || b.exc }
+
+let equal a b = a.payload = b.payload && a.null = b.null && a.exc = b.exc
+
+let pp ppf t =
+  Format.fprintf ppf "%Ld%s%s" t.payload
+    (if t.null then "[null]" else "")
+    (if t.exc then "[exc]" else "")

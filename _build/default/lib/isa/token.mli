@@ -1,0 +1,34 @@
+(** Operand tokens.
+
+    A token is the unit of dataflow communication between instructions
+    inside a block: a 64-bit payload plus the two microarchitectural tag
+    bits the paper requires — the null bit of Section 4.2 (block-output
+    nullification) and the exception bit of Section 4.4 (deferred,
+    block-boundary exception semantics). *)
+
+type t = { payload : int64; null : bool; exc : bool }
+
+val of_int64 : int64 -> t
+val of_int : int -> t
+val of_float : float -> t
+(** Floats travel as their IEEE-754 double bit pattern. *)
+
+val to_float : t -> float
+val null_token : t
+val with_exc : t -> t
+
+val true_predicate : t
+val false_predicate : t
+
+val as_predicate : t -> bool
+(** Predicate truth of a token: the low-order payload bit (Section 3.2).
+    A token whose exception bit is set is interpreted as a [false]
+    predicate regardless of payload (Section 4.4). *)
+
+val taint : t -> t -> t
+(** [taint a b] is [b] with null and exception bits also inherited from
+    [a]; used when an instruction combines operands so that tag bits
+    propagate to the result. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/lang/interp.ml: Ast Edge_isa Hashtbl Int64 List Option Parser Printf Typecheck

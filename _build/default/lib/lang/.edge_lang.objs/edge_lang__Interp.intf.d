@@ -1,0 +1,1 @@
+lib/lang/interp.mli: Ast Edge_isa

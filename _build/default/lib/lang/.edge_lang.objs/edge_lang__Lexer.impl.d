@@ -1,0 +1,1 @@
+lib/lang/lexer.ml: Format Int64 List Printf String

@@ -1,0 +1,1 @@
+lib/lang/lower.ml: Ast Edge_ir Edge_isa Int64 List Option Parser Printf Typecheck

@@ -1,0 +1,1 @@
+lib/lang/parser.ml: Ast Format Lexer List String

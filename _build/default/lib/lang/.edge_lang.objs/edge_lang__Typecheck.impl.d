@@ -1,0 +1,1 @@
+lib/lang/typecheck.ml: Ast Format List Printf Result

@@ -1,0 +1,1 @@
+lib/lang/typecheck.mli: Ast

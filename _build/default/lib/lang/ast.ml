@@ -1,0 +1,48 @@
+type elem = I8 | I32 | I64 | F64
+type ty = Tint | Tfloat | Tptr of elem
+
+type binop =
+  | Add | Sub | Mul | Div | Rem
+  | BAnd | BOr | BXor | Shl | Shr
+  | Lt | Le | Gt | Ge | Eq | Ne
+  | LAnd | LOr
+
+type unop = Neg | LNot | BNot | Itof | Ftoi
+
+type expr =
+  | Int of int64
+  | Float of float
+  | Var of string
+  | Bin of binop * expr * expr
+  | Un of unop * expr
+  | Index of string * expr
+  | Cond of expr * expr * expr
+
+type stmt =
+  | Decl of ty * string * expr option
+  | Assign of string * expr
+  | Store of string * expr * expr
+  | If of expr * stmt list * stmt list
+  | While of expr * stmt list
+  | For of stmt option * expr option * stmt option * stmt list
+  | Break
+  | Continue
+  | Return of expr option
+
+type param = { pname : string; pty : ty }
+type kernel = { kname : string; params : param list; body : stmt list }
+
+let elem_size = function I8 -> 1 | I32 -> 4 | I64 -> 8 | F64 -> 8
+
+let elem_width = function
+  | I8 -> Edge_isa.Opcode.W1
+  | I32 -> Edge_isa.Opcode.W4
+  | I64 | F64 -> Edge_isa.Opcode.W8
+
+let ty_pp ppf = function
+  | Tint -> Format.pp_print_string ppf "int"
+  | Tfloat -> Format.pp_print_string ppf "float"
+  | Tptr I8 -> Format.pp_print_string ppf "byte*"
+  | Tptr I32 -> Format.pp_print_string ppf "int4*"
+  | Tptr I64 -> Format.pp_print_string ppf "int*"
+  | Tptr F64 -> Format.pp_print_string ppf "float*"

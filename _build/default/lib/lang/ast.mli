@@ -1,0 +1,46 @@
+(** Abstract syntax of the kernel language.
+
+    A small C-like language — integers, doubles, typed pointers, [if] /
+    [while] / [for] / [break] / [continue], short-circuit [&&] and [||] —
+    rich enough to express the EEMBC-style kernels of the paper's Figure 7
+    and the genalg loop of Figure 6. One kernel per program; no calls. *)
+
+type elem = I8 | I32 | I64 | F64
+
+type ty = Tint | Tfloat | Tptr of elem
+
+type binop =
+  | Add | Sub | Mul | Div | Rem
+  | BAnd | BOr | BXor | Shl | Shr
+  | Lt | Le | Gt | Ge | Eq | Ne
+  | LAnd | LOr  (** short-circuit *)
+
+type unop = Neg | LNot | BNot | Itof | Ftoi
+
+type expr =
+  | Int of int64
+  | Float of float
+  | Var of string
+  | Bin of binop * expr * expr
+  | Un of unop * expr
+  | Index of string * expr  (** [a\[e\]]: load through pointer variable *)
+  | Cond of expr * expr * expr  (** [c ? a : b] *)
+
+type stmt =
+  | Decl of ty * string * expr option
+  | Assign of string * expr
+  | Store of string * expr * expr  (** [a\[e1\] = e2] *)
+  | If of expr * stmt list * stmt list
+  | While of expr * stmt list
+  | For of stmt option * expr option * stmt option * stmt list
+  | Break
+  | Continue
+  | Return of expr option
+
+type param = { pname : string; pty : ty }
+
+type kernel = { kname : string; params : param list; body : stmt list }
+
+val elem_size : elem -> int
+val elem_width : elem -> Edge_isa.Opcode.width
+val ty_pp : Format.formatter -> ty -> unit

@@ -1,0 +1,244 @@
+module Mem = Edge_isa.Mem
+module Opcode = Edge_isa.Opcode
+
+type outcome = { return_value : int64 option; steps : int }
+
+exception Fault of string
+exception Returned of int64 option
+exception Break_exc
+exception Continue_exc
+
+type env = (string, int64 ref) Hashtbl.t
+
+let mask63 v = Int64.to_int (Int64.logand v 63L)
+
+let as_float = Int64.float_of_bits
+let of_float = Int64.bits_of_float
+
+(* shared definition of division semantics: truncation toward zero,
+   division by zero faults (the machine sets the exception bit) *)
+let checked_div a b =
+  if b = 0L then raise (Fault "division by zero") else Int64.div a b
+
+let checked_rem a b =
+  if b = 0L then raise (Fault "remainder by zero") else Int64.rem a b
+
+let rec eval_expr env tenv mem (e : Ast.expr) : int64 =
+  match e with
+  | Ast.Int v -> v
+  | Ast.Float f -> of_float f
+  | Ast.Var v -> (
+      match Hashtbl.find_opt env v with
+      | Some r -> !r
+      | None -> raise (Fault ("unbound " ^ v)))
+  | Ast.Index (name, idx) -> (
+      let base =
+        match Hashtbl.find_opt env name with
+        | Some r -> !r
+        | None -> raise (Fault ("unbound " ^ name))
+      in
+      let elem =
+        match List.assoc_opt name tenv with
+        | Some (Ast.Tptr e) -> e
+        | _ -> raise (Fault ("not a pointer: " ^ name))
+      in
+      let i = eval_expr env tenv mem idx in
+      let addr =
+        Int64.add base (Int64.mul i (Int64.of_int (Ast.elem_size elem)))
+      in
+      let tok = Mem.load mem ~width:(Ast.elem_width elem) ~addr in
+      if tok.Edge_isa.Token.exc then
+        raise (Fault (Printf.sprintf "load fault at %Ld" addr))
+      else tok.Edge_isa.Token.payload)
+  | Ast.Un (op, a) -> (
+      let av = eval_expr env tenv mem a in
+      match op with
+      | Ast.Neg -> (
+          match type_of tenv a with
+          | Ast.Tfloat -> of_float (-.as_float av)
+          | _ -> Int64.neg av)
+      | Ast.LNot -> if av = 0L then 1L else 0L
+      | Ast.BNot -> Int64.lognot av
+      | Ast.Itof -> of_float (Int64.to_float av)
+      | Ast.Ftoi -> Int64.of_float (as_float av))
+  | Ast.Bin (op, a, b) -> (
+      match op with
+      | Ast.LAnd ->
+          if eval_expr env tenv mem a = 0L then 0L
+          else if eval_expr env tenv mem b = 0L then 0L
+          else 1L
+      | Ast.LOr ->
+          if eval_expr env tenv mem a <> 0L then 1L
+          else if eval_expr env tenv mem b <> 0L then 1L
+          else 0L
+      | _ -> (
+          let av = eval_expr env tenv mem a in
+          let bv = eval_expr env tenv mem b in
+          let ta = type_of tenv a and tb = type_of tenv b in
+          let fp = ta = Ast.Tfloat || tb = Ast.Tfloat in
+          let scale v ty other_ty =
+            (* pointer arithmetic: scale the integer side *)
+            match (ty, other_ty) with
+            | Ast.Tint, Ast.Tptr e -> Int64.mul v (Int64.of_int (Ast.elem_size e))
+            | _ -> v
+          in
+          let av' = scale av ta tb and bv' = scale bv tb ta in
+          match op with
+          | Ast.Add ->
+              if fp then of_float (as_float av +. as_float bv)
+              else Int64.add av' bv'
+          | Ast.Sub ->
+              if fp then of_float (as_float av -. as_float bv)
+              else Int64.sub av' bv'
+          | Ast.Mul ->
+              if fp then of_float (as_float av *. as_float bv)
+              else Int64.mul av bv
+          | Ast.Div ->
+              if fp then of_float (as_float av /. as_float bv)
+              else checked_div av bv
+          | Ast.Rem -> checked_rem av bv
+          | Ast.BAnd -> Int64.logand av bv
+          | Ast.BOr -> Int64.logor av bv
+          | Ast.BXor -> Int64.logxor av bv
+          | Ast.Shl -> Int64.shift_left av (mask63 bv)
+          | Ast.Shr -> Int64.shift_right av (mask63 bv)
+          | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge | Ast.Eq | Ast.Ne ->
+              let r =
+                if fp then
+                  let x = as_float av and y = as_float bv in
+                  match op with
+                  | Ast.Lt -> x < y
+                  | Ast.Le -> x <= y
+                  | Ast.Gt -> x > y
+                  | Ast.Ge -> x >= y
+                  | Ast.Eq -> x = y
+                  | _ -> x <> y
+                else
+                  match op with
+                  | Ast.Lt -> Int64.compare av bv < 0
+                  | Ast.Le -> Int64.compare av bv <= 0
+                  | Ast.Gt -> Int64.compare av bv > 0
+                  | Ast.Ge -> Int64.compare av bv >= 0
+                  | Ast.Eq -> av = bv
+                  | _ -> av <> bv
+              in
+              if r then 1L else 0L
+          | Ast.LAnd | Ast.LOr -> assert false))
+  | Ast.Cond (c, a, b) ->
+      if eval_expr env tenv mem c <> 0L then eval_expr env tenv mem a
+      else eval_expr env tenv mem b
+
+and type_of tenv e =
+  match Typecheck.type_of_expr tenv e with
+  | Ok t -> t
+  | Error m -> raise (Fault m)
+
+let run ?(fuel = 50_000_000) (k : Ast.kernel) ~args ~mem =
+  match Typecheck.check_kernel k with
+  | Error e -> Error e
+  | Ok () -> (
+      if List.length args <> List.length k.Ast.params then
+        Error "argument count mismatch"
+      else begin
+        let env : env = Hashtbl.create 16 in
+        let steps = ref 0 in
+        List.iter2
+          (fun p v -> Hashtbl.replace env p.Ast.pname (ref v))
+          k.Ast.params args;
+        let tick () =
+          incr steps;
+          if !steps > fuel then raise (Fault "fuel exhausted")
+        in
+        let rec exec tenv stmts =
+          List.fold_left
+            (fun tenv s ->
+              tick ();
+              exec_stmt tenv s)
+            tenv stmts
+        and exec_stmt tenv (s : Ast.stmt) =
+          match s with
+          | Ast.Decl (ty, name, init) ->
+              let v =
+                match init with
+                | Some e -> eval_expr env tenv mem e
+                | None -> 0L
+              in
+              Hashtbl.replace env name (ref v);
+              (name, ty) :: tenv
+          | Ast.Assign (name, e) ->
+              let v = eval_expr env tenv mem e in
+              (match Hashtbl.find_opt env name with
+              | Some r -> r := v
+              | None -> raise (Fault ("unbound " ^ name)));
+              tenv
+          | Ast.Store (name, idx, value) ->
+              let base =
+                match Hashtbl.find_opt env name with
+                | Some r -> !r
+                | None -> raise (Fault ("unbound " ^ name))
+              in
+              let elem =
+                match List.assoc_opt name tenv with
+                | Some (Ast.Tptr e) -> e
+                | _ -> raise (Fault ("not a pointer: " ^ name))
+              in
+              let i = eval_expr env tenv mem idx in
+              let v = eval_expr env tenv mem value in
+              let addr =
+                Int64.add base (Int64.mul i (Int64.of_int (Ast.elem_size elem)))
+              in
+              (match Mem.store mem ~width:(Ast.elem_width elem) ~addr v with
+              | Ok () -> ()
+              | Error () ->
+                  raise (Fault (Printf.sprintf "store fault at %Ld" addr)));
+              tenv
+          | Ast.If (c, then_b, else_b) ->
+              if eval_expr env tenv mem c <> 0L then ignore (exec tenv then_b)
+              else ignore (exec tenv else_b);
+              tenv
+          | Ast.While (c, body) ->
+              (try
+                 while eval_expr env tenv mem c <> 0L do
+                   tick ();
+                   try ignore (exec tenv body) with Continue_exc -> ()
+                 done
+               with Break_exc -> ());
+              tenv
+          | Ast.For (init, cond, step, body) ->
+              let tenv' =
+                match init with Some s -> exec_stmt tenv s | None -> tenv
+              in
+              let check () =
+                match cond with
+                | Some c -> eval_expr env tenv' mem c <> 0L
+                | None -> true
+              in
+              (try
+                 while check () do
+                   tick ();
+                   (try ignore (exec tenv' body) with Continue_exc -> ());
+                   match step with
+                   | Some s -> ignore (exec_stmt tenv' s)
+                   | None -> ()
+                 done
+               with Break_exc -> ());
+              tenv
+          | Ast.Break -> raise Break_exc
+          | Ast.Continue -> raise Continue_exc
+          | Ast.Return e ->
+              let v = Option.map (eval_expr env tenv mem) e in
+              raise (Returned v)
+        in
+        let tenv0 = List.map (fun p -> (p.Ast.pname, p.Ast.pty)) k.Ast.params in
+        try
+          ignore (exec tenv0 k.Ast.body);
+          Ok { return_value = None; steps = !steps }
+        with
+        | Returned v -> Ok { return_value = v; steps = !steps }
+        | Fault m -> Error ("fault: " ^ m)
+      end)
+
+let run_src ?fuel src ~args ~mem =
+  match Parser.parse src with
+  | Error e -> Error e
+  | Ok k -> run ?fuel k ~args ~mem

@@ -1,0 +1,32 @@
+(** Reference interpreter for the kernel language.
+
+    Executes the AST directly against an {!Edge_isa.Mem} image. This is
+    the semantic oracle for the whole compilation pipeline: every compiler
+    configuration, run on either simulator, must produce the same return
+    value and final memory. *)
+
+type outcome = {
+  return_value : int64 option;
+  steps : int;  (** statements executed; used as a fuel/progress measure *)
+}
+
+exception Fault of string
+(** Raised on out-of-range memory access, division by zero, or fuel
+    exhaustion — the cases where the machine raises a block-boundary
+    exception. *)
+
+val run :
+  ?fuel:int ->
+  Ast.kernel ->
+  args:int64 list ->
+  mem:Edge_isa.Mem.t ->
+  (outcome, string) result
+(** [args] bind positionally to parameters (pointer arguments are byte
+    addresses into [mem]). The memory is mutated in place. *)
+
+val run_src :
+  ?fuel:int ->
+  string ->
+  args:int64 list ->
+  mem:Edge_isa.Mem.t ->
+  (outcome, string) result

@@ -1,0 +1,130 @@
+type token =
+  | INT of int64
+  | FLOAT of float
+  | IDENT of string
+  | KW of string
+  | PUNCT of string
+  | EOF
+
+
+let keywords =
+  [ "kernel"; "int"; "float"; "byte"; "int4"; "if"; "else"; "while"; "for";
+    "break"; "continue"; "return" ]
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_digit c = c >= '0' && c <= '9'
+let is_ident_char c = is_ident_start c || is_digit c
+
+let two_char_puncts =
+  [ "<<"; ">>"; "<="; ">="; "=="; "!="; "&&"; "||" ]
+
+let one_char_puncts = "+-*/%&|^<>=!~()[]{},;?:"
+
+let tokenize src =
+  let n = String.length src in
+  let pos = ref 0 in
+  let line = ref 1 in
+  let toks = ref [] in
+  let error = ref None in
+  let fail msg = error := Some (Printf.sprintf "line %d: %s" !line msg) in
+  let peek k = if !pos + k < n then Some src.[!pos + k] else None in
+  while !pos < n && !error = None do
+    let c = src.[!pos] in
+    if c = '\n' then begin incr line; incr pos end
+    else if c = ' ' || c = '\t' || c = '\r' then incr pos
+    else if c = '/' && peek 1 = Some '/' then begin
+      while !pos < n && src.[!pos] <> '\n' do incr pos done
+    end
+    else if c = '/' && peek 1 = Some '*' then begin
+      pos := !pos + 2;
+      let closed = ref false in
+      while !pos + 1 < n && not !closed do
+        if src.[!pos] = '\n' then incr line;
+        if src.[!pos] = '*' && src.[!pos + 1] = '/' then begin
+          closed := true;
+          pos := !pos + 2
+        end
+        else incr pos
+      done;
+      if not !closed then fail "unterminated comment"
+    end
+    else if is_ident_start c then begin
+      let start = !pos in
+      while !pos < n && is_ident_char src.[!pos] do incr pos done;
+      let s = String.sub src start (!pos - start) in
+      toks := (if List.mem s keywords then KW s else IDENT s) :: !toks
+    end
+    else if is_digit c then begin
+      let start = !pos in
+      if c = '0' && (peek 1 = Some 'x' || peek 1 = Some 'X') then begin
+        pos := !pos + 2;
+        while
+          !pos < n
+          && (is_digit src.[!pos]
+             || (src.[!pos] >= 'a' && src.[!pos] <= 'f')
+             || (src.[!pos] >= 'A' && src.[!pos] <= 'F'))
+        do
+          incr pos
+        done;
+        let s = String.sub src start (!pos - start) in
+        match Int64.of_string_opt s with
+        | Some v -> toks := INT v :: !toks
+        | None -> fail (Printf.sprintf "bad hex literal %s" s)
+      end
+      else begin
+        while !pos < n && is_digit src.[!pos] do incr pos done;
+        let is_float =
+          !pos < n && src.[!pos] = '.' && (match peek 1 with
+            | Some d -> is_digit d
+            | None -> false)
+        in
+        if is_float || (!pos < n && (src.[!pos] = 'e' || src.[!pos] = 'E'))
+        then begin
+          if !pos < n && src.[!pos] = '.' then begin
+            incr pos;
+            while !pos < n && is_digit src.[!pos] do incr pos done
+          end;
+          if !pos < n && (src.[!pos] = 'e' || src.[!pos] = 'E') then begin
+            incr pos;
+            if !pos < n && (src.[!pos] = '+' || src.[!pos] = '-') then incr pos;
+            while !pos < n && is_digit src.[!pos] do incr pos done
+          end;
+          let s = String.sub src start (!pos - start) in
+          match float_of_string_opt s with
+          | Some v -> toks := FLOAT v :: !toks
+          | None -> fail (Printf.sprintf "bad float literal %s" s)
+        end
+        else
+          let s = String.sub src start (!pos - start) in
+          match Int64.of_string_opt s with
+          | Some v -> toks := INT v :: !toks
+          | None -> fail (Printf.sprintf "bad int literal %s" s)
+      end
+    end
+    else begin
+      let two =
+        if !pos + 1 < n then Some (String.sub src !pos 2) else None
+      in
+      match two with
+      | Some t2 when List.mem t2 two_char_puncts ->
+          toks := PUNCT t2 :: !toks;
+          pos := !pos + 2
+      | _ ->
+          if String.contains one_char_puncts c then begin
+            toks := PUNCT (String.make 1 c) :: !toks;
+            incr pos
+          end
+          else fail (Printf.sprintf "unexpected character %c" c)
+    end
+  done;
+  match !error with
+  | Some e -> Error e
+  | None -> Ok (List.rev (EOF :: !toks))
+
+let pp_token ppf = function
+  | INT v -> Format.fprintf ppf "%Ld" v
+  | FLOAT f -> Format.fprintf ppf "%g" f
+  | IDENT s -> Format.fprintf ppf "%s" s
+  | KW s -> Format.fprintf ppf "%s" s
+  | PUNCT s -> Format.fprintf ppf "'%s'" s
+  | EOF -> Format.fprintf ppf "<eof>"

@@ -1,0 +1,16 @@
+(** Hand-written lexer for the kernel language. *)
+
+type token =
+  | INT of int64
+  | FLOAT of float
+  | IDENT of string
+  | KW of string  (** kernel int float byte int4 if else while for break
+                      continue return *)
+  | PUNCT of string  (** operators and delimiters *)
+  | EOF
+
+
+val tokenize : string -> (token list, string) result
+(** Comments are [// ...] and [/* ... */]. Errors report line numbers. *)
+
+val pp_token : Format.formatter -> token -> unit

@@ -1,0 +1,431 @@
+module Cfg = Edge_ir.Cfg
+module Tac = Edge_ir.Tac
+module Temp = Edge_ir.Temp
+module Opcode = Edge_isa.Opcode
+
+type ctx = {
+  cfg : Cfg.t;
+  mutable cur : Edge_ir.Label.t;  (** block under construction *)
+  mutable buf : Tac.instr list;  (** reversed instruction buffer *)
+  mutable env : (string * (Temp.t * Ast.ty)) list;
+  mutable loops : (Edge_ir.Label.t * Edge_ir.Label.t) list;
+      (** (break target, continue target) stack *)
+  mutable terminated : bool;
+  mutable label_counter : int;
+}
+
+let fresh_label ctx prefix =
+  ctx.label_counter <- ctx.label_counter + 1;
+  Printf.sprintf "%s%d" prefix ctx.label_counter
+
+let fresh ctx = Temp.Gen.fresh ctx.cfg.Cfg.gen
+
+let emit ctx i = if not ctx.terminated then ctx.buf <- i :: ctx.buf
+
+let finish_block ctx term =
+  if not ctx.terminated then begin
+    Cfg.add_block ctx.cfg
+      { Cfg.label = ctx.cur; instrs = List.rev ctx.buf; term };
+    ctx.buf <- [];
+    ctx.terminated <- true
+  end
+
+let start_block ctx label =
+  ctx.cur <- label;
+  ctx.buf <- [];
+  ctx.terminated <- false
+
+let var ctx name =
+  match List.assoc_opt name ctx.env with
+  | Some tt -> tt
+  | None -> invalid_arg ("Lower.var: " ^ name)
+
+let ty_env ctx = List.map (fun (n, (_, t)) -> (n, t)) ctx.env
+
+let expr_ty ctx e =
+  match Typecheck.type_of_expr (ty_env ctx) e with
+  | Ok t -> t
+  | Error m -> invalid_arg ("Lower.expr_ty: " ^ m)
+
+let scale_of_ptr ctx name =
+  match snd (var ctx name) with
+  | Ast.Tptr e -> Ast.elem_size e
+  | Ast.Tint | Ast.Tfloat -> invalid_arg "Lower.scale_of_ptr"
+
+(* address of a[i]: a + i*size, with the multiply strength-reduced to a
+   shift for power-of-two sizes *)
+let rec lower_address ctx name idx =
+  let base, _ = var ctx name in
+  let scale = scale_of_ptr ctx name in
+  match idx with
+  | Ast.Int k ->
+      (* constant index: fold into the offset when small *)
+      let off = Int64.to_int (Int64.mul k (Int64.of_int scale)) in
+      if off >= -256 && off <= 255 then (Tac.T base, off)
+      else begin
+        let t = fresh ctx in
+        emit ctx
+          (Tac.Bin
+             {
+               dst = t;
+               op = Opcode.Add;
+               a = Tac.T base;
+               b = Tac.C (Int64.of_int off);
+             });
+        (Tac.T t, 0)
+      end
+  | _ ->
+      let iv = lower_expr ctx idx in
+      let scaled =
+        if scale = 1 then iv
+        else begin
+          let t = fresh ctx in
+          let shift =
+            match scale with 2 -> 1 | 4 -> 2 | 8 -> 3 | _ -> -1
+          in
+          if shift > 0 then
+            emit ctx
+              (Tac.Bin
+                 { dst = t; op = Opcode.Sll; a = iv; b = Tac.C (Int64.of_int shift) })
+          else
+            emit ctx
+              (Tac.Bin
+                 { dst = t; op = Opcode.Mul; a = iv; b = Tac.C (Int64.of_int scale) });
+          Tac.T t
+        end
+      in
+      let t = fresh ctx in
+      emit ctx (Tac.Bin { dst = t; op = Opcode.Add; a = Tac.T base; b = scaled });
+      (Tac.T t, 0)
+
+and lower_expr ctx (e : Ast.expr) : Tac.operand =
+  match e with
+  | Ast.Int v -> Tac.C v
+  | Ast.Float f -> Tac.C (Int64.bits_of_float f)
+  | Ast.Var v -> Tac.T (fst (var ctx v))
+  | Ast.Index (name, idx) ->
+      let addr, off = lower_address ctx name idx in
+      let elem =
+        match snd (var ctx name) with
+        | Ast.Tptr e -> e
+        | Ast.Tint | Ast.Tfloat -> invalid_arg "Lower: index of non-pointer"
+      in
+      let t = fresh ctx in
+      emit ctx (Tac.Load { dst = t; width = Ast.elem_width elem; addr; off });
+      Tac.T t
+  | Ast.Un (op, a) -> (
+      match op with
+      | Ast.Neg ->
+          let av = lower_expr ctx a in
+          let t = fresh ctx in
+          (match expr_ty ctx a with
+          | Ast.Tfloat -> emit ctx (Tac.Un { dst = t; op = Opcode.Fneg; a = av })
+          | _ -> emit ctx (Tac.Un { dst = t; op = Opcode.Neg; a = av }));
+          Tac.T t
+      | Ast.BNot ->
+          let av = lower_expr ctx a in
+          let t = fresh ctx in
+          emit ctx (Tac.Un { dst = t; op = Opcode.Not; a = av });
+          Tac.T t
+      | Ast.LNot ->
+          let av = lower_expr ctx a in
+          let t = fresh ctx in
+          emit ctx
+            (Tac.Cmp { dst = t; cond = Opcode.Eq; fp = false; a = av; b = Tac.C 0L });
+          Tac.T t
+      | Ast.Itof ->
+          let av = lower_expr ctx a in
+          let t = fresh ctx in
+          emit ctx (Tac.Un { dst = t; op = Opcode.Fitod; a = av });
+          Tac.T t
+      | Ast.Ftoi ->
+          let av = lower_expr ctx a in
+          let t = fresh ctx in
+          emit ctx (Tac.Un { dst = t; op = Opcode.Fdtoi; a = av });
+          Tac.T t)
+  | Ast.Bin ((Ast.LAnd | Ast.LOr), _, _) | Ast.Cond _ ->
+      (* value-producing short-circuit / ternary: materialize through a
+         diamond and a join variable *)
+      lower_value_via_branches ctx e
+  | Ast.Bin (op, a, b) -> (
+      let fp = expr_ty ctx a = Ast.Tfloat || expr_ty ctx b = Ast.Tfloat in
+      (* pointer arithmetic scaling *)
+      let scale_int_operand tb =
+        match (expr_ty ctx a, expr_ty ctx b, op) with
+        | Ast.Tptr e, Ast.Tint, (Ast.Add | Ast.Sub) -> (`Scale_b (Ast.elem_size e), tb)
+        | Ast.Tint, Ast.Tptr e, Ast.Add -> (`Scale_a (Ast.elem_size e), tb)
+        | _ -> (`No, tb)
+      in
+      let scaling, _ = scale_int_operand () in
+      let av = lower_expr ctx a in
+      let bv = lower_expr ctx b in
+      let scaled v size =
+        match v with
+        | Tac.C c -> Tac.C (Int64.mul c (Int64.of_int size))
+        | Tac.T _ ->
+            let t = fresh ctx in
+            let shift = match size with 1 -> 0 | 2 -> 1 | 4 -> 2 | 8 -> 3 | _ -> -1 in
+            if shift > 0 then
+              emit ctx
+                (Tac.Bin { dst = t; op = Opcode.Sll; a = v; b = Tac.C (Int64.of_int shift) })
+            else if shift = 0 then ()
+            else
+              emit ctx
+                (Tac.Bin { dst = t; op = Opcode.Mul; a = v; b = Tac.C (Int64.of_int size) });
+            if shift = 0 then v else Tac.T t
+      in
+      let av, bv =
+        match scaling with
+        | `No -> (av, bv)
+        | `Scale_b s -> (av, scaled bv s)
+        | `Scale_a s -> (scaled av s, bv)
+      in
+      let t = fresh ctx in
+      match op with
+      | Ast.Add | Ast.Sub | Ast.Mul | Ast.Div ->
+          let is_fp = fp in
+          if is_fp then begin
+            let fop =
+              match op with
+              | Ast.Add -> Opcode.Fadd
+              | Ast.Sub -> Opcode.Fsub
+              | Ast.Mul -> Opcode.Fmul
+              | _ -> Opcode.Fdiv
+            in
+            emit ctx (Tac.Fbin { dst = t; op = fop; a = av; b = bv })
+          end
+          else begin
+            let iop =
+              match op with
+              | Ast.Add -> Opcode.Add
+              | Ast.Sub -> Opcode.Sub
+              | Ast.Mul -> Opcode.Mul
+              | _ -> Opcode.Div
+            in
+            emit ctx (Tac.Bin { dst = t; op = iop; a = av; b = bv })
+          end;
+          Tac.T t
+      | Ast.Rem ->
+          emit ctx (Tac.Bin { dst = t; op = Opcode.Rem; a = av; b = bv });
+          Tac.T t
+      | Ast.BAnd | Ast.BOr | Ast.BXor | Ast.Shl | Ast.Shr ->
+          let iop =
+            match op with
+            | Ast.BAnd -> Opcode.And
+            | Ast.BOr -> Opcode.Or
+            | Ast.BXor -> Opcode.Xor
+            | Ast.Shl -> Opcode.Sll
+            | _ -> Opcode.Sra
+          in
+          emit ctx (Tac.Bin { dst = t; op = iop; a = av; b = bv });
+          Tac.T t
+      | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge | Ast.Eq | Ast.Ne ->
+          let cond =
+            match op with
+            | Ast.Lt -> Opcode.Lt
+            | Ast.Le -> Opcode.Le
+            | Ast.Gt -> Opcode.Gt
+            | Ast.Ge -> Opcode.Ge
+            | Ast.Eq -> Opcode.Eq
+            | _ -> Opcode.Ne
+          in
+          emit ctx (Tac.Cmp { dst = t; cond; fp; a = av; b = bv });
+          Tac.T t
+      | Ast.LAnd | Ast.LOr -> assert false)
+
+and lower_value_via_branches ctx e =
+  let result = fresh ctx in
+  let t_lab = fresh_label ctx "sc_t" in
+  let f_lab = fresh_label ctx "sc_f" in
+  let join = fresh_label ctx "sc_j" in
+  (match e with
+  | Ast.Cond (c, a, b) ->
+      lower_branch ctx c ~if_true:t_lab ~if_false:f_lab;
+      start_block ctx t_lab;
+      let av = lower_expr ctx a in
+      emit ctx (Tac.Un { dst = result; op = Opcode.Mov; a = av });
+      finish_block ctx (Tac.Jmp join);
+      start_block ctx f_lab;
+      let bv = lower_expr ctx b in
+      emit ctx (Tac.Un { dst = result; op = Opcode.Mov; a = bv });
+      finish_block ctx (Tac.Jmp join)
+  | _ ->
+      lower_branch ctx e ~if_true:t_lab ~if_false:f_lab;
+      start_block ctx t_lab;
+      emit ctx (Tac.Un { dst = result; op = Opcode.Mov; a = Tac.C 1L });
+      finish_block ctx (Tac.Jmp join);
+      start_block ctx f_lab;
+      emit ctx (Tac.Un { dst = result; op = Opcode.Mov; a = Tac.C 0L });
+      finish_block ctx (Tac.Jmp join));
+  start_block ctx join;
+  Tac.T result
+
+(* Lower a condition directly to control flow, short-circuiting && and ||
+   (Figure 6's loop condition produces exactly the chained tests the
+   paper describes). *)
+and lower_branch ctx (e : Ast.expr) ~if_true ~if_false =
+  match e with
+  | Ast.Bin (Ast.LAnd, a, b) ->
+      let mid = fresh_label ctx "and" in
+      lower_branch ctx a ~if_true:mid ~if_false;
+      start_block ctx mid;
+      lower_branch ctx b ~if_true ~if_false
+  | Ast.Bin (Ast.LOr, a, b) ->
+      let mid = fresh_label ctx "or" in
+      lower_branch ctx a ~if_true ~if_false:mid;
+      start_block ctx mid;
+      lower_branch ctx b ~if_true ~if_false
+  | Ast.Un (Ast.LNot, a) -> lower_branch ctx a ~if_true:if_false ~if_false:if_true
+  | _ -> (
+      let is_comparison =
+        match e with
+        | Ast.Bin ((Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge | Ast.Eq | Ast.Ne), _, _)
+          ->
+            true
+        | _ -> false
+      in
+      let v = lower_expr ctx e in
+      match v with
+      | Tac.T c when is_comparison ->
+          finish_block ctx (Tac.Cbr { c; if_true; if_false })
+      | Tac.T c ->
+          (* branch conditions must be canonical predicates: the machine
+             tests the low-order bit, the language tests non-zero *)
+          let t = fresh ctx in
+          emit ctx
+            (Tac.Cmp { dst = t; cond = Opcode.Ne; fp = false; a = Tac.T c; b = Tac.C 0L });
+          finish_block ctx (Tac.Cbr { c = t; if_true; if_false })
+      | Tac.C k ->
+          finish_block ctx (Tac.Jmp (if k <> 0L then if_true else if_false)))
+
+let rec lower_stmts ctx stmts =
+  List.iter (lower_stmt ctx) stmts
+
+and lower_stmt ctx (s : Ast.stmt) =
+  if ctx.terminated then ()
+  else
+    match s with
+    | Ast.Decl (ty, name, init) ->
+        let t = fresh ctx in
+        (match init with
+        | Some e ->
+            let v = lower_expr ctx e in
+            emit ctx (Tac.Un { dst = t; op = Opcode.Mov; a = v })
+        | None -> emit ctx (Tac.Un { dst = t; op = Opcode.Mov; a = Tac.C 0L }));
+        ctx.env <- (name, (t, ty)) :: ctx.env
+    | Ast.Assign (name, e) ->
+        let t, _ = var ctx name in
+        let v = lower_expr ctx e in
+        emit ctx (Tac.Un { dst = t; op = Opcode.Mov; a = v })
+    | Ast.Store (name, idx, v) ->
+        let vv = lower_expr ctx v in
+        let addr, off = lower_address ctx name idx in
+        let elem =
+          match snd (var ctx name) with
+          | Ast.Tptr e -> e
+          | Ast.Tint | Ast.Tfloat -> invalid_arg "Lower: store to non-pointer"
+        in
+        emit ctx (Tac.Store { width = Ast.elem_width elem; addr; off; v = vv })
+    | Ast.If (c, then_b, else_b) ->
+        let t_lab = fresh_label ctx "then" in
+        let f_lab = fresh_label ctx "else" in
+        let join = fresh_label ctx "endif" in
+        lower_branch ctx c ~if_true:t_lab
+          ~if_false:(if else_b = [] then join else f_lab);
+        let saved_env = ctx.env in
+        start_block ctx t_lab;
+        lower_stmts ctx then_b;
+        finish_block ctx (Tac.Jmp join);
+        ctx.env <- saved_env;
+        if else_b <> [] then begin
+          start_block ctx f_lab;
+          lower_stmts ctx else_b;
+          finish_block ctx (Tac.Jmp join);
+          ctx.env <- saved_env
+        end;
+        start_block ctx join
+    | Ast.While (c, body) ->
+        let head = fresh_label ctx "while" in
+        let body_lab = fresh_label ctx "body" in
+        let exit_lab = fresh_label ctx "endwhile" in
+        finish_block ctx (Tac.Jmp head);
+        start_block ctx head;
+        lower_branch ctx c ~if_true:body_lab ~if_false:exit_lab;
+        let saved_env = ctx.env in
+        start_block ctx body_lab;
+        ctx.loops <- (exit_lab, head) :: ctx.loops;
+        lower_stmts ctx body;
+        ctx.loops <- List.tl ctx.loops;
+        finish_block ctx (Tac.Jmp head);
+        ctx.env <- saved_env;
+        start_block ctx exit_lab
+    | Ast.For (init, cond, step, body) ->
+        let saved_env = ctx.env in
+        Option.iter (lower_stmt ctx) init;
+        let head = fresh_label ctx "for" in
+        let body_lab = fresh_label ctx "body" in
+        let step_lab = fresh_label ctx "step" in
+        let exit_lab = fresh_label ctx "endfor" in
+        finish_block ctx (Tac.Jmp head);
+        start_block ctx head;
+        (match cond with
+        | Some c -> lower_branch ctx c ~if_true:body_lab ~if_false:exit_lab
+        | None -> finish_block ctx (Tac.Jmp body_lab));
+        start_block ctx body_lab;
+        ctx.loops <- (exit_lab, step_lab) :: ctx.loops;
+        lower_stmts ctx body;
+        ctx.loops <- List.tl ctx.loops;
+        finish_block ctx (Tac.Jmp step_lab);
+        start_block ctx step_lab;
+        Option.iter (lower_stmt ctx) step;
+        finish_block ctx (Tac.Jmp head);
+        ctx.env <- saved_env;
+        start_block ctx exit_lab
+    | Ast.Break -> (
+        match ctx.loops with
+        | (brk, _) :: _ -> finish_block ctx (Tac.Jmp brk)
+        | [] -> invalid_arg "Lower: break outside loop")
+    | Ast.Continue -> (
+        match ctx.loops with
+        | (_, cont) :: _ -> finish_block ctx (Tac.Jmp cont)
+        | [] -> invalid_arg "Lower: continue outside loop")
+    | Ast.Return e ->
+        let v = Option.map (lower_expr ctx) e in
+        finish_block ctx (Tac.Ret v)
+
+let lower (k : Ast.kernel) =
+  match Typecheck.check_kernel k with
+  | Error e -> Error (Printf.sprintf "%s: %s" k.Ast.kname e)
+  | Ok () -> (
+      let gen = Edge_ir.Temp.Gen.create () in
+      let params = List.map (fun _ -> Edge_ir.Temp.Gen.fresh gen) k.Ast.params in
+      let cfg =
+        Cfg.create ~fname:k.Ast.kname ~params ~entry:"entry" ~gen
+      in
+      let env =
+        List.map2
+          (fun p t -> (p.Ast.pname, (t, p.Ast.pty)))
+          k.Ast.params params
+      in
+      let ctx =
+        {
+          cfg;
+          cur = "entry";
+          buf = [];
+          env;
+          loops = [];
+          terminated = false;
+          label_counter = 0;
+        }
+      in
+      try
+        lower_stmts ctx k.Ast.body;
+        finish_block ctx (Tac.Ret None);
+        Cfg.prune_unreachable cfg;
+        Ok cfg
+      with Invalid_argument m -> Error m)
+
+let compile src =
+  match Parser.parse src with
+  | Error e -> Error e
+  | Ok k -> lower k

@@ -1,0 +1,14 @@
+(** Lowering: kernel AST to a {!Edge_ir.Cfg} of three-address code.
+
+    Variables become temporaries; pointer indexing scales by element size;
+    short-circuit [&&]/[||] lower to control flow (the genalg loop of the
+    paper's Figure 6 depends on this shape); [for]/[while]/[break]/
+    [continue] lower to explicit branches. The returned value, if any, is
+    the [Ret] operand. *)
+
+val lower : Ast.kernel -> (Edge_ir.Cfg.t, string) result
+(** Runs {!Typecheck.check_kernel} first. Parameters appear in
+    [Cfg.params] in declaration order. *)
+
+val compile : string -> (Edge_ir.Cfg.t, string) result
+(** Parse, check and lower kernel source text. *)

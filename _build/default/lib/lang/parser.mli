@@ -1,0 +1,22 @@
+(** Recursive-descent parser for the kernel language.
+
+    Grammar sketch:
+    {v
+    kernel   ::= "kernel" ident "(" params? ")" block
+    params   ::= param ("," param)*
+    param    ::= type ident
+    type     ::= ("int" | "float" | "byte" | "int4") "*"?
+    block    ::= "{" stmt* "}"
+    stmt     ::= type ident ("=" expr)? ";"
+               | ident "=" expr ";"
+               | ident "[" expr "]" "=" expr ";"
+               | "if" "(" expr ")" block ("else" (block | ifstmt))?
+               | "while" "(" expr ")" block
+               | "for" "(" simple? ";" expr? ";" simple? ")" block
+               | "break" ";" | "continue" ";"
+               | "return" expr? ";"
+    expr     ::= ternary with C-like precedence, short-circuit && and ||
+    v} *)
+
+val parse : string -> (Ast.kernel, string) result
+val parse_expr : string -> (Ast.expr, string) result

@@ -1,0 +1,1 @@
+lib/sim/alu.ml: Edge_isa Int64 List

@@ -1,0 +1,1 @@
+lib/sim/alu.mli: Edge_isa

@@ -1,0 +1,1 @@
+lib/sim/cache.ml: Array Int64

@@ -1,0 +1,1 @@
+lib/sim/cycle_sim.ml: Alu Array Bytes Cache Char Edge_isa Format Fun Hashtbl Int Int64 List Machine Map Option Predictor Printf Queue Stats String Sys

@@ -1,0 +1,1 @@
+lib/sim/cycle_sim.mli: Edge_isa Machine Stats

@@ -1,0 +1,1 @@
+lib/sim/functional.ml: Alu Array Buffer Bytes Char Edge_isa Format Int64 List Option Printf Queue Stats String

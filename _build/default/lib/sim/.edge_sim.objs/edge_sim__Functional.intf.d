@@ -1,0 +1,1 @@
+lib/sim/functional.mli: Edge_isa Stats

@@ -1,0 +1,1 @@
+lib/sim/predictor.ml: Array Hashtbl

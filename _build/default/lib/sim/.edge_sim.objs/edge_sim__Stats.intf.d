@@ -1,0 +1,1 @@
+lib/sim/stats.mli: Format

@@ -1,0 +1,55 @@
+type t = {
+  sets : int;
+  ways : int;
+  line_bits : int;
+  hit_latency : int;
+  tags : int64 array array;  (* tags.(set).(way); -1 = invalid *)
+  lru : int array array;  (* larger = more recently used *)
+  mutable clock : int;
+}
+
+let create ~size_bytes ~ways ~line_bytes ~hit_latency =
+  let lines = size_bytes / line_bytes in
+  let sets = max 1 (lines / ways) in
+  let line_bits =
+    let rec bits n acc = if n <= 1 then acc else bits (n / 2) (acc + 1) in
+    bits line_bytes 0
+  in
+  {
+    sets;
+    ways;
+    line_bits;
+    hit_latency;
+    tags = Array.init sets (fun _ -> Array.make ways (-1L));
+    lru = Array.init sets (fun _ -> Array.make ways 0);
+    clock = 0;
+  }
+
+let hit_latency t = t.hit_latency
+
+let access t ~addr ~write =
+  ignore write;
+  t.clock <- t.clock + 1;
+  let line = Int64.shift_right_logical addr t.line_bits in
+  let set = Int64.to_int (Int64.rem line (Int64.of_int t.sets)) in
+  let tags = t.tags.(set) and lru = t.lru.(set) in
+  let hit = ref false in
+  for w = 0 to t.ways - 1 do
+    if tags.(w) = line then begin
+      hit := true;
+      lru.(w) <- t.clock
+    end
+  done;
+  if not !hit then begin
+    (* evict LRU way *)
+    let victim = ref 0 in
+    for w = 1 to t.ways - 1 do
+      if lru.(w) < lru.(!victim) then victim := w
+    done;
+    tags.(!victim) <- line;
+    lru.(!victim) <- t.clock
+  end;
+  !hit
+
+let flush t =
+  Array.iter (fun ways -> Array.fill ways 0 (Array.length ways) (-1L)) t.tags

@@ -1,0 +1,947 @@
+module Block = Edge_isa.Block
+module Instr = Edge_isa.Instr
+module Opcode = Edge_isa.Opcode
+module Target = Edge_isa.Target
+module Token = Edge_isa.Token
+module Mem = Edge_isa.Mem
+module Grid = Edge_isa.Grid
+module Program = Edge_isa.Program
+
+type placement_fn = string -> int array
+
+exception Malformed of string
+exception Fault of string
+
+let failm fmt = Format.kasprintf (fun s -> raise (Malformed s)) fmt
+
+type stored = {
+  s_addr : int64;
+  s_value : int64;
+  s_width : Opcode.width;
+  s_exc : bool;
+}
+
+type store_res = Unresolved | Stored of stored | Nulled
+
+type frame = {
+  fid : int;
+  gen : int;
+  seq : int;
+  block : Block.t;
+  placement : int array;
+  left : Token.t option array;
+  right : Token.t option array;
+  pred_matched : bool array;
+  pred_exc : bool array;
+  fired : bool array;
+  queued : bool array;  (* sitting in a ready queue *)
+  mutable stores : (int * store_res) array;  (* per declared lsid *)
+  writes : Token.t option array;
+  write_subs : (int * int * int) list array;
+      (* per write slot: (fid, gen, read-slot-resume-key) of younger
+         readers waiting; the key is the reader frame's read slot *)
+  mutable branch : (string option * bool * int) option;
+      (* target, exception, exit_idx *)
+  mutable predicted_next : string option;
+  mutable prediction_checked : bool;
+  mutable outputs_left : int;
+  mutable pending_events : int;
+  mutable deferred_loads : int list;
+  mutable loads_done : (int * int64 * int) list;  (* lsid, addr, bytes *)
+  fstats : Stats.t;
+  mutable complete : bool;
+  dispatched_at : int;
+}
+
+type fetch_state =
+  | Fidle  (** nothing to fetch (halt predicted/resolved) *)
+  | Fwait of int  (** stalled on unresolved branch of frame seq *)
+  | Fbusy of { name : string; done_at : int; mutable held : bool }
+
+module IntMap = Map.Make (Int)
+
+type sim = {
+  program : Program.t;
+  machine : Machine.t;
+  placement : placement_fn;
+  regs : int64 array;
+  mem : Mem.t;
+  stats : Stats.t;
+  l1d : Cache.t;
+  l1i : Cache.t;
+  l2 : Cache.t;
+  predictor : Predictor.t;
+  dep_pred : (string * int, int option * bool) Hashtbl.t;
+      (* per (block, load lsid): (max conflicting same-frame store lsid,
+         conflicts with older frames?) — a store-set-style dependence
+         predictor: a load waits only for the stores it was caught
+         violating against *)
+  block_addr : (string, int64) Hashtbl.t;
+  frames : frame option array;
+  mutable next_seq : int;
+  mutable next_gen : int;
+  mutable fetch : fetch_state;
+  mutable events : (unit -> unit) list IntMap.t;
+  mutable cycle : int;
+  ready : (int * int * int) Queue.t array;  (* per tile: fid, gen, id *)
+  mutable halted : bool;
+  mutable fault : string option;
+}
+
+let schedule sim dt f =
+  let c = sim.cycle + max 1 dt in
+  sim.events <-
+    IntMap.update c
+      (function Some l -> Some (f :: l) | None -> Some [ f ])
+      sim.events
+
+let frame_alive sim fid gen =
+  match sim.frames.(fid) with
+  | Some f when f.gen = gen -> Some f
+  | Some _ | None -> None
+
+let live_frames sim =
+  Array.to_list sim.frames |> List.filter_map Fun.id
+  |> List.sort (fun a b -> compare a.seq b.seq)
+
+let oldest_frame sim =
+  match live_frames sim with [] -> None | f :: _ -> Some f
+
+(* ---------- memory timing ---------- *)
+
+let dcache_latency sim ~addr ~write =
+  sim.stats.Stats.dcache_accesses <- sim.stats.Stats.dcache_accesses + 1;
+  if Cache.access sim.l1d ~addr ~write then Cache.hit_latency sim.l1d
+  else begin
+    sim.stats.Stats.dcache_misses <- sim.stats.Stats.dcache_misses + 1;
+    if Cache.access sim.l2 ~addr ~write then
+      Cache.hit_latency sim.l1d + sim.machine.Machine.l2_latency
+    else
+      Cache.hit_latency sim.l1d + sim.machine.Machine.l2_latency
+      + sim.machine.Machine.mem_latency
+  end
+
+let icache_penalty sim (b : Block.t) =
+  let base =
+    Option.value ~default:0L (Hashtbl.find_opt sim.block_addr b.Block.name)
+  in
+  let words = Block.size_in_words b in
+  let lines = max 1 ((words * 4) + sim.machine.Machine.line_bytes - 1)
+              / sim.machine.Machine.line_bytes
+  in
+  let pen = ref 0 in
+  for i = 0 to lines - 1 do
+    sim.stats.Stats.icache_accesses <- sim.stats.Stats.icache_accesses + 1;
+    let addr = Int64.add base (Int64.of_int (i * sim.machine.Machine.line_bytes)) in
+    if not (Cache.access sim.l1i ~addr ~write:false) then begin
+      sim.stats.Stats.icache_misses <- sim.stats.Stats.icache_misses + 1;
+      pen :=
+        !pen
+        + (if Cache.access sim.l2 ~addr ~write:false then
+             sim.machine.Machine.l2_latency
+           else sim.machine.Machine.l2_latency + sim.machine.Machine.mem_latency)
+    end
+  done;
+  !pen
+
+(* all resolved stores strictly before (seq, lsid) in LSQ order, oldest
+   first, across in-flight frames *)
+let stores_before sim ~seq ~lsid =
+  List.concat_map
+    (fun f ->
+      Array.to_list f.stores
+      |> List.filter_map (fun (l, r) ->
+             if f.seq < seq || (f.seq = seq && l < lsid) then
+               match r with
+               | Stored s -> Some (f.seq, l, s)
+               | Nulled | Unresolved -> None
+             else None))
+    (live_frames sim)
+  |> List.sort compare
+
+let unresolved_before sim ~seq ~lsid =
+  List.exists
+    (fun f ->
+      Array.exists
+        (fun (l, r) ->
+          (f.seq < seq || (f.seq = seq && l < lsid)) && r = Unresolved)
+        f.stores)
+    (live_frames sim)
+
+let read_with_forwarding sim ~width ~addr ~seq ~lsid =
+  let nbytes = Mem.width_bytes width in
+  let base_tok = Mem.load sim.mem ~width ~addr in
+  if base_tok.Token.exc then base_tok
+  else begin
+    let bytes = Bytes.create nbytes in
+    for i = 0 to nbytes - 1 do
+      Bytes.set bytes i
+        (Char.chr
+           (Int64.to_int
+              (Int64.logand
+                 (Int64.shift_right_logical base_tok.Token.payload (8 * i))
+                 0xFFL)))
+    done;
+    let exc = ref false in
+    List.iter
+      (fun (_, _, s) ->
+        match s with
+        | { s_addr = sa; s_value = value; s_width = sw; s_exc = se } ->
+            let sbytes = Mem.width_bytes sw in
+            for i = 0 to sbytes - 1 do
+              let off = Int64.sub (Int64.add sa (Int64.of_int i)) addr in
+              if off >= 0L && off < Int64.of_int nbytes then begin
+                if se then exc := true;
+                Bytes.set bytes (Int64.to_int off)
+                  (Char.chr
+                     (Int64.to_int
+                        (Int64.logand (Int64.shift_right_logical value (8 * i)) 0xFFL)))
+              end
+            done)
+      (stores_before sim ~seq ~lsid);
+    let v = ref 0L in
+    for i = nbytes - 1 downto 0 do
+      v := Int64.logor (Int64.shift_left !v 8)
+             (Int64.of_int (Char.code (Bytes.get bytes i)))
+    done;
+    let v =
+      match width with
+      | Opcode.W1 ->
+          if Int64.logand !v 0x80L <> 0L then Int64.logor !v (Int64.lognot 0xFFL)
+          else !v
+      | Opcode.W4 ->
+          if Int64.logand !v 0x80000000L <> 0L then
+            Int64.logor !v (Int64.lognot 0xFFFFFFFFL)
+          else !v
+      | Opcode.W8 -> !v
+    in
+    let tok = Token.of_int64 v in
+    if !exc then Token.with_exc tok else tok
+  end
+
+(* ---------- forward declarations via mutual recursion ---------- *)
+
+let rec deliver sim f (target, tok) =
+  if f.gen >= 0 then begin
+    match target with
+    | Target.To_write w -> (
+        match f.writes.(w) with
+        | Some _ -> failm "%s: write slot %d received two tokens" f.block.Block.name w
+        | None ->
+            f.writes.(w) <- Some tok;
+            output_produced sim f;
+            (* wake subscribed younger readers *)
+            let subs = f.write_subs.(w) in
+            f.write_subs.(w) <- [];
+            List.iter
+              (fun (rfid, rgen, rslot) ->
+                match frame_alive sim rfid rgen with
+                | Some rf -> resolve_read sim rf rslot
+                | None -> ())
+              subs)
+    | Target.To_instr { id; slot } -> (
+        let i = f.block.Block.instrs.(id) in
+        match slot with
+        | Target.Pred ->
+            if Instr.predicate_matches i.Instr.pred tok then begin
+              if f.pred_matched.(id) then
+                failm "%s: I%d two matching predicates" f.block.Block.name id;
+              f.pred_matched.(id) <- true;
+              f.pred_exc.(id) <- tok.Token.exc;
+              wake sim f id
+            end
+        | Target.Left | Target.Right -> (
+            match i.Instr.opcode with
+            | Opcode.St _ when tok.Token.null ->
+                if f.fired.(id) then
+                  failm "%s: null for fired store I%d" f.block.Block.name id
+                else begin
+                  f.fired.(id) <- true;
+                  f.fstats.Stats.nulls_executed <-
+                    f.fstats.Stats.nulls_executed + 1;
+                  resolve_store sim f i.Instr.lsid Nulled
+                end
+            | _ ->
+                let arr =
+                  match slot with
+                  | Target.Left -> f.left
+                  | Target.Right -> f.right
+                  | Target.Pred -> assert false
+                in
+                (match arr.(id) with
+                | Some _ ->
+                    failm "%s: I%d operand delivered twice" f.block.Block.name id
+                | None -> arr.(id) <- Some tok);
+                wake sim f id))
+  end
+
+and wake sim f id =
+  let i = f.block.Block.instrs.(id) in
+  if (not f.fired.(id)) && not f.queued.(id) then begin
+    let arity = Opcode.num_operands i.Instr.opcode in
+    let data_ok =
+      match i.Instr.opcode with
+      | Opcode.Sand -> (
+          match f.left.(id) with
+          | Some l -> (not (Token.as_predicate l)) || f.right.(id) <> None
+          | None -> false)
+      | _ ->
+          (arity < 1 || f.left.(id) <> None)
+          && (arity < 2 || f.right.(id) <> None)
+    in
+    let pred_ok = (not (Instr.is_predicated i)) || f.pred_matched.(id) in
+    if data_ok && pred_ok then begin
+      f.queued.(id) <- true;
+      Queue.add (f.fid, f.gen, id) sim.ready.(f.placement.(id))
+    end
+  end
+
+and output_produced _sim f =
+  f.outputs_left <- f.outputs_left - 1;
+  if f.outputs_left = 0 then f.complete <- true
+
+and resolve_store sim f lsid r =
+  let idx = ref (-1) in
+  Array.iteri (fun i (l, _) -> if l = lsid then idx := i) f.stores;
+  if !idx < 0 then failm "%s: undeclared store lsid %d" f.block.Block.name lsid;
+  (match f.stores.(!idx) with
+  | _, Unresolved -> ()
+  | _, (Stored _ | Nulled) ->
+      failm "%s: store lsid %d resolved twice" f.block.Block.name lsid);
+  f.stores.(!idx) <- (lsid, r);
+  output_produced sim f;
+  (* violation check: younger executed loads that should have seen this
+     store *)
+  (match r with
+  | Unresolved -> ()
+  | Stored { s_addr = addr; s_width = width; _ } ->
+      let bytes = Mem.width_bytes width in
+      let overlap (laddr, lbytes) =
+        let a1 = addr and a2 = Int64.add addr (Int64.of_int bytes) in
+        let b1 = laddr and b2 = Int64.add laddr (Int64.of_int lbytes) in
+        not (a2 <= b1 || b2 <= a1)
+      in
+      let violator =
+        List.find_opt
+          (fun fr ->
+            List.exists
+              (fun (llsid, laddr, lbytes) ->
+                (fr.seq > f.seq || (fr.seq = f.seq && llsid > lsid))
+                && overlap (laddr, lbytes))
+              fr.loads_done)
+          (live_frames sim)
+      in
+      (match violator with
+      | Some fv ->
+          sim.stats.Stats.lsq_violations <- sim.stats.Stats.lsq_violations + 1;
+          (* train the dependence predictor on exactly the violating
+             loads: record which store they must wait for *)
+          List.iter
+            (fun (llsid, laddr, lbytes) ->
+              if
+                (fv.seq > f.seq || (fv.seq = f.seq && llsid > lsid))
+                && overlap (laddr, lbytes)
+              then begin
+                let key = (fv.block.Block.name, llsid) in
+                let same, cross =
+                  Option.value ~default:(None, false)
+                    (Hashtbl.find_opt sim.dep_pred key)
+                in
+                let entry =
+                  if fv.seq = f.seq then
+                    (Some (max lsid (Option.value ~default:(-1) same)), cross)
+                  else (same, true)
+                in
+                Hashtbl.replace sim.dep_pred key entry
+              end)
+            fv.loads_done;
+          flush_from sim fv.seq ~refetch:(Some fv.block.Block.name)
+      | None -> ())
+  | Nulled -> ());
+  (* deferred loads may now proceed *)
+  retry_deferred sim
+
+and retry_deferred sim =
+  List.iter
+    (fun f ->
+      let ls = f.deferred_loads in
+      f.deferred_loads <- [];
+      List.iter
+        (fun id ->
+          if not f.fired.(id) then begin
+            f.queued.(id) <- false;
+            wake sim f id
+          end)
+        ls)
+    (live_frames sim)
+
+and flush_from sim seq ~refetch =
+  List.iter
+    (fun f ->
+      if f.seq >= seq then begin
+        Stats.add sim.stats f.fstats;
+        sim.stats.Stats.blocks_flushed <- sim.stats.Stats.blocks_flushed + 1;
+        sim.frames.(f.fid) <- None
+      end)
+    (live_frames sim);
+  (* older frames may hold subscriptions from flushed readers: they are
+     filtered lazily via frame_alive *)
+  (match sim.fetch with
+  | Fbusy _ | Fwait _ | Fidle -> ());
+  (* any in-flight fetch was ordered after the flushed frames *)
+  (match refetch with
+  | Some name ->
+      start_fetch sim name ~extra:(sim.machine.Machine.predict_cycles)
+  | None -> sim.fetch <- Fidle)
+
+and start_fetch sim name ~extra =
+  if String.equal name Block.halt_exit then sim.fetch <- Fidle
+  else
+    match Program.find sim.program name with
+    | None -> failm "no block %s" name
+    | Some b ->
+        let pen = icache_penalty sim b in
+        sim.fetch <-
+          Fbusy
+            {
+              name;
+              done_at = sim.cycle + extra + sim.machine.Machine.fetch_cycles + pen;
+              held = false;
+            }
+
+(* resolve register read slot [rslot] of frame [f]: find the value in
+   older in-flight frames or the architectural register file; subscribe
+   if the producing write has not arrived yet *)
+and resolve_read sim f rslot =
+  let r = f.block.Block.reads.(rslot) in
+  let older =
+    List.rev (List.filter (fun o -> o.seq < f.seq) (live_frames sim))
+  in
+  (* youngest-first *)
+  let rec search = function
+    | [] ->
+        (* architectural register file *)
+        send_read_value sim f rslot (Token.of_int64 sim.regs.(r.Block.reg))
+    | o :: rest -> (
+        let wslot =
+          let found = ref (-1) in
+          Array.iteri
+            (fun wi (w : Block.write) ->
+              if w.Block.wreg = r.Block.reg && !found < 0 then found := wi)
+            o.block.Block.writes;
+          !found
+        in
+        if wslot < 0 then search rest
+        else
+          match o.writes.(wslot) with
+          | Some tok when tok.Token.null -> search rest
+          | Some tok -> send_read_value sim f rslot tok
+          | None ->
+              o.write_subs.(wslot) <- (f.fid, f.gen, rslot) :: o.write_subs.(wslot))
+  in
+  search older
+
+and send_read_value sim f rslot tok =
+  let r = f.block.Block.reads.(rslot) in
+  List.iter
+    (fun tgt ->
+      let hops =
+        match tgt with
+        | Target.To_instr { id; _ } -> Grid.reg_access_hops f.placement.(id)
+        | Target.To_write _ -> 1
+      in
+      f.pending_events <- f.pending_events + 1;
+      let fid = f.fid and gen = f.gen in
+      schedule sim hops (fun () ->
+          match frame_alive sim fid gen with
+          | Some f ->
+              f.pending_events <- f.pending_events - 1;
+              deliver sim f (tgt, tok)
+          | None -> ()))
+    r.Block.rtargets
+
+let default_placement (b : Block.t) =
+  Array.init (Array.length b.Block.instrs) (fun i -> i mod Grid.num_tiles)
+
+(* send the result of instruction [id] to its targets with network
+   delays *)
+let send_result sim f id tok =
+  let i = f.block.Block.instrs.(id) in
+  let src = f.placement.(id) in
+  List.iter
+    (fun tgt ->
+      let hops =
+        match tgt with
+        | Target.To_instr { id = d; _ } ->
+            let h = Grid.hops src f.placement.(d) in
+            sim.stats.Stats.operand_hops <- sim.stats.Stats.operand_hops + h;
+            h
+        | Target.To_write _ ->
+            let h = Grid.reg_access_hops src in
+            sim.stats.Stats.operand_hops <- sim.stats.Stats.operand_hops + h;
+            h
+      in
+      f.pending_events <- f.pending_events + 1;
+      let fid = f.fid and gen = f.gen in
+      schedule sim hops (fun () ->
+          match frame_alive sim fid gen with
+          | Some f ->
+              f.pending_events <- f.pending_events - 1;
+              deliver sim f (tgt, tok)
+          | None -> ()))
+    i.Instr.targets
+
+let class_stats f (i : Instr.t) =
+  f.fstats.Stats.instrs_executed <- f.fstats.Stats.instrs_executed + 1;
+  match i.Instr.opcode with
+  | Opcode.Un Opcode.Mov | Opcode.Mov4 ->
+      f.fstats.Stats.moves_executed <- f.fstats.Stats.moves_executed + 1
+  | Opcode.Null -> f.fstats.Stats.nulls_executed <- f.fstats.Stats.nulls_executed + 1
+  | Opcode.Tst _ | Opcode.Tsti _ | Opcode.Ftst _ ->
+      f.fstats.Stats.tests_executed <- f.fstats.Stats.tests_executed + 1
+  | _ -> ()
+
+(* branch resolution: prediction check, flushes, fetch redirect *)
+let resolve_branch sim f target exc exit_idx =
+  (match f.branch with
+  | Some _ -> failm "%s: two branches fired" f.block.Block.name
+  | None -> ());
+  f.branch <- Some (target, exc, exit_idx);
+  output_produced sim f;
+  let actual = match target with None -> Block.halt_exit | Some t -> t in
+  (* train at resolution so the BTB warms before commit; TRIPS predictors
+     are speculatively updated too *)
+  Predictor.update sim.predictor ~block:f.block.Block.name ~exit_idx
+    ~target:actual;
+  if not f.prediction_checked then begin
+    f.prediction_checked <- true;
+    match f.predicted_next with
+    | Some predicted ->
+        Predictor.record_outcome sim.predictor
+          ~correct:(String.equal predicted actual);
+        if not (String.equal predicted actual) then begin
+          sim.stats.Stats.branch_mispredicts <-
+            sim.stats.Stats.branch_mispredicts + 1;
+          flush_from sim (f.seq + 1) ~refetch:(Some actual)
+        end
+    | None -> (
+        (* fetch was stalled on us (or we are the youngest) *)
+        match sim.fetch with
+        | Fwait s when s = f.seq ->
+            f.predicted_next <- Some actual;
+            start_fetch sim actual ~extra:sim.machine.Machine.predict_cycles
+        | Fwait _ | Fidle | Fbusy _ -> f.predicted_next <- Some actual)
+  end;
+  sim.stats.Stats.branch_predictions <- sim.stats.Stats.branch_predictions + 1
+
+(* fire one instruction instance *)
+let fire sim f id =
+  let i = f.block.Block.instrs.(id) in
+  f.queued.(id) <- false;
+  let taint_pred tok = if f.pred_exc.(id) then Token.with_exc tok else tok in
+  match i.Instr.opcode with
+  | Opcode.Ld width ->
+      let must_wait =
+        if not sim.machine.Machine.aggressive_loads then
+          unresolved_before sim ~seq:f.seq ~lsid:i.Instr.lsid
+        else
+          match
+            Hashtbl.find_opt sim.dep_pred (f.block.Block.name, i.Instr.lsid)
+          with
+          | None -> false
+          | Some (same, cross) ->
+              let same_wait =
+                match same with
+                | None -> false
+                | Some s ->
+                    Array.exists
+                      (fun (l, r) ->
+                        l < i.Instr.lsid && l <= s && r = Unresolved)
+                      f.stores
+              in
+              let cross_wait =
+                cross
+                && List.exists
+                     (fun fr ->
+                       fr.seq < f.seq
+                       && Array.exists (fun (_, r) -> r = Unresolved) fr.stores)
+                     (live_frames sim)
+              in
+              same_wait || cross_wait
+      in
+      if must_wait then f.deferred_loads <- id :: f.deferred_loads
+      else begin
+        f.fired.(id) <- true;
+        class_stats f i;
+        let base = Option.get f.left.(id) in
+        let addr = Int64.add base.Token.payload i.Instr.imm in
+        let tok =
+          if base.Token.exc || base.Token.null then Token.taint base (Token.of_int64 0L)
+          else read_with_forwarding sim ~width ~addr ~seq:f.seq ~lsid:i.Instr.lsid
+        in
+        let tok = taint_pred (Token.taint base tok) in
+        if not (base.Token.exc || base.Token.null) then
+          f.loads_done <-
+            (i.Instr.lsid, addr, Mem.width_bytes width) :: f.loads_done;
+        let lat =
+          Opcode.latency i.Instr.opcode
+          + (2 * Grid.mem_access_hops f.placement.(id))
+          + dcache_latency sim ~addr ~write:false
+        in
+        f.pending_events <- f.pending_events + 1;
+        let fid = f.fid and gen = f.gen in
+        schedule sim lat (fun () ->
+            match frame_alive sim fid gen with
+            | Some f ->
+                f.pending_events <- f.pending_events - 1;
+                send_result sim f id tok
+            | None -> ())
+      end
+  | Opcode.St width ->
+      f.fired.(id) <- true;
+      class_stats f i;
+      let base = Option.get f.left.(id) in
+      let v = Option.get f.right.(id) in
+      let lat =
+        Opcode.latency i.Instr.opcode + Grid.mem_access_hops f.placement.(id)
+      in
+      f.pending_events <- f.pending_events + 1;
+      let fid = f.fid and gen = f.gen in
+      schedule sim lat (fun () ->
+          match frame_alive sim fid gen with
+          | Some f ->
+              f.pending_events <- f.pending_events - 1;
+              if v.Token.null || base.Token.null then
+                resolve_store sim f i.Instr.lsid Nulled
+              else
+                let addr = Int64.add base.Token.payload i.Instr.imm in
+                let exc = base.Token.exc || v.Token.exc || f.pred_exc.(id) in
+                resolve_store sim f i.Instr.lsid
+                  (Stored
+                     {
+                       s_addr = addr;
+                       s_value = v.Token.payload;
+                       s_width = width;
+                       s_exc = exc;
+                     })
+          | None -> ())
+  | Opcode.Bro ->
+      f.fired.(id) <- true;
+      class_stats f i;
+      let tgt = f.block.Block.exits.(i.Instr.exit_idx) in
+      let tgt = if String.equal tgt Block.halt_exit then None else Some tgt in
+      let exc = f.pred_exc.(id) in
+      let exit_idx = i.Instr.exit_idx in
+      f.pending_events <- f.pending_events + 1;
+      let fid = f.fid and gen = f.gen in
+      schedule sim (Opcode.latency i.Instr.opcode) (fun () ->
+          match frame_alive sim fid gen with
+          | Some f ->
+              f.pending_events <- f.pending_events - 1;
+              resolve_branch sim f tgt exc exit_idx
+          | None -> ())
+  | Opcode.Halt ->
+      f.fired.(id) <- true;
+      class_stats f i;
+      let exc = f.pred_exc.(id) in
+      f.pending_events <- f.pending_events + 1;
+      let fid = f.fid and gen = f.gen in
+      schedule sim 1 (fun () ->
+          match frame_alive sim fid gen with
+          | Some f ->
+              f.pending_events <- f.pending_events - 1;
+              resolve_branch sim f None exc 0
+          | None -> ())
+  | Opcode.Sand ->
+      f.fired.(id) <- true;
+      class_stats f i;
+      let l = Option.get f.left.(id) in
+      let tok =
+        if not (Token.as_predicate l) then Token.taint l (Token.of_int64 0L)
+        else
+          let r = Option.get f.right.(id) in
+          Token.taint l
+            (Token.taint r
+               (Token.of_int64 (if Token.as_predicate r then 1L else 0L)))
+      in
+      let tok = taint_pred tok in
+      f.pending_events <- f.pending_events + 1;
+      let fid = f.fid and gen = f.gen in
+      schedule sim (Opcode.latency i.Instr.opcode) (fun () ->
+          match frame_alive sim fid gen with
+          | Some f ->
+              f.pending_events <- f.pending_events - 1;
+              send_result sim f id tok
+          | None -> ())
+  | _ ->
+      f.fired.(id) <- true;
+      class_stats f i;
+      let tok =
+        Alu.exec i.Instr.opcode ~imm:i.Instr.imm ~left:f.left.(id)
+          ~right:f.right.(id)
+      in
+      let tok = taint_pred tok in
+      f.pending_events <- f.pending_events + 1;
+      let fid = f.fid and gen = f.gen in
+      schedule sim (Opcode.latency i.Instr.opcode) (fun () ->
+          match frame_alive sim fid gen with
+          | Some f ->
+              f.pending_events <- f.pending_events - 1;
+              send_result sim f id tok
+          | None -> ())
+
+(* dispatch a fetched block into a free frame slot *)
+let dispatch sim name =
+  let fid =
+    let found = ref (-1) in
+    Array.iteri (fun i f -> if f = None && !found < 0 then found := i) sim.frames;
+    !found
+  in
+  assert (fid >= 0);
+  let b = Option.get (Program.find sim.program name) in
+  let n = Array.length b.Block.instrs in
+  let placement = sim.placement name in
+  let placement =
+    if Array.length placement = n then placement else default_placement b
+  in
+  let f =
+    {
+      fid;
+      gen = sim.next_gen;
+      seq = sim.next_seq;
+      block = b;
+      placement;
+      left = Array.make n None;
+      right = Array.make n None;
+      pred_matched = Array.make n false;
+      pred_exc = Array.make n false;
+      fired = Array.make n false;
+      queued = Array.make n false;
+      stores = Array.of_list (List.map (fun l -> (l, Unresolved)) b.Block.store_lsids);
+      writes = Array.make (Array.length b.Block.writes) None;
+      write_subs = Array.make (max 1 (Array.length b.Block.writes)) [];
+      branch = None;
+      predicted_next = None;
+      prediction_checked = false;
+      outputs_left =
+        Array.length b.Block.writes + List.length b.Block.store_lsids + 1;
+      pending_events = 0;
+      deferred_loads = [];
+      loads_done = [];
+      fstats = Stats.create ();
+      complete = false;
+      dispatched_at = sim.cycle;
+    }
+  in
+  sim.next_seq <- sim.next_seq + 1;
+  sim.next_gen <- sim.next_gen + 1;
+  sim.frames.(fid) <- Some f;
+  f.fstats.Stats.blocks_executed <- 1;
+  f.fstats.Stats.instrs_fetched <- n;
+  (* seed register reads *)
+  Array.iteri (fun rslot _ -> resolve_read sim f rslot) b.Block.reads;
+  (* seed 0-operand unpredicated instructions *)
+  Array.iteri
+    (fun id (i : Instr.t) ->
+      if Opcode.num_operands i.Instr.opcode = 0 && not (Instr.is_predicated i)
+      then wake sim f id)
+    b.Block.instrs;
+  (* chain the next fetch off a prediction *)
+  (match Predictor.predict sim.predictor ~block:name with
+  | Some predicted when sim.machine.Machine.max_inflight > 1 ->
+      f.predicted_next <- Some predicted;
+      start_fetch sim predicted ~extra:sim.machine.Machine.predict_cycles
+  | Some _ | None ->
+      (match Sys.getenv_opt "DFP_BLOCK_TRACE" with
+      | Some _ -> Printf.eprintf "FWAIT after %s at %d\n" name sim.cycle
+      | None -> ());
+      sim.fetch <- Fwait f.seq)
+
+(* commit the oldest frame if it is finished *)
+let try_commit sim =
+  match oldest_frame sim with
+  | None -> ()
+  | Some f ->
+      let drained =
+        sim.machine.Machine.early_termination || f.pending_events = 0
+      in
+      if f.complete && drained then begin
+        (* mispredicated = predicated instructions that never fired *)
+        Array.iteri
+          (fun id (i : Instr.t) ->
+            if Instr.is_predicated i && not f.fired.(id) then
+              f.fstats.Stats.mispredicated_fetched <-
+                f.fstats.Stats.mispredicated_fetched + 1)
+          f.block.Block.instrs;
+        (* drain stores in lsid order *)
+        Array.iter
+          (fun (lsid, r) ->
+            match r with
+            | Stored { s_addr = addr; s_value = value; s_width = width; s_exc = exc } ->
+                if exc then raise (Fault (Printf.sprintf "store lsid %d" lsid));
+                ignore (dcache_latency sim ~addr ~write:true);
+                (match Mem.store sim.mem ~width ~addr value with
+                | Ok () -> ()
+                | Error () ->
+                    raise (Fault (Printf.sprintf "store fault at %Ld" addr)))
+            | Nulled -> ()
+            | Unresolved -> assert false)
+          f.stores;
+        Array.iteri
+          (fun w tok ->
+            match tok with
+            | Some t ->
+                if t.Token.null then ()
+                else if t.Token.exc then
+                  raise (Fault (Printf.sprintf "write W%d" w))
+                else sim.regs.(f.block.Block.writes.(w).Block.wreg) <- t.Token.payload
+            | None -> assert false)
+          f.writes;
+        let target, bexc, exit_idx =
+          match f.branch with Some x -> x | None -> assert false
+        in
+        if bexc then raise (Fault "branch");
+        (match target with
+        | Some t ->
+            Predictor.update sim.predictor ~block:f.block.Block.name ~exit_idx
+              ~target:t
+        | None ->
+            Predictor.update sim.predictor ~block:f.block.Block.name ~exit_idx
+              ~target:Block.halt_exit);
+        (match Sys.getenv_opt "DFP_BLOCK_TRACE" with
+        | Some _ ->
+            Printf.eprintf "BLK %s %d\n" f.block.Block.name
+              (sim.cycle - f.dispatched_at)
+        | None -> ());
+        f.fstats.Stats.blocks_committed <- 1;
+        f.fstats.Stats.instrs_committed <- f.fstats.Stats.instrs_executed;
+        Stats.add sim.stats f.fstats;
+        sim.frames.(f.fid) <- None;
+        if target = None then begin
+          sim.halted <- true;
+          sim.stats.Stats.cycles <- sim.cycle
+        end
+      end
+
+let step_issue sim =
+  Array.iter
+    (fun q ->
+      let budget = ref sim.machine.Machine.issue_per_tile in
+      let skipped = Queue.create () in
+      while !budget > 0 && not (Queue.is_empty q) do
+        let fid, gen, id = Queue.pop q in
+        match frame_alive sim fid gen with
+        | Some f when f.queued.(id) && not f.fired.(id) ->
+            decr budget;
+            fire sim f id
+        | Some _ | None -> ()
+      done;
+      Queue.transfer skipped q)
+    sim.ready
+
+let step_fetch sim =
+  match sim.fetch with
+  | Fbusy b when sim.cycle >= b.done_at ->
+      let free_slot = Array.exists (fun f -> f = None) sim.frames in
+      let inflight = List.length (live_frames sim) in
+      if free_slot && inflight < sim.machine.Machine.max_inflight then begin
+        sim.fetch <- Fidle;
+        dispatch sim b.name
+      end
+      else b.held <- true
+  | Fbusy _ | Fwait _ | Fidle -> ()
+
+let next_interesting_cycle sim =
+  let candidates = ref [] in
+  (match IntMap.min_binding_opt sim.events with
+  | Some (c, _) -> candidates := c :: !candidates
+  | None -> ());
+  (match sim.fetch with
+  | Fbusy b -> candidates := max (sim.cycle + 1) b.done_at :: !candidates
+  | Fwait _ | Fidle -> ());
+  let any_ready = Array.exists (fun q -> not (Queue.is_empty q)) sim.ready in
+  if any_ready then Some (sim.cycle + 1)
+  else
+    match !candidates with
+    | [] -> None
+    | l -> Some (List.fold_left min max_int l)
+
+let run ?(machine = Machine.default) ?placement program ~regs ~mem =
+  let placement =
+    match placement with
+    | Some p -> p
+    | None ->
+        fun name ->
+          (match Program.find program name with
+          | Some b -> default_placement b
+          | None -> [||])
+  in
+  let sim =
+    {
+      program;
+      machine;
+      placement;
+      regs;
+      mem;
+      stats = Stats.create ();
+      l1d =
+        Cache.create ~size_bytes:machine.Machine.l1d_size
+          ~ways:machine.Machine.l1d_ways ~line_bytes:machine.Machine.line_bytes
+          ~hit_latency:machine.Machine.l1d_latency;
+      l1i =
+        Cache.create ~size_bytes:machine.Machine.l1i_size
+          ~ways:machine.Machine.l1i_ways ~line_bytes:machine.Machine.line_bytes
+          ~hit_latency:machine.Machine.l1i_latency;
+      l2 =
+        Cache.create ~size_bytes:machine.Machine.l2_size
+          ~ways:machine.Machine.l2_ways ~line_bytes:machine.Machine.line_bytes
+          ~hit_latency:machine.Machine.l2_latency;
+      predictor = Predictor.create ();
+      dep_pred = Hashtbl.create 64;
+      block_addr = Hashtbl.create 64;
+      frames = Array.make machine.Machine.max_inflight None;
+      next_seq = 0;
+      next_gen = 0;
+      fetch = Fidle;
+      events = IntMap.empty;
+      cycle = 0;
+      ready = Array.init Grid.num_tiles (fun _ -> Queue.create ());
+      halted = false;
+      fault = None;
+    }
+  in
+  List.iteri
+    (fun i (name, _) ->
+      Hashtbl.replace sim.block_addr name (Int64.of_int (i * 1024)))
+    program.Program.blocks;
+  match
+    start_fetch sim program.Program.entry ~extra:0;
+    while (not sim.halted) && sim.cycle < machine.Machine.max_cycles do
+      (* events due now *)
+      (match IntMap.find_opt sim.cycle sim.events with
+      | Some fs ->
+          sim.events <- IntMap.remove sim.cycle sim.events;
+          List.iter (fun f -> f ()) (List.rev fs)
+      | None -> ());
+      step_issue sim;
+      step_fetch sim;
+      try_commit sim;
+      if not sim.halted then begin
+        match next_interesting_cycle sim with
+        | Some c -> sim.cycle <- max (sim.cycle + 1) c
+        | None ->
+            if live_frames sim = [] && sim.fetch = Fidle then
+              failm "machine idle before halt"
+            else if
+              List.exists (fun f -> not f.complete) (live_frames sim)
+              && IntMap.is_empty sim.events
+            then failm "deadlock at cycle %d" sim.cycle
+            else sim.cycle <- sim.cycle + 1
+      end
+    done;
+    if not sim.halted then Error (Printf.sprintf "watchdog: %d cycles" sim.cycle)
+    else Ok sim.stats
+  with
+  | r -> r
+  | exception Malformed m -> Error ("malformed: " ^ m)
+  | exception Fault m -> Error ("fault: " ^ m)

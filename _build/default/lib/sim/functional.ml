@@ -1,0 +1,394 @@
+module Block = Edge_isa.Block
+module Instr = Edge_isa.Instr
+module Opcode = Edge_isa.Opcode
+module Target = Edge_isa.Target
+module Token = Edge_isa.Token
+module Mem = Edge_isa.Mem
+
+type outcome = { exit_taken : string option; faulted : string option }
+
+exception Malformed of string
+
+type store_resolution =
+  | Unresolved
+  | Stored of { addr : int64; value : int64; width : Opcode.width; exc : bool }
+  | Nulled
+
+type state = {
+  block : Block.t;
+  left : Token.t option array;
+  right : Token.t option array;
+  pred_matched : bool array;  (* matching predicate arrived *)
+  pred_exc : bool array;  (* the matching predicate carried an exception *)
+  fired : bool array;
+  writes : Token.t option array;
+  mutable stores : (int * store_resolution) list;  (* per declared lsid *)
+  mutable branch : (string option * bool) option;  (* target, exc *)
+  mutable pending_loads : int list;  (* instr ids deferred on LSID order *)
+  queue : (Target.t * Token.t) Queue.t;
+}
+
+let fail fmt = Format.kasprintf (fun s -> raise (Malformed s)) fmt
+
+let init block =
+  let n = Array.length block.Block.instrs in
+  {
+    block;
+    left = Array.make n None;
+    right = Array.make n None;
+    pred_matched = Array.make n false;
+    pred_exc = Array.make n false;
+    fired = Array.make n false;
+    writes = Array.make (Array.length block.Block.writes) None;
+    stores = List.map (fun l -> (l, Unresolved)) block.Block.store_lsids;
+    branch = None;
+    pending_loads = [];
+    queue = Queue.create ();
+  }
+
+let store_resolution st lsid =
+  match List.assoc_opt lsid st.stores with
+  | Some r -> r
+  | None -> fail "store lsid %d not declared" lsid
+
+let resolve_store st lsid r =
+  (match store_resolution st lsid with
+  | Unresolved -> ()
+  | Stored _ | Nulled -> fail "store lsid %d resolved twice" lsid);
+  st.stores <- List.map (fun (l, v) -> if l = lsid then (l, r) else (l, v)) st.stores
+
+let lower_lsids_resolved st lsid =
+  List.for_all
+    (fun (l, r) -> l >= lsid || r <> Unresolved)
+    st.stores
+
+(* Byte-accurate store-to-load forwarding: read the load's bytes from
+   memory, then overlay every resolved store with a lower LSID, in LSID
+   order. *)
+let read_with_forwarding st ~mem ~width ~addr ~lsid =
+  let nbytes = Mem.width_bytes width in
+  let base_tok = Mem.load mem ~width ~addr in
+  if base_tok.Token.exc then base_tok
+  else begin
+    let bytes = Bytes.create nbytes in
+    for i = 0 to nbytes - 1 do
+      Bytes.set bytes i
+        (Char.chr
+           (Int64.to_int
+              (Int64.logand
+                 (Int64.shift_right_logical base_tok.Token.payload (8 * i))
+                 0xFFL)))
+    done;
+    let exc = ref false in
+    List.iter
+      (fun (l, r) ->
+        if l < lsid then
+          match r with
+          | Stored { addr = sa; value; width = sw; exc = se } ->
+              let sbytes = Mem.width_bytes sw in
+              for i = 0 to sbytes - 1 do
+                let byte_addr = Int64.add sa (Int64.of_int i) in
+                let off = Int64.sub byte_addr addr in
+                if off >= 0L && off < Int64.of_int nbytes then begin
+                  if se then exc := true;
+                  Bytes.set bytes (Int64.to_int off)
+                    (Char.chr
+                       (Int64.to_int
+                          (Int64.logand
+                             (Int64.shift_right_logical value (8 * i))
+                             0xFFL)))
+                end
+              done
+          | Unresolved | Nulled -> ())
+      (List.sort (fun (a, _) (b, _) -> compare a b) st.stores);
+    let v = ref 0L in
+    for i = nbytes - 1 downto 0 do
+      v := Int64.logor (Int64.shift_left !v 8) (Int64.of_int (Char.code (Bytes.get bytes i)))
+    done;
+    (* sign extension for sub-word loads *)
+    let v =
+      match width with
+      | Opcode.W1 ->
+          if Int64.logand !v 0x80L <> 0L then Int64.logor !v (Int64.lognot 0xFFL)
+          else !v
+      | Opcode.W4 ->
+          if Int64.logand !v 0x80000000L <> 0L then
+            Int64.logor !v (Int64.lognot 0xFFFFFFFFL)
+          else !v
+      | Opcode.W8 -> !v
+    in
+    let tok = Token.of_int64 v in
+    if !exc then Token.with_exc tok else tok
+  end
+
+let is_complete st =
+  Array.for_all Option.is_some st.writes
+  && List.for_all (fun (_, r) -> r <> Unresolved) st.stores
+  && st.branch <> None
+
+let ready st id =
+  let i = st.block.Block.instrs.(id) in
+  if st.fired.(id) then false
+  else
+    let arity = Opcode.num_operands i.Instr.opcode in
+    let data_ok =
+      match i.Instr.opcode with
+      | Opcode.Sand -> (
+          (* short-circuit: a false left operand suffices (Section 7) *)
+          match st.left.(id) with
+          | Some l -> (not (Token.as_predicate l)) || st.right.(id) <> None
+          | None -> false)
+      | _ ->
+          (arity < 1 || st.left.(id) <> None)
+          && (arity < 2 || st.right.(id) <> None)
+    in
+    let pred_ok = (not (Instr.is_predicated i)) || st.pred_matched.(id) in
+    data_ok && pred_ok
+
+let rec deliver st ~mem ~stats (target, tok) =
+  match target with
+  | Target.To_write w -> (
+      match st.writes.(w) with
+      | Some _ -> fail "write slot %d received two tokens" w
+      | None -> st.writes.(w) <- Some tok)
+  | Target.To_instr { id; slot } -> (
+      let i = st.block.Block.instrs.(id) in
+      match slot with
+      | Target.Pred ->
+          if not (Instr.is_predicated i) then
+            fail "I%d: predicate delivered to unpredicated instruction" id;
+          if Instr.predicate_matches i.Instr.pred tok then begin
+            if st.pred_matched.(id) then
+              fail "I%d: two matching predicates" id;
+            st.pred_matched.(id) <- true;
+            st.pred_exc.(id) <- tok.Token.exc;
+            try_fire st ~mem ~stats id
+          end
+          (* non-matching arrivals are ignored (Section 4.1) *)
+      | Target.Left | Target.Right -> (
+          (* a null token arriving at a store resolves it immediately as a
+             null store (Section 4.2) *)
+          match i.Instr.opcode with
+          | Opcode.St _ when tok.Token.null ->
+              if st.fired.(id) then fail "I%d: null for fired store" id;
+              st.fired.(id) <- true;
+              stats.Stats.nulls_executed <- stats.Stats.nulls_executed + 1;
+              resolve_store st i.Instr.lsid Nulled;
+              retry_loads st ~mem ~stats
+          | _ ->
+              let arr =
+                match slot with
+                | Target.Left -> st.left
+                | Target.Right -> st.right
+                | Target.Pred -> assert false
+              in
+              (match arr.(id) with
+              | Some _ -> fail "I%d: operand %a delivered twice" id Target.pp_slot slot
+              | None -> arr.(id) <- Some tok);
+              try_fire st ~mem ~stats id))
+
+and try_fire st ~mem ~stats id =
+  if ready st id then fire st ~mem ~stats id
+
+and fire st ~mem ~stats id =
+  let i = st.block.Block.instrs.(id) in
+  let taint_pred tok =
+    if st.pred_exc.(id) then Token.with_exc tok else tok
+  in
+  match i.Instr.opcode with
+  | Opcode.Ld width ->
+      (* defer when a lower-LSID declared store is still unresolved *)
+      if not (lower_lsids_resolved st i.Instr.lsid) then begin
+        if not (List.mem id st.pending_loads) then
+          st.pending_loads <- id :: st.pending_loads
+      end
+      else begin
+        st.fired.(id) <- true;
+        stats.Stats.instrs_executed <- stats.Stats.instrs_executed + 1;
+        let base =
+          match st.left.(id) with Some t -> t | None -> assert false
+        in
+        let addr = Alu.effective_address ~base ~imm:i.Instr.imm in
+        let tok =
+          if base.Token.exc || base.Token.null then
+            Token.taint base (Token.of_int64 0L)
+          else read_with_forwarding st ~mem ~width ~addr ~lsid:i.Instr.lsid
+        in
+        let tok = taint_pred (Token.taint base tok) in
+        send_all st ~mem ~stats i tok
+      end
+  | Opcode.St _ ->
+      st.fired.(id) <- true;
+      stats.Stats.instrs_executed <- stats.Stats.instrs_executed + 1;
+      let base = match st.left.(id) with Some t -> t | None -> assert false in
+      let v = match st.right.(id) with Some t -> t | None -> assert false in
+      if v.Token.null || base.Token.null then begin
+        resolve_store st i.Instr.lsid Nulled;
+        retry_loads st ~mem ~stats
+      end
+      else begin
+        let addr = Alu.effective_address ~base ~imm:i.Instr.imm in
+        let width =
+          match i.Instr.opcode with Opcode.St w -> w | _ -> assert false
+        in
+        let exc = base.Token.exc || v.Token.exc || st.pred_exc.(id) in
+        resolve_store st i.Instr.lsid
+          (Stored { addr; value = v.Token.payload; width; exc });
+        retry_loads st ~mem ~stats
+      end
+  | Opcode.Bro ->
+      st.fired.(id) <- true;
+      stats.Stats.instrs_executed <- stats.Stats.instrs_executed + 1;
+      (match st.branch with
+      | Some _ -> fail "two branches fired"
+      | None ->
+          let tgt = st.block.Block.exits.(i.Instr.exit_idx) in
+          let tgt = if String.equal tgt Block.halt_exit then None else Some tgt in
+          st.branch <- Some (tgt, st.pred_exc.(id)))
+  | Opcode.Halt ->
+      st.fired.(id) <- true;
+      stats.Stats.instrs_executed <- stats.Stats.instrs_executed + 1;
+      (match st.branch with
+      | Some _ -> fail "two branches fired"
+      | None -> st.branch <- Some (None, st.pred_exc.(id)))
+  | Opcode.Sand ->
+      st.fired.(id) <- true;
+      stats.Stats.instrs_executed <- stats.Stats.instrs_executed + 1;
+      stats.Stats.tests_executed <- stats.Stats.tests_executed + 1;
+      let l = match st.left.(id) with Some t -> t | None -> assert false in
+      let tok =
+        if not (Token.as_predicate l) then Token.taint l (Token.of_int64 0L)
+        else
+          let r = match st.right.(id) with Some t -> t | None -> assert false in
+          Token.taint l
+            (Token.taint r
+               (Token.of_int64 (if Token.as_predicate r then 1L else 0L)))
+      in
+      send_all st ~mem ~stats i (taint_pred tok)
+  | Opcode.Iop _ | Opcode.Iopi _ | Opcode.Tst _ | Opcode.Tsti _ | Opcode.Fop _
+  | Opcode.Ftst _ | Opcode.Un _ | Opcode.Movi | Opcode.Geni | Opcode.Mov4
+  | Opcode.Null ->
+      st.fired.(id) <- true;
+      stats.Stats.instrs_executed <- stats.Stats.instrs_executed + 1;
+      (match i.Instr.opcode with
+      | Opcode.Un Opcode.Mov | Opcode.Mov4 ->
+          stats.Stats.moves_executed <- stats.Stats.moves_executed + 1
+      | Opcode.Null -> stats.Stats.nulls_executed <- stats.Stats.nulls_executed + 1
+      | Opcode.Tst _ | Opcode.Tsti _ | Opcode.Ftst _ ->
+          stats.Stats.tests_executed <- stats.Stats.tests_executed + 1
+      | _ -> ());
+      let tok =
+        Alu.exec i.Instr.opcode ~imm:i.Instr.imm ~left:st.left.(id)
+          ~right:st.right.(id)
+      in
+      send_all st ~mem ~stats i (taint_pred tok)
+
+and send_all st ~mem ~stats i tok =
+  List.iter (fun tgt -> Queue.add (tgt, tok) st.queue) i.Instr.targets;
+  drain st ~mem ~stats
+
+and retry_loads st ~mem ~stats =
+  let loads = st.pending_loads in
+  st.pending_loads <- [];
+  List.iter
+    (fun id -> if not st.fired.(id) then fire st ~mem ~stats id)
+    loads
+
+and drain st ~mem ~stats =
+  while not (Queue.is_empty st.queue) do
+    deliver st ~mem ~stats (Queue.pop st.queue)
+  done
+
+let run_block block ~regs ~mem ~stats =
+  match
+    let st = init block in
+    stats.Stats.blocks_executed <- stats.Stats.blocks_executed + 1;
+    stats.Stats.instrs_fetched <-
+      stats.Stats.instrs_fetched + Array.length block.Block.instrs;
+    (* seed register reads *)
+    Array.iter
+      (fun (r : Block.read) ->
+        let tok = Token.of_int64 regs.(r.Block.reg) in
+        List.iter (fun tgt -> Queue.add (tgt, tok) st.queue) r.Block.rtargets)
+      block.Block.reads;
+    (* seed 0-operand unpredicated instructions *)
+    Array.iteri
+      (fun id (i : Instr.t) ->
+        if
+          Opcode.num_operands i.Instr.opcode = 0
+          && not (Instr.is_predicated i)
+        then try_fire st ~mem ~stats id)
+      block.Block.instrs;
+    drain st ~mem ~stats;
+    if not (is_complete st) then begin
+      let missing = Buffer.create 64 in
+      Array.iteri
+        (fun w t ->
+          if t = None then Buffer.add_string missing (Printf.sprintf " W%d" w))
+        st.writes;
+      List.iter
+        (fun (l, r) ->
+          if r = Unresolved then
+            Buffer.add_string missing (Printf.sprintf " S%d" l))
+        st.stores;
+      if st.branch = None then Buffer.add_string missing " branch";
+      fail "block %s deadlocked; missing:%s" block.Block.name
+        (Buffer.contents missing)
+    end;
+    (* count mispredicated (fetched but never fired) instructions *)
+    Array.iteri
+      (fun id (i : Instr.t) ->
+        if Instr.is_predicated i && not st.fired.(id) then
+          stats.Stats.mispredicated_fetched <-
+            stats.Stats.mispredicated_fetched + 1)
+      block.Block.instrs;
+    (* commit *)
+    let fault = ref None in
+    List.iter
+      (fun (lsid, r) ->
+        match r with
+        | Stored { addr; value; width; exc } ->
+            if exc then fault := Some (Printf.sprintf "store lsid %d" lsid)
+            else (
+              match Mem.store mem ~width ~addr value with
+              | Ok () -> ()
+              | Error () ->
+                  fault := Some (Printf.sprintf "store fault at %Ld" addr))
+        | Nulled -> ()
+        | Unresolved -> assert false)
+      (List.sort (fun (a, _) (b, _) -> compare a b) st.stores);
+    Array.iteri
+      (fun w tok ->
+        match tok with
+        | Some t ->
+            if t.Token.null then ()
+            else if t.Token.exc then
+              fault := Some (Printf.sprintf "write W%d" w)
+            else regs.(block.Block.writes.(w).Block.wreg) <- t.Token.payload
+        | None -> assert false)
+      st.writes;
+    let exit_taken, branch_exc =
+      match st.branch with Some (t, e) -> (t, e) | None -> assert false
+    in
+    if branch_exc then fault := Some "branch";
+    stats.Stats.blocks_committed <- stats.Stats.blocks_committed + 1;
+    Ok { exit_taken; faulted = !fault }
+  with
+  | r -> r
+  | exception Malformed m -> Error m
+
+let run ?(fuel_blocks = 10_000_000) program ~regs ~mem =
+  let stats = Stats.create () in
+  let rec go name fuel =
+    if fuel <= 0 then Error "malformed: fuel exhausted"
+    else
+      match Edge_isa.Program.find program name with
+      | None -> Error (Printf.sprintf "malformed: no block %s" name)
+      | Some b -> (
+          match run_block b ~regs ~mem ~stats with
+          | Error m -> Error ("malformed: " ^ m)
+          | Ok { faulted = Some f; _ } -> Error ("fault: " ^ f)
+          | Ok { exit_taken = None; _ } -> Ok stats
+          | Ok { exit_taken = Some next; _ } -> go next (fuel - 1))
+  in
+  go program.Edge_isa.Program.entry fuel_blocks

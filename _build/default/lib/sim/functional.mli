@@ -1,0 +1,34 @@
+(** Functional (untimed) dataflow executor.
+
+    Runs TRIPS blocks by token pushing, implementing the execution
+    semantics of Sections 3–4 — predicate matching, predicate-OR,
+    null-token output resolution, LSID-ordered memory within a block,
+    exception-bit propagation — without any timing model. It serves as
+    the architectural oracle for the cycle simulator and as the
+    correctness check for compiled code, and detects malformed blocks
+    (double operand delivery, two matching predicates, double branch,
+    missing outputs/deadlock). *)
+
+type outcome = {
+  exit_taken : string option;  (** [None] when the program halted *)
+  faulted : string option;  (** block-boundary exception, if raised *)
+}
+
+val run_block :
+  Edge_isa.Block.t ->
+  regs:int64 array ->
+  mem:Edge_isa.Mem.t ->
+  stats:Stats.t ->
+  (outcome, string) result
+(** Executes one block to completion and commits its outputs. [Error]
+    means the block is malformed (a compiler bug), not a program fault. *)
+
+val run :
+  ?fuel_blocks:int ->
+  Edge_isa.Program.t ->
+  regs:int64 array ->
+  mem:Edge_isa.Mem.t ->
+  (Stats.t, string) result
+(** Runs from the entry block until halt. Program faults (exception bit
+    reaching a committed output) are reported as [Error] with a
+    ["fault:"] prefix; malformed blocks with a ["malformed:"] prefix. *)

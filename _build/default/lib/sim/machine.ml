@@ -1,0 +1,44 @@
+type t = {
+  fetch_cycles : int;
+  predict_cycles : int;
+  max_inflight : int;
+  l1d_size : int;
+  l1d_ways : int;
+  l1d_latency : int;
+  l1i_size : int;
+  l1i_ways : int;
+  l1i_latency : int;
+  l2_size : int;
+  l2_ways : int;
+  l2_latency : int;
+  mem_latency : int;
+  line_bytes : int;
+  early_termination : bool;
+  aggressive_loads : bool;
+  issue_per_tile : int;
+  commit_stores_per_cycle : int;
+  max_cycles : int;
+}
+
+let default =
+  {
+    fetch_cycles = 8;
+    predict_cycles = 3;
+    max_inflight = 8;
+    l1d_size = 32 * 1024;
+    l1d_ways = 2;
+    l1d_latency = 2;
+    l1i_size = 64 * 1024;
+    l1i_ways = 2;
+    l1i_latency = 1;
+    l2_size = 1024 * 1024;
+    l2_ways = 4;
+    l2_latency = 20;
+    mem_latency = 80;
+    line_bytes = 64;
+    early_termination = true;
+    aggressive_loads = true;
+    issue_per_tile = 1;
+    commit_stores_per_cycle = 2;
+    max_cycles = 200_000_000;
+  }

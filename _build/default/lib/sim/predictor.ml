@@ -1,0 +1,43 @@
+type t = {
+  history_mask : int;
+  table_mask : int;
+  mutable history : int;
+  exit_table : int array;  (* predicted exit index per (block,history) *)
+  btb : (int, string) Hashtbl.t;  (* (block, exit) -> target *)
+  mutable mispredicts : int;
+  mutable predictions : int;
+}
+
+let create ?(history_bits = 4) ?(table_bits = 12) () =
+  {
+    history_mask = (1 lsl history_bits) - 1;
+    table_mask = (1 lsl table_bits) - 1;
+    history = 0;
+    exit_table = Array.make (1 lsl table_bits) 0;
+    btb = Hashtbl.create 256;
+    mispredicts = 0;
+    predictions = 0;
+  }
+
+let block_hash block = Hashtbl.hash block
+
+let index t block =
+  (block_hash block lxor (t.history * 31)) land t.table_mask
+
+let btb_key block exit_idx = (block_hash block * 37) + exit_idx
+
+let predict t ~block =
+  let exit_idx = t.exit_table.(index t block) in
+  Hashtbl.find_opt t.btb (btb_key block exit_idx)
+
+let update t ~block ~exit_idx ~target =
+  t.exit_table.(index t block) <- exit_idx;
+  Hashtbl.replace t.btb (btb_key block exit_idx) target;
+  t.history <- ((t.history lsl 2) lor (exit_idx land 3)) land t.history_mask
+
+let mispredicts t = t.mispredicts
+let predictions t = t.predictions
+
+let record_outcome t ~correct =
+  t.predictions <- t.predictions + 1;
+  if not correct then t.mispredicts <- t.mispredicts + 1

@@ -1,0 +1,78 @@
+type t = {
+  mutable cycles : int;
+  mutable blocks_executed : int;
+  mutable blocks_committed : int;
+  mutable blocks_flushed : int;
+  mutable instrs_fetched : int;
+  mutable instrs_executed : int;
+  mutable instrs_committed : int;
+  mutable moves_executed : int;
+  mutable nulls_executed : int;
+  mutable tests_executed : int;
+  mutable mispredicated_fetched : int;
+  mutable branch_mispredicts : int;
+  mutable branch_predictions : int;
+  mutable icache_accesses : int;
+  mutable icache_misses : int;
+  mutable dcache_accesses : int;
+  mutable dcache_misses : int;
+  mutable lsq_violations : int;
+  mutable operand_hops : int;
+}
+
+let create () =
+  {
+    cycles = 0;
+    blocks_executed = 0;
+    blocks_committed = 0;
+    blocks_flushed = 0;
+    instrs_fetched = 0;
+    instrs_executed = 0;
+    instrs_committed = 0;
+    moves_executed = 0;
+    nulls_executed = 0;
+    tests_executed = 0;
+    mispredicated_fetched = 0;
+    branch_mispredicts = 0;
+    branch_predictions = 0;
+    icache_accesses = 0;
+    icache_misses = 0;
+    dcache_accesses = 0;
+    dcache_misses = 0;
+    lsq_violations = 0;
+    operand_hops = 0;
+  }
+
+let add a b =
+  a.cycles <- a.cycles + b.cycles;
+  a.blocks_executed <- a.blocks_executed + b.blocks_executed;
+  a.blocks_committed <- a.blocks_committed + b.blocks_committed;
+  a.blocks_flushed <- a.blocks_flushed + b.blocks_flushed;
+  a.instrs_fetched <- a.instrs_fetched + b.instrs_fetched;
+  a.instrs_executed <- a.instrs_executed + b.instrs_executed;
+  a.instrs_committed <- a.instrs_committed + b.instrs_committed;
+  a.moves_executed <- a.moves_executed + b.moves_executed;
+  a.nulls_executed <- a.nulls_executed + b.nulls_executed;
+  a.tests_executed <- a.tests_executed + b.tests_executed;
+  a.mispredicated_fetched <- a.mispredicated_fetched + b.mispredicated_fetched;
+  a.branch_mispredicts <- a.branch_mispredicts + b.branch_mispredicts;
+  a.branch_predictions <- a.branch_predictions + b.branch_predictions;
+  a.icache_accesses <- a.icache_accesses + b.icache_accesses;
+  a.icache_misses <- a.icache_misses + b.icache_misses;
+  a.dcache_accesses <- a.dcache_accesses + b.dcache_accesses;
+  a.dcache_misses <- a.dcache_misses + b.dcache_misses;
+  a.lsq_violations <- a.lsq_violations + b.lsq_violations;
+  a.operand_hops <- a.operand_hops + b.operand_hops
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>cycles %d@,blocks exec/commit/flush %d/%d/%d@,\
+     instrs fetch/exec/commit %d/%d/%d@,moves %d nulls %d tests %d@,\
+     mispredicated fetched %d@,branch mispredict %d/%d@,\
+     icache miss %d/%d dcache miss %d/%d@,lsq violations %d hops %d@]"
+    t.cycles t.blocks_executed t.blocks_committed t.blocks_flushed
+    t.instrs_fetched t.instrs_executed t.instrs_committed t.moves_executed
+    t.nulls_executed t.tests_executed t.mispredicated_fetched
+    t.branch_mispredicts t.branch_predictions t.icache_misses
+    t.icache_accesses t.dcache_misses t.dcache_accesses t.lsq_violations
+    t.operand_hops

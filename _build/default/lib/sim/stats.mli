@@ -1,0 +1,33 @@
+(** Execution statistics shared by the functional and cycle simulators.
+
+    The Section 6 evaluation reports relative cycle counts plus dynamic
+    instruction-class counts (total, moves), dynamic block counts, and
+    predictor/cache behaviour; everything needed to regenerate those
+    numbers is collected here. *)
+
+type t = {
+  mutable cycles : int;  (** 0 for the functional simulator *)
+  mutable blocks_executed : int;
+  mutable blocks_committed : int;
+  mutable blocks_flushed : int;
+  mutable instrs_fetched : int;
+  mutable instrs_executed : int;
+  mutable instrs_committed : int;  (** executed within committed blocks *)
+  mutable moves_executed : int;  (** fanout overhead (Section 5.1) *)
+  mutable nulls_executed : int;
+  mutable tests_executed : int;
+  mutable mispredicated_fetched : int;
+      (** predicated instructions fetched but never fired *)
+  mutable branch_mispredicts : int;
+  mutable branch_predictions : int;
+  mutable icache_accesses : int;
+  mutable icache_misses : int;
+  mutable dcache_accesses : int;
+  mutable dcache_misses : int;
+  mutable lsq_violations : int;
+  mutable operand_hops : int;
+}
+
+val create : unit -> t
+val add : t -> t -> unit
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/workloads/auto1.ml: Data Float Int64 Printf Workload

@@ -1,0 +1,1 @@
+lib/workloads/auto2.ml: Array Data Edge_isa Int64 List Workload

@@ -1,0 +1,1 @@
+lib/workloads/data.ml: Edge_isa Int64

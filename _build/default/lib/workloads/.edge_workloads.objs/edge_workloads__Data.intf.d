@@ -1,0 +1,1 @@
+lib/workloads/data.mli: Edge_isa

@@ -1,0 +1,1 @@
+lib/workloads/genalg.ml: Data Int64 Workload

@@ -1,0 +1,1 @@
+lib/workloads/netoffice.ml: Array Data Int32 Int64 List Workload

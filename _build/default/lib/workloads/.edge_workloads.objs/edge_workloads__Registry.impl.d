@@ -1,0 +1,1 @@
+lib/workloads/registry.ml: Auto1 Auto2 Genalg List Netoffice String Telecom Workload

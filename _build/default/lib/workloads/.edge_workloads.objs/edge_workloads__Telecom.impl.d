@@ -1,0 +1,1 @@
+lib/workloads/telecom.ml: Auto1 Data Float Int64 Workload

@@ -1,0 +1,1 @@
+lib/workloads/workload.ml: Edge_isa Edge_lang Printf

@@ -1,0 +1,1 @@
+lib/workloads/workload.mli: Edge_isa Edge_lang

@@ -1,0 +1,351 @@
+(* EEMBC-automotive-style kernels, part 1 (see Workload for the
+   substitution rationale). *)
+
+let mk name description mem_size source setup =
+  { Workload.name; description; source; mem_size; setup }
+
+(* a2time01: angle-to-time conversion — tooth wheel timing with window
+   checks; branchy arithmetic over a circular pulse buffer. *)
+let a2time01 =
+  mk "a2time01"
+    "angle-to-time: pulse-train window checks and running phase correction"
+    65536
+    {|
+kernel a2time01(int n, int* pulses, int* out, int tpr) {
+  int i;
+  int phase = 0;
+  int last = 0;
+  int errs = 0;
+  for (i = 0; i < n; i = i + 1) {
+    int dt = pulses[i] - last;
+    last = pulses[i];
+    if (dt <= 0) {
+      errs = errs + 1;
+      continue;
+    }
+    int angle = (dt * 360) / tpr;
+    if (angle > 360) {
+      angle = angle - 360;
+      phase = phase + 1;
+    }
+    if (angle < 12) {
+      out[i] = angle * 64;
+    } else {
+      if (angle < 180) {
+        out[i] = angle * 32 + phase;
+      } else {
+        out[i] = angle * 16 - phase;
+      }
+    }
+  }
+  return errs * 1000000 + phase * 10000 + (out[n - 1] + out[1] & 8191);
+}
+|}
+    (fun mem ->
+      let n = 160 in
+      let r = Data.rng 11 in
+      let t = ref 0 in
+      Data.fill_ints mem ~addr:1024 ~n (fun i ->
+          (* occasional glitch pulses (dt <= 0) and slow teeth (phase
+             wraps) exercise all three paths *)
+          if i mod 23 = 22 then Int64.of_int !t
+          else begin
+            t := !t + (if i mod 11 = 10 then 900 else 40 + Data.next r 300);
+            Int64.of_int !t
+          end);
+      [ Int64.of_int n; 1024L; 4096L; 713L ])
+
+(* aifirf01: fixed-point FIR filter over a signal buffer. *)
+let aifirf01 =
+  mk "aifirf01" "fixed-point FIR filter, 16 taps, straight-line MAC loop"
+    65536
+    {|
+kernel aifirf01(int n, int* sig, int* coef, int* out) {
+  int i;
+  int j;
+  for (i = 16; i < n; i = i + 1) {
+    int acc = 0;
+    for (j = 0; j < 16; j = j + 1) {
+      acc = acc + sig[i - j] * coef[j];
+    }
+    out[i] = acc >> 8;
+  }
+  return out[n - 1] + out[17];
+}
+|}
+    (fun mem ->
+      let n = 200 in
+      let r = Data.rng 12 in
+      Data.fill_ints mem ~addr:1024 ~n (fun _ ->
+          Int64.of_int (Data.next_signed r 1000));
+      Data.fill_ints mem ~addr:8192 ~n:16 (fun i ->
+          Int64.of_int (((i * 7) mod 31) - 15));
+      [ Int64.of_int n; 1024L; 8192L; 16384L ])
+
+(* aifftr01 / aiifft01: decimation-in-time radix-2 FFT butterflies on
+   fixed-point data, with a precomputed scaled twiddle table. The inverse
+   variant conjugates and rescales. *)
+let fft_source fname =
+  Printf.sprintf
+    {|
+kernel %s(int n, int* re, int* im, int* wre, int* wim, int inverse) {
+  int i;
+  int j;
+  int k;
+  // bit-reversal permutation
+  j = 0;
+  for (i = 0; i < n - 1; i = i + 1) {
+    if (i < j) {
+      int tr = re[i]; re[i] = re[j]; re[j] = tr;
+      int ti = im[i]; im[i] = im[j]; im[j] = ti;
+    }
+    k = n >> 1;
+    while (k <= j) {
+      j = j - k;
+      k = k >> 1;
+    }
+    j = j + k;
+  }
+  // butterflies
+  int len = 2;
+  while (len <= n) {
+    int half = len >> 1;
+    int step = n / len;
+    for (i = 0; i < n; i = i + len) {
+      int w = 0;
+      for (j = 0; j < half; j = j + 1) {
+        int wr = wre[w];
+        int wi = wim[w];
+        if (inverse != 0) { wi = -wi; }
+        int p = i + j;
+        int q = p + half;
+        int tr = (wr * re[q] - wi * im[q]) >> 10;
+        int ti = (wr * im[q] + wi * re[q]) >> 10;
+        re[q] = re[p] - tr;
+        im[q] = im[p] - ti;
+        re[p] = re[p] + tr;
+        im[p] = im[p] + ti;
+        w = w + step;
+      }
+    }
+    len = len << 1;
+  }
+  int acc = 0;
+  for (i = 0; i < n; i = i + 1) {
+    if (inverse != 0) {
+      re[i] = re[i] / n;
+      im[i] = im[i] / n;
+    }
+    acc = acc ^ re[i] ^ im[i];
+  }
+  return acc;
+}
+|}
+    fname
+
+let fft_setup ~inverse mem =
+  let n = 64 in
+  let r = Data.rng 13 in
+  Data.fill_ints mem ~addr:1024 ~n (fun _ ->
+      Int64.of_int (Data.next_signed r 512));
+  Data.fill_ints mem ~addr:4096 ~n (fun _ ->
+      Int64.of_int (Data.next_signed r 512));
+  (* scaled twiddles: 1024*cos/sin(2*pi*k/n) *)
+  Data.fill_ints mem ~addr:8192 ~n (fun k ->
+      Int64.of_int
+        (int_of_float (1024.0 *. cos (2.0 *. Float.pi *. float_of_int k /. float_of_int n))));
+  Data.fill_ints mem ~addr:12288 ~n (fun k ->
+      Int64.of_int
+        (int_of_float (-1024.0 *. sin (2.0 *. Float.pi *. float_of_int k /. float_of_int n))));
+  [ Int64.of_int n; 1024L; 4096L; 8192L; 12288L; (if inverse then 1L else 0L) ]
+
+let aifftr01 =
+  mk "aifftr01" "64-point fixed-point radix-2 FFT (bit reversal + butterflies)"
+    65536 (fft_source "aifftr01")
+    (fft_setup ~inverse:false)
+
+let aiifft01 =
+  mk "aiifft01" "inverse FFT variant: conjugated twiddles and rescaling"
+    65536 (fft_source "aiifft01")
+    (fft_setup ~inverse:true)
+
+(* basefp01: floating-point basic arithmetic with sign/range branches. *)
+let basefp01 =
+  mk "basefp01" "floating-point add/mul/div mix with range clamping branches"
+    65536
+    {|
+kernel basefp01(int n, float* a, float* b, float* out) {
+  int i;
+  float acc = 0.0;
+  for (i = 0; i < n; i = i + 1) {
+    float x = a[i];
+    float y = b[i];
+    float r = 0.0;
+    if (x > y) {
+      r = x * y + acc;
+    } else {
+      if (y > 0.125) {
+        r = x / y;
+      } else {
+        r = x - y * 2.0;
+      }
+    }
+    if (r > 1000000.0) { r = 1000000.0; }
+    if (r < -1000000.0) { r = -1000000.0; }
+    out[i] = r;
+    acc = acc * 0.5 + r;
+  }
+  return ftoi(acc);
+}
+|}
+    (fun mem ->
+      let n = 160 in
+      let r = Data.rng 14 in
+      Data.fill_floats mem ~addr:1024 ~n (fun _ ->
+          float_of_int (Data.next_signed r 2000) /. 8.0);
+      Data.fill_floats mem ~addr:4096 ~n (fun _ ->
+          float_of_int (Data.next_signed r 2000) /. 16.0);
+      [ Int64.of_int n; 1024L; 4096L; 8192L ])
+
+(* bitmnp01: bit manipulation — per-bit tests and sets on a bitmap. *)
+let bitmnp01 =
+  mk "bitmnp01" "bit shuffling, per-bit branches, population counting"
+    65536
+    {|
+kernel bitmnp01(int n, int* words, int* out) {
+  int i;
+  int bit;
+  int pop = 0;
+  for (i = 0; i < n; i = i + 1) {
+    int w = words[i];
+    int rev = 0;
+    for (bit = 0; bit < 32; bit = bit + 1) {
+      rev = rev << 1;
+      if ((w & 1) != 0) {
+        rev = rev | 1;
+        pop = pop + 1;
+      }
+      w = w >> 1;
+    }
+    out[i] = rev;
+  }
+  return pop;
+}
+|}
+    (fun mem ->
+      let n = 48 in
+      let r = Data.rng 15 in
+      Data.fill_ints mem ~addr:1024 ~n (fun _ ->
+          Int64.of_int (Data.next r 0x3FFFFFFF));
+      [ Int64.of_int n; 1024L; 4096L ])
+
+(* cacheb01: cache-buster — strided accesses over a large array. *)
+let cacheb01 =
+  mk "cacheb01" "strided streaming reads/writes designed to stress the D-cache"
+    262144
+    {|
+kernel cacheb01(int n, int stride, int* buf) {
+  int pass;
+  int i;
+  int sum = 0;
+  for (pass = 0; pass < 4; pass = pass + 1) {
+    i = pass;
+    while (i < n) {
+      sum = sum + buf[i];
+      buf[i] = sum & 65535;
+      i = i + stride;
+    }
+  }
+  return sum;
+}
+|}
+    (fun mem ->
+      let n = 16384 in
+      Data.fill_ints mem ~addr:8192 ~n:512 (fun i -> Int64.of_int (i * 3));
+      [ Int64.of_int n; 257L; 8192L ])
+
+(* canrdr01: CAN remote data request — byte-stream frame parsing. *)
+let canrdr01 =
+  mk "canrdr01" "CAN frame parsing: byte classification and dispatch"
+    65536
+    {|
+kernel canrdr01(int n, byte* stream, int* counts) {
+  int i = 0;
+  int frames = 0;
+  int errors = 0;
+  while (i < n - 4) {
+    int id = stream[i] & 255;
+    int dlc = stream[i + 1] & 15;
+    if (id == 127) {
+      errors = errors + 1;
+      i = i + 1;
+      continue;
+    }
+    if (dlc > 8) {
+      errors = errors + 1;
+      i = i + 2;
+      continue;
+    }
+    int kind = id >> 5;
+    counts[kind] = counts[kind] + 1;
+    if ((stream[i + 2] & 64) != 0) {
+      counts[kind + 8] = counts[kind + 8] + dlc;
+    }
+    frames = frames + 1;
+    i = i + 2 + dlc;
+  }
+  return frames * 100 + errors;
+}
+|}
+    (fun mem ->
+      let n = 1600 in
+      let r = Data.rng 16 in
+      Data.fill_bytes mem ~addr:1024 ~n (fun _ -> Data.next r 256);
+      [ Int64.of_int n; 1024L; 8192L ])
+
+(* idctrn01: 8x8 integer inverse DCT (row/column passes). *)
+let idctrn01 =
+  mk "idctrn01" "8x8 integer IDCT: row and column butterfly passes"
+    65536
+    {|
+kernel idctrn01(int nblocks, int* blocks, int* coef) {
+  int b;
+  int i;
+  int j;
+  int k;
+  int check = 0;
+  for (b = 0; b < nblocks; b = b + 1) {
+    int base = b * 64;
+    // row pass
+    for (i = 0; i < 8; i = i + 1) {
+      for (j = 0; j < 8; j = j + 1) {
+        int acc = 0;
+        for (k = 0; k < 8; k = k + 1) {
+          acc = acc + blocks[base + i * 8 + k] * coef[k * 8 + j];
+        }
+        blocks[base + i * 8 + j] = acc >> 11;
+      }
+    }
+    // clamp pass
+    for (i = 0; i < 64; i = i + 1) {
+      int v = blocks[base + i];
+      if (v > 255) { v = 255; }
+      if (v < -256) { v = -256; }
+      blocks[base + i] = v;
+      check = check ^ v;
+    }
+  }
+  return check;
+}
+|}
+    (fun mem ->
+      let nblocks = 4 in
+      let r = Data.rng 17 in
+      Data.fill_ints mem ~addr:1024 ~n:(64 * nblocks) (fun _ ->
+          Int64.of_int (Data.next_signed r 1024));
+      Data.fill_ints mem ~addr:8192 ~n:64 (fun k ->
+          Int64.of_int
+            (int_of_float
+               (2048.0
+               *. cos (Float.pi *. float_of_int ((2 * (k / 8)) + 1) *. float_of_int (k mod 8) /. 16.0))));
+      [ Int64.of_int nblocks; 1024L; 8192L ])

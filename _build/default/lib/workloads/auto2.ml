@@ -1,0 +1,280 @@
+(* EEMBC-automotive-style kernels, part 2. *)
+
+let mk name description mem_size source setup =
+  { Workload.name; description; source; mem_size; setup }
+
+(* iirflt01: cascaded direct-form-II biquads with saturation branches. *)
+let iirflt01 =
+  mk "iirflt01" "IIR biquad cascade with per-sample saturation branches"
+    65536
+    {|
+kernel iirflt01(int n, int* sig, int* coef, int* out) {
+  int i;
+  int s;
+  int d10 = 0; int d20 = 0;
+  int d11 = 0; int d21 = 0;
+  for (i = 0; i < n; i = i + 1) {
+    int x = sig[i];
+    // stage 0
+    int w = x - ((coef[0] * d10) >> 12) - ((coef[1] * d20) >> 12);
+    int y = ((coef[2] * w) >> 12) + ((coef[3] * d10) >> 12) + ((coef[4] * d20) >> 12);
+    d20 = d10;
+    d10 = w;
+    // stage 1
+    w = y - ((coef[5] * d11) >> 12) - ((coef[6] * d21) >> 12);
+    s = ((coef[7] * w) >> 12) + ((coef[8] * d11) >> 12) + ((coef[9] * d21) >> 12);
+    d21 = d11;
+    d11 = w;
+    if (s > 32767) { s = 32767; }
+    if (s < -32768) { s = -32768; }
+    out[i] = s;
+  }
+  return out[0] ^ out[n - 1] ^ out[n / 2];
+}
+|}
+    (fun mem ->
+      let n = 256 in
+      let r = Data.rng 21 in
+      Data.fill_ints mem ~addr:1024 ~n (fun i ->
+          Int64.of_int
+            (int_of_float (3000.0 *. sin (float_of_int i /. 5.0))
+            + Data.next_signed r 200));
+      Data.fill_ints mem ~addr:8192 ~n:10 (fun i ->
+          Int64.of_int (List.nth [ -7000; 2200; 900; 1800; 900; -6600; 2000; 1000; 2000; 1000 ] i));
+      [ Int64.of_int n; 1024L; 8192L; 16384L ])
+
+(* matrix01: small dense matrix multiply and trace. *)
+let matrix01 =
+  mk "matrix01" "dense integer matrix multiply (12x12) plus diagonal checks"
+    65536
+    {|
+kernel matrix01(int n, int* a, int* b, int* c) {
+  int i;
+  int j;
+  int k;
+  for (i = 0; i < n; i = i + 1) {
+    for (j = 0; j < n; j = j + 1) {
+      int acc = 0;
+      for (k = 0; k < n; k = k + 1) {
+        acc = acc + a[i * n + k] * b[k * n + j];
+      }
+      c[i * n + j] = acc;
+    }
+  }
+  int trace = 0;
+  for (i = 0; i < n; i = i + 1) {
+    if (c[i * n + i] > 0) {
+      trace = trace + c[i * n + i];
+    } else {
+      trace = trace - c[i * n + i];
+    }
+  }
+  return trace;
+}
+|}
+    (fun mem ->
+      let n = 12 in
+      let r = Data.rng 22 in
+      Data.fill_ints mem ~addr:1024 ~n:(n * n) (fun _ ->
+          Int64.of_int (Data.next_signed r 50));
+      Data.fill_ints mem ~addr:4096 ~n:(n * n) (fun _ ->
+          Int64.of_int (Data.next_signed r 50));
+      [ Int64.of_int n; 1024L; 4096L; 8192L ])
+
+(* pntrch01: pointer chasing through a linked structure in memory. *)
+let pntrch01 =
+  mk "pntrch01" "pointer chasing: next-offset traversal with match tests"
+    65536
+    {|
+kernel pntrch01(int head, int* heap, int target, int maxsteps) {
+  int cur = head;
+  int steps = 0;
+  int found = 0;
+  while (cur != -1 && steps < maxsteps) {
+    int value = heap[cur];
+    if (value == target) {
+      found = found + 1;
+    }
+    cur = heap[cur + 1];
+    steps = steps + 1;
+  }
+  return found * 10000 + steps;
+}
+|}
+    (fun mem ->
+      (* nodes: [value; next_index], a shuffled singly linked list *)
+      let nodes = 400 in
+      let r = Data.rng 23 in
+      let perm = Array.init nodes (fun i -> i) in
+      for i = nodes - 1 downto 1 do
+        let j = Data.next r (i + 1) in
+        let t = perm.(i) in
+        perm.(i) <- perm.(j);
+        perm.(j) <- t
+      done;
+      for i = 0 to nodes - 1 do
+        let self = perm.(i) * 2 in
+        let next = if i = nodes - 1 then -1 else perm.(i + 1) * 2 in
+        Edge_isa.Mem.store_int mem (1024 + (8 * self)) (Int64.of_int (Data.next r 97));
+        Edge_isa.Mem.store_int mem (1024 + (8 * (self + 1))) (Int64.of_int next)
+      done;
+      [ Int64.of_int (perm.(0) * 2); 1024L; 42L; 600L ])
+
+(* puwmod01: pulse-width modulation state machine. *)
+let puwmod01 =
+  mk "puwmod01" "PWM: duty-cycle counters with threshold and wrap branches"
+    65536
+    {|
+kernel puwmod01(int n, int* duty, int period, int* edges) {
+  int t;
+  int ch;
+  int counter = 0;
+  int nedges = 0;
+  for (t = 0; t < n; t = t + 1) {
+    counter = counter + 1;
+    if (counter >= period) { counter = 0; }
+    for (ch = 0; ch < 4; ch = ch + 1) {
+      int d = duty[ch];
+      int high = 0;
+      if (counter < d) { high = 1; }
+      int prev = edges[ch] & 1;
+      if (high != prev) {
+        edges[ch] = (edges[ch] | 1) ^ prev;
+        edges[4 + ch] = edges[4 + ch] + 1;
+        nedges = nedges + 1;
+      }
+    }
+  }
+  return nedges;
+}
+|}
+    (fun mem ->
+      Data.fill_ints mem ~addr:1024 ~n:4 (fun i ->
+          Int64.of_int (List.nth [ 13; 37; 64; 90 ] i));
+      [ 1200L; 1024L; 100L; 4096L ])
+
+(* rspeed01: road-speed from timer captures; plausibility filtering. *)
+let rspeed01 =
+  mk "rspeed01" "road speed: timer-delta filtering with plausibility branches"
+    65536
+    {|
+kernel rspeed01(int n, int* captures, int* out) {
+  int i;
+  int last = 0;
+  int speed = 0;
+  int rejects = 0;
+  for (i = 0; i < n; i = i + 1) {
+    int c = captures[i];
+    int dt = c - last;
+    last = c;
+    if (dt < 10) {
+      rejects = rejects + 1;
+      continue;
+    }
+    int s = 360000 / dt;
+    if (s > 250) {
+      rejects = rejects + 1;
+      continue;
+    }
+    // exponential smoothing in integer arithmetic
+    speed = (speed * 7 + s) >> 3;
+    out[i] = speed;
+  }
+  return speed * 1000 + rejects;
+}
+|}
+    (fun mem ->
+      let n = 300 in
+      let r = Data.rng 25 in
+      let t = ref 100 in
+      Data.fill_ints mem ~addr:1024 ~n (fun i ->
+          t := !t + (if i mod 17 = 0 then 3 else 1500 + Data.next r 2000);
+          Int64.of_int !t);
+      [ Int64.of_int n; 1024L; 8192L ])
+
+(* tblook01: table lookup with linear interpolation. *)
+let tblook01 =
+  mk "tblook01" "table lookup and interpolation with boundary branches"
+    65536
+    {|
+kernel tblook01(int n, int* keys, int* xs, int* ys, int tlen) {
+  int i;
+  int acc = 0;
+  for (i = 0; i < n; i = i + 1) {
+    int k = keys[i];
+    if (k <= xs[0]) {
+      acc = acc + ys[0];
+      continue;
+    }
+    if (k >= xs[tlen - 1]) {
+      acc = acc + ys[tlen - 1];
+      continue;
+    }
+    // binary search for the bracketing segment
+    int lo = 0;
+    int hi = tlen - 1;
+    while (hi - lo > 1) {
+      int mid = (lo + hi) >> 1;
+      if (xs[mid] <= k) { lo = mid; } else { hi = mid; }
+    }
+    int x0 = xs[lo];
+    int x1 = xs[hi];
+    int y0 = ys[lo];
+    int y1 = ys[hi];
+    int dy = y1 - y0;
+    int dx = x1 - x0;
+    if (dx == 0) { dx = 1; }
+    acc = acc + y0 + (dy * (k - x0)) / dx;
+  }
+  return acc;
+}
+|}
+    (fun mem ->
+      let tlen = 33 in
+      let n = 250 in
+      let r = Data.rng 26 in
+      Data.fill_ints mem ~addr:1024 ~n (fun _ ->
+          Int64.of_int (Data.next r 3300));
+      Data.fill_ints mem ~addr:8192 ~n:tlen (fun i -> Int64.of_int (i * 100));
+      Data.fill_ints mem ~addr:12288 ~n:tlen (fun i ->
+          Int64.of_int ((i * i * 3) - (i * 40)));
+      [ Int64.of_int n; 1024L; 8192L; 12288L; Int64.of_int tlen ])
+
+(* ttsprk01: tooth-to-spark — nested angle window logic per cylinder. *)
+let ttsprk01 =
+  mk "ttsprk01" "tooth-to-spark: per-cylinder angle windows, dwell control"
+    65536
+    {|
+kernel ttsprk01(int n, int* teeth, int* dwell, int* spark) {
+  int i;
+  int cyl = 0;
+  int fired = 0;
+  int dw = 0;
+  for (i = 0; i < n; i = i + 1) {
+    int angle = teeth[i] % 720;
+    int base = cyl * 180;
+    int adv = dwell[cyl];
+    if (angle >= base && angle < base + 90) {
+      if (angle >= base + 90 - adv) {
+        dw = dw + 1;
+        if (angle >= base + 88) {
+          spark[cyl] = spark[cyl] + 1;
+          fired = fired + 1;
+          cyl = (cyl + 1) & 3;
+        }
+      }
+    } else {
+      if (angle >= base + 90) {
+        cyl = (cyl + 1) & 3;
+      }
+    }
+  }
+  return fired * 1000 + dw;
+}
+|}
+    (fun mem ->
+      let n = 700 in
+      Data.fill_ints mem ~addr:1024 ~n (fun i -> Int64.of_int (i * 6));
+      Data.fill_ints mem ~addr:8192 ~n:4 (fun i ->
+          Int64.of_int (List.nth [ 20; 35; 10; 25 ] i));
+      [ Int64.of_int n; 1024L; 8192L; 12288L ])

@@ -1,0 +1,42 @@
+type rng = int64 ref
+
+let rng seed = ref (Int64.of_int ((seed * 2654435761) land 0x7FFFFFFF))
+
+let step r =
+  r := Int64.logand (Int64.add (Int64.mul !r 6364136223846793005L) 1442695040888963407L) Int64.max_int;
+  Int64.to_int (Int64.shift_right_logical !r 33)
+
+let next r bound = if bound <= 0 then 0 else step r mod bound
+let next_signed r bound = next r (2 * bound) - bound
+
+let fill_ints mem ~addr ~n f =
+  for i = 0 to n - 1 do
+    Edge_isa.Mem.store_int mem (addr + (8 * i)) (f i)
+  done
+
+let fill_i32 mem ~addr ~n f =
+  for i = 0 to n - 1 do
+    match
+      Edge_isa.Mem.store mem ~width:Edge_isa.Opcode.W4
+        ~addr:(Int64.of_int (addr + (4 * i)))
+        (Int64.of_int32 (f i))
+    with
+    | Ok () -> ()
+    | Error () -> invalid_arg "Data.fill_i32"
+  done
+
+let fill_bytes mem ~addr ~n f =
+  for i = 0 to n - 1 do
+    match
+      Edge_isa.Mem.store mem ~width:Edge_isa.Opcode.W1
+        ~addr:(Int64.of_int (addr + i))
+        (Int64.of_int (f i land 0xFF))
+    with
+    | Ok () -> ()
+    | Error () -> invalid_arg "Data.fill_bytes"
+  done
+
+let fill_floats mem ~addr ~n f =
+  for i = 0 to n - 1 do
+    Edge_isa.Mem.store_float mem (addr + (8 * i)) (f i)
+  done

@@ -1,0 +1,16 @@
+(** Deterministic synthetic input data (a fixed linear congruential
+    generator), standing in for the EEMBC input sets. *)
+
+type rng
+
+val rng : int -> rng
+val next : rng -> int -> int
+(** [next r bound] is uniform in [0, bound). *)
+
+val next_signed : rng -> int -> int
+(** Uniform in (-bound, bound). *)
+
+val fill_ints : Edge_isa.Mem.t -> addr:int -> n:int -> (int -> int64) -> unit
+val fill_i32 : Edge_isa.Mem.t -> addr:int -> n:int -> (int -> int32) -> unit
+val fill_bytes : Edge_isa.Mem.t -> addr:int -> n:int -> (int -> int) -> unit
+val fill_floats : Edge_isa.Mem.t -> addr:int -> n:int -> (int -> float) -> unit

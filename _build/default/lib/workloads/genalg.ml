@@ -1,0 +1,54 @@
+(* The genalg kernel of the paper's Section 5.3 / Figure 6: the
+   roulette-wheel selection loop of a genetic algorithm (originally from
+   an MIT Lincoln Laboratories application):
+
+     for (x = c; rx > 0.0 && x < pop-1; x++, p_fitness++)
+         rx -= *p_fitness;
+
+   The short-circuit loop condition produces the predicate-AND chain of
+   Figure 6b, and x / rx / p_fitness live past the loop, producing the
+   guarded live-out moves of Figure 6c that instruction merging
+   collapses (Figure 6d). The kernel below embeds the loop in the
+   surrounding selection context: for each of [ntrials] spins it picks an
+   individual by walking the fitness array. *)
+
+let source =
+  {|
+kernel genalg(int pop, int ntrials, float* fitness, int* picks, float* spins) {
+  int t;
+  int total_x = 0;
+  for (t = 0; t < ntrials; t = t + 1) {
+    float rx = spins[t];
+    int c = t % 4;
+    int x = c;
+    // Figure 6a, verbatim modulo syntax: p_fitness walks fitness[x]
+    while (rx > 0.0 && x < pop - 1) {
+      rx = rx - fitness[x];
+      x = x + 1;
+    }
+    picks[t] = x;
+    total_x = total_x + x;
+  }
+  return total_x;
+}
+|}
+
+let workload =
+  {
+    Workload.name = "genalg";
+    description =
+      "Figure 6 roulette-wheel selection loop (genetic algorithm), \
+       short-circuit exit condition with live-out x/rx/p_fitness";
+    source;
+    mem_size = 65536;
+    setup =
+      (fun mem ->
+        let pop = 48 in
+        let ntrials = 64 in
+        let r = Data.rng 55 in
+        Data.fill_floats mem ~addr:1024 ~n:pop (fun _ ->
+            float_of_int (1 + Data.next r 100) /. 10.0);
+        Data.fill_floats mem ~addr:8192 ~n:ntrials (fun _ ->
+            float_of_int (Data.next r 2000) /. 10.0);
+        [ Int64.of_int pop; Int64.of_int ntrials; 1024L; 4096L; 8192L ]);
+  }

@@ -1,0 +1,333 @@
+(* EEMBC-networking- and office-style kernels. *)
+
+let mk name description mem_size source setup =
+  { Workload.name; description; source; mem_size; setup }
+
+(* ospf: Dijkstra shortest-path over a small dense adjacency matrix. *)
+let ospf =
+  mk "ospf" "Dijkstra over a dense adjacency matrix (OSPF route computation)"
+    65536
+    {|
+kernel ospf(int nv, int* adj, int* dist, int* visited) {
+  int i;
+  int round;
+  for (i = 0; i < nv; i = i + 1) {
+    dist[i] = 1000000;
+    visited[i] = 0;
+  }
+  dist[0] = 0;
+  for (round = 0; round < nv; round = round + 1) {
+    // pick the unvisited vertex with the smallest distance
+    int u = -1;
+    int best = 1000001;
+    for (i = 0; i < nv; i = i + 1) {
+      if (visited[i] == 0 && dist[i] < best) {
+        best = dist[i];
+        u = i;
+      }
+    }
+    if (u < 0) { break; }
+    visited[u] = 1;
+    for (i = 0; i < nv; i = i + 1) {
+      int w = adj[u * nv + i];
+      if (w > 0 && visited[i] == 0) {
+        int nd = dist[u] + w;
+        if (nd < dist[i]) { dist[i] = nd; }
+      }
+    }
+  }
+  int check = 0;
+  for (i = 0; i < nv; i = i + 1) {
+    check = check + dist[i] * (i + 1);
+  }
+  return check;
+}
+|}
+    (fun mem ->
+      let nv = 24 in
+      let r = Data.rng 41 in
+      Data.fill_ints mem ~addr:1024 ~n:(nv * nv) (fun idx ->
+          let i = idx / nv and j = idx mod nv in
+          if i = j then 0L
+          else if Data.next r 100 < 30 then Int64.of_int (1 + Data.next r 40)
+          else 0L);
+      [ Int64.of_int nv; 1024L; 8192L; 12288L ])
+
+(* pktflow: packet header validation and counter updates. *)
+let pktflow =
+  mk "pktflow" "packet classification: header checks, TTL, counters"
+    131072
+    {|
+kernel pktflow(int npkts, int4* headers, int* counts) {
+  int i;
+  int dropped = 0;
+  int forwarded = 0;
+  for (i = 0; i < npkts; i = i + 1) {
+    int w0 = headers[i * 4];
+    int w1 = headers[i * 4 + 1];
+    int w2 = headers[i * 4 + 2];
+    int version = (w0 >> 28) & 15;
+    int ttl = (w1 >> 24) & 255;
+    int proto = (w1 >> 16) & 255;
+    if (version != 4) {
+      dropped = dropped + 1;
+      continue;
+    }
+    if (ttl <= 1) {
+      dropped = dropped + 1;
+      counts[0] = counts[0] + 1;
+      continue;
+    }
+    int bucket = (w2 ^ (w2 >> 7)) & 15;
+    if (proto == 6) {
+      counts[1 + bucket] = counts[1 + bucket] + 1;
+    } else {
+      if (proto == 17) {
+        counts[17 + bucket] = counts[17 + bucket] + 1;
+      } else {
+        counts[33] = counts[33] + 1;
+      }
+    }
+    headers[i * 4 + 1] = w1 - 0x1000000;
+    forwarded = forwarded + 1;
+  }
+  return forwarded * 10000 + dropped;
+}
+|}
+    (fun mem ->
+      let npkts = 300 in
+      let r = Data.rng 42 in
+      Data.fill_i32 mem ~addr:1024 ~n:(npkts * 4) (fun idx ->
+          let field = idx mod 4 in
+          match field with
+          | 0 ->
+              let version = if Data.next r 10 < 8 then 4 else 6 in
+              Int32.of_int ((version lsl 28) lor Data.next r 0xFFFFFF)
+          | 1 ->
+              let ttl = Data.next r 64 in
+              let proto = List.nth [ 6; 17; 1; 6; 6; 17 ] (Data.next r 6) in
+              Int32.of_int ((ttl lsl 24) lor (proto lsl 16) lor Data.next r 0xFFFF)
+          | _ -> Int32.of_int (Data.next r 0x3FFFFFFF));
+      [ Int64.of_int npkts; 1024L; 32768L ])
+
+(* routelookup: longest-prefix match over a binary trie in an array. *)
+let routelookup =
+  mk "routelookup" "IP route lookup: binary trie walk per address"
+    131072
+    {|
+kernel routelookup(int naddrs, int* addrs, int* trie, int* results) {
+  int i;
+  int bit;
+  int hits = 0;
+  for (i = 0; i < naddrs; i = i + 1) {
+    int a = addrs[i];
+    int node = 0;
+    int best = -1;
+    for (bit = 23; bit >= 0; bit = bit - 1) {
+      int nh = trie[node * 3 + 2];
+      if (nh >= 0) { best = nh; }
+      int dir = (a >> bit) & 1;
+      int child = trie[node * 3 + dir];
+      if (child < 0) { break; }
+      node = child;
+    }
+    results[i] = best;
+    if (best >= 0) { hits = hits + 1; }
+  }
+  return hits * 100000 + results[0] + results[naddrs - 1];
+}
+|}
+    (fun mem ->
+      (* build a small random trie: node = [left, right, nexthop] *)
+      let r = Data.rng 43 in
+      let max_nodes = 300 in
+      let count = ref 1 in
+      let trie = Array.make (max_nodes * 3) (-1) in
+      let rec insert node prefix depth nh =
+        if depth = 0 then trie.((node * 3) + 2) <- nh
+        else begin
+          let dir = (prefix lsr (depth - 1)) land 1 in
+          if trie.((node * 3) + dir) < 0 && !count < max_nodes then begin
+            trie.((node * 3) + dir) <- !count;
+            incr count
+          end;
+          let child = trie.((node * 3) + dir) in
+          if child >= 0 then insert child prefix (depth - 1) nh
+        end
+      in
+      for p = 0 to 79 do
+        let len = 4 + Data.next r 12 in
+        insert 0 (Data.next r (1 lsl len)) len (p land 31)
+      done;
+      Data.fill_ints mem ~addr:32768 ~n:(max_nodes * 3) (fun i ->
+          Int64.of_int trie.(i));
+      let naddrs = 300 in
+      Data.fill_ints mem ~addr:1024 ~n:naddrs (fun _ ->
+          Int64.of_int (Data.next r (1 lsl 24)));
+      [ Int64.of_int naddrs; 1024L; 32768L; 16384L ])
+
+(* bezier01: fixed-point cubic Bezier evaluation. *)
+let bezier01 =
+  mk "bezier01" "cubic Bezier interpolation in fixed point"
+    65536
+    {|
+kernel bezier01(int nseg, int* ctrl, int* out) {
+  int s;
+  int t;
+  int idx = 0;
+  for (s = 0; s < nseg; s = s + 1) {
+    int x0 = ctrl[s * 8];
+    int y0 = ctrl[s * 8 + 1];
+    int x1 = ctrl[s * 8 + 2];
+    int y1 = ctrl[s * 8 + 3];
+    int x2 = ctrl[s * 8 + 4];
+    int y2 = ctrl[s * 8 + 5];
+    int x3 = ctrl[s * 8 + 6];
+    int y3 = ctrl[s * 8 + 7];
+    for (t = 0; t <= 16; t = t + 1) {
+      int u = 16 - t;
+      int b0 = u * u * u;
+      int b1 = 3 * u * u * t;
+      int b2 = 3 * u * t * t;
+      int b3 = t * t * t;
+      int x = (b0 * x0 + b1 * x1 + b2 * x2 + b3 * x3) >> 12;
+      int y = (b0 * y0 + b1 * y1 + b2 * y2 + b3 * y3) >> 12;
+      out[idx] = x;
+      out[idx + 1] = y;
+      idx = idx + 2;
+    }
+  }
+  int check = 0;
+  for (t = 0; t < idx; t = t + 1) { check = check ^ (out[t] * (t + 1)); }
+  return check;
+}
+|}
+    (fun mem ->
+      let nseg = 12 in
+      let r = Data.rng 44 in
+      Data.fill_ints mem ~addr:1024 ~n:(nseg * 8) (fun _ ->
+          Int64.of_int (Data.next r 1024));
+      [ Int64.of_int nseg; 1024L; 8192L ])
+
+(* dither01: error-diffusion dithering over a greyscale strip. *)
+let dither01 =
+  mk "dither01" "error-diffusion dithering: threshold branch per pixel"
+    131072
+    {|
+kernel dither01(int w, int h, byte* img, byte* out, int* err)  {
+  int x;
+  int y;
+  int ones = 0;
+  for (y = 0; y < h; y = y + 1) {
+    for (x = 0; x < w; x = x + 1) {
+      int v = (img[y * w + x] & 255) + err[x];
+      int o = 0;
+      int e = v;
+      if (v > 127) {
+        o = 1;
+        e = v - 255;
+        ones = ones + 1;
+      }
+      out[y * w + x] = o;
+      // push 1/2 of the error right, 1/2 down
+      if (x + 1 < w) {
+        err[x + 1] = err[x + 1] + (e >> 1);
+      }
+      err[x] = e >> 1;
+    }
+  }
+  return ones;
+}
+|}
+    (fun mem ->
+      let w = 64 and h = 24 in
+      let r = Data.rng 45 in
+      Data.fill_bytes mem ~addr:1024 ~n:(w * h) (fun i ->
+          (i * 2 + Data.next r 60) land 255);
+      [ Int64.of_int w; Int64.of_int h; 1024L; 8192L; 16384L ])
+
+(* rotate01: rotate a 1-bit bitmap by 90 degrees — the paper's standout
+   benchmark (59% speedup with both optimizations): a tight, extremely
+   branchy per-bit inner loop that predication converts to dataflow. *)
+let rotate01 =
+  mk "rotate01" "90-degree rotation of a 1-bit bitmap, per-bit branchy inner loop"
+    131072
+    {|
+kernel rotate01(int w, int h, int* src, int* dst) {
+  // bitmap is w*h bits, row-major, 32 bits per word in an int array;
+  // destination is h*w bits
+  int x;
+  int y;
+  int setbits = 0;
+  for (y = 0; y < h; y = y + 1) {
+    for (x = 0; x < w; x = x + 1) {
+      int sbit = y * w + x;
+      int sw = src[sbit >> 5];
+      if (((sw >> (sbit & 31)) & 1) != 0) {
+        int dx = h - 1 - y;
+        int dbit = x * h + dx;
+        dst[dbit >> 5] = dst[dbit >> 5] | (1 << (dbit & 31));
+        setbits = setbits + 1;
+      }
+    }
+  }
+  int check = 0;
+  int i;
+  for (i = 0; i < (w * h) / 32; i = i + 1) {
+    check = check ^ (dst[i] * (i + 1));
+  }
+  return check ^ setbits;
+}
+|}
+    (fun mem ->
+      let w = 64 and h = 32 in
+      let r = Data.rng 46 in
+      Data.fill_ints mem ~addr:1024 ~n:(w * h / 32) (fun _ ->
+          Int64.of_int (Data.next r 0x3FFFFFFF));
+      [ Int64.of_int w; Int64.of_int h; 1024L; 16384L ])
+
+(* text01: text scanning — character-class branches per byte. *)
+let text01 =
+  mk "text01" "text parsing: per-character classification, word/line counters"
+    65536
+    {|
+kernel text01(int n, byte* text, int* counts) {
+  int i;
+  int inword = 0;
+  int words = 0;
+  int lines = 0;
+  int digits = 0;
+  int upper = 0;
+  for (i = 0; i < n; i = i + 1) {
+    int c = text[i] & 255;
+    if (c == 10) {
+      lines = lines + 1;
+      inword = 0;
+      continue;
+    }
+    if (c == 32 || c == 9) {
+      inword = 0;
+      continue;
+    }
+    if (c >= 48 && c <= 57) { digits = digits + 1; }
+    if (c >= 65 && c <= 90) { upper = upper + 1; }
+    if (inword == 0) {
+      words = words + 1;
+      inword = 1;
+    }
+    counts[c & 63] = counts[c & 63] + 1;
+  }
+  return words * 100000 + lines * 1000 + digits + upper;
+}
+|}
+    (fun mem ->
+      let n = 1800 in
+      let r = Data.rng 47 in
+      Data.fill_bytes mem ~addr:1024 ~n (fun _ ->
+          let k = Data.next r 100 in
+          if k < 15 then 32
+          else if k < 18 then 10
+          else if k < 28 then 48 + Data.next r 10
+          else if k < 45 then 65 + Data.next r 26
+          else 97 + Data.next r 26);
+      [ Int64.of_int n; 1024L; 8192L ])

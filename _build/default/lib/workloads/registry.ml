@@ -1,0 +1,39 @@
+let eembc =
+  [
+    Auto1.a2time01;
+    Auto1.aifftr01;
+    Auto1.aifirf01;
+    Auto1.aiifft01;
+    Telecom.autcor00;
+    Auto1.basefp01;
+    Netoffice.bezier01;
+    Auto1.bitmnp01;
+    Auto1.cacheb01;
+    Auto1.canrdr01;
+    Telecom.conven00;
+    Netoffice.dither01;
+    Telecom.fbital00;
+    Telecom.fft00;
+    Auto1.idctrn01;
+    Auto2.iirflt01;
+    Auto2.matrix01;
+    Netoffice.ospf;
+    Netoffice.pktflow;
+    Auto2.pntrch01;
+    Auto2.puwmod01;
+    Netoffice.rotate01;
+    Netoffice.routelookup;
+    Auto2.rspeed01;
+    Auto2.tblook01;
+    Netoffice.text01;
+    Auto2.ttsprk01;
+    Telecom.viterb00;
+  ]
+
+let genalg = Genalg.workload
+let all = eembc @ [ genalg ]
+
+let find name =
+  List.find_opt (fun w -> String.equal w.Workload.name name) all
+
+let names () = List.map (fun w -> w.Workload.name) all

@@ -1,0 +1,9 @@
+(** All workloads, in the presentation order of the paper's Figure 7. *)
+
+val eembc : Workload.t list
+(** The 28 EEMBC-named kernels. *)
+
+val genalg : Workload.t
+val all : Workload.t list
+val find : string -> Workload.t option
+val names : unit -> string list

@@ -1,0 +1,192 @@
+(* EEMBC-telecom-style kernels. *)
+
+let mk name description mem_size source setup =
+  { Workload.name; description; source; mem_size; setup }
+
+(* autcor00: autocorrelation of a fixed-point signal. The paper singles
+   this benchmark out as benefiting from path-sensitive predicate
+   removal. *)
+let autcor00 =
+  mk "autcor00" "autocorrelation over a signal, lag loop nest"
+    65536
+    {|
+kernel autcor00(int n, int nlags, int* sig, int* out) {
+  int lag;
+  int i;
+  for (lag = 0; lag < nlags; lag = lag + 1) {
+    int acc = 0;
+    for (i = 0; i < n - lag; i = i + 1) {
+      acc = acc + ((sig[i] * sig[i + lag]) >> 4);
+    }
+    out[lag] = acc;
+  }
+  int peak = 0;
+  for (lag = 1; lag < nlags; lag = lag + 1) {
+    if (out[lag] > out[peak]) { peak = lag; }
+  }
+  return peak * 1000000 + out[peak] % 1000000;
+}
+|}
+    (fun mem ->
+      let n = 256 in
+      let r = Data.rng 31 in
+      Data.fill_ints mem ~addr:1024 ~n (fun i ->
+          Int64.of_int
+            (int_of_float (200.0 *. sin (float_of_int i /. 6.5))
+            + Data.next_signed r 40));
+      [ Int64.of_int n; 16L; 1024L; 8192L ])
+
+(* conven00: convolutional encoder — shift register + parity taps. Also
+   called out in the paper for the inter optimization. *)
+let conven00 =
+  mk "conven00" "convolutional encoder: shift register, parity taps, bit output"
+    65536
+    {|
+kernel conven00(int n, byte* bits, byte* out) {
+  int i;
+  int state = 0;
+  int obit = 0;
+  for (i = 0; i < n; i = i + 1) {
+    state = ((state << 1) | (bits[i] & 1)) & 63;
+    // generator polynomials 0x2D and 0x3B over the 6-bit state
+    int g0 = state & 45;
+    int g1 = state & 59;
+    int p0 = 0;
+    int p1 = 0;
+    while (g0 != 0) {
+      p0 = p0 ^ (g0 & 1);
+      g0 = g0 >> 1;
+    }
+    while (g1 != 0) {
+      p1 = p1 ^ (g1 & 1);
+      g1 = g1 >> 1;
+    }
+    out[obit] = p0;
+    out[obit + 1] = p1;
+    obit = obit + 2;
+  }
+  int check = 0;
+  for (i = 0; i < obit; i = i + 1) {
+    check = (check * 2 + out[i]) % 65521;
+  }
+  return check;
+}
+|}
+    (fun mem ->
+      let n = 400 in
+      let r = Data.rng 32 in
+      Data.fill_bytes mem ~addr:1024 ~n (fun _ -> Data.next r 2);
+      [ Int64.of_int n; 1024L; 8192L ])
+
+(* fbital00: bit allocation by water-filling over carrier SNRs. *)
+let fbital00 =
+  mk "fbital00" "bit allocation: water-filling loop with per-carrier branches"
+    65536
+    {|
+kernel fbital00(int ncarriers, int budget, int* snr, int* bits) {
+  int i;
+  int allocated = 0;
+  int threshold = 256;
+  while (allocated < budget && threshold > 0) {
+    allocated = 0;
+    for (i = 0; i < ncarriers; i = i + 1) {
+      int b = snr[i] / threshold;
+      if (b > 15) { b = 15; }
+      bits[i] = b;
+      allocated = allocated + b;
+    }
+    threshold = threshold - 8;
+  }
+  int check = 0;
+  for (i = 0; i < ncarriers; i = i + 1) {
+    check = check + bits[i] * (i + 1);
+  }
+  return check;
+}
+|}
+    (fun mem ->
+      let n = 64 in
+      let r = Data.rng 33 in
+      Data.fill_ints mem ~addr:1024 ~n (fun _ ->
+          Int64.of_int (100 + Data.next r 4000));
+      [ Int64.of_int n; 600L; 1024L; 8192L ])
+
+(* fft00: 128-point fixed-point FFT (telecom variant of aifftr01). *)
+let fft00 =
+  mk "fft00" "128-point fixed-point FFT, telecom data set"
+    131072 (Auto1.fft_source "fft00")
+    (fun mem ->
+      let n = 128 in
+      let r = Data.rng 34 in
+      Data.fill_ints mem ~addr:1024 ~n (fun i ->
+          Int64.of_int
+            (int_of_float (300.0 *. cos (float_of_int i /. 3.0))
+            + Data.next_signed r 64));
+      Data.fill_ints mem ~addr:4096 ~n (fun _ -> 0L);
+      Data.fill_ints mem ~addr:8192 ~n (fun k ->
+          Int64.of_int
+            (int_of_float
+               (1024.0 *. cos (2.0 *. Float.pi *. float_of_int k /. float_of_int n))));
+      Data.fill_ints mem ~addr:16384 ~n (fun k ->
+          Int64.of_int
+            (int_of_float
+               (-1024.0 *. sin (2.0 *. Float.pi *. float_of_int k /. float_of_int n))));
+      [ Int64.of_int n; 1024L; 4096L; 8192L; 16384L; 0L ])
+
+(* viterb00: Viterbi decoder — add-compare-select butterflies, the
+   canonical predication workload. *)
+let viterb00 =
+  mk "viterb00" "Viterbi decode: add-compare-select with survivor tracking"
+    131072
+    {|
+kernel viterb00(int nsym, byte* obs, int* metrics, int* next_metrics, int* survivors) {
+  int t;
+  int s;
+  int i;
+  for (i = 0; i < 16; i = i + 1) { metrics[i] = 1000; }
+  metrics[0] = 0;
+  for (t = 0; t < nsym; t = t + 1) {
+    int ob = obs[t * 2] * 2 + obs[t * 2 + 1];
+    for (s = 0; s < 16; s = s + 1) {
+      // predecessors of state s in a K=5 trellis
+      int p0 = (s << 1) & 15;
+      int p1 = p0 | 1;
+      // expected symbols (toy generator: parity patterns)
+      int e0 = (p0 ^ (p0 >> 2)) & 3;
+      int e1 = (p1 ^ (p1 >> 2)) & 3;
+      int d0 = ob ^ e0;
+      int cost0 = ((d0 >> 1) & 1) + (d0 & 1);
+      int d1 = ob ^ e1;
+      int cost1 = ((d1 >> 1) & 1) + (d1 & 1);
+      int m0 = metrics[p0] + cost0;
+      int m1 = metrics[p1] + cost1;
+      if (m0 <= m1) {
+        next_metrics[s] = m0;
+        survivors[t * 16 + s] = p0;
+      } else {
+        next_metrics[s] = m1;
+        survivors[t * 16 + s] = p1;
+      }
+    }
+    for (s = 0; s < 16; s = s + 1) { metrics[s] = next_metrics[s]; }
+  }
+  // traceback from the best final state
+  int best = 0;
+  for (s = 1; s < 16; s = s + 1) {
+    if (metrics[s] < metrics[best]) { best = s; }
+  }
+  int path = 0;
+  t = nsym - 1;
+  while (t >= 0) {
+    path = (path * 31 + best) % 65521;
+    best = survivors[t * 16 + best];
+    t = t - 1;
+  }
+  return metrics[0] * 1000000 + path;
+}
+|}
+    (fun mem ->
+      let nsym = 120 in
+      let r = Data.rng 35 in
+      Data.fill_bytes mem ~addr:1024 ~n:(nsym * 2) (fun _ -> Data.next r 2);
+      [ Int64.of_int nsym; 1024L; 4096L; 6144L; 16384L ])

@@ -1,0 +1,22 @@
+type t = {
+  name : string;
+  description : string;
+  source : string;
+  mem_size : int;
+  setup : Edge_isa.Mem.t -> int64 list;
+}
+
+let parse t =
+  match Edge_lang.Parser.parse t.source with
+  | Ok k -> Ok k
+  | Error e -> Error (Printf.sprintf "%s: %s" t.name e)
+
+let reference_run t =
+  match parse t with
+  | Error e -> Error e
+  | Ok k -> (
+      let mem = Edge_isa.Mem.create ~size:t.mem_size in
+      let args = t.setup mem in
+      match Edge_lang.Interp.run k ~args ~mem with
+      | Ok o -> Ok (o.Edge_lang.Interp.return_value, mem)
+      | Error e -> Error (Printf.sprintf "%s: %s" t.name e))

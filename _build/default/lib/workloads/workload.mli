@@ -1,0 +1,25 @@
+(** Workload definitions.
+
+    The paper evaluates on 28 EEMBC 2.0 benchmarks (Figure 7). EEMBC is
+    licensed and unavailable, so each workload here is a synthetic kernel
+    carrying the same name and the same computational character as the
+    original (see DESIGN.md's substitution table): the same kind of inner
+    loops, control-flow density, data types and memory behaviour. Every
+    workload is deterministic and self-contained: [setup] builds the
+    memory image and returns the kernel arguments. *)
+
+type t = {
+  name : string;
+  description : string;  (** what the EEMBC original measures and how the
+                             substitute mirrors it *)
+  source : string;  (** kernel-language source text *)
+  mem_size : int;
+  setup : Edge_isa.Mem.t -> int64 list;
+}
+
+val parse : t -> (Edge_lang.Ast.kernel, string) result
+
+val reference_run :
+  t -> (int64 option * Edge_isa.Mem.t, string) result
+(** Run the kernel under the reference interpreter; returns the return
+    value and final memory. *)

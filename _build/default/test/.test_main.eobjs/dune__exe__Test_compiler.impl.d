@@ -1,0 +1,1 @@
+test/test_compiler.ml: Alcotest Array Dfp Edge_ir Edge_isa Edge_lang Format List Option Result String Test_support

@@ -1,0 +1,1 @@
+test/test_diff.ml: Alcotest Edge_lang List Printf Test_support

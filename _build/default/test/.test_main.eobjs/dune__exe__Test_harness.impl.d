@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Dfp Edge_harness Edge_sim Edge_workloads List Option

@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Edge_ir Edge_isa Hashtbl Int64 List Option String

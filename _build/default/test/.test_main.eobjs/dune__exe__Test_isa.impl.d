@@ -1,0 +1,1 @@
+test/test_isa.ml: Alcotest Array Bytes Dfp Edge_harness Edge_isa Edge_sim Edge_workloads Format Fun Int64 List Option QCheck QCheck_alcotest String

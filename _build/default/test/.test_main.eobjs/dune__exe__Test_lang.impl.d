@@ -1,0 +1,1 @@
+test/test_lang.ml: Alcotest Edge_ir Edge_isa Edge_lang Int64 List QCheck QCheck_alcotest String Test_support

@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest Test_compiler Test_diff Test_harness Test_ir Test_isa Test_lang Test_passes Test_sim Test_workloads

@@ -1,0 +1,1 @@
+test/test_passes.ml: Alcotest Array Dfp Edge_harness Edge_ir Edge_isa Edge_lang Edge_sim Edge_workloads Int64 List Option Printf Result Test_support

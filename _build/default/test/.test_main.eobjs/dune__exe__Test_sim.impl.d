@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Dfp Edge_harness Edge_isa Edge_lang Edge_sim Edge_workloads Int64 List Option Printf Result String

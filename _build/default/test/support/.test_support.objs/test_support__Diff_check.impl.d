@@ -1,0 +1,1 @@
+test/support/diff_check.ml: Array Dfp Edge_isa Edge_lang Edge_sim Gen_kernel Int64 List Option Printf String

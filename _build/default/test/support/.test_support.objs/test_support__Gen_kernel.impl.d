@@ -1,0 +1,1 @@
+test/support/gen_kernel.ml: Edge_isa Edge_lang Int64 List Printf QCheck2 Random String

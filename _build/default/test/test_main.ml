@@ -1,0 +1,13 @@
+let () =
+  Alcotest.run "dataflow_predication"
+    [
+      ("isa", Test_isa.tests);
+      ("ir", Test_ir.tests);
+      ("lang", Test_lang.tests);
+      ("compiler", Test_compiler.tests);
+      ("sim", Test_sim.tests);
+      ("passes", Test_passes.tests);
+      ("workloads", Test_workloads.tests);
+      ("harness", Test_harness.tests);
+      ("diff", Test_diff.tests);
+    ]

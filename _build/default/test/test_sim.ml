@@ -1,0 +1,623 @@
+module I = Edge_isa.Instr
+module T = Edge_isa.Target
+module O = Edge_isa.Opcode
+module B = Edge_isa.Block
+module Tok = Edge_isa.Token
+
+let check = Alcotest.(check bool)
+
+let run_one b =
+  let regs = Array.make 128 0L in
+  let mem = Edge_isa.Mem.create ~size:4096 in
+  let stats = Edge_sim.Stats.create () in
+  (regs, mem, stats, Edge_sim.Functional.run_block b ~regs ~mem ~stats)
+
+(* predicate-OR: two producers target one predicate operand; only the
+   matching one fires the consumer (Section 3.5 / rule 3) *)
+let predicate_or () =
+  let b =
+    {
+      B.name = "por";
+      instrs =
+        [|
+          I.make ~id:0 ~opcode:O.Movi ~imm:0L
+            ~targets:[ T.To_instr { id = 2; slot = T.Left } ] ();
+          I.make ~id:1 ~opcode:O.Movi ~imm:1L
+            ~targets:[ T.To_instr { id = 3; slot = T.Left } ] ();
+          I.make ~id:2 ~opcode:(O.Tsti O.Eq) ~imm:7L
+            ~targets:[ T.To_instr { id = 4; slot = T.Pred } ] ();
+          I.make ~id:3 ~opcode:(O.Tsti O.Eq) ~imm:1L
+            ~targets:[ T.To_instr { id = 4; slot = T.Pred } ] ();
+          I.make ~id:4 ~opcode:O.Movi ~pred:I.If_true ~imm:42L
+            ~targets:[ T.To_write 0 ] ();
+          I.make ~id:5 ~opcode:O.Halt ();
+        |];
+      reads = [||];
+      writes = [| { B.wslot = 0; wreg = 9 } |];
+      store_lsids = [];
+      exits = [| B.halt_exit |];
+    }
+  in
+  let regs, _, _, r = run_one b in
+  (match r with
+  | Ok o -> check "no fault" true (o.Edge_sim.Functional.faulted = None)
+  | Error e -> Alcotest.failf "%s" e);
+  check "consumer fired on the one matching predicate" true (regs.(9) = 42L)
+
+(* two matching predicates violate rule 3 and must be diagnosed *)
+let double_match_rejected () =
+  let b =
+    {
+      B.name = "dm";
+      instrs =
+        [|
+          I.make ~id:0 ~opcode:O.Movi ~imm:1L
+            ~targets:[ T.To_instr { id = 2; slot = T.Left } ] ();
+          I.make ~id:1 ~opcode:O.Movi ~imm:1L
+            ~targets:[ T.To_instr { id = 3; slot = T.Left } ] ();
+          I.make ~id:2 ~opcode:(O.Tsti O.Eq) ~imm:1L
+            ~targets:[ T.To_instr { id = 4; slot = T.Pred } ] ();
+          I.make ~id:3 ~opcode:(O.Tsti O.Eq) ~imm:1L
+            ~targets:[ T.To_instr { id = 4; slot = T.Pred } ] ();
+          I.make ~id:4 ~opcode:O.Movi ~pred:I.If_true ~imm:42L
+            ~targets:[ T.To_write 0 ] ();
+          I.make ~id:5 ~opcode:O.Halt ();
+        |];
+      reads = [||];
+      writes = [| { B.wslot = 0; wreg = 9 } |];
+      store_lsids = [];
+      exits = [| B.halt_exit |];
+    }
+  in
+  let _, _, _, r = run_one b in
+  match r with
+  | Error e -> check "mentions predicates" true (String.length e > 0)
+  | Ok _ -> Alcotest.fail "two matching predicates must be rejected"
+
+(* null token to a register write: the write resolves but architectural
+   state is unchanged (Section 4.2) *)
+let null_write () =
+  let b =
+    {
+      B.name = "nw";
+      instrs =
+        [|
+          I.make ~id:0 ~opcode:O.Movi ~imm:0L
+            ~targets:[ T.To_instr { id = 1; slot = T.Left } ] ();
+          I.make ~id:1 ~opcode:(O.Tsti O.Eq) ~imm:0L
+            ~targets:[ T.To_instr { id = 2; slot = T.Pred }; T.To_instr { id = 3; slot = T.Pred } ]
+            ();
+          I.make ~id:2 ~opcode:O.Movi ~pred:I.If_false ~imm:42L
+            ~targets:[ T.To_write 0 ] ();
+          I.make ~id:3 ~opcode:O.Null ~pred:I.If_true
+            ~targets:[ T.To_write 0 ] ();
+          I.make ~id:4 ~opcode:O.Halt ();
+        |];
+      reads = [||];
+      writes = [| { B.wslot = 0; wreg = 9 } |];
+      store_lsids = [];
+      exits = [| B.halt_exit |];
+    }
+  in
+  let regs, _, _, r = run_one b in
+  regs.(9) <- 0L;
+  (* note: run_one already executed; rerun with a sentinel *)
+  let regs2 = Array.make 128 0L in
+  regs2.(9) <- 1234L;
+  let mem = Edge_isa.Mem.create ~size:4096 in
+  let stats = Edge_sim.Stats.create () in
+  (match Edge_sim.Functional.run_block b ~regs:regs2 ~mem ~stats with
+  | Ok o -> check "no fault" true (o.Edge_sim.Functional.faulted = None)
+  | Error e -> Alcotest.failf "%s" e);
+  check "nulled write preserves register" true (regs2.(9) = 1234L);
+  ignore (regs, r)
+
+(* null token to a store: the store slot resolves as a null store and a
+   later load is not blocked (Section 4.2) *)
+let null_store_and_lsid_order () =
+  let b =
+    {
+      B.name = "ns";
+      instrs =
+        [|
+          (* address 64 *)
+          I.make ~id:0 ~opcode:O.Movi ~imm:64L
+            ~targets:
+              [ T.To_instr { id = 3; slot = T.Left }; T.To_instr { id = 4; slot = T.Left } ]
+            ();
+          I.make ~id:1 ~opcode:O.Movi ~imm:0L
+            ~targets:[ T.To_instr { id = 2; slot = T.Left } ] ();
+          I.make ~id:2 ~opcode:(O.Tsti O.Eq) ~imm:0L
+            ~targets:[ T.To_instr { id = 5; slot = T.Pred } ] ();
+          (* store lsid 0, waiting for data that never comes on this path:
+             the null resolves it *)
+          I.make ~id:3 ~opcode:(O.St O.W8) ~lsid:0 ();
+          (* load lsid 1 must wait for lsid 0, then read memory *)
+          I.make ~id:4 ~opcode:(O.Ld O.W8) ~lsid:1
+            ~targets:[ T.To_write 0 ] ();
+          I.make ~id:5 ~opcode:O.Null ~pred:I.If_true
+            ~targets:[ T.To_instr { id = 3; slot = T.Right } ] ();
+          I.make ~id:6 ~opcode:O.Halt ();
+        |];
+      reads = [||];
+      writes = [| { B.wslot = 0; wreg = 9 } |];
+      store_lsids = [ 0 ];
+      exits = [| B.halt_exit |];
+    }
+  in
+  let regs = Array.make 128 0L in
+  let mem = Edge_isa.Mem.create ~size:4096 in
+  Edge_isa.Mem.store_int mem 64 777L;
+  let stats = Edge_sim.Stats.create () in
+  (match Edge_sim.Functional.run_block b ~regs ~mem ~stats with
+  | Ok o -> check "no fault" true (o.Edge_sim.Functional.faulted = None)
+  | Error e -> Alcotest.failf "%s" e);
+  check "load saw memory after null store" true (regs.(9) = 777L)
+
+(* store-to-load forwarding within a block, in LSID order *)
+let store_forwarding () =
+  let b =
+    {
+      B.name = "fw";
+      instrs =
+        [|
+          I.make ~id:0 ~opcode:O.Movi ~imm:64L
+            ~targets:
+              [ T.To_instr { id = 2; slot = T.Left }; T.To_instr { id = 3; slot = T.Left } ]
+            ();
+          I.make ~id:1 ~opcode:O.Movi ~imm:55L
+            ~targets:[ T.To_instr { id = 2; slot = T.Right } ] ();
+          I.make ~id:2 ~opcode:(O.St O.W8) ~lsid:0 ();
+          I.make ~id:3 ~opcode:(O.Ld O.W8) ~lsid:1 ~targets:[ T.To_write 0 ] ();
+          I.make ~id:4 ~opcode:O.Halt ();
+        |];
+      reads = [||];
+      writes = [| { B.wslot = 0; wreg = 9 } |];
+      store_lsids = [ 0 ];
+      exits = [| B.halt_exit |];
+    }
+  in
+  let regs, mem, _, r = run_one b in
+  (match r with
+  | Ok o -> check "no fault" true (o.Edge_sim.Functional.faulted = None)
+  | Error e -> Alcotest.failf "%s" e);
+  check "forwarded value" true (regs.(9) = 55L);
+  check "store committed" true (Edge_isa.Mem.load_int mem 64 = 55L)
+
+(* a mispredicated path's exception is filtered (Section 4.4) *)
+let exception_filtered () =
+  let b =
+    {
+      B.name = "exc";
+      instrs =
+        [|
+          (* a faulting load on the not-taken path *)
+          I.make ~id:0 ~opcode:O.Movi ~imm:3999L
+            ~targets:[ T.To_instr { id = 1; slot = T.Left } ] ();
+          I.make ~id:1 ~opcode:(O.Ld O.W8) ~lsid:0
+            ~targets:[ T.To_instr { id = 4; slot = T.Left } ] ();
+          I.make ~id:2 ~opcode:O.Movi ~imm:0L
+            ~targets:[ T.To_instr { id = 3; slot = T.Left } ] ();
+          I.make ~id:3 ~opcode:(O.Tsti O.Eq) ~imm:0L
+            ~targets:
+              [ T.To_instr { id = 4; slot = T.Pred }; T.To_instr { id = 5; slot = T.Pred } ]
+            ();
+          (* mov of the excepting value, predicated false: never fires *)
+          I.make ~id:4 ~opcode:(O.Un O.Mov) ~pred:I.If_false
+            ~targets:[ T.To_write 0 ] ();
+          I.make ~id:5 ~opcode:O.Movi ~pred:I.If_true ~imm:5L
+            ~targets:[ T.To_write 0 ] ();
+          I.make ~id:6 ~opcode:O.Halt ();
+        |];
+      reads = [||];
+      writes = [| { B.wslot = 0; wreg = 9 } |];
+      store_lsids = [];
+      exits = [| B.halt_exit |];
+    }
+  in
+  let regs, _, _, r = run_one b in
+  (match r with
+  | Ok o -> check "exception filtered" true (o.Edge_sim.Functional.faulted = None)
+  | Error e -> Alcotest.failf "%s" e);
+  check "true path value committed" true (regs.(9) = 5L)
+
+(* an exception reaching a committed output faults the block *)
+let exception_raises () =
+  let b =
+    {
+      B.name = "exc2";
+      instrs =
+        [|
+          I.make ~id:0 ~opcode:O.Movi ~imm:3999L
+            ~targets:[ T.To_instr { id = 1; slot = T.Left } ] ();
+          I.make ~id:1 ~opcode:(O.Ld O.W8) ~lsid:0 ~targets:[ T.To_write 0 ] ();
+          I.make ~id:2 ~opcode:O.Halt ();
+        |];
+      reads = [||];
+      writes = [| { B.wslot = 0; wreg = 9 } |];
+      store_lsids = [];
+      exits = [| B.halt_exit |];
+    }
+  in
+  let _, _, _, r = run_one b in
+  match r with
+  | Ok o -> check "faulted" true (o.Edge_sim.Functional.faulted <> None)
+  | Error e -> Alcotest.failf "malformed: %s" e
+
+(* deadlock diagnosis: an output that can never be produced *)
+let deadlock_diagnosed () =
+  let b =
+    {
+      B.name = "dl";
+      instrs =
+        [|
+          I.make ~id:0 ~opcode:O.Movi ~imm:0L
+            ~targets:[ T.To_instr { id = 1; slot = T.Left } ] ();
+          I.make ~id:1 ~opcode:(O.Tsti O.Eq) ~imm:1L
+            ~targets:[ T.To_instr { id = 2; slot = T.Pred } ] ();
+          (* only fires on true, but the test yields false: W0 starves *)
+          I.make ~id:2 ~opcode:O.Movi ~pred:I.If_true ~imm:1L
+            ~targets:[ T.To_write 0 ] ();
+          I.make ~id:3 ~opcode:O.Halt ();
+        |];
+      reads = [||];
+      writes = [| { B.wslot = 0; wreg = 9 } |];
+      store_lsids = [];
+      exits = [| B.halt_exit |];
+    }
+  in
+  let _, _, _, r = run_one b in
+  match r with
+  | Error e -> check "deadlock reported" true (String.length e > 0)
+  | Ok _ -> Alcotest.fail "starved output must be diagnosed"
+
+let cache_behaviour () =
+  let c =
+    Edge_sim.Cache.create ~size_bytes:1024 ~ways:2 ~line_bytes:64 ~hit_latency:2
+  in
+  check "cold miss" false (Edge_sim.Cache.access c ~addr:0L ~write:false);
+  check "hit after fill" true (Edge_sim.Cache.access c ~addr:8L ~write:false);
+  check "different line misses" false
+    (Edge_sim.Cache.access c ~addr:64L ~write:false);
+  (* 8 sets * 64B: addresses 0 and 1024 and 2048 map to set 0 in a 2-way
+     cache; the third evicts the LRU (addr 0) *)
+  ignore (Edge_sim.Cache.access c ~addr:1024L ~write:false);
+  ignore (Edge_sim.Cache.access c ~addr:2048L ~write:false);
+  check "lru evicted" false (Edge_sim.Cache.access c ~addr:0L ~write:false)
+
+let predictor_learns () =
+  let p = Edge_sim.Predictor.create () in
+  check "cold predicts nothing" true (Edge_sim.Predictor.predict p ~block:"b" = None);
+  Edge_sim.Predictor.update p ~block:"b" ~exit_idx:0 ~target:"c";
+  check "learned target" true (Edge_sim.Predictor.predict p ~block:"b" = Some "c")
+
+(* early termination ablation: disabling it cannot make execution faster *)
+let early_termination_ablation () =
+  let src =
+    "kernel f(int n, int* a) { int s = 0; int i; for (i = 0; i < n; i = i + \
+     1) { if (a[i] > 0) { s = s + a[i] * 3; } else { s = s - 1; } } return \
+     s; }"
+  in
+  let compile () =
+    match Edge_lang.Lower.compile src with
+    | Error e -> Alcotest.failf "%s" e
+    | Ok cfg -> (
+        match Dfp.Driver.compile_cfg cfg Dfp.Config.hyper_baseline with
+        | Error e -> Alcotest.failf "%s" e
+        | Ok c -> c)
+  in
+  let run machine =
+    let c = compile () in
+    let regs = Array.make 128 0L in
+    regs.(Edge_isa.Conventions.param_reg 0) <- 16L;
+    regs.(Edge_isa.Conventions.param_reg 1) <- 1024L;
+    let mem = Edge_isa.Mem.create ~size:8192 in
+    for i = 0 to 15 do
+      Edge_isa.Mem.store_int mem (1024 + (8 * i)) (Int64.of_int (i - 8))
+    done;
+    let placement n =
+      match List.assoc_opt n c.Dfp.Driver.placements with
+      | Some p -> p
+      | None -> [||]
+    in
+    match
+      Edge_sim.Cycle_sim.run ~machine ~placement c.Dfp.Driver.program ~regs
+        ~mem
+    with
+    | Ok s -> s.Edge_sim.Stats.cycles
+    | Error e -> Alcotest.failf "cycle: %s" e
+  in
+  let fast = run Edge_sim.Machine.default in
+  let slow =
+    run { Edge_sim.Machine.default with Edge_sim.Machine.early_termination = false }
+  in
+  check "early termination helps (or is neutral)" true (fast <= slow)
+
+
+(* Section 4.4: an arriving predicate with the exception bit set is
+   interpreted as a false predicate, and if the instruction fires its
+   output carries the exception tag. *)
+let exc_predicate_as_false () =
+  let b =
+    {
+      B.name = "excpred";
+      instrs =
+        [|
+          (* bad load produces an exception-tagged token used as a predicate *)
+          I.make ~id:0 ~opcode:O.Movi ~imm:3999L
+            ~targets:[ T.To_instr { id = 1; slot = T.Left } ] ();
+          I.make ~id:1 ~opcode:(O.Ld O.W8) ~lsid:0
+            ~targets:
+              [ T.To_instr { id = 2; slot = T.Pred }; T.To_instr { id = 3; slot = T.Pred } ]
+            ();
+          (* predicated on true: must NOT fire *)
+          I.make ~id:2 ~opcode:O.Movi ~pred:I.If_true ~imm:1L
+            ~targets:[ T.To_write 0 ] ();
+          (* predicated on false: fires, and its output carries exc *)
+          I.make ~id:3 ~opcode:O.Movi ~pred:I.If_false ~imm:2L
+            ~targets:[ T.To_write 0 ] ();
+          I.make ~id:4 ~opcode:O.Halt ();
+        |];
+      reads = [||];
+      writes = [| { B.wslot = 0; wreg = 9 } |];
+      store_lsids = [];
+      exits = [| B.halt_exit |];
+    }
+  in
+  let _, _, _, r = run_one b in
+  match r with
+  | Ok o ->
+      (* the false-predicated movi fired and its exception-tagged output
+         reached a write: the block must fault (Section 4.4: "If the
+         instruction fires, it produces an exception-tagged output") *)
+      check "block faulted" true (o.Edge_sim.Functional.faulted <> None)
+  | Error e -> Alcotest.failf "malformed: %s" e
+
+(* inter-block communication: a value written by one block is read by the
+   next, through the cycle simulator's in-flight forwarding *)
+let interblock_forwarding () =
+  let mk_block name imm wreg exits ~read =
+    {
+      B.name;
+      instrs =
+        (match read with
+        | false ->
+            [|
+              I.make ~id:0 ~opcode:O.Movi ~imm ~targets:[ T.To_write 0 ] ();
+              I.make ~id:1 ~opcode:O.Bro ~exit_idx:0 ();
+            |]
+        | true ->
+            [|
+              I.make ~id:0 ~opcode:(O.Iopi O.Add) ~imm
+                ~targets:[ T.To_write 0 ] ();
+              I.make ~id:1 ~opcode:O.Bro ~exit_idx:0 ();
+            |]);
+      reads =
+        (if read then
+           [| { B.rslot = 0; reg = 9; rtargets = [ T.To_instr { id = 0; slot = T.Left } ] } |]
+         else [||]);
+      writes = [| { B.wslot = 0; wreg } |];
+      store_lsids = [];
+      exits;
+    }
+  in
+  let b1 = mk_block "one" 5L 9 [| "two" |] ~read:false in
+  let b2 = mk_block "two" 7L 9 [| "three" |] ~read:true in
+  let b3 = mk_block "three" 100L 1 [| B.halt_exit |] ~read:true in
+  (* three reads g9 (=12) and adds 100 into g1, then halts via Bro *)
+  let b3 =
+    { b3 with B.instrs = [| (b3.B.instrs.(0)); I.make ~id:1 ~opcode:O.Halt () |] }
+  in
+  let program = Result.get_ok (Edge_isa.Program.make ~entry:"one" [ b1; b2; b3 ]) in
+  let regs = Array.make 128 0L in
+  let mem = Edge_isa.Mem.create ~size:1024 in
+  (match Edge_sim.Cycle_sim.run program ~regs ~mem with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "cycle: %s" e);
+  check "chained through in-flight writes" true (regs.(1) = 112L)
+
+(* a store in an older in-flight block must be visible to a load in a
+   younger block before either commits *)
+let interblock_store_to_load () =
+  let store_block =
+    {
+      B.name = "producer";
+      instrs =
+        [|
+          I.make ~id:0 ~opcode:O.Movi ~imm:64L
+            ~targets:[ T.To_instr { id = 2; slot = T.Left } ] ();
+          I.make ~id:1 ~opcode:O.Movi ~imm:42L
+            ~targets:[ T.To_instr { id = 2; slot = T.Right } ] ();
+          I.make ~id:2 ~opcode:(O.St O.W8) ~lsid:0 ();
+          I.make ~id:3 ~opcode:O.Bro ~exit_idx:0 ();
+        |];
+      reads = [||];
+      writes = [||];
+      store_lsids = [ 0 ];
+      exits = [| "consumer" |];
+    }
+  in
+  let load_block =
+    {
+      B.name = "consumer";
+      instrs =
+        [|
+          I.make ~id:0 ~opcode:O.Movi ~imm:64L
+            ~targets:[ T.To_instr { id = 1; slot = T.Left } ] ();
+          I.make ~id:1 ~opcode:(O.Ld O.W8) ~lsid:0 ~targets:[ T.To_write 0 ] ();
+          I.make ~id:2 ~opcode:O.Halt ();
+        |];
+      reads = [||];
+      writes = [| { B.wslot = 0; wreg = 1 } |];
+      store_lsids = [];
+      exits = [| B.halt_exit |];
+    }
+  in
+  let program =
+    Result.get_ok (Edge_isa.Program.make ~entry:"producer" [ store_block; load_block ])
+  in
+  let regs = Array.make 128 0L in
+  let mem = Edge_isa.Mem.create ~size:1024 in
+  (match Edge_sim.Cycle_sim.run program ~regs ~mem with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "cycle: %s" e);
+  check "forwarded across blocks" true (regs.(1) = 42L);
+  check "committed to memory" true (Edge_isa.Mem.load_int mem 64 = 42L)
+
+(* the watchdog fires on a self-looping program instead of hanging *)
+let watchdog_fires () =
+  let b =
+    {
+      B.name = "spin";
+      instrs = [| I.make ~id:0 ~opcode:O.Bro ~exit_idx:0 () |];
+      reads = [||];
+      writes = [||];
+      store_lsids = [];
+      exits = [| "spin" |];
+    }
+  in
+  let program = Result.get_ok (Edge_isa.Program.make ~entry:"spin" [ b ]) in
+  let machine = { Edge_sim.Machine.default with Edge_sim.Machine.max_cycles = 5000 } in
+  let regs = Array.make 128 0L in
+  let mem = Edge_isa.Mem.create ~size:64 in
+  match Edge_sim.Cycle_sim.run ~machine program ~regs ~mem with
+  | Error e -> check "watchdog" true (String.length e > 0)
+  | Ok _ -> Alcotest.fail "must not halt"
+
+(* stats sanity on a real run: committed <= executed blocks, committed
+   instr class counts add up *)
+let stats_sanity () =
+  let w = Option.get (Edge_workloads.Registry.find "canrdr01") in
+  match Edge_harness.Experiment.run_one w ("Both", Dfp.Config.both) with
+  | Error e -> Alcotest.failf "%s" e
+  | Ok r ->
+      let s = r.Edge_harness.Experiment.stats in
+      check "committed <= executed blocks" true
+        (s.Edge_sim.Stats.blocks_committed <= s.Edge_sim.Stats.blocks_executed);
+      check "executed >= committed instrs" true
+        (s.Edge_sim.Stats.instrs_executed >= s.Edge_sim.Stats.instrs_committed);
+      check "moves within executed" true
+        (s.Edge_sim.Stats.moves_executed <= s.Edge_sim.Stats.instrs_executed);
+      check "cycles positive" true (s.Edge_sim.Stats.cycles > 0);
+      check "fetched >= executed" true
+        (s.Edge_sim.Stats.instrs_fetched + s.Edge_sim.Stats.instrs_executed > 0)
+
+
+(* Section 7 extension: the short-circuiting AND instruction *)
+let sand_semantics () =
+  (* left false fires without the right operand (whose producer never
+     fires here) *)
+  let b =
+    {
+      B.name = "sand1";
+      instrs =
+        [|
+          I.make ~id:0 ~opcode:O.Movi ~imm:0L
+            ~targets:[ T.To_instr { id = 3; slot = T.Left } ] ();
+          I.make ~id:1 ~opcode:O.Movi ~imm:0L
+            ~targets:[ T.To_instr { id = 2; slot = T.Left } ] ();
+          (* right producer predicated on a predicate that never matches *)
+          I.make ~id:2 ~opcode:(O.Tsti O.Eq) ~imm:0L
+            ~targets:[ T.To_instr { id = 4; slot = T.Pred } ] ();
+          I.make ~id:3 ~opcode:O.Sand
+            ~targets:[ T.To_write 0 ] ();
+          I.make ~id:4 ~opcode:O.Movi ~pred:I.If_false ~imm:9L
+            ~targets:[ T.To_instr { id = 3; slot = T.Right } ] ();
+          I.make ~id:5 ~opcode:O.Halt ();
+        |];
+      reads = [||];
+      writes = [| { B.wslot = 0; wreg = 9 } |];
+      store_lsids = [];
+      exits = [| B.halt_exit |];
+    }
+  in
+  let regs, _, _, r = run_one b in
+  (match r with
+  | Ok o -> check "no fault" true (o.Edge_sim.Functional.faulted = None)
+  | Error e -> Alcotest.failf "%s" e);
+  check "short-circuited to false" true (regs.(9) = 0L)
+
+let sand_conjunction () =
+  List.iter
+    (fun (l, rv, expect) ->
+      let b =
+        {
+          B.name = "sand2";
+          instrs =
+            [|
+              I.make ~id:0 ~opcode:O.Movi ~imm:l
+                ~targets:[ T.To_instr { id = 2; slot = T.Left } ] ();
+              I.make ~id:1 ~opcode:O.Movi ~imm:rv
+                ~targets:[ T.To_instr { id = 2; slot = T.Right } ] ();
+              I.make ~id:2 ~opcode:O.Sand ~targets:[ T.To_write 0 ] ();
+              I.make ~id:3 ~opcode:O.Halt ();
+            |];
+          reads = [||];
+          writes = [| { B.wslot = 0; wreg = 9 } |];
+          store_lsids = [];
+          exits = [| B.halt_exit |];
+        }
+      in
+      let regs, _, _, r = run_one b in
+      (match r with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "%s" e);
+      check (Printf.sprintf "sand %Ld %Ld" l rv) true (regs.(9) = expect))
+    [ (1L, 1L, 1L); (1L, 0L, 0L); (0L, 1L, 0L); (0L, 0L, 0L) ]
+
+let sand_filters_right_exception () =
+  (* left false + excepting right: C semantics say the right is never
+     evaluated, so the exception must not surface *)
+  let b =
+    {
+      B.name = "sand3";
+      instrs =
+        [|
+          I.make ~id:0 ~opcode:O.Movi ~imm:0L
+            ~targets:[ T.To_instr { id = 3; slot = T.Left } ] ();
+          I.make ~id:1 ~opcode:O.Movi ~imm:3999L
+            ~targets:[ T.To_instr { id = 2; slot = T.Left } ] ();
+          I.make ~id:2 ~opcode:(O.Ld O.W8) ~lsid:0
+            ~targets:[ T.To_instr { id = 3; slot = T.Right } ] ();
+          I.make ~id:3 ~opcode:O.Sand ~targets:[ T.To_write 0 ] ();
+          I.make ~id:4 ~opcode:O.Halt ();
+        |];
+      reads = [||];
+      writes = [| { B.wslot = 0; wreg = 9 } |];
+      store_lsids = [];
+      exits = [| B.halt_exit |];
+    }
+  in
+  let _, _, _, r = run_one b in
+  match r with
+  | Ok o ->
+      (* note: the excepting load may or may not have fired before the
+         sand; either way the committed write must be exception-free *)
+      check "no fault (right filtered)" true (o.Edge_sim.Functional.faulted = None)
+  | Error e -> Alcotest.failf "%s" e
+
+let tests =
+
+
+  [
+    Alcotest.test_case "predicate OR" `Quick predicate_or;
+    Alcotest.test_case "double match rejected" `Quick double_match_rejected;
+    Alcotest.test_case "null write" `Quick null_write;
+    Alcotest.test_case "null store + lsid order" `Quick null_store_and_lsid_order;
+    Alcotest.test_case "store forwarding" `Quick store_forwarding;
+    Alcotest.test_case "exception filtered (4.4)" `Quick exception_filtered;
+    Alcotest.test_case "exception raises" `Quick exception_raises;
+    Alcotest.test_case "deadlock diagnosed" `Quick deadlock_diagnosed;
+    Alcotest.test_case "cache behaviour" `Quick cache_behaviour;
+    Alcotest.test_case "predictor learns" `Quick predictor_learns;
+    Alcotest.test_case "early termination ablation" `Quick early_termination_ablation;
+    Alcotest.test_case "exc predicate as false (4.4)" `Quick exc_predicate_as_false;
+    Alcotest.test_case "inter-block register forwarding" `Quick interblock_forwarding;
+    Alcotest.test_case "inter-block store-to-load" `Quick interblock_store_to_load;
+    Alcotest.test_case "watchdog fires" `Quick watchdog_fires;
+    Alcotest.test_case "stats sanity" `Quick stats_sanity;
+    Alcotest.test_case "sand short-circuit (7)" `Quick sand_semantics;
+    Alcotest.test_case "sand conjunction" `Quick sand_conjunction;
+    Alcotest.test_case "sand filters right exception" `Quick
+      sand_filters_right_exception;
+  ]

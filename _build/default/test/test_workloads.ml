@@ -1,0 +1,94 @@
+(* Every workload must parse, typecheck, terminate under the reference
+   interpreter, and produce identical results when compiled under each
+   configuration and run on the functional simulator. (The cycle
+   simulator is exercised on a subset here — the full matrix is the
+   benchmark harness's job — plus by the differential suite.) *)
+
+module Conv = Edge_isa.Conventions
+module Workload = Edge_workloads.Workload
+
+let all = Edge_workloads.Registry.all
+
+let parses w () =
+  match Workload.parse w with
+  | Ok k -> (
+      match Edge_lang.Typecheck.check_kernel k with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "typecheck: %s" e)
+  | Error e -> Alcotest.failf "parse: %s" e
+
+let reference_terminates w () =
+  match Workload.reference_run w with
+  | Ok (ret, _) ->
+      (* the checksum-style return value should be non-trivial: a kernel
+         returning 0 likely lost its work to an input bug *)
+      if ret = Some 0L then
+        Alcotest.failf "%s returned 0; degenerate input?" w.Workload.name
+  | Error e -> Alcotest.failf "%s" e
+
+let functional_verified config w () =
+  let reference, ref_mem =
+    match Workload.reference_run w with
+    | Ok (r, m) -> (Option.value ~default:0L r, m)
+    | Error e -> Alcotest.failf "reference: %s" e
+  in
+  match Edge_harness.Experiment.compile w config with
+  | Error e -> Alcotest.failf "compile: %s" e
+  | Ok compiled -> (
+      let mem = Edge_isa.Mem.create ~size:w.Workload.mem_size in
+      let args = w.Workload.setup mem in
+      let regs = Array.make 128 0L in
+      List.iteri (fun i v -> regs.(Conv.param_reg i) <- v) args;
+      match Edge_sim.Functional.run compiled.Dfp.Driver.program ~regs ~mem with
+      | Error e -> Alcotest.failf "functional: %s" e
+      | Ok _ ->
+          Alcotest.(check bool)
+            "return value" true
+            (Int64.equal regs.(Conv.result_reg) reference);
+          Alcotest.(check bool) "memory" true (Edge_isa.Mem.equal mem ref_mem))
+
+let cycle_verified w () =
+  match Edge_harness.Experiment.run_one w ("Both", Dfp.Config.both) with
+  | Ok r ->
+      Alcotest.(check bool)
+        "nonzero cycles" true
+        (r.Edge_harness.Experiment.cycles > 0)
+  | Error e -> Alcotest.failf "%s" e
+
+let block_limits config w () =
+  match Edge_harness.Experiment.compile w config with
+  | Error e -> Alcotest.failf "compile: %s" e
+  | Ok c ->
+      List.iter
+        (fun (_, b) ->
+          match Edge_isa.Block.validate b with
+          | Ok () -> ()
+          | Error es ->
+              Alcotest.failf "%s: %s" b.Edge_isa.Block.name
+                (String.concat "; " es))
+        c.Dfp.Driver.program.Edge_isa.Program.blocks
+
+let tests =
+  List.concat_map
+    (fun w ->
+      let n = w.Workload.name in
+      [
+        Alcotest.test_case (n ^ " parses") `Quick (parses w);
+        Alcotest.test_case (n ^ " reference run") `Quick
+          (reference_terminates w);
+        Alcotest.test_case (n ^ " functional/Both") `Quick
+          (functional_verified Dfp.Config.both w);
+        Alcotest.test_case (n ^ " functional/BB") `Quick
+          (functional_verified Dfp.Config.bb w);
+        Alcotest.test_case (n ^ " block limits/Hyper") `Quick
+          (block_limits Dfp.Config.hyper_baseline w);
+      ])
+    all
+  @ List.filter_map
+      (fun name ->
+        Option.map
+          (fun w ->
+            Alcotest.test_case (name ^ " cycle/Both verified") `Slow
+              (cycle_verified w))
+          (Edge_workloads.Registry.find name))
+      [ "tblook01"; "conven00"; "genalg"; "pntrch01" ]
