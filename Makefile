@@ -1,0 +1,25 @@
+.PHONY: all build test check smoke bench clean
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+# the tier-1 gate: everything compiles and the full suite is green
+check:
+	dune build @all && dune runtest
+
+# seconds-long sanity run of the parallel sweep path (1 workload,
+# 2 configs, 2 domains)
+smoke: build
+	dune exec bench/main.exe -- smoke
+
+# the full evaluation; writes BENCH_fig7.json
+bench: build
+	dune exec bench/main.exe
+
+clean:
+	dune clean

@@ -1,50 +1,143 @@
 (* Benchmark harness: regenerates every table and figure of the paper's
    evaluation.
 
-     dune exec bench/main.exe            -- everything (Figure 7, Section 6
-                                            statistics, genalg case study,
-                                            ablations)
-     dune exec bench/main.exe fig7       -- Figure 7 sweep only
-     dune exec bench/main.exe stats      -- Section 6 dynamic statistics
-     dune exec bench/main.exe genalg     -- Section 5.3 case study
-     dune exec bench/main.exe ablation   -- mechanism ablations
-     dune exec bench/main.exe micro      -- Bechamel microbenchmarks (one
-                                            Test.make per experiment, timing
-                                            the pipeline itself)
+     dune exec bench/main.exe                 -- everything (Figure 7, Section 6
+                                                 statistics, genalg case study,
+                                                 ablations)
+     dune exec bench/main.exe fig7 -- -j 4    -- Figure 7 sweep only, 4 domains
+     dune exec bench/main.exe stats           -- Section 6 dynamic statistics
+     dune exec bench/main.exe genalg          -- Section 5.3 case study
+     dune exec bench/main.exe ablation        -- mechanism ablations
+     dune exec bench/main.exe smoke           -- 1 workload x 2 configs across
+                                                 2 domains; fast sanity check
+                                                 of the parallel path
+     dune exec bench/main.exe micro           -- Bechamel microbenchmarks (one
+                                                 Test.make per experiment,
+                                                 timing the pipeline itself)
+
+   Flags (valid for every mode that runs the sweep):
+
+     -j N          run experiments across N domains (default: cores - 1)
+     --json PATH   where fig7/stats/all write the machine-readable results
+                   (default BENCH_fig7.json; "-" disables)
 
    The paper-facing numbers are simulated cycle counts, not wall-clock:
-   the Bechamel tests exist to track the toolchain's own performance
-   (compile time, functional- and cycle-simulation throughput). *)
+   simulated cycles are bit-identical for every -j value.  The Bechamel
+   tests exist to track the toolchain's own performance (compile time,
+   functional- and cycle-simulation throughput). *)
 
-let fig7 ?(progress = true) () =
+let fig7 ?(progress = true) ~jobs () =
   Edge_harness.Figure7.run
     ~progress:(fun n -> if progress then Printf.eprintf "  %s...\n%!" n)
-    ()
+    ~jobs ()
 
-let run_fig7 () =
-  let r = fig7 () in
-  Format.printf "%a@." Edge_harness.Figure7.pp r
+(* -- machine-readable results ------------------------------------- *)
 
-let run_stats () =
-  let r = fig7 () in
-  Format.printf
+let json_escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let write_json path ~wall_s (r : Edge_harness.Figure7.result) =
+  let buf = Buffer.create 4096 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let sep xs f = List.iteri (fun i x -> if i > 0 then pf ",\n"; f x) xs in
+  pf "{\n";
+  pf "  \"experiment\": \"fig7\",\n";
+  pf "  \"jobs\": %d,\n" r.Edge_harness.Figure7.jobs;
+  pf "  \"wall_s\": { \"total\": %.3f, \"compile\": %.3f, \"sim\": %.3f },\n"
+    wall_s r.Edge_harness.Figure7.compile_s r.Edge_harness.Figure7.sim_s;
+  pf "  \"geomean_speedups\": {\n";
+  sep r.Edge_harness.Figure7.mean_speedups (fun (n, s) ->
+      pf "    \"%s\": %.4f" (json_escape n) s);
+  pf "\n  },\n";
+  pf "  \"benches\": [\n";
+  sep r.Edge_harness.Figure7.rows (fun row ->
+      pf "    { \"bench\": \"%s\",\n"
+        (json_escape row.Edge_harness.Figure7.bench);
+      pf "      \"cycles\": { ";
+      sep row.Edge_harness.Figure7.cycles (fun (n, c) ->
+          pf "\"%s\": %d" (json_escape n) c);
+      pf " },\n      \"speedups\": { ";
+      sep row.Edge_harness.Figure7.speedups (fun (n, s) ->
+          pf "\"%s\": %.4f" (json_escape n) s);
+      pf " } }");
+  pf "\n  ],\n";
+  pf "  \"errors\": [\n";
+  sep r.Edge_harness.Figure7.errors (fun (w, e) ->
+      pf "    { \"experiment\": \"%s\", \"error\": \"%s\" }" (json_escape w)
+        (json_escape e));
+  pf "\n  ]\n}\n";
+  match open_out path with
+  | oc ->
+      output_string oc (Buffer.contents buf);
+      close_out oc;
+      Format.printf "wrote %s@." path
+  | exception Sys_error e ->
+      (* don't lose a finished sweep to an unwritable path *)
+      Printf.eprintf "warning: could not write %s: %s\n%!" path e
+
+(* one sweep shared by fig7/stats/all: `stats` used to re-run all 140
+   experiments even when fig7 had just produced them *)
+let run_sweep ~jobs ~json () =
+  let t0 = Unix.gettimeofday () in
+  let r = fig7 ~jobs () in
+  let wall_s = Unix.gettimeofday () -. t0 in
+  if json <> "-" then write_json json ~wall_s r;
+  Format.printf "sweep: %.1fs wall (-j %d; compile %.1fs, sim %.1fs of work)@."
+    wall_s r.Edge_harness.Figure7.jobs r.Edge_harness.Figure7.compile_s
+    r.Edge_harness.Figure7.sim_s;
+  r
+
+let pp_stats ppf (r : Edge_harness.Figure7.result) =
+  Format.fprintf ppf
     "@[<v>Section 6 dynamic statistics (Intra vs Hyper, all benchmarks)@,\
      move instructions: -%.1f%% (paper: -14%%)@,\
      total instructions: -%.1f%% (paper: -2%%)@,\
-     blocks executed: -%.1f%% (paper: -5%%)@]@."
+     blocks executed: -%.1f%% (paper: -5%%)@]"
     (100.0 *. r.Edge_harness.Figure7.move_reduction)
     (100.0 *. r.Edge_harness.Figure7.instr_reduction)
     (100.0 *. r.Edge_harness.Figure7.block_reduction)
 
-let run_genalg () =
-  match Edge_harness.Genalg_study.run () with
+let run_genalg ~jobs () =
+  match Edge_harness.Genalg_study.run ~jobs () with
   | Ok s -> Format.printf "%a@." Edge_harness.Genalg_study.pp s
   | Error e -> Format.printf "genalg: error %s@." e
 
-let run_ablation () =
-  let entries, errors = Edge_harness.Ablation.run () in
+let run_ablation ~jobs () =
+  let entries, errors = Edge_harness.Ablation.run ~jobs () in
   Format.printf "%a@." Edge_harness.Ablation.pp entries;
   List.iter (fun (w, e) -> Format.printf "error %s: %s@." w e) errors
+
+(* a deliberately tiny sweep (1 workload x 2 configs) across 2 domains:
+   exercises the pool, the compile memo and the deterministic reassembly
+   in a couple of seconds *)
+let run_smoke () =
+  let w =
+    match Edge_workloads.Registry.find "tblook01" with
+    | Some w -> w
+    | None -> failwith "smoke: tblook01 missing from registry"
+  in
+  let configs =
+    List.filter
+      (fun (n, _) -> n = "Hyper" || n = "Both")
+      Dfp.Config.all_paper_configs
+  in
+  let t0 = Unix.gettimeofday () in
+  let r = Edge_harness.Figure7.run ~benches:[ w ] ~configs ~jobs:2 () in
+  Format.printf "%a@." Edge_harness.Figure7.pp r;
+  Format.printf "smoke: %.2fs wall (-j 2)@." (Unix.gettimeofday () -. t0);
+  if r.Edge_harness.Figure7.errors <> [] then exit 1
 
 (* Bechamel microbenchmarks: one Test.make per regenerated artifact,
    measuring the machinery that produces it on a small representative
@@ -136,21 +229,55 @@ let run_micro () =
         results)
     tests
 
+let usage () =
+  Printf.eprintf
+    "usage: main.exe [fig7|stats|genalg|ablation|smoke|micro|all] [-j N] \
+     [--json PATH]\n";
+  exit 1
+
 let () =
-  let mode = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
-  match mode with
-  | "fig7" -> run_fig7 ()
-  | "stats" -> run_stats ()
-  | "genalg" -> run_genalg ()
-  | "ablation" -> run_ablation ()
+  let mode = ref "all" in
+  let jobs = ref (Edge_parallel.Pool.default_jobs ()) in
+  let json = ref "BENCH_fig7.json" in
+  let rec parse = function
+    | [] -> ()
+    | "-j" :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some n when n >= 1 ->
+            jobs := n;
+            parse rest
+        | _ -> usage ())
+    | "--json" :: p :: rest ->
+        json := p;
+        parse rest
+    | m :: rest when String.length m > 0 && m.[0] <> '-' ->
+        mode := m;
+        parse rest
+    | _ -> usage ()
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let jobs = !jobs and json = !json in
+  match !mode with
+  | "fig7" ->
+      let r = run_sweep ~jobs ~json () in
+      Format.printf "%a@." Edge_harness.Figure7.pp r
+  | "stats" ->
+      let r = run_sweep ~jobs ~json () in
+      Format.printf "%a@." pp_stats r
+  | "genalg" -> run_genalg ~jobs ()
+  | "ablation" -> run_ablation ~jobs ()
+  | "smoke" -> run_smoke ()
   | "micro" -> run_micro ()
   | "all" ->
       Format.printf "== Figure 7 ==@.";
-      run_fig7 ();
+      let r = run_sweep ~jobs ~json () in
+      Format.printf "%a@." Edge_harness.Figure7.pp r;
+      (* the Section 6 numbers come from the same sweep result: no
+         second pass over the 140 experiments *)
+      Format.printf "@.== Section 6 dynamic statistics ==@.";
+      Format.printf "%a@." pp_stats r;
       Format.printf "@.== genalg case study (Section 5.3 / Figure 6) ==@.";
-      run_genalg ();
+      run_genalg ~jobs ();
       Format.printf "@.== ablations ==@.";
-      run_ablation ()
-  | m ->
-      Printf.eprintf "unknown mode %s (fig7|stats|genalg|ablation|micro|all)\n" m;
-      exit 1
+      run_ablation ~jobs ()
+  | _ -> usage ()

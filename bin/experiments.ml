@@ -1,22 +1,46 @@
 (* experiments: regenerate every number reported in EXPERIMENTS.md —
    the Figure 7 sweep, the Section 6 dynamic statistics, the genalg case
-   study and the ablations. *)
+   study and the ablations.
+
+     dune exec bin/experiments.exe -- -j 4
+
+   -j N fans the independent (workload x config) experiments across N
+   domains; simulated cycle counts are identical for every N. *)
 
 let () =
+  let jobs = ref (Edge_parallel.Pool.default_jobs ()) in
+  let rec parse = function
+    | [] -> ()
+    | "-j" :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some n when n >= 1 ->
+            jobs := n;
+            parse rest
+        | _ ->
+            Printf.eprintf "usage: experiments.exe [-j N]\n";
+            exit 1)
+    | _ ->
+        Printf.eprintf "usage: experiments.exe [-j N]\n";
+        exit 1
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let jobs = !jobs in
   let t0 = Unix.gettimeofday () in
   Format.printf "== Figure 7 (28 EEMBC-style benchmarks x 5 configurations) ==@.";
   let fig7 =
     Edge_harness.Figure7.run
       ~progress:(fun n -> Printf.eprintf "  %s...\n%!" n)
-      ()
+      ~jobs ()
   in
   Format.printf "%a@.@." Edge_harness.Figure7.pp fig7;
   Format.printf "== genalg case study (Section 5.3) ==@.";
-  (match Edge_harness.Genalg_study.run () with
+  (match Edge_harness.Genalg_study.run ~jobs () with
   | Ok s -> Format.printf "%a@.@." Edge_harness.Genalg_study.pp s
   | Error e -> Format.printf "error: %s@.@." e);
   Format.printf "== ablations ==@.";
-  let entries, errors = Edge_harness.Ablation.run () in
+  let entries, errors = Edge_harness.Ablation.run ~jobs () in
   Format.printf "%a@." Edge_harness.Ablation.pp entries;
   List.iter (fun (w, e) -> Format.printf "error %s: %s@." w e) errors;
-  Format.printf "@.total time: %.1fs@." (Unix.gettimeofday () -. t0)
+  Format.printf "@.total time: %.1fs (-j %d)@."
+    (Unix.gettimeofday () -. t0)
+    jobs

@@ -27,20 +27,45 @@ let variants =
     ("sand", (Edge_sim.Machine.default, Dfp.Config.sand));
   ]
 
-let run ?(benches = default_benches) () =
+let run ?(benches = default_benches) ?(jobs = 1) () =
+  (* the baseline and every variant of every bench are independent
+     experiments: fan all of them across the pool at once, then stitch
+     the (variant, baseline) pairs back together in input order *)
+  let resolved =
+    List.map (fun name -> (name, Edge_workloads.Registry.find name)) benches
+  in
+  let experiments =
+    List.concat_map
+      (fun (name, w) ->
+        match w with
+        | None -> []
+        | Some w ->
+            (name, w, "Both", Edge_sim.Machine.default, Dfp.Config.both)
+            :: List.map
+                 (fun (vname, (machine, config)) -> (name, w, vname, machine, config))
+                 variants)
+      resolved
+  in
+  let outcomes =
+    Edge_parallel.Pool.run ~jobs
+      (fun (name, w, label, machine, config) ->
+        ((name, label), Experiment.run_one ~machine w (label, config)))
+      experiments
+  in
+  let result_of name label = List.assoc (name, label) outcomes in
   let errors = ref [] in
   let entries = ref [] in
   List.iter
-    (fun name ->
-      match Edge_workloads.Registry.find name with
+    (fun (name, w) ->
+      match w with
       | None -> errors := (name, "unknown workload") :: !errors
-      | Some w -> (
-          match Experiment.run_one w ("Both", Dfp.Config.both) with
+      | Some _ -> (
+          match result_of name "Both" with
           | Error e -> errors := (name, e) :: !errors
           | Ok base ->
               List.iter
-                (fun (vname, (machine, config)) ->
-                  match Experiment.run_one ~machine w (vname, config) with
+                (fun (vname, _) ->
+                  match result_of name vname with
                   | Error e -> errors := (name ^ "/" ^ vname, e) :: !errors
                   | Ok r ->
                       entries :=
@@ -52,7 +77,7 @@ let run ?(benches = default_benches) () =
                         }
                         :: !entries)
                 variants))
-    benches;
+    resolved;
   (List.rev !entries, List.rev !errors)
 
 let pp ppf entries =

@@ -17,7 +17,7 @@ type entry = {
 }
 
 val run :
-  ?benches:string list -> unit -> entry list * (string * string) list
-(** Returns entries plus errors. *)
+  ?benches:string list -> ?jobs:int -> unit -> entry list * (string * string) list
+(** Returns entries plus errors, in input order for any [jobs]. *)
 
 val pp : Format.formatter -> entry list -> unit

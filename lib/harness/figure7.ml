@@ -13,10 +13,10 @@ type result = {
   instr_reduction : float;
   block_reduction : float;
   errors : (string * string) list;
+  jobs : int;
+  compile_s : float;
+  sim_s : float;
 }
-
-let configs = Dfp.Config.all_paper_configs
-let config_names = List.map fst configs
 
 let geomean = function
   | [] -> 1.0
@@ -24,8 +24,27 @@ let geomean = function
       exp (List.fold_left (fun a x -> a +. log x) 0.0 xs /. float_of_int (List.length xs))
 
 let run ?(machine = Edge_sim.Machine.default)
-    ?(benches = Edge_workloads.Registry.eembc) ?(progress = fun _ -> ()) () =
+    ?(benches = Edge_workloads.Registry.eembc)
+    ?(configs = Dfp.Config.all_paper_configs) ?(progress = fun _ -> ())
+    ?(jobs = 1) () =
+  let config_names = List.map fst configs in
+  (* fan every (workload x config) experiment across the pool; results
+     come back in input order, so rows and errors are deterministic
+     regardless of completion order *)
+  let experiments =
+    List.concat_map
+      (fun w -> List.mapi (fun i (name, config) -> (w, i, name, config)) configs)
+      benches
+  in
+  let outcomes =
+    Edge_parallel.Pool.run ~jobs
+      (fun (w, i, name, config) ->
+        if i = 0 then progress w.Edge_workloads.Workload.name;
+        (w.Edge_workloads.Workload.name, name, Experiment.run_one ~machine w (name, config)))
+      experiments
+  in
   let errors = ref [] in
+  let compile_s = ref 0.0 and sim_s = ref 0.0 in
   let dyn_moves = Hashtbl.create 8 in
   let dyn_instrs = Hashtbl.create 8 in
   let dyn_blocks = Hashtbl.create 8 in
@@ -35,16 +54,21 @@ let run ?(machine = Edge_sim.Machine.default)
   let rows =
     List.filter_map
       (fun w ->
-        progress w.Edge_workloads.Workload.name;
+        let bench = w.Edge_workloads.Workload.name in
         let runs =
           List.filter_map
-            (fun (name, config) ->
-              match Experiment.run_one ~machine w (name, config) with
-              | Ok r -> Some (name, r)
-              | Error e ->
-                  errors := (w.Edge_workloads.Workload.name ^ "/" ^ name, e) :: !errors;
-                  None)
-            configs
+            (fun (wname, cname, outcome) ->
+              if not (String.equal wname bench) then None
+              else
+                match outcome with
+                | Ok r ->
+                    compile_s := !compile_s +. r.Experiment.compile_s;
+                    sim_s := !sim_s +. r.Experiment.sim_s;
+                    Some (cname, r)
+                | Error e ->
+                    errors := (bench ^ "/" ^ cname, e) :: !errors;
+                    None)
+            outcomes
         in
         match List.assoc_opt "Hyper" runs with
         | Some base when List.length runs = List.length configs ->
@@ -56,7 +80,7 @@ let run ?(machine = Edge_sim.Machine.default)
               runs;
             Some
               {
-                bench = w.Edge_workloads.Workload.name;
+                bench;
                 cycles = List.map (fun (n, r) -> (n, r.Experiment.cycles)) runs;
                 speedups =
                   List.map
@@ -88,10 +112,14 @@ let run ?(machine = Edge_sim.Machine.default)
     instr_reduction = reduction dyn_instrs;
     block_reduction = reduction dyn_blocks;
     errors = List.rev !errors;
+    jobs;
+    compile_s = !compile_s;
+    sim_s = !sim_s;
   }
 
 let pp ppf r =
   let open Format in
+  let config_names = List.map fst r.mean_speedups in
   fprintf ppf "@[<v>";
   fprintf ppf
     "Figure 7: speedup over the Hyper baseline (cycles(Hyper)/cycles(X))@,@,";

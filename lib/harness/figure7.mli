@@ -1,7 +1,12 @@
 (** The Figure 7 experiment: speedup of BB / Intra / Inter / Both over
     the hyperblock baseline across the 28 EEMBC-style benchmarks, plus
     the Section 6 dynamic-statistics deltas (moves, total instructions,
-    blocks) for the intra configuration. *)
+    blocks) for the intra configuration.
+
+    The (workload x config) experiments are independent, so [run] fans
+    them across a domain pool ([jobs]); rows, speedups and errors are
+    assembled in input order and are bit-identical for every [jobs]
+    value. *)
 
 type row = {
   bench : string;
@@ -16,14 +21,23 @@ type result = {
   instr_reduction : float;  (** Intra vs Hyper, dynamic instructions *)
   block_reduction : float;  (** Intra vs Hyper, dynamic blocks *)
   errors : (string * string) list;
+  jobs : int;  (** parallelism the sweep ran with *)
+  compile_s : float;  (** summed wall-clock of the compile phases *)
+  sim_s : float;  (** summed wall-clock of the simulation phases *)
 }
 
 val run :
   ?machine:Edge_sim.Machine.t ->
   ?benches:Edge_workloads.Workload.t list ->
+  ?configs:(string * Dfp.Config.t) list ->
   ?progress:(string -> unit) ->
+  ?jobs:int ->
   unit ->
   result
+(** [configs] defaults to the five paper configurations and must
+    include ["Hyper"], the speedup baseline. [jobs] defaults to 1
+    (sequential); pass [Edge_parallel.Pool.default_jobs ()] to use the
+    machine. *)
 
 val pp : Format.formatter -> result -> unit
 (** Renders the table and an ASCII rendition of the Figure 7 bars. *)

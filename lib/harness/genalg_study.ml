@@ -14,16 +14,34 @@ type study = {
 
 let ( let* ) = Result.bind
 
-let run ?(machine = Edge_sim.Machine.default) () =
+let run ?(machine = Edge_sim.Machine.default) ?(jobs = 1) () =
   let w = Edge_workloads.Registry.genalg in
-  let* bb = Experiment.run_one ~machine w ("BB", Dfp.Config.bb) in
-  let* hyper = Experiment.run_one ~machine w ("Hyper", Dfp.Config.hyper_baseline) in
-  let* both = Experiment.run_one ~machine w ("Both", Dfp.Config.both) in
-  let* both_u1 =
-    Experiment.run_one ~machine w
-      ("Both-u1", { Dfp.Config.both with Dfp.Config.max_unroll = 1 })
+  let specs =
+    [
+      ("BB", Dfp.Config.bb);
+      ("Hyper", Dfp.Config.hyper_baseline);
+      ("Both", Dfp.Config.both);
+      ("Both-u1", { Dfp.Config.both with Dfp.Config.max_unroll = 1 });
+      ("Hand", Dfp.Config.hand_optimized);
+    ]
   in
-  let* hand = Experiment.run_one ~machine w ("Hand", Dfp.Config.hand_optimized) in
+  let* bb, hyper, both, both_u1, hand =
+    match
+      Edge_parallel.Pool.run ~jobs
+        (fun (name, config) -> Experiment.run_one ~machine w (name, config))
+        specs
+    with
+    | [ bb; hyper; both; both_u1; hand ] ->
+        (* first failure in spec order wins, as in the sequential bind
+           chain this replaces *)
+        let* bb = bb in
+        let* hyper = hyper in
+        let* both = both in
+        let* both_u1 = both_u1 in
+        let* hand = hand in
+        Ok (bb, hyper, both, both_u1, hand)
+    | _ -> assert false
+  in
   Ok
     {
       cycles_bb = bb.Experiment.cycles;

@@ -18,5 +18,10 @@ type study = {
   blocks_hand : int;
 }
 
-val run : ?machine:Edge_sim.Machine.t -> unit -> (study, string) result
+val run :
+  ?machine:Edge_sim.Machine.t -> ?jobs:int -> unit -> (study, string) result
+(** The five configuration points are independent and run across a
+    domain pool ([jobs], default 1); results are deterministic for any
+    [jobs]. *)
+
 val pp : Format.formatter -> study -> unit

@@ -1,0 +1,55 @@
+(* A domain-safe memo table: the first caller of a key computes, every
+   concurrent caller of the same key blocks until the value lands, and
+   later callers hit the table.  Used for compile artifacts and
+   reference-interpreter runs shared across the experiment sweep. *)
+
+type 'v state = Done of 'v | Failed of exn | Pending
+
+type ('k, 'v) t = {
+  mu : Mutex.t;
+  ready : Condition.t;
+  tbl : ('k, 'v state) Hashtbl.t;
+}
+
+let create ?(size = 64) () =
+  { mu = Mutex.create (); ready = Condition.create (); tbl = Hashtbl.create size }
+
+let get t key f =
+  Mutex.lock t.mu;
+  let rec loop () =
+    match Hashtbl.find_opt t.tbl key with
+    | Some (Done v) ->
+        Mutex.unlock t.mu;
+        v
+    | Some (Failed e) ->
+        Mutex.unlock t.mu;
+        raise e
+    | Some Pending ->
+        Condition.wait t.ready t.mu;
+        loop ()
+    | None ->
+        Hashtbl.replace t.tbl key Pending;
+        Mutex.unlock t.mu;
+        let st = try Done (f ()) with e -> Failed e in
+        Mutex.lock t.mu;
+        Hashtbl.replace t.tbl key st;
+        Condition.broadcast t.ready;
+        Mutex.unlock t.mu;
+        (match st with
+        | Done v -> v
+        | Failed e -> raise e
+        | Pending -> assert false)
+  in
+  loop ()
+
+let clear t =
+  Mutex.lock t.mu;
+  (* never clear in-flight computations out from under their waiters *)
+  let keep =
+    Hashtbl.fold
+      (fun k v acc -> match v with Pending -> (k, v) :: acc | Done _ | Failed _ -> acc)
+      t.tbl []
+  in
+  Hashtbl.reset t.tbl;
+  List.iter (fun (k, v) -> Hashtbl.replace t.tbl k v) keep;
+  Mutex.unlock t.mu

@@ -1,0 +1,16 @@
+(** Domain-safe memoization with single-flight semantics: concurrent
+    [get]s of the same key run the computation once and share the
+    result (or the exception). *)
+
+type ('k, 'v) t
+
+val create : ?size:int -> unit -> ('k, 'v) t
+
+val get : ('k, 'v) t -> 'k -> (unit -> 'v) -> 'v
+(** [get t k f] returns the cached value for [k], computing it with [f]
+    on first use. If [f] raised, the exception is cached and re-raised
+    for every subsequent caller. *)
+
+val clear : ('k, 'v) t -> unit
+(** Drops settled entries (in-flight computations are kept so waiters
+    are never orphaned). *)

@@ -1,0 +1,126 @@
+(* A fixed-size domain pool over a Mutex/Condition work queue.
+
+   The pool owns [jobs - 1] worker domains; the caller of [map] helps
+   drain the queue, so a pool created with [~jobs:n] keeps at most [n]
+   experiments in flight.  [~jobs:1] is a strict sequential fallback
+   that never touches the queue (and therefore behaves exactly like
+   [List.map]). *)
+
+type t = {
+  jobs : int;
+  mu : Mutex.t;
+  nonempty : Condition.t;
+  queue : (unit -> unit) Queue.t;
+  mutable closing : bool;
+  mutable workers : unit Domain.t list;
+}
+
+let default_jobs () = max 1 (Domain.recommended_domain_count () - 1)
+
+let rec worker_loop t =
+  Mutex.lock t.mu;
+  let rec take () =
+    if t.closing then begin
+      Mutex.unlock t.mu;
+      None
+    end
+    else
+      match Queue.take_opt t.queue with
+      | Some job ->
+          Mutex.unlock t.mu;
+          Some job
+      | None ->
+          Condition.wait t.nonempty t.mu;
+          take ()
+  in
+  match take () with
+  | None -> ()
+  | Some job ->
+      (* jobs are wrapped by [map] and never raise *)
+      job ();
+      worker_loop t
+
+let create ?jobs () =
+  let jobs = max 1 (match jobs with Some j -> j | None -> default_jobs ()) in
+  let t =
+    {
+      jobs;
+      mu = Mutex.create ();
+      nonempty = Condition.create ();
+      queue = Queue.create ();
+      closing = false;
+      workers = [];
+    }
+  in
+  t.workers <- List.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t
+
+let shutdown t =
+  Mutex.lock t.mu;
+  t.closing <- true;
+  Condition.broadcast t.nonempty;
+  Mutex.unlock t.mu;
+  List.iter Domain.join t.workers;
+  t.workers <- []
+
+let with_pool ?jobs f =
+  let t = create ?jobs () in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+let jobs t = t.jobs
+
+let map t f xs =
+  if t.jobs <= 1 then List.map f xs
+  else
+    match xs with
+    | [] -> []
+    | xs ->
+        let arr = Array.of_list xs in
+        let n = Array.length arr in
+        let out = Array.make n None in
+        let remaining = ref n in
+        let all_done = Condition.create () in
+        let run i =
+          let r =
+            try Ok (f arr.(i))
+            with e -> Error (e, Printexc.get_raw_backtrace ())
+          in
+          Mutex.lock t.mu;
+          out.(i) <- Some r;
+          decr remaining;
+          if !remaining = 0 then Condition.broadcast all_done;
+          Mutex.unlock t.mu
+        in
+        Mutex.lock t.mu;
+        for i = 0 to n - 1 do
+          Queue.add (fun () -> run i) t.queue
+        done;
+        Condition.broadcast t.nonempty;
+        Mutex.unlock t.mu;
+        (* help drain: the caller is one of the [jobs] lanes *)
+        let rec help () =
+          Mutex.lock t.mu;
+          match Queue.take_opt t.queue with
+          | Some job ->
+              Mutex.unlock t.mu;
+              job ();
+              help ()
+          | None -> Mutex.unlock t.mu
+        in
+        help ();
+        Mutex.lock t.mu;
+        while !remaining > 0 do
+          Condition.wait all_done t.mu
+        done;
+        Mutex.unlock t.mu;
+        (* deterministic order: results come back indexed by input
+           position; the first failure (in input order) re-raises *)
+        Array.to_list out
+        |> List.map (function
+             | Some (Ok v) -> v
+             | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
+             | None -> assert false)
+
+let filter_map t f xs = map t f xs |> List.filter_map Fun.id
+
+let run ?jobs f xs = with_pool ?jobs (fun t -> map t f xs)

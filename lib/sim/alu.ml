@@ -61,42 +61,45 @@ let need = function
   | Some (t : Token.t) -> t
   | None -> invalid_arg "Alu.exec: missing operand"
 
+(* tainted result constructors, allocation-light: equivalent to
+   [Token.taint]-folding the operands over [Token.of_int64 v] but
+   without the intermediate records and taint list *)
+let result1 (l : Token.t) v = { Token.payload = v; null = l.null; exc = l.exc }
+
+let result2 (l : Token.t) (r : Token.t) v =
+  { Token.payload = v; null = l.null || r.null; exc = l.exc || r.exc }
+
 let exec opcode ~imm ~left ~right =
-  let payload_result ?(taints = []) v =
-    List.fold_left (fun acc t -> Token.taint t acc) (Token.of_int64 v) taints
-  in
   match opcode with
   | Opcode.Iop op ->
       let l = need left and r = need right in
       (match ibinop op l.Token.payload r.Token.payload with
-      | Ok v -> payload_result ~taints:[ l; r ] v
-      | Error () -> Token.with_exc (payload_result ~taints:[ l; r ] 0L))
+      | Ok v -> result2 l r v
+      | Error () -> Token.with_exc (result2 l r 0L))
   | Opcode.Iopi op ->
       let l = need left in
       (match ibinop op l.Token.payload imm with
-      | Ok v -> payload_result ~taints:[ l ] v
-      | Error () -> Token.with_exc (payload_result ~taints:[ l ] 0L))
+      | Ok v -> result1 l v
+      | Error () -> Token.with_exc (result1 l 0L))
   | Opcode.Tst cond ->
       let l = need left and r = need right in
-      payload_result ~taints:[ l; r ]
-        (bool_val (icmp cond l.Token.payload r.Token.payload))
+      result2 l r (bool_val (icmp cond l.Token.payload r.Token.payload))
   | Opcode.Tsti cond ->
       let l = need left in
-      payload_result ~taints:[ l ] (bool_val (icmp cond l.Token.payload imm))
+      result1 l (bool_val (icmp cond l.Token.payload imm))
   | Opcode.Fop op ->
       let l = need left and r = need right in
-      payload_result ~taints:[ l; r ] (fbinop op l.Token.payload r.Token.payload)
+      result2 l r (fbinop op l.Token.payload r.Token.payload)
   | Opcode.Ftst cond ->
       let l = need left and r = need right in
-      payload_result ~taints:[ l; r ]
-        (bool_val (fcmp cond l.Token.payload r.Token.payload))
+      result2 l r (bool_val (fcmp cond l.Token.payload r.Token.payload))
   | Opcode.Un op ->
       let l = need left in
-      payload_result ~taints:[ l ] (unop op l.Token.payload)
+      result1 l (unop op l.Token.payload)
   | Opcode.Movi | Opcode.Geni -> Token.of_int64 imm
   | Opcode.Mov4 ->
       let l = need left in
-      payload_result ~taints:[ l ] l.Token.payload
+      result1 l l.Token.payload
   | Opcode.Null -> Token.null_token
   | Opcode.Sand ->
       (* both-operands path; the short-circuit (left false, right absent)
@@ -106,8 +109,7 @@ let exec opcode ~imm ~left ~right =
         Token.taint l (Token.of_int64 0L)
       else
         let r = need right in
-        payload_result ~taints:[ l; r ]
-          (if Token.as_predicate r then 1L else 0L)
+        result2 l r (if Token.as_predicate r then 1L else 0L)
   | Opcode.Ld _ | Opcode.St _ | Opcode.Bro | Opcode.Halt ->
       invalid_arg "Alu.exec: memory/branch opcode"
 

@@ -58,8 +58,6 @@ type fetch_state =
   | Fwait of int  (** stalled on unresolved branch of frame seq *)
   | Fbusy of { name : string; done_at : int; mutable held : bool }
 
-module IntMap = Map.Make (Int)
-
 type sim = {
   program : Program.t;
   machine : Machine.t;
@@ -78,31 +76,42 @@ type sim = {
          violating against *)
   block_addr : (string, int64) Hashtbl.t;
   frames : frame option array;
+  mutable live_cache : frame list;  (* live frames sorted by seq *)
+  mutable live_dirty : bool;  (* [frames] changed since [live_cache] was built *)
   mutable next_seq : int;
   mutable next_gen : int;
   mutable fetch : fetch_state;
-  mutable events : (unit -> unit) list IntMap.t;
+  events : (unit -> unit) Event_queue.t;
   mutable cycle : int;
   ready : (int * int * int) Queue.t array;  (* per tile: fid, gen, id *)
+  mutable ready_count : int;  (* total entries across [ready] queues *)
   mutable halted : bool;
   mutable fault : string option;
 }
 
 let schedule sim dt f =
-  let c = sim.cycle + max 1 dt in
-  sim.events <-
-    IntMap.update c
-      (function Some l -> Some (f :: l) | None -> Some [ f ])
-      sim.events
+  Event_queue.add sim.events ~cycle:(sim.cycle + max 1 dt) f
 
 let frame_alive sim fid gen =
   match sim.frames.(fid) with
   | Some f when f.gen = gen -> Some f
   | Some _ | None -> None
 
+(* the live-frame list is rebuilt lazily: dispatch, flush and commit
+   (the only writers of [sim.frames]) mark it dirty, and the many
+   per-cycle readers share one cached sorted list *)
+let invalidate_live sim = sim.live_dirty <- true
+
 let live_frames sim =
-  Array.to_list sim.frames |> List.filter_map Fun.id
-  |> List.sort (fun a b -> compare a.seq b.seq)
+  if sim.live_dirty then begin
+    sim.live_cache <-
+      Array.to_list sim.frames |> List.filter_map Fun.id
+      |> List.sort (fun a b -> Int.compare a.seq b.seq);
+    sim.live_dirty <- false
+  end;
+  sim.live_cache
+
+let no_live_frames sim = Array.for_all Option.is_none sim.frames
 
 let oldest_frame sim =
   match live_frames sim with [] -> None | f :: _ -> Some f
@@ -145,19 +154,27 @@ let icache_penalty sim (b : Block.t) =
   !pen
 
 (* all resolved stores strictly before (seq, lsid) in LSQ order, oldest
-   first, across in-flight frames *)
+   first, across in-flight frames; allocates only for matching entries
+   (usually none) *)
 let stores_before sim ~seq ~lsid =
-  List.concat_map
+  let acc = ref [] in
+  List.iter
     (fun f ->
-      Array.to_list f.stores
-      |> List.filter_map (fun (l, r) ->
-             if f.seq < seq || (f.seq = seq && l < lsid) then
-               match r with
-               | Stored s -> Some (f.seq, l, s)
-               | Nulled | Unresolved -> None
-             else None))
-    (live_frames sim)
-  |> List.sort compare
+      if f.seq <= seq then
+        Array.iter
+          (fun (l, r) ->
+            if f.seq < seq || l < lsid then
+              match r with
+              | Stored s -> acc := (f.seq, l, s) :: !acc
+              | Nulled | Unresolved -> ())
+          f.stores)
+    (live_frames sim);
+  (* (seq, lsid) keys are unique, so ordering by them alone matches the
+     old polymorphic sort of the full triple *)
+  List.sort
+    (fun (s1, l1, _) (s2, l2, _) ->
+      if s1 <> s2 then Int.compare s1 s2 else Int.compare l1 l2)
+    !acc
 
 let unresolved_before sim ~seq ~lsid =
   List.exists
@@ -172,7 +189,14 @@ let read_with_forwarding sim ~width ~addr ~seq ~lsid =
   let nbytes = Mem.width_bytes width in
   let base_tok = Mem.load sim.mem ~width ~addr in
   if base_tok.Token.exc then base_tok
-  else begin
+  else
+    match stores_before sim ~seq ~lsid with
+    | [] ->
+        (* no in-flight store to forward from: the byte-merge below
+           would reconstruct exactly [Mem.load]'s value (same bytes,
+           same sign extension), so skip it *)
+        base_tok
+    | stores ->
     let bytes = Bytes.create nbytes in
     for i = 0 to nbytes - 1 do
       Bytes.set bytes i
@@ -198,7 +222,7 @@ let read_with_forwarding sim ~width ~addr ~seq ~lsid =
                         (Int64.logand (Int64.shift_right_logical value (8 * i)) 0xFFL)))
               end
             done)
-      (stores_before sim ~seq ~lsid);
+      stores;
     let v = ref 0L in
     for i = nbytes - 1 downto 0 do
       v := Int64.logor (Int64.shift_left !v 8)
@@ -217,7 +241,6 @@ let read_with_forwarding sim ~width ~addr ~seq ~lsid =
     in
     let tok = Token.of_int64 v in
     if !exc then Token.with_exc tok else tok
-  end
 
 (* ---------- forward declarations via mutual recursion ---------- *)
 
@@ -292,7 +315,8 @@ and wake sim f id =
     let pred_ok = (not (Instr.is_predicated i)) || f.pred_matched.(id) in
     if data_ok && pred_ok then begin
       f.queued.(id) <- true;
-      Queue.add (f.fid, f.gen, id) sim.ready.(f.placement.(id))
+      Queue.add (f.fid, f.gen, id) sim.ready.(f.placement.(id));
+      sim.ready_count <- sim.ready_count + 1
     end
   end
 
@@ -381,7 +405,8 @@ and flush_from sim seq ~refetch =
       if f.seq >= seq then begin
         Stats.add sim.stats f.fstats;
         sim.stats.Stats.blocks_flushed <- sim.stats.Stats.blocks_flushed + 1;
-        sim.frames.(f.fid) <- None
+        sim.frames.(f.fid) <- None;
+        invalidate_live sim
       end)
     (live_frames sim);
   (* older frames may hold subscriptions from flushed readers: they are
@@ -736,6 +761,7 @@ let dispatch sim name =
   sim.next_seq <- sim.next_seq + 1;
   sim.next_gen <- sim.next_gen + 1;
   sim.frames.(fid) <- Some f;
+  invalidate_live sim;
   f.fstats.Stats.blocks_executed <- 1;
   f.fstats.Stats.instrs_fetched <- n;
   (* seed register reads *)
@@ -817,6 +843,7 @@ let try_commit sim =
         f.fstats.Stats.instrs_committed <- f.fstats.Stats.instrs_executed;
         Stats.add sim.stats f.fstats;
         sim.frames.(f.fid) <- None;
+        invalidate_live sim;
         if target = None then begin
           sim.halted <- true;
           sim.stats.Stats.cycles <- sim.cycle
@@ -824,25 +851,27 @@ let try_commit sim =
       end
 
 let step_issue sim =
-  Array.iter
-    (fun q ->
-      let budget = ref sim.machine.Machine.issue_per_tile in
-      let skipped = Queue.create () in
-      while !budget > 0 && not (Queue.is_empty q) do
-        let fid, gen, id = Queue.pop q in
-        match frame_alive sim fid gen with
-        | Some f when f.queued.(id) && not f.fired.(id) ->
-            decr budget;
-            fire sim f id
-        | Some _ | None -> ()
-      done;
-      Queue.transfer skipped q)
-    sim.ready
+  if sim.ready_count > 0 then
+    Array.iter
+      (fun q ->
+        if not (Queue.is_empty q) then begin
+          let budget = ref sim.machine.Machine.issue_per_tile in
+          while !budget > 0 && not (Queue.is_empty q) do
+            let fid, gen, id = Queue.pop q in
+            sim.ready_count <- sim.ready_count - 1;
+            match frame_alive sim fid gen with
+            | Some f when f.queued.(id) && not f.fired.(id) ->
+                decr budget;
+                fire sim f id
+            | Some _ | None -> ()
+          done
+        end)
+      sim.ready
 
 let step_fetch sim =
   match sim.fetch with
   | Fbusy b when sim.cycle >= b.done_at ->
-      let free_slot = Array.exists (fun f -> f = None) sim.frames in
+      let free_slot = Array.exists Option.is_none sim.frames in
       let inflight = List.length (live_frames sim) in
       if free_slot && inflight < sim.machine.Machine.max_inflight then begin
         sim.fetch <- Fidle;
@@ -852,19 +881,21 @@ let step_fetch sim =
   | Fbusy _ | Fwait _ | Fidle -> ()
 
 let next_interesting_cycle sim =
-  let candidates = ref [] in
-  (match IntMap.min_binding_opt sim.events with
-  | Some (c, _) -> candidates := c :: !candidates
-  | None -> ());
-  (match sim.fetch with
-  | Fbusy b -> candidates := max (sim.cycle + 1) b.done_at :: !candidates
-  | Fwait _ | Fidle -> ());
-  let any_ready = Array.exists (fun q -> not (Queue.is_empty q)) sim.ready in
-  if any_ready then Some (sim.cycle + 1)
-  else
-    match !candidates with
-    | [] -> None
-    | l -> Some (List.fold_left min max_int l)
+  (* scheduled events are strictly in the future, so when any tile has
+     ready work the very next cycle is always the earliest candidate —
+     skip the event-queue scan entirely *)
+  if sim.ready_count > 0 then sim.cycle + 1
+  else begin
+    let best =
+      match Event_queue.next_due sim.events with Some c -> c | None -> max_int
+    in
+    let best =
+      match sim.fetch with
+      | Fbusy b -> min best (max (sim.cycle + 1) b.done_at)
+      | Fwait _ | Fidle -> best
+    in
+    if best = max_int then -1 else best
+  end
 
 let run ?(machine = Machine.default) ?placement program ~regs ~mem =
   let placement =
@@ -900,12 +931,15 @@ let run ?(machine = Machine.default) ?placement program ~regs ~mem =
       dep_pred = Hashtbl.create 64;
       block_addr = Hashtbl.create 64;
       frames = Array.make machine.Machine.max_inflight None;
+      live_cache = [];
+      live_dirty = false;
       next_seq = 0;
       next_gen = 0;
       fetch = Fidle;
-      events = IntMap.empty;
+      events = Event_queue.create ();
       cycle = 0;
       ready = Array.init Grid.num_tiles (fun _ -> Queue.create ());
+      ready_count = 0;
       halted = false;
       fault = None;
     }
@@ -917,24 +951,22 @@ let run ?(machine = Machine.default) ?placement program ~regs ~mem =
   match
     start_fetch sim program.Program.entry ~extra:0;
     while (not sim.halted) && sim.cycle < machine.Machine.max_cycles do
-      (* events due now *)
-      (match IntMap.find_opt sim.cycle sim.events with
-      | Some fs ->
-          sim.events <- IntMap.remove sim.cycle sim.events;
-          List.iter (fun f -> f ()) (List.rev fs)
-      | None -> ());
+      (* events due now, in scheduling order *)
+      (match Event_queue.pop_due sim.events ~cycle:sim.cycle with
+      | [] -> ()
+      | fs -> List.iter (fun f -> f ()) fs);
       step_issue sim;
       step_fetch sim;
       try_commit sim;
       if not sim.halted then begin
         match next_interesting_cycle sim with
-        | Some c -> sim.cycle <- max (sim.cycle + 1) c
-        | None ->
-            if live_frames sim = [] && sim.fetch = Fidle then
+        | c when c >= 0 -> sim.cycle <- max (sim.cycle + 1) c
+        | _ ->
+            if no_live_frames sim && sim.fetch = Fidle then
               failm "machine idle before halt"
             else if
               List.exists (fun f -> not f.complete) (live_frames sim)
-              && IntMap.is_empty sim.events
+              && Event_queue.is_empty sim.events
             then failm "deadlock at cycle %d" sim.cycle
             else sim.cycle <- sim.cycle + 1
       end

@@ -1,0 +1,25 @@
+(** Bucketed calendar queue for the cycle simulator's event wheel.
+
+    Replaces the allocating [IntMap]-of-closures queue with a fixed
+    ring of per-cycle buckets plus an overflow list for events beyond
+    the ring horizon. Preserves the map's semantics exactly: events
+    scheduled for the same cycle pop in insertion order (FIFO), even
+    when bucketed and far-future overflowed events interleave. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val add : 'a t -> cycle:int -> 'a -> unit
+(** Schedule [payload] for [cycle]. O(1). *)
+
+val pop_due : 'a t -> cycle:int -> 'a list
+(** All events scheduled for exactly [cycle], in insertion order, and
+    removes them. The simulator visits cycles in increasing order, so
+    draining at each visited cycle never strands older events. *)
+
+val next_due : 'a t -> int option
+(** Earliest cycle holding a pending event, or [None] when empty.
+    Amortized O(distance to the next event). *)
+
+val is_empty : 'a t -> bool

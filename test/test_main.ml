@@ -9,5 +9,6 @@ let () =
       ("passes", Test_passes.tests);
       ("workloads", Test_workloads.tests);
       ("harness", Test_harness.tests);
+      ("parallel", Test_parallel.tests);
       ("diff", Test_diff.tests);
     ]

@@ -1,0 +1,213 @@
+(* The parallel experiment machinery: the domain pool, the single-flight
+   memo, the calendar event queue, and — the property everything else
+   leans on — bit-identical Figure 7 results for every jobs value. *)
+
+module Pool = Edge_parallel.Pool
+module Memo = Edge_parallel.Memo
+module Event_queue = Edge_sim.Event_queue
+
+(* -- pool --------------------------------------------------------- *)
+
+let pool_map_order () =
+  let xs = List.init 100 Fun.id in
+  let expected = List.map (fun x -> (x * 7) mod 31) xs in
+  Alcotest.(check (list int))
+    "sequential fallback" expected
+    (Pool.run ~jobs:1 (fun x -> (x * 7) mod 31) xs);
+  Alcotest.(check (list int))
+    "parallel keeps input order" expected
+    (Pool.run ~jobs:4 (fun x -> (x * 7) mod 31) xs)
+
+let pool_filter_map () =
+  let xs = List.init 50 Fun.id in
+  let f x = if x mod 3 = 0 then Some (x * x) else None in
+  Alcotest.(check (list int))
+    "filter_map parallel = sequential" (List.filter_map f xs)
+    (Pool.with_pool ~jobs:4 (fun p -> Pool.filter_map p f xs))
+
+exception Boom of int
+
+let pool_exception () =
+  (* the first failure in input order is the one re-raised *)
+  match
+    Pool.run ~jobs:4 (fun x -> if x >= 5 then raise (Boom x) else x)
+      (List.init 20 Fun.id)
+  with
+  | _ -> Alcotest.fail "expected an exception"
+  | exception Boom n -> Alcotest.(check int) "first failure wins" 5 n
+
+let pool_reuse () =
+  Pool.with_pool ~jobs:3 (fun p ->
+      let a = Pool.map p (fun x -> x + 1) [ 1; 2; 3 ] in
+      let b = Pool.map p (fun x -> x * 2) [ 4; 5 ] in
+      Alcotest.(check (list int)) "first batch" [ 2; 3; 4 ] a;
+      Alcotest.(check (list int)) "second batch" [ 8; 10 ] b)
+
+(* -- memo --------------------------------------------------------- *)
+
+let memo_single_flight () =
+  let m = Memo.create () in
+  let calls = ref 0 in
+  let f _ =
+    incr calls;
+    !calls * 10
+  in
+  Alcotest.(check int) "first call computes" 10 (Memo.get m "k" f);
+  Alcotest.(check int) "second call cached" 10 (Memo.get m "k" f);
+  Alcotest.(check int) "one computation" 1 !calls;
+  Alcotest.(check int) "other key computes" 20 (Memo.get m "k2" f)
+
+let memo_caches_failure () =
+  let m = Memo.create () in
+  let calls = ref 0 in
+  let f _ =
+    incr calls;
+    failwith "nope"
+  in
+  (try ignore (Memo.get m "k" f : int) with Failure _ -> ());
+  (try ignore (Memo.get m "k" f : int) with Failure _ -> ());
+  Alcotest.(check int) "failure computed once" 1 !calls
+
+(* -- calendar event queue ----------------------------------------- *)
+
+(* reference model with the old semantics: cycle -> events in insertion
+   order, pop returns the exact-cycle batch, next_due the pending min *)
+module Model = struct
+  type t = (int, int list ref) Hashtbl.t
+
+  let create () : t = Hashtbl.create 64
+
+  let add (t : t) ~cycle v =
+    match Hashtbl.find_opt t cycle with
+    | Some l -> l := v :: !l
+    | None -> Hashtbl.add t cycle (ref [ v ])
+
+  let pop_due (t : t) ~cycle =
+    match Hashtbl.find_opt t cycle with
+    | None -> []
+    | Some l ->
+        Hashtbl.remove t cycle;
+        List.rev !l
+
+  let next_due (t : t) =
+    Hashtbl.fold
+      (fun c _ acc ->
+        match acc with Some m -> Some (min m c) | None -> Some c)
+      t None
+
+  let is_empty (t : t) = Hashtbl.length t = 0
+end
+
+let queue_fifo_and_ordering () =
+  let q = Event_queue.create () in
+  Event_queue.add q ~cycle:5 "a";
+  Event_queue.add q ~cycle:3 "b";
+  Event_queue.add q ~cycle:5 "c";
+  Event_queue.add q ~cycle:5 "d";
+  Alcotest.(check (option int)) "next_due" (Some 3) (Event_queue.next_due q);
+  Alcotest.(check (list string)) "nothing at 4" [] (Event_queue.pop_due q ~cycle:4);
+  Alcotest.(check (list string)) "cycle 3" [ "b" ] (Event_queue.pop_due q ~cycle:3);
+  Alcotest.(check (list string))
+    "same-cycle FIFO" [ "a"; "c"; "d" ]
+    (Event_queue.pop_due q ~cycle:5);
+  Alcotest.(check bool) "drained" true (Event_queue.is_empty q)
+
+let queue_far_future () =
+  (* events beyond the bucket horizon (1024) and bucket collisions
+     (cycles congruent mod the horizon) must both survive *)
+  let q = Event_queue.create () in
+  Event_queue.add q ~cycle:10 "near";
+  Event_queue.add q ~cycle:5000 "far";
+  Event_queue.add q ~cycle:(10 + 1024) "collide";
+  Alcotest.(check (option int)) "min" (Some 10) (Event_queue.next_due q);
+  Alcotest.(check (list string)) "near" [ "near" ] (Event_queue.pop_due q ~cycle:10);
+  Alcotest.(check (option int)) "collision next" (Some 1034) (Event_queue.next_due q);
+  Alcotest.(check (list string))
+    "collision" [ "collide" ]
+    (Event_queue.pop_due q ~cycle:1034);
+  Alcotest.(check (list string)) "far" [ "far" ] (Event_queue.pop_due q ~cycle:5000);
+  Alcotest.(check bool) "empty" true (Event_queue.is_empty q)
+
+let queue_matches_model () =
+  (* a deterministic pseudo-random schedule replayed against the model:
+     monotone cycle sweep, adds at +1..+2000 (past the horizon), pops
+     and next_due compared every step *)
+  let q = Event_queue.create () and m = Model.create () in
+  let seed = ref 0x2545F491 in
+  let rand bound =
+    seed := (!seed * 1103515245) + 12345;
+    (!seed lsr 7) mod bound
+  in
+  let payload = ref 0 in
+  for cycle = 0 to 4000 do
+    let n_adds = if rand 10 < 4 then 1 + rand 3 else 0 in
+    for _ = 1 to n_adds do
+      let dt = 1 + rand 2000 in
+      incr payload;
+      Event_queue.add q ~cycle:(cycle + dt) !payload;
+      Model.add m ~cycle:(cycle + dt) !payload
+    done;
+    Alcotest.(check (list int))
+      (Printf.sprintf "pop @%d" cycle)
+      (Model.pop_due m ~cycle)
+      (Event_queue.pop_due q ~cycle);
+    if rand 10 < 3 then
+      Alcotest.(check (option int))
+        (Printf.sprintf "next_due @%d" cycle)
+        (Model.next_due m) (Event_queue.next_due q)
+  done;
+  (* drain whatever the sweep left behind *)
+  let rec drain () =
+    match Event_queue.next_due q with
+    | None -> ()
+    | Some c ->
+        Alcotest.(check (option int)) "drain next_due" (Model.next_due m) (Some c);
+        Alcotest.(check (list int))
+          (Printf.sprintf "drain @%d" c)
+          (Model.pop_due m ~cycle:c)
+          (Event_queue.pop_due q ~cycle:c);
+        drain ()
+  in
+  drain ();
+  Alcotest.(check bool) "model drained too" true (Model.is_empty m)
+
+(* -- determinism of the parallel sweep ---------------------------- *)
+
+let sweep_deterministic () =
+  let benches =
+    List.filter_map Edge_workloads.Registry.find [ "tblook01"; "canrdr01" ]
+  in
+  let seq = Edge_harness.Figure7.run ~benches ~jobs:1 () in
+  let par = Edge_harness.Figure7.run ~benches ~jobs:4 () in
+  Alcotest.(check (list string))
+    "no errors sequential" []
+    (List.map fst seq.Edge_harness.Figure7.errors);
+  Alcotest.(check (list string))
+    "no errors parallel" []
+    (List.map fst par.Edge_harness.Figure7.errors);
+  let cycles r =
+    List.map
+      (fun row ->
+        ( row.Edge_harness.Figure7.bench,
+          row.Edge_harness.Figure7.cycles ))
+      r.Edge_harness.Figure7.rows
+  in
+  Alcotest.(check (list (pair string (list (pair string int)))))
+    "identical cycles for jobs=1 and jobs=4" (cycles seq) (cycles par);
+  Alcotest.(check (list (pair string (float 0.0))))
+    "identical geomeans" seq.Edge_harness.Figure7.mean_speedups
+    par.Edge_harness.Figure7.mean_speedups
+
+let tests =
+  [
+    Alcotest.test_case "pool map order" `Quick pool_map_order;
+    Alcotest.test_case "pool filter_map" `Quick pool_filter_map;
+    Alcotest.test_case "pool exception" `Quick pool_exception;
+    Alcotest.test_case "pool reuse" `Quick pool_reuse;
+    Alcotest.test_case "memo single flight" `Quick memo_single_flight;
+    Alcotest.test_case "memo caches failure" `Quick memo_caches_failure;
+    Alcotest.test_case "event queue fifo" `Quick queue_fifo_and_ordering;
+    Alcotest.test_case "event queue far future" `Quick queue_far_future;
+    Alcotest.test_case "event queue vs model" `Quick queue_matches_model;
+    Alcotest.test_case "sweep deterministic" `Slow sweep_deterministic;
+  ]
