@@ -1,4 +1,4 @@
-.PHONY: all build test check smoke bench clean
+.PHONY: all build test check smoke fuzz-smoke bench clean
 
 all: build
 
@@ -8,9 +8,15 @@ build:
 test:
 	dune runtest
 
-# the tier-1 gate: everything compiles and the full suite is green
+# the tier-1 gate: everything compiles, the full suite is green, and a
+# short parallel fuzz campaign finds nothing
 check:
-	dune build @all && dune runtest
+	dune build @all && dune runtest && $(MAKE) fuzz-smoke
+
+# seconds-long differential-fuzzing sanity run (small programs, every
+# config, both simulators, block validator, parallel path)
+fuzz-smoke: build
+	dune exec bin/fuzz.exe -- --seed 1 -n 40 -j 4 --min-size 4 --max-size 12 --no-minimize
 
 # seconds-long sanity run of the parallel sweep path (1 workload,
 # 2 configs, 2 domains)

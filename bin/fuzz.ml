@@ -1,0 +1,131 @@
+(* fuzz: the differential-fuzzing and ISA-invariant campaign driver.
+
+     dune exec bin/fuzz.exe -- --seed 42 -n 500 -j 4
+
+   Runs n generated programs (seeds seed..seed+n-1, sizes cycling
+   min..max) through the full oracle: reference interpreter vs
+   functional executor vs cycle simulator under every compiler
+   configuration, with the static block validator applied to every
+   compiled artifact. The report is deterministic — identical for every
+   -j — because each task derives everything from its seed and results
+   are folded in seed order.
+
+   Failures are greedily minimized and written to the crash corpus
+   (--corpus DIR, default test/corpus), which `dune runtest` replays.
+
+     --workloads   validate the compiled artifacts of every registry
+                   workload under every configuration instead of fuzzing
+     --replay DIR  re-run every corpus entry through the oracle *)
+
+let usage =
+  "usage: fuzz.exe [--seed S] [-n N] [-j J] [--min-size A] [--max-size B]\n\
+  \                [--no-cycle] [--no-validate] [--no-minimize]\n\
+  \                [--corpus DIR] [--workloads] [--replay DIR]"
+
+let () =
+  let seed = ref 0 in
+  let n = ref 100 in
+  let jobs = ref (Edge_parallel.Pool.default_jobs ()) in
+  let min_size = ref Edge_fuzz.Fuzz.default_min_size in
+  let max_size = ref Edge_fuzz.Fuzz.default_max_size in
+  let cycle = ref true in
+  let validate = ref true in
+  let minimize = ref true in
+  let corpus = ref None in
+  let mode = ref `Fuzz in
+  let int_arg name v rest k =
+    match int_of_string_opt v with
+    | Some i -> k i rest
+    | None ->
+        Printf.eprintf "%s: expected an integer, got %s\n%s\n" name v usage;
+        exit 1
+  in
+  let rec parse = function
+    | [] -> ()
+    | "--seed" :: v :: rest -> int_arg "--seed" v rest (fun i r -> seed := i; parse r)
+    | "-n" :: v :: rest -> int_arg "-n" v rest (fun i r -> n := i; parse r)
+    | "-j" :: v :: rest -> int_arg "-j" v rest (fun i r -> jobs := max 1 i; parse r)
+    | "--min-size" :: v :: rest ->
+        int_arg "--min-size" v rest (fun i r -> min_size := i; parse r)
+    | "--max-size" :: v :: rest ->
+        int_arg "--max-size" v rest (fun i r -> max_size := i; parse r)
+    | "--no-cycle" :: rest -> cycle := false; parse rest
+    | "--no-validate" :: rest -> validate := false; parse rest
+    | "--no-minimize" :: rest -> minimize := false; parse rest
+    | "--corpus" :: dir :: rest -> corpus := Some dir; parse rest
+    | "--workloads" :: rest -> mode := `Workloads; parse rest
+    | "--replay" :: dir :: rest -> mode := `Replay dir; parse rest
+    | a :: _ ->
+        Printf.eprintf "unknown argument %s\n%s\n" a usage;
+        exit 1
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  match !mode with
+  | `Workloads -> (
+      Format.printf "validating compiled artifacts: %d workloads x %d configs@."
+        (List.length Edge_workloads.Registry.all)
+        (List.length Edge_fuzz.Oracle.configs);
+      match Edge_fuzz.Fuzz.validate_workloads ~jobs:!jobs () with
+      | [] ->
+          Format.printf "all artifacts pass the block validator@.";
+          exit 0
+      | errs ->
+          List.iter
+            (fun (label, e) -> Format.printf "FAIL %s: %s@." label e)
+            errs;
+          exit 1)
+  | `Replay dir -> (
+      let entries = Edge_fuzz.Corpus.load_dir dir in
+      Format.printf "replaying %d corpus entries from %s@."
+        (List.length entries) dir;
+      let failed = ref 0 in
+      List.iter
+        (fun (name, src) ->
+          match
+            Edge_fuzz.Fuzz.replay_source ~cycle:!cycle ~validate:!validate
+              ~name src
+          with
+          | Ok () -> ()
+          | Error e ->
+              incr failed;
+              Format.printf "%s@." e)
+        entries;
+      if !failed = 0 then Format.printf "all corpus entries pass@.";
+      exit (if !failed = 0 then 0 else 1))
+  | `Fuzz ->
+      let report =
+        Edge_fuzz.Fuzz.run ~jobs:!jobs ~cycle:!cycle ~validate:!validate
+          ~min_size:!min_size ~max_size:!max_size ~seed:!seed ~n:!n ()
+      in
+      Format.printf "%a" Edge_fuzz.Fuzz.pp_report report;
+      (match (report.Edge_fuzz.Fuzz.failures, !corpus) with
+      | [], _ -> ()
+      | failures, corpus_dir ->
+          List.iter
+            (fun (f : Edge_fuzz.Fuzz.failure) ->
+              let source =
+                if !minimize then begin
+                  Format.printf "minimizing seed=%d size=%d (%s)...@."
+                    f.Edge_fuzz.Fuzz.seed f.Edge_fuzz.Fuzz.size
+                    f.Edge_fuzz.Fuzz.config;
+                  Edge_fuzz.Pretty.kernel_to_string
+                    (Edge_fuzz.Fuzz.minimize_failure ~cycle:!cycle
+                       ~validate:!validate f)
+                end
+                else f.Edge_fuzz.Fuzz.source
+              in
+              Format.printf "--- reproducer seed=%d ---@.%s@."
+                f.Edge_fuzz.Fuzz.seed source;
+              match corpus_dir with
+              | None -> ()
+              | Some dir ->
+                  let name =
+                    Printf.sprintf "seed%d_%s" f.Edge_fuzz.Fuzz.seed
+                      (String.lowercase_ascii f.Edge_fuzz.Fuzz.config)
+                  in
+                  let path =
+                    Edge_fuzz.Corpus.save ~dir ~name ~contents:source
+                  in
+                  Format.printf "saved %s@." path)
+            failures);
+      exit (if report.Edge_fuzz.Fuzz.failures = [] then 0 else 1)

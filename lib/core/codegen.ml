@@ -378,7 +378,6 @@ let emit (h : Hb.t) ~alloc ~gen ~use_mov4 =
         pend;
       (* assemble instruction records with target lists, then fan out *)
       let fanout_moves = ref 0 in
-      let mov_cap = if use_mov4 then 4 else 2 in
       let instrs : Instr.t list ref = ref [] in
       let next_id = ref (n + !n_extra) in
       (* final targets for each pending instr *)
@@ -392,41 +391,63 @@ let emit (h : Hb.t) ~alloc ~gen ~use_mov4 =
          fires per execution, so one token flows through it (the paper's
          Section 3.6 fanout trees). *)
       let fanout ~roots targets =
-        let rec build targets =
+        let mk_node opc group =
+          let mov_id = !next_id in
+          incr next_id;
+          incr fanout_moves;
+          instrs :=
+            Instr.make ~id:mov_id ~opcode:opc ~targets:group () :: !instrs;
+          Target.To_instr { id = mov_id; slot = Target.Left }
+        in
+        let rec chunk cap acc cur cnt = function
+          | [] -> List.rev (if cur = [] then acc else List.rev cur :: acc)
+          | x :: tl ->
+              if cnt = cap then chunk cap (List.rev cur :: acc) [ x ] 1 tl
+              else chunk cap acc (x :: cur) (cnt + 1) tl
+        in
+        (* plain balanced mov tree: 2-target movs, any target kinds *)
+        let rec build_mov targets =
+          let k = List.length targets in
+          if k <= roots then targets
+          else
+            build_mov
+              (List.map
+                 (fun group ->
+                   match group with
+                   | [ single ] -> single
+                   | _ -> mk_node (Opcode.Un Opcode.Mov) group)
+                 (chunk 2 [] [] 0 targets))
+        in
+        (* mov4 multicasts to up to four consumers that share one operand
+           slot and cannot feed write slots (Figure 2's packed encoding),
+           so compress each same-slot class separately; leftovers that
+           still exceed the root budget fall back to ordinary movs, which
+           may mix target kinds *)
+        let rec build_mov4 targets =
           let k = List.length targets in
           if k <= roots then targets
           else begin
-            (* group consecutive targets under mov nodes, then recurse:
-               a balanced tree of depth ceil(log_cap k) *)
-            let rec chunk acc cur cnt = function
-              | [] -> List.rev (if cur = [] then acc else List.rev cur :: acc)
-              | x :: tl ->
-                  if cnt = mov_cap then chunk (List.rev cur :: acc) [ x ] 1 tl
-                  else chunk acc (x :: cur) (cnt + 1) tl
+            let is_slot s = function
+              | Target.To_instr { slot; _ } -> Target.slot_equal slot s
+              | Target.To_write _ -> false
             in
-            let groups = chunk [] [] 0 targets in
-            let parents =
+            let l, rest = List.partition (is_slot Target.Left) targets in
+            let r, rest = List.partition (is_slot Target.Right) rest in
+            let p, writes = List.partition (is_slot Target.Pred) rest in
+            let compress cls =
               List.map
                 (fun group ->
                   match group with
                   | [ single ] -> single
-                  | _ ->
-                      let mov_id = !next_id in
-                      incr next_id;
-                      incr fanout_moves;
-                      let opc =
-                        if use_mov4 then Opcode.Mov4 else Opcode.Un Opcode.Mov
-                      in
-                      instrs :=
-                        Instr.make ~id:mov_id ~opcode:opc ~targets:group ()
-                        :: !instrs;
-                      Target.To_instr { id = mov_id; slot = Target.Left })
-                groups
+                  | _ -> mk_node Opcode.Mov4 group)
+                (chunk 4 [] [] 0 cls)
             in
-            build parents
+            let parents = compress l @ compress r @ compress p @ writes in
+            if List.length parents < k then build_mov4 parents
+            else build_mov parents
           end
         in
-        build targets
+        if use_mov4 then build_mov4 targets else build_mov targets
       in
       (* one shared tree per temp, bounded by the smallest producer
          capacity *)
@@ -518,7 +539,13 @@ let emit (h : Hb.t) ~alloc ~gen ~use_mov4 =
         Array.to_list
           (Array.mapi
              (fun i p ->
-               Instr.make ~id:i ~opcode:p.p_opcode ~pred:p.p_pred ~imm:p.p_imm
+               (* the null-store marker borrows p_imm until its target is
+                  resolved; no opcode without an immediate field may carry
+                  one into the binary encoding *)
+               let imm =
+                 if Opcode.has_immediate p.p_opcode then p.p_imm else 0L
+               in
+               Instr.make ~id:i ~opcode:p.p_opcode ~pred:p.p_pred ~imm
                  ~targets:final_targets.(i) ~lsid:p.p_lsid ~exit_idx:p.p_exit
                  ())
              pend)
@@ -527,6 +554,67 @@ let emit (h : Hb.t) ~alloc ~gen ~use_mov4 =
       (* ids of extras/movs were allocated past n; verify density *)
       let body =
         List.sort (fun (a : Instr.t) b -> compare a.Instr.id b.Instr.id) body_instrs
+      in
+      (* Target word 0 is reserved ("no target") and collides with the
+         encoding of I0's left operand, so no token may be steered there
+         (Figure 2). If instruction 0's left operand has a producer, swap
+         I0 with an instruction whose left is never targeted — an exit
+         instruction always qualifies, having no data operands — and
+         remap ids everywhere. *)
+      let body =
+        let arr = Array.of_list body in
+        let to_left id = function
+          | Target.To_instr { id = d; slot = Target.Left } -> d = id
+          | _ -> false
+        in
+        let left_targeted id =
+          Array.exists
+            (fun (i : Instr.t) -> List.exists (to_left id) i.Instr.targets)
+            arr
+          || List.exists
+               (fun r -> List.exists (to_left id) r.Block.rtargets)
+               !reads
+        in
+        if Array.length arr = 0 || not (left_targeted 0) then body
+        else begin
+          let j = ref (-1) in
+          Array.iteri
+            (fun i (_ : Instr.t) ->
+              if !j < 0 && i > 0 && not (left_targeted i) then j := i)
+            arr;
+          match !j with
+          | -1 ->
+              fail "no instruction free of left-operand producers for slot 0";
+              body
+          | _ ->
+              let j = !j in
+              let remap_id id = if id = 0 then j else if id = j then 0 else id in
+              let remap_target = function
+                | Target.To_instr { id; slot } ->
+                    Target.To_instr { id = remap_id id; slot }
+                | Target.To_write _ as t -> t
+              in
+              let remap_instr (i : Instr.t) =
+                {
+                  i with
+                  Instr.id = remap_id i.Instr.id;
+                  targets = List.map remap_target i.Instr.targets;
+                }
+              in
+              reads :=
+                List.map
+                  (fun r ->
+                    {
+                      r with
+                      Block.rtargets = List.map remap_target r.Block.rtargets;
+                    })
+                  !reads;
+              let remapped = Array.map remap_instr arr in
+              let tmp = remapped.(0) in
+              remapped.(0) <- remapped.(j);
+              remapped.(j) <- tmp;
+              Array.to_list remapped
+        end
       in
       let store_lsids =
         List.sort_uniq compare (Hashtbl.fold (fun _ l acc -> l :: acc) store_lsid [])

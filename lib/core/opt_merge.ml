@@ -204,8 +204,9 @@ let merge_exits (h : Hb.t) =
                  exits.(j).Hb.eguard
              with
              | Some merged ->
+                 (* re-read hexits in case a flip rewrote their guards *)
                  let keep =
-                   List.filteri (fun k _ -> k <> j) (Array.to_list exits)
+                   List.filteri (fun k _ -> k <> j) h.Hb.hexits
                  in
                  h.Hb.hexits <-
                    List.mapi

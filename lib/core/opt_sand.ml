@@ -103,6 +103,34 @@ let run (h : Hb.t) ~gen =
         | _ -> None)
       body
   in
+  (* False-consumers of a non-head link need a synthesized complement
+     test e = sand(prev, !t). For float comparisons no such complement
+     exists — NaN compares false under both a cond and its negation, so
+     the sand pair (prefix ∧ t, prefix ∧ ¬t) would leave the block with
+     no firing branch. (If_false predication on the original test, which
+     the unconverted encoding uses, has no such hole.) *)
+  let has_false_consumer t =
+    let is_false_guard g =
+      match g with
+      | Some { Hb.gpol = false; gpreds = [ q ] } -> Temp.equal q t
+      | _ -> false
+    in
+    List.exists (fun hi -> is_false_guard hi.Hb.guard) body
+    || List.exists (fun e -> is_false_guard e.Hb.eguard) h.Hb.hexits
+  in
+  let complement_safe links =
+    List.for_all
+      (fun p ->
+        (not (has_false_consumer p))
+        ||
+        match single_def p with
+        | Some i -> (
+            match barr.(i).Hb.hop with
+            | Hb.Op (Tac.Cmp { fp; _ }) -> not fp
+            | _ -> false)
+        | None -> false)
+      (match links with [] -> [] | _ :: tl -> tl)
+  in
   let chains =
     List.filter_map
       (fun root ->
@@ -113,7 +141,8 @@ let run (h : Hb.t) ~gen =
           | p :: rest ->
               producers_guarded_by allowed p && verify (p :: allowed) rest
         in
-        if List.length links >= 3 && verify [] links then Some { links }
+        if List.length links >= 3 && verify [] links && complement_safe links
+        then Some { links }
         else None)
       roots
   in

@@ -1,0 +1,32 @@
+(* The crash corpus: kernel sources under [test/corpus/*.k], one file
+   per previously-found (and since fixed) compiler or simulator bug.
+   The fuzz executable appends minimized reproducers here; the test
+   suite replays every entry through the full oracle on each run, so a
+   fixed bug stays fixed. *)
+
+let extension = ".k"
+
+let load_dir dir : (string * string) list =
+  if not (Sys.file_exists dir && Sys.is_directory dir) then []
+  else
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f extension)
+    |> List.sort String.compare
+    |> List.map (fun f ->
+           let path = Filename.concat dir f in
+           let ic = open_in_bin path in
+           let n = in_channel_length ic in
+           let contents = really_input_string ic n in
+           close_in ic;
+           (f, contents))
+
+let save ~dir ~name ~contents =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let base =
+    if Filename.check_suffix name extension then name else name ^ extension
+  in
+  let path = Filename.concat dir base in
+  let oc = open_out_bin path in
+  output_string oc contents;
+  close_out oc;
+  path

@@ -1,0 +1,134 @@
+(* Fuzzing campaigns: deterministic fan-out of (seed, size) tasks over
+   the domain pool.
+
+   Each task is pure — it derives everything from its seed — and
+   [Edge_parallel.Pool.map] is order-preserving, so a campaign's report
+   is a function of (seed, n, sizes, oracle switches) alone: the same
+   report for any [-j], which is what makes "fuzz found seed S" a
+   reproducible statement rather than a race observation. *)
+
+module A = Edge_lang.Ast
+
+type failure = {
+  seed : int;
+  size : int;
+  config : string;
+  kind : Oracle.kind;
+  message : string;
+  source : string;  (** pretty-printed kernel source of the reproducer *)
+}
+
+type report = {
+  tested : int;  (** programs whose oracle verdict counted *)
+  skipped : int;  (** reference interpreter ran out of fuel *)
+  failures : failure list;  (** in seed order *)
+}
+
+let default_min_size = 6
+let default_max_size = 45
+
+let check_one ?cycle ?validate ?max_vars ~seed ~size () : failure option option
+    =
+  let ast = Gen.generate ~seed ~size in
+  match Oracle.check ?cycle ?validate ?max_vars ast with
+  | exception Oracle.Skip -> None
+  | Ok () -> Some None
+  | Error f ->
+      Some
+        (Some
+           {
+             seed;
+             size;
+             config = f.Oracle.config;
+             kind = f.Oracle.kind;
+             message = f.Oracle.message;
+             source = Pretty.kernel_to_string ast;
+           })
+
+let run ?jobs ?cycle ?validate ?max_vars ?(min_size = default_min_size)
+    ?(max_size = default_max_size) ~seed ~n () : report =
+  let tasks = List.init n (fun i -> i) in
+  let results =
+    Edge_parallel.Pool.run ?jobs
+      (fun i ->
+        let size = Gen.size_for ~min_size ~max_size i in
+        check_one ?cycle ?validate ?max_vars ~seed:(seed + i) ~size ())
+      tasks
+  in
+  List.fold_left
+    (fun acc r ->
+      match r with
+      | None -> { acc with skipped = acc.skipped + 1 }
+      | Some None -> { acc with tested = acc.tested + 1 }
+      | Some (Some f) ->
+          { acc with tested = acc.tested + 1; failures = f :: acc.failures })
+    { tested = 0; skipped = 0; failures = [] }
+    results
+  |> fun r -> { r with failures = List.rev r.failures }
+
+let pp_failure ppf (f : failure) =
+  Format.fprintf ppf "FAIL seed=%d size=%d %s [%s] %s" f.seed f.size f.config
+    (Oracle.kind_name f.kind) f.message
+
+let pp_report ppf (r : report) =
+  List.iter (fun f -> Format.fprintf ppf "%a@." pp_failure f) r.failures;
+  Format.fprintf ppf "%d tested, %d skipped, %d failures@." r.tested r.skipped
+    (List.length r.failures)
+
+(* ---------- minimization ---------- *)
+
+(* Shrink a campaign failure to a minimal reproducer preserving its
+   (config, kind). *)
+let minimize_failure ?cycle ?validate ?max_vars (f : failure) : A.kernel =
+  let ast = Gen.generate ~seed:f.seed ~size:f.size in
+  Shrink.minimize
+    ~keep:
+      (Oracle.still_fails ?cycle ?validate ?max_vars ~config:f.config
+         ~kind:f.kind)
+    ast
+
+(* ---------- corpus replay ---------- *)
+
+let replay_source ?cycle ?validate ?max_vars ~name src : (unit, string) result
+    =
+  match Edge_lang.Parser.parse src with
+  | Error e -> Error (Printf.sprintf "%s: parse: %s" name e)
+  | Ok ast -> (
+      match
+        try `R (Oracle.check ?cycle ?validate ?max_vars ast)
+        with Oracle.Skip -> `Skip
+      with
+      | `Skip -> Ok ()
+      | `R (Ok ()) -> Ok ()
+      | `R (Error f) ->
+          Error
+            (Printf.sprintf "%s: %s [%s] %s" name f.Oracle.config
+               (Oracle.kind_name f.Oracle.kind)
+               f.Oracle.message))
+
+(* ---------- whole-workload artifact validation ---------- *)
+
+(* Compile every registry workload under every configuration and run the
+   static validator over each artifact — the "validator passes on all
+   compiled artifacts of the Figure 7 sweep" acceptance gate, extended
+   to the auxiliary configs. Compilation goes through the memoized
+   harness cache, so a subsequent experiment sweep pays nothing extra. *)
+let validate_workloads ?jobs ?max_vars ?(workloads = Edge_workloads.Registry.all)
+    () : (string * string) list =
+  let tasks =
+    List.concat_map
+      (fun (w : Edge_workloads.Workload.t) ->
+        List.map (fun (cname, config) -> (w, cname, config)) Oracle.configs)
+      workloads
+  in
+  Edge_parallel.Pool.run ?jobs
+    (fun ((w : Edge_workloads.Workload.t), cname, config) ->
+      let label = Printf.sprintf "%s/%s" w.Edge_workloads.Workload.name cname in
+      match Edge_harness.Experiment.compile_cached w config with
+      | Error e -> [ (label, "compile: " ^ e) ]
+      | Ok compiled -> (
+          match Validate.program ?max_vars compiled.Dfp.Driver.program with
+          | Ok () -> []
+          | Error es -> List.map (fun e -> (label, e)) es))
+    tasks
+  |> List.concat

@@ -1,0 +1,233 @@
+(* The differential oracle.
+
+   A generated kernel is executed by the reference interpreter, then
+   compiled under every configuration and executed by the functional
+   dataflow executor and (optionally) the cycle-accurate simulator. All
+   runs must agree on:
+
+   - the return value,
+   - the final memory image,
+   - the number of committed architectural stores (predication may move
+     stores between blocks or null them, but every correctly predicated
+     store must commit exactly once on every path — Section 4.2),
+   - whether the program faults.
+
+   Independently, every compiled artifact is checked against the static
+   ISA invariants in [Validate] — so a compiler bug that happens not to
+   change observable behaviour (an unencodable block, a predicate path
+   that starves an output) is still caught. *)
+
+module A = Edge_lang.Ast
+module Conv = Edge_isa.Conventions
+
+type outcome = {
+  ret : int64;
+  mem : Edge_isa.Mem.t;
+  stores : int;  (** committed architectural stores *)
+  fault : bool;
+}
+
+type kind = Validator | Mismatch | Exec_error
+
+type fail = {
+  config : string;  (** config name, or ["-"] before compilation *)
+  kind : kind;
+  message : string;
+}
+
+exception Skip
+(** The reference interpreter ran out of fuel: the kernel (which the
+    generator never produces, but shrinking can) does not terminate, so
+    there is nothing to compare. *)
+
+let kind_name = function
+  | Validator -> "validator"
+  | Mismatch -> "mismatch"
+  | Exec_error -> "error"
+
+let interp_fuel = 3_000_000
+
+let is_fault e = String.length e >= 5 && String.sub e 0 5 = "fault"
+
+let run_reference (ast : A.kernel) : (outcome, fail) result =
+  let mem = Gen.default_mem () in
+  match Edge_lang.Interp.run ~fuel:interp_fuel ast ~args:Gen.default_args ~mem with
+  | Error "fault: fuel exhausted" -> raise Skip
+  | Ok o ->
+      Ok
+        {
+          ret = Option.value ~default:0L o.Edge_lang.Interp.return_value;
+          mem;
+          stores = Edge_isa.Mem.store_count mem;
+          fault = false;
+        }
+  | Error e when is_fault e ->
+      Ok { ret = 0L; mem; stores = 0; fault = true }
+  | Error e ->
+      Error { config = "-"; kind = Exec_error; message = "interp: " ^ e }
+
+let compile ast config =
+  match Edge_lang.Lower.lower ast with
+  | Error e -> Error ("lower: " ^ e)
+  | Ok cfg -> (
+      match Dfp.Driver.compile_cfg cfg config with
+      | Error e -> Error ("compile: " ^ e)
+      | Ok c -> Ok c)
+
+let prep_regs () =
+  let regs = Array.make 128 0L in
+  List.iteri (fun i v -> regs.(Conv.param_reg i) <- v) Gen.default_args;
+  regs
+
+let run_functional (c : Dfp.Driver.compiled) : (outcome, string) result =
+  let regs = prep_regs () in
+  let mem = Gen.default_mem () in
+  match Edge_sim.Functional.run c.Dfp.Driver.program ~regs ~mem with
+  | Ok _ ->
+      Ok
+        {
+          ret = regs.(Conv.result_reg);
+          mem;
+          stores = Edge_isa.Mem.store_count mem;
+          fault = false;
+        }
+  | Error e when is_fault e -> Ok { ret = 0L; mem; stores = 0; fault = true }
+  | Error e -> Error ("functional: " ^ e)
+
+let run_cycle (c : Dfp.Driver.compiled) : (outcome, string) result =
+  let regs = prep_regs () in
+  let mem = Gen.default_mem () in
+  let placement n =
+    match List.assoc_opt n c.Dfp.Driver.placements with
+    | Some p -> p
+    | None -> [||]
+  in
+  match Edge_sim.Cycle_sim.run ~placement c.Dfp.Driver.program ~regs ~mem with
+  | Ok _ ->
+      Ok
+        {
+          ret = regs.(Conv.result_reg);
+          mem;
+          stores = Edge_isa.Mem.store_count mem;
+          fault = false;
+        }
+  | Error e when is_fault e -> Ok { ret = 0L; mem; stores = 0; fault = true }
+  | Error e -> Error ("cycle: " ^ e)
+
+(* every configuration the compiler supports, paper and auxiliary *)
+let configs =
+  ("Merge", Dfp.Config.merge)
+  :: ("Mov4", { Dfp.Config.both with Dfp.Config.use_mov4 = true })
+  :: ("Sand", Dfp.Config.sand)
+  :: Dfp.Config.all_paper_configs
+
+let config_names = List.map fst configs
+
+let agree (a : outcome) (b : outcome) =
+  a.fault = b.fault
+  && (a.fault
+     || Int64.equal a.ret b.ret
+        && Edge_isa.Mem.equal a.mem b.mem
+        && a.stores = b.stores)
+
+let describe_disagreement ~name ~executor (r : outcome) (reference : outcome) =
+  Printf.sprintf
+    "%s %s: ret %Ld vs %Ld, stores %d vs %d, mem %s (fault %b vs %b)" name
+    executor r.ret reference.ret r.stores reference.stores
+    (if r.fault || reference.fault || Edge_isa.Mem.equal r.mem reference.mem
+     then "equal"
+     else "differs")
+    r.fault reference.fault
+
+(* Check a single compiled artifact + behaviour under one configuration
+   against the reference outcome. *)
+let check_config ?(cycle = true) ?(validate = true) ?max_vars ~reference ast
+    (name, config) : (unit, fail) result =
+  match compile ast config with
+  | Error e -> Error { config = name; kind = Exec_error; message = e }
+  | Ok compiled -> (
+      let validator_verdict =
+        if validate then
+          match Validate.program ?max_vars compiled.Dfp.Driver.program with
+          | Ok () -> Ok ()
+          | Error es ->
+              Error
+                {
+                  config = name;
+                  kind = Validator;
+                  message = String.concat "; " es;
+                }
+        else Ok ()
+      in
+      match validator_verdict with
+      | Error _ as e -> e
+      | Ok () -> (
+          match run_functional compiled with
+          | Error e -> Error { config = name; kind = Exec_error; message = e }
+          | Ok r when not (agree reference r) ->
+              Error
+                {
+                  config = name;
+                  kind = Mismatch;
+                  message =
+                    describe_disagreement ~name ~executor:"functional" r
+                      reference;
+                }
+          | Ok _ ->
+              if not cycle then Ok ()
+              else (
+                match run_cycle compiled with
+                | Error e ->
+                    Error { config = name; kind = Exec_error; message = e }
+                | Ok r when not (agree reference r) ->
+                    Error
+                      {
+                        config = name;
+                        kind = Mismatch;
+                        message =
+                          describe_disagreement ~name ~executor:"cycle" r
+                            reference;
+                      }
+                | Ok _ -> Ok ())))
+
+let check ?cycle ?validate ?max_vars (ast : A.kernel) : (unit, fail) result =
+  match run_reference ast with
+  | Error _ as e -> e
+  | Ok reference ->
+      let rec go = function
+        | [] -> Ok ()
+        | c :: rest -> (
+            match check_config ?cycle ?validate ?max_vars ~reference ast c with
+            | Error _ as e -> e
+            | Ok () -> go rest)
+      in
+      go configs
+
+(* String-error wrapper matching the historical Diff_check interface. *)
+let check_kernel ?cycle (ast : A.kernel) : (unit, string) result =
+  match (try `R (check ?cycle ast) with Skip -> `Skip) with
+  | `Skip -> Ok ()
+  | `R (Ok ()) -> Ok ()
+  | `R (Error f) ->
+      Error (Printf.sprintf "%s [%s] %s" f.config (kind_name f.kind) f.message)
+
+(* Does [ast] still fail under [config] (by name)? The shrinker's keep
+   predicate: minimization must preserve the original failure's config
+   and kind, not just "some failure". *)
+let still_fails ?cycle ?validate ?max_vars ~config ~kind (ast : A.kernel) :
+    bool =
+  match
+    (try
+       `R
+         (match List.find_opt (fun (n, _) -> String.equal n config) configs with
+         | None -> check ?cycle ?validate ?max_vars ast
+         | Some c -> (
+             match run_reference ast with
+             | Error _ as e -> e
+             | Ok reference ->
+                 check_config ?cycle ?validate ?max_vars ~reference ast c))
+     with Skip -> `Skip)
+  with
+  | `Skip -> false
+  | `R (Ok ()) -> false
+  | `R (Error f) -> f.kind = kind

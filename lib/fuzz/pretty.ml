@@ -1,0 +1,139 @@
+(* Kernel AST -> parseable kernel source. Used to print minimized
+   reproducers and to persist crash-corpus entries, so the output must
+   round-trip through Edge_lang.Parser. *)
+
+module A = Edge_lang.Ast
+
+let ty_name = function
+  | A.Tint -> "int"
+  | A.Tfloat -> "float"
+  | A.Tptr A.I8 -> "byte*"
+  | A.Tptr A.I32 -> "int4*"
+  | A.Tptr A.I64 -> "int*"
+  | A.Tptr A.F64 -> "float*"
+
+let pp_body buf (body : A.stmt list) =
+  let rec pe (e : A.expr) =
+    match e with
+    | A.Int v -> Buffer.add_string buf (Int64.to_string v)
+    | A.Float f -> Buffer.add_string buf (string_of_float f)
+    | A.Var v -> Buffer.add_string buf v
+    | A.Bin (op, a, b) ->
+        Buffer.add_char buf '(';
+        pe a;
+        Buffer.add_string buf
+          (match op with
+          | A.Add -> " + " | A.Sub -> " - " | A.Mul -> " * " | A.Div -> " / "
+          | A.Rem -> " % " | A.BAnd -> " & " | A.BOr -> " | " | A.BXor -> " ^ "
+          | A.Shl -> " << " | A.Shr -> " >> " | A.Lt -> " < " | A.Le -> " <= "
+          | A.Gt -> " > " | A.Ge -> " >= " | A.Eq -> " == " | A.Ne -> " != "
+          | A.LAnd -> " && " | A.LOr -> " || ");
+        pe b;
+        Buffer.add_char buf ')'
+    | A.Un (op, a) ->
+        Buffer.add_string buf
+          (match op with
+          | A.Neg -> "-" | A.LNot -> "!" | A.BNot -> "~"
+          | A.Itof -> "itof" | A.Ftoi -> "ftoi");
+        Buffer.add_char buf '(';
+        pe a;
+        Buffer.add_char buf ')'
+    | A.Index (v, i) ->
+        Buffer.add_string buf v;
+        Buffer.add_char buf '[';
+        pe i;
+        Buffer.add_char buf ']'
+    | A.Cond (c, a, b) ->
+        Buffer.add_char buf '(';
+        pe c;
+        Buffer.add_string buf " ? ";
+        pe a;
+        Buffer.add_string buf " : ";
+        pe b;
+        Buffer.add_char buf ')'
+  in
+  let rec ps ind (s : A.stmt) =
+    Buffer.add_string buf (String.make ind ' ');
+    match s with
+    | A.Decl (ty, n, init) ->
+        Buffer.add_string buf (ty_name ty ^ " " ^ n);
+        (match init with
+        | Some e ->
+            Buffer.add_string buf " = ";
+            pe e
+        | None -> ());
+        Buffer.add_string buf ";\n"
+    | A.Assign (n, e) ->
+        Buffer.add_string buf (n ^ " = ");
+        pe e;
+        Buffer.add_string buf ";\n"
+    | A.Store (n, i, v) ->
+        Buffer.add_string buf n;
+        Buffer.add_char buf '[';
+        pe i;
+        Buffer.add_string buf "] = ";
+        pe v;
+        Buffer.add_string buf ";\n"
+    | A.If (c, a, b) ->
+        Buffer.add_string buf "if (";
+        pe c;
+        Buffer.add_string buf ") {\n";
+        List.iter (ps (ind + 2)) a;
+        Buffer.add_string buf (String.make ind ' ' ^ "}");
+        if b <> [] then begin
+          Buffer.add_string buf " else {\n";
+          List.iter (ps (ind + 2)) b;
+          Buffer.add_string buf (String.make ind ' ' ^ "}")
+        end;
+        Buffer.add_string buf "\n"
+    | A.While (c, b) ->
+        Buffer.add_string buf "while (";
+        pe c;
+        Buffer.add_string buf ") {\n";
+        List.iter (ps (ind + 2)) b;
+        Buffer.add_string buf (String.make ind ' ' ^ "}\n")
+    | A.For (i, c, st, b) ->
+        Buffer.add_string buf "for (";
+        (match i with
+        | Some (A.Assign (n, e)) ->
+            Buffer.add_string buf (n ^ " = ");
+            pe e
+        | _ -> ());
+        Buffer.add_string buf "; ";
+        (match c with Some e -> pe e | None -> ());
+        Buffer.add_string buf "; ";
+        (match st with
+        | Some (A.Assign (n, e)) ->
+            Buffer.add_string buf (n ^ " = ");
+            pe e
+        | _ -> ());
+        Buffer.add_string buf ") {\n";
+        List.iter (ps (ind + 2)) b;
+        Buffer.add_string buf (String.make ind ' ' ^ "}\n")
+    | A.Break -> Buffer.add_string buf "break;\n"
+    | A.Continue -> Buffer.add_string buf "continue;\n"
+    | A.Return (Some e) ->
+        Buffer.add_string buf "return ";
+        pe e;
+        Buffer.add_string buf ";\n"
+    | A.Return None -> Buffer.add_string buf "return;\n"
+  in
+  List.iter (ps 2) body
+
+let body_to_string (k : A.kernel) =
+  let buf = Buffer.create 256 in
+  pp_body buf k.A.body;
+  Buffer.contents buf
+
+let kernel_to_string (k : A.kernel) =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf ("kernel " ^ k.A.kname ^ "(");
+  List.iteri
+    (fun i (p : A.param) ->
+      if i > 0 then Buffer.add_string buf ", ";
+      Buffer.add_string buf (ty_name p.A.pty ^ " " ^ p.A.pname))
+    k.A.params;
+  Buffer.add_string buf ") {\n";
+  pp_body buf k.A.body;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

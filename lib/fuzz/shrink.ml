@@ -1,0 +1,88 @@
+(* Greedy structural shrinking for failing kernels.
+
+   [minimize ~keep ast] repeatedly tries single-step reductions —
+   dropping statements, replacing a control structure by one of its
+   arms, simplifying subexpressions — and commits the first candidate
+   for which [keep] still holds, until no reduction applies. [keep] is
+   an arbitrary failure predicate, so the same machinery minimizes
+   semantic mismatches, validator violations and compiler errors alike.
+
+   Candidates can be ill-typed (a reduction may drop a declaration whose
+   uses survive); those are filtered out before [keep] is consulted. *)
+
+module A = Edge_lang.Ast
+
+let rec expr_reductions (e : A.expr) : A.expr list =
+  match e with
+  | A.Bin (op, a, b) ->
+      [ a; b; A.Int 1L ]
+      @ List.map (fun a' -> A.Bin (op, a', b)) (expr_reductions a)
+      @ List.map (fun b' -> A.Bin (op, a, b')) (expr_reductions b)
+  | A.Un (op, a) -> a :: List.map (fun a' -> A.Un (op, a')) (expr_reductions a)
+  | A.Cond (c, a, b) ->
+      [ a; b ]
+      @ List.map (fun c' -> A.Cond (c', a, b)) (expr_reductions c)
+      @ List.map (fun a' -> A.Cond (c, a', b)) (expr_reductions a)
+      @ List.map (fun b' -> A.Cond (c, a, b')) (expr_reductions b)
+  | A.Index (v, i) ->
+      A.Int 3L :: List.map (fun i' -> A.Index (v, i')) (expr_reductions i)
+  | A.Int v -> if v = 0L then [] else [ A.Int 0L ]
+  | A.Var _ | A.Float _ -> [ A.Int 0L ]
+
+let rec reductions (stmts : A.stmt list) : A.stmt list list =
+  match stmts with
+  | [] -> []
+  | s :: tl ->
+      [ tl ]
+      @ (match s with
+        | A.If (_, a, b) -> [ a @ tl; b @ tl ]
+        | A.While (_, b) -> [ b @ tl ]
+        | A.For (_, _, _, b) -> [ b @ tl ]
+        | _ -> [])
+      @ (match s with
+        | A.If (c, a, b) ->
+            List.map (fun a' -> A.If (c, a', b) :: tl) (reductions a)
+            @ List.map (fun b' -> A.If (c, a, b') :: tl) (reductions b)
+        | A.While (c, b) ->
+            List.map (fun b' -> A.While (c, b') :: tl) (reductions b)
+        | A.For (i, c, st, b) ->
+            List.map (fun b' -> A.For (i, c, st, b') :: tl) (reductions b)
+        | _ -> [])
+      @ (match s with
+        | A.Decl (t, n, Some e) ->
+            List.map (fun e' -> A.Decl (t, n, Some e') :: tl) (expr_reductions e)
+        | A.Assign (n, e) ->
+            List.map (fun e' -> A.Assign (n, e') :: tl) (expr_reductions e)
+        | A.Return (Some e) ->
+            List.map (fun e' -> A.Return (Some e') :: tl) (expr_reductions e)
+        | A.Store (n, i, v) ->
+            List.map (fun i' -> A.Store (n, i', v) :: tl) (expr_reductions i)
+            @ List.map (fun v' -> A.Store (n, i, v') :: tl) (expr_reductions v)
+        | A.While (c, b) ->
+            List.map (fun c' -> A.While (c', b) :: tl) (expr_reductions c)
+        | A.If (c, a, b) ->
+            List.map (fun c' -> A.If (c', a, b) :: tl) (expr_reductions c)
+        | _ -> [])
+      @ List.map (fun tl' -> s :: tl') (reductions tl)
+
+let well_typed (k : A.kernel) =
+  match Edge_lang.Typecheck.check_kernel k with Ok () -> true | Error _ -> false
+
+let minimize ~(keep : A.kernel -> bool) (ast : A.kernel) : A.kernel =
+  let cur = ref ast in
+  let progress = ref true in
+  while !progress do
+    progress := false;
+    try
+      List.iter
+        (fun body ->
+          let cand = { !cur with A.body } in
+          if well_typed cand && keep cand then begin
+            cur := cand;
+            progress := true;
+            raise Exit
+          end)
+        (reductions (!cur).A.body)
+    with Exit -> ()
+  done;
+  !cur

@@ -1,15 +1,16 @@
-type t = Bytes.t
+type t = { data : Bytes.t; mutable stores : int }
 
-let create ~size = Bytes.make size '\000'
-let size = Bytes.length
-let copy = Bytes.copy
-let equal = Bytes.equal
+let create ~size = { data = Bytes.make size '\000'; stores = 0 }
+let size t = Bytes.length t.data
+let copy t = { data = Bytes.copy t.data; stores = t.stores }
+let equal a b = Bytes.equal a.data b.data
+let store_count t = t.stores
 let width_bytes = function Opcode.W1 -> 1 | Opcode.W4 -> 4 | Opcode.W8 -> 8
 
 let in_range t ~addr ~bytes =
   addr >= 0L
   && Int64.rem addr (Int64.of_int bytes) = 0L
-  && Int64.add addr (Int64.of_int bytes) <= Int64.of_int (Bytes.length t)
+  && Int64.add addr (Int64.of_int bytes) <= Int64.of_int (Bytes.length t.data)
 
 let load t ~width ~addr =
   let bytes = width_bytes width in
@@ -18,9 +19,9 @@ let load t ~width ~addr =
     let a = Int64.to_int addr in
     let v =
       match width with
-      | Opcode.W1 -> Int64.of_int (Char.code (Bytes.get t a))
-      | Opcode.W4 -> Int64.of_int32 (Bytes.get_int32_le t a)
-      | Opcode.W8 -> Bytes.get_int64_le t a
+      | Opcode.W1 -> Int64.of_int (Char.code (Bytes.get t.data a))
+      | Opcode.W4 -> Int64.of_int32 (Bytes.get_int32_le t.data a)
+      | Opcode.W8 -> Bytes.get_int64_le t.data a
     in
     let v =
       match width with
@@ -38,14 +39,16 @@ let store t ~width ~addr v =
   else begin
     let a = Int64.to_int addr in
     (match width with
-    | Opcode.W1 -> Bytes.set t a (Char.chr (Int64.to_int (Int64.logand v 0xFFL)))
-    | Opcode.W4 -> Bytes.set_int32_le t a (Int64.to_int32 v)
-    | Opcode.W8 -> Bytes.set_int64_le t a v);
+    | Opcode.W1 ->
+        Bytes.set t.data a (Char.chr (Int64.to_int (Int64.logand v 0xFFL)))
+    | Opcode.W4 -> Bytes.set_int32_le t.data a (Int64.to_int32 v)
+    | Opcode.W8 -> Bytes.set_int64_le t.data a v);
+    t.stores <- t.stores + 1;
     Ok ()
   end
 
-let load_int t addr = Bytes.get_int64_le t addr
-let store_int t addr v = Bytes.set_int64_le t addr v
+let load_int t addr = Bytes.get_int64_le t.data addr
+let store_int t addr v = Bytes.set_int64_le t.data addr v
 let load_float t addr = Int64.float_of_bits (load_int t addr)
 let store_float t addr v = store_int t addr (Int64.bits_of_float v)
 

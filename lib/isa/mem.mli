@@ -11,6 +11,14 @@ val create : size:int -> t
 val size : t -> int
 val copy : t -> t
 val equal : t -> t -> bool
+(** Byte-image equality; the store counter is not compared. *)
+
+val store_count : t -> int
+(** Number of architectural stores committed through {!store} since
+    creation. Setup helpers ([store_int], [store_float], [blit_ints]) do
+    not count: the counter measures dynamic stores the program performed,
+    which every execution path (interpreter, functional, cycle) must
+    agree on. *)
 
 val load : t -> width:Opcode.width -> addr:int64 -> Token.t
 (** Sub-word loads sign-extend. Out-of-range or misaligned addresses yield

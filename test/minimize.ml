@@ -1,265 +1,84 @@
-(* minimize: a delta-debugging tool for compiler bugs.
+(* minimize: a delta-debugging CLI over the Edge_fuzz library.
 
    Usage: dune exec test/minimize.exe -- SEED SIZE [CONFIG]
           dune exec test/minimize.exe -- soak N
 
-   In soak mode, runs N random programs through every configuration and
-   both simulators against the reference interpreter and reports any
-   mismatch. In minimize mode, takes a failing (SEED, SIZE), greedily
-   shrinks the program — dropping statements, inlining branches, reducing
-   expressions — while preserving the mismatch, and prints the minimal
-   reproducer as kernel source. *)
+   soak N runs N generated programs through the full differential oracle
+   (reference interpreter vs both simulators under every configuration,
+   plus the static block validator on every compiled artifact) and
+   reports failures. SEED SIZE [CONFIG] regenerates the program for that
+   seed, confirms it fails, greedily shrinks it while preserving the
+   failing configuration and failure kind, and prints the minimal
+   reproducer as kernel source.
 
-module A = Edge_lang.Ast
-module Conv = Edge_isa.Conventions
+   The machinery lives in lib/fuzz; this file is argument parsing.
+   `bin/fuzz.exe` is the parallel campaign driver with corpus support. *)
 
-let config_of_name = function
-  | "bb" -> Dfp.Config.bb
-  | "hyper" -> Dfp.Config.hyper_baseline
-  | "intra" -> Dfp.Config.intra
-  | "inter" -> Dfp.Config.inter
-  | "both" -> Dfp.Config.both
-  | "merge" -> Dfp.Config.merge
-  | "hand" -> Dfp.Config.hand_optimized
-  | s -> failwith ("unknown config " ^ s)
+module Fz = Edge_fuzz
 
-let mismatch config (ast : A.kernel) =
-  match Edge_lang.Typecheck.check_kernel ast with
-  | Error _ -> false
-  | Ok () -> (
-      let mem_ref = Test_support.Gen_kernel.default_mem () in
-      match
-        Edge_lang.Interp.run ~fuel:3_000_000 ast
-          ~args:Test_support.Gen_kernel.default_args ~mem:mem_ref
-      with
-      | Error _ -> false
-      | Ok o -> (
-          let expected =
-            Option.value ~default:0L o.Edge_lang.Interp.return_value
-          in
-          match Edge_lang.Lower.lower ast with
-          | Error _ -> false
-          | Ok cfg -> (
-              match Dfp.Driver.compile_cfg cfg config with
-              | Error _ -> false
-              | Ok c -> (
-                  let regs = Array.make 128 0L in
-                  List.iteri
-                    (fun i v -> regs.(Conv.param_reg i) <- v)
-                    Test_support.Gen_kernel.default_args;
-                  let mem = Test_support.Gen_kernel.default_mem () in
-                  match
-                    Edge_sim.Functional.run c.Dfp.Driver.program ~regs ~mem
-                  with
-                  | Error _ -> true (* malformed also counts as a bug *)
-                  | Ok _ ->
-                      not
-                        (Int64.equal regs.(Conv.result_reg) expected
-                        && Edge_isa.Mem.equal mem mem_ref)))))
-
-let rec expr_reductions (e : A.expr) : A.expr list =
-  match e with
-  | A.Bin (op, a, b) ->
-      [ a; b; A.Int 1L ]
-      @ List.map (fun a' -> A.Bin (op, a', b)) (expr_reductions a)
-      @ List.map (fun b' -> A.Bin (op, a, b')) (expr_reductions b)
-  | A.Un (op, a) -> (a :: List.map (fun a' -> A.Un (op, a')) (expr_reductions a))
-  | A.Cond (c, a, b) ->
-      [ a; b ]
-      @ List.map (fun c' -> A.Cond (c', a, b)) (expr_reductions c)
-      @ List.map (fun a' -> A.Cond (c, a', b)) (expr_reductions a)
-      @ List.map (fun b' -> A.Cond (c, a, b')) (expr_reductions b)
-  | A.Index (v, i) ->
-      A.Int 3L :: List.map (fun i' -> A.Index (v, i')) (expr_reductions i)
-  | A.Int v -> if v = 0L then [] else [ A.Int 0L ]
-  | A.Var _ | A.Float _ -> [ A.Int 0L ]
-
-let rec reductions (stmts : A.stmt list) : A.stmt list list =
-  match stmts with
-  | [] -> []
-  | s :: tl ->
-      [ tl ]
-      @ (match s with
-        | A.If (_, a, b) -> [ a @ tl; b @ tl ]
-        | A.While (_, b) -> [ b @ tl ]
-        | A.For (_, _, _, b) -> [ b @ tl ]
-        | _ -> [])
-      @ (match s with
-        | A.If (c, a, b) ->
-            List.map (fun a' -> A.If (c, a', b) :: tl) (reductions a)
-            @ List.map (fun b' -> A.If (c, a, b') :: tl) (reductions b)
-        | A.While (c, b) ->
-            List.map (fun b' -> A.While (c, b') :: tl) (reductions b)
-        | A.For (i, c, st, b) ->
-            List.map (fun b' -> A.For (i, c, st, b') :: tl) (reductions b)
-        | _ -> [])
-      @ (match s with
-        | A.Decl (t, n, Some e) ->
-            List.map (fun e' -> A.Decl (t, n, Some e') :: tl) (expr_reductions e)
-        | A.Assign (n, e) ->
-            List.map (fun e' -> A.Assign (n, e') :: tl) (expr_reductions e)
-        | A.Return (Some e) ->
-            List.map (fun e' -> A.Return (Some e') :: tl) (expr_reductions e)
-        | A.Store (n, i, v) ->
-            List.map (fun i' -> A.Store (n, i', v) :: tl) (expr_reductions i)
-            @ List.map (fun v' -> A.Store (n, i, v') :: tl) (expr_reductions v)
-        | _ -> [])
-      @ List.map (fun tl' -> s :: tl') (reductions tl)
-
-let pp_kernel (k : A.kernel) =
-  let buf = Buffer.create 256 in
-  let rec pe (e : A.expr) =
-    match e with
-    | A.Int v -> Buffer.add_string buf (Int64.to_string v)
-    | A.Float f -> Buffer.add_string buf (string_of_float f)
-    | A.Var v -> Buffer.add_string buf v
-    | A.Bin (op, a, b) ->
-        Buffer.add_char buf '(';
-        pe a;
-        Buffer.add_string buf
-          (match op with
-          | A.Add -> " + " | A.Sub -> " - " | A.Mul -> " * " | A.Div -> " / "
-          | A.Rem -> " % " | A.BAnd -> " & " | A.BOr -> " | " | A.BXor -> " ^ "
-          | A.Shl -> " << " | A.Shr -> " >> " | A.Lt -> " < " | A.Le -> " <= "
-          | A.Gt -> " > " | A.Ge -> " >= " | A.Eq -> " == " | A.Ne -> " != "
-          | A.LAnd -> " && " | A.LOr -> " || ");
-        pe b;
-        Buffer.add_char buf ')'
-    | A.Un (op, a) ->
-        Buffer.add_string buf
-          (match op with
-          | A.Neg -> "-" | A.LNot -> "!" | A.BNot -> "~"
-          | A.Itof -> "itof" | A.Ftoi -> "ftoi");
-        Buffer.add_char buf '(';
-        pe a;
-        Buffer.add_char buf ')'
-    | A.Index (v, i) ->
-        Buffer.add_string buf v;
-        Buffer.add_char buf '[';
-        pe i;
-        Buffer.add_char buf ']'
-    | A.Cond (c, a, b) ->
-        Buffer.add_char buf '(';
-        pe c;
-        Buffer.add_string buf " ? ";
-        pe a;
-        Buffer.add_string buf " : ";
-        pe b;
-        Buffer.add_char buf ')'
-  in
-  let rec ps ind (s : A.stmt) =
-    Buffer.add_string buf (String.make ind ' ');
-    match s with
-    | A.Decl (_, n, init) ->
-        Buffer.add_string buf ("int " ^ n);
-        (match init with
-        | Some e ->
-            Buffer.add_string buf " = ";
-            pe e
-        | None -> ());
-        Buffer.add_string buf ";\n"
-    | A.Assign (n, e) ->
-        Buffer.add_string buf (n ^ " = ");
-        pe e;
-        Buffer.add_string buf ";\n"
-    | A.Store (n, i, v) ->
-        Buffer.add_string buf n;
-        Buffer.add_char buf '[';
-        pe i;
-        Buffer.add_string buf "] = ";
-        pe v;
-        Buffer.add_string buf ";\n"
-    | A.If (c, a, b) ->
-        Buffer.add_string buf "if (";
-        pe c;
-        Buffer.add_string buf ") {\n";
-        List.iter (ps (ind + 2)) a;
-        Buffer.add_string buf (String.make ind ' ' ^ "}");
-        if b <> [] then begin
-          Buffer.add_string buf " else {\n";
-          List.iter (ps (ind + 2)) b;
-          Buffer.add_string buf (String.make ind ' ' ^ "}")
-        end;
-        Buffer.add_string buf "\n"
-    | A.While (c, b) ->
-        Buffer.add_string buf "while (";
-        pe c;
-        Buffer.add_string buf ") {\n";
-        List.iter (ps (ind + 2)) b;
-        Buffer.add_string buf (String.make ind ' ' ^ "}\n")
-    | A.For (i, c, st, b) ->
-        Buffer.add_string buf "for (";
-        (match i with
-        | Some (A.Assign (n, e)) ->
-            Buffer.add_string buf (n ^ " = ");
-            pe e
-        | _ -> ());
-        Buffer.add_string buf "; ";
-        (match c with Some e -> pe e | None -> ());
-        Buffer.add_string buf "; ";
-        (match st with
-        | Some (A.Assign (n, e)) ->
-            Buffer.add_string buf (n ^ " = ");
-            pe e
-        | _ -> ());
-        Buffer.add_string buf ") {\n";
-        List.iter (ps (ind + 2)) b;
-        Buffer.add_string buf (String.make ind ' ' ^ "}\n")
-    | A.Break -> Buffer.add_string buf "break;\n"
-    | A.Continue -> Buffer.add_string buf "continue;\n"
-    | A.Return (Some e) ->
-        Buffer.add_string buf "return ";
-        pe e;
-        Buffer.add_string buf ";\n"
-    | A.Return None -> Buffer.add_string buf "return;\n"
-  in
-  List.iter (ps 0) k.A.body;
-  Buffer.contents buf
+let config_of_name s =
+  let want = String.lowercase_ascii s in
+  match
+    List.find_opt
+      (fun n -> String.equal (String.lowercase_ascii n) want)
+      Fz.Oracle.config_names
+  with
+  | Some n -> n
+  | None ->
+      Printf.eprintf "unknown config %s (valid: %s)\n" s
+        (String.concat " "
+           (List.map String.lowercase_ascii Fz.Oracle.config_names));
+      exit 1
 
 let soak n =
-  let fails = ref 0 in
-  for seed = 0 to n - 1 do
-    let size = 6 + (seed mod 40) in
-    let ast = Test_support.Gen_kernel.generate ~seed ~size in
-    match Test_support.Diff_check.check_kernel ast with
-    | Ok () -> ()
-    | Error e ->
-        incr fails;
-        Printf.printf "FAIL seed=%d size=%d: %s\n%!" seed size e
-  done;
-  Printf.printf "soak done: %d failures / %d programs\n" !fails n
+  let report = Fz.Fuzz.run ~seed:0 ~n () in
+  List.iter
+    (fun f -> Format.printf "%a@." Fz.Fuzz.pp_failure f)
+    report.Fz.Fuzz.failures;
+  Format.printf "soak done: %d failures / %d programs (%d skipped)@."
+    (List.length report.Fz.Fuzz.failures)
+    report.Fz.Fuzz.tested report.Fz.Fuzz.skipped;
+  exit (if report.Fz.Fuzz.failures = [] then 0 else 1)
 
-let minimize seed size config =
-  let ast = ref (Test_support.Gen_kernel.generate ~seed ~size) in
-  if not (mismatch config !ast) then begin
-    print_endline "no mismatch for this seed/size/config";
-    exit 1
-  end;
-  let progress = ref true in
-  while !progress do
-    progress := false;
-    try
-      List.iter
-        (fun body ->
-          let cand = { !ast with A.body } in
-          if mismatch config cand then begin
-            ast := cand;
-            progress := true;
-            raise Exit
-          end)
-        (reductions (!ast).A.body)
-    with Exit -> ()
-  done;
-  print_string (pp_kernel !ast)
+let minimize seed size config_filter =
+  let ast = Fz.Gen.generate ~seed ~size in
+  let failing =
+    match (Fz.Oracle.check ast, config_filter) with
+    | exception Fz.Oracle.Skip -> None
+    | Error f, None -> Some f
+    | Error f, Some c when String.equal f.Fz.Oracle.config c -> Some f
+    | Error _, Some c -> (
+        (* the requested config may fail even if another fails first *)
+        match
+          List.find_opt
+            (fun k -> Fz.Oracle.still_fails ~config:c ~kind:k ast)
+            [ Fz.Oracle.Validator; Fz.Oracle.Mismatch; Fz.Oracle.Exec_error ]
+        with
+        | Some kind ->
+            Some { Fz.Oracle.config = c; kind; message = "(filtered)" }
+        | None -> None)
+    | Ok (), _ -> None
+  in
+  match failing with
+  | None ->
+      print_endline "no failure for this seed/size/config";
+      exit 1
+  | Some f ->
+      Printf.printf "minimizing %s [%s] failure...\n%!" f.Fz.Oracle.config
+        (Fz.Oracle.kind_name f.Fz.Oracle.kind);
+      let keep =
+        Fz.Oracle.still_fails ~config:f.Fz.Oracle.config ~kind:f.Fz.Oracle.kind
+      in
+      let small = Fz.Shrink.minimize ~keep ast in
+      print_string (Fz.Pretty.kernel_to_string small)
 
 let () =
   match Array.to_list Sys.argv with
   | [ _; "soak"; n ] -> soak (int_of_string n)
-  | [ _; seed; size ] ->
-      minimize (int_of_string seed) (int_of_string size) Dfp.Config.bb
+  | [ _; seed; size ] -> minimize (int_of_string seed) (int_of_string size) None
   | [ _; seed; size; config ] ->
       minimize (int_of_string seed) (int_of_string size)
-        (config_of_name config)
+        (Some (config_of_name config))
   | _ ->
       prerr_endline "usage: minimize SEED SIZE [CONFIG] | minimize soak N";
       exit 1

@@ -1,113 +1,11 @@
-(* Differential testing backbone: for random kernels and for every
-   compiler configuration, the reference interpreter, the functional
-   dataflow executor and the cycle-accurate simulator must produce the
-   same return value and final memory image (DESIGN.md, "Differential
-   testing backbone"). *)
+(* Compatibility shim: the differential-testing backbone now lives in
+   lib/fuzz (Edge_fuzz.Oracle), which compares the reference interpreter
+   against the functional executor and the cycle simulator under every
+   compiler configuration, runs the static block validator on every
+   compiled artifact, and additionally compares committed-store counts
+   (DESIGN.md, "Differential testing backbone"). *)
 
-module Conv = Edge_isa.Conventions
+exception Skip = Edge_fuzz.Oracle.Skip
 
-type run_result = {
-  ret : int64;
-  mem : Edge_isa.Mem.t;
-  fault : bool;
-}
-
-exception Skip
-
-let run_interp ast =
-  let mem = Gen_kernel.default_mem () in
-  match Edge_lang.Interp.run ~fuel:3_000_000 ast ~args:Gen_kernel.default_args ~mem with
-  | Error "fault: fuel exhausted" ->
-      (* the random program does not terminate; nothing to compare *)
-      raise Skip
-  | Ok o ->
-      Ok
-        {
-          ret = Option.value ~default:0L o.Edge_lang.Interp.return_value;
-          mem;
-          fault = false;
-        }
-  | Error e when String.length e >= 5 && String.sub e 0 5 = "fault" ->
-      Ok { ret = 0L; mem; fault = true }
-  | Error e -> Error ("interp: " ^ e)
-
-let compile ast config =
-  match Edge_lang.Lower.lower ast with
-  | Error e -> Error ("lower: " ^ e)
-  | Ok cfg -> (
-      match Dfp.Driver.compile_cfg cfg config with
-      | Error e -> Error ("compile: " ^ e)
-      | Ok c -> Ok c)
-
-let prep_regs () =
-  let regs = Array.make 128 0L in
-  List.iteri (fun i v -> regs.(Conv.param_reg i) <- v) Gen_kernel.default_args;
-  regs
-
-let run_functional (c : Dfp.Driver.compiled) =
-  let regs = prep_regs () in
-  let mem = Gen_kernel.default_mem () in
-  match Edge_sim.Functional.run c.Dfp.Driver.program ~regs ~mem with
-  | Ok _ -> Ok { ret = regs.(Conv.result_reg); mem; fault = false }
-  | Error e when String.length e >= 5 && String.sub e 0 5 = "fault" ->
-      Ok { ret = 0L; mem; fault = true }
-  | Error e -> Error ("functional: " ^ e)
-
-let run_cycle (c : Dfp.Driver.compiled) =
-  let regs = prep_regs () in
-  let mem = Gen_kernel.default_mem () in
-  let placement n =
-    match List.assoc_opt n c.Dfp.Driver.placements with
-    | Some p -> p
-    | None -> [||]
-  in
-  match Edge_sim.Cycle_sim.run ~placement c.Dfp.Driver.program ~regs ~mem with
-  | Ok _ -> Ok { ret = regs.(Conv.result_reg); mem; fault = false }
-  | Error e when String.length e >= 5 && String.sub e 0 5 = "fault" ->
-      Ok { ret = 0L; mem; fault = true }
-  | Error e -> Error ("cycle: " ^ e)
-
-let configs =
-  ("Merge", Dfp.Config.merge)
-  :: ("Mov4", { Dfp.Config.both with Dfp.Config.use_mov4 = true })
-  :: ("Sand", Dfp.Config.sand)
-  :: Dfp.Config.all_paper_configs
-
-let agree a b =
-  a.fault = b.fault
-  && (a.fault || (Int64.equal a.ret b.ret && Edge_isa.Mem.equal a.mem b.mem))
-
-let check_kernel ?(cycle = true) ast =
-  match (try `R (run_interp ast) with Skip -> `Skip) with
-  | `Skip -> Ok ()
-  | `R r ->
-  match r with
-  | Error e -> Error e
-  | Ok reference ->
-      let rec go = function
-        | [] -> Ok ()
-        | (name, config) :: rest -> (
-            match compile ast config with
-            | Error e -> Error (Printf.sprintf "%s: %s" name e)
-            | Ok compiled -> (
-                match run_functional compiled with
-                | Error e -> Error (Printf.sprintf "%s: %s" name e)
-                | Ok r when not (agree reference r) ->
-                    Error
-                      (Printf.sprintf
-                         "%s functional: ret %Ld vs %Ld (fault %b vs %b)" name
-                         r.ret reference.ret r.fault reference.fault)
-                | Ok _ ->
-                    if cycle then (
-                      match run_cycle compiled with
-                      | Error e -> Error (Printf.sprintf "%s: %s" name e)
-                      | Ok r when not (agree reference r) ->
-                          Error
-                            (Printf.sprintf
-                               "%s cycle: ret %Ld vs %Ld (fault %b vs %b)" name
-                               r.ret reference.ret r.fault reference.fault)
-                      | Ok _ -> go rest)
-                    else go rest))
-      in
-      go configs
-
+let configs = Edge_fuzz.Oracle.configs
+let check_kernel = Edge_fuzz.Oracle.check_kernel

@@ -1,182 +1,13 @@
-(* Random kernel generation for differential testing.
+(* Compatibility shim: random kernel generation now lives in lib/fuzz
+   (Edge_fuzz.Gen), shared by the test suite, test/minimize.exe and
+   bin/fuzz.exe. Programs are closed over a fixed memory layout — two
+   64-element int arrays at fixed addresses plus two scalar parameters —
+   so every run of a generated kernel is comparable across the reference
+   interpreter and both simulators. *)
 
-   Programs are closed over a fixed memory layout: two int arrays A and B
-   of 64 elements at fixed addresses, plus two scalar int parameters.
-   Indices are masked to stay in bounds; divisors are forced non-zero;
-   loops have small constant bounds. Every generated program therefore
-   terminates without faulting, and the reference interpreter, the
-   functional simulator and the cycle simulator must agree exactly on the
-   return value and the final memory image. *)
-
-module A = Edge_lang.Ast
-
-let array_len = 64
-let addr_a = 4096
-let addr_b = 8192
-
-type genv = {
-  mutable vars : string list;
-  mutable protected : string list;  (* induction variables: never reassigned *)
-  mutable depth : int;
-}
-
-let gen_int st = Int64.of_int (QCheck2.Gen.generate1 ~rand:st (QCheck2.Gen.int_range (-100) 100))
-
-let pick st l = List.nth l (QCheck2.Gen.generate1 ~rand:st (QCheck2.Gen.int_bound (List.length l - 1)))
-
-(* expression of int type over in-scope vars *)
-let rec gen_expr st env depth : A.expr =
-  if depth <= 0 then gen_leaf st env
-  else
-    match QCheck2.Gen.generate1 ~rand:st (QCheck2.Gen.int_bound 9) with
-    | 0 | 1 -> gen_leaf st env
-    | 2 ->
-        let op = pick st [ A.Add; A.Sub; A.Mul; A.BAnd; A.BOr; A.BXor ] in
-        A.Bin (op, gen_expr st env (depth - 1), gen_expr st env (depth - 1))
-    | 3 ->
-        (* division with a guaranteed non-zero divisor *)
-        let d = gen_expr st env (depth - 1) in
-        let nz = A.Bin (A.BOr, d, A.Int 1L) in
-        A.Bin (pick st [ A.Div; A.Rem ], gen_expr st env (depth - 1), nz)
-    | 4 ->
-        let op = pick st [ A.Lt; A.Le; A.Gt; A.Ge; A.Eq; A.Ne ] in
-        A.Bin (op, gen_expr st env (depth - 1), gen_expr st env (depth - 1))
-    | 5 ->
-        let op = pick st [ A.LAnd; A.LOr ] in
-        A.Bin (op, gen_expr st env (depth - 1), gen_expr st env (depth - 1))
-    | 6 -> A.Un (pick st [ A.Neg; A.BNot; A.LNot ], gen_expr st env (depth - 1))
-    | 7 ->
-        (* bounded shift *)
-        let amt = A.Int (Int64.of_int (QCheck2.Gen.generate1 ~rand:st (QCheck2.Gen.int_bound 7))) in
-        A.Bin (pick st [ A.Shl; A.Shr ], gen_expr st env (depth - 1), amt)
-    | 8 ->
-        let arr = pick st [ "A"; "B" ] in
-        A.Index (arr, masked_index st env (depth - 1))
-    | _ ->
-        A.Cond
-          ( gen_expr st env (depth - 1),
-            gen_expr st env (depth - 1),
-            gen_expr st env (depth - 1) )
-
-and gen_leaf st env =
-  match QCheck2.Gen.generate1 ~rand:st (QCheck2.Gen.int_bound 2) with
-  | 0 -> A.Int (gen_int st)
-  | _ -> (
-      match env.vars with
-      | [] -> A.Int (gen_int st)
-      | vs -> A.Var (pick st vs))
-
-and masked_index st env depth =
-  A.Bin (A.BAnd, gen_expr st env depth, A.Int (Int64.of_int (array_len - 1)))
-
-let rec gen_stmts st env budget ~in_loop : A.stmt list =
-  if budget <= 0 then []
-  else
-    let s, cost = gen_stmt st env budget ~in_loop in
-    s :: gen_stmts st env (budget - cost) ~in_loop
-
-and gen_stmt st env budget ~in_loop =
-  let choice = QCheck2.Gen.generate1 ~rand:st (QCheck2.Gen.int_bound 11) in
-  match choice with
-  | 0 | 1 when env.depth < 2 && budget > 4 ->
-      (* if/else; inner declarations go out of scope afterwards *)
-      env.depth <- env.depth + 1;
-      let saved = env.vars in
-      let c = gen_expr st env 2 in
-      let t = gen_stmts st env (budget / 3) ~in_loop in
-      env.vars <- saved;
-      let e =
-        if QCheck2.Gen.generate1 ~rand:st QCheck2.Gen.bool then
-          gen_stmts st env (budget / 3) ~in_loop
-        else []
-      in
-      env.vars <- saved;
-      env.depth <- env.depth - 1;
-      (A.If (c, t, e), 3 + List.length t + List.length e)
-  | 2 when env.depth < 2 && budget > 6 ->
-      (* bounded for loop wrapped so the induction variable stays local *)
-      env.depth <- env.depth + 1;
-      let saved = env.vars in
-      let iv = Printf.sprintf "i%d" (List.length env.vars) in
-      env.vars <- iv :: env.vars;
-      env.protected <- iv :: env.protected;
-      let bound = 2 + QCheck2.Gen.generate1 ~rand:st (QCheck2.Gen.int_bound 8) in
-      let body = gen_stmts st env (budget / 3) ~in_loop:true in
-      env.vars <- saved;
-      env.protected <- List.filter (fun v -> not (String.equal v iv)) env.protected;
-      env.depth <- env.depth - 1;
-      ( A.If
-          ( A.Int 1L,
-            [
-              A.Decl (A.Tint, iv, Some (A.Int 0L));
-              A.For
-                ( Some (A.Assign (iv, A.Int 0L)),
-                  Some (A.Bin (A.Lt, A.Var iv, A.Int (Int64.of_int bound))),
-                  Some (A.Assign (iv, A.Bin (A.Add, A.Var iv, A.Int 1L))),
-                  body );
-            ],
-            [] ),
-        4 + List.length body )
-  | 3 when budget > 2 ->
-      let arr = pick st [ "A"; "B" ] in
-      (A.Store (arr, masked_index st env 1, gen_expr st env 2), 2)
-  | 4 ->
-      let name = Printf.sprintf "v%d" (List.length env.vars) in
-      let s = A.Decl (A.Tint, name, Some (gen_expr st env 2)) in
-      env.vars <- name :: env.vars;
-      (s, 1)
-  | 5 | 6 | 7
-    when List.exists (fun v -> not (List.mem v env.protected)) env.vars ->
-      let assignable =
-        List.filter (fun v -> not (List.mem v env.protected)) env.vars
-      in
-      (A.Assign (pick st assignable, gen_expr st env 2), 1)
-  | 8 when in_loop && QCheck2.Gen.generate1 ~rand:st QCheck2.Gen.bool ->
-      (A.If (gen_expr st env 1, [ A.Break ], []), 2)
-  | 9 when in_loop && QCheck2.Gen.generate1 ~rand:st QCheck2.Gen.bool ->
-      (A.If (gen_expr st env 1, [ A.Continue ], []), 2)
-  | _ ->
-      let name = Printf.sprintf "v%d" (List.length env.vars) in
-      let s = A.Decl (A.Tint, name, Some (gen_expr st env 1)) in
-      env.vars <- name :: env.vars;
-      (s, 1)
-
-let gen_kernel_with st ~size =
-  let env = { vars = [ "x"; "y" ]; protected = []; depth = 0 } in
-  let body = gen_stmts st env size ~in_loop:false in
-  let ret =
-    A.Return
-      (Some
-         (match env.vars with
-         | [] -> A.Int 0L
-         | vs ->
-             List.fold_left
-               (fun acc v -> A.Bin (A.Add, acc, A.Var v))
-               (A.Var (List.hd vs))
-               (List.tl vs)))
-  in
-  {
-    A.kname = "rand";
-    params =
-      [
-        { A.pname = "x"; pty = A.Tint };
-        { A.pname = "y"; pty = A.Tint };
-        { A.pname = "A"; pty = A.Tptr A.I64 };
-        { A.pname = "B"; pty = A.Tptr A.I64 };
-      ];
-    body = body @ [ ret ];
-  }
-
-let generate ~seed ~size =
-  let st = Random.State.make [| seed |] in
-  gen_kernel_with st ~size
-
-let default_args = [ 7L; -3L; Int64.of_int addr_a; Int64.of_int addr_b ]
-
-let default_mem () =
-  let mem = Edge_isa.Mem.create ~size:16384 in
-  for i = 0 to array_len - 1 do
-    Edge_isa.Mem.store_int mem (addr_a + (8 * i)) (Int64.of_int ((i * 37) - 90));
-    Edge_isa.Mem.store_int mem (addr_b + (8 * i)) (Int64.of_int (1000 - (i * 13)))
-  done;
-  mem
+let array_len = Edge_fuzz.Gen.array_len
+let addr_a = Edge_fuzz.Gen.addr_a
+let addr_b = Edge_fuzz.Gen.addr_b
+let generate = Edge_fuzz.Gen.generate
+let default_args = Edge_fuzz.Gen.default_args
+let default_mem = Edge_fuzz.Gen.default_mem

@@ -394,6 +394,84 @@ let image_rejects () =
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "must reject bad magic"
 
+(* Every opcode x predication x target kind, constrained to the ISA's
+   validity rules (predicatable opcodes only carry predicates, 9-bit
+   immediates except geni, LSIDs for memory ops, exit indices for
+   branches, mov4 targets share a slot and exclude writes, nothing
+   targets I0.L), must round-trip bit-exactly through encode/decode. *)
+let qcheck_encode_all =
+  let gen =
+    let open QCheck.Gen in
+    let* opidx = int_bound (List.length O.all - 1) in
+    let opcode = List.nth O.all opidx in
+    let* predsel = int_bound 2 in
+    let pred =
+      if not (O.predicatable opcode) then I.Unpredicated
+      else
+        match predsel with
+        | 0 -> I.Unpredicated
+        | 1 -> I.If_true
+        | _ -> I.If_false
+    in
+    let* imm =
+      if not (O.has_immediate opcode) then return 0L
+      else
+        match opcode with
+        | O.Geni -> ui64
+        | _ -> map Int64.of_int (int_range (-256) 255)
+    in
+    let* lsid =
+      match opcode with
+      | O.Ld _ | O.St _ -> int_bound 31
+      | _ -> return (-1)
+    in
+    let* exit_idx =
+      match opcode with O.Bro -> int_bound 31 | _ -> return (-1)
+    in
+    let gen_slot = oneofl [ T.Left; T.Right; T.Pred ] in
+    let* targets =
+      match opcode with
+      | O.Mov4 ->
+          (* four 7-bit ids sharing one operand slot, never a write *)
+          let* slot = gen_slot in
+          let* n = int_range 1 4 in
+          let+ ids = list_repeat n (int_range 1 127) in
+          List.map (fun id -> T.To_instr { id; slot }) (List.sort_uniq compare ids)
+      | _ ->
+          let* n = int_bound (min 2 (O.max_targets opcode)) in
+          let gen_target =
+            let* kind = int_bound 3 in
+            if kind = 3 then
+              let+ w = int_bound 31 in
+              T.To_write w
+            else
+              let* slot = gen_slot in
+              (* I0.L encodes as 0, which collides with "no target" *)
+              let+ id = int_range (if slot = T.Left then 1 else 0) 127 in
+              T.To_instr { id; slot }
+          in
+          let+ ts = list_repeat n gen_target in
+          List.sort_uniq compare ts
+    in
+    return (I.make ~id:5 ~opcode ~pred ~imm ~targets ~lsid ~exit_idx ())
+  in
+  QCheck.Test.make ~name:"encode/decode all opcodes x pred x targets"
+    ~count:3000
+    (QCheck.make ~print:(Format.asprintf "%a" I.pp) gen)
+    (fun i ->
+      match E.encode i with
+      | Error e -> QCheck.Test.fail_reportf "encode: %s" e
+      | Ok words -> (
+          if List.length words <> E.words i then
+            QCheck.Test.fail_reportf "word count: %d vs %d" (List.length words)
+              (E.words i);
+          match E.decode ~id:5 words with
+          | Ok (i2, []) ->
+              if I.equal i i2 then true
+              else QCheck.Test.fail_reportf "roundtrip: %a vs %a" I.pp i I.pp i2
+          | Ok (_, _ :: _) -> QCheck.Test.fail_reportf "leftover words"
+          | Error e -> QCheck.Test.fail_reportf "decode: %s" e))
+
 let tests =
 
 
@@ -418,4 +496,5 @@ let tests =
     Alcotest.test_case "image roundtrip" `Quick image_roundtrip;
     Alcotest.test_case "image rejects garbage" `Quick image_rejects;
     QCheck_alcotest.to_alcotest qcheck_encode;
+    QCheck_alcotest.to_alcotest qcheck_encode_all;
   ]

@@ -11,4 +11,5 @@ let () =
       ("harness", Test_harness.tests);
       ("parallel", Test_parallel.tests);
       ("diff", Test_diff.tests);
+      ("fuzz", Test_fuzz.tests);
     ]

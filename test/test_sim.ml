@@ -596,6 +596,74 @@ let sand_filters_right_exception () =
       check "no fault (right filtered)" true (o.Edge_sim.Functional.faulted = None)
   | Error e -> Alcotest.failf "%s" e
 
+(* Stats.add must accumulate every counter; the parallel harness relies
+   on it to merge per-domain statistics. *)
+let stats_accumulate () =
+  let module S = Edge_sim.Stats in
+  let a = S.create () and b = S.create () in
+  a.S.cycles <- 10;
+  a.S.blocks_executed <- 3;
+  a.S.instrs_executed <- 40;
+  a.S.moves_executed <- 7;
+  a.S.dcache_accesses <- 5;
+  b.S.cycles <- 32;
+  b.S.blocks_executed <- 4;
+  b.S.blocks_flushed <- 2;
+  b.S.instrs_executed <- 60;
+  b.S.branch_mispredicts <- 1;
+  b.S.dcache_misses <- 2;
+  S.add a b;
+  check "cycles" true (a.S.cycles = 42);
+  check "blocks executed" true (a.S.blocks_executed = 7);
+  check "blocks flushed" true (a.S.blocks_flushed = 2);
+  check "instrs executed" true (a.S.instrs_executed = 100);
+  check "moves" true (a.S.moves_executed = 7);
+  check "mispredicts" true (a.S.branch_mispredicts = 1);
+  check "dcache accesses" true (a.S.dcache_accesses = 5);
+  check "dcache misses" true (a.S.dcache_misses = 2);
+  (* b is the source and must be untouched *)
+  check "source untouched" true (b.S.cycles = 32);
+  (* adding a zero stats is the identity *)
+  S.add a (S.create ());
+  check "zero identity" true (a.S.cycles = 42 && a.S.instrs_executed = 100)
+
+(* exit predictor: training, retargeting, and the outcome counters *)
+let predictor_update_mispredict () =
+  let module P = Edge_sim.Predictor in
+  let p = P.create () in
+  check "cold" true (P.predict p ~block:"loop" = None);
+  P.update p ~block:"loop" ~exit_idx:0 ~target:"body";
+  check "learned" true (P.predict p ~block:"loop" = Some "body");
+  (* repeated training with the same history must stay stable *)
+  P.update p ~block:"loop" ~exit_idx:0 ~target:"body";
+  check "stable" true (P.predict p ~block:"loop" = Some "body");
+  check "no outcomes yet" true (P.predictions p = 0 && P.mispredicts p = 0);
+  P.record_outcome p ~correct:true;
+  P.record_outcome p ~correct:false;
+  P.record_outcome p ~correct:false;
+  check "predictions counted" true (P.predictions p = 3);
+  check "mispredicts counted" true (P.mispredicts p = 2)
+
+(* cache: write-allocate, flush, and that hits don't evict *)
+let cache_eviction_flush () =
+  let module C = Edge_sim.Cache in
+  let c = C.create ~size_bytes:1024 ~ways:2 ~line_bytes:64 ~hit_latency:2 in
+  check "latency" true (C.hit_latency c = 2);
+  (* write miss allocates the line (write-allocate) *)
+  check "write cold miss" false (C.access c ~addr:256L ~write:true);
+  check "read hits written line" true (C.access c ~addr:300L ~write:false);
+  (* 8 sets: 0, 512, 1024 share set 0 in a 2-way cache. Touching the
+     older line keeps it most-recently-used, so the third address must
+     evict the other way. *)
+  ignore (C.access c ~addr:0L ~write:false);
+  ignore (C.access c ~addr:512L ~write:false);
+  ignore (C.access c ~addr:0L ~write:false);
+  ignore (C.access c ~addr:1024L ~write:false);
+  check "mru survives eviction" true (C.access c ~addr:0L ~write:false);
+  check "lru evicted" false (C.access c ~addr:512L ~write:false);
+  C.flush c;
+  check "flush empties" false (C.access c ~addr:0L ~write:false)
+
 let tests =
 
 
@@ -620,4 +688,8 @@ let tests =
     Alcotest.test_case "sand conjunction" `Quick sand_conjunction;
     Alcotest.test_case "sand filters right exception" `Quick
       sand_filters_right_exception;
+    Alcotest.test_case "stats accumulate" `Quick stats_accumulate;
+    Alcotest.test_case "predictor update/mispredict" `Quick
+      predictor_update_mispredict;
+    Alcotest.test_case "cache eviction + flush" `Quick cache_eviction_flush;
   ]
