@@ -1,4 +1,4 @@
-.PHONY: all build test check smoke fuzz-smoke bench clean
+.PHONY: all build test check smoke fuzz-smoke trace-smoke regen-golden bench clean
 
 all: build
 
@@ -8,15 +8,27 @@ build:
 test:
 	dune runtest
 
-# the tier-1 gate: everything compiles, the full suite is green, and a
-# short parallel fuzz campaign finds nothing
+# the tier-1 gate: everything compiles, the full suite is green, a
+# short parallel fuzz campaign finds nothing, and the observability
+# layer round-trips (valid Chrome JSON, golden trace matches)
 check:
-	dune build @all && dune runtest && $(MAKE) fuzz-smoke
+	dune build @all && dune runtest && $(MAKE) fuzz-smoke && $(MAKE) trace-smoke
 
 # seconds-long differential-fuzzing sanity run (small programs, every
 # config, both simulators, block validator, parallel path)
 fuzz-smoke: build
 	dune exec bin/fuzz.exe -- --seed 1 -n 40 -j 4 --min-size 4 --max-size 12 --no-minimize
+
+# seconds-long end-to-end check of the tracing/metrics layer: run one
+# golden kernel traced, validate the Chrome JSON export, compare the
+# text trace against its blessed golden
+trace-smoke: build
+	dune exec test/trace_smoke.exe
+
+# re-bless the golden trace files after an intentional schedule change;
+# inspect the diff before committing
+regen-golden: build
+	dune exec test/regen_golden.exe
 
 # seconds-long sanity run of the parallel sweep path (1 workload,
 # 2 configs, 2 domains)

@@ -73,6 +73,12 @@ let write_json path ~wall_s (r : Edge_harness.Figure7.result) =
           pf "\"%s\": %.4f" (json_escape n) s);
       pf " } }");
   pf "\n  ],\n";
+  pf "  \"pass_counters\": {\n";
+  sep r.Edge_harness.Figure7.pass_totals (fun (config, counters) ->
+      pf "    \"%s\": { " (json_escape config);
+      sep counters (fun (k, v) -> pf "\"%s\": %d" (json_escape k) v);
+      pf " }");
+  pf "\n  },\n";
   pf "  \"errors\": [\n";
   sep r.Edge_harness.Figure7.errors (fun (w, e) ->
       pf "    { \"experiment\": \"%s\", \"error\": \"%s\" }" (json_escape w)
@@ -104,10 +110,19 @@ let pp_stats ppf (r : Edge_harness.Figure7.result) =
     "@[<v>Section 6 dynamic statistics (Intra vs Hyper, all benchmarks)@,\
      move instructions: -%.1f%% (paper: -14%%)@,\
      total instructions: -%.1f%% (paper: -2%%)@,\
-     blocks executed: -%.1f%% (paper: -5%%)@]"
+     blocks executed: -%.1f%% (paper: -5%%)@,"
     (100.0 *. r.Edge_harness.Figure7.move_reduction)
     (100.0 *. r.Edge_harness.Figure7.instr_reduction)
-    (100.0 *. r.Edge_harness.Figure7.block_reduction)
+    (100.0 *. r.Edge_harness.Figure7.block_reduction);
+  Format.fprintf ppf "@,compiler pass counters (summed over benchmarks):@,";
+  List.iter
+    (fun (config, counters) ->
+      Format.fprintf ppf "  %s:@," config;
+      List.iter
+        (fun (k, v) -> Format.fprintf ppf "    %-36s %10d@," k v)
+        counters)
+    r.Edge_harness.Figure7.pass_totals;
+  Format.fprintf ppf "@]"
 
 let run_genalg ~jobs () =
   match Edge_harness.Genalg_study.run ~jobs () with

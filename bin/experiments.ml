@@ -5,10 +5,37 @@
      dune exec bin/experiments.exe -- -j 4
 
    -j N fans the independent (workload x config) experiments across N
-   domains; simulated cycle counts are identical for every N. *)
+   domains; simulated cycle counts are identical for every N.
+
+   --trace-out x.json additionally attaches a block-level trace to
+   every Figure 7 run and writes one combined Chrome trace-event JSON
+   (one Perfetto process per workload/config experiment). *)
+
+let usage () =
+  Printf.eprintf "usage: experiments.exe [-j N] [--trace-out PATH]\n";
+  exit 1
+
+let write_combined_trace path (fig7 : Edge_harness.Figure7.result) =
+  let buf = Buffer.create (1 lsl 16) in
+  Buffer.add_string buf "[\n";
+  List.iteri
+    (fun pid ((wname, cname), events) ->
+      if pid > 0 then Buffer.add_string buf ",\n";
+      Edge_obs.Trace.write_chrome ~pid ~name:(wname ^ "/" ^ cname) buf events)
+    fig7.Edge_harness.Figure7.traces;
+  Buffer.add_string buf "\n]\n";
+  match open_out path with
+  | oc ->
+      output_string oc (Buffer.contents buf);
+      close_out oc;
+      Format.printf "wrote %s (%d experiment traces)@." path
+        (List.length fig7.Edge_harness.Figure7.traces)
+  | exception Sys_error e ->
+      Printf.eprintf "warning: could not write %s: %s\n%!" path e
 
 let () =
   let jobs = ref (Edge_parallel.Pool.default_jobs ()) in
+  let trace_out = ref None in
   let rec parse = function
     | [] -> ()
     | "-j" :: n :: rest -> (
@@ -16,12 +43,11 @@ let () =
         | Some n when n >= 1 ->
             jobs := n;
             parse rest
-        | _ ->
-            Printf.eprintf "usage: experiments.exe [-j N]\n";
-            exit 1)
-    | _ ->
-        Printf.eprintf "usage: experiments.exe [-j N]\n";
-        exit 1
+        | _ -> usage ())
+    | "--trace-out" :: p :: rest ->
+        trace_out := Some p;
+        parse rest
+    | _ -> usage ()
   in
   parse (List.tl (Array.to_list Sys.argv));
   let jobs = !jobs in
@@ -30,9 +56,14 @@ let () =
   let fig7 =
     Edge_harness.Figure7.run
       ~progress:(fun n -> Printf.eprintf "  %s...\n%!" n)
-      ~jobs ()
+      ~jobs
+      ~trace_blocks:(!trace_out <> None)
+      ()
   in
   Format.printf "%a@.@." Edge_harness.Figure7.pp fig7;
+  (match !trace_out with
+  | Some path -> write_combined_trace path fig7
+  | None -> ());
   Format.printf "== genalg case study (Section 5.3) ==@.";
   (match Edge_harness.Genalg_study.run ~jobs () with
   | Ok s -> Format.printf "%a@.@." Edge_harness.Genalg_study.pp s

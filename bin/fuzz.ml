@@ -126,6 +126,26 @@ let () =
                   let path =
                     Edge_fuzz.Corpus.save ~dir ~name ~contents:source
                   in
-                  Format.printf "saved %s@." path)
+                  Format.printf "saved %s@." path;
+                  (* dump the reproducer's cycle-sim trace alongside it
+                     (Corpus.load_dir only picks up .k files, so the
+                     .trace never affects replay) *)
+                  (match Edge_lang.Parser.parse source with
+                  | Error _ -> ()
+                  | Ok ast -> (
+                      match
+                        Edge_fuzz.Oracle.trace_kernel
+                          ~config:f.Edge_fuzz.Fuzz.config ast
+                      with
+                      | Ok trace ->
+                          let tpath =
+                            Filename.remove_extension path ^ ".trace"
+                          in
+                          let oc = open_out tpath in
+                          output_string oc trace;
+                          close_out oc;
+                          Format.printf "saved %s@." tpath
+                      | Error e ->
+                          Format.printf "trace skipped: %s@." e)))
             failures);
       exit (if report.Edge_fuzz.Fuzz.failures = [] then 0 else 1)

@@ -1,4 +1,15 @@
-(* tsim: run a workload through the functional and cycle simulators. *)
+(* tsim: run a workload through the functional and cycle simulators.
+
+   Accepts a registered workload name, a path to a `.k` kernel source
+   (fuzz-corpus argument conventions), or a `.s` assembly / `.img`
+   binary program.
+
+   Observability:
+     --trace-out x.json   write a Chrome trace-event JSON of the run
+                          (load into Perfetto / chrome://tracing)
+     --trace-text x.trace write the compact deterministic text trace
+                          (the golden-test format)
+     --metrics            print the metrics summary table *)
 
 open Cmdliner
 
@@ -13,9 +24,54 @@ let config_of_name = function
   | "hand" -> Ok ("Hand", Dfp.Config.hand_optimized)
   | s -> Error (Printf.sprintf "unknown config %s" s)
 
+(* -- observability plumbing --------------------------------------- *)
+
+type obs_opts = {
+  trace_out : string option;  (* Chrome JSON path *)
+  trace_text : string option;  (* deterministic text path *)
+  metrics : bool;
+}
+
+let obs_wanted o = o.trace_out <> None || o.trace_text <> None || o.metrics
+
+(* an Obs bundle + a finisher that writes/prints whatever was asked *)
+let make_obs o ~name =
+  if not (obs_wanted o) then (None, fun () -> Ok ())
+  else begin
+    let obs, events, m = Edge_obs.Obs.collector ~level:Edge_obs.Trace.Full () in
+    let write path contents =
+      match open_out path with
+      | oc ->
+          output_string oc contents;
+          close_out oc;
+          Format.printf "wrote %s@." path;
+          Ok ()
+      | exception Sys_error e -> Error e
+    in
+    let finish () =
+      let ( let* ) = Result.bind in
+      let evs = events () in
+      let* () =
+        match o.trace_out with
+        | Some path ->
+            write path (Edge_obs.Trace.chrome_to_string ~name evs)
+        | None -> Ok ()
+      in
+      let* () =
+        match o.trace_text with
+        | Some path ->
+            write path (Edge_obs.Trace.render_text ~header:[ ("kernel", name) ] evs)
+        | None -> Ok ()
+      in
+      if o.metrics then Format.printf "%a@." Edge_obs.Metrics.pp_summary m;
+      Ok ()
+    in
+    (Some obs, finish)
+  end
+
 (* run a hand-written assembly program: arguments land in the parameter
    registers, g1 is printed on halt *)
-let run_asm path args =
+let run_asm path args oopts =
   let parsed =
     if Filename.check_suffix path ".img" then Edge_isa.Image.read_file path
     else begin
@@ -36,22 +92,81 @@ let run_asm path args =
             (fun i v -> regs.(Edge_isa.Conventions.param_reg i) <- v)
             args;
           let mem = Edge_isa.Mem.create ~size:(1 lsl 20) in
-          match Edge_sim.Cycle_sim.run program ~regs ~mem with
+          let obs, finish = make_obs oopts ~name:(Filename.basename path) in
+          match Edge_sim.Cycle_sim.run ?obs program ~regs ~mem with
           | Error e -> Error e
           | Ok stats ->
               Format.printf "g1 = %Ld@.%a@."
                 regs.(Edge_isa.Conventions.result_reg)
                 Edge_sim.Stats.pp stats;
-              Ok ()))
+              finish ()))
 
-let run workload config_name functional_only no_early in_order asm_args =
+(* run a `.k` kernel source file under the fuzz-corpus conventions *)
+let run_kernel path (config_name, config) machine oopts =
+  let ic = open_in_bin path in
+  let source = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  let name = Filename.remove_extension (Filename.basename path) in
+  match Edge_harness.Tracekit.compile_source source config with
+  | Error e -> Error e
+  | Ok compiled -> (
+      match Edge_harness.Tracekit.run_traced ~machine compiled with
+      | Error e -> Error e
+      | Ok t ->
+          let ( let* ) = Result.bind in
+          let write path contents =
+            match open_out path with
+            | oc ->
+                output_string oc contents;
+                close_out oc;
+                Format.printf "wrote %s@." path;
+                Ok ()
+            | exception Sys_error e -> Error e
+          in
+          Format.printf "%s/%s@.%a@." name config_name Edge_sim.Stats.pp
+            t.Edge_harness.Tracekit.stats;
+          let* () =
+            match oopts.trace_out with
+            | Some p ->
+                write p
+                  (Edge_obs.Trace.chrome_to_string ~name
+                     t.Edge_harness.Tracekit.events)
+            | None -> Ok ()
+          in
+          let* () =
+            match oopts.trace_text with
+            | Some p ->
+                write p
+                  (Edge_harness.Tracekit.render ~kernel:name
+                     ~config:config_name t)
+            | None -> Ok ()
+          in
+          if oopts.metrics then
+            Format.printf "%a@." Edge_obs.Metrics.pp_summary
+              t.Edge_harness.Tracekit.metrics;
+          Ok ())
+
+let run workload config_name functional_only no_early in_order asm_args
+    trace_out trace_text metrics =
   let ( let* ) = Result.bind in
+  let oopts = { trace_out; trace_text; metrics } in
+  let machine =
+    {
+      Edge_sim.Machine.default with
+      Edge_sim.Machine.early_termination = not no_early;
+      aggressive_loads = not in_order;
+    }
+  in
   let result =
     if Filename.check_suffix workload ".s" || Filename.check_suffix workload ".img"
     then
       run_asm workload
         (List.filter_map Int64.of_string_opt
            (String.split_on_char ',' asm_args))
+        oopts
+    else if Filename.check_suffix workload ".k" then
+      let* name_config = config_of_name config_name in
+      run_kernel workload name_config machine oopts
     else
     let* w =
       match Edge_workloads.Registry.find workload with
@@ -79,18 +194,20 @@ let run workload config_name functional_only no_early in_order asm_args =
       Ok ()
     end
     else begin
-      let machine =
-        {
-          Edge_sim.Machine.default with
-          Edge_sim.Machine.early_termination = not no_early;
-          aggressive_loads = not in_order;
-        }
+      let obs, finish =
+        make_obs oopts ~name:(workload ^ "/" ^ fst name_config)
       in
-      let* r = Edge_harness.Experiment.run_one ~machine w name_config in
+      let* r = Edge_harness.Experiment.run_one ~machine ?obs w name_config in
       Format.printf "%s/%s: verified against the reference interpreter@."
         r.Edge_harness.Experiment.workload r.Edge_harness.Experiment.config;
       Format.printf "%a@." Edge_sim.Stats.pp r.Edge_harness.Experiment.stats;
-      Ok ()
+      if r.Edge_harness.Experiment.pass_counters <> [] && metrics then begin
+        Format.printf "compiler pass counters:@.";
+        List.iter
+          (fun (k, v) -> Format.printf "  %-36s %10d@." k v)
+          r.Edge_harness.Experiment.pass_counters
+      end;
+      finish ()
     end
   in
   match result with
@@ -104,7 +221,10 @@ let asm_args_arg =
   Arg.(value & opt string "" & info [ "args" ] ~doc)
 
 let workload_arg =
-  let doc = "Workload name, or a path to a .s assembly / .img binary program." in
+  let doc =
+    "Workload name, a path to a .k kernel source, or a path to a .s \
+     assembly / .img binary program."
+  in
   Arg.(required & pos 0 (some string) None & info [] ~docv:"WORKLOAD" ~doc)
 
 let config_arg =
@@ -123,12 +243,31 @@ let in_order_arg =
   let doc = "In-order memory: loads wait for all older stores." in
   Arg.(value & flag & info [ "in-order-memory" ] ~doc)
 
+let trace_out_arg =
+  let doc =
+    "Write a Chrome trace-event JSON of the cycle-simulator run to \
+     $(docv) (viewable in Perfetto or chrome://tracing)."
+  in
+  Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"PATH" ~doc)
+
+let trace_text_arg =
+  let doc =
+    "Write the compact deterministic text trace (the golden-test format) \
+     to $(docv)."
+  in
+  Arg.(value & opt (some string) None & info [ "trace-text" ] ~docv:"PATH" ~doc)
+
+let metrics_arg =
+  let doc = "Print the derived metrics summary (counters and histograms)." in
+  Arg.(value & flag & info [ "metrics" ] ~doc)
+
 let cmd =
   let doc = "cycle-level TRIPS-like simulator" in
   Cmd.v
     (Cmd.info "tsim" ~doc)
     Term.(
       const run $ workload_arg $ config_arg $ functional_arg $ no_early_arg
-      $ in_order_arg $ asm_args_arg)
+      $ in_order_arg $ asm_args_arg $ trace_out_arg $ trace_text_arg
+      $ metrics_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -11,36 +11,44 @@ type compiled = {
   static_instrs : int;
   static_blocks : int;
   explicit_predicates : int;
+  pass_counters : (string * int) list;
+      (* per-pass optimization counters ("pass.*", sorted by name) from
+         the final, successful generate attempt; stored as a plain list
+         so [compiled] stays safe to memoize and ship across domains *)
 }
 
 let ( let* ) = Result.bind
 
-let rec convert_regions cfg liveness ~retq regions =
+let rec convert_regions ?m cfg liveness ~retq regions =
   match regions with
   | [] -> Ok []
   | r :: rest ->
-      let* h = If_convert.convert cfg liveness r ~retq in
-      let* hs = convert_regions cfg liveness ~retq rest in
+      let* h = If_convert.convert ?m cfg liveness r ~retq in
+      let* hs = convert_regions ?m cfg liveness ~retq rest in
       Ok (h :: hs)
 
 (* Generate code for all hyperblocks; when one exceeds machine limits,
    split its region into basic blocks and redo the whole pipeline with
    the refined region list. *)
-let apply_opts (config : Config.t) cfg liveness ~retq hblocks =
+let apply_opts ?m (config : Config.t) cfg liveness ~retq hblocks =
   if config.Config.mode = Config.Hyper then begin
     if config.Config.opt_path_sensitive then
-      Opt_path.run hblocks cfg liveness ~retq;
-    if config.Config.opt_fanout then List.iter Opt_fanout.run hblocks;
-    if config.Config.opt_merge then List.iter Opt_merge.run hblocks;
+      Opt_path.run ?m hblocks cfg liveness ~retq;
+    if config.Config.opt_fanout then List.iter (Opt_fanout.run ?m) hblocks;
+    if config.Config.opt_merge then List.iter (Opt_merge.run ?m) hblocks;
     if config.Config.use_sand then
-      List.iter (fun h -> ignore (Opt_sand.run h ~gen:cfg.Cfg.gen)) hblocks;
+      List.iter (fun h -> ignore (Opt_sand.run ?m h ~gen:cfg.Cfg.gen)) hblocks;
     List.iter Opt_hclean.run hblocks
   end;
   hblocks
 
+(* Each attempt gets a fresh registry: a retry after an emit failure
+   redoes the whole pipeline, and only the successful attempt's counts
+   may survive. *)
 let rec generate cfg (config : Config.t) liveness ~retq ~params regions =
-  let* hblocks = convert_regions cfg liveness ~retq regions in
-  let hblocks = apply_opts config cfg liveness ~retq hblocks in
+  let m = Edge_obs.Metrics.create () in
+  let* hblocks = convert_regions ~m cfg liveness ~retq regions in
+  let hblocks = apply_opts ~m config cfg liveness ~retq hblocks in
   let* alloc =
     Regalloc.allocate hblocks ~entry:cfg.Cfg.entry ~params ~retq
   in
@@ -52,7 +60,7 @@ let rec generate cfg (config : Config.t) liveness ~retq ~params regions =
         | Error msg -> Error (h.Hb.hname, msg))
   in
   match emit_all [] hblocks with
-  | Ok emitted -> Ok emitted
+  | Ok emitted -> Ok (emitted, Edge_obs.Metrics.counters m)
   | Error (bad, msg) -> (
       (* split the offending region into singletons and retry *)
       let offending =
@@ -151,7 +159,9 @@ let compile_cfg cfg (config : Config.t) =
         in
         fit_regions cfg config liveness ~retq ~params initial
   in
-  let* emitted = generate cfg config liveness ~retq ~params regions in
+  let* emitted, pass_counters =
+    generate cfg config liveness ~retq ~params regions
+  in
   let blocks = List.map (fun (_, e) -> e.Codegen.block) emitted in
   let entry = cfg.Cfg.entry in
   let* program = Edge_isa.Program.make ~entry blocks in
@@ -181,4 +191,5 @@ let compile_cfg cfg (config : Config.t) =
         List.fold_left
           (fun a (_, e) -> a + e.Codegen.explicit_predicates)
           0 emitted;
+      pass_counters;
     }

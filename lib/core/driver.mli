@@ -16,6 +16,11 @@ type compiled = {
   static_instrs : int;
   static_blocks : int;
   explicit_predicates : int;
+  pass_counters : (string * int) list;
+      (** per-pass optimization counters ("pass.*", sorted by name) from
+          the final generate attempt: if-conversion output sizes, guards
+          removed by fanout reduction, instructions/exits merged, outputs
+          promoted, sand chains converted *)
 }
 
 val compile_cfg : Edge_ir.Cfg.t -> Config.t -> (compiled, string) result

@@ -155,7 +155,7 @@ let combine_guards cv (gs : edge_guard list) : Hb.guard option =
           Some (Hb.singleton c true)
         end
 
-let convert cfg liveness region ~retq =
+let convert ?m cfg liveness region ~retq =
   let order = topo_order cfg region in
   if
     not
@@ -527,12 +527,25 @@ let convert cfg liveness region ~retq =
             })
           exits
       in
-      Ok
+      let h =
         {
           Hb.hname = region.head;
           body = List.rev cv.body;
           hexits;
           houts = List.rev !houts;
         }
+      in
+      (match m with
+      | Some m ->
+          Edge_obs.Metrics.incr m "pass.if_convert.hyperblocks";
+          Edge_obs.Metrics.incr ~by:(List.length h.Hb.body) m
+            "pass.if_convert.instrs";
+          Edge_obs.Metrics.incr
+            ~by:
+              (List.length
+                 (List.filter (fun hi -> Option.is_some hi.Hb.guard) h.Hb.body))
+            m "pass.if_convert.guarded_instrs"
+      | None -> ());
+      Ok h
     end
   end

@@ -22,13 +22,17 @@
 type region = { head : Edge_ir.Label.t; blocks : Edge_ir.Label.Set.t }
 
 val convert :
+  ?m:Edge_obs.Metrics.t ->
   Edge_ir.Cfg.t ->
   Edge_ir.Liveness.t ->
   region ->
   retq:Edge_ir.Temp.t ->
   (Edge_ir.Hblock.t, string) result
 (** [retq] is the function-wide canonical temp for the return value
-    (allocated once per function, pinned to the result register). *)
+    (allocated once per function, pinned to the result register). [m]
+    (optional) receives the pass counters
+    ["pass.if_convert.hyperblocks"], ["pass.if_convert.instrs"] and
+    ["pass.if_convert.guarded_instrs"]. *)
 
 val exit_edge_live :
   Edge_ir.Cfg.t ->

@@ -82,13 +82,19 @@ let removable h =
        (fun hi -> candidate info hi && (implicit hi || hoistable hi))
        h.Hb.body)
 
-let run (h : Hb.t) =
+let run ?m (h : Hb.t) =
   let info = analyze h in
   let implicit = implicitly_predicated h in
+  let removed = ref 0 in
   h.Hb.body <-
     List.map
       (fun hi ->
-        if candidate info hi && (implicit hi || hoistable hi) then
+        if candidate info hi && (implicit hi || hoistable hi) then begin
+          incr removed;
           { hi with Hb.guard = None }
+        end
         else hi)
-      h.Hb.body
+      h.Hb.body;
+  match m with
+  | Some m -> Edge_obs.Metrics.incr ~by:!removed m "pass.fanout.guards_removed"
+  | None -> ()

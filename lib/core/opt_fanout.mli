@@ -12,7 +12,9 @@
     speculation (Section 4.4). The payoff is fewer predicate consumers,
     hence smaller software fanout trees (fewer move instructions). *)
 
-val run : Edge_ir.Hblock.t -> unit
+val run : ?m:Edge_obs.Metrics.t -> Edge_ir.Hblock.t -> unit
+(** [m] (optional) receives the pass counter
+    ["pass.fanout.guards_removed"]. *)
 
 val removable : Edge_ir.Hblock.t -> int
 (** Number of guards the pass would remove (for reporting). *)

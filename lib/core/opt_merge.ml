@@ -223,7 +223,12 @@ let merge_exits (h : Hb.t) =
   done;
   !eliminated
 
-let run (h : Hb.t) =
-  ignore (merge_body h);
-  ignore (merge_exits h)
+let run ?m (h : Hb.t) =
+  let body = merge_body h in
+  let exits = merge_exits h in
+  match m with
+  | Some m ->
+      Edge_obs.Metrics.incr ~by:body m "pass.merge.instrs_merged";
+      Edge_obs.Metrics.incr ~by:exits m "pass.merge.exits_merged"
+  | None -> ()
 

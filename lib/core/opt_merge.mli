@@ -20,7 +20,9 @@
     predicate-OR exit of Figure 3a. Stores are not merged (LSID
     identity); null writes and null stores merge freely. *)
 
-val run : Edge_ir.Hblock.t -> unit
+val run : ?m:Edge_obs.Metrics.t -> Edge_ir.Hblock.t -> unit
+(** [m] (optional) receives the pass counters
+    ["pass.merge.instrs_merged"] and ["pass.merge.exits_merged"]. *)
 
 val merge_body : Edge_ir.Hblock.t -> int
 (** Merge body instructions only; returns instructions eliminated. *)

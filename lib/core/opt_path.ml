@@ -84,12 +84,18 @@ let analyze_block (h : Hb.t) =
 
 let promotions h = List.length (analyze_block h)
 
-let run hblocks _cfg _liveness ~retq =
+let run ?m hblocks _cfg _liveness ~retq =
   ignore retq;
   List.iter
     (fun (h : Hb.t) ->
       let candidates = analyze_block h in
       if candidates <> [] then begin
+        (match m with
+        | Some m ->
+            Edge_obs.Metrics.incr
+              ~by:(List.length candidates)
+              m "pass.path.outputs_promoted"
+        | None -> ());
         let body = Array.of_list h.Hb.body in
         let kill = Hashtbl.create 16 in
         let unguard = Hashtbl.create 16 in

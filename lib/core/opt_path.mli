@@ -11,11 +11,14 @@
     resolution the paper credits for autcor00/conven00/iirflt01. *)
 
 val run :
+  ?m:Edge_obs.Metrics.t ->
   Edge_ir.Hblock.t list ->
   Edge_ir.Cfg.t ->
   Edge_ir.Liveness.t ->
   retq:Edge_ir.Temp.t ->
   unit
+(** [m] (optional) receives the pass counter
+    ["pass.path.outputs_promoted"]. *)
 
 val promotions : Edge_ir.Hblock.t -> int
 (** How many outputs of this block are promotable (for reporting). *)

@@ -30,7 +30,7 @@ let rec find_chain body def_site guards_ok p acc =
   | Some dst -> find_chain body def_site guards_ok dst (dst :: acc)
   | None -> List.rev acc
 
-let run (h : Hb.t) ~gen =
+let convert_chains (h : Hb.t) ~gen =
   let body = h.Hb.body in
   let def_sites = Hb.def_sites h in
   let barr = Array.of_list body in
@@ -242,3 +242,10 @@ let run (h : Hb.t) ~gen =
       chains;
     !converted
   end
+
+let run ?m h ~gen =
+  let n = convert_chains h ~gen in
+  (match m with
+  | Some m -> Edge_obs.Metrics.incr ~by:n m "pass.sand.chains_converted"
+  | None -> ());
+  n

@@ -21,5 +21,7 @@
     producers must be guarded only by earlier chain predicates (so a true
     prefix guarantees the test eventually fires). *)
 
-val run : Edge_ir.Hblock.t -> gen:Edge_ir.Temp.Gen.t -> int
-(** Returns the number of chains converted. *)
+val run :
+  ?m:Edge_obs.Metrics.t -> Edge_ir.Hblock.t -> gen:Edge_ir.Temp.Gen.t -> int
+(** Returns the number of chains converted; [m] (optional) receives the
+    same count as ["pass.sand.chains_converted"]. *)

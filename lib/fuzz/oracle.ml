@@ -211,6 +211,43 @@ let check_kernel ?cycle (ast : A.kernel) : (unit, string) result =
   | `R (Error f) ->
       Error (Printf.sprintf "%s [%s] %s" f.config (kind_name f.kind) f.message)
 
+(* Trace a kernel's cycle-simulator run under one configuration (by
+   name) and render the deterministic text form. bin/fuzz dumps this
+   next to a minimized reproducer's corpus entry, so a failure's
+   schedule is diagnosable without re-running the fuzzer; the trace is
+   collected even when the run faults (the header records the outcome,
+   the events stop at the fault). *)
+let trace_kernel ?(config = "Both") (ast : A.kernel) : (string, string) result
+    =
+  match List.find_opt (fun (n, _) -> String.equal n config) configs with
+  | None -> Error (Printf.sprintf "unknown config %s" config)
+  | Some (name, cfg) -> (
+      match compile ast cfg with
+      | Error e -> Error e
+      | Ok c ->
+          let obs, events, _ = Edge_obs.Obs.collector () in
+          let regs = prep_regs () in
+          let mem = Gen.default_mem () in
+          let placement n =
+            match List.assoc_opt n c.Dfp.Driver.placements with
+            | Some p -> p
+            | None -> [||]
+          in
+          let outcome =
+            Edge_sim.Cycle_sim.run ~placement ~obs c.Dfp.Driver.program ~regs
+              ~mem
+          in
+          let header =
+            [
+              ("config", name);
+              ( "outcome",
+                match outcome with
+                | Ok s -> "cycles " ^ string_of_int s.Edge_sim.Stats.cycles
+                | Error e -> e );
+            ]
+          in
+          Ok (Edge_obs.Trace.render_text ~header (events ())))
+
 (* Does [ast] still fail under [config] (by name)? The shrinker's keep
    predicate: minimization must preserve the original failure's config
    and kind, not just "some failure". *)

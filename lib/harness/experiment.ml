@@ -11,6 +11,7 @@ type run = {
   static_blocks : int;
   static_fanout_moves : int;
   explicit_predicates : int;
+  pass_counters : (string * int) list;  (* compiler "pass.*" counters *)
   compile_s : float;  (* wall-clock spent compiling (0 on a memo hit) *)
   sim_s : float;  (* wall-clock spent in reference/functional/cycle sims *)
 }
@@ -54,7 +55,7 @@ let setup_run (w : Workload.t) =
   List.iteri (fun i v -> regs.(Conv.param_reg i) <- v) args;
   (regs, mem)
 
-let run_one ?(machine = Edge_sim.Machine.default) (w : Workload.t)
+let run_one ?(machine = Edge_sim.Machine.default) ?obs (w : Workload.t)
     (config_name, config) =
   let t0 = Unix.gettimeofday () in
   let* reference, ref_mem = reference_cached w in
@@ -89,8 +90,8 @@ let run_one ?(machine = Edge_sim.Machine.default) (w : Workload.t)
   in
   let* stats =
     match
-      Edge_sim.Cycle_sim.run ~machine ~placement compiled.Dfp.Driver.program
-        ~regs ~mem
+      Edge_sim.Cycle_sim.run ~machine ~placement ?obs
+        compiled.Dfp.Driver.program ~regs ~mem
     with
     | Ok s -> Ok s
     | Error e -> Error (Printf.sprintf "%s/%s cycle: %s" w.Workload.name config_name e)
@@ -116,6 +117,7 @@ let run_one ?(machine = Edge_sim.Machine.default) (w : Workload.t)
       static_blocks = compiled.Dfp.Driver.static_blocks;
       static_fanout_moves = compiled.Dfp.Driver.static_fanout_moves;
       explicit_predicates = compiled.Dfp.Driver.explicit_predicates;
+      pass_counters = compiled.Dfp.Driver.pass_counters;
       compile_s = t2 -. t1;
       sim_s = (t1 -. t0) +. (t3 -. t2);
     }

@@ -23,6 +23,8 @@ type run = {
   static_blocks : int;
   static_fanout_moves : int;
   explicit_predicates : int;
+  pass_counters : (string * int) list;
+      (** compiler per-pass optimization counters ("pass.*", sorted) *)
   compile_s : float;
       (** wall-clock seconds spent compiling for this run; ~0 when the
           memo already held the artifact *)
@@ -33,9 +35,12 @@ type run = {
 
 val run_one :
   ?machine:Edge_sim.Machine.t ->
+  ?obs:Edge_obs.Obs.t ->
   Edge_workloads.Workload.t ->
   string * Dfp.Config.t ->
   (run, string) result
+(** [obs] (default null) instruments the *timed* cycle-simulator run
+    only; the functional check always runs uninstrumented. *)
 
 val compile :
   Edge_workloads.Workload.t ->

@@ -12,10 +12,12 @@ type result = {
   move_reduction : float;
   instr_reduction : float;
   block_reduction : float;
+  pass_totals : (string * (string * int) list) list;
   errors : (string * string) list;
   jobs : int;
   compile_s : float;
   sim_s : float;
+  traces : ((string * string) * Edge_obs.Event.t list) list;
 }
 
 let geomean = function
@@ -26,7 +28,7 @@ let geomean = function
 let run ?(machine = Edge_sim.Machine.default)
     ?(benches = Edge_workloads.Registry.eembc)
     ?(configs = Dfp.Config.all_paper_configs) ?(progress = fun _ -> ())
-    ?(jobs = 1) () =
+    ?(jobs = 1) ?(trace_blocks = false) () =
   let config_names = List.map fst configs in
   (* fan every (workload x config) experiment across the pool; results
      come back in input order, so rows and errors are deterministic
@@ -40,7 +42,20 @@ let run ?(machine = Edge_sim.Machine.default)
     Edge_parallel.Pool.run ~jobs
       (fun (w, i, name, config) ->
         if i = 0 then progress w.Edge_workloads.Workload.name;
-        (w.Edge_workloads.Workload.name, name, Experiment.run_one ~machine w (name, config)))
+        if trace_blocks then
+          (* block-level events only: the collected list is a couple of
+             events per executed block, cheap enough to ship back across
+             the pool with the run result *)
+          let obs, events, _ =
+            Edge_obs.Obs.collector ~level:Edge_obs.Trace.Blocks ()
+          in
+          let outcome = Experiment.run_one ~machine ~obs w (name, config) in
+          (w.Edge_workloads.Workload.name, name, outcome, events ())
+        else
+          ( w.Edge_workloads.Workload.name,
+            name,
+            Experiment.run_one ~machine w (name, config),
+            [] ))
       experiments
   in
   let errors = ref [] in
@@ -51,19 +66,35 @@ let run ?(machine = Edge_sim.Machine.default)
   let bump tbl key v =
     Hashtbl.replace tbl key (v + Option.value ~default:0 (Hashtbl.find_opt tbl key))
   in
+  (* per-config compiler pass counters, summed across benchmarks *)
+  let pass_tbl : (string, (string, int) Hashtbl.t) Hashtbl.t =
+    Hashtbl.create 8
+  in
+  let bump_passes cname counters =
+    let tbl =
+      match Hashtbl.find_opt pass_tbl cname with
+      | Some t -> t
+      | None ->
+          let t = Hashtbl.create 16 in
+          Hashtbl.replace pass_tbl cname t;
+          t
+    in
+    List.iter (fun (k, v) -> bump tbl k v) counters
+  in
   let rows =
     List.filter_map
       (fun w ->
         let bench = w.Edge_workloads.Workload.name in
         let runs =
           List.filter_map
-            (fun (wname, cname, outcome) ->
+            (fun (wname, cname, outcome, _) ->
               if not (String.equal wname bench) then None
               else
                 match outcome with
                 | Ok r ->
                     compile_s := !compile_s +. r.Experiment.compile_s;
                     sim_s := !sim_s +. r.Experiment.sim_s;
+                    bump_passes cname r.Experiment.pass_counters;
                     Some (cname, r)
                 | Error e ->
                     errors := (bench ^ "/" ^ cname, e) :: !errors;
@@ -105,16 +136,37 @@ let run ?(machine = Edge_sim.Machine.default)
     | Some h, Some i when h > 0 -> float_of_int (h - i) /. float_of_int h
     | _ -> 0.0
   in
+  let pass_totals =
+    List.filter_map
+      (fun name ->
+        match Hashtbl.find_opt pass_tbl name with
+        | None -> None
+        | Some tbl ->
+            let kvs = Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [] in
+            Some
+              (name, List.sort (fun (a, _) (b, _) -> String.compare a b) kvs))
+      config_names
+  in
+  let traces =
+    if not trace_blocks then []
+    else
+      List.filter_map
+        (fun (wname, cname, _, events) ->
+          if events = [] then None else Some ((wname, cname), events))
+        outcomes
+  in
   {
     rows;
     mean_speedups;
     move_reduction = reduction dyn_moves;
     instr_reduction = reduction dyn_instrs;
     block_reduction = reduction dyn_blocks;
+    pass_totals;
     errors = List.rev !errors;
     jobs;
     compile_s = !compile_s;
     sim_s = !sim_s;
+    traces;
   }
 
 let pp ppf r =

@@ -20,10 +20,16 @@ type result = {
   move_reduction : float;  (** Intra vs Hyper, dynamic moves, fraction *)
   instr_reduction : float;  (** Intra vs Hyper, dynamic instructions *)
   block_reduction : float;  (** Intra vs Hyper, dynamic blocks *)
+  pass_totals : (string * (string * int) list) list;
+      (** per config: compiler "pass.*" counters summed over benchmarks,
+          sorted by counter name *)
   errors : (string * string) list;
   jobs : int;  (** parallelism the sweep ran with *)
   compile_s : float;  (** summed wall-clock of the compile phases *)
   sim_s : float;  (** summed wall-clock of the simulation phases *)
+  traces : ((string * string) * Edge_obs.Event.t list) list;
+      (** with [trace_blocks]: per (bench, config), the block-level
+          event stream of the timed cycle-simulator run, in input order *)
 }
 
 val run :
@@ -32,12 +38,16 @@ val run :
   ?configs:(string * Dfp.Config.t) list ->
   ?progress:(string -> unit) ->
   ?jobs:int ->
+  ?trace_blocks:bool ->
   unit ->
   result
 (** [configs] defaults to the five paper configurations and must
     include ["Hyper"], the speedup baseline. [jobs] defaults to 1
     (sequential); pass [Edge_parallel.Pool.default_jobs ()] to use the
-    machine. *)
+    machine. [trace_blocks] (default false) attaches a block-level trace
+    collector to every timed run and returns the event streams in
+    [traces]; the streams ride back through the pool, so they are
+    deterministic for every [jobs] value. *)
 
 val pp : Format.formatter -> result -> unit
 (** Renders the table and an ASCII rendition of the Figure 7 bars. *)

@@ -1,0 +1,100 @@
+(* Typed trace events.
+
+   Every event carries the cycle it happened on plus enough identity to
+   reconstruct the per-frame story: the block name and the dynamic
+   sequence number [seq] of the frame (frames are re-used; [seq] is
+   unique per dispatch). Fields are primitive (strings/ints/bools) so
+   this library depends on nothing — the simulator does the conversion
+   at emission time, behind its tracing guard. *)
+
+type t =
+  | Fetch of { cycle : int; block : string; penalty : int }
+      (** block fetch started; [penalty] is the I-cache miss penalty *)
+  | Dispatch of { cycle : int; block : string; seq : int; fid : int; instrs : int }
+  | Wakeup of { cycle : int; block : string; seq : int; id : int; op : string }
+      (** all operands + predicate available; entered a ready queue *)
+  | Issue of { cycle : int; block : string; seq : int; id : int; op : string; tile : int }
+      (** fired on its tile *)
+  | Token of {
+      cycle : int;
+      block : string;
+      seq : int;
+      dst : string;  (** ["I5.L"], ["I5.R"], ["I5.P"], ["W2"] *)
+      op : string;  (** opcode of the receiving instruction; ["-"] for writes *)
+      null : bool;
+      pred : bool;  (** delivered to a predicate slot *)
+      matched : bool;  (** predicate slot only: polarity matched *)
+    }
+  | Read of { cycle : int; block : string; seq : int; rslot : int; reg : int }
+      (** register read slot resolved (from an older frame or the RF) *)
+  | Branch of {
+      cycle : int;
+      block : string;
+      seq : int;
+      target : string;
+      mispredict : bool;
+    }
+  | Commit of {
+      cycle : int;
+      block : string;
+      seq : int;
+      instrs : int;  (** instructions executed by the frame *)
+      nulls : int;  (** null tokens delivered to the frame *)
+      orphans : int;  (** in-flight work abandoned by early termination *)
+      occupancy : int;  (** cycles from dispatch to commit *)
+    }
+  | Squash of {
+      cycle : int;
+      block : string;
+      seq : int;
+      reason : string;  (** ["mispredict"] or ["violation"] *)
+      orphans : int;
+    }
+  | Cache of { cycle : int; cache : string; write : bool; hit : bool }
+      (** [cache] is ["l1i"], ["l1d"] or ["l2"] *)
+
+let cycle = function
+  | Fetch e -> e.cycle
+  | Dispatch e -> e.cycle
+  | Wakeup e -> e.cycle
+  | Issue e -> e.cycle
+  | Token e -> e.cycle
+  | Read e -> e.cycle
+  | Branch e -> e.cycle
+  | Commit e -> e.cycle
+  | Squash e -> e.cycle
+  | Cache e -> e.cycle
+
+(* One event, one line; fixed field order; no floats — byte-identical
+   across runs and [-j] values, which is what the golden tests lock. *)
+let to_line = function
+  | Fetch { cycle; block; penalty } ->
+      Printf.sprintf "%6d FETCH  %s pen=%d" cycle block penalty
+  | Dispatch { cycle; block; seq; fid; instrs } ->
+      Printf.sprintf "%6d DISP   %s seq=%d fid=%d n=%d" cycle block seq fid
+        instrs
+  | Wakeup { cycle; block; seq; id; op } ->
+      Printf.sprintf "%6d WAKE   %s seq=%d I%d %s" cycle block seq id op
+  | Issue { cycle; block; seq; id; op; tile } ->
+      Printf.sprintf "%6d ISSUE  %s seq=%d I%d %s tile=%d" cycle block seq id
+        op tile
+  | Token { cycle; block; seq; dst; op; null; pred; matched } ->
+      Printf.sprintf "%6d TOK    %s seq=%d %s%s%s%s" cycle block seq dst
+        (if op = "-" then "" else " " ^ op)
+        (if null then " null" else "")
+        (if pred then (if matched then " pred+" else " pred-") else "")
+  | Read { cycle; block; seq; rslot; reg } ->
+      Printf.sprintf "%6d READ   %s seq=%d R%d g%d" cycle block seq rslot reg
+  | Branch { cycle; block; seq; target; mispredict } ->
+      Printf.sprintf "%6d BR     %s seq=%d -> %s%s" cycle block seq target
+        (if mispredict then " MISPREDICT" else "")
+  | Commit { cycle; block; seq; instrs; nulls; orphans; occupancy } ->
+      Printf.sprintf "%6d COMMIT %s seq=%d instrs=%d nulls=%d orphans=%d occ=%d"
+        cycle block seq instrs nulls orphans occupancy
+  | Squash { cycle; block; seq; reason; orphans } ->
+      Printf.sprintf "%6d SQUASH %s seq=%d %s orphans=%d" cycle block seq
+        reason orphans
+  | Cache { cycle; cache; write; hit } ->
+      Printf.sprintf "%6d CACHE  %s %s %s" cycle cache
+        (if write then "wr" else "rd")
+        (if hit then "hit" else "miss")

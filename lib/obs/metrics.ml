@@ -1,0 +1,100 @@
+(* A registry of named counters and integer-valued histograms.
+
+   Counters accumulate totals ("sim.instrs_committed",
+   "opt_merge.instrs_merged"); histograms record one sample per
+   observation ("block.occupancy" gets one sample per committed block).
+   Everything renders deterministically: names sorted, histogram buckets
+   sorted by value. *)
+
+type t = {
+  counters : (string, int ref) Hashtbl.t;
+  hists : (string, (int, int ref) Hashtbl.t) Hashtbl.t;
+}
+
+let create () = { counters = Hashtbl.create 32; hists = Hashtbl.create 16 }
+
+let incr ?(by = 1) t name =
+  match Hashtbl.find_opt t.counters name with
+  | Some r -> r := !r + by
+  | None -> Hashtbl.replace t.counters name (ref by)
+
+let observe t name v =
+  let h =
+    match Hashtbl.find_opt t.hists name with
+    | Some h -> h
+    | None ->
+        let h = Hashtbl.create 16 in
+        Hashtbl.replace t.hists name h;
+        h
+  in
+  match Hashtbl.find_opt h v with
+  | Some r -> Stdlib.incr r
+  | None -> Hashtbl.replace h v (ref 1)
+
+let counter t name =
+  match Hashtbl.find_opt t.counters name with Some r -> !r | None -> 0
+
+let counters t =
+  Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t.counters []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let histogram t name =
+  match Hashtbl.find_opt t.hists name with
+  | None -> []
+  | Some h ->
+      Hashtbl.fold (fun v r acc -> (v, !r) :: acc) h []
+      |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+
+let histograms t =
+  Hashtbl.fold (fun k _ acc -> k :: acc) t.hists []
+  |> List.sort String.compare
+  |> List.map (fun k -> (k, histogram t k))
+
+let hist_total samples = List.fold_left (fun a (_, c) -> a + c) 0 samples
+
+let hist_sum samples = List.fold_left (fun a (v, c) -> a + (v * c)) 0 samples
+
+let merge ~into src =
+  Hashtbl.iter (fun k r -> incr ~by:!r into k) src.counters;
+  Hashtbl.iter
+    (fun name h ->
+      let dst =
+        match Hashtbl.find_opt into.hists name with
+        | Some d -> d
+        | None ->
+            let d = Hashtbl.create 16 in
+            Hashtbl.replace into.hists name d;
+            d
+      in
+      Hashtbl.iter
+        (fun v r ->
+          match Hashtbl.find_opt dst v with
+          | Some dr -> dr := !dr + !r
+          | None -> Hashtbl.replace dst v (ref !r))
+        h)
+    src.hists
+
+let pp_summary ppf t =
+  let open Format in
+  fprintf ppf "@[<v>";
+  (match counters t with
+  | [] -> ()
+  | cs ->
+      fprintf ppf "counters:@,";
+      List.iter (fun (k, v) -> fprintf ppf "  %-36s %10d@," k v) cs);
+  (match histograms t with
+  | [] -> ()
+  | hs ->
+      fprintf ppf "histograms:@,";
+      List.iter
+        (fun (k, samples) ->
+          let n = hist_total samples in
+          let sum = hist_sum samples in
+          let vmin = match samples with (v, _) :: _ -> v | [] -> 0 in
+          let vmax =
+            match List.rev samples with (v, _) :: _ -> v | [] -> 0
+          in
+          fprintf ppf "  %-36s n=%d sum=%d min=%d max=%d@," k n sum vmin vmax;
+          List.iter (fun (v, c) -> fprintf ppf "    %8d x%d@," v c) samples)
+        hs);
+  fprintf ppf "@]"

@@ -1,0 +1,33 @@
+(* The observability bundle threaded through the simulator and compiler:
+   an optional trace sink plus an optional metrics registry.
+
+   [null] is the default everywhere. The simulator guards every emission
+   site on [tracing]/[active], so with [null] the per-cycle cost is a
+   couple of branch-on-immediate tests — the `make check` sweep must stay
+   within noise of an uninstrumented build. *)
+
+type t = {
+  sink : Trace.sink option;
+  full : bool;  (** instruction/token/cache-level events, not just blocks *)
+  metrics : Metrics.t option;
+}
+
+let null = { sink = None; full = false; metrics = None }
+
+let tracing t = t.sink <> None
+
+let active t = t.sink <> None || t.metrics <> None
+
+let emit t e = match t.sink with Some f -> f e | None -> ()
+
+let make ?(level = Trace.Full) ?metrics ?sink () =
+  { sink; full = (level = Trace.Full); metrics }
+
+(* an Obs collecting events in memory; returns the bundle, the event
+   fetcher and the registry *)
+let collector ?(level = Trace.Full) () =
+  let sink, events = Trace.collector () in
+  let metrics = Metrics.create () in
+  ( { sink = Some sink; full = (level = Trace.Full); metrics = Some metrics },
+    events,
+    metrics )

@@ -6,6 +6,9 @@ module Token = Edge_isa.Token
 module Mem = Edge_isa.Mem
 module Grid = Edge_isa.Grid
 module Program = Edge_isa.Program
+module Obs = Edge_obs.Obs
+module Ev = Edge_obs.Event
+module Mx = Edge_obs.Metrics
 
 type placement_fn = string -> int array
 
@@ -22,6 +25,16 @@ type stored = {
 }
 
 type store_res = Unresolved | Stored of stored | Nulled
+
+(* per-frame observability state, allocated only when an [Obs] sink or
+   metrics registry is attached — the null-obs fast path pays one [None]
+   field per frame *)
+type probe = {
+  pred_arrivals : int array;
+      (* predicate tokens delivered per instruction (matched or not):
+         the paper's predicate-OR arrival counts *)
+  mutable null_tokens : int;  (* null tokens delivered to this frame *)
+}
 
 type frame = {
   fid : int;
@@ -51,6 +64,7 @@ type frame = {
   fstats : Stats.t;
   mutable complete : bool;
   dispatched_at : int;
+  probe : probe option;
 }
 
 type fetch_state =
@@ -87,7 +101,36 @@ type sim = {
   mutable ready_count : int;  (* total entries across [ready] queues *)
   mutable halted : bool;
   mutable fault : string option;
+  obs : Obs.t;
+  otrace : bool;  (* a trace sink is attached *)
+  ofull : bool;  (* instruction/token/cache-level events wanted *)
+  oactive : bool;  (* sink or metrics attached: per-frame probes on *)
+  ometrics : Mx.t option;
 }
+
+(* ---------- observability helpers ----------
+
+   Every call site is guarded on [sim.otrace] / [sim.oactive] so the
+   null-obs configuration never constructs an event or a string. *)
+
+let emit sim e = Obs.emit sim.obs e
+
+let mincr ?by sim name =
+  match sim.ometrics with Some m -> Mx.incr ?by m name | None -> ()
+
+let mobserve sim name v =
+  match sim.ometrics with Some m -> Mx.observe m name v | None -> ()
+
+let opname (i : Instr.t) = Opcode.mnemonic i.Instr.opcode
+
+(* in-flight work a frame abandons when squashed or early-terminated:
+   results still on the operand network plus ready-queue entries *)
+let frame_orphans f =
+  let queued = ref 0 in
+  Array.iteri
+    (fun i q -> if q && not f.fired.(i) then incr queued)
+    f.queued;
+  f.pending_events + !queued
 
 let schedule sim dt f =
   Event_queue.add sim.events ~cycle:(sim.cycle + max 1 dt) f
@@ -120,11 +163,21 @@ let oldest_frame sim =
 
 let dcache_latency sim ~addr ~write =
   sim.stats.Stats.dcache_accesses <- sim.stats.Stats.dcache_accesses + 1;
-  if Cache.access sim.l1d ~addr ~write then Cache.hit_latency sim.l1d
+  if sim.oactive then mincr sim "sim.dcache_accesses";
+  if Cache.access sim.l1d ~addr ~write then begin
+    if sim.otrace && sim.ofull then
+      emit sim (Ev.Cache { cycle = sim.cycle; cache = "l1d"; write; hit = true });
+    Cache.hit_latency sim.l1d
+  end
   else begin
     sim.stats.Stats.dcache_misses <- sim.stats.Stats.dcache_misses + 1;
-    if Cache.access sim.l2 ~addr ~write then
-      Cache.hit_latency sim.l1d + sim.machine.Machine.l2_latency
+    if sim.oactive then mincr sim "sim.dcache_misses";
+    if sim.otrace && sim.ofull then
+      emit sim (Ev.Cache { cycle = sim.cycle; cache = "l1d"; write; hit = false });
+    let l2_hit = Cache.access sim.l2 ~addr ~write in
+    if sim.otrace && sim.ofull then
+      emit sim (Ev.Cache { cycle = sim.cycle; cache = "l2"; write; hit = l2_hit });
+    if l2_hit then Cache.hit_latency sim.l1d + sim.machine.Machine.l2_latency
     else
       Cache.hit_latency sim.l1d + sim.machine.Machine.l2_latency
       + sim.machine.Machine.mem_latency
@@ -141,9 +194,15 @@ let icache_penalty sim (b : Block.t) =
   let pen = ref 0 in
   for i = 0 to lines - 1 do
     sim.stats.Stats.icache_accesses <- sim.stats.Stats.icache_accesses + 1;
+    if sim.oactive then mincr sim "sim.icache_accesses";
     let addr = Int64.add base (Int64.of_int (i * sim.machine.Machine.line_bytes)) in
-    if not (Cache.access sim.l1i ~addr ~write:false) then begin
+    let l1i_hit = Cache.access sim.l1i ~addr ~write:false in
+    if sim.otrace && sim.ofull then
+      emit sim
+        (Ev.Cache { cycle = sim.cycle; cache = "l1i"; write = false; hit = l1i_hit });
+    if not l1i_hit then begin
       sim.stats.Stats.icache_misses <- sim.stats.Stats.icache_misses + 1;
+      if sim.oactive then mincr sim "sim.icache_misses";
       pen :=
         !pen
         + (if Cache.access sim.l2 ~addr ~write:false then
@@ -246,11 +305,26 @@ let read_with_forwarding sim ~width ~addr ~seq ~lsid =
 
 let rec deliver sim f (target, tok) =
   if f.gen >= 0 then begin
+    (if sim.oactive && tok.Token.null then
+       match f.probe with Some p -> p.null_tokens <- p.null_tokens + 1 | None -> ());
     match target with
     | Target.To_write w -> (
         match f.writes.(w) with
         | Some _ -> failm "%s: write slot %d received two tokens" f.block.Block.name w
         | None ->
+            if sim.otrace && sim.ofull then
+              emit sim
+                (Ev.Token
+                   {
+                     cycle = sim.cycle;
+                     block = f.block.Block.name;
+                     seq = f.seq;
+                     dst = "W" ^ string_of_int w;
+                     op = "-";
+                     null = tok.Token.null;
+                     pred = false;
+                     matched = false;
+                   });
             f.writes.(w) <- Some tok;
             output_produced sim f;
             (* wake subscribed younger readers *)
@@ -266,7 +340,25 @@ let rec deliver sim f (target, tok) =
         let i = f.block.Block.instrs.(id) in
         match slot with
         | Target.Pred ->
-            if Instr.predicate_matches i.Instr.pred tok then begin
+            let matched = Instr.predicate_matches i.Instr.pred tok in
+            if sim.oactive then (
+              match f.probe with
+              | Some p -> p.pred_arrivals.(id) <- p.pred_arrivals.(id) + 1
+              | None -> ());
+            if sim.otrace && sim.ofull then
+              emit sim
+                (Ev.Token
+                   {
+                     cycle = sim.cycle;
+                     block = f.block.Block.name;
+                     seq = f.seq;
+                     dst = Printf.sprintf "I%d.P" id;
+                     op = opname i;
+                     null = tok.Token.null;
+                     pred = true;
+                     matched;
+                   });
+            if matched then begin
               if f.pred_matched.(id) then
                 failm "%s: I%d two matching predicates" f.block.Block.name id;
               f.pred_matched.(id) <- true;
@@ -274,6 +366,21 @@ let rec deliver sim f (target, tok) =
               wake sim f id
             end
         | Target.Left | Target.Right -> (
+            if sim.otrace && sim.ofull then
+              emit sim
+                (Ev.Token
+                   {
+                     cycle = sim.cycle;
+                     block = f.block.Block.name;
+                     seq = f.seq;
+                     dst =
+                       Printf.sprintf "I%d.%c" id
+                         (match slot with Target.Left -> 'L' | _ -> 'R');
+                     op = opname i;
+                     null = tok.Token.null;
+                     pred = false;
+                     matched = false;
+                   });
             match i.Instr.opcode with
             | Opcode.St _ when tok.Token.null ->
                 if f.fired.(id) then
@@ -314,6 +421,16 @@ and wake sim f id =
     in
     let pred_ok = (not (Instr.is_predicated i)) || f.pred_matched.(id) in
     if data_ok && pred_ok then begin
+      if sim.otrace && sim.ofull then
+        emit sim
+          (Ev.Wakeup
+             {
+               cycle = sim.cycle;
+               block = f.block.Block.name;
+               seq = f.seq;
+               id;
+               op = opname i;
+             });
       f.queued.(id) <- true;
       Queue.add (f.fid, f.gen, id) sim.ready.(f.placement.(id));
       sim.ready_count <- sim.ready_count + 1
@@ -379,7 +496,8 @@ and resolve_store sim f lsid r =
                 Hashtbl.replace sim.dep_pred key entry
               end)
             fv.loads_done;
-          flush_from sim fv.seq ~refetch:(Some fv.block.Block.name)
+          flush_from sim fv.seq ~reason:"violation"
+            ~refetch:(Some fv.block.Block.name)
       | None -> ())
   | Nulled -> ());
   (* deferred loads may now proceed *)
@@ -399,10 +517,32 @@ and retry_deferred sim =
         ls)
     (live_frames sim)
 
-and flush_from sim seq ~refetch =
+and flush_from sim seq ~reason ~refetch =
   List.iter
     (fun f ->
       if f.seq >= seq then begin
+        if sim.oactive then begin
+          let orphans = frame_orphans f in
+          mincr sim "sim.blocks_squashed";
+          mincr sim ~by:f.fstats.Stats.instrs_executed "sim.instrs_squashed";
+          mobserve sim "block.squash_orphans" orphans;
+          (match f.probe with
+          | Some p ->
+              Array.iter
+                (fun n -> if n > 0 then mobserve sim "block.pred_or_arrivals" n)
+                p.pred_arrivals
+          | None -> ());
+          if sim.otrace then
+            emit sim
+              (Ev.Squash
+                 {
+                   cycle = sim.cycle;
+                   block = f.block.Block.name;
+                   seq = f.seq;
+                   reason;
+                   orphans;
+                 })
+        end;
         Stats.add sim.stats f.fstats;
         sim.stats.Stats.blocks_flushed <- sim.stats.Stats.blocks_flushed + 1;
         sim.frames.(f.fid) <- None;
@@ -426,6 +566,8 @@ and start_fetch sim name ~extra =
     | None -> failm "no block %s" name
     | Some b ->
         let pen = icache_penalty sim b in
+        if sim.otrace then
+          emit sim (Ev.Fetch { cycle = sim.cycle; block = name; penalty = pen });
         sim.fetch <-
           Fbusy
             {
@@ -468,6 +610,16 @@ and resolve_read sim f rslot =
 
 and send_read_value sim f rslot tok =
   let r = f.block.Block.reads.(rslot) in
+  if sim.otrace && sim.ofull then
+    emit sim
+      (Ev.Read
+         {
+           cycle = sim.cycle;
+           block = f.block.Block.name;
+           seq = f.seq;
+           rslot;
+           reg = r.Block.reg;
+         });
   List.iter
     (fun tgt ->
       let hops =
@@ -506,6 +658,7 @@ let send_result sim f id tok =
             sim.stats.Stats.operand_hops <- sim.stats.Stats.operand_hops + h;
             h
       in
+      if sim.oactive then mincr sim ~by:hops "sim.operand_hops";
       f.pending_events <- f.pending_events + 1;
       let fid = f.fid and gen = f.gen in
       schedule sim hops (fun () ->
@@ -516,7 +669,20 @@ let send_result sim f id tok =
           | None -> ()))
     i.Instr.targets
 
-let class_stats f (i : Instr.t) =
+(* called at every real firing (not a deferred-load retry), so it also
+   carries the per-issue trace hook *)
+let class_stats sim f id (i : Instr.t) =
+  if sim.otrace && sim.ofull then
+    emit sim
+      (Ev.Issue
+         {
+           cycle = sim.cycle;
+           block = f.block.Block.name;
+           seq = f.seq;
+           id;
+           op = opname i;
+           tile = f.placement.(id);
+         });
   f.fstats.Stats.instrs_executed <- f.fstats.Stats.instrs_executed + 1;
   match i.Instr.opcode with
   | Opcode.Un Opcode.Mov | Opcode.Mov4 ->
@@ -538,6 +704,7 @@ let resolve_branch sim f target exc exit_idx =
      are speculatively updated too *)
   Predictor.update sim.predictor ~block:f.block.Block.name ~exit_idx
     ~target:actual;
+  let mispredicted = ref false in
   if not f.prediction_checked then begin
     f.prediction_checked <- true;
     match f.predicted_next with
@@ -545,9 +712,10 @@ let resolve_branch sim f target exc exit_idx =
         Predictor.record_outcome sim.predictor
           ~correct:(String.equal predicted actual);
         if not (String.equal predicted actual) then begin
+          mispredicted := true;
           sim.stats.Stats.branch_mispredicts <-
             sim.stats.Stats.branch_mispredicts + 1;
-          flush_from sim (f.seq + 1) ~refetch:(Some actual)
+          flush_from sim (f.seq + 1) ~reason:"mispredict" ~refetch:(Some actual)
         end
     | None -> (
         (* fetch was stalled on us (or we are the youngest) *)
@@ -556,6 +724,20 @@ let resolve_branch sim f target exc exit_idx =
             f.predicted_next <- Some actual;
             start_fetch sim actual ~extra:sim.machine.Machine.predict_cycles
         | Fwait _ | Fidle | Fbusy _ -> f.predicted_next <- Some actual)
+  end;
+  if sim.oactive then begin
+    mincr sim "sim.branch_resolutions";
+    if !mispredicted then mincr sim "sim.branch_mispredicts";
+    if sim.otrace then
+      emit sim
+        (Ev.Branch
+           {
+             cycle = sim.cycle;
+             block = f.block.Block.name;
+             seq = f.seq;
+             target = actual;
+             mispredict = !mispredicted;
+           })
   end;
   sim.stats.Stats.branch_predictions <- sim.stats.Stats.branch_predictions + 1
 
@@ -597,7 +779,7 @@ let fire sim f id =
       if must_wait then f.deferred_loads <- id :: f.deferred_loads
       else begin
         f.fired.(id) <- true;
-        class_stats f i;
+        class_stats sim f id i;
         let base = Option.get f.left.(id) in
         let addr = Int64.add base.Token.payload i.Instr.imm in
         let tok =
@@ -624,7 +806,7 @@ let fire sim f id =
       end
   | Opcode.St width ->
       f.fired.(id) <- true;
-      class_stats f i;
+      class_stats sim f id i;
       let base = Option.get f.left.(id) in
       let v = Option.get f.right.(id) in
       let lat =
@@ -652,7 +834,7 @@ let fire sim f id =
           | None -> ())
   | Opcode.Bro ->
       f.fired.(id) <- true;
-      class_stats f i;
+      class_stats sim f id i;
       let tgt = f.block.Block.exits.(i.Instr.exit_idx) in
       let tgt = if String.equal tgt Block.halt_exit then None else Some tgt in
       let exc = f.pred_exc.(id) in
@@ -667,7 +849,7 @@ let fire sim f id =
           | None -> ())
   | Opcode.Halt ->
       f.fired.(id) <- true;
-      class_stats f i;
+      class_stats sim f id i;
       let exc = f.pred_exc.(id) in
       f.pending_events <- f.pending_events + 1;
       let fid = f.fid and gen = f.gen in
@@ -679,7 +861,7 @@ let fire sim f id =
           | None -> ())
   | Opcode.Sand ->
       f.fired.(id) <- true;
-      class_stats f i;
+      class_stats sim f id i;
       let l = Option.get f.left.(id) in
       let tok =
         if not (Token.as_predicate l) then Token.taint l (Token.of_int64 0L)
@@ -700,7 +882,7 @@ let fire sim f id =
           | None -> ())
   | _ ->
       f.fired.(id) <- true;
-      class_stats f i;
+      class_stats sim f id i;
       let tok =
         Alu.exec i.Instr.opcode ~imm:i.Instr.imm ~left:f.left.(id)
           ~right:f.right.(id)
@@ -756,6 +938,10 @@ let dispatch sim name =
       fstats = Stats.create ();
       complete = false;
       dispatched_at = sim.cycle;
+      probe =
+        (if sim.oactive then
+           Some { pred_arrivals = Array.make (max 1 n) 0; null_tokens = 0 }
+         else None);
     }
   in
   sim.next_seq <- sim.next_seq + 1;
@@ -764,6 +950,26 @@ let dispatch sim name =
   invalidate_live sim;
   f.fstats.Stats.blocks_executed <- 1;
   f.fstats.Stats.instrs_fetched <- n;
+  if sim.otrace then
+    emit sim
+      (Ev.Dispatch { cycle = sim.cycle; block = name; seq = f.seq; fid; instrs = n });
+  if sim.oactive then begin
+    mincr sim "sim.blocks_dispatched";
+    (* static predicate fanout: how many consumers each test instruction
+       feeds through predicate slots (paper §3.3, predicate-OR trees) *)
+    Array.iter
+      (fun (i : Instr.t) ->
+        let fanout =
+          List.fold_left
+            (fun acc t ->
+              match t with
+              | Target.To_instr { slot = Target.Pred; _ } -> acc + 1
+              | _ -> acc)
+            0 i.Instr.targets
+        in
+        if fanout > 0 then mobserve sim "block.pred_fanout" fanout)
+      b.Block.instrs
+  end;
   (* seed register reads *)
   Array.iteri (fun rslot _ -> resolve_read sim f rslot) b.Block.reads;
   (* seed 0-operand unpredicated instructions *)
@@ -841,6 +1047,40 @@ let try_commit sim =
         | None -> ());
         f.fstats.Stats.blocks_committed <- 1;
         f.fstats.Stats.instrs_committed <- f.fstats.Stats.instrs_executed;
+        if sim.oactive then begin
+          let orphans = frame_orphans f in
+          let nulls =
+            match f.probe with Some p -> p.null_tokens | None -> 0
+          in
+          let occupancy = sim.cycle - f.dispatched_at in
+          mincr sim "sim.blocks_committed";
+          mincr sim ~by:f.fstats.Stats.instrs_committed "sim.instrs_committed";
+          mobserve sim "block.occupancy" occupancy;
+          mobserve sim "block.null_tokens" nulls;
+          mobserve sim "block.mispredicated"
+            f.fstats.Stats.mispredicated_fetched;
+          (* work left in flight when early termination let the block
+             commit before its dataflow drained (paper §4.3) *)
+          if orphans > 0 then mobserve sim "block.early_orphans" orphans;
+          (match f.probe with
+          | Some p ->
+              Array.iter
+                (fun n -> if n > 0 then mobserve sim "block.pred_or_arrivals" n)
+                p.pred_arrivals
+          | None -> ());
+          if sim.otrace then
+            emit sim
+              (Ev.Commit
+                 {
+                   cycle = sim.cycle;
+                   block = f.block.Block.name;
+                   seq = f.seq;
+                   instrs = f.fstats.Stats.instrs_committed;
+                   nulls;
+                   orphans;
+                   occupancy;
+                 })
+        end;
         Stats.add sim.stats f.fstats;
         sim.frames.(f.fid) <- None;
         invalidate_live sim;
@@ -897,7 +1137,8 @@ let next_interesting_cycle sim =
     if best = max_int then -1 else best
   end
 
-let run ?(machine = Machine.default) ?placement program ~regs ~mem =
+let run ?(machine = Machine.default) ?placement ?(obs = Obs.null) program
+    ~regs ~mem =
   let placement =
     match placement with
     | Some p -> p
@@ -942,6 +1183,11 @@ let run ?(machine = Machine.default) ?placement program ~regs ~mem =
       ready_count = 0;
       halted = false;
       fault = None;
+      obs;
+      otrace = Obs.tracing obs;
+      ofull = obs.Obs.full;
+      oactive = Obs.active obs;
+      ometrics = obs.Obs.metrics;
     }
   in
   List.iteri

@@ -20,6 +20,7 @@ type placement_fn = string -> int array
 val run :
   ?machine:Machine.t ->
   ?placement:placement_fn ->
+  ?obs:Edge_obs.Obs.t ->
   Edge_isa.Program.t ->
   regs:int64 array ->
   mem:Edge_isa.Mem.t ->
@@ -28,4 +29,9 @@ val run :
     exceptions, ["malformed: ..."] for ill-formed blocks or deadlock,
     ["watchdog: ..."] if [max_cycles] is exceeded. On success,
     [regs]/[mem] hold the architectural state and the stats carry the
-    cycle count. *)
+    cycle count.
+
+    [obs] (default {!Edge_obs.Obs.null}) attaches a structured trace
+    sink and/or metrics registry; with the null bundle every
+    instrumentation site reduces to a dead branch, so the uninstrumented
+    fast path is unchanged. *)

@@ -1,0 +1,39 @@
+(* Regenerate the golden trace files (test/golden/*.trace) from the
+   current simulator. Run from the repo root:
+
+     make regen-golden        (or: dune exec test/regen_golden.exe)
+
+   Inspect the diff before committing: a golden change means the
+   simulator's observable schedule changed, and that must be
+   intentional. *)
+
+let () =
+  let dir =
+    if Sys.file_exists "test/golden" then "test/golden"
+    else if Sys.file_exists "test" then begin
+      Unix.mkdir "test/golden" 0o755;
+      "test/golden"
+    end
+    else failwith "run from the repo root"
+  in
+  List.iter
+    (fun (kernel, config_name, config) ->
+      let source = Test_support.Goldens.kernel_source kernel in
+      match
+        Edge_harness.Tracekit.trace_source ~source ~config ()
+      with
+      | Error e -> failwith (Printf.sprintf "%s/%s: %s" kernel config_name e)
+      | Ok t ->
+          let text =
+            Edge_harness.Tracekit.render ~kernel ~config:config_name t
+          in
+          let path =
+            Filename.concat dir
+              (Test_support.Goldens.golden_name kernel config_name)
+          in
+          let oc = open_out_bin path in
+          output_string oc text;
+          close_out oc;
+          Printf.printf "wrote %s (%d lines)\n" path
+            (List.length (String.split_on_char '\n' text)))
+    (Test_support.Goldens.all ())

@@ -1,0 +1,42 @@
+(* The golden-trace set: which kernels x configurations are locked by
+   byte-identical trace files in test/golden/, shared by the regression
+   suite (test_obs), the regenerator (regen_golden) and the smoke check
+   (trace_smoke).
+
+   Runs happen either from the repo root (`dune exec test/...`) or from
+   the test directory inside _build (`dune runtest`), so directory
+   lookup probes both. *)
+
+let kernels =
+  [ "pred_diamond"; "loop_accum"; "null_stores"; "sand_gate"; "break_path" ]
+
+let configs =
+  [ ("Hyper", Dfp.Config.hyper_baseline); ("Both", Dfp.Config.both) ]
+
+let find_dir candidates =
+  match List.find_opt Sys.file_exists candidates with
+  | Some d -> d
+  | None ->
+      failwith
+        (Printf.sprintf "none of [%s] exists; run from the repo root"
+           (String.concat "; " candidates))
+
+let kernel_dir () = find_dir [ "examples/kernels"; "../examples/kernels" ]
+let golden_dir () = find_dir [ "test/golden"; "golden" ]
+
+let read_file path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let kernel_source name =
+  read_file (Filename.concat (kernel_dir ()) (name ^ ".k"))
+
+let golden_name kernel config = kernel ^ "__" ^ config ^ ".trace"
+
+(* every (kernel, config name, config) element of the locked set *)
+let all () =
+  List.concat_map
+    (fun k -> List.map (fun (cn, c) -> (k, cn, c)) configs)
+    kernels

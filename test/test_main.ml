@@ -12,4 +12,5 @@ let () =
       ("parallel", Test_parallel.tests);
       ("diff", Test_diff.tests);
       ("fuzz", Test_fuzz.tests);
+      ("obs", Test_obs.tests);
     ]
