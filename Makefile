@@ -1,4 +1,5 @@
-.PHONY: all build test check smoke fuzz-smoke trace-smoke regen-golden bench clean
+.PHONY: all build test check smoke fuzz-smoke trace-smoke perf-smoke \
+	bench-compare regen-golden bench clean
 
 all: build
 
@@ -12,7 +13,9 @@ test:
 # short parallel fuzz campaign finds nothing, and the observability
 # layer round-trips (valid Chrome JSON, golden trace matches)
 check:
-	dune build @all && dune runtest && $(MAKE) fuzz-smoke && $(MAKE) trace-smoke
+	dune build @all && dune runtest && $(MAKE) fuzz-smoke && $(MAKE) trace-smoke \
+	&& $(MAKE) perf-smoke \
+	&& $(MAKE) bench-compare BASE=BENCH_fig7.json NEW=BENCH_fig7.json
 
 # seconds-long differential-fuzzing sanity run (small programs, every
 # config, both simulators, block validator, parallel path)
@@ -24,6 +27,35 @@ fuzz-smoke: build
 # text trace against its blessed golden
 trace-smoke: build
 	dune exec test/trace_smoke.exe
+
+# diff two BENCH_fig7.json files: fails on any per-benchmark cycle
+# drift, reports the wall-clock delta
+#   make bench-compare BASE=old.json NEW=new.json
+BASE ?= BENCH_fig7.json
+NEW ?= BENCH_fig7.json
+bench-compare: build
+	dune exec bin/bench_compare.exe -- $(BASE) $(NEW)
+
+# run the smoke sweep twice against a fresh temporary cache directory:
+# the warm run must hit the cache for every experiment, report at least
+# a 2x wall-time improvement, and print identical cycle counts
+perf-smoke: build
+	@dir=$$(mktemp -d) && trap 'rm -rf "$$dir"' EXIT && \
+	cold=$$(./_build/default/bench/main.exe smoke --cache-dir "$$dir") && \
+	warm=$$(./_build/default/bench/main.exe smoke --cache-dir "$$dir") && \
+	cc=$$(printf '%s\n' "$$cold" | grep '^cycles ') && \
+	wc=$$(printf '%s\n' "$$warm" | grep '^cycles ') && \
+	if [ "$$cc" != "$$wc" ]; then \
+	  echo "perf-smoke: FAIL: warm-cache cycles differ"; \
+	  printf 'cold:\n%s\nwarm:\n%s\n' "$$cc" "$$wc"; exit 1; fi && \
+	printf '%s\n' "$$warm" | grep -q '^cache: 2 hits, 0 misses' || \
+	  { echo "perf-smoke: FAIL: warm run missed the cache"; \
+	    printf '%s\n' "$$warm" | grep '^cache:'; exit 1; } && \
+	ct=$$(printf '%s\n' "$$cold" | sed -n 's/^smoke: \([0-9.]*\)s wall.*/\1/p') && \
+	wt=$$(printf '%s\n' "$$warm" | sed -n 's/^smoke: \([0-9.]*\)s wall.*/\1/p') && \
+	awk -v c="$$ct" -v w="$$wt" 'BEGIN { exit !(2 * w <= c) }' || \
+	  { echo "perf-smoke: FAIL: warm run not 2x faster ($$ct s -> $$wt s)"; exit 1; } && \
+	echo "perf-smoke: OK (cold $$ct s, warm $$wt s, cycles identical)"
 
 # re-bless the golden trace files after an intentional schedule change;
 # inspect the diff before committing

@@ -20,16 +20,20 @@
      -j N          run experiments across N domains (default: cores - 1)
      --json PATH   where fig7/stats/all write the machine-readable results
                    (default BENCH_fig7.json; "-" disables)
+     --no-cache    bypass the persistent result cache
+     --cache-dir D persistent cache location (default _cache); unchanged
+                   (workload, config) pairs hit the cache across runs and
+                   skip recompilation and re-simulation entirely
 
    The paper-facing numbers are simulated cycle counts, not wall-clock:
    simulated cycles are bit-identical for every -j value.  The Bechamel
    tests exist to track the toolchain's own performance (compile time,
    functional- and cycle-simulation throughput). *)
 
-let fig7 ?(progress = true) ~jobs () =
+let fig7 ?(progress = true) ?cache ~jobs () =
   Edge_harness.Figure7.run
     ~progress:(fun n -> if progress then Printf.eprintf "  %s...\n%!" n)
-    ~jobs ()
+    ~jobs ?cache ()
 
 (* -- machine-readable results ------------------------------------- *)
 
@@ -48,15 +52,21 @@ let json_escape s =
     s;
   Buffer.contents b
 
-let write_json path ~wall_s (r : Edge_harness.Figure7.result) =
+let write_json path ~wall_s ~alloc (r : Edge_harness.Figure7.result) =
   let buf = Buffer.create 4096 in
   let pf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  (* multi-line lists indent one entry per line; short objects stay on
+     one line with inline separators *)
   let sep xs f = List.iteri (fun i x -> if i > 0 then pf ",\n"; f x) xs in
+  let sep_inline xs f = List.iteri (fun i x -> if i > 0 then pf ", "; f x) xs in
   pf "{\n";
   pf "  \"experiment\": \"fig7\",\n";
   pf "  \"jobs\": %d,\n" r.Edge_harness.Figure7.jobs;
   pf "  \"wall_s\": { \"total\": %.3f, \"compile\": %.3f, \"sim\": %.3f },\n"
     wall_s r.Edge_harness.Figure7.compile_s r.Edge_harness.Figure7.sim_s;
+  let minor_words, major_words = alloc in
+  pf "  \"alloc\": { \"minor_words\": %.0f, \"major_words\": %.0f },\n"
+    minor_words major_words;
   pf "  \"geomean_speedups\": {\n";
   sep r.Edge_harness.Figure7.mean_speedups (fun (n, s) ->
       pf "    \"%s\": %.4f" (json_escape n) s);
@@ -66,17 +76,17 @@ let write_json path ~wall_s (r : Edge_harness.Figure7.result) =
       pf "    { \"bench\": \"%s\",\n"
         (json_escape row.Edge_harness.Figure7.bench);
       pf "      \"cycles\": { ";
-      sep row.Edge_harness.Figure7.cycles (fun (n, c) ->
+      sep_inline row.Edge_harness.Figure7.cycles (fun (n, c) ->
           pf "\"%s\": %d" (json_escape n) c);
       pf " },\n      \"speedups\": { ";
-      sep row.Edge_harness.Figure7.speedups (fun (n, s) ->
+      sep_inline row.Edge_harness.Figure7.speedups (fun (n, s) ->
           pf "\"%s\": %.4f" (json_escape n) s);
       pf " } }");
   pf "\n  ],\n";
   pf "  \"pass_counters\": {\n";
   sep r.Edge_harness.Figure7.pass_totals (fun (config, counters) ->
       pf "    \"%s\": { " (json_escape config);
-      sep counters (fun (k, v) -> pf "\"%s\": %d" (json_escape k) v);
+      sep_inline counters (fun (k, v) -> pf "\"%s\": %d" (json_escape k) v);
       pf " }");
   pf "\n  },\n";
   pf "  \"errors\": [\n";
@@ -95,11 +105,17 @@ let write_json path ~wall_s (r : Edge_harness.Figure7.result) =
 
 (* one sweep shared by fig7/stats/all: `stats` used to re-run all 140
    experiments even when fig7 had just produced them *)
-let run_sweep ~jobs ~json () =
+let run_sweep ?cache ~jobs ~json () =
+  let g0 = Gc.quick_stat () in
   let t0 = Unix.gettimeofday () in
-  let r = fig7 ~jobs () in
+  let r = fig7 ?cache ~jobs () in
   let wall_s = Unix.gettimeofday () -. t0 in
-  if json <> "-" then write_json json ~wall_s r;
+  let g1 = Gc.quick_stat () in
+  let alloc =
+    ( g1.Gc.minor_words -. g0.Gc.minor_words,
+      g1.Gc.major_words -. g0.Gc.major_words )
+  in
+  if json <> "-" then write_json json ~wall_s ~alloc r;
   Format.printf "sweep: %.1fs wall (-j %d; compile %.1fs, sim %.1fs of work)@."
     wall_s r.Edge_harness.Figure7.jobs r.Edge_harness.Figure7.compile_s
     r.Edge_harness.Figure7.sim_s;
@@ -124,20 +140,20 @@ let pp_stats ppf (r : Edge_harness.Figure7.result) =
     r.Edge_harness.Figure7.pass_totals;
   Format.fprintf ppf "@]"
 
-let run_genalg ~jobs () =
-  match Edge_harness.Genalg_study.run ~jobs () with
+let run_genalg ?cache ~jobs () =
+  match Edge_harness.Genalg_study.run ~jobs ?cache () with
   | Ok s -> Format.printf "%a@." Edge_harness.Genalg_study.pp s
   | Error e -> Format.printf "genalg: error %s@." e
 
-let run_ablation ~jobs () =
-  let entries, errors = Edge_harness.Ablation.run ~jobs () in
+let run_ablation ?cache ~jobs () =
+  let entries, errors = Edge_harness.Ablation.run ~jobs ?cache () in
   Format.printf "%a@." Edge_harness.Ablation.pp entries;
   List.iter (fun (w, e) -> Format.printf "error %s: %s@." w e) errors
 
 (* a deliberately tiny sweep (1 workload x 2 configs) across 2 domains:
    exercises the pool, the compile memo and the deterministic reassembly
    in a couple of seconds *)
-let run_smoke () =
+let run_smoke ?cache () =
   let w =
     match Edge_workloads.Registry.find "tblook01" with
     | Some w -> w
@@ -149,8 +165,18 @@ let run_smoke () =
       Dfp.Config.all_paper_configs
   in
   let t0 = Unix.gettimeofday () in
-  let r = Edge_harness.Figure7.run ~benches:[ w ] ~configs ~jobs:2 () in
+  let r = Edge_harness.Figure7.run ~benches:[ w ] ~configs ~jobs:2 ?cache () in
   Format.printf "%a@." Edge_harness.Figure7.pp r;
+  (* raw counts, one per line: `make perf-smoke` diffs these between a
+     cold and a warm-cache run *)
+  List.iter
+    (fun row ->
+      List.iter
+        (fun (n, c) ->
+          Format.printf "cycles %s/%s = %d@." row.Edge_harness.Figure7.bench n
+            c)
+        row.Edge_harness.Figure7.cycles)
+    r.Edge_harness.Figure7.rows;
   Format.printf "smoke: %.2fs wall (-j 2)@." (Unix.gettimeofday () -. t0);
   if r.Edge_harness.Figure7.errors <> [] then exit 1
 
@@ -247,13 +273,15 @@ let run_micro () =
 let usage () =
   Printf.eprintf
     "usage: main.exe [fig7|stats|genalg|ablation|smoke|micro|all] [-j N] \
-     [--json PATH]\n";
+     [--json PATH] [--no-cache] [--cache-dir DIR]\n";
   exit 1
 
 let () =
   let mode = ref "all" in
   let jobs = ref (Edge_parallel.Pool.default_jobs ()) in
   let json = ref "BENCH_fig7.json" in
+  let use_cache = ref true in
+  let cache_dir = ref "_cache" in
   let rec parse = function
     | [] -> ()
     | "-j" :: n :: rest -> (
@@ -265,6 +293,12 @@ let () =
     | "--json" :: p :: rest ->
         json := p;
         parse rest
+    | "--no-cache" :: rest ->
+        use_cache := false;
+        parse rest
+    | "--cache-dir" :: d :: rest ->
+        cache_dir := d;
+        parse rest
     | m :: rest when String.length m > 0 && m.[0] <> '-' ->
         mode := m;
         parse rest
@@ -272,27 +306,49 @@ let () =
   in
   parse (List.tl (Array.to_list Sys.argv));
   let jobs = !jobs and json = !json in
+  let cache =
+    if not !use_cache then None
+    else
+      match Edge_parallel.Disk_cache.create ~dir:!cache_dir with
+      | c -> Some c
+      | exception Sys_error e ->
+          Printf.eprintf "warning: cache disabled: %s\n%!" e;
+          None
+  in
+  let report_cache () =
+    match cache with
+    | Some c ->
+        Format.printf "cache: %d hits, %d misses (%s)@."
+          (Edge_parallel.Disk_cache.hits c)
+          (Edge_parallel.Disk_cache.misses c)
+          (Edge_parallel.Disk_cache.dir c)
+    | None -> ()
+  in
   match !mode with
   | "fig7" ->
-      let r = run_sweep ~jobs ~json () in
-      Format.printf "%a@." Edge_harness.Figure7.pp r
+      let r = run_sweep ?cache ~jobs ~json () in
+      Format.printf "%a@." Edge_harness.Figure7.pp r;
+      report_cache ()
   | "stats" ->
-      let r = run_sweep ~jobs ~json () in
+      let r = run_sweep ?cache ~jobs ~json () in
       Format.printf "%a@." pp_stats r
-  | "genalg" -> run_genalg ~jobs ()
-  | "ablation" -> run_ablation ~jobs ()
-  | "smoke" -> run_smoke ()
+  | "genalg" -> run_genalg ?cache ~jobs ()
+  | "ablation" -> run_ablation ?cache ~jobs ()
+  | "smoke" ->
+      run_smoke ?cache ();
+      report_cache ()
   | "micro" -> run_micro ()
   | "all" ->
       Format.printf "== Figure 7 ==@.";
-      let r = run_sweep ~jobs ~json () in
+      let r = run_sweep ?cache ~jobs ~json () in
       Format.printf "%a@." Edge_harness.Figure7.pp r;
       (* the Section 6 numbers come from the same sweep result: no
          second pass over the 140 experiments *)
       Format.printf "@.== Section 6 dynamic statistics ==@.";
       Format.printf "%a@." pp_stats r;
       Format.printf "@.== genalg case study (Section 5.3 / Figure 6) ==@.";
-      run_genalg ~jobs ();
+      run_genalg ?cache ~jobs ();
       Format.printf "@.== ablations ==@.";
-      run_ablation ~jobs ()
+      run_ablation ?cache ~jobs ();
+      report_cache ()
   | _ -> usage ()

@@ -1,0 +1,267 @@
+(* bench_compare: diff two BENCH_fig7.json files.
+
+     bench_compare.exe BASE.json NEW.json
+
+   Exits non-zero if any per-benchmark per-config cycle count differs
+   between the two files (or a benchmark/config present in BASE is
+   missing from NEW) — cycle counts are the deterministic part of a
+   sweep and must not drift silently. Wall-clock and allocation deltas
+   are reported but never fail the comparison: they are host-dependent.
+
+   The parser below is a minimal recursive-descent JSON reader — just
+   enough for the bench writer's output — so the tool needs no JSON
+   dependency. *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+exception Parse_error of string
+
+let parse_json (s : string) : json =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Parse_error (Printf.sprintf "%s at byte %d" msg !pos)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected '%c'" c)
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' -> (
+          advance ();
+          match peek () with
+          | Some 'n' ->
+              Buffer.add_char b '\n';
+              advance ();
+              go ()
+          | Some 't' ->
+              Buffer.add_char b '\t';
+              advance ();
+              go ()
+          | Some 'u' ->
+              (* keep \uXXXX escapes verbatim: names compared here are
+                 plain ASCII, the escape only needs to round-trip *)
+              advance ();
+              Buffer.add_string b "\\u";
+              for _ = 1 to 4 do
+                (match peek () with
+                | Some c ->
+                    Buffer.add_char b c;
+                    advance ()
+                | None -> fail "bad \\u escape")
+              done;
+              go ()
+          | Some c ->
+              Buffer.add_char b c;
+              advance ();
+              go ()
+          | None -> fail "bad escape")
+      | Some c ->
+          Buffer.add_char b c;
+          advance ();
+          go ()
+    in
+    go ();
+    Buffer.contents b
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_num_char = function
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while match peek () with Some c -> is_num_char c | None -> false do
+      advance ()
+    done;
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some f -> Num f
+    | None -> fail "bad number"
+  in
+  let literal word v =
+    let l = String.length word in
+    if !pos + l <= n && String.sub s !pos l = word then begin
+      pos := !pos + l;
+      v
+    end
+    else fail ("expected " ^ word)
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | Some '"' -> Str (parse_string ())
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin
+          advance ();
+          Obj []
+        end
+        else begin
+          let fields = ref [] in
+          let rec members () =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            fields := (k, v) :: !fields;
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                members ()
+            | Some '}' -> advance ()
+            | _ -> fail "expected ',' or '}'"
+          in
+          members ();
+          Obj (List.rev !fields)
+        end
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin
+          advance ();
+          Arr []
+        end
+        else begin
+          let items = ref [] in
+          let rec elements () =
+            let v = parse_value () in
+            items := v :: !items;
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                elements ()
+            | Some ']' -> advance ()
+            | _ -> fail "expected ',' or ']'"
+          in
+          elements ();
+          Arr (List.rev !items)
+        end
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some _ -> parse_number ()
+    | None -> fail "unexpected end of input"
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage";
+  v
+
+(* -- BENCH-file accessors ------------------------------------------ *)
+
+let member k = function
+  | Obj fields -> List.assoc_opt k fields
+  | _ -> None
+
+let to_num = function Some (Num f) -> Some f | _ -> None
+
+let load path =
+  let ic =
+    try open_in_bin path
+    with Sys_error e ->
+      Printf.eprintf "bench_compare: %s\n" e;
+      exit 2
+  in
+  let src = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  match parse_json src with
+  | v -> v
+  | exception Parse_error e ->
+      Printf.eprintf "bench_compare: %s: %s\n" path e;
+      exit 2
+
+(* bench name -> (config -> cycles) *)
+let cycles_of (v : json) : (string * (string * int) list) list =
+  match member "benches" v with
+  | Some (Arr rows) ->
+      List.filter_map
+        (fun row ->
+          match (member "bench" row, member "cycles" row) with
+          | Some (Str name), Some (Obj cs) ->
+              Some
+                ( name,
+                  List.filter_map
+                    (fun (cfg, c) ->
+                      match c with
+                      | Num f -> Some (cfg, int_of_float f)
+                      | _ -> None)
+                    cs )
+          | _ -> None)
+        rows
+  | _ -> []
+
+let wall_of v = to_num (member "total" (Option.value ~default:Null (member "wall_s" v)))
+
+let () =
+  let base_path, new_path =
+    match Sys.argv with
+    | [| _; b; n |] -> (b, n)
+    | _ ->
+        Printf.eprintf "usage: bench_compare.exe BASE.json NEW.json\n";
+        exit 2
+  in
+  let base = load base_path and next = load new_path in
+  let base_cycles = cycles_of base and new_cycles = cycles_of next in
+  if base_cycles = [] then begin
+    Printf.eprintf "bench_compare: %s: no benches\n" base_path;
+    exit 2
+  end;
+  let drifts = ref 0 in
+  let compared = ref 0 in
+  List.iter
+    (fun (bench, configs) ->
+      match List.assoc_opt bench new_cycles with
+      | None ->
+          incr drifts;
+          Printf.printf "DRIFT %-12s missing from %s\n" bench new_path
+      | Some new_configs ->
+          List.iter
+            (fun (cfg, c) ->
+              match List.assoc_opt cfg new_configs with
+              | None ->
+                  incr drifts;
+                  Printf.printf "DRIFT %-12s %-6s missing from %s\n" bench cfg
+                    new_path
+              | Some c' ->
+                  incr compared;
+                  if c <> c' then begin
+                    incr drifts;
+                    Printf.printf "DRIFT %-12s %-6s %d -> %d (%+d)\n" bench cfg
+                      c c' (c' - c)
+                  end)
+            configs)
+    base_cycles;
+  (match (wall_of base, wall_of next) with
+  | Some wb, Some wn ->
+      Printf.printf "wall: %.3fs -> %.3fs (%+.1f%%)\n" wb wn
+        (if wb > 0. then (wn -. wb) /. wb *. 100. else 0.)
+  | _ -> ());
+  if !drifts > 0 then begin
+    Printf.printf "FAIL: %d cycle drift(s) over %d comparisons\n" !drifts
+      !compared;
+    exit 1
+  end
+  else Printf.printf "OK: %d cycle counts identical\n" !compared

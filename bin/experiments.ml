@@ -12,7 +12,9 @@
    (one Perfetto process per workload/config experiment). *)
 
 let usage () =
-  Printf.eprintf "usage: experiments.exe [-j N] [--trace-out PATH]\n";
+  Printf.eprintf
+    "usage: experiments.exe [-j N] [--trace-out PATH] [--no-cache] \
+     [--cache-dir DIR]\n";
   exit 1
 
 let write_combined_trace path (fig7 : Edge_harness.Figure7.result) =
@@ -36,6 +38,8 @@ let write_combined_trace path (fig7 : Edge_harness.Figure7.result) =
 let () =
   let jobs = ref (Edge_parallel.Pool.default_jobs ()) in
   let trace_out = ref None in
+  let use_cache = ref true in
+  let cache_dir = ref "_cache" in
   let rec parse = function
     | [] -> ()
     | "-j" :: n :: rest -> (
@@ -47,10 +51,25 @@ let () =
     | "--trace-out" :: p :: rest ->
         trace_out := Some p;
         parse rest
+    | "--no-cache" :: rest ->
+        use_cache := false;
+        parse rest
+    | "--cache-dir" :: d :: rest ->
+        cache_dir := d;
+        parse rest
     | _ -> usage ()
   in
   parse (List.tl (Array.to_list Sys.argv));
   let jobs = !jobs in
+  let cache =
+    if not !use_cache then None
+    else
+      match Edge_parallel.Disk_cache.create ~dir:!cache_dir with
+      | c -> Some c
+      | exception Sys_error e ->
+          Printf.eprintf "warning: cache disabled: %s\n%!" e;
+          None
+  in
   let t0 = Unix.gettimeofday () in
   Format.printf "== Figure 7 (28 EEMBC-style benchmarks x 5 configurations) ==@.";
   let fig7 =
@@ -58,18 +77,18 @@ let () =
       ~progress:(fun n -> Printf.eprintf "  %s...\n%!" n)
       ~jobs
       ~trace_blocks:(!trace_out <> None)
-      ()
+      ?cache ()
   in
   Format.printf "%a@.@." Edge_harness.Figure7.pp fig7;
   (match !trace_out with
   | Some path -> write_combined_trace path fig7
   | None -> ());
   Format.printf "== genalg case study (Section 5.3) ==@.";
-  (match Edge_harness.Genalg_study.run ~jobs () with
+  (match Edge_harness.Genalg_study.run ~jobs ?cache () with
   | Ok s -> Format.printf "%a@.@." Edge_harness.Genalg_study.pp s
   | Error e -> Format.printf "error: %s@.@." e);
   Format.printf "== ablations ==@.";
-  let entries, errors = Edge_harness.Ablation.run ~jobs () in
+  let entries, errors = Edge_harness.Ablation.run ~jobs ?cache () in
   Format.printf "%a@." Edge_harness.Ablation.pp entries;
   List.iter (fun (w, e) -> Format.printf "error %s: %s@." w e) errors;
   Format.printf "@.total time: %.1fs (-j %d)@."

@@ -20,7 +20,7 @@
 let usage =
   "usage: fuzz.exe [--seed S] [-n N] [-j J] [--min-size A] [--max-size B]\n\
   \                [--no-cycle] [--no-validate] [--no-minimize]\n\
-  \                [--corpus DIR] [--workloads] [--replay DIR]"
+  \                [--corpus DIR] [--cache-dir DIR] [--workloads] [--replay DIR]"
 
 let () =
   let seed = ref 0 in
@@ -32,6 +32,7 @@ let () =
   let validate = ref true in
   let minimize = ref true in
   let corpus = ref None in
+  let cache_dir = ref None in
   let mode = ref `Fuzz in
   let int_arg name v rest k =
     match int_of_string_opt v with
@@ -53,6 +54,7 @@ let () =
     | "--no-validate" :: rest -> validate := false; parse rest
     | "--no-minimize" :: rest -> minimize := false; parse rest
     | "--corpus" :: dir :: rest -> corpus := Some dir; parse rest
+    | "--cache-dir" :: dir :: rest -> cache_dir := Some dir; parse rest
     | "--workloads" :: rest -> mode := `Workloads; parse rest
     | "--replay" :: dir :: rest -> mode := `Replay dir; parse rest
     | a :: _ ->
@@ -60,6 +62,11 @@ let () =
         exit 1
   in
   parse (List.tl (Array.to_list Sys.argv));
+  (* opt-in for fuzzing: campaigns that re-test identical kernels across
+     runs (fixed seeds in CI) skip every previously-clean verdict *)
+  let cache =
+    Option.map (fun dir -> Edge_parallel.Disk_cache.create ~dir) !cache_dir
+  in
   match !mode with
   | `Workloads -> (
       Format.printf "validating compiled artifacts: %d workloads x %d configs@."
@@ -95,7 +102,7 @@ let () =
   | `Fuzz ->
       let report =
         Edge_fuzz.Fuzz.run ~jobs:!jobs ~cycle:!cycle ~validate:!validate
-          ~min_size:!min_size ~max_size:!max_size ~seed:!seed ~n:!n ()
+          ?cache ~min_size:!min_size ~max_size:!max_size ~seed:!seed ~n:!n ()
       in
       Format.printf "%a" Edge_fuzz.Fuzz.pp_report report;
       (match (report.Edge_fuzz.Fuzz.failures, !corpus) with

@@ -71,7 +71,7 @@ let make_obs o ~name =
 
 (* run a hand-written assembly program: arguments land in the parameter
    registers, g1 is printed on halt *)
-let run_asm path args oopts =
+let run_asm path args ~arena oopts =
   let parsed =
     if Filename.check_suffix path ".img" then Edge_isa.Image.read_file path
     else begin
@@ -93,7 +93,7 @@ let run_asm path args oopts =
             args;
           let mem = Edge_isa.Mem.create ~size:(1 lsl 20) in
           let obs, finish = make_obs oopts ~name:(Filename.basename path) in
-          match Edge_sim.Cycle_sim.run ?obs program ~regs ~mem with
+          match Edge_sim.Cycle_sim.run ?obs ~arena program ~regs ~mem with
           | Error e -> Error e
           | Ok stats ->
               Format.printf "g1 = %Ld@.%a@."
@@ -102,7 +102,7 @@ let run_asm path args oopts =
               finish ()))
 
 (* run a `.k` kernel source file under the fuzz-corpus conventions *)
-let run_kernel path (config_name, config) machine oopts =
+let run_kernel path (config_name, config) machine ~arena oopts =
   let ic = open_in_bin path in
   let source = really_input_string ic (in_channel_length ic) in
   close_in ic;
@@ -110,7 +110,7 @@ let run_kernel path (config_name, config) machine oopts =
   match Edge_harness.Tracekit.compile_source source config with
   | Error e -> Error e
   | Ok compiled -> (
-      match Edge_harness.Tracekit.run_traced ~machine compiled with
+      match Edge_harness.Tracekit.run_traced ~machine ~arena compiled with
       | Error e -> Error e
       | Ok t ->
           let ( let* ) = Result.bind in
@@ -146,9 +146,10 @@ let run_kernel path (config_name, config) machine oopts =
               t.Edge_harness.Tracekit.metrics;
           Ok ())
 
-let run workload config_name functional_only no_early in_order asm_args
-    trace_out trace_text metrics =
+let run workload config_name functional_only no_early in_order no_arena
+    asm_args trace_out trace_text metrics =
   let ( let* ) = Result.bind in
+  let arena = not no_arena in
   let oopts = { trace_out; trace_text; metrics } in
   let machine =
     {
@@ -163,10 +164,10 @@ let run workload config_name functional_only no_early in_order asm_args
       run_asm workload
         (List.filter_map Int64.of_string_opt
            (String.split_on_char ',' asm_args))
-        oopts
+        ~arena oopts
     else if Filename.check_suffix workload ".k" then
       let* name_config = config_of_name config_name in
-      run_kernel workload name_config machine oopts
+      run_kernel workload name_config machine ~arena oopts
     else
     let* w =
       match Edge_workloads.Registry.find workload with
@@ -197,7 +198,9 @@ let run workload config_name functional_only no_early in_order asm_args
       let obs, finish =
         make_obs oopts ~name:(workload ^ "/" ^ fst name_config)
       in
-      let* r = Edge_harness.Experiment.run_one ~machine ?obs w name_config in
+      let* r =
+        Edge_harness.Experiment.run_one ~machine ?obs ~arena w name_config
+      in
       Format.printf "%s/%s: verified against the reference interpreter@."
         r.Edge_harness.Experiment.workload r.Edge_harness.Experiment.config;
       Format.printf "%a@." Edge_sim.Stats.pp r.Edge_harness.Experiment.stats;
@@ -243,6 +246,14 @@ let in_order_arg =
   let doc = "In-order memory: loads wait for all older stores." in
   Arg.(value & flag & info [ "in-order-memory" ] ~doc)
 
+let no_arena_arg =
+  let doc =
+    "Disable the cycle simulator's frame arena: allocate fresh per-block \
+     operand/state arrays instead of recycling pooled ones. Results are \
+     identical either way; use for differential testing of the arena."
+  in
+  Arg.(value & flag & info [ "no-arena" ] ~doc)
+
 let trace_out_arg =
   let doc =
     "Write a Chrome trace-event JSON of the cycle-simulator run to \
@@ -267,7 +278,7 @@ let cmd =
     (Cmd.info "tsim" ~doc)
     Term.(
       const run $ workload_arg $ config_arg $ functional_arg $ no_early_arg
-      $ in_order_arg $ asm_args_arg $ trace_out_arg $ trace_text_arg
-      $ metrics_arg)
+      $ in_order_arg $ no_arena_arg $ asm_args_arg $ trace_out_arg
+      $ trace_text_arg $ metrics_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -27,10 +27,10 @@ type report = {
 let default_min_size = 6
 let default_max_size = 45
 
-let check_one ?cycle ?validate ?max_vars ~seed ~size () : failure option option
-    =
+let check_one ?cycle ?validate ?max_vars ?cache ~seed ~size () :
+    failure option option =
   let ast = Gen.generate ~seed ~size in
-  match Oracle.check ?cycle ?validate ?max_vars ast with
+  match Oracle.check ?cycle ?validate ?max_vars ?cache ast with
   | exception Oracle.Skip -> None
   | Ok () -> Some None
   | Error f ->
@@ -45,14 +45,15 @@ let check_one ?cycle ?validate ?max_vars ~seed ~size () : failure option option
              source = Pretty.kernel_to_string ast;
            })
 
-let run ?jobs ?cycle ?validate ?max_vars ?(min_size = default_min_size)
-    ?(max_size = default_max_size) ~seed ~n () : report =
+let run ?jobs ?cycle ?validate ?max_vars ?cache
+    ?(min_size = default_min_size) ?(max_size = default_max_size) ~seed ~n ()
+    : report =
   let tasks = List.init n (fun i -> i) in
   let results =
     Edge_parallel.Pool.run ?jobs
       (fun i ->
         let size = Gen.size_for ~min_size ~max_size i in
-        check_one ?cycle ?validate ?max_vars ~seed:(seed + i) ~size ())
+        check_one ?cycle ?validate ?max_vars ?cache ~seed:(seed + i) ~size ())
       tasks
   in
   List.fold_left

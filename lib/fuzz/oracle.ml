@@ -190,7 +190,8 @@ let check_config ?(cycle = true) ?(validate = true) ?max_vars ~reference ast
                       }
                 | Ok _ -> Ok ())))
 
-let check ?cycle ?validate ?max_vars (ast : A.kernel) : (unit, fail) result =
+let check_uncached ?cycle ?validate ?max_vars (ast : A.kernel) :
+    (unit, fail) result =
   match run_reference ast with
   | Error _ as e -> e
   | Ok reference ->
@@ -202,6 +203,38 @@ let check ?cycle ?validate ?max_vars (ast : A.kernel) : (unit, fail) result =
             | Ok () -> go rest)
       in
       go configs
+
+(* persistent-cache key: the kernel's content plus everything that can
+   change a verdict — oracle switches, the config list, and the
+   simulator revision *)
+let check_cache_key ?cycle ?validate ?max_vars ast =
+  String.concat "|"
+    [
+      "fuzz-oracle-v1";
+      Edge_sim.Cycle_sim.revision;
+      Digest.to_hex (Digest.string (Marshal.to_string (ast : A.kernel) []));
+      string_of_bool (Option.value cycle ~default:true);
+      string_of_bool (Option.value validate ~default:true);
+      (match max_vars with None -> "-" | Some v -> string_of_int v);
+      String.concat "," config_names;
+    ]
+
+let check ?cycle ?validate ?max_vars ?cache (ast : A.kernel) :
+    (unit, fail) result =
+  match cache with
+  | None -> check_uncached ?cycle ?validate ?max_vars ast
+  | Some c -> (
+      let key = check_cache_key ?cycle ?validate ?max_vars ast in
+      match Edge_parallel.Disk_cache.find c ~key with
+      | Some () -> Ok ()
+      | None -> (
+          match check_uncached ?cycle ?validate ?max_vars ast with
+          | Ok () ->
+              (* only clean verdicts are cached: a failure must re-run
+                 so diagnosis always sees a fresh, complete reproduction *)
+              Edge_parallel.Disk_cache.store c ~key ();
+              Ok ()
+          | Error _ as e -> e))
 
 (* String-error wrapper matching the historical Diff_check interface. *)
 let check_kernel ?cycle (ast : A.kernel) : (unit, string) result =

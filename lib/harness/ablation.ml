@@ -27,7 +27,7 @@ let variants =
     ("sand", (Edge_sim.Machine.default, Dfp.Config.sand));
   ]
 
-let run ?(benches = default_benches) ?(jobs = 1) () =
+let run ?(benches = default_benches) ?(jobs = 1) ?cache () =
   (* the baseline and every variant of every bench are independent
      experiments: fan all of them across the pool at once, then stitch
      the (variant, baseline) pairs back together in input order *)
@@ -49,7 +49,7 @@ let run ?(benches = default_benches) ?(jobs = 1) () =
   let outcomes =
     Edge_parallel.Pool.run ~jobs
       (fun (name, w, label, machine, config) ->
-        ((name, label), Experiment.run_one ~machine w (label, config)))
+        ((name, label), Experiment.run_one ~machine ?cache w (label, config)))
       experiments
   in
   let result_of name label = List.assoc (name, label) outcomes in

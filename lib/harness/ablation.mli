@@ -17,7 +17,11 @@ type entry = {
 }
 
 val run :
-  ?benches:string list -> ?jobs:int -> unit -> entry list * (string * string) list
+  ?benches:string list ->
+  ?jobs:int ->
+  ?cache:Edge_parallel.Disk_cache.t ->
+  unit ->
+  entry list * (string * string) list
 (** Returns entries plus errors, in input order for any [jobs]. *)
 
 val pp : Format.formatter -> entry list -> unit

@@ -36,11 +36,24 @@ type run = {
 val run_one :
   ?machine:Edge_sim.Machine.t ->
   ?obs:Edge_obs.Obs.t ->
+  ?arena:bool ->
+  ?cache:Edge_parallel.Disk_cache.t ->
   Edge_workloads.Workload.t ->
   string * Dfp.Config.t ->
   (run, string) result
 (** [obs] (default null) instruments the *timed* cycle-simulator run
-    only; the functional check always runs uninstrumented. *)
+    only; the functional check always runs uninstrumented.
+
+    [arena] (default [true]) is forwarded to the cycle simulator's
+    frame-arena switch; pass [false] to force fresh per-block
+    allocation for differential testing (see {!Edge_sim.Cycle_sim.run}).
+
+    [cache] consults/populates a persistent result cache keyed by
+    kernel source digest, config, machine and simulator revision, so
+    an unchanged (workload, config) pair costs one file read across
+    processes. Cache hits report [compile_s]/[sim_s] as [0.]. Runs
+    with an [obs] attached, or with [~arena:false], bypass the cache
+    (the caller wants a real run); errors are never cached. *)
 
 val compile :
   Edge_workloads.Workload.t ->

@@ -28,7 +28,7 @@ let geomean = function
 let run ?(machine = Edge_sim.Machine.default)
     ?(benches = Edge_workloads.Registry.eembc)
     ?(configs = Dfp.Config.all_paper_configs) ?(progress = fun _ -> ())
-    ?(jobs = 1) ?(trace_blocks = false) () =
+    ?(jobs = 1) ?(trace_blocks = false) ?cache () =
   let config_names = List.map fst configs in
   (* fan every (workload x config) experiment across the pool; results
      come back in input order, so rows and errors are deterministic
@@ -54,7 +54,7 @@ let run ?(machine = Edge_sim.Machine.default)
         else
           ( w.Edge_workloads.Workload.name,
             name,
-            Experiment.run_one ~machine w (name, config),
+            Experiment.run_one ~machine ?cache w (name, config),
             [] ))
       experiments
   in

@@ -39,6 +39,7 @@ val run :
   ?progress:(string -> unit) ->
   ?jobs:int ->
   ?trace_blocks:bool ->
+  ?cache:Edge_parallel.Disk_cache.t ->
   unit ->
   result
 (** [configs] defaults to the five paper configurations and must
@@ -47,7 +48,10 @@ val run :
     machine. [trace_blocks] (default false) attaches a block-level trace
     collector to every timed run and returns the event streams in
     [traces]; the streams ride back through the pool, so they are
-    deterministic for every [jobs] value. *)
+    deterministic for every [jobs] value. [cache] makes every
+    non-traced run consult/populate the persistent result cache (see
+    {!Experiment.run_one}); cycles and rows are identical either way,
+    only [compile_s]/[sim_s] collapse on warm entries. *)
 
 val pp : Format.formatter -> result -> unit
 (** Renders the table and an ASCII rendition of the Figure 7 bars. *)

@@ -14,7 +14,7 @@ type study = {
 
 let ( let* ) = Result.bind
 
-let run ?(machine = Edge_sim.Machine.default) ?(jobs = 1) () =
+let run ?(machine = Edge_sim.Machine.default) ?(jobs = 1) ?cache () =
   let w = Edge_workloads.Registry.genalg in
   let specs =
     [
@@ -28,7 +28,7 @@ let run ?(machine = Edge_sim.Machine.default) ?(jobs = 1) () =
   let* bb, hyper, both, both_u1, hand =
     match
       Edge_parallel.Pool.run ~jobs
-        (fun (name, config) -> Experiment.run_one ~machine w (name, config))
+        (fun (name, config) -> Experiment.run_one ~machine ?cache w (name, config))
         specs
     with
     | [ bb; hyper; both; both_u1; hand ] ->

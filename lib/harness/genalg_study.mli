@@ -19,7 +19,11 @@ type study = {
 }
 
 val run :
-  ?machine:Edge_sim.Machine.t -> ?jobs:int -> unit -> (study, string) result
+  ?machine:Edge_sim.Machine.t ->
+  ?jobs:int ->
+  ?cache:Edge_parallel.Disk_cache.t ->
+  unit ->
+  (study, string) result
 (** The five configuration points are independent and run across a
     domain pool ([jobs], default 1); results are deterministic for any
     [jobs]. *)

@@ -8,9 +8,14 @@ let store_count t = t.stores
 let width_bytes = function Opcode.W1 -> 1 | Opcode.W4 -> 4 | Opcode.W8 -> 8
 
 let in_range t ~addr ~bytes =
-  addr >= 0L
-  && Int64.rem addr (Int64.of_int bytes) = 0L
-  && Int64.add addr (Int64.of_int bytes) <= Int64.of_int (Bytes.length t.data)
+  (* all-int arithmetic: no boxed intermediates, no generic compares.
+     [bytes] is a power of two, so the alignment test is a mask; the
+     round-trip equality rejects addresses beyond native-int range *)
+  let a = Int64.to_int addr in
+  Int64.equal (Int64.of_int a) addr
+  && a >= 0
+  && a land (bytes - 1) = 0
+  && a + bytes <= Bytes.length t.data
 
 let load t ~width ~addr =
   let bytes = width_bytes width in

@@ -1,0 +1,97 @@
+(* Crash-safe persistent key/value store: Marshal payloads behind a
+   digest, written via temp-file + rename. See the .mli for the
+   contract. *)
+
+type t = {
+  dir : string;
+  hits : int Atomic.t;
+  misses : int Atomic.t;
+  errors : int Atomic.t;
+}
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Sys.mkdir dir 0o755
+    with Sys_error _ when Sys.is_directory dir -> ()
+    (* lost a creation race: fine *)
+  end
+
+let create ~dir =
+  mkdir_p dir;
+  if not (Sys.is_directory dir) then
+    raise (Sys_error (dir ^ ": not a directory"));
+  { dir; hits = Atomic.make 0; misses = Atomic.make 0; errors = Atomic.make 0 }
+
+let dir t = t.dir
+
+let path_of_key t ~key =
+  Filename.concat t.dir (Digest.to_hex (Digest.string key) ^ ".bin")
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* entry layout: 16 raw digest bytes over the marshalled payload,
+   then the payload itself *)
+
+let find t ~key =
+  let path = path_of_key t ~key in
+  match read_file path with
+  | exception Sys_error _ ->
+      Atomic.incr t.misses;
+      None
+  | raw -> (
+      let ok =
+        String.length raw >= 16
+        &&
+        let payload = String.sub raw 16 (String.length raw - 16) in
+        String.equal (String.sub raw 0 16) (Digest.string payload)
+      in
+      if not ok then begin
+        Atomic.incr t.errors;
+        Atomic.incr t.misses;
+        None
+      end
+      else
+        match Marshal.from_string raw 16 with
+        | v ->
+            Atomic.incr t.hits;
+            Some v
+        | exception _ ->
+            Atomic.incr t.errors;
+            Atomic.incr t.misses;
+            None)
+
+let tmp_counter = Atomic.make 0
+
+let store t ~key v =
+  let payload = Marshal.to_string v [] in
+  let path = path_of_key t ~key in
+  let tmp =
+    Printf.sprintf "%s.tmp.%d.%d" path (Unix.getpid ())
+      (Atomic.fetch_and_add tmp_counter 1)
+  in
+  match
+    let oc = open_out_bin tmp in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () ->
+        output_string oc (Digest.string payload);
+        output_string oc payload);
+    Sys.rename tmp path
+  with
+  | () -> ()
+  | exception Sys_error _ ->
+      (if Sys.file_exists tmp then try Sys.remove tmp with Sys_error _ -> ());
+      Atomic.incr t.errors
+
+let remove t ~key =
+  let path = path_of_key t ~key in
+  try Sys.remove path with Sys_error _ -> ()
+
+let hits t = Atomic.get t.hits
+let misses t = Atomic.get t.misses
+let errors t = Atomic.get t.errors

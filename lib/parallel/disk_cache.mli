@@ -1,0 +1,47 @@
+(** Persistent on-disk result cache.
+
+    Complements {!Memo} (which dies with the process): entries survive
+    across runs, so repeated sweeps skip recompilation and
+    re-simulation of unchanged (workload, config) pairs. Callers build
+    keys from content digests (kernel source, config, simulator
+    revision); the cache itself is a dumb, crash-safe key/value store.
+
+    Entries are [Marshal]ed payloads prefixed with their digest; a
+    truncated or corrupted file fails the digest check and reads as a
+    miss (counted in [errors]), so a damaged cache degrades to
+    recomputation, never a crash. Writes go through a unique temp file
+    plus [Sys.rename], making concurrent writers (parallel sweep
+    domains, or two processes sharing a cache dir) last-writer-wins
+    safe. *)
+
+type t
+
+val create : dir:string -> t
+(** Opens (creating if needed, like [mkdir -p]) a cache rooted at
+    [dir]. Raises [Sys_error] only if the directory cannot be
+    created at all. *)
+
+val dir : t -> string
+
+val find : t -> key:string -> 'a option
+(** Look up [key]; [None] on miss or on a corrupted entry. The result
+    type must match what was stored — keys must therefore encode the
+    payload's type/version (the caller-side digest convention). *)
+
+val store : t -> key:string -> 'a -> unit
+(** Atomically persist a value for [key], replacing any previous
+    entry. I/O errors are swallowed (counted in [errors]): a read-only
+    cache dir degrades to a no-op cache. *)
+
+val remove : t -> key:string -> unit
+
+val path_of_key : t -> key:string -> string
+(** Where [key]'s entry lives on disk (exposed for tests that corrupt
+    an entry deliberately). *)
+
+val hits : t -> int
+
+val misses : t -> int
+
+val errors : t -> int
+(** Corrupted entries encountered and store/read failures survived. *)

@@ -3,7 +3,10 @@ type t = {
   ways : int;
   line_bits : int;
   hit_latency : int;
-  tags : int64 array array;  (* tags.(set).(way); -1 = invalid *)
+  tags : int array array;  (* tags.(set).(way); -1 = invalid.  Line
+                              numbers fit a native int (addresses are
+                              well under 2^62), so tag compares are
+                              unboxed *)
   lru : int array array;  (* larger = more recently used *)
   mutable clock : int;
 }
@@ -20,7 +23,7 @@ let create ~size_bytes ~ways ~line_bytes ~hit_latency =
     ways;
     line_bits;
     hit_latency;
-    tags = Array.init sets (fun _ -> Array.make ways (-1L));
+    tags = Array.init sets (fun _ -> Array.make ways (-1));
     lru = Array.init sets (fun _ -> Array.make ways 0);
     clock = 0;
   }
@@ -30,8 +33,10 @@ let hit_latency t = t.hit_latency
 let access t ~addr ~write =
   ignore write;
   t.clock <- t.clock + 1;
-  let line = Int64.shift_right_logical addr t.line_bits in
-  let set = Int64.to_int (Int64.rem line (Int64.of_int t.sets)) in
+  (* identical line numbering to the int64 formulation: a logical
+     64-bit shift by line_bits >= 6 always fits a native int *)
+  let line = Int64.to_int (Int64.shift_right_logical addr t.line_bits) in
+  let set = line mod t.sets in
   let tags = t.tags.(set) and lru = t.lru.(set) in
   let hit = ref false in
   for w = 0 to t.ways - 1 do
@@ -52,4 +57,4 @@ let access t ~addr ~write =
   !hit
 
 let flush t =
-  Array.iter (fun ways -> Array.fill ways 0 (Array.length ways) (-1L)) t.tags
+  Array.iter (fun ways -> Array.fill ways 0 (Array.length ways) (-1)) t.tags

@@ -6,11 +6,16 @@ module Token = Edge_isa.Token
 module Mem = Edge_isa.Mem
 module Grid = Edge_isa.Grid
 module Program = Edge_isa.Program
+module Bi = Block_image
 module Obs = Edge_obs.Obs
 module Ev = Edge_obs.Event
 module Mx = Edge_obs.Metrics
 
 type placement_fn = string -> int array
+
+(* bump when simulated semantics or [Stats] accounting change: the
+   persistent result cache keys on it *)
+let revision = "cycle-sim-4"
 
 exception Malformed of string
 exception Fault of string
@@ -26,29 +31,48 @@ type stored = {
 
 type store_res = Unresolved | Stored of stored | Nulled
 
+let is_unresolved = function Unresolved -> true | Stored _ | Nulled -> false
+
 (* per-frame observability state, allocated only when an [Obs] sink or
    metrics registry is attached — the null-obs fast path pays one [None]
    field per frame *)
 type probe = {
   pred_arrivals : int array;
       (* predicate tokens delivered per instruction (matched or not):
-         the paper's predicate-OR arrival counts *)
+         the paper's predicate-OR arrival counts; capacity array, live
+         prefix is the block's instruction count *)
   mutable null_tokens : int;  (* null tokens delivered to this frame *)
 }
 
+(* per-block, per-run tables the dispatch/issue path would otherwise
+   recompute on every fetch: the placement resolved once, operand
+   network hop counts per target, and the I-cache footprint *)
+type binfo = {
+  img : Bi.t;
+  placement : int array;
+  res_hops : int array array;  (* per instr, per result target *)
+  rd_hops : int array array;  (* per read slot, per read target *)
+  mem_hops : int array;  (* per instr: hops to the memory interface *)
+  base_addr : int64;  (* code address of the block *)
+  n_lines : int;  (* I-cache lines fetched per dispatch *)
+}
+
+(* All frame arrays are capacity arrays when the arena is on: sized for
+   the largest block in the program and recycled across block
+   instances, with only the prefix covering the current block live.
+   Every iteration over them is bounded by the image's counts. *)
 type frame = {
   fid : int;
   gen : int;
   seq : int;
-  block : Block.t;
-  placement : int array;
+  bi : binfo;
   left : Token.t option array;
   right : Token.t option array;
   pred_matched : bool array;
   pred_exc : bool array;
   fired : bool array;
   queued : bool array;  (* sitting in a ready queue *)
-  mutable stores : (int * store_res) array;  (* per declared lsid *)
+  stores : store_res array;  (* per declared store slot *)
   writes : Token.t option array;
   write_subs : (int * int * int) list array;
       (* per write slot: (fid, gen, read-slot-resume-key) of younger
@@ -67,13 +91,58 @@ type frame = {
   probe : probe option;
 }
 
+(* the recyclable arrays of one frame slot *)
+type bufs = {
+  b_left : Token.t option array;
+  b_right : Token.t option array;
+  b_pred_matched : bool array;
+  b_pred_exc : bool array;
+  b_fired : bool array;
+  b_queued : bool array;
+  b_stores : store_res array;
+  b_writes : Token.t option array;
+  b_write_subs : (int * int * int) list array;
+  b_probe : int array;
+}
+
 type fetch_state =
   | Fidle  (** nothing to fetch (halt predicted/resolved) *)
   | Fwait of int  (** stalled on unresolved branch of frame seq *)
-  | Fbusy of { name : string; done_at : int; mutable held : bool }
+  | Fbusy of { idx : int; done_at : int; mutable held : bool }
+
+(* per-tile ready queue: a FIFO ring of packed (gen, fid, id) ints —
+   id in 7 bits (≤ 128 instructions), fid in 20 bits, gen above — so
+   steady-state wakeups allocate nothing *)
+type ready_q = { mutable rbuf : int array; mutable rhead : int; mutable rlen : int }
+
+let pack_ready ~fid ~gen ~id = (gen lsl 27) lor (fid lsl 7) lor id
+let ready_id x = x land 0x7f
+let ready_fid x = (x lsr 7) land 0xfffff
+let ready_gen x = x lsr 27
+
+let rq_create () = { rbuf = Array.make 64 0; rhead = 0; rlen = 0 }
+
+let rq_push q v =
+  let cap = Array.length q.rbuf in
+  if q.rlen = cap then begin
+    let nbuf = Array.make (2 * cap) 0 in
+    for i = 0 to q.rlen - 1 do
+      nbuf.(i) <- q.rbuf.((q.rhead + i) land (cap - 1))
+    done;
+    q.rbuf <- nbuf;
+    q.rhead <- 0
+  end;
+  q.rbuf.((q.rhead + q.rlen) land (Array.length q.rbuf - 1)) <- v;
+  q.rlen <- q.rlen + 1
+
+let rq_pop q =
+  let v = q.rbuf.(q.rhead) in
+  q.rhead <- (q.rhead + 1) land (Array.length q.rbuf - 1);
+  q.rlen <- q.rlen - 1;
+  v
 
 type sim = {
-  program : Program.t;
+  img : Bi.program;
   machine : Machine.t;
   placement : placement_fn;
   regs : int64 array;
@@ -83,21 +152,28 @@ type sim = {
   l1i : Cache.t;
   l2 : Cache.t;
   predictor : Predictor.t;
-  dep_pred : (string * int, int option * bool) Hashtbl.t;
-      (* per (block, load lsid): (max conflicting same-frame store lsid,
-         conflicts with older frames?) — a store-set-style dependence
-         predictor: a load waits only for the stores it was caught
-         violating against *)
-  block_addr : (string, int64) Hashtbl.t;
+  binfos : binfo option array;  (* lazily built per block index *)
+  dep_stride : int;  (* row width of the dependence predictor tables *)
+  dep_same : int array;
+      (* per (block index, load lsid): max conflicting same-frame store
+         lsid, -1 for none — a store-set-style dependence predictor: a
+         load waits only for the stores it was caught violating
+         against *)
+  dep_cross : bool array;  (* conflicts with older frames? *)
+  arena : bufs array;  (* per frame slot; [||] when the arena is off *)
+  arena_on : bool;
+  arena_debug : bool;  (* cross-check cleared prefixes vs fresh arrays *)
   frames : frame option array;
   mutable live_cache : frame list;  (* live frames sorted by seq *)
   mutable live_dirty : bool;  (* [frames] changed since [live_cache] was built *)
   mutable next_seq : int;
   mutable next_gen : int;
   mutable fetch : fetch_state;
+  mutable fetch_memo_name : string;  (* last start_fetch target ... *)
+  mutable fetch_memo_idx : int;  (* ... and its block index *)
   events : (unit -> unit) Event_queue.t;
   mutable cycle : int;
-  ready : (int * int * int) Queue.t array;  (* per tile: fid, gen, id *)
+  ready : ready_q array;  (* per tile: packed (gen, fid, id) *)
   mutable ready_count : int;  (* total entries across [ready] queues *)
   mutable halted : bool;
   mutable fault : string option;
@@ -121,15 +197,13 @@ let mincr ?by sim name =
 let mobserve sim name v =
   match sim.ometrics with Some m -> Mx.observe m name v | None -> ()
 
-let opname (i : Instr.t) = Opcode.mnemonic i.Instr.opcode
-
 (* in-flight work a frame abandons when squashed or early-terminated:
    results still on the operand network plus ready-queue entries *)
 let frame_orphans f =
   let queued = ref 0 in
-  Array.iteri
-    (fun i q -> if q && not f.fired.(i) then incr queued)
-    f.queued;
+  for i = 0 to f.bi.img.Bi.n - 1 do
+    if f.queued.(i) && not f.fired.(i) then incr queued
+  done;
   f.pending_events + !queued
 
 let schedule sim dt f =
@@ -147,9 +221,30 @@ let invalidate_live sim = sim.live_dirty <- true
 
 let live_frames sim =
   if sim.live_dirty then begin
-    sim.live_cache <-
-      Array.to_list sim.frames |> List.filter_map Fun.id
-      |> List.sort (fun a b -> Int.compare a.seq b.seq);
+    (* selection-build the seq-sorted list back to front: only the
+       final conses are allocated, no intermediate lists or sort *)
+    let acc = ref [] in
+    let bound = ref max_int in
+    let again = ref true in
+    while !again do
+      let best = ref (-1) and best_seq = ref min_int in
+      Array.iteri
+        (fun i fo ->
+          match fo with
+          | Some o when o.seq < !bound && o.seq > !best_seq ->
+              best := i;
+              best_seq := o.seq
+          | Some _ | None -> ())
+        sim.frames;
+      if !best < 0 then again := false
+      else begin
+        (match sim.frames.(!best) with
+        | Some o -> acc := o :: !acc
+        | None -> assert false);
+        bound := !best_seq
+      end
+    done;
+    sim.live_cache <- !acc;
     sim.live_dirty <- false
   end;
   sim.live_cache
@@ -158,6 +253,57 @@ let no_live_frames sim = Array.for_all Option.is_none sim.frames
 
 let oldest_frame sim =
   match live_frames sim with [] -> None | f :: _ -> Some f
+
+(* ---------- per-block run tables ---------- *)
+
+let default_placement_n n = Array.init n (fun i -> i mod Grid.num_tiles)
+
+let make_binfo sim idx =
+  let img = sim.img.Bi.blocks.(idx) in
+  let n = img.Bi.n in
+  let placement =
+    let p = sim.placement img.Bi.name in
+    if Array.length p = n then p else default_placement_n n
+  in
+  let res_hops =
+    Array.mapi
+      (fun id (i : Bi.inst) ->
+        Array.map
+          (function
+            | Target.To_instr { id = d; _ } -> Grid.hops placement.(id) placement.(d)
+            | Target.To_write _ -> Grid.reg_access_hops placement.(id))
+          i.Bi.targets)
+      img.Bi.instrs
+  in
+  let rd_hops =
+    Array.map
+      (fun tgts ->
+        Array.map
+          (function
+            | Target.To_instr { id; _ } -> Grid.reg_access_hops placement.(id)
+            | Target.To_write _ -> 1)
+          tgts)
+      img.Bi.rtargets
+  in
+  let mem_hops = Array.init n (fun id -> Grid.mem_access_hops placement.(id)) in
+  let lb = sim.machine.Machine.line_bytes in
+  {
+    img;
+    placement;
+    res_hops;
+    rd_hops;
+    mem_hops;
+    base_addr = Int64.of_int (img.Bi.index * 1024);
+    n_lines = max 1 ((img.Bi.size_words * 4) + lb - 1) / lb;
+  }
+
+let binfo sim idx =
+  match sim.binfos.(idx) with
+  | Some b -> b
+  | None ->
+      let b = make_binfo sim idx in
+      sim.binfos.(idx) <- Some b;
+      b
 
 (* ---------- memory timing ---------- *)
 
@@ -183,19 +329,14 @@ let dcache_latency sim ~addr ~write =
       + sim.machine.Machine.mem_latency
   end
 
-let icache_penalty sim (b : Block.t) =
-  let base =
-    Option.value ~default:0L (Hashtbl.find_opt sim.block_addr b.Block.name)
-  in
-  let words = Block.size_in_words b in
-  let lines = max 1 ((words * 4) + sim.machine.Machine.line_bytes - 1)
-              / sim.machine.Machine.line_bytes
-  in
+let icache_penalty sim bi =
   let pen = ref 0 in
-  for i = 0 to lines - 1 do
+  for i = 0 to bi.n_lines - 1 do
     sim.stats.Stats.icache_accesses <- sim.stats.Stats.icache_accesses + 1;
     if sim.oactive then mincr sim "sim.icache_accesses";
-    let addr = Int64.add base (Int64.of_int (i * sim.machine.Machine.line_bytes)) in
+    let addr =
+      Int64.add bi.base_addr (Int64.of_int (i * sim.machine.Machine.line_bytes))
+    in
     let l1i_hit = Cache.access sim.l1i ~addr ~write:false in
     if sim.otrace && sim.ofull then
       emit sim
@@ -220,13 +361,14 @@ let stores_before sim ~seq ~lsid =
   List.iter
     (fun f ->
       if f.seq <= seq then
-        Array.iter
-          (fun (l, r) ->
-            if f.seq < seq || l < lsid then
-              match r with
-              | Stored s -> acc := (f.seq, l, s) :: !acc
-              | Nulled | Unresolved -> ())
-          f.stores)
+        let img = f.bi.img in
+        for k = 0 to img.Bi.n_stores - 1 do
+          let l = img.Bi.store_lsids.(k) in
+          if f.seq < seq || l < lsid then
+            match f.stores.(k) with
+            | Stored s -> acc := (f.seq, l, s) :: !acc
+            | Nulled | Unresolved -> ()
+        done)
     (live_frames sim);
   (* (seq, lsid) keys are unique, so ordering by them alone matches the
      old polymorphic sort of the full triple *)
@@ -236,13 +378,27 @@ let stores_before sim ~seq ~lsid =
     !acc
 
 let unresolved_before sim ~seq ~lsid =
-  List.exists
-    (fun f ->
-      Array.exists
-        (fun (l, r) ->
-          (f.seq < seq || (f.seq = seq && l < lsid)) && r = Unresolved)
-        f.stores)
-    (live_frames sim)
+  (* existence is order-independent: scan the frame table directly *)
+  Array.exists
+    (function
+      | None -> false
+      | Some f ->
+          let img = f.bi.img in
+          let rec scan k =
+            k < img.Bi.n_stores
+            && (((f.seq < seq || (f.seq = seq && img.Bi.store_lsids.(k) < lsid))
+                 && is_unresolved f.stores.(k))
+               || scan (k + 1))
+          in
+          scan 0)
+    sim.frames
+
+let any_unresolved_store f =
+  let img = f.bi.img in
+  let rec scan k =
+    k < img.Bi.n_stores && (is_unresolved f.stores.(k) || scan (k + 1))
+  in
+  scan 0
 
 let read_with_forwarding sim ~width ~addr ~seq ~lsid =
   let nbytes = Mem.width_bytes width in
@@ -310,14 +466,14 @@ let rec deliver sim f (target, tok) =
     match target with
     | Target.To_write w -> (
         match f.writes.(w) with
-        | Some _ -> failm "%s: write slot %d received two tokens" f.block.Block.name w
+        | Some _ -> failm "%s: write slot %d received two tokens" f.bi.img.Bi.name w
         | None ->
             if sim.otrace && sim.ofull then
               emit sim
                 (Ev.Token
                    {
                      cycle = sim.cycle;
-                     block = f.block.Block.name;
+                     block = f.bi.img.Bi.name;
                      seq = f.seq;
                      dst = "W" ^ string_of_int w;
                      op = "-";
@@ -337,10 +493,10 @@ let rec deliver sim f (target, tok) =
                 | None -> ())
               subs)
     | Target.To_instr { id; slot } -> (
-        let i = f.block.Block.instrs.(id) in
+        let i = f.bi.img.Bi.instrs.(id) in
         match slot with
         | Target.Pred ->
-            let matched = Instr.predicate_matches i.Instr.pred tok in
+            let matched = Instr.predicate_matches i.Bi.pred tok in
             if sim.oactive then (
               match f.probe with
               | Some p -> p.pred_arrivals.(id) <- p.pred_arrivals.(id) + 1
@@ -350,89 +506,89 @@ let rec deliver sim f (target, tok) =
                 (Ev.Token
                    {
                      cycle = sim.cycle;
-                     block = f.block.Block.name;
+                     block = f.bi.img.Bi.name;
                      seq = f.seq;
                      dst = Printf.sprintf "I%d.P" id;
-                     op = opname i;
+                     op = i.Bi.mn;
                      null = tok.Token.null;
                      pred = true;
                      matched;
                    });
             if matched then begin
               if f.pred_matched.(id) then
-                failm "%s: I%d two matching predicates" f.block.Block.name id;
+                failm "%s: I%d two matching predicates" f.bi.img.Bi.name id;
               f.pred_matched.(id) <- true;
               f.pred_exc.(id) <- tok.Token.exc;
               wake sim f id
             end
-        | Target.Left | Target.Right -> (
+        | Target.Left | Target.Right ->
             if sim.otrace && sim.ofull then
               emit sim
                 (Ev.Token
                    {
                      cycle = sim.cycle;
-                     block = f.block.Block.name;
+                     block = f.bi.img.Bi.name;
                      seq = f.seq;
                      dst =
                        Printf.sprintf "I%d.%c" id
                          (match slot with Target.Left -> 'L' | _ -> 'R');
-                     op = opname i;
+                     op = i.Bi.mn;
                      null = tok.Token.null;
                      pred = false;
                      matched = false;
                    });
-            match i.Instr.opcode with
-            | Opcode.St _ when tok.Token.null ->
-                if f.fired.(id) then
-                  failm "%s: null for fired store I%d" f.block.Block.name id
-                else begin
-                  f.fired.(id) <- true;
-                  f.fstats.Stats.nulls_executed <-
-                    f.fstats.Stats.nulls_executed + 1;
-                  resolve_store sim f i.Instr.lsid Nulled
-                end
-            | _ ->
-                let arr =
-                  match slot with
-                  | Target.Left -> f.left
-                  | Target.Right -> f.right
-                  | Target.Pred -> assert false
-                in
-                (match arr.(id) with
-                | Some _ ->
-                    failm "%s: I%d operand delivered twice" f.block.Block.name id
-                | None -> arr.(id) <- Some tok);
-                wake sim f id))
+            if i.Bi.is_store && tok.Token.null then
+              if f.fired.(id) then
+                failm "%s: null for fired store I%d" f.bi.img.Bi.name id
+              else begin
+                f.fired.(id) <- true;
+                f.fstats.Stats.nulls_executed <-
+                  f.fstats.Stats.nulls_executed + 1;
+                resolve_store sim f i.Bi.lsid Nulled
+              end
+            else begin
+              let arr =
+                match slot with
+                | Target.Left -> f.left
+                | Target.Right -> f.right
+                | Target.Pred -> assert false
+              in
+              (match arr.(id) with
+              | Some _ ->
+                  failm "%s: I%d operand delivered twice" f.bi.img.Bi.name id
+              | None -> arr.(id) <- Some tok);
+              wake sim f id
+            end)
   end
 
 and wake sim f id =
-  let i = f.block.Block.instrs.(id) in
+  let i = f.bi.img.Bi.instrs.(id) in
   if (not f.fired.(id)) && not f.queued.(id) then begin
-    let arity = Opcode.num_operands i.Instr.opcode in
     let data_ok =
-      match i.Instr.opcode with
+      match i.Bi.op with
       | Opcode.Sand -> (
           match f.left.(id) with
-          | Some l -> (not (Token.as_predicate l)) || f.right.(id) <> None
+          | Some l -> (not (Token.as_predicate l)) || Option.is_some f.right.(id)
           | None -> false)
       | _ ->
-          (arity < 1 || f.left.(id) <> None)
-          && (arity < 2 || f.right.(id) <> None)
+          (i.Bi.arity < 1 || Option.is_some f.left.(id))
+          && (i.Bi.arity < 2 || Option.is_some f.right.(id))
     in
-    let pred_ok = (not (Instr.is_predicated i)) || f.pred_matched.(id) in
+    let pred_ok = (not i.Bi.predicated) || f.pred_matched.(id) in
     if data_ok && pred_ok then begin
       if sim.otrace && sim.ofull then
         emit sim
           (Ev.Wakeup
              {
                cycle = sim.cycle;
-               block = f.block.Block.name;
+               block = f.bi.img.Bi.name;
                seq = f.seq;
                id;
-               op = opname i;
+               op = i.Bi.mn;
              });
       f.queued.(id) <- true;
-      Queue.add (f.fid, f.gen, id) sim.ready.(f.placement.(id));
+      rq_push sim.ready.(f.bi.placement.(id))
+        (pack_ready ~fid:f.fid ~gen:f.gen ~id);
       sim.ready_count <- sim.ready_count + 1
     end
   end
@@ -442,14 +598,14 @@ and output_produced _sim f =
   if f.outputs_left = 0 then f.complete <- true
 
 and resolve_store sim f lsid r =
-  let idx = ref (-1) in
-  Array.iteri (fun i (l, _) -> if l = lsid then idx := i) f.stores;
-  if !idx < 0 then failm "%s: undeclared store lsid %d" f.block.Block.name lsid;
-  (match f.stores.(!idx) with
-  | _, Unresolved -> ()
-  | _, (Stored _ | Nulled) ->
-      failm "%s: store lsid %d resolved twice" f.block.Block.name lsid);
-  f.stores.(!idx) <- (lsid, r);
+  let img = f.bi.img in
+  let idx = Bi.store_slot_of img lsid in
+  if idx < 0 then failm "%s: undeclared store lsid %d" img.Bi.name lsid;
+  (match f.stores.(idx) with
+  | Unresolved -> ()
+  | Stored _ | Nulled ->
+      failm "%s: store lsid %d resolved twice" img.Bi.name lsid);
+  f.stores.(idx) <- r;
   output_produced sim f;
   (* violation check: younger executed loads that should have seen this
      store *)
@@ -477,27 +633,21 @@ and resolve_store sim f lsid r =
           sim.stats.Stats.lsq_violations <- sim.stats.Stats.lsq_violations + 1;
           (* train the dependence predictor on exactly the violating
              loads: record which store they must wait for *)
+          let row = fv.bi.img.Bi.index * sim.dep_stride in
           List.iter
             (fun (llsid, laddr, lbytes) ->
               if
                 (fv.seq > f.seq || (fv.seq = f.seq && llsid > lsid))
                 && overlap (laddr, lbytes)
-              then begin
-                let key = (fv.block.Block.name, llsid) in
-                let same, cross =
-                  Option.value ~default:(None, false)
-                    (Hashtbl.find_opt sim.dep_pred key)
-                in
-                let entry =
-                  if fv.seq = f.seq then
-                    (Some (max lsid (Option.value ~default:(-1) same)), cross)
-                  else (same, true)
-                in
-                Hashtbl.replace sim.dep_pred key entry
-              end)
+                && llsid >= 0 && llsid < sim.dep_stride
+              then
+                if fv.seq = f.seq then
+                  sim.dep_same.(row + llsid) <-
+                    max lsid sim.dep_same.(row + llsid)
+                else sim.dep_cross.(row + llsid) <- true)
             fv.loads_done;
           flush_from sim fv.seq ~reason:"violation"
-            ~refetch:(Some fv.block.Block.name)
+            ~refetch:(Some fv.bi.img.Bi.name)
       | None -> ())
   | Nulled -> ());
   (* deferred loads may now proceed *)
@@ -528,16 +678,17 @@ and flush_from sim seq ~reason ~refetch =
           mobserve sim "block.squash_orphans" orphans;
           (match f.probe with
           | Some p ->
-              Array.iter
-                (fun n -> if n > 0 then mobserve sim "block.pred_or_arrivals" n)
-                p.pred_arrivals
+              for i = 0 to f.bi.img.Bi.n - 1 do
+                if p.pred_arrivals.(i) > 0 then
+                  mobserve sim "block.pred_or_arrivals" p.pred_arrivals.(i)
+              done
           | None -> ());
           if sim.otrace then
             emit sim
               (Ev.Squash
                  {
                    cycle = sim.cycle;
-                   block = f.block.Block.name;
+                   block = f.bi.img.Bi.name;
                    seq = f.seq;
                    reason;
                    orphans;
@@ -562,148 +713,148 @@ and flush_from sim seq ~reason ~refetch =
 and start_fetch sim name ~extra =
   if String.equal name Block.halt_exit then sim.fetch <- Fidle
   else
-    match Program.find sim.program name with
-    | None -> failm "no block %s" name
-    | Some b ->
-        let pen = icache_penalty sim b in
-        if sim.otrace then
-          emit sim (Ev.Fetch { cycle = sim.cycle; block = name; penalty = pen });
-        sim.fetch <-
-          Fbusy
-            {
-              name;
-              done_at = sim.cycle + extra + sim.machine.Machine.fetch_cycles + pen;
-              held = false;
-            }
+    (* block names are interned: predictions and exits hand back the
+       image's own string objects, so a physical-equality memo skips the
+       hashtable on the (very common) repeated target *)
+    let idx =
+      if name == sim.fetch_memo_name then sim.fetch_memo_idx
+      else
+        match Bi.find_index sim.img name with
+        | None -> failm "no block %s" name
+        | Some idx ->
+            sim.fetch_memo_name <- name;
+            sim.fetch_memo_idx <- idx;
+            idx
+    in
+    let bi = binfo sim idx in
+    let pen = icache_penalty sim bi in
+    if sim.otrace then
+      emit sim (Ev.Fetch { cycle = sim.cycle; block = name; penalty = pen });
+    sim.fetch <-
+      Fbusy
+        {
+          idx;
+          done_at = sim.cycle + extra + sim.machine.Machine.fetch_cycles + pen;
+          held = false;
+        }
 
 (* resolve register read slot [rslot] of frame [f]: find the value in
    older in-flight frames or the architectural register file; subscribe
    if the producing write has not arrived yet *)
 and resolve_read sim f rslot =
-  let r = f.block.Block.reads.(rslot) in
-  let older =
-    List.rev (List.filter (fun o -> o.seq < f.seq) (live_frames sim))
+  let r = f.bi.img.Bi.reads.(rslot) in
+  let reg = r.Block.reg in
+  let frames = sim.frames in
+  let nf = Array.length frames in
+  (* walk older in-flight frames youngest-first by scanning the frame
+     table for the largest seq below the moving bound — ≤ max_inflight²
+     compares, no list allocation *)
+  let rec search bound =
+    let best = ref (-1) and best_seq = ref min_int in
+    for i = 0 to nf - 1 do
+      match frames.(i) with
+      | Some o when o.seq < bound && o.seq > !best_seq ->
+          best := i;
+          best_seq := o.seq
+      | Some _ | None -> ()
+    done;
+    if !best < 0 then
+      (* architectural register file *)
+      send_read_value sim f rslot (Token.of_int64 sim.regs.(reg))
+    else
+      let o = match frames.(!best) with Some o -> o | None -> assert false in
+      let wslot =
+        if reg >= 0 && reg < 128 then o.bi.img.Bi.wslot_of_reg.(reg) else -1
+      in
+      if wslot < 0 then search o.seq
+      else
+        match o.writes.(wslot) with
+        | Some tok when tok.Token.null -> search o.seq
+        | Some tok -> send_read_value sim f rslot tok
+        | None ->
+            o.write_subs.(wslot) <- (f.fid, f.gen, rslot) :: o.write_subs.(wslot)
   in
-  (* youngest-first *)
-  let rec search = function
-    | [] ->
-        (* architectural register file *)
-        send_read_value sim f rslot (Token.of_int64 sim.regs.(r.Block.reg))
-    | o :: rest -> (
-        let wslot =
-          let found = ref (-1) in
-          Array.iteri
-            (fun wi (w : Block.write) ->
-              if w.Block.wreg = r.Block.reg && !found < 0 then found := wi)
-            o.block.Block.writes;
-          !found
-        in
-        if wslot < 0 then search rest
-        else
-          match o.writes.(wslot) with
-          | Some tok when tok.Token.null -> search rest
-          | Some tok -> send_read_value sim f rslot tok
-          | None ->
-              o.write_subs.(wslot) <- (f.fid, f.gen, rslot) :: o.write_subs.(wslot))
-  in
-  search older
+  search f.seq
 
 and send_read_value sim f rslot tok =
-  let r = f.block.Block.reads.(rslot) in
+  let r = f.bi.img.Bi.reads.(rslot) in
   if sim.otrace && sim.ofull then
     emit sim
       (Ev.Read
          {
            cycle = sim.cycle;
-           block = f.block.Block.name;
+           block = f.bi.img.Bi.name;
            seq = f.seq;
            rslot;
            reg = r.Block.reg;
          });
-  List.iter
-    (fun tgt ->
-      let hops =
-        match tgt with
-        | Target.To_instr { id; _ } -> Grid.reg_access_hops f.placement.(id)
-        | Target.To_write _ -> 1
-      in
-      f.pending_events <- f.pending_events + 1;
-      let fid = f.fid and gen = f.gen in
-      schedule sim hops (fun () ->
-          match frame_alive sim fid gen with
-          | Some f ->
-              f.pending_events <- f.pending_events - 1;
-              deliver sim f (tgt, tok)
-          | None -> ()))
-    r.Block.rtargets
-
-let default_placement (b : Block.t) =
-  Array.init (Array.length b.Block.instrs) (fun i -> i mod Grid.num_tiles)
+  let tgts = f.bi.img.Bi.rtargets.(rslot) in
+  let hops = f.bi.rd_hops.(rslot) in
+  for k = 0 to Array.length tgts - 1 do
+    let tgt = tgts.(k) in
+    f.pending_events <- f.pending_events + 1;
+    let fid = f.fid and gen = f.gen in
+    schedule sim hops.(k) (fun () ->
+        match frame_alive sim fid gen with
+        | Some f ->
+            f.pending_events <- f.pending_events - 1;
+            deliver sim f (tgt, tok)
+        | None -> ())
+  done
 
 (* send the result of instruction [id] to its targets with network
    delays *)
 let send_result sim f id tok =
-  let i = f.block.Block.instrs.(id) in
-  let src = f.placement.(id) in
-  List.iter
-    (fun tgt ->
-      let hops =
-        match tgt with
-        | Target.To_instr { id = d; _ } ->
-            let h = Grid.hops src f.placement.(d) in
-            sim.stats.Stats.operand_hops <- sim.stats.Stats.operand_hops + h;
-            h
-        | Target.To_write _ ->
-            let h = Grid.reg_access_hops src in
-            sim.stats.Stats.operand_hops <- sim.stats.Stats.operand_hops + h;
-            h
-      in
-      if sim.oactive then mincr sim ~by:hops "sim.operand_hops";
-      f.pending_events <- f.pending_events + 1;
-      let fid = f.fid and gen = f.gen in
-      schedule sim hops (fun () ->
-          match frame_alive sim fid gen with
-          | Some f ->
-              f.pending_events <- f.pending_events - 1;
-              deliver sim f (tgt, tok)
-          | None -> ()))
-    i.Instr.targets
+  let tgts = f.bi.img.Bi.instrs.(id).Bi.targets in
+  let hops = f.bi.res_hops.(id) in
+  for k = 0 to Array.length tgts - 1 do
+    let tgt = tgts.(k) in
+    let h = hops.(k) in
+    sim.stats.Stats.operand_hops <- sim.stats.Stats.operand_hops + h;
+    if sim.oactive then mincr sim ~by:h "sim.operand_hops";
+    f.pending_events <- f.pending_events + 1;
+    let fid = f.fid and gen = f.gen in
+    schedule sim h (fun () ->
+        match frame_alive sim fid gen with
+        | Some f ->
+            f.pending_events <- f.pending_events - 1;
+            deliver sim f (tgt, tok)
+        | None -> ())
+  done
 
 (* called at every real firing (not a deferred-load retry), so it also
    carries the per-issue trace hook *)
-let class_stats sim f id (i : Instr.t) =
+let class_stats sim f id (i : Bi.inst) =
   if sim.otrace && sim.ofull then
     emit sim
       (Ev.Issue
          {
            cycle = sim.cycle;
-           block = f.block.Block.name;
+           block = f.bi.img.Bi.name;
            seq = f.seq;
            id;
-           op = opname i;
-           tile = f.placement.(id);
+           op = i.Bi.mn;
+           tile = f.bi.placement.(id);
          });
   f.fstats.Stats.instrs_executed <- f.fstats.Stats.instrs_executed + 1;
-  match i.Instr.opcode with
-  | Opcode.Un Opcode.Mov | Opcode.Mov4 ->
-      f.fstats.Stats.moves_executed <- f.fstats.Stats.moves_executed + 1
-  | Opcode.Null -> f.fstats.Stats.nulls_executed <- f.fstats.Stats.nulls_executed + 1
-  | Opcode.Tst _ | Opcode.Tsti _ | Opcode.Ftst _ ->
-      f.fstats.Stats.tests_executed <- f.fstats.Stats.tests_executed + 1
-  | _ -> ()
+  match i.Bi.cls with
+  | Bi.Smove -> f.fstats.Stats.moves_executed <- f.fstats.Stats.moves_executed + 1
+  | Bi.Snull -> f.fstats.Stats.nulls_executed <- f.fstats.Stats.nulls_executed + 1
+  | Bi.Stest -> f.fstats.Stats.tests_executed <- f.fstats.Stats.tests_executed + 1
+  | Bi.Splain -> ()
 
 (* branch resolution: prediction check, flushes, fetch redirect *)
 let resolve_branch sim f target exc exit_idx =
   (match f.branch with
-  | Some _ -> failm "%s: two branches fired" f.block.Block.name
+  | Some _ -> failm "%s: two branches fired" f.bi.img.Bi.name
   | None -> ());
   f.branch <- Some (target, exc, exit_idx);
   output_produced sim f;
   let actual = match target with None -> Block.halt_exit | Some t -> t in
   (* train at resolution so the BTB warms before commit; TRIPS predictors
      are speculatively updated too *)
-  Predictor.update sim.predictor ~block:f.block.Block.name ~exit_idx
-    ~target:actual;
+  Predictor.update_hashed sim.predictor ~block_hash:f.bi.img.Bi.name_hash
+    ~exit_idx ~target:actual;
   let mispredicted = ref false in
   if not f.prediction_checked then begin
     f.prediction_checked <- true;
@@ -733,7 +884,7 @@ let resolve_branch sim f target exc exit_idx =
         (Ev.Branch
            {
              cycle = sim.cycle;
-             block = f.block.Block.name;
+             block = f.bi.img.Bi.name;
              seq = f.seq;
              target = actual;
              mispredict = !mispredicted;
@@ -743,56 +894,58 @@ let resolve_branch sim f target exc exit_idx =
 
 (* fire one instruction instance *)
 let fire sim f id =
-  let i = f.block.Block.instrs.(id) in
+  let i = f.bi.img.Bi.instrs.(id) in
   f.queued.(id) <- false;
   let taint_pred tok = if f.pred_exc.(id) then Token.with_exc tok else tok in
-  match i.Instr.opcode with
+  match i.Bi.op with
   | Opcode.Ld width ->
+      let lsid = i.Bi.lsid in
       let must_wait =
         if not sim.machine.Machine.aggressive_loads then
-          unresolved_before sim ~seq:f.seq ~lsid:i.Instr.lsid
-        else
-          match
-            Hashtbl.find_opt sim.dep_pred (f.block.Block.name, i.Instr.lsid)
-          with
-          | None -> false
-          | Some (same, cross) ->
-              let same_wait =
-                match same with
-                | None -> false
-                | Some s ->
-                    Array.exists
-                      (fun (l, r) ->
-                        l < i.Instr.lsid && l <= s && r = Unresolved)
-                      f.stores
-              in
-              let cross_wait =
-                cross
-                && List.exists
-                     (fun fr ->
-                       fr.seq < f.seq
-                       && Array.exists (fun (_, r) -> r = Unresolved) fr.stores)
-                     (live_frames sim)
-              in
-              same_wait || cross_wait
+          unresolved_before sim ~seq:f.seq ~lsid
+        else if lsid < 0 || lsid >= sim.dep_stride then false
+        else begin
+          let k = (f.bi.img.Bi.index * sim.dep_stride) + lsid in
+          let same = sim.dep_same.(k) and cross = sim.dep_cross.(k) in
+          let same_wait =
+            same >= 0
+            &&
+            let img = f.bi.img in
+            let rec scan j =
+              j < img.Bi.n_stores
+              && ((img.Bi.store_lsids.(j) < lsid
+                   && img.Bi.store_lsids.(j) <= same
+                   && is_unresolved f.stores.(j))
+                 || scan (j + 1))
+            in
+            scan 0
+          in
+          let cross_wait =
+            cross
+            && Array.exists
+                 (function
+                   | Some fr -> fr.seq < f.seq && any_unresolved_store fr
+                   | None -> false)
+                 sim.frames
+          in
+          same_wait || cross_wait
+        end
       in
       if must_wait then f.deferred_loads <- id :: f.deferred_loads
       else begin
         f.fired.(id) <- true;
         class_stats sim f id i;
         let base = Option.get f.left.(id) in
-        let addr = Int64.add base.Token.payload i.Instr.imm in
+        let addr = Int64.add base.Token.payload i.Bi.imm in
         let tok =
           if base.Token.exc || base.Token.null then Token.taint base (Token.of_int64 0L)
-          else read_with_forwarding sim ~width ~addr ~seq:f.seq ~lsid:i.Instr.lsid
+          else read_with_forwarding sim ~width ~addr ~seq:f.seq ~lsid
         in
         let tok = taint_pred (Token.taint base tok) in
         if not (base.Token.exc || base.Token.null) then
-          f.loads_done <-
-            (i.Instr.lsid, addr, Mem.width_bytes width) :: f.loads_done;
+          f.loads_done <- (lsid, addr, Mem.width_bytes width) :: f.loads_done;
         let lat =
-          Opcode.latency i.Instr.opcode
-          + (2 * Grid.mem_access_hops f.placement.(id))
+          i.Bi.latency + (2 * f.bi.mem_hops.(id))
           + dcache_latency sim ~addr ~write:false
         in
         f.pending_events <- f.pending_events + 1;
@@ -809,9 +962,7 @@ let fire sim f id =
       class_stats sim f id i;
       let base = Option.get f.left.(id) in
       let v = Option.get f.right.(id) in
-      let lat =
-        Opcode.latency i.Instr.opcode + Grid.mem_access_hops f.placement.(id)
-      in
+      let lat = i.Bi.latency + f.bi.mem_hops.(id) in
       f.pending_events <- f.pending_events + 1;
       let fid = f.fid and gen = f.gen in
       schedule sim lat (fun () ->
@@ -819,11 +970,11 @@ let fire sim f id =
           | Some f ->
               f.pending_events <- f.pending_events - 1;
               if v.Token.null || base.Token.null then
-                resolve_store sim f i.Instr.lsid Nulled
+                resolve_store sim f i.Bi.lsid Nulled
               else
-                let addr = Int64.add base.Token.payload i.Instr.imm in
+                let addr = Int64.add base.Token.payload i.Bi.imm in
                 let exc = base.Token.exc || v.Token.exc || f.pred_exc.(id) in
-                resolve_store sim f i.Instr.lsid
+                resolve_store sim f i.Bi.lsid
                   (Stored
                      {
                        s_addr = addr;
@@ -835,13 +986,13 @@ let fire sim f id =
   | Opcode.Bro ->
       f.fired.(id) <- true;
       class_stats sim f id i;
-      let tgt = f.block.Block.exits.(i.Instr.exit_idx) in
+      let tgt = f.bi.img.Bi.exits.(i.Bi.exit_idx) in
       let tgt = if String.equal tgt Block.halt_exit then None else Some tgt in
       let exc = f.pred_exc.(id) in
-      let exit_idx = i.Instr.exit_idx in
+      let exit_idx = i.Bi.exit_idx in
       f.pending_events <- f.pending_events + 1;
       let fid = f.fid and gen = f.gen in
-      schedule sim (Opcode.latency i.Instr.opcode) (fun () ->
+      schedule sim i.Bi.latency (fun () ->
           match frame_alive sim fid gen with
           | Some f ->
               f.pending_events <- f.pending_events - 1;
@@ -874,7 +1025,7 @@ let fire sim f id =
       let tok = taint_pred tok in
       f.pending_events <- f.pending_events + 1;
       let fid = f.fid and gen = f.gen in
-      schedule sim (Opcode.latency i.Instr.opcode) (fun () ->
+      schedule sim i.Bi.latency (fun () ->
           match frame_alive sim fid gen with
           | Some f ->
               f.pending_events <- f.pending_events - 1;
@@ -884,54 +1035,106 @@ let fire sim f id =
       f.fired.(id) <- true;
       class_stats sim f id i;
       let tok =
-        Alu.exec i.Instr.opcode ~imm:i.Instr.imm ~left:f.left.(id)
-          ~right:f.right.(id)
+        Alu.exec i.Bi.op ~imm:i.Bi.imm ~left:f.left.(id) ~right:f.right.(id)
       in
       let tok = taint_pred tok in
       f.pending_events <- f.pending_events + 1;
       let fid = f.fid and gen = f.gen in
-      schedule sim (Opcode.latency i.Instr.opcode) (fun () ->
+      schedule sim i.Bi.latency (fun () ->
           match frame_alive sim fid gen with
           | Some f ->
               f.pending_events <- f.pending_events - 1;
               send_result sim f id tok
           | None -> ())
 
+(* the arena-debug invariant: a recycled prefix must be
+   indistinguishable from freshly allocated arrays — catches a clear
+   that goes missing or is mis-bounded when frame state evolves *)
+let check_cleared f =
+  let n = f.bi.img.Bi.n in
+  let ok = ref true in
+  for i = 0 to n - 1 do
+    if
+      f.left.(i) <> None || f.right.(i) <> None || f.pred_matched.(i)
+      || f.pred_exc.(i) || f.fired.(i) || f.queued.(i)
+    then ok := false
+  done;
+  for k = 0 to f.bi.img.Bi.n_stores - 1 do
+    if f.stores.(k) <> Unresolved then ok := false
+  done;
+  for w = 0 to f.bi.img.Bi.n_writes - 1 do
+    if f.writes.(w) <> None then ok := false
+  done;
+  for w = 0 to max 1 f.bi.img.Bi.n_writes - 1 do
+    if f.write_subs.(w) <> [] then ok := false
+  done;
+  (match f.probe with
+  | Some p ->
+      for i = 0 to max 1 n - 1 do
+        if p.pred_arrivals.(i) <> 0 then ok := false
+      done
+  | None -> ());
+  if not !ok then failm "%s: arena frame not cleared" f.bi.img.Bi.name
+
 (* dispatch a fetched block into a free frame slot *)
-let dispatch sim name =
+let dispatch sim idx =
   let fid =
     let found = ref (-1) in
-    Array.iteri (fun i f -> if f = None && !found < 0 then found := i) sim.frames;
+    Array.iteri
+      (fun i f -> if Option.is_none f && !found < 0 then found := i)
+      sim.frames;
     !found
   in
   assert (fid >= 0);
-  let b = Option.get (Program.find sim.program name) in
-  let n = Array.length b.Block.instrs in
-  let placement = sim.placement name in
-  let placement =
-    if Array.length placement = n then placement else default_placement b
+  let bi = binfo sim idx in
+  let img = bi.img in
+  let n = img.Bi.n in
+  let n_writes = img.Bi.n_writes in
+  let n_stores = img.Bi.n_stores in
+  let left, right, pred_matched, pred_exc, fired, queued, stores, writes,
+      write_subs, parr =
+    if sim.arena_on then begin
+      let b = sim.arena.(fid) in
+      Array.fill b.b_left 0 n None;
+      Array.fill b.b_right 0 n None;
+      Array.fill b.b_pred_matched 0 n false;
+      Array.fill b.b_pred_exc 0 n false;
+      Array.fill b.b_fired 0 n false;
+      Array.fill b.b_queued 0 n false;
+      Array.fill b.b_stores 0 n_stores Unresolved;
+      Array.fill b.b_writes 0 n_writes None;
+      Array.fill b.b_write_subs 0 (max 1 n_writes) [];
+      if sim.oactive then Array.fill b.b_probe 0 (max 1 n) 0;
+      ( b.b_left, b.b_right, b.b_pred_matched, b.b_pred_exc, b.b_fired,
+        b.b_queued, b.b_stores, b.b_writes, b.b_write_subs, b.b_probe )
+    end
+    else
+      ( Array.make n None, Array.make n None, Array.make n false,
+        Array.make n false, Array.make n false, Array.make n false,
+        Array.make n_stores Unresolved,
+        Array.make n_writes None,
+        Array.make (max 1 n_writes) [],
+        Array.make (max 1 n) 0 )
   in
   let f =
     {
       fid;
       gen = sim.next_gen;
       seq = sim.next_seq;
-      block = b;
-      placement;
-      left = Array.make n None;
-      right = Array.make n None;
-      pred_matched = Array.make n false;
-      pred_exc = Array.make n false;
-      fired = Array.make n false;
-      queued = Array.make n false;
-      stores = Array.of_list (List.map (fun l -> (l, Unresolved)) b.Block.store_lsids);
-      writes = Array.make (Array.length b.Block.writes) None;
-      write_subs = Array.make (max 1 (Array.length b.Block.writes)) [];
+      bi;
+      left;
+      right;
+      pred_matched;
+      pred_exc;
+      fired;
+      queued;
+      stores;
+      writes;
+      write_subs;
       branch = None;
       predicted_next = None;
       prediction_checked = false;
-      outputs_left =
-        Array.length b.Block.writes + List.length b.Block.store_lsids + 1;
+      outputs_left = img.Bi.outputs;
       pending_events = 0;
       deferred_loads = [];
       loads_done = [];
@@ -939,11 +1142,11 @@ let dispatch sim name =
       complete = false;
       dispatched_at = sim.cycle;
       probe =
-        (if sim.oactive then
-           Some { pred_arrivals = Array.make (max 1 n) 0; null_tokens = 0 }
+        (if sim.oactive then Some { pred_arrivals = parr; null_tokens = 0 }
          else None);
     }
   in
+  if sim.arena_debug && sim.arena_on then check_cleared f;
   sim.next_seq <- sim.next_seq + 1;
   sim.next_gen <- sim.next_gen + 1;
   sim.frames.(fid) <- Some f;
@@ -952,42 +1155,34 @@ let dispatch sim name =
   f.fstats.Stats.instrs_fetched <- n;
   if sim.otrace then
     emit sim
-      (Ev.Dispatch { cycle = sim.cycle; block = name; seq = f.seq; fid; instrs = n });
+      (Ev.Dispatch
+         { cycle = sim.cycle; block = img.Bi.name; seq = f.seq; fid; instrs = n });
   if sim.oactive then begin
     mincr sim "sim.blocks_dispatched";
     (* static predicate fanout: how many consumers each test instruction
        feeds through predicate slots (paper §3.3, predicate-OR trees) *)
     Array.iter
-      (fun (i : Instr.t) ->
-        let fanout =
-          List.fold_left
-            (fun acc t ->
-              match t with
-              | Target.To_instr { slot = Target.Pred; _ } -> acc + 1
-              | _ -> acc)
-            0 i.Instr.targets
-        in
-        if fanout > 0 then mobserve sim "block.pred_fanout" fanout)
-      b.Block.instrs
+      (fun (i : Bi.inst) ->
+        if i.Bi.pred_fanout > 0 then
+          mobserve sim "block.pred_fanout" i.Bi.pred_fanout)
+      img.Bi.instrs
   end;
   (* seed register reads *)
-  Array.iteri (fun rslot _ -> resolve_read sim f rslot) b.Block.reads;
+  for rslot = 0 to Array.length img.Bi.reads - 1 do
+    resolve_read sim f rslot
+  done;
   (* seed 0-operand unpredicated instructions *)
-  Array.iteri
-    (fun id (i : Instr.t) ->
-      if Opcode.num_operands i.Instr.opcode = 0 && not (Instr.is_predicated i)
-      then wake sim f id)
-    b.Block.instrs;
+  Array.iter (fun id -> wake sim f id) img.Bi.seeds;
   (* chain the next fetch off a prediction *)
-  (match Predictor.predict sim.predictor ~block:name with
+  match Predictor.predict_hashed sim.predictor ~block_hash:img.Bi.name_hash with
   | Some predicted when sim.machine.Machine.max_inflight > 1 ->
       f.predicted_next <- Some predicted;
       start_fetch sim predicted ~extra:sim.machine.Machine.predict_cycles
   | Some _ | None ->
       (match Sys.getenv_opt "DFP_BLOCK_TRACE" with
-      | Some _ -> Printf.eprintf "FWAIT after %s at %d\n" name sim.cycle
+      | Some _ -> Printf.eprintf "FWAIT after %s at %d\n" img.Bi.name sim.cycle
       | None -> ());
-      sim.fetch <- Fwait f.seq)
+      sim.fetch <- Fwait f.seq
 
 (* commit the oldest frame if it is finished *)
 let try_commit sim =
@@ -998,52 +1193,53 @@ let try_commit sim =
         sim.machine.Machine.early_termination || f.pending_events = 0
       in
       if f.complete && drained then begin
+        let img = f.bi.img in
         (* mispredicated = predicated instructions that never fired *)
         Array.iteri
-          (fun id (i : Instr.t) ->
-            if Instr.is_predicated i && not f.fired.(id) then
+          (fun id (i : Bi.inst) ->
+            if i.Bi.predicated && not f.fired.(id) then
               f.fstats.Stats.mispredicated_fetched <-
                 f.fstats.Stats.mispredicated_fetched + 1)
-          f.block.Block.instrs;
-        (* drain stores in lsid order *)
-        Array.iter
-          (fun (lsid, r) ->
-            match r with
-            | Stored { s_addr = addr; s_value = value; s_width = width; s_exc = exc } ->
-                if exc then raise (Fault (Printf.sprintf "store lsid %d" lsid));
-                ignore (dcache_latency sim ~addr ~write:true);
-                (match Mem.store sim.mem ~width ~addr value with
-                | Ok () -> ()
-                | Error () ->
-                    raise (Fault (Printf.sprintf "store fault at %Ld" addr)))
-            | Nulled -> ()
-            | Unresolved -> assert false)
-          f.stores;
-        Array.iteri
-          (fun w tok ->
-            match tok with
-            | Some t ->
-                if t.Token.null then ()
-                else if t.Token.exc then
-                  raise (Fault (Printf.sprintf "write W%d" w))
-                else sim.regs.(f.block.Block.writes.(w).Block.wreg) <- t.Token.payload
-            | None -> assert false)
-          f.writes;
+          img.Bi.instrs;
+        (* drain stores in lsid (= declaration) order *)
+        for k = 0 to img.Bi.n_stores - 1 do
+          match f.stores.(k) with
+          | Stored { s_addr = addr; s_value = value; s_width = width; s_exc = exc }
+            ->
+              if exc then
+                raise
+                  (Fault (Printf.sprintf "store lsid %d" img.Bi.store_lsids.(k)));
+              ignore (dcache_latency sim ~addr ~write:true);
+              (match Mem.store sim.mem ~width ~addr value with
+              | Ok () -> ()
+              | Error () ->
+                  raise (Fault (Printf.sprintf "store fault at %Ld" addr)))
+          | Nulled -> ()
+          | Unresolved -> assert false
+        done;
+        for w = 0 to img.Bi.n_writes - 1 do
+          match f.writes.(w) with
+          | Some t ->
+              if t.Token.null then ()
+              else if t.Token.exc then
+                raise (Fault (Printf.sprintf "write W%d" w))
+              else sim.regs.(img.Bi.write_regs.(w)) <- t.Token.payload
+          | None -> assert false
+        done;
         let target, bexc, exit_idx =
           match f.branch with Some x -> x | None -> assert false
         in
         if bexc then raise (Fault "branch");
         (match target with
         | Some t ->
-            Predictor.update sim.predictor ~block:f.block.Block.name ~exit_idx
-              ~target:t
+            Predictor.update_hashed sim.predictor ~block_hash:img.Bi.name_hash
+              ~exit_idx ~target:t
         | None ->
-            Predictor.update sim.predictor ~block:f.block.Block.name ~exit_idx
-              ~target:Block.halt_exit);
+            Predictor.update_hashed sim.predictor ~block_hash:img.Bi.name_hash
+              ~exit_idx ~target:Block.halt_exit);
         (match Sys.getenv_opt "DFP_BLOCK_TRACE" with
         | Some _ ->
-            Printf.eprintf "BLK %s %d\n" f.block.Block.name
-              (sim.cycle - f.dispatched_at)
+            Printf.eprintf "BLK %s %d\n" img.Bi.name (sim.cycle - f.dispatched_at)
         | None -> ());
         f.fstats.Stats.blocks_committed <- 1;
         f.fstats.Stats.instrs_committed <- f.fstats.Stats.instrs_executed;
@@ -1064,16 +1260,17 @@ let try_commit sim =
           if orphans > 0 then mobserve sim "block.early_orphans" orphans;
           (match f.probe with
           | Some p ->
-              Array.iter
-                (fun n -> if n > 0 then mobserve sim "block.pred_or_arrivals" n)
-                p.pred_arrivals
+              for i = 0 to img.Bi.n - 1 do
+                if p.pred_arrivals.(i) > 0 then
+                  mobserve sim "block.pred_or_arrivals" p.pred_arrivals.(i)
+              done
           | None -> ());
           if sim.otrace then
             emit sim
               (Ev.Commit
                  {
                    cycle = sim.cycle;
-                   block = f.block.Block.name;
+                   block = img.Bi.name;
                    seq = f.seq;
                    instrs = f.fstats.Stats.instrs_committed;
                    nulls;
@@ -1084,7 +1281,7 @@ let try_commit sim =
         Stats.add sim.stats f.fstats;
         sim.frames.(f.fid) <- None;
         invalidate_live sim;
-        if target = None then begin
+        if Option.is_none target then begin
           sim.halted <- true;
           sim.stats.Stats.cycles <- sim.cycle
         end
@@ -1092,30 +1289,35 @@ let try_commit sim =
 
 let step_issue sim =
   if sim.ready_count > 0 then
-    Array.iter
-      (fun q ->
-        if not (Queue.is_empty q) then begin
-          let budget = ref sim.machine.Machine.issue_per_tile in
-          while !budget > 0 && not (Queue.is_empty q) do
-            let fid, gen, id = Queue.pop q in
-            sim.ready_count <- sim.ready_count - 1;
-            match frame_alive sim fid gen with
-            | Some f when f.queued.(id) && not f.fired.(id) ->
-                decr budget;
-                fire sim f id
-            | Some _ | None -> ()
-          done
-        end)
-      sim.ready
+    for t = 0 to Array.length sim.ready - 1 do
+      let q = sim.ready.(t) in
+      if q.rlen > 0 then begin
+        let budget = ref sim.machine.Machine.issue_per_tile in
+        while !budget > 0 && q.rlen > 0 do
+          let e = rq_pop q in
+          let fid = ready_fid e and gen = ready_gen e and id = ready_id e in
+          sim.ready_count <- sim.ready_count - 1;
+          match frame_alive sim fid gen with
+          | Some f when f.queued.(id) && not f.fired.(id) ->
+              decr budget;
+              fire sim f id
+          | Some _ | None -> ()
+        done
+      end
+    done
 
 let step_fetch sim =
   match sim.fetch with
   | Fbusy b when sim.cycle >= b.done_at ->
-      let free_slot = Array.exists Option.is_none sim.frames in
-      let inflight = List.length (live_frames sim) in
-      if free_slot && inflight < sim.machine.Machine.max_inflight then begin
+      let free_slot = ref false and inflight = ref 0 in
+      for k = 0 to Array.length sim.frames - 1 do
+        match sim.frames.(k) with
+        | Some _ -> incr inflight
+        | None -> free_slot := true
+      done;
+      if !free_slot && !inflight < sim.machine.Machine.max_inflight then begin
         sim.fetch <- Fidle;
-        dispatch sim b.name
+        dispatch sim b.idx
       end
       else b.held <- true
   | Fbusy _ | Fwait _ | Fidle -> ()
@@ -1137,20 +1339,47 @@ let next_interesting_cycle sim =
     if best = max_int then -1 else best
   end
 
-let run ?(machine = Machine.default) ?placement ?(obs = Obs.null) program
-    ~regs ~mem =
+let make_bufs img =
+  let n = max 1 img.Bi.max_n in
+  let nw = max 1 img.Bi.max_writes in
+  let ns = img.Bi.max_stores in
+  {
+    b_left = Array.make n None;
+    b_right = Array.make n None;
+    b_pred_matched = Array.make n false;
+    b_pred_exc = Array.make n false;
+    b_fired = Array.make n false;
+    b_queued = Array.make n false;
+    b_stores = Array.make (max 1 ns) Unresolved;
+    b_writes = Array.make nw None;
+    b_write_subs = Array.make nw [];
+    b_probe = Array.make n 0;
+  }
+
+let run ?(machine = Machine.default) ?placement ?(obs = Obs.null)
+    ?(arena = true) program ~regs ~mem =
+  let img = Bi.of_program program in
   let placement =
     match placement with
     | Some p -> p
     | None ->
         fun name ->
-          (match Program.find program name with
-          | Some b -> default_placement b
+          (match Bi.find_index img name with
+          | Some i -> default_placement_n img.Bi.blocks.(i).Bi.n
           | None -> [||])
+  in
+  let n_blocks = Array.length img.Bi.blocks in
+  let dep_stride =
+    let m = ref 0 in
+    Array.iter
+      (fun (b : Bi.t) ->
+        Array.iter (fun (i : Bi.inst) -> m := max !m (i.Bi.lsid + 1)) b.Bi.instrs)
+      img.Bi.blocks;
+    max 1 !m
   in
   let sim =
     {
-      program;
+      img;
       machine;
       placement;
       regs;
@@ -1169,17 +1398,27 @@ let run ?(machine = Machine.default) ?placement ?(obs = Obs.null) program
           ~ways:machine.Machine.l2_ways ~line_bytes:machine.Machine.line_bytes
           ~hit_latency:machine.Machine.l2_latency;
       predictor = Predictor.create ();
-      dep_pred = Hashtbl.create 64;
-      block_addr = Hashtbl.create 64;
+      binfos = Array.make (max 1 n_blocks) None;
+      dep_stride;
+      dep_same = Array.make (max 1 (n_blocks * dep_stride)) (-1);
+      dep_cross = Array.make (max 1 (n_blocks * dep_stride)) false;
+      arena =
+        (if arena then
+           Array.init machine.Machine.max_inflight (fun _ -> make_bufs img)
+         else [||]);
+      arena_on = arena;
+      arena_debug = Sys.getenv_opt "DFP_ARENA_DEBUG" <> None;
       frames = Array.make machine.Machine.max_inflight None;
       live_cache = [];
       live_dirty = false;
       next_seq = 0;
       next_gen = 0;
       fetch = Fidle;
+      fetch_memo_name = "";
+      fetch_memo_idx = -1;
       events = Event_queue.create ();
       cycle = 0;
-      ready = Array.init Grid.num_tiles (fun _ -> Queue.create ());
+      ready = Array.init Grid.num_tiles (fun _ -> rq_create ());
       ready_count = 0;
       halted = false;
       fault = None;
@@ -1190,17 +1429,11 @@ let run ?(machine = Machine.default) ?placement ?(obs = Obs.null) program
       ometrics = obs.Obs.metrics;
     }
   in
-  List.iteri
-    (fun i (name, _) ->
-      Hashtbl.replace sim.block_addr name (Int64.of_int (i * 1024)))
-    program.Program.blocks;
   match
     start_fetch sim program.Program.entry ~extra:0;
     while (not sim.halted) && sim.cycle < machine.Machine.max_cycles do
       (* events due now, in scheduling order *)
-      (match Event_queue.pop_due sim.events ~cycle:sim.cycle with
-      | [] -> ()
-      | fs -> List.iter (fun f -> f ()) fs);
+      Event_queue.drain sim.events ~cycle:sim.cycle (fun f -> f ());
       step_issue sim;
       step_fetch sim;
       try_commit sim;
@@ -1208,10 +1441,15 @@ let run ?(machine = Machine.default) ?placement ?(obs = Obs.null) program
         match next_interesting_cycle sim with
         | c when c >= 0 -> sim.cycle <- max (sim.cycle + 1) c
         | _ ->
-            if no_live_frames sim && sim.fetch = Fidle then
+            if
+              no_live_frames sim
+              && (match sim.fetch with Fidle -> true | Fwait _ | Fbusy _ -> false)
+            then
               failm "machine idle before halt"
             else if
-              List.exists (fun f -> not f.complete) (live_frames sim)
+              Array.exists
+                (function Some f -> not f.complete | None -> false)
+                sim.frames
               && Event_queue.is_empty sim.events
             then failm "deadlock at cycle %d" sim.cycle
             else sim.cycle <- sim.cycle + 1

@@ -17,10 +17,16 @@ type placement_fn = string -> int array
 (** Tile placement per block (from [Dfp.Schedule]); defaults to a
     round-robin mapping when the block is unknown. *)
 
+val revision : string
+(** Bumped whenever simulated semantics or [Stats] accounting change;
+    the persistent result cache folds it into its keys so stale
+    entries invalidate themselves. *)
+
 val run :
   ?machine:Machine.t ->
   ?placement:placement_fn ->
   ?obs:Edge_obs.Obs.t ->
+  ?arena:bool ->
   Edge_isa.Program.t ->
   regs:int64 array ->
   mem:Edge_isa.Mem.t ->
@@ -34,4 +40,11 @@ val run :
     [obs] (default {!Edge_obs.Obs.null}) attaches a structured trace
     sink and/or metrics registry; with the null bundle every
     instrumentation site reduces to a dead branch, so the uninstrumented
-    fast path is unchanged. *)
+    fast path is unchanged.
+
+    [arena] (default [true]) recycles per-frame operand/state arrays
+    across block instances instead of allocating them per dispatch;
+    results are identical either way (the [DFP_ARENA_DEBUG] environment
+    variable additionally asserts each recycled frame prefix is
+    indistinguishable from fresh arrays). Pass [false] to force fresh
+    allocation, e.g. for differential testing of the arena itself. *)

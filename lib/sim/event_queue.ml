@@ -1,17 +1,4 @@
-(* A bucketed calendar queue for the cycle simulator's event wheel.
-
-   The previous implementation was an [(unit -> unit) list IntMap.t]:
-   every [schedule] paid O(log n) map-rebalancing allocation and every
-   tick paid a [min_binding] walk.  Simulator events are overwhelmingly
-   near-future (operand hops, ALU latencies, cache misses — at most a
-   few hundred cycles ahead), so a fixed ring of cycle buckets with an
-   overflow list for far-future outliers serves the same traffic with
-   O(1) insert and pop.
-
-   Semantics match the old map exactly: [pop_due] returns every event
-   scheduled for that cycle in insertion order (same-cycle FIFO), even
-   when bucketed and overflowed events interleave — a monotone sequence
-   number stamped on every event restores the global insertion order. *)
+(* A bucketed calendar queue for the cycle simulator's event wheel. *)
 
 type 'a t = {
   buckets : (int * 'a) list array;  (* (seq, payload), newest first *)
@@ -53,10 +40,8 @@ let add t ~cycle payload =
     t.bucketed <- t.bucketed + 1
   end
   else
-    (* bucket held by a cycle more than [horizon] away *)
     t.overflow <- (cycle, seq, payload) :: t.overflow
 
-(* merge two seq-ascending lists into one seq-ascending list *)
 let rec merge_by_seq a b =
   match (a, b) with
   | [], l | l, [] -> l
@@ -84,24 +69,50 @@ let pop_due t ~cycle =
       List.rev_map (fun (_, s, p) -> (s, p)) due
     end
   in
-  (* [min_hint] must stay a true lower bound on every pending cycle: it
-     may only advance past [cycle] when it sat exactly there, meaning
-     nothing older can still be pending *)
   if t.min_hint = cycle then t.min_hint <- cycle + 1;
   match (bucketed, overflowed) with
   | l, [] | [], l -> List.map snd l
   | a, b -> List.map snd (merge_by_seq a b)
 
+let rec iter_snd_rev f = function
+  | [] -> ()
+  | (_, p) :: tl ->
+      iter_snd_rev f tl;
+      f p
+
+let drain t ~cycle f =
+  let b = cycle land t.mask in
+  let bucketed =
+    if t.buckets.(b) != [] && t.bucket_cycle.(b) = cycle then begin
+      let l = t.buckets.(b) in
+      t.buckets.(b) <- [];
+      t.bucket_cycle.(b) <- -1;
+      t.bucketed <- t.bucketed - List.length l;
+      l
+    end
+    else []
+  in
+  let overflowed =
+    if t.overflow == [] then []
+    else begin
+      let due, later = List.partition (fun (c, _, _) -> c = cycle) t.overflow in
+      t.overflow <- later;
+      List.rev_map (fun (_, s, p) -> (s, p)) due
+    end
+  in
+  if t.min_hint = cycle then t.min_hint <- cycle + 1;
+  match (bucketed, overflowed) with
+  | l, [] -> iter_snd_rev f l
+  | [], l -> List.iter (fun (_, p) -> f p) l
+  | a, b -> List.iter (fun (_, p) -> f p) (merge_by_seq (List.rev a) b)
+
+exception Found of int
+
 let next_due t =
   if is_empty t then None
   else begin
-    (* every pending cycle is >= min_hint and every bucketed cycle lives
-       in its exact bucket, so scanning cycles upward from the hint
-       finds the bucketed minimum at the first exact hit; the (rare)
-       overflow minimum is folded in at the end *)
     let best = ref max_int in
     (if t.bucketed > 0 then
-       let exception Found of int in
        try
          for d = 0 to t.mask do
            let c = t.min_hint + d in

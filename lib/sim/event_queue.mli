@@ -18,6 +18,13 @@ val pop_due : 'a t -> cycle:int -> 'a list
     removes them. The simulator visits cycles in increasing order, so
     draining at each visited cycle never strands older events. *)
 
+val drain : 'a t -> cycle:int -> ('a -> unit) -> unit
+(** [drain t ~cycle f] applies [f] to every event scheduled for exactly
+    [cycle], in insertion order, removing them first — same snapshot
+    semantics as {!pop_due} (events [f] schedules for a later cycle are
+    not visited) without materialising the due list on the common
+    bucket-only path. *)
+
 val next_due : 'a t -> int option
 (** Earliest cycle holding a pending event, or [None] when empty.
     Amortized O(distance to the next event). *)

@@ -4,6 +4,7 @@ module Opcode = Edge_isa.Opcode
 module Target = Edge_isa.Target
 module Token = Edge_isa.Token
 module Mem = Edge_isa.Mem
+module Bi = Block_image
 
 type outcome = { exit_taken : string option; faulted : string option }
 
@@ -14,53 +15,105 @@ type store_resolution =
   | Stored of { addr : int64; value : int64; width : Opcode.width; exc : bool }
   | Nulled
 
+(* Execution state over a decoded block image. The arrays are capacity
+   arrays: [run] reuses one state across every block of the chain
+   (cleared up to the current image's counts before each block), while
+   [run_block] sizes them exactly. *)
 type state = {
-  block : Block.t;
+  mutable img : Bi.t;
   left : Token.t option array;
   right : Token.t option array;
   pred_matched : bool array;  (* matching predicate arrived *)
   pred_exc : bool array;  (* the matching predicate carried an exception *)
   fired : bool array;
   writes : Token.t option array;
-  mutable stores : (int * store_resolution) list;  (* per declared lsid *)
+  stores : store_resolution array;  (* per declared store slot *)
   mutable branch : (string option * bool) option;  (* target, exc *)
   mutable pending_loads : int list;  (* instr ids deferred on LSID order *)
-  queue : (Target.t * Token.t) Queue.t;
+  (* pending token deliveries: a FIFO ring over two parallel arrays so
+     the hot delivery loop never allocates tuples or queue cells *)
+  mutable q_tgt : Target.t array;
+  mutable q_tok : Token.t array;
+  mutable q_head : int;
+  mutable q_len : int;
 }
 
 let fail fmt = Format.kasprintf (fun s -> raise (Malformed s)) fmt
 
-let init block =
-  let n = Array.length block.Block.instrs in
+let make_state ~cap_n ~cap_w ~cap_s img =
   {
-    block;
-    left = Array.make n None;
-    right = Array.make n None;
-    pred_matched = Array.make n false;
-    pred_exc = Array.make n false;
-    fired = Array.make n false;
-    writes = Array.make (Array.length block.Block.writes) None;
-    stores = List.map (fun l -> (l, Unresolved)) block.Block.store_lsids;
+    img;
+    left = Array.make (max 1 cap_n) None;
+    right = Array.make (max 1 cap_n) None;
+    pred_matched = Array.make (max 1 cap_n) false;
+    pred_exc = Array.make (max 1 cap_n) false;
+    fired = Array.make (max 1 cap_n) false;
+    writes = Array.make (max 1 cap_w) None;
+    stores = Array.make (max 1 cap_s) Unresolved;
     branch = None;
     pending_loads = [];
-    queue = Queue.create ();
+    q_tgt = Array.make 64 (Target.To_write 0);
+    q_tok = Array.make 64 (Token.of_int64 0L);
+    q_head = 0;
+    q_len = 0;
   }
 
-let store_resolution st lsid =
-  match List.assoc_opt lsid st.stores with
-  | Some r -> r
-  | None -> fail "store lsid %d not declared" lsid
+let q_push st tgt tok =
+  let cap = Array.length st.q_tgt in
+  if st.q_len = cap then begin
+    let ntgt = Array.make (2 * cap) (Target.To_write 0) in
+    let ntok = Array.make (2 * cap) (Token.of_int64 0L) in
+    for i = 0 to st.q_len - 1 do
+      let j = (st.q_head + i) land (cap - 1) in
+      ntgt.(i) <- st.q_tgt.(j);
+      ntok.(i) <- st.q_tok.(j)
+    done;
+    st.q_tgt <- ntgt;
+    st.q_tok <- ntok;
+    st.q_head <- 0
+  end;
+  let j = (st.q_head + st.q_len) land (Array.length st.q_tgt - 1) in
+  st.q_tgt.(j) <- tgt;
+  st.q_tok.(j) <- tok;
+  st.q_len <- st.q_len + 1
+
+(* point [st] at [img] and clear the live prefix *)
+let prepare st img =
+  st.img <- img;
+  let n = img.Bi.n in
+  Array.fill st.left 0 n None;
+  Array.fill st.right 0 n None;
+  Array.fill st.pred_matched 0 n false;
+  Array.fill st.pred_exc 0 n false;
+  Array.fill st.fired 0 n false;
+  Array.fill st.writes 0 img.Bi.n_writes None;
+  Array.fill st.stores 0 img.Bi.n_stores Unresolved;
+  st.branch <- None;
+  st.pending_loads <- [];
+  st.q_head <- 0;
+  st.q_len <- 0
+
+let store_slot st lsid =
+  let slot = Bi.store_slot_of st.img lsid in
+  if slot < 0 then fail "store lsid %d not declared" lsid;
+  slot
 
 let resolve_store st lsid r =
-  (match store_resolution st lsid with
+  let slot = store_slot st lsid in
+  (match st.stores.(slot) with
   | Unresolved -> ()
   | Stored _ | Nulled -> fail "store lsid %d resolved twice" lsid);
-  st.stores <- List.map (fun (l, v) -> if l = lsid then (l, r) else (l, v)) st.stores
+  st.stores.(slot) <- r
 
 let lower_lsids_resolved st lsid =
-  List.for_all
-    (fun (l, r) -> l >= lsid || r <> Unresolved)
-    st.stores
+  let img = st.img in
+  let rec go k =
+    k >= img.Bi.n_stores
+    || (img.Bi.store_lsids.(k) >= lsid
+        || match st.stores.(k) with Unresolved -> false | _ -> true)
+       && go (k + 1)
+  in
+  go 0
 
 (* Byte-accurate store-to-load forwarding: read the load's bytes from
    memory, then overlay every resolved store with a lower LSID, in LSID
@@ -80,27 +133,28 @@ let read_with_forwarding st ~mem ~width ~addr ~lsid =
                  0xFFL)))
     done;
     let exc = ref false in
-    List.iter
-      (fun (l, r) ->
-        if l < lsid then
-          match r with
-          | Stored { addr = sa; value; width = sw; exc = se } ->
-              let sbytes = Mem.width_bytes sw in
-              for i = 0 to sbytes - 1 do
-                let byte_addr = Int64.add sa (Int64.of_int i) in
-                let off = Int64.sub byte_addr addr in
-                if off >= 0L && off < Int64.of_int nbytes then begin
-                  if se then exc := true;
-                  Bytes.set bytes (Int64.to_int off)
-                    (Char.chr
-                       (Int64.to_int
-                          (Int64.logand
-                             (Int64.shift_right_logical value (8 * i))
-                             0xFFL)))
-                end
-              done
-          | Unresolved | Nulled -> ())
-      (List.sort (fun (a, _) (b, _) -> compare a b) st.stores);
+    let img = st.img in
+    for k = 0 to img.Bi.n_stores - 1 do
+      let slot = img.Bi.store_order.(k) in
+      if img.Bi.store_lsids.(slot) < lsid then
+        match st.stores.(slot) with
+        | Stored { addr = sa; value; width = sw; exc = se } ->
+            let sbytes = Mem.width_bytes sw in
+            for i = 0 to sbytes - 1 do
+              let byte_addr = Int64.add sa (Int64.of_int i) in
+              let off = Int64.sub byte_addr addr in
+              if off >= 0L && off < Int64.of_int nbytes then begin
+                if se then exc := true;
+                Bytes.set bytes (Int64.to_int off)
+                  (Char.chr
+                     (Int64.to_int
+                        (Int64.logand
+                           (Int64.shift_right_logical value (8 * i))
+                           0xFFL)))
+              end
+            done
+        | Unresolved | Nulled -> ()
+    done;
     let v = ref 0L in
     for i = nbytes - 1 downto 0 do
       v := Int64.logor (Int64.shift_left !v 8) (Int64.of_int (Char.code (Bytes.get bytes i)))
@@ -122,42 +176,48 @@ let read_with_forwarding st ~mem ~width ~addr ~lsid =
   end
 
 let is_complete st =
-  Array.for_all Option.is_some st.writes
-  && List.for_all (fun (_, r) -> r <> Unresolved) st.stores
-  && st.branch <> None
+  let img = st.img in
+  let rec writes_done w =
+    w >= img.Bi.n_writes || (Option.is_some st.writes.(w) && writes_done (w + 1))
+  in
+  let rec stores_done k =
+    k >= img.Bi.n_stores
+    || ((match st.stores.(k) with Unresolved -> false | _ -> true)
+       && stores_done (k + 1))
+  in
+  writes_done 0 && stores_done 0 && Option.is_some st.branch
 
 let ready st id =
-  let i = st.block.Block.instrs.(id) in
+  let i = st.img.Bi.instrs.(id) in
   if st.fired.(id) then false
   else
-    let arity = Opcode.num_operands i.Instr.opcode in
     let data_ok =
-      match i.Instr.opcode with
+      match i.Bi.op with
       | Opcode.Sand -> (
           (* short-circuit: a false left operand suffices (Section 7) *)
           match st.left.(id) with
-          | Some l -> (not (Token.as_predicate l)) || st.right.(id) <> None
+          | Some l -> (not (Token.as_predicate l)) || Option.is_some st.right.(id)
           | None -> false)
       | _ ->
-          (arity < 1 || st.left.(id) <> None)
-          && (arity < 2 || st.right.(id) <> None)
+          (i.Bi.arity < 1 || Option.is_some st.left.(id))
+          && (i.Bi.arity < 2 || Option.is_some st.right.(id))
     in
-    let pred_ok = (not (Instr.is_predicated i)) || st.pred_matched.(id) in
+    let pred_ok = (not i.Bi.predicated) || st.pred_matched.(id) in
     data_ok && pred_ok
 
-let rec deliver st ~mem ~stats (target, tok) =
+let rec deliver st ~mem ~stats target tok =
   match target with
   | Target.To_write w -> (
       match st.writes.(w) with
       | Some _ -> fail "write slot %d received two tokens" w
       | None -> st.writes.(w) <- Some tok)
   | Target.To_instr { id; slot } -> (
-      let i = st.block.Block.instrs.(id) in
+      let i = st.img.Bi.instrs.(id) in
       match slot with
       | Target.Pred ->
-          if not (Instr.is_predicated i) then
+          if not i.Bi.predicated then
             fail "I%d: predicate delivered to unpredicated instruction" id;
-          if Instr.predicate_matches i.Instr.pred tok then begin
+          if Instr.predicate_matches i.Bi.pred tok then begin
             if st.pred_matched.(id) then
               fail "I%d: two matching predicates" id;
             st.pred_matched.(id) <- true;
@@ -165,40 +225,41 @@ let rec deliver st ~mem ~stats (target, tok) =
             try_fire st ~mem ~stats id
           end
           (* non-matching arrivals are ignored (Section 4.1) *)
-      | Target.Left | Target.Right -> (
+      | Target.Left | Target.Right ->
           (* a null token arriving at a store resolves it immediately as a
              null store (Section 4.2) *)
-          match i.Instr.opcode with
-          | Opcode.St _ when tok.Token.null ->
-              if st.fired.(id) then fail "I%d: null for fired store" id;
-              st.fired.(id) <- true;
-              stats.Stats.nulls_executed <- stats.Stats.nulls_executed + 1;
-              resolve_store st i.Instr.lsid Nulled;
-              retry_loads st ~mem ~stats
-          | _ ->
-              let arr =
-                match slot with
-                | Target.Left -> st.left
-                | Target.Right -> st.right
-                | Target.Pred -> assert false
-              in
-              (match arr.(id) with
-              | Some _ -> fail "I%d: operand %a delivered twice" id Target.pp_slot slot
-              | None -> arr.(id) <- Some tok);
-              try_fire st ~mem ~stats id))
+          if i.Bi.is_store && tok.Token.null then begin
+            if st.fired.(id) then fail "I%d: null for fired store" id;
+            st.fired.(id) <- true;
+            stats.Stats.nulls_executed <- stats.Stats.nulls_executed + 1;
+            resolve_store st i.Bi.lsid Nulled;
+            retry_loads st ~mem ~stats
+          end
+          else begin
+            let arr =
+              match slot with
+              | Target.Left -> st.left
+              | Target.Right -> st.right
+              | Target.Pred -> assert false
+            in
+            (match arr.(id) with
+            | Some _ -> fail "I%d: operand %a delivered twice" id Target.pp_slot slot
+            | None -> arr.(id) <- Some tok);
+            try_fire st ~mem ~stats id
+          end)
 
 and try_fire st ~mem ~stats id =
   if ready st id then fire st ~mem ~stats id
 
 and fire st ~mem ~stats id =
-  let i = st.block.Block.instrs.(id) in
+  let i = st.img.Bi.instrs.(id) in
   let taint_pred tok =
     if st.pred_exc.(id) then Token.with_exc tok else tok
   in
-  match i.Instr.opcode with
+  match i.Bi.op with
   | Opcode.Ld width ->
       (* defer when a lower-LSID declared store is still unresolved *)
-      if not (lower_lsids_resolved st i.Instr.lsid) then begin
+      if not (lower_lsids_resolved st i.Bi.lsid) then begin
         if not (List.mem id st.pending_loads) then
           st.pending_loads <- id :: st.pending_loads
       end
@@ -208,31 +269,28 @@ and fire st ~mem ~stats id =
         let base =
           match st.left.(id) with Some t -> t | None -> assert false
         in
-        let addr = Alu.effective_address ~base ~imm:i.Instr.imm in
+        let addr = Alu.effective_address ~base ~imm:i.Bi.imm in
         let tok =
           if base.Token.exc || base.Token.null then
             Token.taint base (Token.of_int64 0L)
-          else read_with_forwarding st ~mem ~width ~addr ~lsid:i.Instr.lsid
+          else read_with_forwarding st ~mem ~width ~addr ~lsid:i.Bi.lsid
         in
         let tok = taint_pred (Token.taint base tok) in
         send_all st ~mem ~stats i tok
       end
-  | Opcode.St _ ->
+  | Opcode.St width ->
       st.fired.(id) <- true;
       stats.Stats.instrs_executed <- stats.Stats.instrs_executed + 1;
       let base = match st.left.(id) with Some t -> t | None -> assert false in
       let v = match st.right.(id) with Some t -> t | None -> assert false in
       if v.Token.null || base.Token.null then begin
-        resolve_store st i.Instr.lsid Nulled;
+        resolve_store st i.Bi.lsid Nulled;
         retry_loads st ~mem ~stats
       end
       else begin
-        let addr = Alu.effective_address ~base ~imm:i.Instr.imm in
-        let width =
-          match i.Instr.opcode with Opcode.St w -> w | _ -> assert false
-        in
+        let addr = Alu.effective_address ~base ~imm:i.Bi.imm in
         let exc = base.Token.exc || v.Token.exc || st.pred_exc.(id) in
-        resolve_store st i.Instr.lsid
+        resolve_store st i.Bi.lsid
           (Stored { addr; value = v.Token.payload; width; exc });
         retry_loads st ~mem ~stats
       end
@@ -242,7 +300,7 @@ and fire st ~mem ~stats id =
       (match st.branch with
       | Some _ -> fail "two branches fired"
       | None ->
-          let tgt = st.block.Block.exits.(i.Instr.exit_idx) in
+          let tgt = st.img.Bi.exits.(i.Bi.exit_idx) in
           let tgt = if String.equal tgt Block.halt_exit then None else Some tgt in
           st.branch <- Some (tgt, st.pred_exc.(id)))
   | Opcode.Halt ->
@@ -270,21 +328,21 @@ and fire st ~mem ~stats id =
   | Opcode.Null ->
       st.fired.(id) <- true;
       stats.Stats.instrs_executed <- stats.Stats.instrs_executed + 1;
-      (match i.Instr.opcode with
-      | Opcode.Un Opcode.Mov | Opcode.Mov4 ->
-          stats.Stats.moves_executed <- stats.Stats.moves_executed + 1
-      | Opcode.Null -> stats.Stats.nulls_executed <- stats.Stats.nulls_executed + 1
-      | Opcode.Tst _ | Opcode.Tsti _ | Opcode.Ftst _ ->
-          stats.Stats.tests_executed <- stats.Stats.tests_executed + 1
-      | _ -> ());
+      (match i.Bi.cls with
+      | Bi.Smove -> stats.Stats.moves_executed <- stats.Stats.moves_executed + 1
+      | Bi.Snull -> stats.Stats.nulls_executed <- stats.Stats.nulls_executed + 1
+      | Bi.Stest -> stats.Stats.tests_executed <- stats.Stats.tests_executed + 1
+      | Bi.Splain -> ());
       let tok =
-        Alu.exec i.Instr.opcode ~imm:i.Instr.imm ~left:st.left.(id)
-          ~right:st.right.(id)
+        Alu.exec i.Bi.op ~imm:i.Bi.imm ~left:st.left.(id) ~right:st.right.(id)
       in
       send_all st ~mem ~stats i (taint_pred tok)
 
-and send_all st ~mem ~stats i tok =
-  List.iter (fun tgt -> Queue.add (tgt, tok) st.queue) i.Instr.targets;
+and send_all st ~mem ~stats (i : Bi.inst) tok =
+  let tgts = i.Bi.targets in
+  for k = 0 to Array.length tgts - 1 do
+    q_push st tgts.(k) tok
+  done;
   drain st ~mem ~stats
 
 and retry_loads st ~mem ~stats =
@@ -295,78 +353,75 @@ and retry_loads st ~mem ~stats =
     loads
 
 and drain st ~mem ~stats =
-  while not (Queue.is_empty st.queue) do
-    deliver st ~mem ~stats (Queue.pop st.queue)
+  while st.q_len > 0 do
+    let j = st.q_head in
+    st.q_head <- (j + 1) land (Array.length st.q_tgt - 1);
+    st.q_len <- st.q_len - 1;
+    deliver st ~mem ~stats st.q_tgt.(j) st.q_tok.(j)
   done
 
-let run_block block ~regs ~mem ~stats =
+(* execute the block [st] was prepared for and commit its outputs *)
+let exec_block st ~regs ~mem ~stats =
   match
-    let st = init block in
+    let img = st.img in
     stats.Stats.blocks_executed <- stats.Stats.blocks_executed + 1;
-    stats.Stats.instrs_fetched <-
-      stats.Stats.instrs_fetched + Array.length block.Block.instrs;
+    stats.Stats.instrs_fetched <- stats.Stats.instrs_fetched + img.Bi.n;
     (* seed register reads *)
-    Array.iter
-      (fun (r : Block.read) ->
-        let tok = Token.of_int64 regs.(r.Block.reg) in
-        List.iter (fun tgt -> Queue.add (tgt, tok) st.queue) r.Block.rtargets)
-      block.Block.reads;
-    (* seed 0-operand unpredicated instructions *)
     Array.iteri
-      (fun id (i : Instr.t) ->
-        if
-          Opcode.num_operands i.Instr.opcode = 0
-          && not (Instr.is_predicated i)
-        then try_fire st ~mem ~stats id)
-      block.Block.instrs;
+      (fun rslot (r : Block.read) ->
+        let tok = Token.of_int64 regs.(r.Block.reg) in
+        Array.iter (fun tgt -> q_push st tgt tok) img.Bi.rtargets.(rslot))
+      img.Bi.reads;
+    (* seed 0-operand unpredicated instructions *)
+    Array.iter (fun id -> try_fire st ~mem ~stats id) img.Bi.seeds;
     drain st ~mem ~stats;
     if not (is_complete st) then begin
       let missing = Buffer.create 64 in
-      Array.iteri
-        (fun w t ->
-          if t = None then Buffer.add_string missing (Printf.sprintf " W%d" w))
-        st.writes;
-      List.iter
-        (fun (l, r) ->
-          if r = Unresolved then
-            Buffer.add_string missing (Printf.sprintf " S%d" l))
-        st.stores;
+      for w = 0 to img.Bi.n_writes - 1 do
+        if st.writes.(w) = None then
+          Buffer.add_string missing (Printf.sprintf " W%d" w)
+      done;
+      for k = 0 to img.Bi.n_stores - 1 do
+        if st.stores.(k) = Unresolved then
+          Buffer.add_string missing
+            (Printf.sprintf " S%d" img.Bi.store_lsids.(k))
+      done;
       if st.branch = None then Buffer.add_string missing " branch";
-      fail "block %s deadlocked; missing:%s" block.Block.name
+      fail "block %s deadlocked; missing:%s" img.Bi.name
         (Buffer.contents missing)
     end;
     (* count mispredicated (fetched but never fired) instructions *)
     Array.iteri
-      (fun id (i : Instr.t) ->
-        if Instr.is_predicated i && not st.fired.(id) then
+      (fun id (i : Bi.inst) ->
+        if i.Bi.predicated && not st.fired.(id) then
           stats.Stats.mispredicated_fetched <-
             stats.Stats.mispredicated_fetched + 1)
-      block.Block.instrs;
-    (* commit *)
+      img.Bi.instrs;
+    (* commit: stores in LSID order, then register writes *)
     let fault = ref None in
-    List.iter
-      (fun (lsid, r) ->
-        match r with
-        | Stored { addr; value; width; exc } ->
-            if exc then fault := Some (Printf.sprintf "store lsid %d" lsid)
-            else (
-              match Mem.store mem ~width ~addr value with
-              | Ok () -> ()
-              | Error () ->
-                  fault := Some (Printf.sprintf "store fault at %Ld" addr))
-        | Nulled -> ()
-        | Unresolved -> assert false)
-      (List.sort (fun (a, _) (b, _) -> compare a b) st.stores);
-    Array.iteri
-      (fun w tok ->
-        match tok with
-        | Some t ->
-            if t.Token.null then ()
-            else if t.Token.exc then
-              fault := Some (Printf.sprintf "write W%d" w)
-            else regs.(block.Block.writes.(w).Block.wreg) <- t.Token.payload
-        | None -> assert false)
-      st.writes;
+    for k = 0 to img.Bi.n_stores - 1 do
+      let slot = img.Bi.store_order.(k) in
+      match st.stores.(slot) with
+      | Stored { addr; value; width; exc } ->
+          if exc then
+            fault := Some (Printf.sprintf "store lsid %d" img.Bi.store_lsids.(slot))
+          else (
+            match Mem.store mem ~width ~addr value with
+            | Ok () -> ()
+            | Error () ->
+                fault := Some (Printf.sprintf "store fault at %Ld" addr))
+      | Nulled -> ()
+      | Unresolved -> assert false
+    done;
+    for w = 0 to img.Bi.n_writes - 1 do
+      match st.writes.(w) with
+      | Some t ->
+          if t.Token.null then ()
+          else if t.Token.exc then
+            fault := Some (Printf.sprintf "write W%d" w)
+          else regs.(img.Bi.write_regs.(w)) <- t.Token.payload
+      | None -> assert false
+    done;
     let exit_taken, branch_exc =
       match st.branch with Some (t, e) -> (t, e) | None -> assert false
     in
@@ -377,15 +432,41 @@ let run_block block ~regs ~mem ~stats =
   | r -> r
   | exception Malformed m -> Error m
 
+let run_block block ~regs ~mem ~stats =
+  let img = Bi.of_block block in
+  let st =
+    make_state ~cap_n:img.Bi.n ~cap_w:img.Bi.n_writes ~cap_s:img.Bi.n_stores img
+  in
+  prepare st img;
+  exec_block st ~regs ~mem ~stats
+
 let run ?(fuel_blocks = 10_000_000) program ~regs ~mem =
   let stats = Stats.create () in
+  let imgp = Bi.of_program program in
+  let st =
+    make_state ~cap_n:imgp.Bi.max_n ~cap_w:imgp.Bi.max_writes
+      ~cap_s:imgp.Bi.max_stores
+      (* a placeholder image; [prepare] repoints it per block *)
+      (if Array.length imgp.Bi.blocks > 0 then imgp.Bi.blocks.(0)
+       else
+         Bi.of_block
+           {
+             Block.name = "@none";
+             instrs = [||];
+             reads = [||];
+             writes = [||];
+             store_lsids = [];
+             exits = [||];
+           })
+  in
   let rec go name fuel =
     if fuel <= 0 then Error "malformed: fuel exhausted"
     else
-      match Edge_isa.Program.find program name with
+      match Bi.find_index imgp name with
       | None -> Error (Printf.sprintf "malformed: no block %s" name)
-      | Some b -> (
-          match run_block b ~regs ~mem ~stats with
+      | Some idx -> (
+          prepare st imgp.Bi.blocks.(idx);
+          match exec_block st ~regs ~mem ~stats with
           | Error m -> Error ("malformed: " ^ m)
           | Ok { faulted = Some f; _ } -> Error ("fault: " ^ f)
           | Ok { exit_taken = None; _ } -> Ok stats

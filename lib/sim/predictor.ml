@@ -21,19 +21,25 @@ let create ?(history_bits = 4) ?(table_bits = 12) () =
 
 let block_hash block = Hashtbl.hash block
 
-let index t block =
-  (block_hash block lxor (t.history * 31)) land t.table_mask
+(* the [_hashed] variants take the precomputed [block_hash] so callers
+   that decode blocks once (the cycle simulator's block images) skip
+   rehashing the name on every fetch; same arithmetic, same tables *)
+let index_h t h = (h lxor (t.history * 31)) land t.table_mask
+let btb_key_h h exit_idx = (h * 37) + exit_idx
 
-let btb_key block exit_idx = (block_hash block * 37) + exit_idx
+let predict_hashed t ~block_hash:h =
+  let exit_idx = t.exit_table.(index_h t h) in
+  Hashtbl.find_opt t.btb (btb_key_h h exit_idx)
 
-let predict t ~block =
-  let exit_idx = t.exit_table.(index t block) in
-  Hashtbl.find_opt t.btb (btb_key block exit_idx)
+let update_hashed t ~block_hash:h ~exit_idx ~target =
+  t.exit_table.(index_h t h) <- exit_idx;
+  Hashtbl.replace t.btb (btb_key_h h exit_idx) target;
+  t.history <- ((t.history lsl 2) lor (exit_idx land 3)) land t.history_mask
+
+let predict t ~block = predict_hashed t ~block_hash:(block_hash block)
 
 let update t ~block ~exit_idx ~target =
-  t.exit_table.(index t block) <- exit_idx;
-  Hashtbl.replace t.btb (btb_key block exit_idx) target;
-  t.history <- ((t.history lsl 2) lor (exit_idx land 3)) land t.history_mask
+  update_hashed t ~block_hash:(block_hash block) ~exit_idx ~target
 
 let mispredicts t = t.mispredicts
 let predictions t = t.predictions

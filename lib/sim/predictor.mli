@@ -20,6 +20,15 @@ val update : t -> block:string -> exit_idx:int -> target:string -> unit
 (** Train with the architecturally taken exit. Also advances the global
     history. *)
 
+val block_hash : string -> int
+(** The hash [predict]/[update] derive from the block name; precompute
+    it once per block and use the [_hashed] variants on hot paths. *)
+
+val predict_hashed : t -> block_hash:int -> string option
+val update_hashed : t -> block_hash:int -> exit_idx:int -> target:string -> unit
+(** Exactly [predict]/[update] with the name hash supplied by the
+    caller (see {!block_hash}). *)
+
 val mispredicts : t -> int
 val predictions : t -> int
 val record_outcome : t -> correct:bool -> unit

@@ -12,5 +12,6 @@ let () =
       ("parallel", Test_parallel.tests);
       ("diff", Test_diff.tests);
       ("fuzz", Test_fuzz.tests);
+      ("arena", Test_arena.tests);
       ("obs", Test_obs.tests);
     ]

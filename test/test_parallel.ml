@@ -4,6 +4,7 @@
 
 module Pool = Edge_parallel.Pool
 module Memo = Edge_parallel.Memo
+module Disk_cache = Edge_parallel.Disk_cache
 module Event_queue = Edge_sim.Event_queue
 
 (* -- pool --------------------------------------------------------- *)
@@ -171,6 +172,126 @@ let queue_matches_model () =
   drain ();
   Alcotest.(check bool) "model drained too" true (Model.is_empty m)
 
+(* -- persistent disk cache ---------------------------------------- *)
+
+(* dune tests run in a per-test sandbox, so a relative directory is
+   private to this run *)
+let cache_roundtrip () =
+  let c = Disk_cache.create ~dir:"dc_roundtrip" in
+  Alcotest.(check (option (list int))) "cold miss" None (Disk_cache.find c ~key:"a");
+  Alcotest.(check int) "one miss" 1 (Disk_cache.misses c);
+  Disk_cache.store c ~key:"a" [ 1; 2; 3 ];
+  Disk_cache.store c ~key:"b" "hello";
+  Alcotest.(check (option (list int)))
+    "list round-trips" (Some [ 1; 2; 3 ])
+    (Disk_cache.find c ~key:"a");
+  Alcotest.(check (option string))
+    "string round-trips" (Some "hello")
+    (Disk_cache.find c ~key:"b");
+  Alcotest.(check int) "two hits" 2 (Disk_cache.hits c);
+  (* a second handle on the same dir sees the entries: persistence is
+     the point *)
+  let c2 = Disk_cache.create ~dir:"dc_roundtrip" in
+  Alcotest.(check (option (list int)))
+    "fresh handle hits" (Some [ 1; 2; 3 ])
+    (Disk_cache.find c2 ~key:"a");
+  Disk_cache.remove c2 ~key:"a";
+  Alcotest.(check (option (list int)))
+    "removed" None (Disk_cache.find c2 ~key:"a")
+
+(* any change to the key — a bumped simulator revision, a different
+   config digest — is a different file: old entries simply never match *)
+let cache_key_invalidation () =
+  let c = Disk_cache.create ~dir:"dc_invalidate" in
+  let key rev = String.concat "|" [ "run-v1"; rev; "tblook01"; "Both" ] in
+  Disk_cache.store c ~key:(key "cycle-sim-4") 42;
+  Alcotest.(check (option int))
+    "current revision hits" (Some 42)
+    (Disk_cache.find c ~key:(key "cycle-sim-4"));
+  Alcotest.(check (option int))
+    "bumped revision misses" None
+    (Disk_cache.find c ~key:(key "cycle-sim-5"))
+
+let corrupt path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  close_in ic;
+  let oc = open_out_gen [ Open_wronly; Open_binary ] 0o644 path in
+  (* flip a byte in the middle of the payload *)
+  seek_out oc (len / 2);
+  output_char oc '\xff';
+  close_out oc
+
+let cache_corruption () =
+  let c = Disk_cache.create ~dir:"dc_corrupt" in
+  Disk_cache.store c ~key:"k" (Array.init 64 string_of_int);
+  corrupt (Disk_cache.path_of_key c ~key:"k");
+  Alcotest.(check (option (array string)))
+    "corrupted entry reads as a miss" None
+    (Disk_cache.find c ~key:"k");
+  Alcotest.(check bool) "corruption counted" true (Disk_cache.errors c >= 1);
+  (* and the caller's recompute-and-store path repairs it *)
+  Disk_cache.store c ~key:"k" (Array.init 64 string_of_int);
+  Alcotest.(check (option (array string)))
+    "restored entry hits"
+    (Some (Array.init 64 string_of_int))
+    (Disk_cache.find c ~key:"k");
+  (* a truncated entry (torn short of the digest) is also just a miss *)
+  let path = Disk_cache.path_of_key c ~key:"k" in
+  let oc = open_out_gen [ Open_wronly; Open_trunc; Open_binary ] 0o644 path in
+  output_string oc "short";
+  close_out oc;
+  Alcotest.(check (option (array string)))
+    "truncated entry reads as a miss" None
+    (Disk_cache.find c ~key:"k")
+
+(* the harness integration: a cached Experiment.run_one rerun must
+   reproduce the uncached run exactly, with the timing fields zeroed *)
+let cache_experiment_roundtrip () =
+  let w =
+    match Edge_workloads.Registry.find "tblook01" with
+    | Some w -> w
+    | None -> Alcotest.fail "tblook01 missing from registry"
+  in
+  let cfg = ("Both", Dfp.Config.both) in
+  let cache = Disk_cache.create ~dir:"dc_experiment" in
+  let r1 =
+    match Edge_harness.Experiment.run_one ~cache w cfg with
+    | Ok r -> r
+    | Error e -> Alcotest.failf "cold run: %s" e
+  in
+  Alcotest.(check int) "cold run missed" 1 (Disk_cache.misses cache);
+  let r2 =
+    match Edge_harness.Experiment.run_one ~cache w cfg with
+    | Ok r -> r
+    | Error e -> Alcotest.failf "warm run: %s" e
+  in
+  Alcotest.(check int) "warm run hit" 1 (Disk_cache.hits cache);
+  Alcotest.(check int) "identical cycles"
+    r1.Edge_harness.Experiment.cycles r2.Edge_harness.Experiment.cycles;
+  Alcotest.(check bool) "identical stats" true
+    (r1.Edge_harness.Experiment.stats = r2.Edge_harness.Experiment.stats);
+  Alcotest.(check (float 0.0)) "hit reports zero compile time" 0.
+    r2.Edge_harness.Experiment.compile_s;
+  Alcotest.(check (float 0.0)) "hit reports zero sim time" 0.
+    r2.Edge_harness.Experiment.sim_s;
+  (* corrupting the entry degrades to a recompute with the same result *)
+  let files = Sys.readdir (Disk_cache.dir cache) in
+  Array.iter
+    (fun f ->
+      if Filename.check_suffix f ".bin" then
+        corrupt (Filename.concat (Disk_cache.dir cache) f))
+    files;
+  let r3 =
+    match Edge_harness.Experiment.run_one ~cache w cfg with
+    | Ok r -> r
+    | Error e -> Alcotest.failf "post-corruption run: %s" e
+  in
+  Alcotest.(check int) "recomputed cycles identical"
+    r1.Edge_harness.Experiment.cycles r3.Edge_harness.Experiment.cycles;
+  Alcotest.(check bool) "corruption recorded" true
+    (Disk_cache.errors cache >= 1)
+
 (* -- determinism of the parallel sweep ---------------------------- *)
 
 let sweep_deterministic () =
@@ -209,5 +330,11 @@ let tests =
     Alcotest.test_case "event queue fifo" `Quick queue_fifo_and_ordering;
     Alcotest.test_case "event queue far future" `Quick queue_far_future;
     Alcotest.test_case "event queue vs model" `Quick queue_matches_model;
+    Alcotest.test_case "disk cache roundtrip" `Quick cache_roundtrip;
+    Alcotest.test_case "disk cache key invalidation" `Quick
+      cache_key_invalidation;
+    Alcotest.test_case "disk cache corruption" `Quick cache_corruption;
+    Alcotest.test_case "disk cache experiment roundtrip" `Quick
+      cache_experiment_roundtrip;
     Alcotest.test_case "sweep deterministic" `Slow sweep_deterministic;
   ]
