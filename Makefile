@@ -1,5 +1,5 @@
-.PHONY: all build test check smoke fuzz-smoke trace-smoke perf-smoke \
-	bench-compare regen-golden bench clean
+.PHONY: all build test check smoke check-smoke fuzz-smoke trace-smoke \
+	perf-smoke bench-compare regen-golden bench clean
 
 all: build
 
@@ -13,9 +13,15 @@ test:
 # short parallel fuzz campaign finds nothing, and the observability
 # layer round-trips (valid Chrome JSON, golden trace matches)
 check:
-	dune build @all && dune runtest && $(MAKE) fuzz-smoke && $(MAKE) trace-smoke \
-	&& $(MAKE) perf-smoke \
+	dune build @all && dune runtest && $(MAKE) fuzz-smoke && $(MAKE) check-smoke \
+	&& $(MAKE) trace-smoke && $(MAKE) perf-smoke \
 	&& $(MAKE) bench-compare BASE=BENCH_fig7.json NEW=BENCH_fig7.json
+
+# compile the example kernels plus 50 fixed-seed generated kernels
+# under every configuration with the per-pass static verifier on; any
+# checker diagnostic fails the run
+check-smoke: build
+	dune exec bin/fuzz.exe -- --check-smoke examples/kernels -j 4
 
 # seconds-long differential-fuzzing sanity run (small programs, every
 # config, both simulators, block validator, parallel path)

@@ -273,7 +273,7 @@ let run_micro () =
 let usage () =
   Printf.eprintf
     "usage: main.exe [fig7|stats|genalg|ablation|smoke|micro|all] [-j N] \
-     [--json PATH] [--no-cache] [--cache-dir DIR]\n";
+     [--json PATH] [--no-cache] [--cache-dir DIR] [--check]\n";
   exit 1
 
 let () =
@@ -298,6 +298,11 @@ let () =
         parse rest
     | "--cache-dir" :: d :: rest ->
         cache_dir := d;
+        parse rest
+    | "--check" :: rest ->
+        (* per-pass static verifier on every compile (also: DFP_CHECK=1);
+           checked runs bypass the persistent result cache *)
+        Edge_check.Check.set_enabled true;
         parse rest
     | m :: rest when String.length m > 0 && m.[0] <> '-' ->
         mode := m;

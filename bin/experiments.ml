@@ -14,7 +14,7 @@
 let usage () =
   Printf.eprintf
     "usage: experiments.exe [-j N] [--trace-out PATH] [--no-cache] \
-     [--cache-dir DIR]\n";
+     [--cache-dir DIR] [--check]\n";
   exit 1
 
 let write_combined_trace path (fig7 : Edge_harness.Figure7.result) =
@@ -56,6 +56,11 @@ let () =
         parse rest
     | "--cache-dir" :: d :: rest ->
         cache_dir := d;
+        parse rest
+    | "--check" :: rest ->
+        (* per-pass static verifier on every compile (also: DFP_CHECK=1);
+           checked runs bypass the persistent result cache *)
+        Edge_check.Check.set_enabled true;
         parse rest
     | _ -> usage ()
   in

@@ -15,12 +15,23 @@
 
      --workloads   validate the compiled artifacts of every registry
                    workload under every configuration instead of fuzzing
-     --replay DIR  re-run every corpus entry through the oracle *)
+     --replay DIR  re-run every corpus entry through the oracle
+     --check-smoke DIR
+                   run the per-pass static checker (compile only) over
+                   every .k kernel in DIR plus 50 fixed-seed generated
+                   kernels, under every configuration; any diagnostic
+                   fails
+     --max-vars N  enumerator width cutoff: blocks with more than N
+                   predicate variables are skipped by exhaustive path
+                   enumeration (they still get the lattice checker);
+                   skip counts are reported
+     --no-check    disable the per-pass static checker in the oracle *)
 
 let usage =
   "usage: fuzz.exe [--seed S] [-n N] [-j J] [--min-size A] [--max-size B]\n\
-  \                [--no-cycle] [--no-validate] [--no-minimize]\n\
-  \                [--corpus DIR] [--cache-dir DIR] [--workloads] [--replay DIR]"
+  \                [--no-cycle] [--no-validate] [--no-check] [--no-minimize]\n\
+  \                [--max-vars N] [--corpus DIR] [--cache-dir DIR]\n\
+  \                [--workloads] [--replay DIR] [--check-smoke DIR]"
 
 let () =
   let seed = ref 0 in
@@ -30,6 +41,8 @@ let () =
   let max_size = ref Edge_fuzz.Fuzz.default_max_size in
   let cycle = ref true in
   let validate = ref true in
+  let check = ref true in
+  let max_vars = ref None in
   let minimize = ref true in
   let corpus = ref None in
   let cache_dir = ref None in
@@ -52,11 +65,15 @@ let () =
         int_arg "--max-size" v rest (fun i r -> max_size := i; parse r)
     | "--no-cycle" :: rest -> cycle := false; parse rest
     | "--no-validate" :: rest -> validate := false; parse rest
+    | "--no-check" :: rest -> check := false; parse rest
+    | "--max-vars" :: v :: rest ->
+        int_arg "--max-vars" v rest (fun i r -> max_vars := Some i; parse r)
     | "--no-minimize" :: rest -> minimize := false; parse rest
     | "--corpus" :: dir :: rest -> corpus := Some dir; parse rest
     | "--cache-dir" :: dir :: rest -> cache_dir := Some dir; parse rest
     | "--workloads" :: rest -> mode := `Workloads; parse rest
     | "--replay" :: dir :: rest -> mode := `Replay dir; parse rest
+    | "--check-smoke" :: dir :: rest -> mode := `Check_smoke dir; parse rest
     | a :: _ ->
         Printf.eprintf "unknown argument %s\n%s\n" a usage;
         exit 1
@@ -72,9 +89,25 @@ let () =
       Format.printf "validating compiled artifacts: %d workloads x %d configs@."
         (List.length Edge_workloads.Registry.all)
         (List.length Edge_fuzz.Oracle.configs);
-      match Edge_fuzz.Fuzz.validate_workloads ~jobs:!jobs () with
+      match Edge_fuzz.Fuzz.validate_workloads ~jobs:!jobs ?max_vars:!max_vars ()
+      with
       | [] ->
           Format.printf "all artifacts pass the block validator@.";
+          exit 0
+      | errs ->
+          List.iter
+            (fun (label, e) -> Format.printf "FAIL %s: %s@." label e)
+            errs;
+          exit 1)
+  | `Check_smoke dir -> (
+      let sources = Edge_fuzz.Corpus.load_dir dir in
+      Format.printf
+        "checker smoke: %d kernels from %s + 50 generated, %d configs@."
+        (List.length sources) dir
+        (List.length Edge_fuzz.Oracle.configs);
+      match Edge_fuzz.Fuzz.check_smoke ~jobs:!jobs ~sources () with
+      | [] ->
+          Format.printf "checker clean on every compile@.";
           exit 0
       | errs ->
           List.iter
@@ -90,7 +123,7 @@ let () =
         (fun (name, src) ->
           match
             Edge_fuzz.Fuzz.replay_source ~cycle:!cycle ~validate:!validate
-              ~name src
+              ~check:!check ?max_vars:!max_vars ~name src
           with
           | Ok () -> ()
           | Error e ->
@@ -102,7 +135,8 @@ let () =
   | `Fuzz ->
       let report =
         Edge_fuzz.Fuzz.run ~jobs:!jobs ~cycle:!cycle ~validate:!validate
-          ?cache ~min_size:!min_size ~max_size:!max_size ~seed:!seed ~n:!n ()
+          ~check:!check ?max_vars:!max_vars ?cache ~min_size:!min_size
+          ~max_size:!max_size ~seed:!seed ~n:!n ()
       in
       Format.printf "%a" Edge_fuzz.Fuzz.pp_report report;
       (match (report.Edge_fuzz.Fuzz.failures, !corpus) with
@@ -117,7 +151,7 @@ let () =
                     f.Edge_fuzz.Fuzz.config;
                   Edge_fuzz.Pretty.kernel_to_string
                     (Edge_fuzz.Fuzz.minimize_failure ~cycle:!cycle
-                       ~validate:!validate f)
+                       ~validate:!validate ~check:!check ?max_vars:!max_vars f)
                 end
                 else f.Edge_fuzz.Fuzz.source
               in

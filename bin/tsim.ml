@@ -147,9 +147,10 @@ let run_kernel path (config_name, config) machine ~arena oopts =
           Ok ())
 
 let run workload config_name functional_only no_early in_order no_arena
-    asm_args trace_out trace_text metrics =
+    check asm_args trace_out trace_text metrics =
   let ( let* ) = Result.bind in
   let arena = not no_arena in
+  if check then Edge_check.Check.set_enabled true;
   let oopts = { trace_out; trace_text; metrics } in
   let machine =
     {
@@ -158,7 +159,7 @@ let run workload config_name functional_only no_early in_order no_arena
       aggressive_loads = not in_order;
     }
   in
-  let result =
+  let compute () =
     if Filename.check_suffix workload ".s" || Filename.check_suffix workload ".img"
     then
       run_asm workload
@@ -213,6 +214,25 @@ let run workload config_name functional_only no_early in_order no_arena
       finish ()
     end
   in
+  let result = compute () in
+  (* a checker diagnostic aborts compilation before anything runs; when
+     the user also asked for a trace, recompile with the checker off and
+     run that artifact so the offending block's schedule lands next to
+     the error (the run still exits nonzero) *)
+  let result =
+    match result with
+    | Error e
+      when Edge_check.Check.enabled ()
+           && obs_wanted oopts
+           && Edge_check.Diag.parse_key e <> None ->
+        Format.printf
+          "checker diagnostic; capturing the trace with the checker off@.";
+        (match Edge_check.Check.without_check compute with
+        | Ok () -> ()
+        | Error e2 -> Format.printf "trace capture also failed: %s@." e2);
+        Error e
+    | r -> r
+  in
   match result with
   | Ok () -> 0
   | Error e ->
@@ -246,6 +266,16 @@ let in_order_arg =
   let doc = "In-order memory: loads wait for all older stores." in
   Arg.(value & flag & info [ "in-order-memory" ] ~doc)
 
+let check_arg =
+  let doc =
+    "Run the per-pass static verifier during compilation (equivalent to \
+     DFP_CHECK=1): any invariant violation aborts with a \
+     check[pass=... invariant=...] diagnostic. With --trace-out or \
+     --trace-text, a failing compile is redone with the checker off so \
+     the offending program's trace is captured alongside the error."
+  in
+  Arg.(value & flag & info [ "check" ] ~doc)
+
 let no_arena_arg =
   let doc =
     "Disable the cycle simulator's frame arena: allocate fresh per-block \
@@ -278,7 +308,7 @@ let cmd =
     (Cmd.info "tsim" ~doc)
     Term.(
       const run $ workload_arg $ config_arg $ functional_arg $ no_early_arg
-      $ in_order_arg $ no_arena_arg $ asm_args_arg $ trace_out_arg
+      $ in_order_arg $ no_arena_arg $ check_arg $ asm_args_arg $ trace_out_arg
       $ trace_text_arg $ metrics_arg)
 
 let () = exit (Cmd.eval' cmd)

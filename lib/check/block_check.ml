@@ -1,0 +1,475 @@
+(* The polynomial-time invariant checker for encoded blocks.
+
+   Where the fuzz validator's enumerator walks all 2^k assignments of a
+   block's predicate variables (capped at 11), this checker evaluates
+   the same dataflow symbolically over a three-valued predicate lattice
+   (true / false / underivable) whose regions are BDDs over exactly the
+   enumerator's variables ([Edge_ir.Gate]).  For every producer we
+   compute three characteristic formulas:
+
+     F(p)   — the assignments on which p eventually fires,
+     vt/vu  — the assignments on which its token's boolean value is
+              true, resp. underivable (elsewhere it is false),
+     N(p)   — the assignments on which its token is a null.
+
+   A least fixpoint of the firing equations (mirroring the event-driven
+   executor: predicate matching, sand short-circuit, LSID-ordered
+   loads, null-resolved stores) then turns each path-enumeration check
+   into a satisfiability question on one BDD:
+
+     - predicate polarity: sat(F(p) ∧ vu(p)) for a predicate producer
+       means some path delivers an underivable predicate;
+     - predicate-OR disjointness: two match regions intersect;
+     - single delivery: two producer fire regions of one operand or
+       write slot intersect;
+     - output completeness: the union of delivery regions for a write
+       slot, store LSID, or the branch set is not the whole space;
+     - exactly-one-branch: branch fire regions pairwise disjoint and
+       jointly total.
+
+   BDD sizes are bounded by a node budget; exceeding it (or a
+   non-converging fixpoint, which the pointwise-monotone equations
+   should never produce) yields [Skipped], never a diagnostic.
+
+   One deliberate strictness: the enumerator only reports a null
+   arriving at an *already fired* store (delivery order decides), while
+   this checker flags any overlap between a store's real-fire and
+   null-resolve regions.  The compiler never emits order-dependent
+   store resolution, so this is a superset on buggy code and agrees on
+   everything the pipeline produces. *)
+
+module B = Edge_isa.Block
+module I = Edge_isa.Instr
+module O = Edge_isa.Opcode
+module T = Edge_isa.Target
+module E = Edge_isa.Encode
+module Bdd = Edge_ir.Bdd
+module Gate = Edge_ir.Gate
+
+type outcome = Clean | Skipped of string | Diags of Diag.t list
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+(* anchor a validator message to its instruction/output when it leads
+   with the conventional "I3:", "W0:", "R1:" prefix *)
+let where_of_message msg =
+  match String.index_opt msg ':' with
+  | Some i when i > 1 && i < 6 -> (
+      let head = String.sub msg 0 i in
+      match head.[0] with
+      | 'I' | 'W' | 'R' | 'S' ->
+          if String.for_all (fun c -> c >= '0' && c <= '9')
+               (String.sub head 1 (String.length head - 1))
+          then head
+          else "-"
+      | _ -> "-")
+  | _ -> "-"
+
+let classify_structural msg =
+  if contains msg "lsid" then Diag.Lsid
+  else if contains msg "mov4" then Diag.Fanout
+  else Diag.Structure
+
+let classify_encoding msg =
+  if contains msg "mov4" then Diag.Fanout else Diag.Encode
+
+(* structural and encodability checks, classified into invariants;
+   mirrors the fuzz validator's structural tier so the checker is
+   self-contained (lib/check cannot depend on lib/fuzz) *)
+let structural_diags ~pass (b : B.t) : Diag.t list =
+  let diags = ref [] in
+  let add where invariant msg =
+    diags := Diag.make ~pass ~block:b.B.name ~where invariant msg :: !diags
+  in
+  (match B.validate b with
+  | Ok () -> ()
+  | Error es ->
+      List.iter
+        (fun msg -> add (where_of_message msg) (classify_structural msg) msg)
+        es);
+  (* the reserved-target rule, with a clear message *)
+  Array.iter
+    (fun (i : I.t) ->
+      List.iter
+        (function
+          | T.To_instr { id = 0; slot = T.Left } ->
+              add
+                (Printf.sprintf "I%d" i.I.id)
+                Diag.Encode
+                (Printf.sprintf
+                   "I%d targets I0's left operand (encodes as no-target)"
+                   i.I.id)
+          | _ -> ())
+        i.I.targets)
+    b.B.instrs;
+  (match E.encode_block_body b.B.instrs with
+  | Error e -> add "-" (classify_encoding e) ("encode: " ^ e)
+  | Ok words -> (
+      match E.decode_block_body words with
+      | Error e -> add "-" (classify_encoding e) ("decode: " ^ e)
+      | Ok instrs' ->
+          if Array.length instrs' <> Array.length b.B.instrs then
+            add "-" Diag.Encode
+              (Printf.sprintf "round trip changed instruction count: %d -> %d"
+                 (Array.length b.B.instrs) (Array.length instrs'))
+          else
+            Array.iteri
+              (fun idx (orig : I.t) ->
+                if not (I.equal orig instrs'.(idx)) then
+                  add
+                    (Printf.sprintf "I%d" idx)
+                    Diag.Encode
+                    (Format.asprintf "I%d does not round-trip: %a <> %a" idx
+                       I.pp orig I.pp instrs'.(idx)))
+              b.B.instrs));
+  List.rev !diags
+
+(* ---------- symbolic gating analysis ---------- *)
+
+type source = Si of int | Sr of int  (* instruction id / read slot *)
+
+let symbolic_diags ~pass (b : B.t) : outcome =
+  let n = Array.length b.B.instrs in
+  let nr = Array.length b.B.reads in
+  let rel = Gate.boolean_relevant b in
+  let names, var_of, _k = Gate.variables b rel in
+  let names_arr = Array.of_list names in
+  let m = Bdd.create () in
+  let src_idx = function Si i -> i | Sr r -> n + r in
+  (* producer tables, one entry per target occurrence (a duplicated
+     target is two deliveries, as in the hardware) *)
+  let data_prods : (int * T.slot, source list) Hashtbl.t = Hashtbl.create 64 in
+  let pred_prods : (int, source list) Hashtbl.t = Hashtbl.create 16 in
+  let write_prods : (int, source list) Hashtbl.t = Hashtbl.create 16 in
+  let push tbl key v =
+    Hashtbl.replace tbl key
+      (v :: Option.value ~default:[] (Hashtbl.find_opt tbl key))
+  in
+  let scan source targets =
+    List.iter
+      (function
+        | T.To_instr { id; slot = T.Pred } -> push pred_prods id source
+        | T.To_instr { id; slot } -> push data_prods (id, slot) source
+        | T.To_write w -> push write_prods w source)
+      targets
+  in
+  Array.iter (fun (i : I.t) -> scan (Si i.I.id) i.I.targets) b.B.instrs;
+  Array.iteri (fun r (rd : B.read) -> scan (Sr r) rd.B.rtargets) b.B.reads;
+  (* per-producer state, indexed by src_idx *)
+  let f = Array.make (n + nr) Bdd.False in
+  let vt = Array.make (n + nr) Bdd.False in
+  let vu = Array.make (n + nr) Bdd.False in
+  let nl = Array.make (n + nr) Bdd.False in
+  (* fixed value of an enumeration-variable or constant source; [None]
+     for derived sources whose value the fixpoint computes *)
+  let fixed_value idx =
+    match Hashtbl.find_opt var_of idx with
+    | Some (pos, negated) ->
+        Some ((if negated then Bdd.nvar m pos else Bdd.var m pos), Bdd.False)
+    | None ->
+        if idx < n then
+          match Gate.const_parity b.B.instrs.(idx) with
+          | Some true -> Some (Bdd.True, Bdd.False)
+          | Some false -> Some (Bdd.False, Bdd.False)
+          | None -> None
+        else None
+  in
+  (* reads fire unconditionally *)
+  Array.iteri
+    (fun r _ ->
+      let idx = n + r in
+      f.(idx) <- Bdd.True;
+      match fixed_value idx with
+      | Some (t, u) ->
+          vt.(idx) <- t;
+          vu.(idx) <- u
+      | None -> vu.(idx) <- Bdd.True)
+    b.B.reads;
+  let prods_of tbl key = Option.value ~default:[] (Hashtbl.find_opt tbl key) in
+  let is_store id =
+    match b.B.instrs.(id).I.opcode with O.St _ -> true | _ -> false
+  in
+  (* delivery events at a data operand: a null reaching a store operand
+     is a store-resolution event, not an operand arrival *)
+  let deliveries (id, slot) =
+    List.map
+      (fun p ->
+        let i = src_idx p in
+        if is_store id then Bdd.conj m f.(i) (Bdd.neg m nl.(i)) else f.(i))
+      (prods_of data_prods (id, slot))
+  in
+  let arrive key = Bdd.disj_list m (deliveries key) in
+  let agg g key =
+    Bdd.disj_list m
+      (List.map
+         (fun p ->
+           let i = src_idx p in
+           Bdd.conj m f.(i) (g i))
+         (prods_of data_prods key))
+  in
+  let op_vt key = agg (fun i -> vt.(i)) key in
+  let op_vu key = agg (fun i -> vu.(i)) key in
+  let op_nl key = agg (fun i -> nl.(i)) key in
+  let op_false key =
+    agg (fun i -> Bdd.conj m (Bdd.neg m vt.(i)) (Bdd.neg m vu.(i))) key
+  in
+  let pred_ok (i : I.t) =
+    if not (I.is_predicated i) then Bdd.True
+    else
+      Bdd.disj_list m
+        (List.map
+           (fun p ->
+             let pi = src_idx p in
+             let matches =
+               match i.I.pred with
+               | I.If_true -> Bdd.conj m vt.(pi) (Bdd.neg m vu.(pi))
+               | I.If_false ->
+                   Bdd.conj m (Bdd.neg m vt.(pi)) (Bdd.neg m vu.(pi))
+               | I.Unpredicated -> Bdd.False
+             in
+             Bdd.conj m f.(pi) matches)
+           (prods_of pred_prods i.I.id))
+  in
+  (* a store's real fire (both operands arrive non-null, predicate ok) *)
+  let store_fire id = f.(id) in
+  (* null deliveries that resolve store [id]'s lsid *)
+  let store_null_events id =
+    List.concat_map
+      (fun slot ->
+        List.filter_map
+          (fun p ->
+            let i = src_idx p in
+            let e = Bdd.conj m f.(i) nl.(i) in
+            if Bdd.is_false e then None else Some e)
+          (prods_of data_prods (id, slot)))
+      [ T.Left; T.Right ]
+  in
+  let resolved lsid =
+    let events = ref [] in
+    Array.iter
+      (fun (i : I.t) ->
+        match i.I.opcode with
+        | O.St _ when i.I.lsid = lsid ->
+            events := store_fire i.I.id :: store_null_events i.I.id @ !events
+        | _ -> ())
+      b.B.instrs;
+    Bdd.disj_list m !events
+  in
+  let step (i : I.t) =
+    let id = i.I.id in
+    let pok = pred_ok i in
+    let left = (id, T.Left) and right = (id, T.Right) in
+    let fire =
+      match i.I.opcode with
+      | O.Sand ->
+          Bdd.conj m pok
+            (Bdd.conj m (arrive left)
+               (Bdd.disj m (op_false left) (arrive right)))
+      | O.St _ -> Bdd.conj m pok (Bdd.conj m (arrive left) (arrive right))
+      | O.Ld _ ->
+          let lower =
+            List.filter (fun l -> l < i.I.lsid) b.B.store_lsids
+            |> List.map resolved |> Bdd.conj_list m
+          in
+          Bdd.conj m pok (Bdd.conj m (arrive left) lower)
+      | op ->
+          let arity = O.num_operands op in
+          let a = if arity >= 1 then arrive left else Bdd.True in
+          let b' = if arity >= 2 then arrive right else Bdd.True in
+          Bdd.conj m pok (Bdd.conj m a b')
+    in
+    f.(id) <- fire;
+    match fixed_value id with
+    | Some (t, u) ->
+        vt.(id) <- t;
+        vu.(id) <- u
+    | None -> (
+        match i.I.opcode with
+        | O.Null ->
+            (* a null carries value false and the null mark *)
+            nl.(id) <- Bdd.True
+        | O.Un O.Mov | O.Mov4 | O.Un O.Neg ->
+            vt.(id) <- op_vt left;
+            vu.(id) <- op_vu left;
+            nl.(id) <- op_nl left
+        | O.Un O.Not ->
+            vt.(id) <- op_false left;
+            vu.(id) <- op_vu left;
+            nl.(id) <- op_nl left
+        | O.Sand ->
+            let ta = Bdd.conj m (op_vt left) (Bdd.neg m (op_vu left)) in
+            vt.(id) <- Bdd.conj m ta (op_vt right);
+            vu.(id) <- Bdd.disj m (op_vu left) (Bdd.conj m ta (op_vu right));
+            nl.(id) <- op_nl left
+        | _ ->
+            (* a source the enumerator would call underivable *)
+            vu.(id) <- Bdd.True)
+  in
+  let snapshot () =
+    Array.append (Array.map Bdd.uid f)
+      (Array.append (Array.map Bdd.uid vt)
+         (Array.append (Array.map Bdd.uid vu) (Array.map Bdd.uid nl)))
+  in
+  let max_rounds = (2 * (n + nr)) + 16 in
+  let rec iterate round prev =
+    if round > max_rounds then Error "fixpoint did not converge"
+    else begin
+      Array.iter step b.B.instrs;
+      let cur = snapshot () in
+      if cur = prev then Ok () else iterate (round + 1) cur
+    end
+  in
+  match iterate 0 (snapshot ()) with
+  | exception Bdd.Budget -> Skipped "BDD node budget exceeded"
+  | Error e -> Skipped e
+  | Ok () -> (
+      try
+        let diags = ref [] in
+        let add where invariant msg =
+          diags :=
+            Diag.make ~pass ~block:b.B.name ~where invariant msg :: !diags
+        in
+        let witness cond =
+          match Bdd.any_sat cond with
+          | None | Some [] -> ""
+          | Some pairs ->
+              Printf.sprintf " on path [%s]"
+                (String.concat " "
+                   (List.map
+                      (fun (v, value) ->
+                        Printf.sprintf "%s=%d" names_arr.(v)
+                          (if value then 1 else 0))
+                      pairs))
+        in
+        (* pairwise intersection over delivery events *)
+        let pairwise events on_clash =
+          let rec go = function
+            | [] -> ()
+            | e :: rest ->
+                List.iter
+                  (fun e' ->
+                    let both = Bdd.conj m e e' in
+                    if Bdd.sat both then on_clash both)
+                  rest;
+                go rest
+          in
+          go events
+        in
+        let covered events where invariant what =
+          let missing = Bdd.neg m (Bdd.disj_list m events) in
+          if Bdd.sat missing then
+            add where invariant
+              (Printf.sprintf "%s starves%s" what (witness missing))
+        in
+        (* predicate polarity: no underivable value may reach a
+           predicate slot *)
+        Hashtbl.iter
+          (fun id prods ->
+            List.iter
+              (fun p ->
+                let pi = src_idx p in
+                let bad = Bdd.conj m f.(pi) vu.(pi) in
+                if Bdd.sat bad then
+                  add
+                    (Printf.sprintf "I%d" id)
+                    Diag.Polarity
+                    (Printf.sprintf
+                       "I%d: predicate arrives with underivable value%s" id
+                       (witness bad)))
+              prods)
+          pred_prods;
+        (* predicate-OR disjointness *)
+        Array.iter
+          (fun (i : I.t) ->
+            if I.is_predicated i then
+              let matches =
+                List.map
+                  (fun p ->
+                    let pi = src_idx p in
+                    let pol =
+                      match i.I.pred with
+                      | I.If_true -> Bdd.conj m vt.(pi) (Bdd.neg m vu.(pi))
+                      | _ -> Bdd.conj m (Bdd.neg m vt.(pi)) (Bdd.neg m vu.(pi))
+                    in
+                    Bdd.conj m f.(pi) pol)
+                  (prods_of pred_prods i.I.id)
+              in
+              pairwise matches (fun both ->
+                  add
+                    (Printf.sprintf "I%d" i.I.id)
+                    Diag.Pred_or
+                    (Printf.sprintf "I%d: two matching predicates%s" i.I.id
+                       (witness both))))
+          b.B.instrs;
+        (* single delivery per data operand *)
+        Array.iter
+          (fun (i : I.t) ->
+            List.iter
+              (fun slot ->
+                pairwise
+                  (deliveries (i.I.id, slot))
+                  (fun both ->
+                    add
+                      (Printf.sprintf "I%d" i.I.id)
+                      Diag.Double_delivery
+                      (Format.asprintf "I%d: operand %a delivered twice%s"
+                         i.I.id T.pp_slot slot (witness both))))
+              [ T.Left; T.Right ])
+          b.B.instrs;
+        (* write slots: exactly one token each *)
+        Array.iteri
+          (fun w _ ->
+            let events =
+              List.map
+                (fun p -> f.(src_idx p))
+                (prods_of write_prods w)
+            in
+            let where = Printf.sprintf "W%d" w in
+            pairwise events (fun both ->
+                add where Diag.Double_delivery
+                  (Printf.sprintf "write slot %d received two tokens%s" w
+                     (witness both)));
+            covered events where Diag.Output_completeness
+              (Printf.sprintf "write slot %d" w))
+          b.B.writes;
+        (* store LSIDs: resolved exactly once *)
+        List.iter
+          (fun lsid ->
+            let events = ref [] in
+            Array.iter
+              (fun (i : I.t) ->
+                match i.I.opcode with
+                | O.St _ when i.I.lsid = lsid ->
+                    events :=
+                      (store_fire i.I.id :: store_null_events i.I.id) @ !events
+                | _ -> ())
+              b.B.instrs;
+            let where = Printf.sprintf "S%d" lsid in
+            pairwise !events (fun both ->
+                add where Diag.Lsid
+                  (Printf.sprintf "store lsid %d resolved twice%s" lsid
+                     (witness both)));
+            covered !events where Diag.Output_completeness
+              (Printf.sprintf "store lsid %d" lsid))
+          b.B.store_lsids;
+        (* exactly one branch *)
+        let branch_fires =
+          Array.to_list b.B.instrs
+          |> List.filter_map (fun (i : I.t) ->
+                 if O.is_branch i.I.opcode then Some (i.I.id, f.(i.I.id))
+                 else None)
+        in
+        pairwise (List.map snd branch_fires) (fun both ->
+            add "branch" Diag.Branch
+              (Printf.sprintf "two branches fired%s" (witness both)));
+        covered (List.map snd branch_fires) "branch" Diag.Branch "branch";
+        match List.rev !diags with [] -> Clean | ds -> Diags ds
+      with Bdd.Budget -> Skipped "BDD node budget exceeded")
+
+let check ~pass (b : B.t) : outcome =
+  match structural_diags ~pass b with
+  | [] -> symbolic_diags ~pass b
+  | ds -> Diags ds

@@ -1,0 +1,89 @@
+(* Structured checker diagnostics: every violation names the pass that
+   produced the ill-formed code, the (hyper)block, the instruction or
+   output it anchors to, and the invariant it breaks.  The rendered form
+   is stable and machine-parseable — the shrinker keys minimization on
+   (pass, invariant) so a reproducer stays attributable to the pass that
+   broke it, and bin/tsim recognizes checker failures in compile errors
+   to trigger trace emission. *)
+
+type invariant =
+  | Structure  (** block/hyperblock shape: arities, ranges, producers *)
+  | Encode  (** binary encodability: round trip, reserved target, imm width *)
+  | Fanout  (** fanout-tree well-formedness (mov4 slot/packing rules) *)
+  | Polarity  (** a predicate (or guard) value is underivable/unknown *)
+  | Def_use  (** an operand can be consumed where no def reaches it *)
+  | Double_delivery  (** two tokens can reach one operand/output *)
+  | Pred_or  (** predicate-OR merge not disjoint: two matching predicates *)
+  | Output_completeness
+      (** a write/store/output can starve on some predicate assignment *)
+  | Branch  (** not exactly one branch fires on every assignment *)
+  | Lsid  (** LSID ordering/resolution: double or missing resolution *)
+  | Alloc  (** register allocation: clashing or missing assignments *)
+  | Placement  (** schedule placement: arity or tile range *)
+
+let invariant_name = function
+  | Structure -> "structure"
+  | Encode -> "encode"
+  | Fanout -> "fanout"
+  | Polarity -> "polarity"
+  | Def_use -> "def-use"
+  | Double_delivery -> "double-delivery"
+  | Pred_or -> "pred-or"
+  | Output_completeness -> "output-completeness"
+  | Branch -> "branch"
+  | Lsid -> "lsid"
+  | Alloc -> "alloc"
+  | Placement -> "placement"
+
+type t = {
+  pass : string;  (** the pass after which the violation was detected *)
+  block : string;  (** hyperblock / encoded-block name *)
+  where : string;  (** instruction or output anchor, e.g. "I3", "W0", "S2" *)
+  invariant : invariant;
+  message : string;
+}
+
+let make ~pass ~block ~where invariant message =
+  { pass; block; where; invariant; message }
+
+let to_string d =
+  Printf.sprintf "check[pass=%s block=%s at=%s invariant=%s]: %s" d.pass
+    d.block d.where (invariant_name d.invariant) d.message
+
+let pp ppf d = Format.pp_print_string ppf (to_string d)
+
+(* Extract (pass, invariant) from a rendered diagnostic — possibly
+   embedded in a larger compile-error string.  Used by the shrinker's
+   keep predicate and by bin/tsim to recognize checker failures. *)
+let parse_key (s : string) : (string * string) option =
+  let find_field field =
+    let marker = field ^ "=" in
+    let rec scan i =
+      if i + String.length marker > String.length s then None
+      else if String.sub s i (String.length marker) = marker then begin
+        let start = i + String.length marker in
+        let stop = ref start in
+        while
+          !stop < String.length s
+          && (match s.[!stop] with ' ' | ']' -> false | _ -> true)
+        do
+          incr stop
+        done;
+        Some (String.sub s start (!stop - start))
+      end
+      else scan (i + 1)
+    in
+    scan 0
+  in
+  let has_prefix =
+    let rec scan i =
+      if i + 11 > String.length s then false
+      else String.sub s i 11 = "check[pass=" || scan (i + 1)
+    in
+    scan 0
+  in
+  if not has_prefix then None
+  else
+    match (find_field "pass", find_field "invariant") with
+    | Some p, Some i -> Some (p, i)
+    | _ -> None

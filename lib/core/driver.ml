@@ -19,6 +19,19 @@ type compiled = {
 
 let ( let* ) = Result.bind
 
+(* Render a checker result as a pipeline error (the first diagnostic,
+   with overflow counted).  [check = false] short-circuits: the checker
+   costs compile time and only runs when requested. *)
+let checked ~check result_thunk =
+  if not check then Ok ()
+  else
+    match Edge_check.Check.to_error (result_thunk ()) with
+    | None -> Ok ()
+    | Some e -> Error e
+
+let check_hblocks ~check ~pass hblocks =
+  checked ~check (fun () -> Edge_check.Check.hblocks ~pass hblocks)
+
 let rec convert_regions ?m cfg liveness ~retq regions =
   match regions with
   | [] -> Ok []
@@ -29,28 +42,72 @@ let rec convert_regions ?m cfg liveness ~retq regions =
 
 (* Generate code for all hyperblocks; when one exceeds machine limits,
    split its region into basic blocks and redo the whole pipeline with
-   the refined region list. *)
-let apply_opts ?m (config : Config.t) cfg liveness ~retq hblocks =
-  if config.Config.mode = Config.Hyper then begin
-    if config.Config.opt_path_sensitive then
-      Opt_path.run ?m hblocks cfg liveness ~retq;
-    if config.Config.opt_fanout then List.iter (Opt_fanout.run ?m) hblocks;
-    if config.Config.opt_merge then List.iter (Opt_merge.run ?m) hblocks;
-    if config.Config.use_sand then
-      List.iter (fun h -> ignore (Opt_sand.run ?m h ~gen:cfg.Cfg.gen)) hblocks;
-    List.iter Opt_hclean.run hblocks
-  end;
-  hblocks
+   the refined region list.  With [check] on, the static verifier runs
+   after every optimization pass and any diagnostic aborts compilation,
+   naming the pass that broke the invariant. *)
+let apply_opts ?m ?(check = false) (config : Config.t) cfg liveness ~retq
+    hblocks =
+  let hook pass = check_hblocks ~check ~pass hblocks in
+  if config.Config.mode <> Config.Hyper then Ok hblocks
+  else
+    let* () =
+      if config.Config.opt_path_sensitive then begin
+        Opt_path.run ?m hblocks cfg liveness ~retq;
+        hook "opt_path"
+      end
+      else Ok ()
+    in
+    let* () =
+      if config.Config.opt_fanout then begin
+        List.iter (Opt_fanout.run ?m) hblocks;
+        hook "opt_fanout"
+      end
+      else Ok ()
+    in
+    let* () =
+      if config.Config.opt_merge then begin
+        List.iter (Opt_merge.run ?m) hblocks;
+        hook "opt_merge"
+      end
+      else Ok ()
+    in
+    let* () =
+      if config.Config.use_sand then begin
+        List.iter
+          (fun h -> ignore (Opt_sand.run ?m h ~gen:cfg.Cfg.gen))
+          hblocks;
+        hook "opt_sand"
+      end
+      else Ok ()
+    in
+    let* () =
+      List.iter Opt_hclean.run hblocks;
+      hook "opt_hclean"
+    in
+    Ok hblocks
 
 (* Each attempt gets a fresh registry: a retry after an emit failure
    redoes the whole pipeline, and only the successful attempt's counts
    may survive. *)
-let rec generate cfg (config : Config.t) liveness ~retq ~params regions =
+let rec generate ~check cfg (config : Config.t) liveness ~retq ~params regions
+    =
   let m = Edge_obs.Metrics.create () in
   let* hblocks = convert_regions ~m cfg liveness ~retq regions in
-  let hblocks = apply_opts ~m config cfg liveness ~retq hblocks in
+  let* () = check_hblocks ~check ~pass:"if_convert" hblocks in
+  let* hblocks = apply_opts ~m ~check config cfg liveness ~retq hblocks in
   let* alloc =
     Regalloc.allocate hblocks ~entry:cfg.Cfg.entry ~params ~retq
+  in
+  let* () =
+    checked ~check (fun () ->
+        List.fold_left
+          (fun acc (h : Hb.t) ->
+            Edge_check.Check.merge acc
+              (Edge_check.Check.alloc ~pass:"regalloc" ~block:h.Hb.hname
+                 ~reg_of:(Regalloc.reg_of alloc)
+                 ~live_in:(Regalloc.live_in alloc h.Hb.hname)
+                 ~live_out:(Regalloc.live_out alloc h.Hb.hname)))
+          Edge_check.Check.empty hblocks)
   in
   let rec emit_all acc = function
     | [] -> Ok (List.rev acc)
@@ -60,7 +117,16 @@ let rec generate cfg (config : Config.t) liveness ~retq ~params regions =
         | Error msg -> Error (h.Hb.hname, msg))
   in
   match emit_all [] hblocks with
-  | Ok emitted -> Ok (emitted, Edge_obs.Metrics.counters m)
+  | Ok emitted ->
+      let* () =
+        checked ~check (fun () ->
+            List.fold_left
+              (fun acc (_, e) ->
+                Edge_check.Check.merge acc
+                  (Edge_check.Check.block ~pass:"codegen" e.Codegen.block))
+              Edge_check.Check.empty emitted)
+      in
+      Ok (emitted, Edge_obs.Metrics.counters m)
   | Error (bad, msg) -> (
       (* split the offending region into singletons and retry *)
       let offending =
@@ -75,7 +141,7 @@ let rec generate cfg (config : Config.t) liveness ~retq ~params regions =
                 else [ r' ])
               regions
           in
-          generate cfg config liveness ~retq ~params refined
+          generate ~check cfg config liveness ~retq ~params refined
       | _ -> Error msg)
 
 (* Size regions against the *naive* (baseline) predication: if the fully
@@ -91,7 +157,8 @@ let rec fit_regions cfg (config : Config.t) liveness ~retq ~params regions =
     else { Config.hyper_baseline with Config.mode = Config.Hyper }
   in
   let* hblocks = convert_regions cfg liveness ~retq regions in
-  let hblocks = apply_opts sizing_config cfg liveness ~retq hblocks in
+  (* sizing compiles are throwaway; never check them *)
+  let* hblocks = apply_opts ~check:false sizing_config cfg liveness ~retq hblocks in
   let* alloc = Regalloc.allocate hblocks ~entry:cfg.Cfg.entry ~params ~retq in
   let rec first_failure = function
     | [] -> None
@@ -132,12 +199,18 @@ let rec fit_regions cfg (config : Config.t) liveness ~retq ~params regions =
            let the config's own pipeline report it *)
         Ok regions
 
-let compile_cfg cfg (config : Config.t) =
+let compile_cfg ?check cfg (config : Config.t) =
+  let check =
+    match check with Some c -> c | None -> Edge_check.Check.enabled ()
+  in
   let params = cfg.Cfg.params in
   Edge_ir.Ssa.construct cfg;
   Opt_classic.run cfg;
   Edge_ir.Ssa.destruct cfg;
   Cfg.prune_unreachable cfg;
+  let* () =
+    checked ~check (fun () -> Edge_check.Check.cfg ~pass:"opt_classic" cfg)
+  in
   if config.Config.mode = Config.Hyper then begin
     let target =
       if config.Config.aggressive_regions then
@@ -160,7 +233,7 @@ let compile_cfg cfg (config : Config.t) =
         fit_regions cfg config liveness ~retq ~params initial
   in
   let* emitted, pass_counters =
-    generate cfg config liveness ~retq ~params regions
+    generate ~check cfg config liveness ~retq ~params regions
   in
   let blocks = List.map (fun (_, e) -> e.Codegen.block) emitted in
   let entry = cfg.Cfg.entry in
@@ -174,6 +247,14 @@ let compile_cfg cfg (config : Config.t) =
     List.map
       (fun (b : Edge_isa.Block.t) -> (b.Edge_isa.Block.name, Schedule.place b))
       blocks
+  in
+  let* () =
+    checked ~check (fun () ->
+        List.fold_left2
+          (fun acc (b : Edge_isa.Block.t) (_, p) ->
+            Edge_check.Check.merge acc
+              (Edge_check.Check.placement ~pass:"schedule" b p))
+          Edge_check.Check.empty blocks placements)
   in
   Ok
     {

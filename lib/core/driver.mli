@@ -23,6 +23,14 @@ type compiled = {
           promoted, sand chains converted *)
 }
 
-val compile_cfg : Edge_ir.Cfg.t -> Config.t -> (compiled, string) result
+val compile_cfg :
+  ?check:bool -> Edge_ir.Cfg.t -> Config.t -> (compiled, string) result
 (** The CFG is consumed (mutated); pass a fresh lowering or a
-    {!Edge_ir.Cfg.copy}. *)
+    {!Edge_ir.Cfg.copy}.
+
+    [check] runs the static verifier ({!Edge_check.Check}) after every
+    pass — if-conversion, each predicate optimization, register
+    allocation, code generation, scheduling — and fails compilation
+    with a structured [check\[pass=… invariant=…\]] diagnostic on the
+    first violation.  Defaults to {!Edge_check.Check.enabled} (the
+    [DFP_CHECK] environment variable or a [--check] flag). *)

@@ -21,21 +21,25 @@ type failure = {
 type report = {
   tested : int;  (** programs whose oracle verdict counted *)
   skipped : int;  (** reference interpreter ran out of fuel *)
+  enum_skipped : int;
+      (** compiled blocks the enumerator skipped (more than [max_vars]
+          predicate variables); those blocks still got the structural
+          and lattice checks, just not exhaustive path enumeration *)
   failures : failure list;  (** in seed order *)
 }
 
 let default_min_size = 6
 let default_max_size = 45
 
-let check_one ?cycle ?validate ?max_vars ?cache ~seed ~size () :
-    failure option option =
+let check_one ?cycle ?validate ?check ?max_vars ?cache ~seed ~size () :
+    (int, failure) result option =
   let ast = Gen.generate ~seed ~size in
-  match Oracle.check ?cycle ?validate ?max_vars ?cache ast with
+  match Oracle.check ?cycle ?validate ?check ?max_vars ?cache ast with
   | exception Oracle.Skip -> None
-  | Ok () -> Some None
+  | Ok enum_skipped -> Some (Ok enum_skipped)
   | Error f ->
       Some
-        (Some
+        (Error
            {
              seed;
              size;
@@ -45,7 +49,7 @@ let check_one ?cycle ?validate ?max_vars ?cache ~seed ~size () :
              source = Pretty.kernel_to_string ast;
            })
 
-let run ?jobs ?cycle ?validate ?max_vars ?cache
+let run ?jobs ?cycle ?validate ?check ?max_vars ?cache
     ?(min_size = default_min_size) ?(max_size = default_max_size) ~seed ~n ()
     : report =
   let tasks = List.init n (fun i -> i) in
@@ -53,17 +57,23 @@ let run ?jobs ?cycle ?validate ?max_vars ?cache
     Edge_parallel.Pool.run ?jobs
       (fun i ->
         let size = Gen.size_for ~min_size ~max_size i in
-        check_one ?cycle ?validate ?max_vars ?cache ~seed:(seed + i) ~size ())
+        check_one ?cycle ?validate ?check ?max_vars ?cache ~seed:(seed + i)
+          ~size ())
       tasks
   in
   List.fold_left
     (fun acc r ->
       match r with
       | None -> { acc with skipped = acc.skipped + 1 }
-      | Some None -> { acc with tested = acc.tested + 1 }
-      | Some (Some f) ->
+      | Some (Ok enum_skipped) ->
+          {
+            acc with
+            tested = acc.tested + 1;
+            enum_skipped = acc.enum_skipped + enum_skipped;
+          }
+      | Some (Error f) ->
           { acc with tested = acc.tested + 1; failures = f :: acc.failures })
-    { tested = 0; skipped = 0; failures = [] }
+    { tested = 0; skipped = 0; enum_skipped = 0; failures = [] }
     results
   |> fun r -> { r with failures = List.rev r.failures }
 
@@ -73,34 +83,45 @@ let pp_failure ppf (f : failure) =
 
 let pp_report ppf (r : report) =
   List.iter (fun f -> Format.fprintf ppf "%a@." pp_failure f) r.failures;
-  Format.fprintf ppf "%d tested, %d skipped, %d failures@." r.tested r.skipped
+  Format.fprintf ppf
+    "%d tested, %d skipped, %d failures (%d blocks beyond enumerator width)@."
+    r.tested r.skipped
     (List.length r.failures)
+    r.enum_skipped
 
 (* ---------- minimization ---------- *)
 
 (* Shrink a campaign failure to a minimal reproducer preserving its
-   (config, kind). *)
-let minimize_failure ?cycle ?validate ?max_vars (f : failure) : A.kernel =
+   (config, kind) — and, for checker failures, the diagnostic's
+   (pass, invariant) key, so the minimized kernel still trips the same
+   invariant in the same pass as the original. *)
+let minimize_failure ?cycle ?validate ?check ?max_vars (f : failure) :
+    A.kernel =
   let ast = Gen.generate ~seed:f.seed ~size:f.size in
+  let check_key =
+    match f.kind with
+    | Oracle.Checker -> Edge_check.Diag.parse_key f.message
+    | _ -> None
+  in
   Shrink.minimize
     ~keep:
-      (Oracle.still_fails ?cycle ?validate ?max_vars ~config:f.config
-         ~kind:f.kind)
+      (Oracle.still_fails ?cycle ?validate ?check ?check_key ?max_vars
+         ~config:f.config ~kind:f.kind)
     ast
 
 (* ---------- corpus replay ---------- *)
 
-let replay_source ?cycle ?validate ?max_vars ~name src : (unit, string) result
-    =
+let replay_source ?cycle ?validate ?check ?max_vars ~name src :
+    (unit, string) result =
   match Edge_lang.Parser.parse src with
   | Error e -> Error (Printf.sprintf "%s: parse: %s" name e)
   | Ok ast -> (
       match
-        try `R (Oracle.check ?cycle ?validate ?max_vars ast)
+        try `R (Oracle.check ?cycle ?validate ?check ?max_vars ast)
         with Oracle.Skip -> `Skip
       with
       | `Skip -> Ok ()
-      | `R (Ok ()) -> Ok ()
+      | `R (Ok _) -> Ok ()
       | `R (Error f) ->
           Error
             (Printf.sprintf "%s: %s [%s] %s" name f.Oracle.config
@@ -129,7 +150,47 @@ let validate_workloads ?jobs ?max_vars ?(workloads = Edge_workloads.Registry.all
       | Error e -> [ (label, "compile: " ^ e) ]
       | Ok compiled -> (
           match Validate.program ?max_vars compiled.Dfp.Driver.program with
-          | Ok () -> []
+          | Ok _skipped -> []
           | Error es -> List.map (fun e -> (label, e)) es))
+    tasks
+  |> List.concat
+
+(* ---------- checker smoke ---------- *)
+
+(* Run the per-pass lattice checker (no execution, no enumeration) over
+   a set of named kernel sources plus [n] generated kernels, under every
+   configuration. Returns one entry per diagnostic-bearing compile; a
+   clean sweep is the `make check-smoke` gate. *)
+let check_smoke ?jobs ?(n = 50) ?(seed = 2006) ~sources () :
+    (string * string) list =
+  let gen_tasks =
+    List.init n (fun i ->
+        let size =
+          Gen.size_for ~min_size:default_min_size ~max_size:default_max_size i
+        in
+        let s = seed + i in
+        ( Printf.sprintf "gen-seed-%d" s,
+          Pretty.kernel_to_string (Gen.generate ~seed:s ~size) ))
+  in
+  let tasks =
+    List.concat_map
+      (fun (name, src) ->
+        List.map
+          (fun (cname, config) -> (name, src, cname, config))
+          Oracle.configs)
+      (sources @ gen_tasks)
+  in
+  Edge_parallel.Pool.run ?jobs
+    (fun (name, src, cname, config) ->
+      let label = Printf.sprintf "%s/%s" name cname in
+      match Edge_lang.Parser.parse src with
+      | Error e -> [ (label, "parse: " ^ e) ]
+      | Ok ast -> (
+          match Edge_lang.Lower.lower ast with
+          | Error e -> [ (label, "lower: " ^ e) ]
+          | Ok cfg -> (
+              match Dfp.Driver.compile_cfg ~check:true cfg config with
+              | Ok _ -> []
+              | Error e -> [ (label, e) ])))
     tasks
   |> List.concat

@@ -15,7 +15,15 @@
    Independently, every compiled artifact is checked against the static
    ISA invariants in [Validate] — so a compiler bug that happens not to
    change observable behaviour (an unencodable block, a predicate path
-   that starves an output) is still caught. *)
+   that starves an output) is still caught.
+
+   The polynomial lattice checker ([Edge_check]) runs inside the
+   compile (per-pass hooks in the driver) and is cross-validated
+   against the enumerator here: if the enumerator flags a program the
+   checker passed without skipping a block, that is a [Checker]
+   failure — a breach of the superset-or-equal contract — and the
+   exponential oracle has caught a soundness hole in the polynomial
+   one. *)
 
 module A = Edge_lang.Ast
 module Conv = Edge_isa.Conventions
@@ -27,7 +35,7 @@ type outcome = {
   fault : bool;
 }
 
-type kind = Validator | Mismatch | Exec_error
+type kind = Validator | Mismatch | Exec_error | Checker
 
 type fail = {
   config : string;  (** config name, or ["-"] before compilation *)
@@ -44,6 +52,7 @@ let kind_name = function
   | Validator -> "validator"
   | Mismatch -> "mismatch"
   | Exec_error -> "error"
+  | Checker -> "checker"
 
 let interp_fuel = 3_000_000
 
@@ -66,11 +75,11 @@ let run_reference (ast : A.kernel) : (outcome, fail) result =
   | Error e ->
       Error { config = "-"; kind = Exec_error; message = "interp: " ^ e }
 
-let compile ast config =
+let compile ?check ast config =
   match Edge_lang.Lower.lower ast with
   | Error e -> Error ("lower: " ^ e)
   | Ok cfg -> (
-      match Dfp.Driver.compile_cfg cfg config with
+      match Dfp.Driver.compile_cfg ?check cfg config with
       | Error e -> Error ("compile: " ^ e)
       | Ok c -> Ok c)
 
@@ -140,28 +149,60 @@ let describe_disagreement ~name ~executor (r : outcome) (reference : outcome) =
     r.fault reference.fault
 
 (* Check a single compiled artifact + behaviour under one configuration
-   against the reference outcome. *)
-let check_config ?(cycle = true) ?(validate = true) ?max_vars ~reference ast
-    (name, config) : (unit, fail) result =
-  match compile ast config with
+   against the reference outcome.  [Ok n]: clean; [n] blocks were too
+   wide for the enumerator and got only structural+lattice checks. *)
+let check_config ?(cycle = true) ?(validate = true) ?(check = true) ?max_vars
+    ~reference ast (name, config) : (int, fail) result =
+  match compile ~check ast config with
+  | Error e when Edge_check.Diag.parse_key e <> None ->
+      (* the per-pass checker rejected the compile; record what the
+         enumerator thinks of the finished program for cross-checking *)
+      let enum_view =
+        match compile ~check:false ast config with
+        | Error e2 -> Printf.sprintf " (recompile without check failed: %s)" e2
+        | Ok compiled -> (
+            match Validate.program ?max_vars compiled.Dfp.Driver.program with
+            | Ok skipped ->
+                Printf.sprintf
+                  " (enumerator finds the final program clean, %d blocks \
+                   skipped)"
+                  skipped
+            | Error es ->
+                Printf.sprintf " (enumerator agrees on the final program: %s)"
+                  (String.concat "; " es))
+      in
+      Error { config = name; kind = Checker; message = e ^ enum_view }
   | Error e -> Error { config = name; kind = Exec_error; message = e }
   | Ok compiled -> (
       let validator_verdict =
         if validate then
           match Validate.program ?max_vars compiled.Dfp.Driver.program with
-          | Ok () -> Ok ()
-          | Error es ->
-              Error
-                {
-                  config = name;
-                  kind = Validator;
-                  message = String.concat "; " es;
-                }
-        else Ok ()
+          | Ok skipped -> Ok skipped
+          | Error es -> (
+              let message = String.concat "; " es in
+              if not check then
+                Error { config = name; kind = Validator; message }
+              else
+                (* the compile passed the lattice checker: either the
+                   checker skipped the offending block (excused) or the
+                   superset-or-equal contract is breached *)
+                let r = Edge_check.Check.program compiled.Dfp.Driver.program in
+                match r.Edge_check.Check.skipped with
+                | 0 ->
+                    Error
+                      {
+                        config = name;
+                        kind = Checker;
+                        message =
+                          "cross-validation breach: enumerator flags a \
+                           program the lattice checker passed: " ^ message;
+                      }
+                | _ -> Error { config = name; kind = Validator; message })
+        else Ok 0
       in
       match validator_verdict with
       | Error _ as e -> e
-      | Ok () -> (
+      | Ok skipped -> (
           match run_functional compiled with
           | Error e -> Error { config = name; kind = Exec_error; message = e }
           | Ok r when not (agree reference r) ->
@@ -174,7 +215,7 @@ let check_config ?(cycle = true) ?(validate = true) ?max_vars ~reference ast
                       reference;
                 }
           | Ok _ ->
-              if not cycle then Ok ()
+              if not cycle then Ok skipped
               else (
                 match run_cycle compiled with
                 | Error e ->
@@ -188,59 +229,65 @@ let check_config ?(cycle = true) ?(validate = true) ?max_vars ~reference ast
                           describe_disagreement ~name ~executor:"cycle" r
                             reference;
                       }
-                | Ok _ -> Ok ())))
+                | Ok _ -> Ok skipped)))
 
-let check_uncached ?cycle ?validate ?max_vars (ast : A.kernel) :
-    (unit, fail) result =
+(* [Ok n]: all configs clean; [n] sums the enumerator-skipped block
+   counts across configurations, so the fuzz report can say how much of
+   the corpus actually got the exponential treatment. *)
+let check_uncached ?cycle ?validate ?check ?max_vars (ast : A.kernel) :
+    (int, fail) result =
   match run_reference ast with
   | Error _ as e -> e
   | Ok reference ->
-      let rec go = function
-        | [] -> Ok ()
+      let rec go acc = function
+        | [] -> Ok acc
         | c :: rest -> (
-            match check_config ?cycle ?validate ?max_vars ~reference ast c with
+            match
+              check_config ?cycle ?validate ?check ?max_vars ~reference ast c
+            with
             | Error _ as e -> e
-            | Ok () -> go rest)
+            | Ok skipped -> go (acc + skipped) rest)
       in
-      go configs
+      go 0 configs
 
 (* persistent-cache key: the kernel's content plus everything that can
    change a verdict — oracle switches, the config list, and the
    simulator revision *)
-let check_cache_key ?cycle ?validate ?max_vars ast =
+let check_cache_key ?cycle ?validate ?check ?max_vars ast =
   String.concat "|"
     [
-      "fuzz-oracle-v1";
+      "fuzz-oracle-v2";
       Edge_sim.Cycle_sim.revision;
       Digest.to_hex (Digest.string (Marshal.to_string (ast : A.kernel) []));
       string_of_bool (Option.value cycle ~default:true);
       string_of_bool (Option.value validate ~default:true);
+      string_of_bool (Option.value check ~default:true);
       (match max_vars with None -> "-" | Some v -> string_of_int v);
       String.concat "," config_names;
     ]
 
-let check ?cycle ?validate ?max_vars ?cache (ast : A.kernel) :
-    (unit, fail) result =
+let check ?cycle ?validate ?check ?max_vars ?cache (ast : A.kernel) :
+    (int, fail) result =
   match cache with
-  | None -> check_uncached ?cycle ?validate ?max_vars ast
+  | None -> check_uncached ?cycle ?validate ?check ?max_vars ast
   | Some c -> (
-      let key = check_cache_key ?cycle ?validate ?max_vars ast in
+      let key = check_cache_key ?cycle ?validate ?check ?max_vars ast in
       match Edge_parallel.Disk_cache.find c ~key with
-      | Some () -> Ok ()
+      | Some skipped -> Ok skipped
       | None -> (
-          match check_uncached ?cycle ?validate ?max_vars ast with
-          | Ok () ->
+          match check_uncached ?cycle ?validate ?check ?max_vars ast with
+          | Ok skipped ->
               (* only clean verdicts are cached: a failure must re-run
                  so diagnosis always sees a fresh, complete reproduction *)
-              Edge_parallel.Disk_cache.store c ~key ();
-              Ok ()
+              Edge_parallel.Disk_cache.store c ~key skipped;
+              Ok skipped
           | Error _ as e -> e))
 
 (* String-error wrapper matching the historical Diff_check interface. *)
 let check_kernel ?cycle (ast : A.kernel) : (unit, string) result =
   match (try `R (check ?cycle ast) with Skip -> `Skip) with
   | `Skip -> Ok ()
-  | `R (Ok ()) -> Ok ()
+  | `R (Ok _) -> Ok ()
   | `R (Error f) ->
       Error (Printf.sprintf "%s [%s] %s" f.config (kind_name f.kind) f.message)
 
@@ -255,7 +302,9 @@ let trace_kernel ?(config = "Both") (ast : A.kernel) : (string, string) result
   match List.find_opt (fun (n, _) -> String.equal n config) configs with
   | None -> Error (Printf.sprintf "unknown config %s" config)
   | Some (name, cfg) -> (
-      match compile ast cfg with
+      (* tracing wants the artifact even when the checker would reject
+         it — the caller is diagnosing exactly such a failure *)
+      match compile ~check:false ast cfg with
       | Error e -> Error e
       | Ok c ->
           let obs, events, _ = Edge_obs.Obs.collector () in
@@ -283,21 +332,33 @@ let trace_kernel ?(config = "Both") (ast : A.kernel) : (string, string) result
 
 (* Does [ast] still fail under [config] (by name)? The shrinker's keep
    predicate: minimization must preserve the original failure's config
-   and kind, not just "some failure". *)
-let still_fails ?cycle ?validate ?max_vars ~config ~kind (ast : A.kernel) :
-    bool =
+   and kind, not just "some failure".  For checker failures,
+   [check_key] additionally pins the diagnostic's (pass, invariant)
+   pair, so shrinking cannot wander from e.g. an opt_merge pred-or
+   violation to an unrelated codegen structure error. *)
+let still_fails ?cycle ?validate ?check ?check_key ?max_vars ~config ~kind
+    (ast : A.kernel) : bool =
   match
     (try
        `R
          (match List.find_opt (fun (n, _) -> String.equal n config) configs with
-         | None -> check ?cycle ?validate ?max_vars ast
+         | None -> check_uncached ?cycle ?validate ?check ?max_vars ast
          | Some c -> (
              match run_reference ast with
              | Error _ as e -> e
              | Ok reference ->
-                 check_config ?cycle ?validate ?max_vars ~reference ast c))
+                 check_config ?cycle ?validate ?check ?max_vars ~reference ast
+                   c))
      with Skip -> `Skip)
   with
   | `Skip -> false
-  | `R (Ok ()) -> false
-  | `R (Error f) -> f.kind = kind
+  | `R (Ok _) -> false
+  | `R (Error f) -> (
+      f.kind = kind
+      &&
+      match check_key with
+      | None -> true
+      | Some key -> (
+          match Edge_check.Diag.parse_key f.message with
+          | Some key' -> key' = key
+          | None -> false))

@@ -6,6 +6,11 @@
    for which [keep] still holds, until no reduction applies. [keep] is
    an arbitrary failure predicate, so the same machinery minimizes
    semantic mismatches, validator violations and compiler errors alike.
+   For checker failures the campaign driver builds [keep] from the
+   diagnostic's (pass, invariant) key ([Oracle.still_fails]'s
+   [check_key]), so shrinking cannot drift from, say, an opt_merge
+   branch violation to an unrelated codegen structure error — the
+   minimal reproducer stays attributable to the pass that broke it.
 
    Candidates can be ill-typed (a reduction may drop a declaration whose
    uses survive); those are filtered out before [keep] is consulted. *)

@@ -18,10 +18,10 @@ type run = {
 
 let ( let* ) = Result.bind
 
-let compile (w : Workload.t) config =
+let compile ?check (w : Workload.t) config =
   let* ast = Workload.parse w in
   let* cfg = Edge_lang.Lower.lower ast in
-  Dfp.Driver.compile_cfg cfg config
+  Dfp.Driver.compile_cfg ?check cfg config
 
 (* Process-wide memo tables. Compilation is deterministic in
    (workload, config) and the artifacts are read-only to both
@@ -37,10 +37,16 @@ let reference_memo : (string, (int64 * Mem.t, string) result) Edge_parallel.Memo
     =
   Edge_parallel.Memo.create ()
 
+(* the checker switch joins the memo key: a compile that skipped the
+   verifier must not answer for one that asked for it (and vice versa —
+   a checked compile is byte-identical but proves more) *)
 let compile_cached (w : Workload.t) config =
-  Edge_parallel.Memo.get compile_memo
-    (w.Workload.name, config)
-    (fun () -> compile w config)
+  let check = Edge_check.Check.enabled () in
+  let name =
+    if check then w.Workload.name ^ "+check" else w.Workload.name
+  in
+  Edge_parallel.Memo.get compile_memo (name, config) (fun () ->
+      compile ~check w config)
 
 let reference_cached (w : Workload.t) =
   Edge_parallel.Memo.get reference_memo w.Workload.name (fun () ->
@@ -146,8 +152,11 @@ let run_one ?machine ?obs ?(arena = true) ?cache (w : Workload.t)
   (* an attached observer wants the events of a real run, so a cached
      result would be wrong; obs runs always execute. Likewise
      [~arena:false] asks for a real (fresh-allocation) run, so it
-     bypasses the cache rather than answer from a pooled run's entry. *)
-  | Some c when Option.is_none obs && arena -> (
+     bypasses the cache rather than answer from a pooled run's entry.
+     And with the checker on, the point is to *run* the verifier over
+     every compile — answering from a cached run would skip it. *)
+  | Some c when Option.is_none obs && arena && not (Edge_check.Check.enabled ())
+    -> (
       let key =
         cache_key w config_name config
           (Option.value machine ~default:Edge_sim.Machine.default)

@@ -52,18 +52,24 @@ val run_one :
     kernel source digest, config, machine and simulator revision, so
     an unchanged (workload, config) pair costs one file read across
     processes. Cache hits report [compile_s]/[sim_s] as [0.]. Runs
-    with an [obs] attached, or with [~arena:false], bypass the cache
-    (the caller wants a real run); errors are never cached. *)
+    with an [obs] attached, with [~arena:false], or with the static
+    checker enabled ({!Edge_check.Check.enabled}) bypass the cache
+    (the caller wants a real, verified run); errors are never
+    cached. *)
 
 val compile :
+  ?check:bool ->
   Edge_workloads.Workload.t ->
   Dfp.Config.t ->
   (Dfp.Driver.compiled, string) result
 (** Uncached compilation (used by the microbenchmarks to time the
-    compiler itself). *)
+    compiler itself). [check] is forwarded to
+    {!Dfp.Driver.compile_cfg}. *)
 
 val compile_cached :
   Edge_workloads.Workload.t ->
   Dfp.Config.t ->
   (Dfp.Driver.compiled, string) result
-(** Memoized compilation, shared across harnesses and domains. *)
+(** Memoized compilation, shared across harnesses and domains. The
+    current {!Edge_check.Check.enabled} state joins the memo key, so
+    checked and unchecked compiles never answer for each other. *)

@@ -52,12 +52,17 @@ let minimize seed size config_filter =
         match
           List.find_opt
             (fun k -> Fz.Oracle.still_fails ~config:c ~kind:k ast)
-            [ Fz.Oracle.Validator; Fz.Oracle.Mismatch; Fz.Oracle.Exec_error ]
+            [
+              Fz.Oracle.Validator;
+              Fz.Oracle.Mismatch;
+              Fz.Oracle.Exec_error;
+              Fz.Oracle.Checker;
+            ]
         with
         | Some kind ->
             Some { Fz.Oracle.config = c; kind; message = "(filtered)" }
         | None -> None)
-    | Ok (), _ -> None
+    | Ok _, _ -> None
   in
   match failing with
   | None ->

@@ -1,4 +1,7 @@
 let () =
+  (* the per-pass static verifier is on for the whole suite: every
+     compile in every test doubles as a checker smoke test *)
+  Edge_check.Check.set_enabled true;
   Alcotest.run "dataflow_predication"
     [
       ("isa", Test_isa.tests);
@@ -14,4 +17,5 @@ let () =
       ("fuzz", Test_fuzz.tests);
       ("arena", Test_arena.tests);
       ("obs", Test_obs.tests);
+      ("check", Test_check.tests);
     ]

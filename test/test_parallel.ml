@@ -246,8 +246,12 @@ let cache_corruption () =
     (Disk_cache.find c ~key:"k")
 
 (* the harness integration: a cached Experiment.run_one rerun must
-   reproduce the uncached run exactly, with the timing fields zeroed *)
+   reproduce the uncached run exactly, with the timing fields zeroed.
+   Runs with the static verifier off: checked runs deliberately bypass
+   the persistent result cache, which is exactly what this test is
+   exercising. *)
 let cache_experiment_roundtrip () =
+  Edge_check.Check.without_check @@ fun () ->
   let w =
     match Edge_workloads.Registry.find "tblook01" with
     | Some w -> w
