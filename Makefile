@@ -1,5 +1,5 @@
 .PHONY: all build test check smoke check-smoke fuzz-smoke trace-smoke \
-	perf-smoke bench-compare regen-golden bench clean
+	jit-smoke perf-smoke bench-compare regen-golden bench clean
 
 all: build
 
@@ -14,7 +14,7 @@ test:
 # layer round-trips (valid Chrome JSON, golden trace matches)
 check:
 	dune build @all && dune runtest && $(MAKE) fuzz-smoke && $(MAKE) check-smoke \
-	&& $(MAKE) trace-smoke && $(MAKE) perf-smoke \
+	&& $(MAKE) trace-smoke && $(MAKE) jit-smoke && $(MAKE) perf-smoke \
 	&& $(MAKE) bench-compare BASE=BENCH_fig7.json NEW=BENCH_fig7.json
 
 # compile the example kernels plus 50 fixed-seed generated kernels
@@ -42,6 +42,30 @@ NEW ?= BENCH_fig7.json
 bench-compare: build
 	dune exec bin/bench_compare.exe -- $(BASE) $(NEW)
 
+# run every example kernel through tsim twice -- threaded-code JIT
+# (default) and reference interpreter (--no-jit) -- and require
+# byte-identical output, text trace included; then re-run the golden
+# trace check with the JIT explicitly forced on
+jit-smoke: build
+	@dir=$$(mktemp -d) && trap 'rm -rf "$$dir"' EXIT && \
+	for k in examples/kernels/*.k; do \
+	  n=$$(basename $$k .k) && \
+	  ./_build/default/bin/tsim.exe "$$k" -c both \
+	    --trace-text "$$dir/$$n.jit.trace" \
+	    | grep -v '^wrote ' > "$$dir/$$n.jit.out" || \
+	    { echo "jit-smoke: FAIL: $$n (jit run)"; exit 1; }; \
+	  ./_build/default/bin/tsim.exe "$$k" -c both --no-jit \
+	    --trace-text "$$dir/$$n.int.trace" \
+	    | grep -v '^wrote ' > "$$dir/$$n.int.out" || \
+	    { echo "jit-smoke: FAIL: $$n (interpreter run)"; exit 1; }; \
+	  diff "$$dir/$$n.jit.out" "$$dir/$$n.int.out" || \
+	    { echo "jit-smoke: FAIL: $$n output differs jit vs interpreter"; exit 1; }; \
+	  diff "$$dir/$$n.jit.trace" "$$dir/$$n.int.trace" || \
+	    { echo "jit-smoke: FAIL: $$n trace differs jit vs interpreter"; exit 1; }; \
+	done && \
+	DFP_NO_JIT= dune exec test/trace_smoke.exe && \
+	echo "jit-smoke: OK (examples + golden traces byte-identical)"
+
 # run the smoke sweep twice against a fresh temporary cache directory:
 # the warm run must hit the cache for every experiment, report at least
 # a 2x wall-time improvement, and print identical cycle counts
@@ -61,7 +85,8 @@ perf-smoke: build
 	wt=$$(printf '%s\n' "$$warm" | sed -n 's/^smoke: \([0-9.]*\)s wall.*/\1/p') && \
 	awk -v c="$$ct" -v w="$$wt" 'BEGIN { exit !(2 * w <= c) }' || \
 	  { echo "perf-smoke: FAIL: warm run not 2x faster ($$ct s -> $$wt s)"; exit 1; } && \
-	echo "perf-smoke: OK (cold $$ct s, warm $$wt s, cycles identical)"
+	echo "perf-smoke: OK (cold $$ct s, warm $$wt s, cycles identical)" && \
+	./_build/default/bin/fsim_bench.exe --smoke --min-ratio 2
 
 # re-bless the golden trace files after an intentional schedule change;
 # inspect the diff before committing

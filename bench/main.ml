@@ -52,7 +52,7 @@ let json_escape s =
     s;
   Buffer.contents b
 
-let write_json path ~wall_s ~alloc (r : Edge_harness.Figure7.result) =
+let write_json path ~wall_s ~alloc ~fsim (r : Edge_harness.Figure7.result) =
   let buf = Buffer.create 4096 in
   let pf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   (* multi-line lists indent one entry per line; short objects stay on
@@ -67,6 +67,26 @@ let write_json path ~wall_s ~alloc (r : Edge_harness.Figure7.result) =
   let minor_words, major_words = alloc in
   pf "  \"alloc\": { \"minor_words\": %.0f, \"major_words\": %.0f },\n"
     minor_words major_words;
+  (match (fsim : Edge_harness.Fsim_bench.result option) with
+  | None -> ()
+  | Some f ->
+      pf "  \"fsim_throughput\": {\n";
+      pf "    \"workloads\": [";
+      sep_inline f.Edge_harness.Fsim_bench.workloads (fun w ->
+          pf "\"%s\"" (json_escape w));
+      pf "],\n    \"rows\": [\n";
+      sep f.Edge_harness.Fsim_bench.rows (fun (row : Edge_harness.Fsim_bench.row) ->
+          pf
+            "      { \"config\": \"%s\", \"jit_blocks_s\": %.0f, \
+             \"jit_instrs_s\": %.0f, \"interp_blocks_s\": %.0f, \
+             \"interp_instrs_s\": %.0f, \"speedup\": %.2f }"
+            (json_escape row.Edge_harness.Fsim_bench.config)
+            row.Edge_harness.Fsim_bench.jit_blocks_s
+            row.Edge_harness.Fsim_bench.jit_instrs_s
+            row.Edge_harness.Fsim_bench.interp_blocks_s
+            row.Edge_harness.Fsim_bench.interp_instrs_s
+            row.Edge_harness.Fsim_bench.speedup);
+      pf "\n    ]\n  },\n");
   pf "  \"geomean_speedups\": {\n";
   sep r.Edge_harness.Figure7.mean_speedups (fun (n, s) ->
       pf "    \"%s\": %.4f" (json_escape n) s);
@@ -115,7 +135,14 @@ let run_sweep ?cache ~jobs ~json () =
     ( g1.Gc.minor_words -. g0.Gc.minor_words,
       g1.Gc.major_words -. g0.Gc.major_words )
   in
-  if json <> "-" then write_json json ~wall_s ~alloc r;
+  if json <> "-" then begin
+    (* functional-simulator throughput rides along in the same JSON so
+       the committed numbers track the code; measured outside the timed
+       sweep window *)
+    Printf.eprintf "  fsim throughput (jit vs interpreter)...\n%!";
+    let fsim = Some (Edge_harness.Fsim_bench.measure ()) in
+    write_json json ~wall_s ~alloc ~fsim r
+  end;
   Format.printf "sweep: %.1fs wall (-j %d; compile %.1fs, sim %.1fs of work)@."
     wall_s r.Edge_harness.Figure7.jobs r.Edge_harness.Figure7.compile_s
     r.Edge_harness.Figure7.sim_s;

@@ -1,0 +1,70 @@
+(* Functional-simulator throughput microbenchmark (JIT vs interpreter).
+
+     dune exec bin/fsim_bench.exe                -- full table, paper configs
+     dune exec bin/fsim_bench.exe -- --smoke     -- 1 workload x 2 configs,
+                                                    short time box; used by
+                                                    `make perf-smoke`
+     ... --min-ratio R                           -- exit 1 unless the JIT is
+                                                    at least Rx the interpreter
+                                                    on every config
+     ... --min-time S                            -- seconds per mode per config
+
+   Reports blocks/sec and instrs/sec per configuration for both
+   execution paths. The same measurement backs the `fsim_throughput`
+   section of BENCH_fig7.json. *)
+
+let usage () =
+  Printf.eprintf
+    "usage: fsim_bench.exe [--smoke] [--min-ratio R] [--min-time S]\n";
+  exit 2
+
+let () =
+  let smoke = ref false in
+  let min_ratio = ref 0.0 in
+  let min_time = ref 0.15 in
+  let rec parse = function
+    | [] -> ()
+    | "--smoke" :: rest ->
+        smoke := true;
+        parse rest
+    | "--min-ratio" :: r :: rest -> (
+        match float_of_string_opt r with
+        | Some r when r > 0.0 ->
+            min_ratio := r;
+            parse rest
+        | _ -> usage ())
+    | "--min-time" :: s :: rest -> (
+        match float_of_string_opt s with
+        | Some s when s > 0.0 ->
+            min_time := s;
+            parse rest
+        | _ -> usage ())
+    | _ -> usage ()
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let benches, configs =
+    if not !smoke then (None, None)
+    else
+      let w =
+        match Edge_workloads.Registry.find "tblook01" with
+        | Some w -> w
+        | None -> failwith "fsim_bench: tblook01 missing from registry"
+      in
+      let configs =
+        List.filter
+          (fun (n, _) -> n = "Hyper" || n = "Both")
+          Dfp.Config.all_paper_configs
+      in
+      (Some [ w ], Some configs)
+  in
+  let r =
+    Edge_harness.Fsim_bench.measure ?benches ?configs ~min_time:!min_time ()
+  in
+  Format.printf "%a@." Edge_harness.Fsim_bench.pp r;
+  let worst = Edge_harness.Fsim_bench.min_speedup r in
+  Format.printf "min speedup %.2fx@." worst;
+  if !min_ratio > 0.0 && worst < !min_ratio then begin
+    Printf.eprintf "fsim_bench: JIT speedup %.2fx below required %.2fx\n"
+      worst !min_ratio;
+    exit 1
+  end

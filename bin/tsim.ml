@@ -147,9 +147,10 @@ let run_kernel path (config_name, config) machine ~arena oopts =
           Ok ())
 
 let run workload config_name functional_only no_early in_order no_arena
-    check asm_args trace_out trace_text metrics =
+    no_jit check asm_args trace_out trace_text metrics =
   let ( let* ) = Result.bind in
   let arena = not no_arena in
+  if no_jit then Edge_sim.Functional.set_jit false;
   if check then Edge_check.Check.set_enabled true;
   let oopts = { trace_out; trace_text; metrics } in
   let machine =
@@ -276,6 +277,15 @@ let check_arg =
   in
   Arg.(value & flag & info [ "check" ] ~doc)
 
+let no_jit_arg =
+  let doc =
+    "Run the functional simulator through the reference token-pushing \
+     interpreter instead of the threaded-code JIT (equivalent to \
+     DFP_NO_JIT=1). Results are identical either way; use for \
+     differential testing of the JIT."
+  in
+  Arg.(value & flag & info [ "no-jit" ] ~doc)
+
 let no_arena_arg =
   let doc =
     "Disable the cycle simulator's frame arena: allocate fresh per-block \
@@ -308,7 +318,7 @@ let cmd =
     (Cmd.info "tsim" ~doc)
     Term.(
       const run $ workload_arg $ config_arg $ functional_arg $ no_early_arg
-      $ in_order_arg $ no_arena_arg $ check_arg $ asm_args_arg $ trace_out_arg
-      $ trace_text_arg $ metrics_arg)
+      $ in_order_arg $ no_arena_arg $ no_jit_arg $ check_arg $ asm_args_arg
+      $ trace_out_arg $ trace_text_arg $ metrics_arg)
 
 let () = exit (Cmd.eval' cmd)

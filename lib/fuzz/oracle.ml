@@ -258,6 +258,7 @@ let check_cache_key ?cycle ?validate ?check ?max_vars ast =
     [
       "fuzz-oracle-v2";
       Edge_sim.Cycle_sim.revision;
+      Edge_sim.Block_jit.revision;
       Digest.to_hex (Digest.string (Marshal.to_string (ast : A.kernel) []));
       string_of_bool (Option.value cycle ~default:true);
       string_of_bool (Option.value validate ~default:true);

@@ -71,6 +71,7 @@ let cache_key (w : Workload.t) config_name config machine =
     [
       "run-v1";
       Edge_sim.Cycle_sim.revision;
+      Edge_sim.Block_jit.revision;
       w.Workload.name;
       Digest.to_hex (Digest.string w.Workload.source);
       string_of_int w.Workload.mem_size;

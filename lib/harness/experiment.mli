@@ -66,6 +66,10 @@ val compile :
     compiler itself). [check] is forwarded to
     {!Dfp.Driver.compile_cfg}. *)
 
+val setup_run : Edge_workloads.Workload.t -> int64 array * Edge_isa.Mem.t
+(** Fresh register file and memory image for one execution of the
+    workload, with arguments placed per the calling convention. *)
+
 val compile_cached :
   Edge_workloads.Workload.t ->
   Dfp.Config.t ->

@@ -1,0 +1,121 @@
+(* Functional-simulator throughput microbenchmark: JIT vs interpreter.
+
+   Time-boxed A/B measurement over a fixed subset of the Figure 7
+   workloads, per compiler configuration: each mode runs complete
+   program executions (fresh memory image and argument setup per run,
+   exactly what the sweep's functional check does) until the time
+   budget is spent, and throughput is reported in committed blocks and
+   executed instructions per second. The JIT/interpreter ratio is the
+   number `make perf-smoke` gates on, and the rows are emitted into
+   BENCH_fig7.json as the `fsim_throughput` section so the committed
+   numbers track the code. *)
+
+module Workload = Edge_workloads.Workload
+
+type row = {
+  config : string;
+  jit_blocks_s : float;
+  jit_instrs_s : float;
+  interp_blocks_s : float;
+  interp_instrs_s : float;
+  speedup : float;  (* jit_instrs_s / interp_instrs_s *)
+}
+
+type result = { workloads : string list; rows : row list }
+
+(* first, middle and last EEMBC kernel: small, deterministic, and
+   spanning the control-flow variety of the suite *)
+let default_benches () =
+  let all = Array.of_list Edge_workloads.Registry.eembc in
+  let n = Array.length all in
+  if n = 0 then []
+  else [ all.(0); all.(n / 2); all.(n - 1) ]
+
+let measure ?(benches = default_benches ())
+    ?(configs = Dfp.Config.all_paper_configs) ?(min_time = 0.15) () =
+  let progs_for config =
+    List.map
+      (fun (w : Workload.t) ->
+        match Experiment.compile_cached w config with
+        | Ok c -> (w, c.Dfp.Driver.program)
+        | Error e -> failwith (Printf.sprintf "fsim_bench: %s: %s" w.Workload.name e))
+      benches
+  in
+  (* one timed slice of the full workload set under one mode; the
+     caller alternates modes slice-by-slice so transient machine load
+     dilates both measurements equally instead of skewing the ratio *)
+  let slice progs ~jit blocks instrs =
+    let t0 = Unix.gettimeofday () in
+    List.iter
+      (fun ((w : Workload.t), prog) ->
+        let regs, mem = Experiment.setup_run w in
+        match Edge_sim.Functional.run ~jit prog ~regs ~mem with
+        | Ok st ->
+            blocks := !blocks + st.Edge_sim.Stats.blocks_executed;
+            instrs := !instrs + st.Edge_sim.Stats.instrs_executed
+        | Error e ->
+            failwith (Printf.sprintf "fsim_bench: %s: %s" w.Workload.name e))
+      progs;
+    Unix.gettimeofday () -. t0
+  in
+  let bench_pair progs =
+    (* warm-up: fault early on broken programs and let the JIT hit its
+       code cache before the timed region *)
+    List.iter
+      (fun ((w : Workload.t), prog) ->
+        List.iter
+          (fun jit ->
+            let regs, mem = Experiment.setup_run w in
+            match Edge_sim.Functional.run ~jit prog ~regs ~mem with
+            | Ok _ -> ()
+            | Error e ->
+                failwith
+                  (Printf.sprintf "fsim_bench: %s: %s" w.Workload.name e))
+          [ true; false ])
+      progs;
+    let jb = ref 0 and ji = ref 0 and ib = ref 0 and ii = ref 0 in
+    let jt = ref 0.0 and it = ref 0.0 in
+    while !jt < min_time || !it < min_time do
+      jt := !jt +. slice progs ~jit:true jb ji;
+      it := !it +. slice progs ~jit:false ib ii
+    done;
+    ( (float_of_int !jb /. !jt, float_of_int !ji /. !jt),
+      (float_of_int !ib /. !it, float_of_int !ii /. !it) )
+  in
+  let rows =
+    List.map
+      (fun (cname, config) ->
+        let progs = progs_for config in
+        let (jit_blocks_s, jit_instrs_s), (interp_blocks_s, interp_instrs_s) =
+          bench_pair progs
+        in
+        {
+          config = cname;
+          jit_blocks_s;
+          jit_instrs_s;
+          interp_blocks_s;
+          interp_instrs_s;
+          speedup = jit_instrs_s /. interp_instrs_s;
+        })
+      configs
+  in
+  {
+    workloads = List.map (fun (w : Workload.t) -> w.Workload.name) benches;
+    rows;
+  }
+
+let min_speedup r =
+  List.fold_left (fun acc row -> min acc row.speedup) infinity r.rows
+
+let pp ppf r =
+  Format.fprintf ppf "@[<v>functional-sim throughput (workloads: %s)@,"
+    (String.concat ", " r.workloads);
+  Format.fprintf ppf "%-8s %14s %14s %14s %14s %8s@," "config" "jit blk/s"
+    "jit instr/s" "interp blk/s" "interp instr/s" "speedup";
+  List.iter
+    (fun row ->
+      Format.fprintf ppf "%-8s %14.0f %14.0f %14.0f %14.0f %7.2fx@,"
+        row.config row.jit_blocks_s row.jit_instrs_s row.interp_blocks_s
+        row.interp_instrs_s row.speedup)
+    r.rows;
+  Format.fprintf ppf "@]"

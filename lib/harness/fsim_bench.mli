@@ -1,0 +1,31 @@
+(** Functional-simulator throughput microbenchmark (JIT vs interpreter).
+
+    Backs [bin/fsim_bench.exe], the [fsim_throughput] section of
+    BENCH_fig7.json, and the [make perf-smoke] JIT-speedup gate. *)
+
+type row = {
+  config : string;
+  jit_blocks_s : float;
+  jit_instrs_s : float;
+  interp_blocks_s : float;
+  interp_instrs_s : float;
+  speedup : float;  (** [jit_instrs_s /. interp_instrs_s] *)
+}
+
+type result = { workloads : string list; rows : row list }
+
+val measure :
+  ?benches:Edge_workloads.Workload.t list ->
+  ?configs:(string * Dfp.Config.t) list ->
+  ?min_time:float ->
+  unit ->
+  result
+(** Time-boxed A/B runs ([min_time] seconds per mode per config,
+    default 0.15). Defaults to three representative EEMBC kernels and
+    the paper configurations. Raises [Failure] if a workload fails to
+    compile or execute. *)
+
+val min_speedup : result -> float
+(** Smallest JIT/interpreter instruction-throughput ratio across rows. *)
+
+val pp : Format.formatter -> result -> unit

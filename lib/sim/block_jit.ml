@@ -1,0 +1,821 @@
+(* Threaded-code block JIT for the functional simulator.
+
+   The interpreter in [Functional] re-dispatches on every token
+   delivery: pattern-match the target, pattern-match the consumer's
+   opcode, re-derive readiness from option arrays, and round-trip every
+   operand through a FIFO. This module compiles each decoded block
+   image once into a web of pre-resolved closures — the software
+   analogue of threaded code:
+
+   - every static *target* becomes a sink closure that already knows
+     its consumer's slot, predication polarity, store LSID slot and
+     readiness discipline, so delivery is one indirect call;
+   - every static *instruction* becomes a fire closure with the opcode
+     dispatch, immediate, latency class, statistics class and target
+     fan-out resolved at compile time ([Alu.jit1]/[Alu.jit2]);
+   - readiness is a countdown ([missing] operands+predicate) instead of
+     re-scanning option arrays, so the common case is one decrement;
+   - token delivery recurses directly into the consumer's sink instead
+     of going through a queue. Intra-block dataflow firing is
+     confluent (each operand slot receives exactly one value in a
+     well-formed block, and loads fire only once all lower-LSID stores
+     have resolved), so depth-first delivery computes the same fired
+     set, the same values and the same committed outputs as the
+     interpreter's breadth-first drain. Recursion depth is bounded by
+     the block size (≤128 instructions).
+
+   Compiled code captures only immutable per-block facts; all run-time
+   state lives in the [state] record threaded through every closure, so
+   one compiled program is shared across runs and across domains. Code
+   is cached per [Program.digest] exactly like [Block_image].
+
+   Semantics — including malformed-block diagnostics and [Stats]
+   accounting — must stay identical to the interpreter: the
+   JIT-vs-interpreter differential tests compare outcomes, memory
+   images, store counts, stats and error text over the fuzz corpus. *)
+
+module Block = Edge_isa.Block
+module Instr = Edge_isa.Instr
+module Opcode = Edge_isa.Opcode
+module Target = Edge_isa.Target
+module Token = Edge_isa.Token
+module Mem = Edge_isa.Mem
+module Program = Edge_isa.Program
+module Bi = Block_image
+
+(* Salted into disk-cache and memo keys: bump on any change to the
+   compiled representation or its semantics. *)
+let revision = "jit-1"
+
+exception Malformed of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Malformed s)) fmt
+
+type store_resolution =
+  | Unresolved
+  | Stored of { addr : int64; value : int64; width : Opcode.width; exc : bool }
+  | Nulled
+
+(* Mutable run-time state, capacity-sized over the whole program and
+   cleared per block. Flat token arrays plus set-flags replace the
+   interpreter's option arrays so the hot path never allocates [Some]. *)
+type state = {
+  mutable regs : int64 array;
+  mutable mem : Mem.t;
+  mutable stats : Stats.t;
+  left : Token.t array;
+  lset : bool array;
+  right : Token.t array;
+  rset : bool array;
+  pred_matched : bool array;
+  pred_exc : bool array;
+  fired : bool array;
+  missing : int array;  (* countdown: operands + matching predicate *)
+  writes : Token.t array;
+  wset : bool array;
+  stores : store_resolution array;
+  mutable branch_set : bool;
+  mutable branch_tgt : string option;
+  mutable branch_idx : int;
+  mutable branch_exc : bool;
+  mutable pending_loads : int list;  (* instr ids deferred on LSID order *)
+  mutable writes_set : int;  (* count of set write slots, for completion *)
+  mutable stores_unres : int;  (* count of Unresolved store slots *)
+}
+
+type cblock = {
+  img : Bi.t;
+  init_missing : int array;
+  pred_ids : int array;  (* predicated instruction ids, for the
+                            mispredication count at commit *)
+  enter : state -> unit;
+      (* seed register reads and 0-operand instructions, then run the
+         block to quiescence by direct recursion; raises [Malformed] *)
+}
+
+type t = { imgp : Bi.program; cblocks : cblock array }
+type outcome = {
+  exit_taken : string option;
+  exit_idx : int;  (* resolved block index of [exit_taken]; -1 if unknown *)
+  faulted : string option;
+}
+
+let zero_tok = Token.of_int64 0L
+
+(* Hot-path note: every index baked into a compiled closure is
+   validated against the block image at compile time (and the state
+   arrays are capacity-sized over the whole program), so the
+   per-delivery path uses unchecked array access. *)
+
+let make_state (code : t) ~regs ~mem ~stats =
+  let imgp = code.imgp in
+  let cap_n = max 1 imgp.Bi.max_n in
+  {
+    regs;
+    mem;
+    stats;
+    left = Array.make cap_n zero_tok;
+    lset = Array.make cap_n false;
+    right = Array.make cap_n zero_tok;
+    rset = Array.make cap_n false;
+    pred_matched = Array.make cap_n false;
+    pred_exc = Array.make cap_n false;
+    fired = Array.make cap_n false;
+    missing = Array.make cap_n 0;
+    writes = Array.make (max 1 imgp.Bi.max_writes) zero_tok;
+    wset = Array.make (max 1 imgp.Bi.max_writes) false;
+    stores = Array.make (max 1 imgp.Bi.max_stores) Unresolved;
+    branch_set = false;
+    branch_tgt = None;
+    branch_idx = -1;
+    branch_exc = false;
+    pending_loads = [];
+    writes_set = 0;
+    stores_unres = 0;
+  }
+
+(* fused hand-written clears: for the short blocks that dominate the
+   BB configuration, eight [Array.fill]/[blit] calls cost more than the
+   stores they perform. Predicate state is only ever read by predicated
+   instructions, so blocks without any skip those two arrays. *)
+let prepare (cb : cblock) st =
+  let img = cb.img in
+  let n = img.Bi.n in
+  let init = cb.init_missing in
+  for i = 0 to n - 1 do
+    Array.unsafe_set st.lset i false;
+    Array.unsafe_set st.rset i false;
+    Array.unsafe_set st.fired i false;
+    Array.unsafe_set st.missing i (Array.unsafe_get init i)
+  done;
+  if Array.length cb.pred_ids > 0 then
+    for i = 0 to n - 1 do
+      Array.unsafe_set st.pred_matched i false;
+      Array.unsafe_set st.pred_exc i false
+    done;
+  for w = 0 to img.Bi.n_writes - 1 do
+    Array.unsafe_set st.wset w false
+  done;
+  for k = 0 to img.Bi.n_stores - 1 do
+    Array.unsafe_set st.stores k Unresolved
+  done;
+  st.branch_set <- false;
+  st.branch_tgt <- None;
+  st.branch_idx <- -1;
+  st.branch_exc <- false;
+  st.pending_loads <- [];
+  st.writes_set <- 0;
+  st.stores_unres <- img.Bi.n_stores
+
+let resolve_store st ~slot ~lsid r =
+  if slot < 0 then fail "store lsid %d not declared" lsid;
+  (match st.stores.(slot) with
+  | Unresolved -> ()
+  | Stored _ | Nulled -> fail "store lsid %d resolved twice" lsid);
+  st.stores.(slot) <- r;
+  st.stores_unres <- st.stores_unres - 1
+
+(* Byte-accurate store-to-load forwarding; [lower] holds the store
+   slots with LSID below the load's, in ascending-LSID order (the
+   compile-time residue of the interpreter's [store_order] scan). *)
+let read_fwd st ~width ~addr ~(lower : int array) =
+  let nbytes = Mem.width_bytes width in
+  let base_tok = Mem.load st.mem ~width ~addr in
+  if base_tok.Token.exc then base_tok
+  else begin
+    (* with no [Stored] resolution below this load, the overlay is a
+       no-op and the byte merge would reproduce [base_tok] exactly *)
+    let rec any_stored k =
+      k < Array.length lower
+      && (match Array.unsafe_get st.stores (Array.unsafe_get lower k) with
+         | Stored _ -> true
+         | Unresolved | Nulled -> any_stored (k + 1))
+    in
+    if not (any_stored 0) then base_tok
+    else begin
+    let bytes = Bytes.create nbytes in
+    for i = 0 to nbytes - 1 do
+      Bytes.set bytes i
+        (Char.chr
+           (Int64.to_int
+              (Int64.logand
+                 (Int64.shift_right_logical base_tok.Token.payload (8 * i))
+                 0xFFL)))
+    done;
+    let exc = ref false in
+    for k = 0 to Array.length lower - 1 do
+      match st.stores.(lower.(k)) with
+      | Stored { addr = sa; value; width = sw; exc = se } ->
+          let sbytes = Mem.width_bytes sw in
+          for i = 0 to sbytes - 1 do
+            let byte_addr = Int64.add sa (Int64.of_int i) in
+            let off = Int64.sub byte_addr addr in
+            if off >= 0L && off < Int64.of_int nbytes then begin
+              if se then exc := true;
+              Bytes.set bytes (Int64.to_int off)
+                (Char.chr
+                   (Int64.to_int
+                      (Int64.logand (Int64.shift_right_logical value (8 * i))
+                         0xFFL)))
+            end
+          done
+      | Unresolved | Nulled -> ()
+    done;
+    let v = ref 0L in
+    for i = nbytes - 1 downto 0 do
+      v :=
+        Int64.logor (Int64.shift_left !v 8)
+          (Int64.of_int (Char.code (Bytes.get bytes i)))
+    done;
+    let v =
+      match width with
+      | Opcode.W1 ->
+          if Int64.logand !v 0x80L <> 0L then Int64.logor !v (Int64.lognot 0xFFL)
+          else !v
+      | Opcode.W4 ->
+          if Int64.logand !v 0x80000000L <> 0L then
+            Int64.logor !v (Int64.lognot 0xFFFFFFFFL)
+          else !v
+      | Opcode.W8 -> !v
+    in
+    let tok = Token.of_int64 v in
+    if !exc then Token.with_exc tok else tok
+    end
+  end
+
+let rec stores_resolved st (lower : int array) k =
+  k >= Array.length lower
+  || (match Array.unsafe_get st.stores (Array.unsafe_get lower k) with Unresolved -> false | _ -> true)
+     && stores_resolved st lower (k + 1)
+
+(* parity with the interpreter, which hits the same out-of-range array
+   access uncaught (a compiler bug, not a program fault) *)
+let out_of_bounds : state -> Token.t -> unit =
+ fun _ _ -> invalid_arg "index out of bounds"
+
+let compose (ss : (state -> Token.t -> unit) array) : state -> Token.t -> unit
+    =
+  match Array.length ss with
+  | 0 -> fun _ _ -> ()
+  | 1 -> ss.(0)
+  | 2 ->
+      let s0 = ss.(0) and s1 = ss.(1) in
+      fun st tok ->
+        s0 st tok;
+        s1 st tok
+  | 3 ->
+      let s0 = ss.(0) and s1 = ss.(1) and s2 = ss.(2) in
+      fun st tok ->
+        s0 st tok;
+        s1 st tok;
+        s2 st tok
+  | 4 ->
+      let s0 = ss.(0) and s1 = ss.(1) and s2 = ss.(2) and s3 = ss.(3) in
+      fun st tok ->
+        s0 st tok;
+        s1 st tok;
+        s2 st tok;
+        s3 st tok
+  | _ -> fun st tok -> Array.iter (fun s -> s st tok) ss
+
+let compile_block ~(resolve : string -> int) (img : Bi.t) : cblock =
+  let n = img.Bi.n in
+  let instrs = img.Bi.instrs in
+  let fires : (state -> unit) array = Array.make (max 1 n) (fun _ -> ()) in
+  let init_missing =
+    Array.init n (fun j ->
+        let i = instrs.(j) in
+        i.Bi.arity + if i.Bi.predicated then 1 else 0)
+  in
+  (* full readiness re-check, the fallback for consumers the countdown
+     cannot cover (Sand short-circuit, stores nulled at delivery,
+     spurious deliveries to already-satisfied slots) — replicates the
+     interpreter's [ready] exactly *)
+  let checks : (state -> unit) array =
+    Array.init n (fun j ->
+        let i = instrs.(j) in
+        let predicated = i.Bi.predicated in
+        match i.Bi.op with
+        | Opcode.Sand ->
+            fun st ->
+              if
+                (not (Array.unsafe_get st.fired j))
+                && ((not predicated) || Array.unsafe_get st.pred_matched j)
+                && Array.unsafe_get st.lset j
+                && ((not (Token.as_predicate (Array.unsafe_get st.left j))) || Array.unsafe_get st.rset j)
+              then (Array.unsafe_get fires j) st
+        | _ ->
+            let a = i.Bi.arity in
+            fun st ->
+              if
+                (not (Array.unsafe_get st.fired j))
+                && ((not predicated) || Array.unsafe_get st.pred_matched j)
+                && (a < 1 || Array.unsafe_get st.lset j)
+                && (a < 2 || Array.unsafe_get st.rset j)
+              then (Array.unsafe_get fires j) st)
+  in
+  let retry_loads st =
+    let loads = st.pending_loads in
+    st.pending_loads <- [];
+    List.iter (fun id -> if not (Array.unsafe_get st.fired id) then (Array.unsafe_get fires id) st) loads
+  in
+  (* [managed j] = readiness fully expressible as a countdown *)
+  let managed j =
+    match instrs.(j).Bi.op with Opcode.Sand | Opcode.St _ -> false | _ -> true
+  in
+  let sink_of (t : Target.t) : state -> Token.t -> unit =
+    match t with
+    | Target.To_write w ->
+        if w < 0 || w >= img.Bi.n_writes then out_of_bounds
+        else
+          let msg = Printf.sprintf "write slot %d received two tokens" w in
+          fun st tok ->
+            if Array.unsafe_get st.wset w then raise (Malformed msg);
+            Array.unsafe_set st.wset w true;
+            Array.unsafe_set st.writes w tok;
+            st.writes_set <- st.writes_set + 1
+    | Target.To_instr { id = j; slot } -> (
+        if j < 0 || j >= n then out_of_bounds
+        else
+          let c = instrs.(j) in
+          match slot with
+          | Target.Pred ->
+              if not c.Bi.predicated then
+                let msg =
+                  Printf.sprintf
+                    "I%d: predicate delivered to unpredicated instruction" j
+                in
+                fun _ _ -> raise (Malformed msg)
+              else
+                let want =
+                  match c.Bi.pred with
+                  | Instr.If_true -> true
+                  | Instr.If_false -> false
+                  | Instr.Unpredicated -> assert false
+                in
+                let msg = Printf.sprintf "I%d: two matching predicates" j in
+                if managed j then (
+                  fun st tok ->
+                    if Token.as_predicate tok = want then begin
+                      if Array.unsafe_get st.pred_matched j then raise (Malformed msg);
+                      Array.unsafe_set st.pred_matched j true;
+                      Array.unsafe_set st.pred_exc j tok.Token.exc;
+                      let m = Array.unsafe_get st.missing j - 1 in
+                      Array.unsafe_set st.missing j m;
+                      if m = 0 then (Array.unsafe_get fires j) st
+                    end)
+                else
+                  fun st tok ->
+                    if Token.as_predicate tok = want then begin
+                      if Array.unsafe_get st.pred_matched j then raise (Malformed msg);
+                      Array.unsafe_set st.pred_matched j true;
+                      Array.unsafe_set st.pred_exc j tok.Token.exc;
+                      (Array.unsafe_get checks j) st
+                    end
+          | Target.Left | Target.Right -> (
+              let is_left = slot = Target.Left in
+              let msg =
+                Printf.sprintf "I%d: operand %s delivered twice" j
+                  (if is_left then "L" else "R")
+              in
+              match c.Bi.op with
+              | Opcode.St _ ->
+                  (* a null token arriving at a store resolves it
+                     immediately as a null store (Section 4.2) *)
+                  let slot_idx = Bi.store_slot_of img c.Bi.lsid in
+                  let lsid = c.Bi.lsid in
+                  let nmsg = Printf.sprintf "I%d: null for fired store" j in
+                  fun st tok ->
+                    if tok.Token.null then begin
+                      if Array.unsafe_get st.fired j then raise (Malformed nmsg);
+                      Array.unsafe_set st.fired j true;
+                      st.stats.Stats.nulls_executed <-
+                        st.stats.Stats.nulls_executed + 1;
+                      resolve_store st ~slot:slot_idx ~lsid Nulled;
+                      retry_loads st
+                    end
+                    else begin
+                      let set = if is_left then st.lset else st.rset in
+                      if Array.unsafe_get set j then raise (Malformed msg);
+                      Array.unsafe_set set j true;
+                      Array.unsafe_set (if is_left then st.left else st.right) j tok;
+                      (Array.unsafe_get checks j) st
+                    end
+              | Opcode.Sand ->
+                  (* short-circuit AND: readiness inlined so the hot
+                     Hyper/Both predicate-merge chains skip the generic
+                     [checks] indirection; a delivered right operand
+                     never needs the left-value probe *)
+                  let pred_j = c.Bi.predicated in
+                  if is_left then (
+                    fun st tok ->
+                      if Array.unsafe_get st.lset j then raise (Malformed msg);
+                      Array.unsafe_set st.lset j true;
+                      Array.unsafe_set st.left j tok;
+                      if
+                        (not (Array.unsafe_get st.fired j))
+                        && ((not pred_j) || Array.unsafe_get st.pred_matched j)
+                        && ((not (Token.as_predicate tok))
+                           || Array.unsafe_get st.rset j)
+                      then (Array.unsafe_get fires j) st)
+                  else (
+                    fun st tok ->
+                      if Array.unsafe_get st.rset j then raise (Malformed msg);
+                      Array.unsafe_set st.rset j true;
+                      Array.unsafe_set st.right j tok;
+                      if
+                        (not (Array.unsafe_get st.fired j))
+                        && ((not pred_j) || Array.unsafe_get st.pred_matched j)
+                        && Array.unsafe_get st.lset j
+                      then (Array.unsafe_get fires j) st)
+              | _ ->
+                  let canonical =
+                    managed j
+                    && if is_left then c.Bi.arity >= 1 else c.Bi.arity >= 2
+                  in
+                  if canonical then
+                    if is_left then (
+                      fun st tok ->
+                        if Array.unsafe_get st.lset j then raise (Malformed msg);
+                        Array.unsafe_set st.lset j true;
+                        Array.unsafe_set st.left j tok;
+                        let m = Array.unsafe_get st.missing j - 1 in
+                        Array.unsafe_set st.missing j m;
+                        if m = 0 then (Array.unsafe_get fires j) st)
+                    else (
+                      fun st tok ->
+                        if Array.unsafe_get st.rset j then raise (Malformed msg);
+                        Array.unsafe_set st.rset j true;
+                        Array.unsafe_set st.right j tok;
+                        let m = Array.unsafe_get st.missing j - 1 in
+                        Array.unsafe_set st.missing j m;
+                        if m = 0 then (Array.unsafe_get fires j) st)
+                  else
+                    fun st tok ->
+                      let set = if is_left then st.lset else st.rset in
+                      if Array.unsafe_get set j then raise (Malformed msg);
+                      Array.unsafe_set set j true;
+                      Array.unsafe_set (if is_left then st.left else st.right) j tok;
+                      (Array.unsafe_get checks j) st))
+  in
+  let compile_fire id : state -> unit =
+    let i = instrs.(id) in
+    let send = compose (Array.map sink_of i.Bi.targets) in
+    let predicated = i.Bi.predicated in
+    match i.Bi.op with
+    | Opcode.Ld width ->
+        let lsid = i.Bi.lsid in
+        let imm = i.Bi.imm in
+        let lower =
+          (* store slots the load must wait on / forward from, in
+             ascending-LSID order *)
+          let acc = ref [] in
+          for k = img.Bi.n_stores - 1 downto 0 do
+            let slot = img.Bi.store_order.(k) in
+            if img.Bi.store_lsids.(slot) < lsid then acc := slot :: !acc
+          done;
+          Array.of_list !acc
+        in
+        let no_lower = Array.length lower = 0 in
+        fun st ->
+          if not (Array.unsafe_get st.fired id) then
+            if no_lower || stores_resolved st lower 0 then begin
+              Array.unsafe_set st.fired id true;
+              st.stats.Stats.instrs_executed <-
+                st.stats.Stats.instrs_executed + 1;
+              let base = Array.unsafe_get st.left id in
+              let addr = Int64.add base.Token.payload imm in
+              let tok =
+                if base.Token.exc || base.Token.null then
+                  Token.taint base zero_tok
+                else if no_lower then Mem.load st.mem ~width ~addr
+                else read_fwd st ~width ~addr ~lower
+              in
+              let tok = Token.taint base tok in
+              let tok =
+                if predicated && Array.unsafe_get st.pred_exc id then
+                  Token.with_exc tok
+                else tok
+              in
+              send st tok
+            end
+            else if not (List.mem id st.pending_loads) then
+              st.pending_loads <- id :: st.pending_loads
+    | Opcode.St width ->
+        let slot = Bi.store_slot_of img i.Bi.lsid in
+        let lsid = i.Bi.lsid in
+        let imm = i.Bi.imm in
+        fun st ->
+          if not (Array.unsafe_get st.fired id) then begin
+            Array.unsafe_set st.fired id true;
+            st.stats.Stats.instrs_executed <-
+              st.stats.Stats.instrs_executed + 1;
+            let base = Array.unsafe_get st.left id and v = Array.unsafe_get st.right id in
+            if v.Token.null || base.Token.null then begin
+              resolve_store st ~slot ~lsid Nulled;
+              retry_loads st
+            end
+            else begin
+              let addr = Int64.add base.Token.payload imm in
+              let exc = base.Token.exc || v.Token.exc || Array.unsafe_get st.pred_exc id in
+              resolve_store st ~slot ~lsid
+                (Stored { addr; value = v.Token.payload; width; exc });
+              retry_loads st
+            end
+          end
+    | Opcode.Bro ->
+        let exit_ok =
+          i.Bi.exit_idx >= 0 && i.Bi.exit_idx < Array.length img.Bi.exits
+        in
+        let tgt_opt =
+          if not exit_ok then None
+          else
+            let t = img.Bi.exits.(i.Bi.exit_idx) in
+            if String.equal t Block.halt_exit then None else Some t
+        in
+        let tgt_idx = match tgt_opt with None -> -1 | Some t -> resolve t in
+        fun st ->
+          if not (Array.unsafe_get st.fired id) then begin
+            Array.unsafe_set st.fired id true;
+            st.stats.Stats.instrs_executed <-
+              st.stats.Stats.instrs_executed + 1;
+            if st.branch_set then fail "two branches fired";
+            if not exit_ok then invalid_arg "index out of bounds";
+            st.branch_set <- true;
+            st.branch_tgt <- tgt_opt;
+            st.branch_idx <- tgt_idx;
+            st.branch_exc <- Array.unsafe_get st.pred_exc id
+          end
+    | Opcode.Halt ->
+        fun st ->
+          if not (Array.unsafe_get st.fired id) then begin
+            Array.unsafe_set st.fired id true;
+            st.stats.Stats.instrs_executed <-
+              st.stats.Stats.instrs_executed + 1;
+            if st.branch_set then fail "two branches fired";
+            st.branch_set <- true;
+            st.branch_tgt <- None;
+            st.branch_exc <- Array.unsafe_get st.pred_exc id
+          end
+    | Opcode.Sand ->
+        fun st ->
+          if not (Array.unsafe_get st.fired id) then begin
+            Array.unsafe_set st.fired id true;
+            let stats = st.stats in
+            stats.Stats.instrs_executed <- stats.Stats.instrs_executed + 1;
+            stats.Stats.tests_executed <- stats.Stats.tests_executed + 1;
+            let l = Array.unsafe_get st.left id in
+            let tok =
+              if not (Token.as_predicate l) then Token.taint l zero_tok
+              else
+                let r = Array.unsafe_get st.right id in
+                Token.taint l
+                  (Token.taint r
+                     (Token.of_int64 (if Token.as_predicate r then 1L else 0L)))
+            in
+            let tok =
+              if predicated && Array.unsafe_get st.pred_exc id then Token.with_exc tok
+              else tok
+            in
+            send st tok
+          end
+    | ( Opcode.Iop _ | Opcode.Iopi _ | Opcode.Tst _ | Opcode.Tsti _
+      | Opcode.Fop _ | Opcode.Ftst _ | Opcode.Un _ | Opcode.Movi | Opcode.Geni
+      | Opcode.Mov4 | Opcode.Null ) as op ->
+        let compute : state -> Token.t =
+          match i.Bi.arity with
+          | 0 -> (
+              match op with
+              | Opcode.Movi | Opcode.Geni ->
+                  let c = Token.of_int64 i.Bi.imm in
+                  fun _ -> c
+              | Opcode.Null -> fun _ -> Token.null_token
+              | _ -> assert false)
+          | 1 -> (
+              match op with
+              | Opcode.Un Opcode.Mov | Opcode.Mov4 ->
+                  fun st -> Array.unsafe_get st.left id
+              | _ ->
+                  let f = Alu.jit1 op ~imm:i.Bi.imm in
+                  fun st -> f (Array.unsafe_get st.left id))
+          | _ ->
+              let f = Alu.jit2 op in
+              fun st -> f (Array.unsafe_get st.left id) (Array.unsafe_get st.right id)
+        in
+        match (i.Bi.cls, predicated) with
+        | Bi.Splain, false ->
+            fun st ->
+              if not (Array.unsafe_get st.fired id) then begin
+                Array.unsafe_set st.fired id true;
+                let stats = st.stats in
+                stats.Stats.instrs_executed <- stats.Stats.instrs_executed + 1;
+                send st (compute st)
+              end
+        | Bi.Splain, true ->
+            fun st ->
+              if not (Array.unsafe_get st.fired id) then begin
+                Array.unsafe_set st.fired id true;
+                let stats = st.stats in
+                stats.Stats.instrs_executed <- stats.Stats.instrs_executed + 1;
+                let tok = compute st in
+                send st (if Array.unsafe_get st.pred_exc id then Token.with_exc tok else tok)
+              end
+        | Bi.Smove, false ->
+            fun st ->
+              if not (Array.unsafe_get st.fired id) then begin
+                Array.unsafe_set st.fired id true;
+                let stats = st.stats in
+                stats.Stats.instrs_executed <- stats.Stats.instrs_executed + 1;
+                stats.Stats.moves_executed <- stats.Stats.moves_executed + 1;
+                send st (compute st)
+              end
+        | Bi.Smove, true ->
+            fun st ->
+              if not (Array.unsafe_get st.fired id) then begin
+                Array.unsafe_set st.fired id true;
+                let stats = st.stats in
+                stats.Stats.instrs_executed <- stats.Stats.instrs_executed + 1;
+                stats.Stats.moves_executed <- stats.Stats.moves_executed + 1;
+                let tok = compute st in
+                send st (if Array.unsafe_get st.pred_exc id then Token.with_exc tok else tok)
+              end
+        | cls, _ ->
+            let bump : Stats.t -> unit =
+              match cls with
+              | Bi.Smove ->
+                  fun s -> s.Stats.moves_executed <- s.Stats.moves_executed + 1
+              | Bi.Snull ->
+                  fun s -> s.Stats.nulls_executed <- s.Stats.nulls_executed + 1
+              | Bi.Stest ->
+                  fun s -> s.Stats.tests_executed <- s.Stats.tests_executed + 1
+              | Bi.Splain -> fun _ -> ()
+            in
+            if predicated then (
+              fun st ->
+                if not (Array.unsafe_get st.fired id) then begin
+                  Array.unsafe_set st.fired id true;
+                  let stats = st.stats in
+                  stats.Stats.instrs_executed <-
+                    stats.Stats.instrs_executed + 1;
+                  bump stats;
+                  let tok = compute st in
+                  send st
+                    (if Array.unsafe_get st.pred_exc id then Token.with_exc tok else tok)
+                end)
+            else
+              fun st ->
+                if not (Array.unsafe_get st.fired id) then begin
+                  Array.unsafe_set st.fired id true;
+                  let stats = st.stats in
+                  stats.Stats.instrs_executed <-
+                    stats.Stats.instrs_executed + 1;
+                  bump stats;
+                  send st (compute st)
+                end
+  in
+  for id = 0 to n - 1 do
+    fires.(id) <- compile_fire id
+  done;
+  let read_seeds =
+    Array.mapi
+      (fun rslot (r : Block.read) ->
+        let sink = compose (Array.map sink_of img.Bi.rtargets.(rslot)) in
+        let reg = r.Block.reg in
+        fun st -> sink st (Token.of_int64 st.regs.(reg)))
+      img.Bi.reads
+  in
+  let seeds = img.Bi.seeds in
+  let enter st =
+    let stats = st.stats in
+    stats.Stats.blocks_executed <- stats.Stats.blocks_executed + 1;
+    stats.Stats.instrs_fetched <- stats.Stats.instrs_fetched + n;
+    for k = 0 to Array.length read_seeds - 1 do
+      (Array.unsafe_get read_seeds k) st
+    done;
+    for k = 0 to Array.length seeds - 1 do
+      (Array.unsafe_get checks (Array.unsafe_get seeds k)) st
+    done
+  in
+  let pred_ids =
+    let acc = ref [] in
+    for id = n - 1 downto 0 do
+      if instrs.(id).Bi.predicated then acc := id :: !acc
+    done;
+    Array.of_list !acc
+  in
+  { img; init_missing; pred_ids; enter }
+
+let build (imgp : Bi.program) : t =
+  let resolve name =
+    match Bi.find_index imgp name with Some i -> i | None -> -1
+  in
+  { imgp; cblocks = Array.map (compile_block ~resolve) imgp.Bi.blocks }
+
+(* execute the block [st] was prepared for and commit its outputs;
+   mirrors [Functional.exec_block] including diagnostics *)
+let exec_block (cb : cblock) st =
+  match
+    let img = cb.img in
+    cb.enter st;
+    let complete =
+      st.writes_set = img.Bi.n_writes && st.stores_unres = 0 && st.branch_set
+    in
+    if not complete then begin
+      let missing = Buffer.create 64 in
+      for w = 0 to img.Bi.n_writes - 1 do
+        if not st.wset.(w) then
+          Buffer.add_string missing (Printf.sprintf " W%d" w)
+      done;
+      for k = 0 to img.Bi.n_stores - 1 do
+        if st.stores.(k) = Unresolved then
+          Buffer.add_string missing
+            (Printf.sprintf " S%d" img.Bi.store_lsids.(k))
+      done;
+      if not st.branch_set then Buffer.add_string missing " branch";
+      fail "block %s deadlocked; missing:%s" img.Bi.name
+        (Buffer.contents missing)
+    end;
+    let stats = st.stats in
+    let pred_ids = cb.pred_ids in
+    for k = 0 to Array.length pred_ids - 1 do
+      if not st.fired.(pred_ids.(k)) then
+        stats.Stats.mispredicated_fetched <-
+          stats.Stats.mispredicated_fetched + 1
+    done;
+    let fault = ref None in
+    for k = 0 to img.Bi.n_stores - 1 do
+      let slot = img.Bi.store_order.(k) in
+      match st.stores.(slot) with
+      | Stored { addr; value; width; exc } ->
+          if exc then
+            fault :=
+              Some (Printf.sprintf "store lsid %d" img.Bi.store_lsids.(slot))
+          else (
+            match Mem.store st.mem ~width ~addr value with
+            | Ok () -> ()
+            | Error () ->
+                fault := Some (Printf.sprintf "store fault at %Ld" addr))
+      | Nulled -> ()
+      | Unresolved -> assert false
+    done;
+    for w = 0 to img.Bi.n_writes - 1 do
+      let t = st.writes.(w) in
+      if t.Token.null then ()
+      else if t.Token.exc then fault := Some (Printf.sprintf "write W%d" w)
+      else st.regs.(img.Bi.write_regs.(w)) <- t.Token.payload
+    done;
+    if st.branch_exc then fault := Some "branch";
+    stats.Stats.blocks_committed <- stats.Stats.blocks_committed + 1;
+    Ok { exit_taken = st.branch_tgt; exit_idx = st.branch_idx; faulted = !fault }
+  with
+  | r -> r
+  | exception Malformed m -> Error m
+
+(* ---- content-addressed code cache ----
+
+   Same discipline as [Block_image.of_program]: keyed by program
+   digest, shared across domains under a mutex, bounded so fuzz
+   campaigns cannot grow it without limit. Compiled closures capture
+   only immutable data, so sharing across domains is safe. *)
+
+let cache : (string, t) Hashtbl.t = Hashtbl.create 64
+let cache_mu = Mutex.create ()
+let cache_cap = 256
+
+let compile program =
+  let key = Program.digest program in
+  Mutex.lock cache_mu;
+  let code =
+    match Hashtbl.find_opt cache key with
+    | Some code -> code
+    | None ->
+        let code = build (Bi.of_program program) in
+        if Hashtbl.length cache >= cache_cap then Hashtbl.reset cache;
+        Hashtbl.replace cache key code;
+        code
+  in
+  Mutex.unlock cache_mu;
+  code
+
+let run ?(fuel_blocks = 10_000_000) program ~regs ~mem =
+  let stats = Stats.create () in
+  let code = compile program in
+  let st = make_state code ~regs ~mem ~stats in
+  let rec go idx fuel =
+    if fuel <= 0 then Error "malformed: fuel exhausted"
+    else
+      let cb = code.cblocks.(idx) in
+      prepare cb st;
+      match exec_block cb st with
+      | Error m -> Error ("malformed: " ^ m)
+      | Ok { faulted = Some f; _ } -> Error ("fault: " ^ f)
+      | Ok { exit_taken = None; _ } -> Ok stats
+      | Ok { exit_taken = Some next; exit_idx; _ } ->
+          if exit_idx < 0 then
+            Error (Printf.sprintf "malformed: no block %s" next)
+          else go exit_idx (fuel - 1)
+  in
+  let entry = code.imgp.Bi.entry in
+  if entry < 0 then
+    Error (Printf.sprintf "malformed: no block %s" program.Program.entry)
+  else go entry fuel_blocks

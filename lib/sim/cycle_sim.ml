@@ -15,7 +15,7 @@ type placement_fn = string -> int array
 
 (* bump when simulated semantics or [Stats] accounting change: the
    persistent result cache keys on it *)
-let revision = "cycle-sim-4"
+let revision = "cycle-sim-5"
 
 exception Malformed of string
 exception Fault of string
@@ -85,6 +85,8 @@ type frame = {
   mutable pending_events : int;
   mutable deferred_loads : int list;
   mutable loads_done : (int * int64 * int) list;  (* lsid, addr, bytes *)
+  mutable unres : int;  (* unresolved store slots in this frame *)
+  mutable nstored : int;  (* slots resolved as [Stored] *)
   fstats : Stats.t;
   mutable complete : bool;
   dispatched_at : int;
@@ -141,6 +143,29 @@ let rq_pop q =
   q.rlen <- q.rlen - 1;
   v
 
+(* A typed event: the wheel's unit of work. Replaces the per-event
+   closure (code pointer + captured environment) with a flat immutable
+   record built once at the schedule site — initialization is
+   write-barrier-free, and execution dispatches on a small integer
+   instead of an indirect call. Kinds: 0 = deliver one token to a
+   target, 1 = a fired instruction's result reaches its sender (fans
+   out into kind-0 events per target), 2 = a store reaches the LSQ,
+   3 = a branch resolves. *)
+type ev = {
+  ek : int;
+  efid : int;
+  egen : int;
+  eid : int;  (* instr id (kinds 1-2) or exit index (kind 3) *)
+  etok : Token.t;  (* kinds 0-1: payload; kind 2: base address *)
+  etok2 : Token.t;  (* kind 2: store value *)
+  etgt : Target.t;  (* kind 0 *)
+  eexc : bool;  (* kind 3 *)
+  ebtgt : string option;  (* kind 3 *)
+}
+
+let ev_tok0 = Token.of_int64 0L
+let ev_tgt0 = Target.To_write 0
+
 type sim = {
   img : Bi.program;
   machine : Machine.t;
@@ -171,8 +196,12 @@ type sim = {
   mutable fetch : fetch_state;
   mutable fetch_memo_name : string;  (* last start_fetch target ... *)
   mutable fetch_memo_idx : int;  (* ... and its block index *)
-  events : (unit -> unit) Event_queue.t;
+  events : ev Event_queue.t;
   mutable cycle : int;
+  mutable unres_total : int;  (* unresolved stores across live frames *)
+  mutable stored_total : int;  (* [Stored] resolutions across live frames *)
+  mutable deferred_total : int;  (* deferred loads across live frames *)
+  mutable loads_total : int;  (* [loads_done] entries across live frames *)
   ready : ready_q array;  (* per tile: packed (gen, fid, id) *)
   mutable ready_count : int;  (* total entries across [ready] queues *)
   mutable halted : bool;
@@ -206,8 +235,9 @@ let frame_orphans f =
   done;
   f.pending_events + !queued
 
-let schedule sim dt f =
-  Event_queue.add sim.events ~cycle:(sim.cycle + max 1 dt) f
+let schedule sim dt ev =
+  Event_queue.add sim.events ~cycle:(sim.cycle + max 1 dt) ev
+
 
 let frame_alive sim fid gen =
   match sim.frames.(fid) with
@@ -357,6 +387,8 @@ let icache_penalty sim bi =
    first, across in-flight frames; allocates only for matching entries
    (usually none) *)
 let stores_before sim ~seq ~lsid =
+  if sim.stored_total = 0 then []
+  else
   let acc = ref [] in
   List.iter
     (fun f ->
@@ -378,8 +410,9 @@ let stores_before sim ~seq ~lsid =
     !acc
 
 let unresolved_before sim ~seq ~lsid =
+  sim.unres_total > 0
   (* existence is order-independent: scan the frame table directly *)
-  Array.exists
+  && Array.exists
     (function
       | None -> false
       | Some f ->
@@ -393,12 +426,7 @@ let unresolved_before sim ~seq ~lsid =
           scan 0)
     sim.frames
 
-let any_unresolved_store f =
-  let img = f.bi.img in
-  let rec scan k =
-    k < img.Bi.n_stores && (is_unresolved f.stores.(k) || scan (k + 1))
-  in
-  scan 0
+let any_unresolved_store f = f.unres > 0
 
 let read_with_forwarding sim ~width ~addr ~seq ~lsid =
   let nbytes = Mem.width_bytes width in
@@ -459,7 +487,7 @@ let read_with_forwarding sim ~width ~addr ~seq ~lsid =
 
 (* ---------- forward declarations via mutual recursion ---------- *)
 
-let rec deliver sim f (target, tok) =
+let rec deliver sim f target tok =
   if f.gen >= 0 then begin
     (if sim.oactive && tok.Token.null then
        match f.probe with Some p -> p.null_tokens <- p.null_tokens + 1 | None -> ());
@@ -606,11 +634,19 @@ and resolve_store sim f lsid r =
   | Stored _ | Nulled ->
       failm "%s: store lsid %d resolved twice" img.Bi.name lsid);
   f.stores.(idx) <- r;
+  f.unres <- f.unres - 1;
+  sim.unres_total <- sim.unres_total - 1;
+  (match r with
+  | Stored _ ->
+      f.nstored <- f.nstored + 1;
+      sim.stored_total <- sim.stored_total + 1
+  | Nulled | Unresolved -> ());
   output_produced sim f;
   (* violation check: younger executed loads that should have seen this
      store *)
   (match r with
   | Unresolved -> ()
+  | Stored _ when sim.loads_total = 0 -> ()
   | Stored { s_addr = addr; s_width = width; _ } ->
       let bytes = Mem.width_bytes width in
       let overlap (laddr, lbytes) =
@@ -654,10 +690,13 @@ and resolve_store sim f lsid r =
   retry_deferred sim
 
 and retry_deferred sim =
+  if sim.deferred_total = 0 then ()
+  else
   List.iter
     (fun f ->
       let ls = f.deferred_loads in
       f.deferred_loads <- [];
+      sim.deferred_total <- sim.deferred_total - List.length ls;
       List.iter
         (fun id ->
           if not f.fired.(id) then begin
@@ -696,6 +735,10 @@ and flush_from sim seq ~reason ~refetch =
         end;
         Stats.add sim.stats f.fstats;
         sim.stats.Stats.blocks_flushed <- sim.stats.Stats.blocks_flushed + 1;
+        sim.unres_total <- sim.unres_total - f.unres;
+        sim.stored_total <- sim.stored_total - f.nstored;
+        sim.deferred_total <- sim.deferred_total - List.length f.deferred_loads;
+        sim.loads_total <- sim.loads_total - List.length f.loads_done;
         sim.frames.(f.fid) <- None;
         invalidate_live sim
       end)
@@ -791,15 +834,20 @@ and send_read_value sim f rslot tok =
   let tgts = f.bi.img.Bi.rtargets.(rslot) in
   let hops = f.bi.rd_hops.(rslot) in
   for k = 0 to Array.length tgts - 1 do
-    let tgt = tgts.(k) in
     f.pending_events <- f.pending_events + 1;
-    let fid = f.fid and gen = f.gen in
-    schedule sim hops.(k) (fun () ->
-        match frame_alive sim fid gen with
-        | Some f ->
-            f.pending_events <- f.pending_events - 1;
-            deliver sim f (tgt, tok)
-        | None -> ())
+    schedule sim
+      hops.(k)
+      {
+        ek = 0;
+        efid = f.fid;
+        egen = f.gen;
+        eid = 0;
+        etok = tok;
+        etok2 = ev_tok0;
+        etgt = tgts.(k);
+        eexc = false;
+        ebtgt = None;
+      }
   done
 
 (* send the result of instruction [id] to its targets with network
@@ -808,18 +856,22 @@ let send_result sim f id tok =
   let tgts = f.bi.img.Bi.instrs.(id).Bi.targets in
   let hops = f.bi.res_hops.(id) in
   for k = 0 to Array.length tgts - 1 do
-    let tgt = tgts.(k) in
     let h = hops.(k) in
     sim.stats.Stats.operand_hops <- sim.stats.Stats.operand_hops + h;
     if sim.oactive then mincr sim ~by:h "sim.operand_hops";
     f.pending_events <- f.pending_events + 1;
-    let fid = f.fid and gen = f.gen in
-    schedule sim h (fun () ->
-        match frame_alive sim fid gen with
-        | Some f ->
-            f.pending_events <- f.pending_events - 1;
-            deliver sim f (tgt, tok)
-        | None -> ())
+    schedule sim h
+      {
+        ek = 0;
+        efid = f.fid;
+        egen = f.gen;
+        eid = 0;
+        etok = tok;
+        etok2 = ev_tok0;
+        etgt = tgts.(k);
+        eexc = false;
+        ebtgt = None;
+      }
   done
 
 (* called at every real firing (not a deferred-load retry), so it also
@@ -892,6 +944,39 @@ let resolve_branch sim f target exc exit_idx =
   end;
   sim.stats.Stats.branch_predictions <- sim.stats.Stats.branch_predictions + 1
 
+(* execute one pooled event and recycle it; events for squashed frames
+   (generation mismatch) are dropped, exactly as the closures'
+   [frame_alive] guards did *)
+let exec_ev sim ev =
+  (match frame_alive sim ev.efid ev.egen with
+  | None -> ()
+  | Some f -> (
+      f.pending_events <- f.pending_events - 1;
+      match ev.ek with
+      | 0 -> deliver sim f ev.etgt ev.etok
+      | 1 -> send_result sim f ev.eid ev.etok
+      | 2 ->
+          let id = ev.eid in
+          let i = f.bi.img.Bi.instrs.(id) in
+          let width =
+            match i.Bi.op with Opcode.St w -> w | _ -> assert false
+          in
+          let base = ev.etok and v = ev.etok2 in
+          if v.Token.null || base.Token.null then
+            resolve_store sim f i.Bi.lsid Nulled
+          else
+            let addr = Int64.add base.Token.payload i.Bi.imm in
+            let exc = base.Token.exc || v.Token.exc || f.pred_exc.(id) in
+            resolve_store sim f i.Bi.lsid
+              (Stored
+                 {
+                   s_addr = addr;
+                   s_value = v.Token.payload;
+                   s_width = width;
+                   s_exc = exc;
+                 })
+      | _ -> resolve_branch sim f ev.ebtgt ev.eexc ev.eid))
+
 (* fire one instruction instance *)
 let fire sim f id =
   let i = f.bi.img.Bi.instrs.(id) in
@@ -931,7 +1016,10 @@ let fire sim f id =
           same_wait || cross_wait
         end
       in
-      if must_wait then f.deferred_loads <- id :: f.deferred_loads
+      if must_wait then begin
+        f.deferred_loads <- id :: f.deferred_loads;
+        sim.deferred_total <- sim.deferred_total + 1
+      end
       else begin
         f.fired.(id) <- true;
         class_stats sim f id i;
@@ -942,74 +1030,84 @@ let fire sim f id =
           else read_with_forwarding sim ~width ~addr ~seq:f.seq ~lsid
         in
         let tok = taint_pred (Token.taint base tok) in
-        if not (base.Token.exc || base.Token.null) then
+        if not (base.Token.exc || base.Token.null) then begin
           f.loads_done <- (lsid, addr, Mem.width_bytes width) :: f.loads_done;
+          sim.loads_total <- sim.loads_total + 1
+        end;
         let lat =
           i.Bi.latency + (2 * f.bi.mem_hops.(id))
           + dcache_latency sim ~addr ~write:false
         in
         f.pending_events <- f.pending_events + 1;
-        let fid = f.fid and gen = f.gen in
-        schedule sim lat (fun () ->
-            match frame_alive sim fid gen with
-            | Some f ->
-                f.pending_events <- f.pending_events - 1;
-                send_result sim f id tok
-            | None -> ())
+        schedule sim lat
+          {
+            ek = 1;
+            efid = f.fid;
+            egen = f.gen;
+            eid = id;
+            etok = tok;
+            etok2 = ev_tok0;
+            etgt = ev_tgt0;
+            eexc = false;
+            ebtgt = None;
+          }
       end
   | Opcode.St width ->
       f.fired.(id) <- true;
       class_stats sim f id i;
+      ignore width;
       let base = Option.get f.left.(id) in
       let v = Option.get f.right.(id) in
       let lat = i.Bi.latency + f.bi.mem_hops.(id) in
       f.pending_events <- f.pending_events + 1;
-      let fid = f.fid and gen = f.gen in
-      schedule sim lat (fun () ->
-          match frame_alive sim fid gen with
-          | Some f ->
-              f.pending_events <- f.pending_events - 1;
-              if v.Token.null || base.Token.null then
-                resolve_store sim f i.Bi.lsid Nulled
-              else
-                let addr = Int64.add base.Token.payload i.Bi.imm in
-                let exc = base.Token.exc || v.Token.exc || f.pred_exc.(id) in
-                resolve_store sim f i.Bi.lsid
-                  (Stored
-                     {
-                       s_addr = addr;
-                       s_value = v.Token.payload;
-                       s_width = width;
-                       s_exc = exc;
-                     })
-          | None -> ())
+      schedule sim lat
+        {
+          ek = 2;
+          efid = f.fid;
+          egen = f.gen;
+          eid = id;
+          etok = base;
+          etok2 = v;
+          etgt = ev_tgt0;
+          eexc = false;
+          ebtgt = None;
+        }
   | Opcode.Bro ->
       f.fired.(id) <- true;
       class_stats sim f id i;
       let tgt = f.bi.img.Bi.exits.(i.Bi.exit_idx) in
       let tgt = if String.equal tgt Block.halt_exit then None else Some tgt in
       let exc = f.pred_exc.(id) in
-      let exit_idx = i.Bi.exit_idx in
       f.pending_events <- f.pending_events + 1;
-      let fid = f.fid and gen = f.gen in
-      schedule sim i.Bi.latency (fun () ->
-          match frame_alive sim fid gen with
-          | Some f ->
-              f.pending_events <- f.pending_events - 1;
-              resolve_branch sim f tgt exc exit_idx
-          | None -> ())
+      schedule sim i.Bi.latency
+        {
+          ek = 3;
+          efid = f.fid;
+          egen = f.gen;
+          eid = i.Bi.exit_idx;
+          etok = ev_tok0;
+          etok2 = ev_tok0;
+          etgt = ev_tgt0;
+          eexc = exc;
+          ebtgt = tgt;
+        }
   | Opcode.Halt ->
       f.fired.(id) <- true;
       class_stats sim f id i;
       let exc = f.pred_exc.(id) in
       f.pending_events <- f.pending_events + 1;
-      let fid = f.fid and gen = f.gen in
-      schedule sim 1 (fun () ->
-          match frame_alive sim fid gen with
-          | Some f ->
-              f.pending_events <- f.pending_events - 1;
-              resolve_branch sim f None exc 0
-          | None -> ())
+      schedule sim 1
+        {
+          ek = 3;
+          efid = f.fid;
+          egen = f.gen;
+          eid = 0;
+          etok = ev_tok0;
+          etok2 = ev_tok0;
+          etgt = ev_tgt0;
+          eexc = exc;
+          ebtgt = None;
+        }
   | Opcode.Sand ->
       f.fired.(id) <- true;
       class_stats sim f id i;
@@ -1024,13 +1122,18 @@ let fire sim f id =
       in
       let tok = taint_pred tok in
       f.pending_events <- f.pending_events + 1;
-      let fid = f.fid and gen = f.gen in
-      schedule sim i.Bi.latency (fun () ->
-          match frame_alive sim fid gen with
-          | Some f ->
-              f.pending_events <- f.pending_events - 1;
-              send_result sim f id tok
-          | None -> ())
+      schedule sim i.Bi.latency
+        {
+          ek = 1;
+          efid = f.fid;
+          egen = f.gen;
+          eid = id;
+          etok = tok;
+          etok2 = ev_tok0;
+          etgt = ev_tgt0;
+          eexc = false;
+          ebtgt = None;
+        }
   | _ ->
       f.fired.(id) <- true;
       class_stats sim f id i;
@@ -1039,13 +1142,18 @@ let fire sim f id =
       in
       let tok = taint_pred tok in
       f.pending_events <- f.pending_events + 1;
-      let fid = f.fid and gen = f.gen in
-      schedule sim i.Bi.latency (fun () ->
-          match frame_alive sim fid gen with
-          | Some f ->
-              f.pending_events <- f.pending_events - 1;
-              send_result sim f id tok
-          | None -> ())
+      schedule sim i.Bi.latency
+        {
+          ek = 1;
+          efid = f.fid;
+          egen = f.gen;
+          eid = id;
+          etok = tok;
+          etok2 = ev_tok0;
+          etgt = ev_tgt0;
+          eexc = false;
+          ebtgt = None;
+        }
 
 (* the arena-debug invariant: a recycled prefix must be
    indistinguishable from freshly allocated arrays — catches a clear
@@ -1138,6 +1246,8 @@ let dispatch sim idx =
       pending_events = 0;
       deferred_loads = [];
       loads_done = [];
+      unres = n_stores;
+      nstored = 0;
       fstats = Stats.create ();
       complete = false;
       dispatched_at = sim.cycle;
@@ -1149,6 +1259,7 @@ let dispatch sim idx =
   if sim.arena_debug && sim.arena_on then check_cleared f;
   sim.next_seq <- sim.next_seq + 1;
   sim.next_gen <- sim.next_gen + 1;
+  sim.unres_total <- sim.unres_total + n_stores;
   sim.frames.(fid) <- Some f;
   invalidate_live sim;
   f.fstats.Stats.blocks_executed <- 1;
@@ -1279,6 +1390,10 @@ let try_commit sim =
                  })
         end;
         Stats.add sim.stats f.fstats;
+        sim.unres_total <- sim.unres_total - f.unres;
+        sim.stored_total <- sim.stored_total - f.nstored;
+        sim.deferred_total <- sim.deferred_total - List.length f.deferred_loads;
+        sim.loads_total <- sim.loads_total - List.length f.loads_done;
         sim.frames.(f.fid) <- None;
         invalidate_live sim;
         if Option.is_none target then begin
@@ -1418,6 +1533,10 @@ let run ?(machine = Machine.default) ?placement ?(obs = Obs.null)
       fetch_memo_idx = -1;
       events = Event_queue.create ();
       cycle = 0;
+      unres_total = 0;
+      stored_total = 0;
+      deferred_total = 0;
+      loads_total = 0;
       ready = Array.init Grid.num_tiles (fun _ -> rq_create ());
       ready_count = 0;
       halted = false;
@@ -1433,7 +1552,7 @@ let run ?(machine = Machine.default) ?placement ?(obs = Obs.null)
     start_fetch sim program.Program.entry ~extra:0;
     while (not sim.halted) && sim.cycle < machine.Machine.max_cycles do
       (* events due now, in scheduling order *)
-      Event_queue.drain sim.events ~cycle:sim.cycle (fun f -> f ());
+      Event_queue.drain sim.events ~cycle:sim.cycle (fun ev -> exec_ev sim ev);
       step_issue sim;
       step_fetch sim;
       try_commit sim;

@@ -440,7 +440,7 @@ let run_block block ~regs ~mem ~stats =
   prepare st img;
   exec_block st ~regs ~mem ~stats
 
-let run ?(fuel_blocks = 10_000_000) program ~regs ~mem =
+let run_interp ?(fuel_blocks = 10_000_000) program ~regs ~mem =
   let stats = Stats.create () in
   let imgp = Bi.of_program program in
   let st =
@@ -473,3 +473,24 @@ let run ?(fuel_blocks = 10_000_000) program ~regs ~mem =
           | Ok { exit_taken = Some next; _ } -> go next (fuel - 1))
   in
   go program.Edge_isa.Program.entry fuel_blocks
+
+(* ---- JIT dispatch ----
+
+   [Block_jit] compiles block images to threaded-code closures with
+   identical architectural semantics; this interpreter remains the
+   reference path, selected by [~jit:false], [set_jit false] (the
+   [--no-jit] flag) or [DFP_NO_JIT=1]. *)
+
+let jit_default =
+  ref
+    (match Sys.getenv_opt "DFP_NO_JIT" with
+    | Some ("1" | "true" | "yes") -> false
+    | Some _ | None -> true)
+
+let set_jit b = jit_default := b
+let jit_enabled () = !jit_default
+
+let run ?fuel_blocks ?jit program ~regs ~mem =
+  let use_jit = match jit with Some j -> j | None -> !jit_default in
+  if use_jit then Block_jit.run ?fuel_blocks program ~regs ~mem
+  else run_interp ?fuel_blocks program ~regs ~mem

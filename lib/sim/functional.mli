@@ -25,10 +25,23 @@ val run_block :
 
 val run :
   ?fuel_blocks:int ->
+  ?jit:bool ->
   Edge_isa.Program.t ->
   regs:int64 array ->
   mem:Edge_isa.Mem.t ->
   (Stats.t, string) result
 (** Runs from the entry block until halt. Program faults (exception bit
     reaching a committed output) are reported as [Error] with a
-    ["fault:"] prefix; malformed blocks with a ["malformed:"] prefix. *)
+    ["fault:"] prefix; malformed blocks with a ["malformed:"] prefix.
+
+    By default execution goes through the {!Block_jit} threaded-code
+    path; [~jit:false] (or {!set_jit}[ false], or [DFP_NO_JIT=1] in the
+    environment) selects this interpreter, the reference
+    implementation. Both paths are architecturally identical, including
+    [Stats] accounting and malformed-block diagnostics. *)
+
+val set_jit : bool -> unit
+(** Sets the process-wide default for [run]'s [?jit] parameter
+    (initialized from [DFP_NO_JIT]). *)
+
+val jit_enabled : unit -> bool

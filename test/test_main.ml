@@ -18,4 +18,6 @@ let () =
       ("arena", Test_arena.tests);
       ("obs", Test_obs.tests);
       ("check", Test_check.tests);
+      (* last: leaves DFP_ARENA_DEBUG set for the process *)
+      ("jit", Test_jit.tests);
     ]
