@@ -1,5 +1,6 @@
 .PHONY: all build test check smoke check-smoke fuzz-smoke trace-smoke \
-	jit-smoke perf-smoke bench-compare regen-golden bench clean
+	jit-smoke perf-smoke serve-smoke serve-bench bench-compare \
+	regen-golden bench clean
 
 all: build
 
@@ -15,6 +16,7 @@ test:
 check:
 	dune build @all && dune runtest && $(MAKE) fuzz-smoke && $(MAKE) check-smoke \
 	&& $(MAKE) trace-smoke && $(MAKE) jit-smoke && $(MAKE) perf-smoke \
+	&& $(MAKE) serve-smoke \
 	&& $(MAKE) bench-compare BASE=BENCH_fig7.json NEW=BENCH_fig7.json
 
 # compile the example kernels plus 50 fixed-seed generated kernels
@@ -87,6 +89,19 @@ perf-smoke: build
 	  { echo "perf-smoke: FAIL: warm run not 2x faster ($$ct s -> $$wt s)"; exit 1; } && \
 	echo "perf-smoke: OK (cold $$ct s, warm $$wt s, cycles identical)" && \
 	./_build/default/bin/fsim_bench.exe --smoke --min-ratio 2
+
+# spawn dfpd.exe, drive ~20 mixed jobs through the socket (cold + warm
+# workload jobs, a source job, a traced job, a guaranteed timeout, a
+# malformed request, bad names), then shut down cleanly: structured
+# errors only, warm >= 10x cold, no leaked sockets or temp files
+serve-smoke: build
+	./_build/default/bin/serve_bench.exe --smoke
+
+# the serve throughput benchmark; writes BENCH_serve.json (compare
+# against a baseline with `make bench-compare BASE=... NEW=...` --
+# serve numbers are informational, only the byte-identical flag gates)
+serve-bench: build
+	./_build/default/bin/serve_bench.exe --out BENCH_serve.json
 
 # re-bless the golden trace files after an intentional schedule change;
 # inspect the diff before committing

@@ -1,12 +1,18 @@
-(* bench_compare: diff two BENCH_fig7.json files.
+(* bench_compare: diff two BENCH_*.json files.
 
      bench_compare.exe BASE.json NEW.json
 
-   Exits non-zero if any per-benchmark per-config cycle count differs
-   between the two files (or a benchmark/config present in BASE is
-   missing from NEW) — cycle counts are the deterministic part of a
-   sweep and must not drift silently. Wall-clock and allocation deltas
-   are reported but never fail the comparison: they are host-dependent.
+   For figure-7 files, exits non-zero if any per-benchmark per-config
+   cycle count differs between the two files (or a benchmark/config
+   present in BASE is missing from NEW) — cycle counts are the
+   deterministic part of a sweep and must not drift silently.
+   Wall-clock and allocation deltas are reported but never fail the
+   comparison: they are host-dependent.
+
+   Files whose "experiment" field is "serve" (written by
+   serve_bench.exe) hold only machine-dependent throughput/latency
+   numbers plus the byte-identical flag; those are compared entirely
+   non-fatally except for the identical flag itself regressing.
 
    The parser below is a minimal recursive-descent JSON reader — just
    enough for the bench writer's output — so the tool needs no JSON
@@ -236,6 +242,50 @@ let fsim_of v =
       | _ -> [])
   | _ -> []
 
+(* per -j row of a BENCH_serve.json: (j, warm_jobs_s, ratio, p99_ms) *)
+let serve_rows v =
+  match member "rows" v with
+  | Some (Arr rows) ->
+      List.filter_map
+        (fun row ->
+          match
+            ( to_num (member "j" row),
+              to_num (member "warm_jobs_s" row),
+              to_num (member "warm_cold_ratio" row),
+              to_num (member "warm_p99_ms" row) )
+          with
+          | Some j, Some w, Some r, Some p ->
+              Some (int_of_float j, (w, r, p))
+          | _ -> None)
+        rows
+  | _ -> []
+
+let is_serve v = member "experiment" v = Some (Str "serve")
+
+(* serve numbers are host-dependent: report drift, fail only if the
+   byte-identical invariant was lost *)
+let compare_serve base next new_path =
+  List.iter
+    (fun (j, (wb, rb, pb)) ->
+      match List.assoc_opt j (serve_rows next) with
+      | None -> Printf.printf "serve -j%d missing from %s\n" j new_path
+      | Some (wn, rn, pn) ->
+          Printf.printf
+            "serve -j%d: warm %.0f -> %.0f jobs/s (%+.1f%%), ratio %.0fx -> \
+             %.0fx, p99 %.3f -> %.3f ms\n"
+            j wb wn
+            (if wb > 0. then (wn -. wb) /. wb *. 100. else 0.)
+            rb rn pb pn)
+    (serve_rows base);
+  let identical v = member "identical" v = Some (Bool true) in
+  if identical base && not (identical next) then begin
+    Printf.printf
+      "FAIL: server responses no longer byte-identical to direct runs\n";
+    exit 1
+  end;
+  Printf.printf "OK: serve comparison is informational (throughput is \
+                 host-dependent)\n"
+
 let () =
   let base_path, new_path =
     match Sys.argv with
@@ -245,6 +295,15 @@ let () =
         exit 2
   in
   let base = load base_path and next = load new_path in
+  if is_serve base || is_serve next then begin
+    if not (is_serve base && is_serve next) then begin
+      Printf.eprintf "bench_compare: %s and %s are different experiments\n"
+        base_path new_path;
+      exit 2
+    end;
+    compare_serve base next new_path;
+    exit 0
+  end;
   let base_cycles = cycles_of base and new_cycles = cycles_of next in
   if base_cycles = [] then begin
     Printf.eprintf "bench_compare: %s: no benches\n" base_path;

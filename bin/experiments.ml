@@ -69,7 +69,7 @@ let () =
   let cache =
     if not !use_cache then None
     else
-      match Edge_parallel.Disk_cache.create ~dir:!cache_dir with
+      match Edge_parallel.Disk_cache.create ~dir:!cache_dir () with
       | c -> Some c
       | exception Sys_error e ->
           Printf.eprintf "warning: cache disabled: %s\n%!" e;

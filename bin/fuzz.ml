@@ -25,13 +25,142 @@
                    predicate variables are skipped by exhaustive path
                    enumeration (they still get the lattice checker);
                    skip counts are reported
-     --no-check    disable the per-pass static checker in the oracle *)
+     --no-check    disable the per-pass static checker in the oracle
+     --serve       replay generated kernels through the dfpd socket
+                   protocol against an in-process job server, diffing
+                   every verdict (return value / fault / timeout)
+                   against the reference interpreter, then hit the
+                   server with a malformed-request battery *)
+
+(* fuzz the server boundary: every generated kernel goes through the
+   real socket protocol as a source job, and the server's verdict must
+   agree with the in-process oracle — a terminating kernel's return
+   value comes back bit-exact, a faulting kernel yields a structured
+   "job" error, a non-terminating one a structured "timeout", and no
+   request (malformed ones included) ever kills the server *)
+let run_serve ~seed ~n ~jobs ~min_size ~max_size =
+  let module Server = Edge_serve.Server in
+  let module Client = Edge_serve.Client in
+  let module Json = Edge_serve.Json in
+  let module Oracle = Edge_fuzz.Oracle in
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "dfpd-fuzz-%d-%.0f" (Unix.getpid ())
+         (Unix.gettimeofday () *. 1000.))
+  in
+  Unix.mkdir dir 0o755;
+  let socket = Filename.concat dir "dfpd.sock" in
+  let cache =
+    Edge_parallel.Disk_cache.create ~dir:(Filename.concat dir "cache") ()
+  in
+  let cfg =
+    { (Server.default_config ~cache ~socket_path:socket ()) with jobs }
+  in
+  let srv = Server.start cfg in
+  let c = Client.connect_retry socket in
+  let rtype v = Option.value (Json.str_member "type" v) ~default:"?" in
+  let reason v = Option.value (Json.str_member "reason" v) ~default:"?" in
+  let failures = ref 0 in
+  let oks = ref 0 and faults = ref 0 and skips = ref 0 in
+  let fail i fmt =
+    Printf.ksprintf
+      (fun s ->
+        incr failures;
+        Format.printf "FAIL serve seed=%d: %s@." i s)
+      fmt
+  in
+  let config_names = Oracle.config_names in
+  for i = 0 to n - 1 do
+    let s = seed + i in
+    let size = Edge_fuzz.Gen.size_for ~min_size ~max_size i in
+    let kernel = Edge_fuzz.Gen.generate ~seed:s ~size in
+    let src = Edge_fuzz.Pretty.kernel_to_string kernel in
+    let config = List.nth config_names (i mod List.length config_names) in
+    let expected =
+      match Oracle.run_reference kernel with
+      | exception Oracle.Skip -> `Skip
+      | Ok o -> if o.Oracle.fault then `Fault else `Ret o.Oracle.ret
+      | Error _ -> `Fault
+    in
+    let job =
+      Client.source_job ~fuel:Oracle.interp_fuel ~source:src ~config ()
+    in
+    match Client.run_job c job with
+    | Error e -> fail s "server connection died: %s" e
+    | Ok v -> (
+        match (expected, rtype v) with
+        | `Ret r, "done" ->
+            incr oks;
+            let got = Option.value (Json.str_member "ret" v) ~default:"?" in
+            if got <> Int64.to_string r then
+              fail s "config %s: ret %s, reference says %Ld" config got r
+        | `Ret r, _ ->
+            fail s "config %s: %s, reference says ret %Ld" config
+              (Json.to_string v) r
+        | `Skip, "error" when reason v = "timeout" -> incr skips
+        | `Skip, _ ->
+            fail s "non-terminating kernel: expected a timeout error, got %s"
+              (Json.to_string v)
+        | `Fault, "error" when reason v <> "protocol" -> incr faults
+        | `Fault, _ ->
+            fail s "faulting kernel: expected a job error, got %s"
+              (Json.to_string v))
+  done;
+  (* malformed and truncated requests: each must produce a structured
+     protocol error, and the server must still answer afterwards *)
+  let malformed =
+    [
+      "garbage";
+      "{\"op\":";
+      "{\"workload\":42,\"config\":\"Both\"}";
+      "{\"source\":\"kernel k\",\"config\":7}";
+      "{\"config\":\"Both\"}";
+      "{\"op\":\"reboot\"}";
+      "[1,2,3]";
+      "{\"source\":\"x\",\"config\":\"Both\",\"fuel\":-5}";
+      String.concat "" (List.init 4096 (fun _ -> "{")) (* deep nesting *);
+    ]
+  in
+  List.iter
+    (fun line ->
+      Client.send_line c line;
+      match Client.recv c with
+      | Some (Ok v) when rtype v = "error" && reason v = "protocol" -> ()
+      | Some (Ok v) ->
+          incr failures;
+          Format.printf "FAIL serve: %S answered %s, wanted a protocol error@."
+            line (Json.to_string v)
+      | Some (Error e) ->
+          incr failures;
+          Format.printf "FAIL serve: unparseable response to %S: %s@." line e
+      | None ->
+          incr failures;
+          Format.printf "FAIL serve: server hung up on %S@." line)
+    malformed;
+  (match Client.rpc c (Json.Obj [ ("op", Json.Str "ping") ]) with
+  | Ok v when rtype v = "pong" -> ()
+  | _ ->
+      incr failures;
+      Format.printf "FAIL serve: no pong after the malformed battery@.");
+  Client.close c;
+  Server.stop srv;
+  (* the server must leave nothing behind *)
+  if Sys.file_exists socket then begin
+    incr failures;
+    Format.printf "FAIL serve: socket file leaked@."
+  end;
+  Format.printf
+    "serve fuzz: %d kernels (%d ok, %d faults, %d timeouts), %d malformed, \
+     %d failure(s)@."
+    n !oks !faults !skips (List.length malformed) !failures;
+  exit (if !failures = 0 then 0 else 1)
 
 let usage =
   "usage: fuzz.exe [--seed S] [-n N] [-j J] [--min-size A] [--max-size B]\n\
   \                [--no-cycle] [--no-validate] [--no-check] [--no-minimize]\n\
   \                [--max-vars N] [--corpus DIR] [--cache-dir DIR]\n\
-  \                [--workloads] [--replay DIR] [--check-smoke DIR]"
+  \                [--workloads] [--replay DIR] [--check-smoke DIR] [--serve]"
 
 let () =
   let seed = ref 0 in
@@ -74,6 +203,7 @@ let () =
     | "--workloads" :: rest -> mode := `Workloads; parse rest
     | "--replay" :: dir :: rest -> mode := `Replay dir; parse rest
     | "--check-smoke" :: dir :: rest -> mode := `Check_smoke dir; parse rest
+    | "--serve" :: rest -> mode := `Serve; parse rest
     | a :: _ ->
         Printf.eprintf "unknown argument %s\n%s\n" a usage;
         exit 1
@@ -82,9 +212,12 @@ let () =
   (* opt-in for fuzzing: campaigns that re-test identical kernels across
      runs (fixed seeds in CI) skip every previously-clean verdict *)
   let cache =
-    Option.map (fun dir -> Edge_parallel.Disk_cache.create ~dir) !cache_dir
+    Option.map (fun dir -> Edge_parallel.Disk_cache.create ~dir ()) !cache_dir
   in
   match !mode with
+  | `Serve ->
+      run_serve ~seed:!seed ~n:!n ~jobs:!jobs ~min_size:!min_size
+        ~max_size:!max_size
   | `Workloads -> (
       Format.printf "validating compiled artifacts: %d workloads x %d configs@."
         (List.length Edge_workloads.Registry.all)

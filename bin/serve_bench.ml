@@ -1,0 +1,486 @@
+(* serve_bench: throughput/latency benchmark and smoke battery for the
+   dfpd job server.
+
+   Bench mode (default) spawns a fresh dfpd.exe child per -j in
+   {1,2,4}, each with its own empty cache directory, drives one cold
+   pass and several warm passes of (workload, config) jobs through 4
+   client threads, and writes BENCH_serve.json: jobs/sec cold and warm,
+   p50/p99 warm latency, warm:cold throughput ratio, cache counters,
+   and whether every server response was byte-identical (same
+   run_digest) to a direct in-process Experiment.run_one.
+
+   Smoke mode (--smoke, wired into `make check` as serve-smoke) runs a
+   ~20-job mixed battery against a spawned server — cold and warm
+   workload jobs, a source job, a traced job, a guaranteed timeout, a
+   malformed request, bad config/workload names — then a clean
+   shutdown, asserting structured errors (never a dead server), a
+   warm:cold ratio >= 10, and zero leaked sockets or cache temp
+   files. *)
+
+module Client = Edge_serve.Client
+module Json = Edge_serve.Json
+module Experiment = Edge_harness.Experiment
+
+(* spawned dfpd children still alive; [die] reaps them so a failed
+   assertion can never leave an orphan server holding our pipes open *)
+let live_children : int list ref = ref []
+
+let die fmt =
+  Printf.ksprintf
+    (fun s ->
+      prerr_endline ("serve_bench: FAIL: " ^ s);
+      List.iter
+        (fun pid ->
+          (try Unix.kill pid Sys.sigterm with Unix.Unix_error _ -> ());
+          try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ())
+        !live_children;
+      exit 1)
+    fmt
+
+(* -- child server -------------------------------------------------- *)
+
+let dfpd_exe () =
+  let candidate =
+    Filename.concat (Filename.dirname Sys.executable_name) "dfpd.exe"
+  in
+  if Sys.file_exists candidate then candidate
+  else die "cannot find dfpd.exe next to %s" Sys.executable_name
+
+let spawn_server ~socket ~cache_dir ~j =
+  let exe = dfpd_exe () in
+  let args =
+    [|
+      exe; "--socket"; socket; "-j"; string_of_int j; "--cache-dir";
+      cache_dir; "--quiet";
+    |]
+  in
+  let pid = Unix.create_process exe args Unix.stdin Unix.stdout Unix.stderr in
+  live_children := pid :: !live_children;
+  pid
+
+let shutdown_server ~socket pid =
+  (match Client.connect_retry ~attempts:20 socket with
+  | c ->
+      (match Client.rpc c (Json.Obj [ ("op", Json.Str "shutdown") ]) with
+      | Ok _ | Error _ -> ());
+      Client.close c
+  | exception _ -> ());
+  let deadline = Unix.gettimeofday () +. 20. in
+  live_children := List.filter (fun p -> p <> pid) !live_children;
+  let rec wait () =
+    match Unix.waitpid [ Unix.WNOHANG ] pid with
+    | 0, _ ->
+        if Unix.gettimeofday () > deadline then begin
+          Unix.kill pid Sys.sigkill;
+          ignore (Unix.waitpid [] pid);
+          die "server did not shut down within 20s"
+        end
+        else begin
+          Thread.delay 0.02;
+          wait ()
+        end
+    | _, Unix.WEXITED 0 -> ()
+    | _, st ->
+        die "server exited abnormally (%s)"
+          (match st with
+          | Unix.WEXITED n -> Printf.sprintf "exit %d" n
+          | Unix.WSIGNALED n -> Printf.sprintf "signal %d" n
+          | Unix.WSTOPPED n -> Printf.sprintf "stopped %d" n)
+  in
+  wait ()
+
+let fresh_dir tag =
+  let d =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "dfpd-%s-%d-%.0f" tag (Unix.getpid ())
+         (Unix.gettimeofday () *. 1000.))
+  in
+  Unix.mkdir d 0o755;
+  d
+
+let rec rm_rf path =
+  if Sys.is_directory path then begin
+    Array.iter (fun n -> rm_rf (Filename.concat path n)) (Sys.readdir path);
+    Unix.rmdir path
+  end
+  else Sys.remove path
+
+(* -- client passes ------------------------------------------------- *)
+
+(* run every job in [jobs] through [threads] client connections
+   (thread k takes indices k, k+T, ...); returns per-job
+   (latency_s, terminal response) in submission order *)
+let run_pass ~socket ~threads (jobs : (string * Json.t) list array) :
+    (float * Json.t) array =
+  let n = Array.length jobs in
+  let out = Array.make n (0., Json.Null) in
+  let worker k () =
+    let c = Client.connect_retry socket in
+    let i = ref k in
+    while !i < n do
+      let t0 = Unix.gettimeofday () in
+      (match Client.run_job c jobs.(!i) with
+      | Ok v -> out.(!i) <- (Unix.gettimeofday () -. t0, v)
+      | Error e -> die "job %d: %s" !i e);
+      i := !i + threads
+    done;
+    Client.close c
+  in
+  let ths = List.init (min threads n) (fun k -> Thread.create (worker k) ()) in
+  List.iter Thread.join ths;
+  out
+
+let field_exn v name =
+  match Json.member name v with
+  | Some f -> f
+  | None -> die "response %s is missing %S" (Json.to_string v) name
+
+let str_exn v name =
+  match Json.str v with
+  | Some s -> s
+  | None -> die "%S is not a string in %s" name (Json.to_string v)
+
+let rtype v = Option.value (Json.str_member "type" v) ~default:"?"
+
+let expect_done v =
+  if rtype v <> "done" then
+    die "expected done, got %s" (Json.to_string v);
+  v
+
+let digest_of v = str_exn (field_exn v "run_digest") "run_digest"
+
+let is_warm v = Json.bool_member "warm" v = Some true
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0. else sorted.(min (n - 1) (int_of_float (p *. float_of_int (n - 1) +. 0.5)))
+
+(* -- the job mix --------------------------------------------------- *)
+
+let bench_workloads = [ "tblook01"; "cacheb01"; "pntrch01"; "ttsprk01" ]
+let bench_configs = [ "Hyper"; "Both" ]
+
+let specs workloads =
+  List.concat_map
+    (fun w ->
+      List.map (fun c -> (w, c)) bench_configs)
+    workloads
+
+let job_of_spec (w, c) = Client.workload_job ~workload:w ~config:c ()
+
+(* digest of a direct, server-free run of the same job — ground truth
+   for the byte-identical check *)
+let direct_digest (w, c) =
+  let workload =
+    match Edge_workloads.Registry.find w with
+    | Some wl -> wl
+    | None -> die "workload %s missing from registry" w
+  in
+  let config =
+    match Edge_serve.Server.find_config c with
+    | Some cfg -> cfg
+    | None -> die "config %s unknown" c
+  in
+  match Experiment.run_one workload (c, config) with
+  | Ok r -> (Edge_serve.Server.run_digest r, r.Experiment.ret)
+  | Error e -> die "direct run %s/%s failed: %s" w c e
+
+(* -- bench mode ---------------------------------------------------- *)
+
+type row = {
+  j : int;
+  cold_jobs_s : float;
+  warm_jobs_s : float;
+  warm_p50_ms : float;
+  warm_p99_ms : float;
+  ratio : float;
+  cache_hits : int;
+  cache_misses : int;
+}
+
+let bench_one ~j ~warm_passes specs =
+  let cache_dir = fresh_dir (Printf.sprintf "bench%d" j) in
+  let socket = Filename.concat cache_dir "dfpd.sock" in
+  let pid = spawn_server ~socket ~cache_dir ~j in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists cache_dir then rm_rf cache_dir)
+    (fun () ->
+      let jobs = Array.of_list (List.map job_of_spec specs) in
+      let t0 = Unix.gettimeofday () in
+      let cold = run_pass ~socket ~threads:4 jobs in
+      let cold_wall = Unix.gettimeofday () -. t0 in
+      let cold_digests =
+        Array.map (fun (_, v) -> digest_of (expect_done v)) cold
+      in
+      let warm_lat = ref [] in
+      let t1 = Unix.gettimeofday () in
+      for _ = 1 to warm_passes do
+        let warm = run_pass ~socket ~threads:4 jobs in
+        Array.iteri
+          (fun i (lat, v) ->
+            let v = expect_done v in
+            if not (is_warm v) then
+              die "-j%d: warm pass job %d missed the cache" j i;
+            if digest_of v <> cold_digests.(i) then
+              die "-j%d: warm digest differs from cold for job %d" j i;
+            warm_lat := lat :: !warm_lat)
+          warm
+      done;
+      let warm_wall = Unix.gettimeofday () -. t1 in
+      let c = Client.connect_retry socket in
+      let stats =
+        match Client.rpc c (Json.Obj [ ("op", Json.Str "stats") ]) with
+        | Ok v -> v
+        | Error e -> die "stats: %s" e
+      in
+      Client.close c;
+      shutdown_server ~socket pid;
+      let n_cold = Array.length jobs in
+      let n_warm = n_cold * warm_passes in
+      let lat = Array.of_list !warm_lat in
+      Array.sort compare lat;
+      let counter name =
+        Option.value (Json.int_member name stats) ~default:0
+      in
+      ( {
+          j;
+          cold_jobs_s = float_of_int n_cold /. cold_wall;
+          warm_jobs_s = float_of_int n_warm /. warm_wall;
+          warm_p50_ms = percentile lat 0.5 *. 1000.;
+          warm_p99_ms = percentile lat 0.99 *. 1000.;
+          ratio =
+            float_of_int n_warm /. warm_wall
+            /. (float_of_int n_cold /. cold_wall);
+          cache_hits = counter "cache_hits";
+          cache_misses = counter "cache_misses";
+        },
+        cold_digests ))
+
+let write_json path specs rows identical =
+  let oc = open_out path in
+  let pf fmt = Printf.fprintf oc fmt in
+  pf "{\n";
+  pf "  \"experiment\": \"serve\",\n";
+  pf "  \"protocol\": %S,\n" Edge_serve.Proto.protocol;
+  pf "  \"identical\": %b,\n" identical;
+  pf "  \"specs\": [%s],\n"
+    (String.concat ", "
+       (List.map (fun (w, c) -> Printf.sprintf "\"%s/%s\"" w c) specs));
+  pf "  \"rows\": [\n";
+  List.iteri
+    (fun i r ->
+      pf
+        "    { \"j\": %d, \"cold_jobs_s\": %.2f, \"warm_jobs_s\": %.2f, \
+         \"warm_p50_ms\": %.3f, \"warm_p99_ms\": %.3f, \
+         \"warm_cold_ratio\": %.1f, \"cache_hits\": %d, \
+         \"cache_misses\": %d }%s\n"
+        r.j r.cold_jobs_s r.warm_jobs_s r.warm_p50_ms r.warm_p99_ms r.ratio
+        r.cache_hits r.cache_misses
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  pf "  ]\n}\n";
+  close_out oc
+
+let run_bench ~out ~warm_passes =
+  let specs = specs bench_workloads in
+  let results =
+    List.map (fun j -> bench_one ~j ~warm_passes specs) [ 1; 2; 4 ]
+  in
+  (* ground truth after the timed passes (a direct run warms the
+     in-process memo, which must not contaminate the servers' cold
+     passes; child processes would be immune, but stay careful) *)
+  let direct = List.map (fun s -> fst (direct_digest s)) specs in
+  let identical =
+    List.for_all
+      (fun (_, cold_digests) ->
+        List.for_all2
+          (fun d i -> d = cold_digests.(i))
+          direct
+          (List.init (List.length direct) Fun.id))
+      results
+  in
+  let rows = List.map fst results in
+  List.iter
+    (fun r ->
+      Printf.printf
+        "serve -j%d: cold %6.2f jobs/s, warm %8.2f jobs/s (%.0fx), p50 \
+         %.3f ms, p99 %.3f ms\n"
+        r.j r.cold_jobs_s r.warm_jobs_s r.ratio r.warm_p50_ms r.warm_p99_ms)
+    rows;
+  Printf.printf "identical to direct run_one: %b\n" identical;
+  write_json out specs rows identical;
+  Printf.printf "wrote %s\n" out;
+  if not identical then die "server results diverge from direct runs";
+  if List.exists (fun r -> r.ratio < 10.) rows then
+    die "warm throughput below 10x cold"
+
+(* -- smoke mode ---------------------------------------------------- *)
+
+let spin_kernel =
+  "kernel serve_spin(int x, int y, int* A, int* B) {\n\
+  \  int s = 0;\n\
+  \  while (x > 0) { s = s + 1; }\n\
+  \  return s;\n\
+   }\n"
+
+let sum_kernel =
+  "kernel serve_sum(int x, int y, int* A, int* B) {\n\
+  \  int s = 0;\n\
+  \  int i;\n\
+  \  for (i = 0; i < 8; i = i + 1) { s = s + A[i]; }\n\
+  \  return s + x + y;\n\
+   }\n"
+
+let count_tmp_files dir =
+  let n = ref 0 in
+  let rec walk d =
+    match Sys.readdir d with
+    | exception Sys_error _ -> ()
+    | names ->
+        Array.iter
+          (fun name ->
+            let p = Filename.concat d name in
+            if Sys.is_directory p then walk p
+            else
+              let rec has_tmp i =
+                i + 5 <= String.length name
+                && (String.sub name i 5 = ".tmp." || has_tmp (i + 1))
+              in
+              if has_tmp 0 then incr n)
+          names
+  in
+  walk dir;
+  !n
+
+let run_smoke () =
+  let smoke_specs = specs [ "tblook01"; "cacheb01" ] in
+  let cache_dir = fresh_dir "smoke" in
+  let socket = Filename.concat cache_dir "dfpd.sock" in
+  let pid = spawn_server ~socket ~cache_dir ~j:2 in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists cache_dir then rm_rf cache_dir)
+    (fun () ->
+      let jobs = Array.of_list (List.map job_of_spec smoke_specs) in
+      (* 4 cold jobs *)
+      let t0 = Unix.gettimeofday () in
+      let cold = run_pass ~socket ~threads:4 jobs in
+      let cold_wall = Unix.gettimeofday () -. t0 in
+      Array.iter (fun (_, v) -> ignore (expect_done v)) cold;
+      (* 8 warm jobs, byte-identical to the cold ones *)
+      let t1 = Unix.gettimeofday () in
+      let warm1 = run_pass ~socket ~threads:4 jobs in
+      let warm2 = run_pass ~socket ~threads:4 jobs in
+      let warm_wall = Unix.gettimeofday () -. t1 in
+      Array.iteri
+        (fun i (_, v) ->
+          let v = expect_done v in
+          if not (is_warm v) then die "warm job %d missed the cache" i;
+          if digest_of v <> digest_of (snd cold.(i mod Array.length cold))
+          then die "warm digest differs from cold for job %d" i)
+        (Array.append warm1 warm2);
+      let ratio =
+        16. /. warm_wall /. (4. /. cold_wall)
+      in
+      if ratio < 10. then
+        die "warm throughput only %.1fx cold (need >= 10x)" ratio;
+      let c = Client.connect_retry socket in
+      (* job 13: a source kernel with a known answer *)
+      (match
+         Client.run_job c (Client.source_job ~source:sum_kernel ~config:"Both" ())
+       with
+      | Ok v ->
+          let v = expect_done v in
+          let expected =
+            (* sum of A[i] = i*37-90 for i<8, plus x+y = 7-3 *)
+            Int64.to_string (Int64.of_int ((37 * 28) - (90 * 8) + 4))
+          in
+          if Json.str_member "ret" v <> Some expected then
+            die "source job returned %s, expected %s" (Json.to_string v)
+              expected
+      | Error e -> die "source job: %s" e);
+      (* job 14: same kernel traced — must stream events and metrics *)
+      let traces = ref 0 and metrics = ref 0 in
+      (match
+         Client.run_job c
+           ~on_stream:(fun v ->
+             match rtype v with
+             | "trace" -> incr traces
+             | "metrics" -> incr metrics
+             | _ -> ())
+           (Client.source_job ~trace:true ~source:sum_kernel ~config:"Both" ())
+       with
+      | Ok v -> ignore (expect_done v)
+      | Error e -> die "trace job: %s" e);
+      if !traces = 0 then die "traced job streamed no trace lines";
+      if !metrics = 0 then die "traced job sent no metrics";
+      (* job 15: guaranteed timeout (non-terminating kernel, tiny fuel) *)
+      (match
+         Client.run_job c
+           (Client.source_job ~fuel:10_000 ~max_cycles:100_000
+              ~source:spin_kernel ~config:"Both" ())
+       with
+      | Ok v ->
+          if rtype v <> "error" || Json.str_member "reason" v <> Some "timeout"
+          then die "spin kernel should time out, got %s" (Json.to_string v)
+      | Error e -> die "timeout job: %s" e);
+      (* job 16: malformed request — structured error, server survives *)
+      Client.send_line c "this is not json at all {";
+      (match Client.recv c with
+      | Some (Ok v)
+        when rtype v = "error" && Json.str_member "reason" v = Some "protocol"
+        ->
+          ()
+      | other ->
+          die "malformed line: expected a protocol error, got %s"
+            (match other with
+            | Some (Ok v) -> Json.to_string v
+            | Some (Error e) -> e
+            | None -> "EOF"));
+      (match Client.rpc c (Json.Obj [ ("op", Json.Str "ping") ]) with
+      | Ok v when rtype v = "pong" -> ()
+      | _ -> die "server did not answer ping after a malformed request");
+      (* jobs 17/18: unknown workload / config — structured errors *)
+      (match
+         Client.run_job c (Client.workload_job ~workload:"nope" ~config:"Both" ())
+       with
+      | Ok v when rtype v = "error" && Json.str_member "reason" v = Some "config"
+        ->
+          ()
+      | other ->
+          die "unknown workload: expected config error, got %s"
+            (match other with Ok v -> Json.to_string v | Error e -> e));
+      (match
+         Client.run_job c
+           (Client.workload_job ~workload:"tblook01" ~config:"NoSuch" ())
+       with
+      | Ok v when rtype v = "error" && Json.str_member "reason" v = Some "config"
+        ->
+          ()
+      | other ->
+          die "unknown config: expected config error, got %s"
+            (match other with Ok v -> Json.to_string v | Error e -> e));
+      Client.close c;
+      (* clean shutdown: no socket, no temp files, cache still populated *)
+      shutdown_server ~socket pid;
+      if Sys.file_exists socket then die "socket file leaked";
+      let tmp = count_tmp_files cache_dir in
+      if tmp <> 0 then die "%d cache temp file(s) leaked" tmp;
+      Printf.printf
+        "serve-smoke: OK (cold %.2fs, warm %.2fs, %.0fx; 20 requests incl. \
+         timeout + malformed; no leaks)\n"
+        cold_wall warm_wall ratio)
+
+let () =
+  let smoke = ref false in
+  let out = ref "BENCH_serve.json" in
+  let warm_passes = ref 5 in
+  Arg.parse
+    [
+      ("--smoke", Arg.Set smoke, " run the serve-smoke battery");
+      ("--out", Arg.Set_string out, "FILE bench output (default BENCH_serve.json)");
+      ("--warm-passes", Arg.Set_int warm_passes, "N warm passes per -j (default 5)");
+    ]
+    (fun a -> raise (Arg.Bad ("unexpected argument: " ^ a)))
+    "serve_bench [--smoke] [--out FILE]";
+  if !smoke then run_smoke () else run_bench ~out:!out ~warm_passes:!warm_passes

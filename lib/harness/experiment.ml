@@ -6,6 +6,7 @@ type run = {
   workload : string;
   config : string;
   cycles : int;
+  ret : int64;  (* the verified return value (equal across all three executors) *)
   stats : Edge_sim.Stats.t;
   static_instrs : int;
   static_blocks : int;
@@ -18,7 +19,15 @@ type run = {
 
 let ( let* ) = Result.bind
 
+(* real (non-memoized) compiles performed process-wide; the serve tests
+   use the delta to prove single-flight dedup collapses a stampede of
+   identical jobs into one compile *)
+let compile_counter = Atomic.make 0
+
+let compiles_performed () = Atomic.get compile_counter
+
 let compile ?check (w : Workload.t) config =
+  Atomic.incr compile_counter;
   let* ast = Workload.parse w in
   let* cfg = Edge_lang.Lower.lower ast in
   Dfp.Driver.compile_cfg ?check cfg config
@@ -48,9 +57,16 @@ let compile_cached (w : Workload.t) config =
   Edge_parallel.Memo.get compile_memo (name, config) (fun () ->
       compile ~check w config)
 
-let reference_cached (w : Workload.t) =
-  Edge_parallel.Memo.get reference_memo w.Workload.name (fun () ->
-      match Workload.reference_run w with
+let reference_cached ?fuel (w : Workload.t) =
+  (* a bounded reference run must not answer for an unbounded one (or
+     vice versa): the fuel joins the memo key *)
+  let key =
+    match fuel with
+    | None -> w.Workload.name
+    | Some f -> Printf.sprintf "%s#fuel=%d" w.Workload.name f
+  in
+  Edge_parallel.Memo.get reference_memo key (fun () ->
+      match Workload.reference_run ?fuel w with
       | Ok (r, m) -> Ok (Option.value ~default:0L r, m)
       | Error e -> Error e)
 
@@ -69,7 +85,7 @@ let setup_run (w : Workload.t) =
 let cache_key (w : Workload.t) config_name config machine =
   String.concat "|"
     [
-      "run-v1";
+      "run-v2";
       Edge_sim.Cycle_sim.revision;
       Edge_sim.Block_jit.revision;
       w.Workload.name;
@@ -81,9 +97,9 @@ let cache_key (w : Workload.t) config_name config machine =
     ]
 
 let run_one_uncached ?(machine = Edge_sim.Machine.default) ?obs
-    ?(arena = true) (w : Workload.t) (config_name, config) =
+    ?(arena = true) ?interp_fuel (w : Workload.t) (config_name, config) =
   let t0 = Unix.gettimeofday () in
-  let* reference, ref_mem = reference_cached w in
+  let* reference, ref_mem = reference_cached ?fuel:interp_fuel w in
   let t1 = Unix.gettimeofday () in
   let* compiled = compile_cached w config in
   let t2 = Unix.gettimeofday () in
@@ -137,6 +153,7 @@ let run_one_uncached ?(machine = Edge_sim.Machine.default) ?obs
       workload = w.Workload.name;
       config = config_name;
       cycles = stats.Edge_sim.Stats.cycles;
+      ret = reference;
       stats;
       static_instrs = compiled.Dfp.Driver.static_instrs;
       static_blocks = compiled.Dfp.Driver.static_blocks;
@@ -147,15 +164,18 @@ let run_one_uncached ?(machine = Edge_sim.Machine.default) ?obs
       sim_s = (t1 -. t0) +. (t3 -. t2);
     }
 
-let run_one ?machine ?obs ?(arena = true) ?cache (w : Workload.t)
-    ((config_name, config) as cfg) =
+let run_one ?machine ?obs ?(arena = true) ?interp_fuel ?cache
+    (w : Workload.t) ((config_name, config) as cfg) =
   match cache with
   (* an attached observer wants the events of a real run, so a cached
      result would be wrong; obs runs always execute. Likewise
      [~arena:false] asks for a real (fresh-allocation) run, so it
      bypasses the cache rather than answer from a pooled run's entry.
      And with the checker on, the point is to *run* the verifier over
-     every compile — answering from a cached run would skip it. *)
+     every compile — answering from a cached run would skip it.
+     [interp_fuel] does not join the cache key: a fuel-bounded run that
+     *succeeds* is identical to the unbounded run, and errors (fuel
+     exhaustion included) are never cached. *)
   | Some c when Option.is_none obs && arena && not (Edge_check.Check.enabled ())
     -> (
       let key =
@@ -165,9 +185,9 @@ let run_one ?machine ?obs ?(arena = true) ?cache (w : Workload.t)
       match Edge_parallel.Disk_cache.find c ~key with
       | Some (r : run) -> Ok { r with compile_s = 0.; sim_s = 0. }
       | None ->
-          let res = run_one_uncached ?machine ?obs ~arena w cfg in
+          let res = run_one_uncached ?machine ?obs ~arena ?interp_fuel w cfg in
           (match res with
           | Ok r -> Edge_parallel.Disk_cache.store c ~key r
           | Error _ -> ());
           res)
-  | Some _ | None -> run_one_uncached ?machine ?obs ~arena w cfg
+  | Some _ | None -> run_one_uncached ?machine ?obs ~arena ?interp_fuel w cfg

@@ -18,6 +18,9 @@ type run = {
   workload : string;
   config : string;
   cycles : int;
+  ret : int64;
+      (** the kernel's return value, verified identical across the
+          reference interpreter and both simulators *)
   stats : Edge_sim.Stats.t;
   static_instrs : int;
   static_blocks : int;
@@ -37,6 +40,7 @@ val run_one :
   ?machine:Edge_sim.Machine.t ->
   ?obs:Edge_obs.Obs.t ->
   ?arena:bool ->
+  ?interp_fuel:int ->
   ?cache:Edge_parallel.Disk_cache.t ->
   Edge_workloads.Workload.t ->
   string * Dfp.Config.t ->
@@ -47,6 +51,14 @@ val run_one :
     [arena] (default [true]) is forwarded to the cycle simulator's
     frame-arena switch; pass [false] to force fresh per-block
     allocation for differential testing (see {!Edge_sim.Cycle_sim.run}).
+
+    [interp_fuel] bounds the reference-interpreter run (statements
+    executed); exhausting it fails the run with a
+    ["fault: fuel exhausted"] error. The job server sets it (together
+    with a bounded [machine.max_cycles]) so an untrusted non-terminating
+    kernel produces a timeout error instead of wedging a domain. It
+    does not join the cache key: a bounded run that succeeds equals the
+    unbounded run, and errors are never cached.
 
     [cache] consults/populates a persistent result cache keyed by
     kernel source digest, config, machine and simulator revision, so
@@ -77,3 +89,9 @@ val compile_cached :
 (** Memoized compilation, shared across harnesses and domains. The
     current {!Edge_check.Check.enabled} state joins the memo key, so
     checked and unchecked compiles never answer for each other. *)
+
+val compiles_performed : unit -> int
+(** Process-wide count of real (non-memoized, non-disk-cached)
+    compiles. The serve tests assert the delta stays at one when 16
+    identical jobs stampede the server — single-flight dedup plus the
+    compile memo collapse them into a single compile. *)

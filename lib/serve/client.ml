@@ -1,0 +1,117 @@
+(* A minimal dfpd client: one Unix-socket connection, blocking
+   line-oriented I/O. Used by the tests, the serve benchmark and
+   `fuzz --serve`; also a reference implementation of the protocol's
+   client side.
+
+   A connection may have several jobs in flight (the server tags every
+   response with the job's id), but this client's [run_job] is the
+   simple synchronous pattern: submit, then read until this job's
+   terminal response arrives, handing interleaved responses for other
+   ids to [on_other]. *)
+
+type t = {
+  fd : Unix.file_descr;
+  ic : in_channel;
+  next_id : int Atomic.t;
+}
+
+let connect path =
+  let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_UNIX path)
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  { fd; ic = Unix.in_channel_of_descr fd; next_id = Atomic.make 0 }
+
+(* retry [connect] until the server's listener is up (fresh spawns) *)
+let rec connect_retry ?(attempts = 100) ?(delay_s = 0.05) path =
+  match connect path with
+  | c -> c
+  | exception Unix.Unix_error ((Unix.ENOENT | Unix.ECONNREFUSED), _, _)
+    when attempts > 1 ->
+      Thread.delay delay_s;
+      connect_retry ~attempts:(attempts - 1) ~delay_s path
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+let fresh_id t = Printf.sprintf "c%d" (Atomic.fetch_and_add t.next_id 1)
+
+let send_line t line =
+  let buf = Bytes.of_string (line ^ "\n") in
+  let len = Bytes.length buf in
+  let rec write off =
+    if off < len then
+      match Unix.write t.fd buf off (len - off) with
+      | n -> write (off + n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> write off
+  in
+  write 0
+
+let send t (v : Json.t) = send_line t (Json.to_string v)
+
+let recv_line t =
+  match input_line t.ic with
+  | line -> Some line
+  | exception (End_of_file | Sys_error _) -> None
+
+let recv t : (Json.t, string) result option =
+  Option.map Json.parse (recv_line t)
+
+(* one request, one response — for ping/stats/shutdown *)
+let rpc t (v : Json.t) : (Json.t, string) result =
+  send t v;
+  match recv t with
+  | Some r -> r
+  | None -> Error "connection closed by server"
+
+let response_type v =
+  Option.value (Json.str_member "type" v) ~default:""
+
+let is_terminal v =
+  match response_type v with
+  | "done" | "error" | "rejected" -> true
+  | _ -> false
+
+(* Submit [job] (an object WITHOUT an id; one is added) and block until
+   its terminal response. Streaming responses for this id (trace lines,
+   metrics) go to [on_stream]; responses carrying other ids go to
+   [on_other] (default: dropped). Returns the terminal response, or
+   [Error] if the server hung up first. *)
+let run_job ?(on_stream = fun _ -> ()) ?(on_other = fun _ -> ()) t
+    (job : (string * Json.t) list) : (Json.t, string) result =
+  let id = fresh_id t in
+  send t (Json.Obj (("id", Json.Str id) :: job));
+  let rec await () =
+    match recv t with
+    | None -> Error "connection closed by server"
+    | Some (Error e) -> Error ("unparseable response: " ^ e)
+    | Some (Ok v) ->
+        if Json.str_member "id" v = Some id then
+          if is_terminal v then Ok v
+          else begin
+            on_stream v;
+            await ()
+          end
+        else begin
+          on_other v;
+          await ()
+        end
+  in
+  await ()
+
+(* convenience builders for the two job kinds *)
+let workload_job ?(trace = false) ~workload ~config () =
+  [
+    ("workload", Json.Str workload);
+    ("config", Json.Str config);
+    ("trace", Json.Bool trace);
+  ]
+
+let source_job ?(trace = false) ?timeout_ms ?max_cycles ?fuel ~source
+    ~config () =
+  let opt k v = Option.to_list (Option.map (fun n -> (k, Json.Num (float_of_int n))) v) in
+  [ ("source", Json.Str source); ("config", Json.Str config);
+    ("trace", Json.Bool trace) ]
+  @ opt "timeout_ms" timeout_ms
+  @ opt "max_cycles" max_cycles
+  @ opt "fuel" fuel

@@ -1,0 +1,201 @@
+(* The dfpd wire protocol: newline-delimited JSON over a Unix socket.
+
+   One request per line, one-or-more response lines per request. Every
+   response is a single-line JSON object with a "type" field; responses
+   to a job echo the client-chosen "id" (if any) so one connection can
+   have several jobs in flight. Trace jobs additionally stream "trace"
+   lines (one per simulator event) before the terminal "done"/"error".
+
+   64-bit return values travel as decimal strings, not JSON numbers —
+   this parser (like most) reads numbers as doubles, which cannot hold
+   every int64. *)
+
+type job_spec = {
+  kind : [ `Workload of string | `Source of string ];
+  config : string;
+  trace : bool;
+  timeout_ms : int option;  (** queue-wait deadline, not execution time *)
+  max_cycles : int option;  (** cycle-simulator watchdog (source jobs) *)
+  fuel : int option;  (** reference-interpreter statement bound *)
+}
+
+type request = Job of job_spec | Ping | Stats | Shutdown
+
+type parsed = { id : string option; req : (request, string) result }
+
+let protocol = "dfpd-v1"
+
+(* jobs that differ only by id/trace/timeout are the same computation;
+   this digest is the single-flight key *)
+let job_digest (s : job_spec) =
+  let kind =
+    match s.kind with
+    | `Workload w -> "w\x00" ^ w
+    | `Source src -> "s\x00" ^ src
+  in
+  Digest.to_hex
+    (Digest.string
+       (Printf.sprintf "%s\x00%s\x00%d\x00%d" kind s.config
+          (Option.value s.max_cycles ~default:(-1))
+          (Option.value s.fuel ~default:(-1))))
+
+let parse_request (line : string) : parsed =
+  match Json.parse line with
+  | Error e -> { id = None; req = Error ("bad json: " ^ e) }
+  | Ok v -> (
+      match v with
+      | Json.Obj _ -> (
+          let id = Json.str_member "id" v in
+          let err m = { id; req = Error m } in
+          let pos_int key =
+            (* Ok None when absent, Error when present but not a
+               positive integer *)
+            match Json.member key v with
+            | None -> Ok None
+            | Some (Json.Num f)
+              when Float.is_integer f && f >= 1. && f <= 1e12 ->
+                Ok (Some (int_of_float f))
+            | Some _ ->
+                Error (Printf.sprintf "%S must be a positive integer" key)
+          in
+          match Json.member "op" v with
+          | Some (Json.Str "ping") -> { id; req = Ok Ping }
+          | Some (Json.Str "stats") -> { id; req = Ok Stats }
+          | Some (Json.Str "shutdown") -> { id; req = Ok Shutdown }
+          | Some (Json.Str op) -> err (Printf.sprintf "unknown op %S" op)
+          | Some _ -> err "\"op\" must be a string"
+          | None -> (
+              let kind =
+                match
+                  (Json.member "workload" v, Json.member "source" v)
+                with
+                | Some (Json.Str w), None -> Ok (`Workload w)
+                | None, Some (Json.Str s) -> Ok (`Source s)
+                | Some _, Some _ ->
+                    Error "give either \"workload\" or \"source\", not both"
+                | Some _, None -> Error "\"workload\" must be a string"
+                | None, Some _ -> Error "\"source\" must be a string"
+                | None, None ->
+                    Error
+                      "expected an \"op\", a \"workload\" or a \"source\" \
+                       field"
+              in
+              match kind with
+              | Error m -> err m
+              | Ok kind -> (
+                  let config =
+                    match Json.member "config" v with
+                    | Some (Json.Str c) -> Ok c
+                    | Some _ -> Error "\"config\" must be a string"
+                    | None -> Error "job is missing its \"config\" field"
+                  in
+                  let trace =
+                    match Json.member "trace" v with
+                    | None -> Ok false
+                    | Some (Json.Bool b) -> Ok b
+                    | Some _ -> Error "\"trace\" must be a boolean"
+                  in
+                  match
+                    (config, trace, pos_int "timeout_ms",
+                     pos_int "max_cycles", pos_int "fuel")
+                  with
+                  | Error m, _, _, _, _
+                  | _, Error m, _, _, _
+                  | _, _, Error m, _, _
+                  | _, _, _, Error m, _
+                  | _, _, _, _, Error m ->
+                      err m
+                  | Ok config, Ok trace, Ok timeout_ms, Ok max_cycles,
+                    Ok fuel ->
+                      {
+                        id;
+                        req =
+                          Ok
+                            (Job
+                               {
+                                 kind;
+                                 config;
+                                 trace;
+                                 timeout_ms;
+                                 max_cycles;
+                                 fuel;
+                               });
+                      })))
+      | _ -> { id = None; req = Error "request must be a json object" })
+
+(* -- responses ----------------------------------------------------- *)
+
+type error_reason = Protocol | Timeout | Job_failed | Bad_config | Shutdown_r
+
+let reason_name = function
+  | Protocol -> "protocol"
+  | Timeout -> "timeout"
+  | Job_failed -> "job"
+  | Bad_config -> "config"
+  | Shutdown_r -> "shutdown"
+
+let with_id id rest =
+  match id with None -> rest | Some i -> ("id", Json.Str i) :: rest
+
+let accepted ?id ~digest ~merged () =
+  Json.Obj
+    (("type", Json.Str "accepted")
+    :: with_id id
+         [ ("digest", Json.Str digest); ("merged", Json.Bool merged) ])
+
+let rejected ?id ~retry_after_ms () =
+  Json.Obj
+    (("type", Json.Str "rejected")
+    :: with_id id
+         [
+           ("reason", Json.Str "queue_full");
+           ("retry_after_ms", Json.Num (float_of_int retry_after_ms));
+         ])
+
+let trace_line ?id line =
+  Json.Obj (("type", Json.Str "trace") :: with_id id [ ("line", Json.Str line) ])
+
+let job_metrics ?id counters =
+  Json.Obj
+    (("type", Json.Str "metrics")
+    :: with_id id
+         [
+           ( "counters",
+             Json.Obj
+               (List.map
+                  (fun (k, c) -> (k, Json.Num (float_of_int c)))
+                  counters) );
+         ])
+
+let done_ ?id ~workload ~config ~cycles ~ret ~warm ~run_digest ~compile_s
+    ~sim_s () =
+  Json.Obj
+    (("type", Json.Str "done")
+    :: with_id id
+         [
+           ("workload", Json.Str workload);
+           ("config", Json.Str config);
+           ("cycles", Json.Num (float_of_int cycles));
+           ("ret", Json.Str (Int64.to_string ret));
+           ("warm", Json.Bool warm);
+           ("run_digest", Json.Str run_digest);
+           ("compile_s", Json.Num compile_s);
+           ("sim_s", Json.Num sim_s);
+         ])
+
+let error ?id ~reason ~message () =
+  Json.Obj
+    (("type", Json.Str "error")
+    :: with_id id
+         [
+           ("reason", Json.Str (reason_name reason));
+           ("message", Json.Str message);
+         ])
+
+let pong = Json.Obj [ ("type", Json.Str "pong") ]
+
+let stats fields =
+  Json.Obj
+    (("type", Json.Str "stats")
+    :: ("protocol", Json.Str protocol)
+    :: List.map (fun (k, n) -> (k, Json.Num (float_of_int n))) fields)

@@ -1,0 +1,520 @@
+(* The dfpd job server.
+
+   One listener thread accepts Unix-socket connections; one reader
+   thread per connection parses newline-delimited JSON requests; a pool
+   of worker *domains* (real parallelism — compilation and simulation
+   are CPU-bound) drains a bounded job queue. Identical in-flight jobs
+   are deduplicated single-flight style: the digest of (kernel, config,
+   bounds) keys an in-flight table, and latecomers just attach
+   themselves as extra waiters on the first entry, so a 16-way stampede
+   of the same job costs one compile and one simulation.
+
+   Backpressure is explicit: when the queue is at [queue_cap] the job
+   is rejected with a retry-after hint rather than queued without
+   bound. Per-job timeouts are cooperative — the deadline is checked
+   when the job reaches the front of the queue, and execution itself is
+   bounded by interpreter fuel and the cycle-simulator watchdog, so a
+   hostile non-terminating kernel yields a structured timeout error
+   instead of wedging a domain.
+
+   Trace jobs ([trace:true]) are never merged and never cached: they
+   attach a real {!Edge_obs.Obs} sink that streams one "trace" response
+   line per simulator event back to the submitting connection, plus a
+   final "metrics" response with the counter snapshot. *)
+
+module Experiment = Edge_harness.Experiment
+module Workload = Edge_workloads.Workload
+module Disk_cache = Edge_parallel.Disk_cache
+module Metrics = Edge_obs.Metrics
+
+type config = {
+  socket_path : string;
+  jobs : int;  (** worker domains *)
+  queue_cap : int;  (** pending (not-yet-running) job bound *)
+  cache : Disk_cache.t option;
+  max_cycles : int;  (** watchdog ceiling for source jobs *)
+  interp_fuel : int;  (** reference-interpreter bound for source jobs *)
+  retry_after_ms : int;  (** hint attached to queue-full rejections *)
+}
+
+let default_config ?cache ~socket_path () =
+  {
+    socket_path;
+    jobs = max 1 (Domain.recommended_domain_count () - 1);
+    queue_cap = 64;
+    cache;
+    max_cycles = 10_000_000;
+    interp_fuel = 3_000_000;
+    retry_after_ms = 50;
+  }
+
+(* a connection: its fd plus a mutex serializing writers (the reader
+   thread, worker domains and trace sinks all send on it) *)
+type conn = {
+  fd : Unix.file_descr;
+  send_mu : Mutex.t;
+  mutable alive : bool;
+}
+
+let send_raw conn (s : string) =
+  Mutex.lock conn.send_mu;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock conn.send_mu)
+    (fun () ->
+      if conn.alive then
+        let buf = Bytes.of_string (s ^ "\n") in
+        let len = Bytes.length buf in
+        let rec write off =
+          if off < len then
+            match Unix.write conn.fd buf off (len - off) with
+            | n -> write (off + n)
+            | exception Unix.Unix_error (Unix.EINTR, _, _) -> write off
+            | exception Unix.Unix_error _ -> conn.alive <- false
+        in
+        write 0)
+
+let send conn (v : Json.t) = send_raw conn (Json.to_string v)
+
+(* one queued unit of work; [waiters] accumulates the submitters of
+   merged identical jobs — each gets the terminal response under its
+   own id *)
+type entry = {
+  digest : string;
+  spec : Proto.job_spec;
+  enqueued_at : float;
+  deadline : float option;
+  mutable waiters : (string option * conn) list;
+}
+
+type stats = {
+  accepted : int Atomic.t;
+  merged : int Atomic.t;
+  completed : int Atomic.t;
+  failed : int Atomic.t;
+  rejected : int Atomic.t;
+  timeouts : int Atomic.t;
+  protocol_errors : int Atomic.t;
+  trace_events : int Atomic.t;
+}
+
+type t = {
+  cfg : config;
+  listen_fd : Unix.file_descr;
+  queue : entry Queue.t;
+  mu : Mutex.t;
+  not_empty : Condition.t;
+  inflight : (string, entry) Hashtbl.t;  (* digest -> entry, mu-guarded *)
+  mutable closing : bool;
+  shutdown_req : bool Atomic.t;
+  stats : stats;
+  mutable conns : conn list;  (* mu-guarded *)
+  mutable workers : unit Domain.t list;
+  mutable accept_thread : Thread.t option;
+  mutable conn_threads : Thread.t list;  (* mu-guarded *)
+}
+
+(* -- job execution ------------------------------------------------- *)
+
+(* a source job becomes a synthetic workload under the fuzz harness
+   conventions (same memory image and arguments as the differential
+   oracle), so `fuzz --serve` can diff server verdicts against
+   Oracle.run_reference directly *)
+let workload_of_source src =
+  let module Gen = Edge_fuzz.Gen in
+  {
+    Workload.name = "serve-" ^ Digest.to_hex (Digest.string src);
+    description = "kernel submitted over the dfpd socket";
+    source = src;
+    mem_size = Gen.mem_size;
+    setup =
+      (fun mem ->
+        for i = 0 to Gen.array_len - 1 do
+          Edge_isa.Mem.store_int mem
+            (Gen.addr_a + (8 * i))
+            (Int64.of_int ((i * 37) - 90));
+          Edge_isa.Mem.store_int mem
+            (Gen.addr_b + (8 * i))
+            (Int64.of_int (1000 - (i * 13)))
+        done;
+        Gen.default_args);
+  }
+
+let find_config name = List.assoc_opt name Edge_fuzz.Oracle.configs
+
+(* digest of the run with its wall-clock noise zeroed: two runs of the
+   same job are byte-identical iff these agree *)
+let run_digest (r : Experiment.run) =
+  Digest.to_hex
+    (Digest.string
+       (Marshal.to_string { r with Experiment.compile_s = 0.; sim_s = 0. } []))
+
+let timeoutish msg =
+  let has needle =
+    let nl = String.length needle and ml = String.length msg in
+    let rec go i = i + nl <= ml && (String.sub msg i nl = needle || go (i + 1)) in
+    go 0
+  in
+  has "fuel exhausted" || has "watchdog"
+
+(* run one job to a terminal result; [emit] receives streaming trace /
+   metrics responses for the submitting waiter only *)
+let execute t (e : entry) ~(emit : Json.t -> unit) :
+    (Experiment.run * bool, Proto.error_reason * string) result =
+  let spec = e.spec in
+  let workload =
+    match spec.kind with
+    | `Workload name -> (
+        match Edge_workloads.Registry.find name with
+        | Some w -> Ok w
+        | None -> Error (Proto.Bad_config, "unknown workload: " ^ name))
+    | `Source src -> Ok (workload_of_source src)
+  in
+  match (workload, find_config spec.config) with
+  | Error e, _ -> Error e
+  | Ok _, None -> Error (Proto.Bad_config, "unknown config: " ^ spec.config)
+  | Ok w, Some config -> (
+      (* registry workloads run under the stock machine and unbounded
+         fuel so their cache keys (and results) are byte-identical to a
+         direct Experiment.run_one; untrusted source jobs get bounded
+         fuel and a bounded watchdog *)
+      let machine, interp_fuel =
+        match spec.kind with
+        | `Workload _ -> (None, None)
+        | `Source _ ->
+            let mc =
+              min t.cfg.max_cycles
+                (Option.value spec.max_cycles ~default:t.cfg.max_cycles)
+            in
+            ( Some { Edge_sim.Machine.default with max_cycles = mc },
+              Some (Option.value spec.fuel ~default:t.cfg.interp_fuel) )
+      in
+      let obs, finish_obs =
+        if not spec.trace then (None, fun () -> ())
+        else
+          let id = match e.waiters with (id, _) :: _ -> id | [] -> None in
+          let metrics = Metrics.create () in
+          let sink ev =
+            Atomic.incr t.stats.trace_events;
+            emit (Proto.trace_line ?id (Edge_obs.Event.to_line ev))
+          in
+          ( Some (Edge_obs.Obs.make ~level:Edge_obs.Trace.Full ~metrics ~sink ()),
+            fun () ->
+              emit
+                (Proto.job_metrics ?id
+                   (List.sort compare (Metrics.counters metrics))) )
+      in
+      let result =
+        try
+          Experiment.run_one ?machine ?obs ?interp_fuel ?cache:t.cfg.cache w
+            (spec.config, config)
+        with exn -> Error ("exception: " ^ Printexc.to_string exn)
+      in
+      finish_obs ();
+      match result with
+      | Ok r ->
+          let warm = r.Experiment.compile_s = 0. && r.Experiment.sim_s = 0. in
+          Ok (r, warm)
+      | Error msg when timeoutish msg -> Error (Proto.Timeout, msg)
+      | Error msg -> Error (Proto.Job_failed, msg))
+
+let terminal_response id = function
+  | Ok ((r : Experiment.run), warm) ->
+      Proto.done_ ?id ~workload:r.Experiment.workload ~config:r.config
+        ~cycles:r.cycles ~ret:r.ret ~warm ~run_digest:(run_digest r)
+        ~compile_s:r.compile_s ~sim_s:r.sim_s ()
+  | Error (reason, message) -> Proto.error ?id ~reason ~message ()
+
+(* deliver the terminal result to every waiter, removing the entry
+   from the in-flight table first so a new identical submission starts
+   a fresh run rather than attaching to a finished one *)
+let complete t (e : entry) result =
+  Mutex.lock t.mu;
+  (match Hashtbl.find_opt t.inflight e.digest with
+  | Some e' when e' == e -> Hashtbl.remove t.inflight e.digest
+  | _ -> ());
+  let waiters = e.waiters in
+  e.waiters <- [];
+  Mutex.unlock t.mu;
+  (match result with
+  | Ok _ -> Atomic.incr t.stats.completed
+  | Error (Proto.Timeout, _) ->
+      Atomic.incr t.stats.timeouts;
+      Atomic.incr t.stats.failed
+  | Error _ -> Atomic.incr t.stats.failed);
+  List.iter
+    (fun (id, conn) -> send conn (terminal_response id result))
+    waiters
+
+let worker_loop t () =
+  let rec next () =
+    Mutex.lock t.mu;
+    let rec wait () =
+      if Queue.is_empty t.queue && not t.closing then begin
+        Condition.wait t.not_empty t.mu;
+        wait ()
+      end
+    in
+    wait ();
+    let job =
+      if Queue.is_empty t.queue then None else Some (Queue.pop t.queue)
+    in
+    let closing = t.closing in
+    Mutex.unlock t.mu;
+    match job with
+    | None -> ()  (* closing and drained *)
+    | Some e ->
+        (if closing then
+           complete t e
+             (Error (Proto.Shutdown_r, "server shutting down"))
+         else
+           match e.deadline with
+           | Some d when Unix.gettimeofday () > d ->
+               complete t e
+                 (Error
+                    ( Proto.Timeout,
+                      Printf.sprintf
+                        "timed out after %.0f ms waiting in queue"
+                        ((Unix.gettimeofday () -. e.enqueued_at) *. 1000.) ))
+           | _ ->
+               let emit v =
+                 match e.waiters with
+                 | (_, conn) :: _ -> send conn v
+                 | [] -> ()
+               in
+               complete t e (execute t e ~emit));
+        next ()
+  in
+  next ()
+
+(* -- request handling ---------------------------------------------- *)
+
+let stats_response t =
+  let pending = Mutex.protect t.mu (fun () -> Queue.length t.queue) in
+  let base =
+    [
+      ("jobs_accepted", Atomic.get t.stats.accepted);
+      ("jobs_merged", Atomic.get t.stats.merged);
+      ("jobs_completed", Atomic.get t.stats.completed);
+      ("jobs_failed", Atomic.get t.stats.failed);
+      ("jobs_rejected", Atomic.get t.stats.rejected);
+      ("timeouts", Atomic.get t.stats.timeouts);
+      ("protocol_errors", Atomic.get t.stats.protocol_errors);
+      ("trace_events", Atomic.get t.stats.trace_events);
+      ("queue_depth", pending);
+      ("workers", t.cfg.jobs);
+    ]
+  in
+  let cache =
+    match t.cfg.cache with
+    | None -> []
+    | Some c ->
+        [
+          ("cache_hits", Disk_cache.hits c);
+          ("cache_misses", Disk_cache.misses c);
+          ("cache_errors", Disk_cache.errors c);
+          ("cache_evictions", Disk_cache.evictions c);
+        ]
+  in
+  Proto.stats (base @ cache)
+
+(* snapshot the server (and cache) counters into a metrics registry
+   under the serve.* / cache.* namespaces *)
+let publish t (m : Metrics.t) =
+  Metrics.incr ~by:(Atomic.get t.stats.accepted) m "serve.jobs_accepted";
+  Metrics.incr ~by:(Atomic.get t.stats.merged) m "serve.jobs_merged";
+  Metrics.incr ~by:(Atomic.get t.stats.completed) m "serve.jobs_completed";
+  Metrics.incr ~by:(Atomic.get t.stats.failed) m "serve.jobs_failed";
+  Metrics.incr ~by:(Atomic.get t.stats.rejected) m "serve.jobs_rejected";
+  Metrics.incr ~by:(Atomic.get t.stats.timeouts) m "serve.timeouts";
+  Metrics.incr
+    ~by:(Atomic.get t.stats.protocol_errors)
+    m "serve.protocol_errors";
+  Metrics.incr ~by:(Atomic.get t.stats.trace_events) m "serve.trace_events";
+  match t.cfg.cache with None -> () | Some c -> Disk_cache.publish c m
+
+let submit t conn id (spec : Proto.job_spec) =
+  let digest = Proto.job_digest spec in
+  let now = Unix.gettimeofday () in
+  let fresh () =
+    {
+      digest;
+      spec;
+      enqueued_at = now;
+      deadline =
+        Option.map
+          (fun ms -> now +. (float_of_int ms /. 1000.))
+          spec.timeout_ms;
+      waiters = [ (id, conn) ];
+    }
+  in
+  let verdict =
+    Mutex.protect t.mu (fun () ->
+        if t.closing then `Closing
+        else if (not spec.trace) && Hashtbl.mem t.inflight digest then begin
+          let e = Hashtbl.find t.inflight digest in
+          e.waiters <- e.waiters @ [ (id, conn) ];
+          `Merged
+        end
+        else if Queue.length t.queue >= t.cfg.queue_cap then `Full
+        else begin
+          let e = fresh () in
+          if not spec.trace then Hashtbl.replace t.inflight digest e;
+          Queue.push e t.queue;
+          Condition.signal t.not_empty;
+          `Queued
+        end)
+  in
+  match verdict with
+  | `Closing ->
+      send conn
+        (Proto.error ?id ~reason:Proto.Shutdown_r
+           ~message:"server shutting down" ())
+  | `Merged ->
+      Atomic.incr t.stats.accepted;
+      Atomic.incr t.stats.merged;
+      send conn (Proto.accepted ?id ~digest ~merged:true ())
+  | `Full ->
+      Atomic.incr t.stats.rejected;
+      send conn (Proto.rejected ?id ~retry_after_ms:t.cfg.retry_after_ms ())
+  | `Queued ->
+      Atomic.incr t.stats.accepted;
+      send conn (Proto.accepted ?id ~digest ~merged:false ())
+
+let handle_line t conn line =
+  let { Proto.id; req } = Proto.parse_request line in
+  match req with
+  | Error msg ->
+      Atomic.incr t.stats.protocol_errors;
+      send conn (Proto.error ?id ~reason:Proto.Protocol ~message:msg ())
+  | Ok Proto.Ping -> send conn Proto.pong
+  | Ok Proto.Stats -> send conn (stats_response t)
+  | Ok Proto.Shutdown ->
+      Atomic.set t.shutdown_req true;
+      send conn (Json.Obj [ ("type", Json.Str "shutting_down") ])
+  | Ok (Proto.Job spec) -> submit t conn id spec
+
+let conn_loop t conn () =
+  let ic = Unix.in_channel_of_descr conn.fd in
+  let rec go () =
+    match input_line ic with
+    | line ->
+        if String.length line > 0 then handle_line t conn line;
+        go ()
+    | exception (End_of_file | Sys_error _) -> ()
+  in
+  go ();
+  Mutex.lock conn.send_mu;
+  conn.alive <- false;
+  Mutex.unlock conn.send_mu;
+  (try Unix.close conn.fd with Unix.Unix_error _ -> ());
+  Mutex.protect t.mu (fun () ->
+      t.conns <- List.filter (fun c -> c != conn) t.conns)
+
+let accept_loop t () =
+  let rec go () =
+    if not t.closing then begin
+      (match Unix.select [ t.listen_fd ] [] [] 0.25 with
+      | [], _, _ -> ()
+      | _ :: _, _, _ -> (
+          match Unix.accept ~cloexec:true t.listen_fd with
+          | fd, _ ->
+              let conn = { fd; send_mu = Mutex.create (); alive = true } in
+              let th = Thread.create (conn_loop t conn) () in
+              Mutex.protect t.mu (fun () ->
+                  t.conns <- conn :: t.conns;
+                  t.conn_threads <- th :: t.conn_threads)
+          | exception Unix.Unix_error _ -> ())
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+      go ()
+    end
+  in
+  go ()
+
+(* -- lifecycle ----------------------------------------------------- *)
+
+let start (cfg : config) : t =
+  (* a worker writing to a connection the client already closed must
+     get EPIPE, not a process-killing signal *)
+  (try ignore (Sys.signal Sys.sigpipe Sys.Signal_ignore)
+   with Invalid_argument _ -> ());
+  if Sys.file_exists cfg.socket_path then Sys.remove cfg.socket_path;
+  let listen_fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind listen_fd (Unix.ADDR_UNIX cfg.socket_path);
+  Unix.listen listen_fd 64;
+  Unix.set_nonblock listen_fd;
+  let t =
+    {
+      cfg;
+      listen_fd;
+      queue = Queue.create ();
+      mu = Mutex.create ();
+      not_empty = Condition.create ();
+      inflight = Hashtbl.create 64;
+      closing = false;
+      shutdown_req = Atomic.make false;
+      stats =
+        {
+          accepted = Atomic.make 0;
+          merged = Atomic.make 0;
+          completed = Atomic.make 0;
+          failed = Atomic.make 0;
+          rejected = Atomic.make 0;
+          timeouts = Atomic.make 0;
+          protocol_errors = Atomic.make 0;
+          trace_events = Atomic.make 0;
+        };
+      conns = [];
+      workers = [];
+      accept_thread = None;
+      conn_threads = [];
+    }
+  in
+  t.workers <-
+    List.init cfg.jobs (fun _ -> Domain.spawn (worker_loop t));
+  t.accept_thread <- Some (Thread.create (accept_loop t) ());
+  t
+
+let shutdown_requested t = Atomic.get t.shutdown_req
+
+(* block until some client asked for shutdown (polled: the flag is set
+   from connection threads and signal handlers) *)
+let wait ?(poll_s = 0.05) t =
+  while not (Atomic.get t.shutdown_req) do
+    Thread.delay poll_s
+  done
+
+let request_shutdown t = Atomic.set t.shutdown_req true
+
+let stop t =
+  let already =
+    Mutex.protect t.mu (fun () ->
+        let was = t.closing in
+        t.closing <- true;
+        Condition.broadcast t.not_empty;
+        was)
+  in
+  if not already then begin
+    (* workers drain the queue (answering "shutting down" to whatever
+       was still pending) and exit *)
+    List.iter Domain.join t.workers;
+    t.workers <- [];
+    (match t.accept_thread with
+    | Some th ->
+        Thread.join th;
+        t.accept_thread <- None
+    | None -> ());
+    (* wake connection readers blocked in input_line *)
+    let conns, threads =
+      Mutex.protect t.mu (fun () -> (t.conns, t.conn_threads))
+    in
+    List.iter
+      (fun c ->
+        try Unix.shutdown c.fd Unix.SHUTDOWN_ALL
+        with Unix.Unix_error _ -> ())
+      conns;
+    List.iter Thread.join threads;
+    Mutex.protect t.mu (fun () -> t.conn_threads <- []);
+    (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+    if Sys.file_exists t.cfg.socket_path then
+      try Sys.remove t.cfg.socket_path with Sys_error _ -> ()
+  end

@@ -11,12 +11,12 @@ let parse t =
   | Ok k -> Ok k
   | Error e -> Error (Printf.sprintf "%s: %s" t.name e)
 
-let reference_run t =
+let reference_run ?fuel t =
   match parse t with
   | Error e -> Error e
   | Ok k -> (
       let mem = Edge_isa.Mem.create ~size:t.mem_size in
       let args = t.setup mem in
-      match Edge_lang.Interp.run k ~args ~mem with
+      match Edge_lang.Interp.run ?fuel k ~args ~mem with
       | Ok o -> Ok (o.Edge_lang.Interp.return_value, mem)
       | Error e -> Error (Printf.sprintf "%s: %s" t.name e))

@@ -20,6 +20,9 @@ type t = {
 val parse : t -> (Edge_lang.Ast.kernel, string) result
 
 val reference_run :
-  t -> (int64 option * Edge_isa.Mem.t, string) result
+  ?fuel:int -> t -> (int64 option * Edge_isa.Mem.t, string) result
 (** Run the kernel under the reference interpreter; returns the return
-    value and final memory. *)
+    value and final memory. [fuel] bounds interpreted statements
+    (forwarded to {!Edge_lang.Interp.run}); exhausting it is a fault,
+    so callers serving untrusted kernels (the job server) can bound a
+    pathological run instead of hanging on it. *)

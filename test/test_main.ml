@@ -13,6 +13,7 @@ let () =
       ("workloads", Test_workloads.tests);
       ("harness", Test_harness.tests);
       ("parallel", Test_parallel.tests);
+      ("serve", Test_serve.tests);
       ("diff", Test_diff.tests);
       ("fuzz", Test_fuzz.tests);
       ("arena", Test_arena.tests);

@@ -177,7 +177,7 @@ let queue_matches_model () =
 (* dune tests run in a per-test sandbox, so a relative directory is
    private to this run *)
 let cache_roundtrip () =
-  let c = Disk_cache.create ~dir:"dc_roundtrip" in
+  let c = Disk_cache.create ~dir:"dc_roundtrip" () in
   Alcotest.(check (option (list int))) "cold miss" None (Disk_cache.find c ~key:"a");
   Alcotest.(check int) "one miss" 1 (Disk_cache.misses c);
   Disk_cache.store c ~key:"a" [ 1; 2; 3 ];
@@ -191,7 +191,7 @@ let cache_roundtrip () =
   Alcotest.(check int) "two hits" 2 (Disk_cache.hits c);
   (* a second handle on the same dir sees the entries: persistence is
      the point *)
-  let c2 = Disk_cache.create ~dir:"dc_roundtrip" in
+  let c2 = Disk_cache.create ~dir:"dc_roundtrip" () in
   Alcotest.(check (option (list int)))
     "fresh handle hits" (Some [ 1; 2; 3 ])
     (Disk_cache.find c2 ~key:"a");
@@ -202,7 +202,7 @@ let cache_roundtrip () =
 (* any change to the key — a bumped simulator revision, a different
    config digest — is a different file: old entries simply never match *)
 let cache_key_invalidation () =
-  let c = Disk_cache.create ~dir:"dc_invalidate" in
+  let c = Disk_cache.create ~dir:"dc_invalidate" () in
   let key rev = String.concat "|" [ "run-v1"; rev; "tblook01"; "Both" ] in
   Disk_cache.store c ~key:(key "cycle-sim-4") 42;
   Alcotest.(check (option int))
@@ -222,8 +222,22 @@ let corrupt path =
   output_char oc '\xff';
   close_out oc
 
+(* entries live in 256 fan-out subdirectories: walk them all *)
+let corrupt_all_entries cache =
+  let root = Disk_cache.dir cache in
+  Array.iter
+    (fun name ->
+      let sub = Filename.concat root name in
+      if Sys.is_directory sub then
+        Array.iter
+          (fun f ->
+            if Filename.check_suffix f ".bin" then
+              corrupt (Filename.concat sub f))
+          (Sys.readdir sub))
+    (Sys.readdir root)
+
 let cache_corruption () =
-  let c = Disk_cache.create ~dir:"dc_corrupt" in
+  let c = Disk_cache.create ~dir:"dc_corrupt" () in
   Disk_cache.store c ~key:"k" (Array.init 64 string_of_int);
   corrupt (Disk_cache.path_of_key c ~key:"k");
   Alcotest.(check (option (array string)))
@@ -258,7 +272,7 @@ let cache_experiment_roundtrip () =
     | None -> Alcotest.fail "tblook01 missing from registry"
   in
   let cfg = ("Both", Dfp.Config.both) in
-  let cache = Disk_cache.create ~dir:"dc_experiment" in
+  let cache = Disk_cache.create ~dir:"dc_experiment" () in
   let r1 =
     match Edge_harness.Experiment.run_one ~cache w cfg with
     | Ok r -> r
@@ -280,12 +294,7 @@ let cache_experiment_roundtrip () =
   Alcotest.(check (float 0.0)) "hit reports zero sim time" 0.
     r2.Edge_harness.Experiment.sim_s;
   (* corrupting the entry degrades to a recompute with the same result *)
-  let files = Sys.readdir (Disk_cache.dir cache) in
-  Array.iter
-    (fun f ->
-      if Filename.check_suffix f ".bin" then
-        corrupt (Filename.concat (Disk_cache.dir cache) f))
-    files;
+  corrupt_all_entries cache;
   let r3 =
     match Edge_harness.Experiment.run_one ~cache w cfg with
     | Ok r -> r
@@ -295,6 +304,176 @@ let cache_experiment_roundtrip () =
     r1.Edge_harness.Experiment.cycles r3.Edge_harness.Experiment.cycles;
   Alcotest.(check bool) "corruption recorded" true
     (Disk_cache.errors cache >= 1)
+
+(* -- sharding, contention and faults ------------------------------ *)
+
+let shard_of c key =
+  Filename.basename (Filename.dirname (Disk_cache.path_of_key c ~key))
+
+(* n keys whose digests land in the same fan-out directory — the
+   worst case for directory-level races *)
+let same_shard_keys c n =
+  let target = shard_of c "w0" in
+  let rec go i acc count =
+    if count = n then List.rev acc
+    else
+      let k = "w" ^ string_of_int i in
+      if shard_of c k = target then go (i + 1) (k :: acc) (count + 1)
+      else go (i + 1) acc count
+  in
+  go 0 [] 0
+
+let cache_sharded_layout () =
+  let c = Disk_cache.create ~dir:"dc_shape" () in
+  for i = 0 to 63 do
+    Disk_cache.store c ~key:(string_of_int i) i
+  done;
+  Alcotest.(check int) "all entries present" 64 (Disk_cache.entry_count c);
+  (* no entry may sit at the top level; each lives under a 2-hex-digit
+     shard directory that path_of_key points into *)
+  Array.iter
+    (fun f ->
+      Alcotest.(check bool)
+        ("no top-level entry: " ^ f)
+        false
+        (Filename.check_suffix f ".bin"))
+    (Sys.readdir (Disk_cache.dir c));
+  for i = 0 to 63 do
+    let key = string_of_int i in
+    let shard = shard_of c key in
+    Alcotest.(check int) ("shard name width for " ^ key) 2 (String.length shard);
+    Alcotest.(check bool)
+      ("entry on disk for " ^ key)
+      true
+      (Sys.file_exists (Disk_cache.path_of_key c ~key))
+  done
+
+(* several domains hammering the same shard: every key must stay
+   readable with its exact payload, and no read may ever decode
+   garbage (atomic tmp+rename is the mechanism under test) *)
+let cache_concurrent_writers () =
+  let c = Disk_cache.create ~dir:"dc_race_write" () in
+  let keys = same_shard_keys c 6 in
+  let payload key = (key, String.length key, String.make 256 key.[0]) in
+  let torn = Atomic.make 0 in
+  let domains =
+    List.init 4 (fun _ ->
+        Domain.spawn (fun () ->
+            for _ = 1 to 40 do
+              List.iter
+                (fun key ->
+                  Disk_cache.store c ~key (payload key);
+                  match Disk_cache.find c ~key with
+                  | None -> () (* lost a transient race: clean miss is fine *)
+                  | Some v -> if v <> payload key then Atomic.incr torn)
+                keys
+            done))
+  in
+  List.iter Domain.join domains;
+  Alcotest.(check int) "no torn reads" 0 (Atomic.get torn);
+  Alcotest.(check int) "no decode errors" 0 (Disk_cache.errors c);
+  List.iter
+    (fun key ->
+      Alcotest.(check bool)
+        ("final value intact: " ^ key)
+        true
+        (Disk_cache.find c ~key = Some (payload key)))
+    keys
+
+(* a reader racing the evictor: each lookup must be the exact stored
+   value or a clean miss — never a decode error *)
+let cache_eviction_race () =
+  let payload k = (k, String.make 2048 (Char.chr (97 + (k mod 26)))) in
+  let c = Disk_cache.create ~dir:"dc_evict_race" ~max_bytes:(32 * 1024) () in
+  let stop = Atomic.make false in
+  let torn = Atomic.make 0 in
+  let reader =
+    Domain.spawn (fun () ->
+        while not (Atomic.get stop) do
+          for k = 0 to 63 do
+            match Disk_cache.find c ~key:("ev" ^ string_of_int k) with
+            | None -> () (* evicted: clean miss *)
+            | Some v -> if v <> payload k then Atomic.incr torn
+          done
+        done)
+  in
+  for _ = 1 to 4 do
+    for k = 0 to 63 do
+      Disk_cache.store c ~key:("ev" ^ string_of_int k) (payload k)
+    done
+  done;
+  Atomic.set stop true;
+  Domain.join reader;
+  Alcotest.(check int) "reads are hit-or-miss, never torn" 0 (Atomic.get torn);
+  Alcotest.(check int) "no decode errors under eviction" 0 (Disk_cache.errors c);
+  Alcotest.(check bool) "the cap actually evicted" true
+    (Disk_cache.evictions c > 0)
+
+(* size-cap soak: after every store the scan-measured usage must stay
+   within cap + the just-written entry (the documented invariant) *)
+let cache_size_cap_soak () =
+  let cap = 16 * 1024 in
+  let c = Disk_cache.create ~dir:"dc_cap" ~max_bytes:cap () in
+  Alcotest.(check (option int)) "cap recorded" (Some cap) (Disk_cache.max_bytes c);
+  let last = ref "" in
+  for i = 0 to 199 do
+    let payload = String.make (512 + (64 * (i mod 7))) (Char.chr (97 + (i mod 26))) in
+    last := payload;
+    Disk_cache.store c ~key:("cap" ^ string_of_int i) payload;
+    let usage = Disk_cache.disk_usage c in
+    let bound = cap + String.length payload + 64 in
+    if usage > bound then
+      Alcotest.failf "store %d: usage %d exceeds cap+entry bound %d" i usage
+      bound
+  done;
+  Alcotest.(check bool) "soak forced evictions" true (Disk_cache.evictions c > 0);
+  Alcotest.(check (option string))
+    "newest entry is never the victim" (Some !last)
+    (Disk_cache.find c ~key:"cap199")
+
+(* writers that die between write and rename leave *.tmp.* litter;
+   opening a handle sweeps stale ones and spares live ones *)
+let cache_tmp_sweep () =
+  let dir = "dc_tmp" in
+  let c = Disk_cache.create ~dir () in
+  Disk_cache.store c ~key:"live" 41;
+  let shard = Filename.dirname (Disk_cache.path_of_key c ~key:"live") in
+  let plant name =
+    let path = Filename.concat shard name in
+    let oc = open_out_bin path in
+    output_string oc "abandoned";
+    close_out oc;
+    path
+  in
+  let stale = plant "deadbeef.bin.tmp.1234.0" in
+  Unix.utimes stale 1000. 1000. (* back-date far past tmp_max_age_s *);
+  let fresh = plant "deadbeef.bin.tmp.1234.1" (* mtime = now: maybe live *) in
+  let c2 = Disk_cache.create ~dir () in
+  Alcotest.(check bool) "stale tmp swept" false (Sys.file_exists stale);
+  Alcotest.(check bool) "fresh tmp spared" true (Sys.file_exists fresh);
+  Alcotest.(check bool) "sweep counted" true (Disk_cache.tmp_swept c2 >= 1);
+  Alcotest.(check (option int))
+    "entries survive the sweep" (Some 41)
+    (Disk_cache.find c2 ~key:"live")
+
+let cache_publish_metrics () =
+  let c = Disk_cache.create ~dir:"dc_pub" () in
+  Alcotest.(check (option int)) "miss" None (Disk_cache.find c ~key:"absent");
+  Disk_cache.store c ~key:"a" 1;
+  Disk_cache.store c ~key:"b" 2;
+  Alcotest.(check (option int)) "hit" (Some 1) (Disk_cache.find c ~key:"a");
+  let m = Edge_obs.Metrics.create () in
+  Disk_cache.publish c m;
+  let counter = Edge_obs.Metrics.counter m in
+  Alcotest.(check int) "cache.hits" 1 (counter "cache.hits");
+  Alcotest.(check int) "cache.misses" 1 (counter "cache.misses");
+  Alcotest.(check int) "cache.stores" 2 (counter "cache.stores");
+  Alcotest.(check int) "cache.errors" 0 (counter "cache.errors");
+  Alcotest.(check int) "cache.bytes matches the scan" (Disk_cache.disk_usage c)
+    (counter "cache.bytes");
+  Alcotest.(check int) "shard occupancy sums to the entries" 2
+    (Edge_obs.Metrics.hist_sum
+       (Edge_obs.Metrics.histogram m "cache.shard.entries"))
 
 (* -- determinism of the parallel sweep ---------------------------- *)
 
@@ -340,5 +519,14 @@ let tests =
     Alcotest.test_case "disk cache corruption" `Quick cache_corruption;
     Alcotest.test_case "disk cache experiment roundtrip" `Quick
       cache_experiment_roundtrip;
+    Alcotest.test_case "disk cache sharded layout" `Quick cache_sharded_layout;
+    Alcotest.test_case "disk cache concurrent writers" `Quick
+      cache_concurrent_writers;
+    Alcotest.test_case "disk cache eviction vs reader" `Quick
+      cache_eviction_race;
+    Alcotest.test_case "disk cache size-cap soak" `Quick cache_size_cap_soak;
+    Alcotest.test_case "disk cache tmp sweep" `Quick cache_tmp_sweep;
+    Alcotest.test_case "disk cache publish metrics" `Quick
+      cache_publish_metrics;
     Alcotest.test_case "sweep deterministic" `Slow sweep_deterministic;
   ]

@@ -1,0 +1,474 @@
+(* The job server: protocol parsing, request handling, single-flight
+   dedup, backpressure, timeouts, and — the property the whole serve
+   layer must preserve — server responses byte-identical to a direct
+   Experiment.run_one at every -j.
+
+   Servers bind relative socket paths, which the dune sandbox keeps
+   private to this test run (and short enough for sun_path). *)
+
+module Json = Edge_serve.Json
+module Proto = Edge_serve.Proto
+module Server = Edge_serve.Server
+module Client = Edge_serve.Client
+module Disk_cache = Edge_parallel.Disk_cache
+module Experiment = Edge_harness.Experiment
+
+let rtype v = Option.value (Json.str_member "type" v) ~default:"?"
+let reason v = Option.value (Json.str_member "reason" v) ~default:"?"
+
+let with_server ?cache ?(jobs = 2) ?queue_cap name f =
+  let cfg = Server.default_config ?cache ~socket_path:(name ^ ".sock") () in
+  let cfg =
+    { cfg with jobs; queue_cap = Option.value queue_cap ~default:cfg.queue_cap }
+  in
+  let srv = Server.start cfg in
+  Fun.protect ~finally:(fun () -> Server.stop srv) (fun () -> f srv)
+
+let run_ok c job =
+  match Client.run_job c job with
+  | Ok v when rtype v = "done" -> v
+  | Ok v -> Alcotest.failf "expected done, got %s" (Json.to_string v)
+  | Error e -> Alcotest.failf "client error: %s" e
+
+(* -- json / protocol unit tests ------------------------------------ *)
+
+let json_roundtrip () =
+  let cases =
+    [
+      "null"; "true"; "-12"; "3.5"; "\"a\\n\\\"b\\\\\""; "[]"; "[1,2,[3]]";
+      "{}"; "{\"k\":1,\"nest\":{\"a\":[true,null]}}";
+    ]
+  in
+  List.iter
+    (fun s ->
+      match Json.parse s with
+      | Error e -> Alcotest.failf "parse %S: %s" s e
+      | Ok v -> (
+          (* print → reparse → print is a fixpoint *)
+          let p = Json.to_string v in
+          match Json.parse p with
+          | Error e -> Alcotest.failf "reparse %S: %s" p e
+          | Ok v' ->
+              Alcotest.(check string) ("fixpoint " ^ s) p (Json.to_string v')))
+    cases;
+  List.iter
+    (fun s ->
+      match Json.parse s with
+      | Ok _ -> Alcotest.failf "%S should not parse" s
+      | Error _ -> ())
+    [ ""; "{"; "[1,"; "nul"; "{\"a\"}"; "\"\\x\""; "1 2"; "{'a':1}" ]
+
+let proto_parse () =
+  (match Proto.parse_request "{\"id\":\"x\",\"workload\":\"w\",\"config\":\"Both\"}" with
+  | { Proto.id = Some "x"; req = Ok (Proto.Job s) } ->
+      Alcotest.(check bool) "workload kind" true (s.Proto.kind = `Workload "w");
+      Alcotest.(check string) "config" "Both" s.Proto.config;
+      Alcotest.(check bool) "no trace" false s.Proto.trace
+  | _ -> Alcotest.fail "workload job did not parse");
+  (match Proto.parse_request "{\"source\":\"kernel k\",\"config\":\"Both\",\"trace\":true,\"fuel\":5}" with
+  | { Proto.req = Ok (Proto.Job s); _ } ->
+      Alcotest.(check bool) "source kind" true (s.Proto.kind = `Source "kernel k");
+      Alcotest.(check bool) "trace on" true s.Proto.trace;
+      Alcotest.(check (option int)) "fuel" (Some 5) s.Proto.fuel
+  | _ -> Alcotest.fail "source job did not parse");
+  (match Proto.parse_request "{\"op\":\"ping\"}" with
+  | { Proto.req = Ok Proto.Ping; _ } -> ()
+  | _ -> Alcotest.fail "ping did not parse");
+  (* structured rejections, id preserved when recoverable *)
+  List.iter
+    (fun line ->
+      match Proto.parse_request line with
+      | { Proto.req = Error _; _ } -> ()
+      | _ -> Alcotest.failf "%S should not parse" line)
+    [
+      "not json";
+      "[]";
+      "{\"op\":\"reboot\"}";
+      "{\"workload\":\"w\"}" (* missing config *);
+      "{\"workload\":1,\"config\":\"Both\"}";
+      "{\"workload\":\"w\",\"source\":\"s\",\"config\":\"Both\"}";
+      "{\"source\":\"s\",\"config\":\"Both\",\"fuel\":0}";
+      "{\"source\":\"s\",\"config\":\"Both\",\"trace\":\"yes\"}";
+    ];
+  match Proto.parse_request "{\"id\":\"j7\",\"op\":\"nope\"}" with
+  | { Proto.id = Some "j7"; req = Error _ } -> ()
+  | _ -> Alcotest.fail "id should survive a bad op"
+
+(* identical jobs merge, different bounds do not *)
+let proto_digest () =
+  let base =
+    {
+      Proto.kind = `Source "kernel k";
+      config = "Both";
+      trace = false;
+      timeout_ms = None;
+      max_cycles = None;
+      fuel = None;
+    }
+  in
+  let d = Proto.job_digest in
+  Alcotest.(check string) "digest is stable" (d base) (d base);
+  Alcotest.(check string)
+    "timeout/trace do not split the flight"
+    (d base)
+    (d { base with trace = true; timeout_ms = Some 5 });
+  Alcotest.(check bool) "config splits" true (d base <> d { base with config = "Hyper" });
+  Alcotest.(check bool) "fuel splits" true (d base <> d { base with fuel = Some 9 });
+  Alcotest.(check bool)
+    "kind splits" true
+    (d base <> d { base with kind = `Workload "kernel k" })
+
+(* -- server behaviour ---------------------------------------------- *)
+
+let ops_roundtrip () =
+  with_server "srv_ops" @@ fun srv ->
+  let c = Client.connect "srv_ops.sock" in
+  (match Client.rpc c (Json.Obj [ ("op", Json.Str "ping") ]) with
+  | Ok v -> Alcotest.(check string) "pong" "pong" (rtype v)
+  | Error e -> Alcotest.fail e);
+  (match Client.rpc c (Json.Obj [ ("op", Json.Str "stats") ]) with
+  | Ok v ->
+      Alcotest.(check string) "stats" "stats" (rtype v);
+      Alcotest.(check (option string))
+        "protocol version" (Some Proto.protocol)
+        (Json.str_member "protocol" v)
+  | Error e -> Alcotest.fail e);
+  (* malformed input is a structured error, and the server survives *)
+  Client.send_line c "][ nonsense";
+  (match Client.recv c with
+  | Some (Ok v) ->
+      Alcotest.(check string) "protocol error" "error" (rtype v);
+      Alcotest.(check string) "reason" "protocol" (reason v)
+  | _ -> Alcotest.fail "no structured error for garbage");
+  (match Client.rpc c (Json.Obj [ ("op", Json.Str "ping") ]) with
+  | Ok v -> Alcotest.(check string) "pong after garbage" "pong" (rtype v)
+  | Error e -> Alcotest.fail e);
+  Alcotest.(check bool) "no shutdown yet" false (Server.shutdown_requested srv);
+  (match Client.rpc c (Json.Obj [ ("op", Json.Str "shutdown") ]) with
+  | Ok v -> Alcotest.(check string) "ack" "shutting_down" (rtype v)
+  | Error e -> Alcotest.fail e);
+  Alcotest.(check bool) "shutdown requested" true (Server.shutdown_requested srv);
+  Client.close c
+
+(* server answers must be byte-identical (same run digest) to a direct
+   Experiment.run_one, for every -j, cold and warm *)
+let identical_across_jobs () =
+  Edge_check.Check.without_check @@ fun () ->
+  let specs = [ ("tblook01", "Both"); ("canrdr01", "Hyper") ] in
+  let direct =
+    List.map
+      (fun (w, c) ->
+        let workload = Option.get (Edge_workloads.Registry.find w) in
+        let config = Option.get (Server.find_config c) in
+        match Experiment.run_one workload (c, config) with
+        | Ok r -> (Server.run_digest r, r)
+        | Error e -> Alcotest.failf "direct %s/%s: %s" w c e)
+      specs
+  in
+  List.iter
+    (fun jobs ->
+      let name = Printf.sprintf "srv_id%d" jobs in
+      let cache = Disk_cache.create ~dir:(name ^ ".cache") () in
+      with_server ~cache ~jobs name @@ fun _srv ->
+      let c = Client.connect (name ^ ".sock") in
+      List.iter2
+        (fun (w, cfg) (digest, (r : Experiment.run)) ->
+          (* cold, then warm: both must match the direct run *)
+          List.iter
+            (fun pass ->
+              let v = run_ok c (Client.workload_job ~workload:w ~config:cfg ()) in
+              Alcotest.(check (option string))
+                (Printf.sprintf "-j%d %s %s/%s digest" jobs pass w cfg)
+                (Some digest)
+                (Json.str_member "run_digest" v);
+              Alcotest.(check (option (float 0.0)))
+                (Printf.sprintf "-j%d %s %s/%s cycles" jobs pass w cfg)
+                (Some (float_of_int r.Experiment.cycles))
+                (Json.num_member "cycles" v);
+              Alcotest.(check (option string))
+                (Printf.sprintf "-j%d %s %s/%s ret" jobs pass w cfg)
+                (Some (Int64.to_string r.Experiment.ret))
+                (Json.str_member "ret" v))
+            [ "cold"; "warm" ])
+        specs direct;
+      Client.close c)
+    [ 1; 2; 4 ]
+
+(* N client threads x M mixed cold/warm jobs; every response must match
+   the direct digest for its spec *)
+let mixed_battery () =
+  Edge_check.Check.without_check @@ fun () ->
+  let specs = [| ("tblook01", "Both"); ("tblook01", "Hyper") |] in
+  let direct =
+    Array.map
+      (fun (w, c) ->
+        let workload = Option.get (Edge_workloads.Registry.find w) in
+        let config = Option.get (Server.find_config c) in
+        match Experiment.run_one workload (c, config) with
+        | Ok r -> Server.run_digest r
+        | Error e -> Alcotest.failf "direct %s/%s: %s" w c e)
+      specs
+  in
+  let cache = Disk_cache.create ~dir:"srv_mix.cache" () in
+  with_server ~cache ~jobs:3 "srv_mix" @@ fun _srv ->
+  let threads = 4 and per_thread = 6 in
+  let failures = Atomic.make 0 in
+  let worker k () =
+    let c = Client.connect "srv_mix.sock" in
+    for i = 0 to per_thread - 1 do
+      let idx = (k + i) mod Array.length specs in
+      let w, cfg = specs.(idx) in
+      match Client.run_job c (Client.workload_job ~workload:w ~config:cfg ()) with
+      | Ok v
+        when rtype v = "done"
+             && Json.str_member "run_digest" v = Some direct.(idx) ->
+          ()
+      | Ok v ->
+          Printf.eprintf "thread %d job %d: bad response %s\n" k i
+            (Json.to_string v);
+          Atomic.incr failures
+      | Error e ->
+          Printf.eprintf "thread %d job %d: %s\n" k i e;
+          Atomic.incr failures
+    done;
+    Client.close c
+  in
+  let ths = List.init threads (fun k -> Thread.create (worker k) ()) in
+  List.iter Thread.join ths;
+  Alcotest.(check int) "every mixed job matched its direct digest" 0
+    (Atomic.get failures)
+
+(* a deliberately slow source kernel: enough loop iterations that the
+   cycle simulator holds a worker for a while *)
+let slow_kernel salt =
+  Printf.sprintf
+    "kernel slow%s(int x, int y, int* A, int* B) {\n\
+    \  int s = 0;\n\
+    \  int i;\n\
+    \  for (i = 0; i < 60000; i = i + 1) { s = s + i - y; }\n\
+    \  return s;\n\
+     }\n"
+    salt
+
+(* single worker busy on a blocker; 5 identical jobs stampede in behind
+   it; single-flight must collapse them into one execution *)
+let single_flight_stampede () =
+  Edge_check.Check.without_check @@ fun () ->
+  with_server ~jobs:1 "srv_flight" @@ fun srv ->
+  let blocker = Client.connect "srv_flight.sock" in
+  Client.send blocker
+    (Json.Obj
+       (("id", Json.Str "blocker")
+       :: Client.source_job ~source:(slow_kernel "_blk") ~config:"Merge" ()));
+  (* wait for the worker to pick the blocker up, so the stampede below
+     is all in the queue at once *)
+  Thread.delay 0.15;
+  let n = 5 in
+  let compiles0 = Experiment.compiles_performed () in
+  let results = Array.make n "" in
+  let merged = Atomic.make 0 in
+  let ths =
+    List.init n (fun k ->
+        Thread.create
+          (fun () ->
+            let c = Client.connect "srv_flight.sock" in
+            (match
+               Client.run_job c
+                 ~on_stream:(fun v ->
+                   if
+                     rtype v = "accepted"
+                     && Json.bool_member "merged" v = Some true
+                   then Atomic.incr merged)
+                 (Client.source_job ~source:(slow_kernel "_st") ~config:"Merge" ())
+             with
+            | Ok v when rtype v = "done" ->
+                results.(k) <-
+                  Option.value (Json.str_member "run_digest" v) ~default:"?"
+            | Ok v -> results.(k) <- "bad: " ^ Json.to_string v
+            | Error e -> results.(k) <- "err: " ^ e);
+            Client.close c)
+          ())
+  in
+  List.iter Thread.join ths;
+  let compiles = Experiment.compiles_performed () - compiles0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "at most 2 compiles (blocker + stampede), got %d" compiles)
+    true (compiles <= 2);
+  Array.iter
+    (fun d -> Alcotest.(check string) "stampede digests agree" results.(0) d)
+    results;
+  Alcotest.(check bool) "first result is a digest" true
+    (String.length results.(0) = 32);
+  Alcotest.(check int) "4 of 5 merged into the first flight" (n - 1)
+    (Atomic.get merged);
+  (* blocker still answers on its own connection *)
+  (match Client.recv blocker with
+  | Some (Ok v) -> Alcotest.(check string) "blocker accepted" "accepted" (rtype v)
+  | _ -> Alcotest.fail "blocker got nothing");
+  (match Client.recv blocker with
+  | Some (Ok v) -> Alcotest.(check string) "blocker done" "done" (rtype v)
+  | _ -> Alcotest.fail "blocker job lost");
+  Client.close blocker;
+  ignore srv
+
+(* queue_cap=1 with a busy worker: the second pending job bounces with
+   a retry hint instead of queueing without bound *)
+let backpressure () =
+  Edge_check.Check.without_check @@ fun () ->
+  with_server ~jobs:1 ~queue_cap:1 "srv_bp" @@ fun _srv ->
+  let c = Client.connect "srv_bp.sock" in
+  Client.send c
+    (Json.Obj
+       (("id", Json.Str "blk")
+       :: Client.source_job ~source:(slow_kernel "_bp") ~config:"Merge" ()));
+  (match Client.recv c with
+  | Some (Ok v) -> Alcotest.(check string) "blocker accepted" "accepted" (rtype v)
+  | _ -> Alcotest.fail "no accept for blocker");
+  Thread.delay 0.15 (* worker now busy, queue empty *);
+  let c2 = Client.connect "srv_bp.sock" in
+  Client.send c2
+    (Json.Obj
+       (("id", Json.Str "fill")
+       :: Client.source_job ~source:(slow_kernel "_bp2") ~config:"Merge" ()));
+  (match Client.recv c2 with
+  | Some (Ok v) -> Alcotest.(check string) "filler queued" "accepted" (rtype v)
+  | _ -> Alcotest.fail "no accept for filler");
+  (match
+     Client.run_job c2
+       (Client.source_job ~source:(slow_kernel "_bp3") ~config:"Merge" ())
+   with
+  | Ok v ->
+      Alcotest.(check string) "overflow rejected" "rejected" (rtype v);
+      Alcotest.(check bool) "retry hint present" true
+        (Json.num_member "retry_after_ms" v <> None)
+  | Error e -> Alcotest.fail e);
+  (* merged jobs ride the in-flight entry: no queue slot, so they are
+     accepted even at cap *)
+  (match
+     Client.run_job c2
+       (Client.source_job ~source:(slow_kernel "_bp2") ~config:"Merge" ())
+   with
+  | Ok v -> Alcotest.(check string) "duplicate still served" "done" (rtype v)
+  | Error e -> Alcotest.fail e);
+  Client.close c;
+  Client.close c2
+
+let timeouts () =
+  Edge_check.Check.without_check @@ fun () ->
+  (* a job whose queue deadline passes while a blocker runs *)
+  (with_server ~jobs:1 "srv_to" @@ fun _srv ->
+   let c = Client.connect "srv_to.sock" in
+   Client.send c
+     (Json.Obj
+        (("id", Json.Str "blk")
+        :: Client.source_job ~source:(slow_kernel "_to") ~config:"Merge" ()));
+   (match Client.recv c with
+   | Some (Ok v) -> Alcotest.(check string) "accepted" "accepted" (rtype v)
+   | _ -> Alcotest.fail "no accept");
+   Thread.delay 0.1;
+   (match
+      Client.run_job c
+        (Client.source_job ~timeout_ms:1 ~source:(slow_kernel "_to2")
+           ~config:"Merge" ())
+    with
+   | Ok v ->
+       Alcotest.(check string) "queue timeout" "error" (rtype v);
+       Alcotest.(check string) "reason" "timeout" (reason v)
+   | Error e -> Alcotest.fail e);
+   Client.close c);
+  (* a non-terminating kernel bounded by fuel *)
+  with_server ~jobs:1 "srv_to2" @@ fun _srv ->
+  let c = Client.connect "srv_to2.sock" in
+  let spin =
+    "kernel spin(int x, int y, int* A, int* B) {\n\
+    \  int s = 0;\n\
+    \  while (x > 0) { s = s + 1; }\n\
+    \  return s;\n\
+     }\n"
+  in
+  (match
+     Client.run_job c (Client.source_job ~fuel:20_000 ~source:spin ~config:"Merge" ())
+   with
+  | Ok v ->
+      Alcotest.(check string) "execution timeout" "error" (rtype v);
+      Alcotest.(check string) "reason" "timeout" (reason v)
+  | Error e -> Alcotest.fail e);
+  Client.close c
+
+(* traced jobs stream events and a metrics snapshot before done *)
+let trace_streaming () =
+  with_server ~jobs:1 "srv_trace" @@ fun _srv ->
+  let c = Client.connect "srv_trace.sock" in
+  let traces = ref 0 and metrics = ref 0 in
+  (match
+     Client.run_job c
+       ~on_stream:(fun v ->
+         match rtype v with
+         | "trace" -> incr traces
+         | "metrics" -> incr metrics
+         | _ -> ())
+       (Client.workload_job ~trace:true ~workload:"tblook01" ~config:"Merge" ())
+   with
+  | Ok v -> Alcotest.(check string) "done" "done" (rtype v)
+  | Error e -> Alcotest.fail e);
+  Alcotest.(check bool) "streamed trace lines" true (!traces > 0);
+  Alcotest.(check int) "one metrics snapshot" 1 !metrics;
+  Client.close c
+
+(* stopping with work still queued answers every waiter with a
+   structured shutdown error and unlinks the socket *)
+let shutdown_drains () =
+  Edge_check.Check.without_check @@ fun () ->
+  let cfg = Server.default_config ~socket_path:"srv_drain.sock" () in
+  let srv = Server.start { cfg with jobs = 1 } in
+  Fun.protect ~finally:(fun () -> Server.stop srv) @@ fun () ->
+  let c = Client.connect "srv_drain.sock" in
+  Client.send c
+    (Json.Obj
+       (("id", Json.Str "blk")
+       :: Client.source_job ~source:(slow_kernel "_dr") ~config:"Merge" ()));
+  Client.send c
+    (Json.Obj
+       (("id", Json.Str "queued")
+       :: Client.source_job ~source:(slow_kernel "_dr2") ~config:"Merge" ()));
+  Thread.delay 0.15;
+  Server.stop srv;
+  Alcotest.(check bool) "socket unlinked" false (Sys.file_exists "srv_drain.sock");
+  (* both accepts, then (in either order) the blocker's result and the
+     queued job's shutdown error *)
+  let seen = ref [] in
+  let rec drain () =
+    match Client.recv c with
+    | Some (Ok v) ->
+        seen := (Option.value (Json.str_member "id" v) ~default:"?", v) :: !seen;
+        drain ()
+    | Some (Error e) -> Alcotest.failf "bad response during drain: %s" e
+    | None -> ()
+  in
+  drain ();
+  Client.close c;
+  let is_term v = rtype v = "done" || rtype v = "error" in
+  let terminal id = List.find_opt (fun (i, v) -> i = id && is_term v) !seen in
+  (match terminal "queued" with
+  | Some (_, v) ->
+      Alcotest.(check string) "queued job got a terminal answer" "error" (rtype v);
+      Alcotest.(check string) "shutdown reason" "shutdown" (reason v)
+  | None -> Alcotest.fail "queued job got no terminal answer");
+  match terminal "blk" with
+  | Some _ -> ()
+  | None -> Alcotest.fail "blocker got no terminal answer"
+
+let tests =
+  [
+    Alcotest.test_case "json roundtrip" `Quick json_roundtrip;
+    Alcotest.test_case "proto parse" `Quick proto_parse;
+    Alcotest.test_case "proto digest" `Quick proto_digest;
+    Alcotest.test_case "ops roundtrip" `Quick ops_roundtrip;
+    Alcotest.test_case "identical across jobs" `Quick identical_across_jobs;
+    Alcotest.test_case "mixed cold/warm battery" `Quick mixed_battery;
+    Alcotest.test_case "single-flight stampede" `Quick single_flight_stampede;
+    Alcotest.test_case "backpressure" `Quick backpressure;
+    Alcotest.test_case "timeouts" `Quick timeouts;
+    Alcotest.test_case "trace streaming" `Quick trace_streaming;
+    Alcotest.test_case "shutdown drains" `Quick shutdown_drains;
+  ]
