@@ -1,6 +1,6 @@
-.PHONY: all build test check smoke check-smoke fuzz-smoke trace-smoke \
-	jit-smoke perf-smoke serve-smoke serve-bench bench-compare \
-	regen-golden bench clean
+.PHONY: all build test check smoke check-smoke fuzz-smoke matrix-smoke \
+	trace-smoke jit-smoke perf-smoke serve-smoke serve-bench \
+	bench-compare regen-golden bench clean
 
 all: build
 
@@ -14,7 +14,8 @@ test:
 # short parallel fuzz campaign finds nothing, and the observability
 # layer round-trips (valid Chrome JSON, golden trace matches)
 check:
-	dune build @all && dune runtest && $(MAKE) fuzz-smoke && $(MAKE) check-smoke \
+	dune build @all && dune runtest && $(MAKE) fuzz-smoke && $(MAKE) matrix-smoke \
+	&& $(MAKE) check-smoke \
 	&& $(MAKE) trace-smoke && $(MAKE) jit-smoke && $(MAKE) perf-smoke \
 	&& $(MAKE) serve-smoke \
 	&& $(MAKE) bench-compare BASE=BENCH_fig7.json NEW=BENCH_fig7.json
@@ -29,6 +30,12 @@ check-smoke: build
 # config, both simulators, block validator, parallel path)
 fuzz-smoke: build
 	dune exec bin/fuzz.exe -- --seed 1 -n 40 -j 4 --min-size 4 --max-size 12 --no-minimize
+
+# the backend-differential gate: the same oracle with the machine
+# matrix on, so every kernel x config pair must reproduce the reference
+# results on the tiled grid AND the in-order EDGE core
+matrix-smoke: build
+	dune exec bin/fuzz.exe -- --matrix --seed 7000 -n 40 -j 4 --min-size 4 --max-size 14 --no-minimize
 
 # seconds-long end-to-end check of the tracing/metrics layer: run one
 # golden kernel traced, validate the Chrome JSON export, compare the

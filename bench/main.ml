@@ -30,10 +30,10 @@
    tests exist to track the toolchain's own performance (compile time,
    functional- and cycle-simulation throughput). *)
 
-let fig7 ?(progress = true) ?cache ~jobs () =
+let fig7 ?(progress = true) ?cache ?machine ~jobs () =
   Edge_harness.Figure7.run
     ~progress:(fun n -> if progress then Printf.eprintf "  %s...\n%!" n)
-    ~jobs ?cache ()
+    ~jobs ?cache ?machine ()
 
 (* -- machine-readable results ------------------------------------- *)
 
@@ -52,7 +52,8 @@ let json_escape s =
     s;
   Buffer.contents b
 
-let write_json path ~wall_s ~alloc ~fsim (r : Edge_harness.Figure7.result) =
+let write_json path ~wall_s ~alloc ~fsim ~backends
+    (r : Edge_harness.Figure7.result) =
   let buf = Buffer.create 4096 in
   let pf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   (* multi-line lists indent one entry per line; short objects stay on
@@ -103,6 +104,24 @@ let write_json path ~wall_s ~alloc ~fsim (r : Edge_harness.Figure7.result) =
           pf "\"%s\": %.4f" (json_escape n) s);
       pf " } }");
   pf "\n  ],\n";
+  (* per-backend cycle tables: the top-level "benches" stays the
+     default backend for compatibility; each entry here is one machine
+     description's own sweep, diffed independently by bench_compare *)
+  pf "  \"backends\": {\n";
+  sep backends (fun (bname, (br : Edge_harness.Figure7.result)) ->
+      pf "    \"%s\": {\n" (json_escape bname);
+      pf "      \"geomean_speedups\": { ";
+      sep_inline br.Edge_harness.Figure7.mean_speedups (fun (n, s) ->
+          pf "\"%s\": %.4f" (json_escape n) s);
+      pf " },\n      \"benches\": [\n";
+      sep br.Edge_harness.Figure7.rows (fun row ->
+          pf "        { \"bench\": \"%s\", \"cycles\": { "
+            (json_escape row.Edge_harness.Figure7.bench);
+          sep_inline row.Edge_harness.Figure7.cycles (fun (n, c) ->
+              pf "\"%s\": %d" (json_escape n) c);
+          pf " } }");
+      pf "\n      ]\n    }");
+  pf "\n  },\n";
   pf "  \"pass_counters\": {\n";
   sep r.Edge_harness.Figure7.pass_totals (fun (config, counters) ->
       pf "    \"%s\": { " (json_escape config);
@@ -136,12 +155,22 @@ let run_sweep ?cache ~jobs ~json () =
       g1.Gc.major_words -. g0.Gc.major_words )
   in
   if json <> "-" then begin
+    (* the same sweep on each non-default backend: the machine axis of
+       the experiment matrix, written as its own section so backend
+       cycle drift is caught independently of the grid numbers *)
+    let backends =
+      List.map
+        (fun (name, machine) ->
+          Printf.eprintf "  backend %s sweep...\n%!" name;
+          (name, fig7 ~progress:false ?cache ~machine ~jobs ()))
+        [ ("inorder_edge", Edge_sim.Machine.inorder_edge) ]
+    in
     (* functional-simulator throughput rides along in the same JSON so
        the committed numbers track the code; measured outside the timed
        sweep window *)
     Printf.eprintf "  fsim throughput (jit vs interpreter)...\n%!";
     let fsim = Some (Edge_harness.Fsim_bench.measure ()) in
-    write_json json ~wall_s ~alloc ~fsim r
+    write_json json ~wall_s ~alloc ~fsim ~backends r
   end;
   Format.printf "sweep: %.1fs wall (-j %d; compile %.1fs, sim %.1fs of work)@."
     wall_s r.Edge_harness.Figure7.jobs r.Edge_harness.Figure7.compile_s

@@ -219,6 +219,15 @@ let cycles_of (v : json) : (string * (string * int) list) list =
         rows
   | _ -> []
 
+(* backend name -> (bench -> (config -> cycles)); [] when a file
+   predates the per-backend sections *)
+let backends_of (v : json) : (string * (string * (string * int) list) list) list
+    =
+  match member "backends" v with
+  | Some (Obj sections) ->
+      List.map (fun (name, section) -> (name, cycles_of section)) sections
+  | _ -> []
+
 let wall_of v = to_num (member "total" (Option.value ~default:Null (member "wall_s" v)))
 
 (* (config, (jit_instrs_s, speedup)) per row of the optional
@@ -311,29 +320,53 @@ let () =
   end;
   let drifts = ref 0 in
   let compared = ref 0 in
+  let diff_tables ~label base_cycles new_cycles =
+    List.iter
+      (fun (bench, configs) ->
+        match List.assoc_opt bench new_cycles with
+        | None ->
+            incr drifts;
+            Printf.printf "DRIFT %s%-12s missing from %s\n" label bench
+              new_path
+        | Some new_configs ->
+            List.iter
+              (fun (cfg, c) ->
+                match List.assoc_opt cfg new_configs with
+                | None ->
+                    incr drifts;
+                    Printf.printf "DRIFT %s%-12s %-6s missing from %s\n" label
+                      bench cfg new_path
+                | Some c' ->
+                    incr compared;
+                    if c <> c' then begin
+                      incr drifts;
+                      Printf.printf "DRIFT %s%-12s %-6s %d -> %d (%+d)\n"
+                        label bench cfg c c' (c' - c)
+                    end)
+              configs)
+      base_cycles
+  in
+  diff_tables ~label:"" base_cycles new_cycles;
+  (* per-backend sections are diffed independently: a backend present
+     in both files gates exactly like the top-level table; a backend
+     only the NEW file has is informational (it was just added) *)
+  let base_backends = backends_of base and new_backends = backends_of next in
   List.iter
-    (fun (bench, configs) ->
-      match List.assoc_opt bench new_cycles with
+    (fun (backend, base_table) ->
+      match List.assoc_opt backend new_backends with
       | None ->
           incr drifts;
-          Printf.printf "DRIFT %-12s missing from %s\n" bench new_path
-      | Some new_configs ->
-          List.iter
-            (fun (cfg, c) ->
-              match List.assoc_opt cfg new_configs with
-              | None ->
-                  incr drifts;
-                  Printf.printf "DRIFT %-12s %-6s missing from %s\n" bench cfg
-                    new_path
-              | Some c' ->
-                  incr compared;
-                  if c <> c' then begin
-                    incr drifts;
-                    Printf.printf "DRIFT %-12s %-6s %d -> %d (%+d)\n" bench cfg
-                      c c' (c' - c)
-                  end)
-            configs)
-    base_cycles;
+          Printf.printf "DRIFT backend %s missing from %s\n" backend new_path
+      | Some new_table ->
+          diff_tables ~label:(backend ^ " ") base_table new_table)
+    base_backends;
+  List.iter
+    (fun (backend, table) ->
+      if not (List.mem_assoc backend base_backends) then
+        Printf.printf
+          "NEW backend %s: %d benches (informational, absent from %s)\n"
+          backend (List.length table) base_path)
+    new_backends;
   (match (wall_of base, wall_of next) with
   | Some wb, Some wn ->
       Printf.printf "wall: %.3fs -> %.3fs (%+.1f%%)\n" wb wn

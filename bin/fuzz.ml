@@ -26,6 +26,9 @@
                    enumeration (they still get the lattice checker);
                    skip counts are reported
      --no-check    disable the per-pass static checker in the oracle
+     --matrix      run the cycle comparison on every timing backend
+                   (tiled grid AND the in-order EDGE core) instead of
+                   the grid alone
      --serve       replay generated kernels through the dfpd socket
                    protocol against an in-process job server, diffing
                    every verdict (return value / fault / timeout)
@@ -158,7 +161,8 @@ let run_serve ~seed ~n ~jobs ~min_size ~max_size =
 
 let usage =
   "usage: fuzz.exe [--seed S] [-n N] [-j J] [--min-size A] [--max-size B]\n\
-  \                [--no-cycle] [--no-validate] [--no-check] [--no-minimize]\n\
+  \                [--no-cycle] [--no-validate] [--no-check] [--matrix]\n\
+  \                [--no-minimize]\n\
   \                [--max-vars N] [--corpus DIR] [--cache-dir DIR]\n\
   \                [--workloads] [--replay DIR] [--check-smoke DIR] [--serve]"
 
@@ -169,6 +173,7 @@ let () =
   let min_size = ref Edge_fuzz.Fuzz.default_min_size in
   let max_size = ref Edge_fuzz.Fuzz.default_max_size in
   let cycle = ref true in
+  let machines = ref None in
   let validate = ref true in
   let check = ref true in
   let max_vars = ref None in
@@ -195,6 +200,9 @@ let () =
     | "--no-cycle" :: rest -> cycle := false; parse rest
     | "--no-validate" :: rest -> validate := false; parse rest
     | "--no-check" :: rest -> check := false; parse rest
+    | "--matrix" :: rest ->
+        machines := Some Edge_fuzz.Oracle.matrix_machines;
+        parse rest
     | "--max-vars" :: v :: rest ->
         int_arg "--max-vars" v rest (fun i r -> max_vars := Some i; parse r)
     | "--no-minimize" :: rest -> minimize := false; parse rest
@@ -255,8 +263,8 @@ let () =
       List.iter
         (fun (name, src) ->
           match
-            Edge_fuzz.Fuzz.replay_source ~cycle:!cycle ~validate:!validate
-              ~check:!check ?max_vars:!max_vars ~name src
+            Edge_fuzz.Fuzz.replay_source ~cycle:!cycle ?machines:!machines
+              ~validate:!validate ~check:!check ?max_vars:!max_vars ~name src
           with
           | Ok () -> ()
           | Error e ->
@@ -267,9 +275,9 @@ let () =
       exit (if !failed = 0 then 0 else 1))
   | `Fuzz ->
       let report =
-        Edge_fuzz.Fuzz.run ~jobs:!jobs ~cycle:!cycle ~validate:!validate
-          ~check:!check ?max_vars:!max_vars ?cache ~min_size:!min_size
-          ~max_size:!max_size ~seed:!seed ~n:!n ()
+        Edge_fuzz.Fuzz.run ~jobs:!jobs ~cycle:!cycle ?machines:!machines
+          ~validate:!validate ~check:!check ?max_vars:!max_vars ?cache
+          ~min_size:!min_size ~max_size:!max_size ~seed:!seed ~n:!n ()
       in
       Format.printf "%a" Edge_fuzz.Fuzz.pp_report report;
       (match (report.Edge_fuzz.Fuzz.failures, !corpus) with
@@ -284,7 +292,8 @@ let () =
                     f.Edge_fuzz.Fuzz.config;
                   Edge_fuzz.Pretty.kernel_to_string
                     (Edge_fuzz.Fuzz.minimize_failure ~cycle:!cycle
-                       ~validate:!validate ~check:!check ?max_vars:!max_vars f)
+                       ?machines:!machines ~validate:!validate ~check:!check
+                       ?max_vars:!max_vars f)
                 end
                 else f.Edge_fuzz.Fuzz.source
               in

@@ -101,8 +101,10 @@ let run_asm path args ~arena oopts =
                 Edge_sim.Stats.pp stats;
               finish ()))
 
-(* run a `.k` kernel source file under the fuzz-corpus conventions *)
-let run_kernel path (config_name, config) machine ~arena oopts =
+(* run a `.k` kernel source file under the fuzz-corpus conventions;
+   [machine_tag] (the --machine argument, if any) lands in the text
+   trace header so traces from different machines are distinguishable *)
+let run_kernel path (config_name, config) machine ?machine_tag ~arena oopts =
   let ic = open_in_bin path in
   let source = really_input_string ic (in_channel_length ic) in
   close_in ic;
@@ -137,8 +139,8 @@ let run_kernel path (config_name, config) machine ~arena oopts =
             match oopts.trace_text with
             | Some p ->
                 write p
-                  (Edge_harness.Tracekit.render ~kernel:name
-                     ~config:config_name t)
+                  (Edge_harness.Tracekit.render ?machine:machine_tag
+                     ~kernel:name ~config:config_name t)
             | None -> Ok ()
           in
           if oopts.metrics then
@@ -146,21 +148,32 @@ let run_kernel path (config_name, config) machine ~arena oopts =
               t.Edge_harness.Tracekit.metrics;
           Ok ())
 
-let run workload config_name functional_only no_early in_order no_arena
-    no_jit check asm_args trace_out trace_text metrics =
+let run workload config_name machine_name functional_only no_early in_order
+    no_arena no_jit check asm_args trace_out trace_text metrics =
   let ( let* ) = Result.bind in
   let arena = not no_arena in
   if no_jit then Edge_sim.Functional.set_jit false;
   if check then Edge_check.Check.set_enabled true;
   let oopts = { trace_out; trace_text; metrics } in
-  let machine =
-    {
-      Edge_sim.Machine.default with
-      Edge_sim.Machine.early_termination = not no_early;
-      aggressive_loads = not in_order;
-    }
+  let machine_of () =
+    (* --machine picks the base description (preset name or compact
+       key=value line); the ablation flags override on top of it *)
+    let* base =
+      match machine_name with
+      | None -> Ok Edge_sim.Machine.default
+      | Some s -> Edge_sim.Machine.of_compact s
+    in
+    Ok
+      {
+        base with
+        Edge_sim.Machine.early_termination =
+          base.Edge_sim.Machine.early_termination && not no_early;
+        aggressive_loads =
+          base.Edge_sim.Machine.aggressive_loads && not in_order;
+      }
   in
   let compute () =
+    let* machine = machine_of () in
     if Filename.check_suffix workload ".s" || Filename.check_suffix workload ".img"
     then
       run_asm workload
@@ -169,7 +182,10 @@ let run workload config_name functional_only no_early in_order no_arena
         ~arena oopts
     else if Filename.check_suffix workload ".k" then
       let* name_config = config_of_name config_name in
-      run_kernel workload name_config machine ~arena oopts
+      run_kernel workload name_config machine
+        ?machine_tag:
+          (Option.map (fun _ -> Edge_sim.Machine.name machine) machine_name)
+        ~arena oopts
     else
     let* w =
       match Edge_workloads.Registry.find workload with
@@ -255,6 +271,16 @@ let config_arg =
   let doc = "Compiler configuration." in
   Arg.(value & opt string "both" & info [ "c"; "config" ] ~doc)
 
+let machine_arg =
+  let doc =
+    "Machine description: a preset name (trips_grid, inorder_edge), a \
+     compact key=value line (e.g. rows=8;cols=8;slots=2), or a preset \
+     with overrides (e.g. inorder_edge;window=8). Selects the backend: \
+     trips_grid machines run the tiled grid simulator, inorder_edge \
+     machines the scalar in-order core."
+  in
+  Arg.(value & opt (some string) None & info [ "m"; "machine" ] ~docv:"MACHINE" ~doc)
+
 let functional_arg =
   let doc = "Run only the functional (untimed) simulator." in
   Arg.(value & flag & info [ "f"; "functional" ] ~doc)
@@ -317,8 +343,8 @@ let cmd =
   Cmd.v
     (Cmd.info "tsim" ~doc)
     Term.(
-      const run $ workload_arg $ config_arg $ functional_arg $ no_early_arg
-      $ in_order_arg $ no_arena_arg $ no_jit_arg $ check_arg $ asm_args_arg
-      $ trace_out_arg $ trace_text_arg $ metrics_arg)
+      const run $ workload_arg $ config_arg $ machine_arg $ functional_arg
+      $ no_early_arg $ in_order_arg $ no_arena_arg $ no_jit_arg $ check_arg
+      $ asm_args_arg $ trace_out_arg $ trace_text_arg $ metrics_arg)
 
 let () = exit (Cmd.eval' cmd)

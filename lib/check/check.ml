@@ -147,8 +147,11 @@ let alloc ~pass ~block ~(reg_of : Temp.t -> int option)
   check_set "live-out" live_out;
   { diags = List.rev !diags; skipped = 0 }
 
-(* schedule placement: one tile per instruction, all in range *)
-let placement ~pass (b : Edge_isa.Block.t) (p : int array) : result =
+(* schedule placement: one tile per instruction, all in range for the
+   machine the schedule was computed against *)
+let placement ?(machine = Edge_isa.Machine_desc.default) ~pass
+    (b : Edge_isa.Block.t) (p : int array) : result =
+  let num_tiles = Edge_isa.Machine_desc.num_tiles machine in
   let diags = ref [] in
   let add where msg =
     diags :=
@@ -162,11 +165,11 @@ let placement ~pass (b : Edge_isa.Block.t) (p : int array) : result =
          (Array.length p) n);
   Array.iteri
     (fun i tile ->
-      if tile < 0 || tile >= Edge_isa.Grid.num_tiles then
+      if tile < 0 || tile >= num_tiles then
         add
           (Printf.sprintf "I%d" i)
           (Printf.sprintf "I%d placed on tile %d (grid has %d)" i tile
-             Edge_isa.Grid.num_tiles))
+             num_tiles))
     p;
   { diags = List.rev !diags; skipped = 0 }
 

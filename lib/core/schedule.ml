@@ -2,19 +2,14 @@ module Block = Edge_isa.Block
 module Instr = Edge_isa.Instr
 module Opcode = Edge_isa.Opcode
 module Target = Edge_isa.Target
-module Grid = Edge_isa.Grid
+module Md = Edge_isa.Machine_desc
 
-let grid_rows = Grid.rows
-let grid_cols = Grid.cols
-let num_tiles = Grid.num_tiles
-let slots_per_tile = Grid.slots_per_tile
-let tile_row = Grid.tile_row
-let tile_col = Grid.tile_col
-let hops = Grid.hops
-let reg_access_hops = Grid.reg_access_hops
-let mem_access_hops = Grid.mem_access_hops
-
-let place (b : Block.t) =
+let place ?(machine = Md.default) (b : Block.t) =
+  let num_tiles = Md.num_tiles machine in
+  let slots_per_tile = machine.Md.slots_per_tile in
+  let hops = Md.hops machine in
+  let reg_access_hops = Md.reg_access_hops machine in
+  let mem_access_hops = Md.mem_access_hops machine in
   let n = Array.length b.Block.instrs in
   let placement = Array.make n (-1) in
   let load = Array.make num_tiles 0 in

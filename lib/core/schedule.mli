@@ -1,31 +1,14 @@
 (** Spatial instruction scheduling.
 
-    Maps each instruction of a TRIPS block onto the 4×4 grid of execution
-    tiles (8 reservation-station slots per tile, 128 total). A greedy
+    Maps each instruction of a TRIPS block onto the execution tiles of a
+    machine description (by default {!Edge_isa.Machine_desc.default},
+    the 4×4 grid with 8 reservation-station slots per tile). A greedy
     critical-path-first placer in the spirit of spatial path scheduling:
     instructions are placed, most critical first, at the tile minimizing
-    the weighted Manhattan distance to their producers, the register file
-    (top row) for reads/writes, and the data tiles (left column) for
-    memory operations. The cycle simulator charges one cycle per hop
-    (Section 6). *)
+    the weighted operand-network distance to their producers, the
+    register file, and the memory interface, as charged by the machine's
+    hop model. The cycle simulator charges the same costs (Section 6). *)
 
-val grid_rows : int
-val grid_cols : int
-val num_tiles : int
-val slots_per_tile : int
-
-val tile_row : int -> int
-val tile_col : int -> int
-
-val hops : int -> int -> int
-(** Manhattan distance between two tiles. *)
-
-val reg_access_hops : int -> int
-(** Hops between a tile and the register tiles (top edge). *)
-
-val mem_access_hops : int -> int
-(** Hops between a tile and the data tiles (left edge). *)
-
-val place : Edge_isa.Block.t -> int array
+val place : ?machine:Edge_isa.Machine_desc.t -> Edge_isa.Block.t -> int array
 (** [place b] returns the tile index for every instruction id. Slot
-    capacity (8 per tile) is respected. Deterministic. *)
+    capacity ([slots_per_tile] per tile) is respected. Deterministic. *)

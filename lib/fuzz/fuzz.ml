@@ -31,10 +31,10 @@ type report = {
 let default_min_size = 6
 let default_max_size = 45
 
-let check_one ?cycle ?validate ?check ?max_vars ?cache ~seed ~size () :
-    (int, failure) result option =
+let check_one ?cycle ?machines ?validate ?check ?max_vars ?cache ~seed ~size
+    () : (int, failure) result option =
   let ast = Gen.generate ~seed ~size in
-  match Oracle.check ?cycle ?validate ?check ?max_vars ?cache ast with
+  match Oracle.check ?cycle ?machines ?validate ?check ?max_vars ?cache ast with
   | exception Oracle.Skip -> None
   | Ok enum_skipped -> Some (Ok enum_skipped)
   | Error f ->
@@ -49,7 +49,7 @@ let check_one ?cycle ?validate ?check ?max_vars ?cache ~seed ~size () :
              source = Pretty.kernel_to_string ast;
            })
 
-let run ?jobs ?cycle ?validate ?check ?max_vars ?cache
+let run ?jobs ?cycle ?machines ?validate ?check ?max_vars ?cache
     ?(min_size = default_min_size) ?(max_size = default_max_size) ~seed ~n ()
     : report =
   let tasks = List.init n (fun i -> i) in
@@ -57,8 +57,8 @@ let run ?jobs ?cycle ?validate ?check ?max_vars ?cache
     Edge_parallel.Pool.run ?jobs
       (fun i ->
         let size = Gen.size_for ~min_size ~max_size i in
-        check_one ?cycle ?validate ?check ?max_vars ?cache ~seed:(seed + i)
-          ~size ())
+        check_one ?cycle ?machines ?validate ?check ?max_vars ?cache
+          ~seed:(seed + i) ~size ())
       tasks
   in
   List.fold_left
@@ -95,8 +95,8 @@ let pp_report ppf (r : report) =
    (config, kind) — and, for checker failures, the diagnostic's
    (pass, invariant) key, so the minimized kernel still trips the same
    invariant in the same pass as the original. *)
-let minimize_failure ?cycle ?validate ?check ?max_vars (f : failure) :
-    A.kernel =
+let minimize_failure ?cycle ?machines ?validate ?check ?max_vars
+    (f : failure) : A.kernel =
   let ast = Gen.generate ~seed:f.seed ~size:f.size in
   let check_key =
     match f.kind with
@@ -105,19 +105,19 @@ let minimize_failure ?cycle ?validate ?check ?max_vars (f : failure) :
   in
   Shrink.minimize
     ~keep:
-      (Oracle.still_fails ?cycle ?validate ?check ?check_key ?max_vars
-         ~config:f.config ~kind:f.kind)
+      (Oracle.still_fails ?cycle ?machines ?validate ?check ?check_key
+         ?max_vars ~config:f.config ~kind:f.kind)
     ast
 
 (* ---------- corpus replay ---------- *)
 
-let replay_source ?cycle ?validate ?check ?max_vars ~name src :
+let replay_source ?cycle ?machines ?validate ?check ?max_vars ~name src :
     (unit, string) result =
   match Edge_lang.Parser.parse src with
   | Error e -> Error (Printf.sprintf "%s: parse: %s" name e)
   | Ok ast -> (
       match
-        try `R (Oracle.check ?cycle ?validate ?check ?max_vars ast)
+        try `R (Oracle.check ?cycle ?machines ?validate ?check ?max_vars ast)
         with Oracle.Skip -> `Skip
       with
       | `Skip -> Ok ()

@@ -103,7 +103,8 @@ let run_functional (c : Dfp.Driver.compiled) : (outcome, string) result =
   | Error e when is_fault e -> Ok { ret = 0L; mem; stores = 0; fault = true }
   | Error e -> Error ("functional: " ^ e)
 
-let run_cycle (c : Dfp.Driver.compiled) : (outcome, string) result =
+let run_cycle ?(machine = Edge_sim.Machine.default) (c : Dfp.Driver.compiled)
+    : (outcome, string) result =
   let regs = prep_regs () in
   let mem = Gen.default_mem () in
   let placement n =
@@ -111,7 +112,9 @@ let run_cycle (c : Dfp.Driver.compiled) : (outcome, string) result =
     | Some p -> p
     | None -> [||]
   in
-  match Edge_sim.Cycle_sim.run ~placement c.Dfp.Driver.program ~regs ~mem with
+  match
+    Edge_sim.Backend.run ~machine ~placement c.Dfp.Driver.program ~regs ~mem
+  with
   | Ok _ ->
       Ok
         {
@@ -132,6 +135,19 @@ let configs =
 
 let config_names = List.map fst configs
 
+(* The timing-backend axis of the oracle. The default covers the tiled
+   grid alone (the historical behaviour, and what the per-commit smoke
+   budgets for); matrix campaigns add the in-order core, making every
+   kernel × config pair prove that both timing backends reproduce the
+   reference results. *)
+let default_machines = [ ("grid", Edge_sim.Machine.default) ]
+
+let matrix_machines =
+  [
+    ("grid", Edge_sim.Machine.default);
+    ("inorder", Edge_sim.Machine.inorder_edge);
+  ]
+
 let agree (a : outcome) (b : outcome) =
   a.fault = b.fault
   && (a.fault
@@ -151,8 +167,9 @@ let describe_disagreement ~name ~executor (r : outcome) (reference : outcome) =
 (* Check a single compiled artifact + behaviour under one configuration
    against the reference outcome.  [Ok n]: clean; [n] blocks were too
    wide for the enumerator and got only structural+lattice checks. *)
-let check_config ?(cycle = true) ?(validate = true) ?(check = true) ?max_vars
-    ~reference ast (name, config) : (int, fail) result =
+let check_config ?(cycle = true) ?(machines = default_machines)
+    ?(validate = true) ?(check = true) ?max_vars ~reference ast (name, config)
+    : (int, fail) result =
   match compile ~check ast config with
   | Error e when Edge_check.Diag.parse_key e <> None ->
       (* the per-pass checker rejected the compile; record what the
@@ -216,26 +233,40 @@ let check_config ?(cycle = true) ?(validate = true) ?(check = true) ?max_vars
                 }
           | Ok _ ->
               if not cycle then Ok skipped
-              else (
-                match run_cycle compiled with
-                | Error e ->
-                    Error { config = name; kind = Exec_error; message = e }
-                | Ok r when not (agree reference r) ->
-                    Error
-                      {
-                        config = name;
-                        kind = Mismatch;
-                        message =
-                          describe_disagreement ~name ~executor:"cycle" r
-                            reference;
-                      }
-                | Ok _ -> Ok skipped)))
+              else
+                (* every machine on the axis must reproduce the
+                   reference results — this is the backend-differential
+                   gate for the in-order core *)
+                let rec machine_loop = function
+                  | [] -> Ok skipped
+                  | (mname, machine) :: rest -> (
+                      match run_cycle ~machine compiled with
+                      | Error e ->
+                          Error
+                            {
+                              config = name;
+                              kind = Exec_error;
+                              message = Printf.sprintf "[%s] %s" mname e;
+                            }
+                      | Ok r when not (agree reference r) ->
+                          Error
+                            {
+                              config = name;
+                              kind = Mismatch;
+                              message =
+                                describe_disagreement ~name
+                                  ~executor:("cycle[" ^ mname ^ "]")
+                                  r reference;
+                            }
+                      | Ok _ -> machine_loop rest)
+                in
+                machine_loop machines))
 
 (* [Ok n]: all configs clean; [n] sums the enumerator-skipped block
    counts across configurations, so the fuzz report can say how much of
    the corpus actually got the exponential treatment. *)
-let check_uncached ?cycle ?validate ?check ?max_vars (ast : A.kernel) :
-    (int, fail) result =
+let check_uncached ?cycle ?machines ?validate ?check ?max_vars
+    (ast : A.kernel) : (int, fail) result =
   match run_reference ast with
   | Error _ as e -> e
   | Ok reference ->
@@ -243,7 +274,8 @@ let check_uncached ?cycle ?validate ?check ?max_vars (ast : A.kernel) :
         | [] -> Ok acc
         | c :: rest -> (
             match
-              check_config ?cycle ?validate ?check ?max_vars ~reference ast c
+              check_config ?cycle ?machines ?validate ?check ?max_vars
+                ~reference ast c
             with
             | Error _ as e -> e
             | Ok skipped -> go (acc + skipped) rest)
@@ -253,12 +285,21 @@ let check_uncached ?cycle ?validate ?check ?max_vars (ast : A.kernel) :
 (* persistent-cache key: the kernel's content plus everything that can
    change a verdict — oracle switches, the config list, and the
    simulator revision *)
-let check_cache_key ?cycle ?validate ?check ?max_vars ast =
+let check_cache_key ?cycle ?(machines = default_machines) ?validate ?check
+    ?max_vars ast =
   String.concat "|"
     [
-      "fuzz-oracle-v2";
-      Edge_sim.Cycle_sim.revision;
+      "fuzz-oracle-v3";
       Edge_sim.Block_jit.revision;
+      (* one entry per machine on the axis: its backend's revision plus
+         the full description, so axis changes re-verify *)
+      String.concat ","
+        (List.map
+           (fun (mn, m) ->
+             Printf.sprintf "%s=%s:%s" mn
+               (Edge_sim.Backend.revision m)
+               (Digest.to_hex (Digest.string (Marshal.to_string m []))))
+           machines);
       Digest.to_hex (Digest.string (Marshal.to_string (ast : A.kernel) []));
       string_of_bool (Option.value cycle ~default:true);
       string_of_bool (Option.value validate ~default:true);
@@ -267,16 +308,20 @@ let check_cache_key ?cycle ?validate ?check ?max_vars ast =
       String.concat "," config_names;
     ]
 
-let check ?cycle ?validate ?check ?max_vars ?cache (ast : A.kernel) :
-    (int, fail) result =
+let check ?cycle ?machines ?validate ?check ?max_vars ?cache (ast : A.kernel)
+    : (int, fail) result =
   match cache with
-  | None -> check_uncached ?cycle ?validate ?check ?max_vars ast
+  | None -> check_uncached ?cycle ?machines ?validate ?check ?max_vars ast
   | Some c -> (
-      let key = check_cache_key ?cycle ?validate ?check ?max_vars ast in
+      let key =
+        check_cache_key ?cycle ?machines ?validate ?check ?max_vars ast
+      in
       match Edge_parallel.Disk_cache.find c ~key with
       | Some skipped -> Ok skipped
       | None -> (
-          match check_uncached ?cycle ?validate ?check ?max_vars ast with
+          match
+            check_uncached ?cycle ?machines ?validate ?check ?max_vars ast
+          with
           | Ok skipped ->
               (* only clean verdicts are cached: a failure must re-run
                  so diagnosis always sees a fresh, complete reproduction *)
@@ -337,19 +382,20 @@ let trace_kernel ?(config = "Both") (ast : A.kernel) : (string, string) result
    [check_key] additionally pins the diagnostic's (pass, invariant)
    pair, so shrinking cannot wander from e.g. an opt_merge pred-or
    violation to an unrelated codegen structure error. *)
-let still_fails ?cycle ?validate ?check ?check_key ?max_vars ~config ~kind
-    (ast : A.kernel) : bool =
+let still_fails ?cycle ?machines ?validate ?check ?check_key ?max_vars ~config
+    ~kind (ast : A.kernel) : bool =
   match
     (try
        `R
          (match List.find_opt (fun (n, _) -> String.equal n config) configs with
-         | None -> check_uncached ?cycle ?validate ?check ?max_vars ast
+         | None ->
+             check_uncached ?cycle ?machines ?validate ?check ?max_vars ast
          | Some c -> (
              match run_reference ast with
              | Error _ as e -> e
              | Ok reference ->
-                 check_config ?cycle ?validate ?check ?max_vars ~reference ast
-                   c))
+                 check_config ?cycle ?machines ?validate ?check ?max_vars
+                   ~reference ast c))
      with Skip -> `Skip)
   with
   | `Skip -> false

@@ -86,7 +86,7 @@ let cache_key (w : Workload.t) config_name config machine =
   String.concat "|"
     [
       "run-v2";
-      Edge_sim.Cycle_sim.revision;
+      Edge_sim.Backend.revision machine;
       Edge_sim.Block_jit.revision;
       w.Workload.name;
       Digest.to_hex (Digest.string w.Workload.source);
@@ -124,14 +124,35 @@ let run_one_uncached ?(machine = Edge_sim.Machine.default) ?obs
   in
   (* timed run *)
   let regs, mem = setup_run w in
-  let placement n =
-    match List.assoc_opt n compiled.Dfp.Driver.placements with
-    | Some p -> p
-    | None -> [||]
+  (* the compiler schedules for the default grid; a machine with another
+     geometry gets its blocks re-placed here (memory is cheap: one array
+     per block per run, and the binfo layer caches the hop tables) *)
+  let placement =
+    if Edge_sim.Machine.same_geometry machine Edge_sim.Machine.default then
+      fun n ->
+        (match List.assoc_opt n compiled.Dfp.Driver.placements with
+        | Some p -> p
+        | None -> [||])
+    else
+      let memo = Hashtbl.create 16 in
+      fun n ->
+        match Hashtbl.find_opt memo n with
+        | Some p -> p
+        | None ->
+            let p =
+              match
+                List.assoc_opt n
+                  compiled.Dfp.Driver.program.Edge_isa.Program.blocks
+              with
+              | Some b -> Dfp.Schedule.place ~machine b
+              | None -> [||]
+            in
+            Hashtbl.add memo n p;
+            p
   in
   let* stats =
     match
-      Edge_sim.Cycle_sim.run ~machine ~placement ?obs ~arena
+      Edge_sim.Backend.run ~machine ~placement ?obs ~arena
         compiled.Dfp.Driver.program ~regs ~mem
     with
     | Ok s -> Ok s

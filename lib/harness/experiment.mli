@@ -69,6 +69,17 @@ val run_one :
     (the caller wants a real, verified run); errors are never
     cached. *)
 
+val cache_key :
+  Edge_workloads.Workload.t ->
+  string ->
+  Dfp.Config.t ->
+  Edge_sim.Machine.t ->
+  string
+(** The persistent-cache key of one run: workload source digest, config
+    (name + fingerprint), machine description and backend/JIT
+    revisions. Exposed so the machine tests can assert that two
+    distinct machines never share a cache entry. *)
+
 val compile :
   ?check:bool ->
   Edge_workloads.Workload.t ->

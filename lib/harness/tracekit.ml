@@ -56,7 +56,7 @@ let run_traced ?(machine = Edge_sim.Machine.default) ?(arena = true)
     | None -> [||]
   in
   match
-    Edge_sim.Cycle_sim.run ~machine ~placement ~obs ~arena
+    Edge_sim.Backend.run ~machine ~placement ~obs ~arena
       c.Dfp.Driver.program ~regs ~mem
   with
   | Ok stats -> Ok { events = events (); metrics; stats }
@@ -67,12 +67,15 @@ let trace_source ?machine ?level ~source ~config () =
   | Error e -> Error e
   | Ok c -> run_traced ?machine ?level c
 
-let render ~kernel ~config t =
+let render ?machine ~kernel ~config t =
+  (* the default machine stays implicit so the pre-existing grid goldens
+     keep their exact bytes; any other machine names itself *)
+  let machine_header =
+    match machine with None -> [] | Some m -> [ ("machine", m) ]
+  in
   Edge_obs.Trace.render_text
     ~header:
-      [
-        ("kernel", kernel);
-        ("config", config);
-        ("cycles", string_of_int t.stats.Edge_sim.Stats.cycles);
-      ]
+      ([ ("kernel", kernel); ("config", config) ]
+      @ machine_header
+      @ [ ("cycles", string_of_int t.stats.Edge_sim.Stats.cycles) ])
     t.events

@@ -41,7 +41,10 @@ val trace_source :
   (traced, string) result
 (** [compile_source] followed by [run_traced]. *)
 
-val render : kernel:string -> config:string -> traced -> string
+val render :
+  ?machine:string -> kernel:string -> config:string -> traced -> string
 (** The golden text format: a [# kernel/config/cycles] header followed
     by one event per line. Integers only — byte-identical across runs,
-    platforms and [-j] values. *)
+    platforms and [-j] values. [machine] adds a [# machine:] header
+    line; the default machine is left implicit so pre-existing grid
+    goldens keep their exact bytes. *)

@@ -1,0 +1,322 @@
+type backend = Trips_grid | Inorder_edge
+
+type hop_model = Manhattan of int | Uniform of int
+
+type t = {
+  backend : backend;
+  rows : int;
+  cols : int;
+  slots_per_tile : int;
+  hop_model : hop_model;
+  issue_per_tile : int;
+  window_size : int;
+  predictor_history_bits : int;
+  predictor_table_bits : int;
+  fetch_cycles : int;
+  predict_cycles : int;
+  max_inflight : int;
+  l1d_size : int;
+  l1d_ways : int;
+  l1d_latency : int;
+  l1i_size : int;
+  l1i_ways : int;
+  l1i_latency : int;
+  l2_size : int;
+  l2_ways : int;
+  l2_latency : int;
+  mem_latency : int;
+  line_bytes : int;
+  early_termination : bool;
+  aggressive_loads : bool;
+  commit_stores_per_cycle : int;
+  max_cycles : int;
+}
+
+let trips_grid =
+  {
+    backend = Trips_grid;
+    rows = 4;
+    cols = 4;
+    slots_per_tile = 8;
+    hop_model = Manhattan 1;
+    issue_per_tile = 1;
+    window_size = 16;
+    predictor_history_bits = 4;
+    predictor_table_bits = 12;
+    fetch_cycles = 8;
+    predict_cycles = 3;
+    max_inflight = 8;
+    l1d_size = 32 * 1024;
+    l1d_ways = 2;
+    l1d_latency = 2;
+    l1i_size = 64 * 1024;
+    l1i_ways = 2;
+    l1i_latency = 1;
+    l2_size = 1024 * 1024;
+    l2_ways = 4;
+    l2_latency = 20;
+    mem_latency = 80;
+    line_bytes = 64;
+    early_termination = true;
+    aggressive_loads = true;
+    commit_stores_per_cycle = 2;
+    max_cycles = 200_000_000;
+  }
+
+(* the area-efficient soft core: one centralized tile wide enough for a
+   whole block, no operand network, one block in flight, a 16-entry
+   in-order window *)
+let inorder_edge =
+  {
+    trips_grid with
+    backend = Inorder_edge;
+    rows = 1;
+    cols = 1;
+    slots_per_tile = 128;
+    hop_model = Uniform 0;
+    max_inflight = 1;
+  }
+
+let default = trips_grid
+
+let presets = [ ("trips_grid", trips_grid); ("inorder_edge", inorder_edge) ]
+
+let name m =
+  match List.find_opt (fun (_, p) -> p = m) presets with
+  | Some (n, _) -> n
+  | None -> "custom"
+
+let backend_name = function
+  | Trips_grid -> "trips_grid"
+  | Inorder_edge -> "inorder_edge"
+
+(* -- geometry ------------------------------------------------------ *)
+
+let num_tiles m = m.rows * m.cols
+let tile_row m t = t / m.cols
+let tile_col m t = t mod m.cols
+
+let hops m a b =
+  match m.hop_model with
+  | Manhattan per ->
+      per
+      * (abs (tile_row m a - tile_row m b) + abs (tile_col m a - tile_col m b))
+  | Uniform c -> if a = b then 0 else c
+
+let reg_access_hops m t =
+  match m.hop_model with
+  | Manhattan per -> per * (tile_row m t + 1)
+  | Uniform c -> c
+
+let mem_access_hops m t =
+  match m.hop_model with
+  | Manhattan per -> per * (tile_col m t + 1)
+  | Uniform c -> c
+
+let same_geometry a b =
+  a.rows = b.rows && a.cols = b.cols && a.slots_per_tile = b.slots_per_tile
+  && a.hop_model = b.hop_model
+
+let validate m =
+  let err fmt = Printf.ksprintf Result.error fmt in
+  if m.rows < 1 || m.cols < 1 then err "grid %dx%d is empty" m.rows m.cols
+  else if m.rows * m.cols > 1 lsl 10 then
+    err "grid %dx%d has more than 1024 tiles" m.rows m.cols
+  else if m.slots_per_tile < 1 then
+    err "slots_per_tile %d < 1" m.slots_per_tile
+  else if m.rows * m.cols * m.slots_per_tile < Block.max_instrs then
+    err "%d RS slots cannot hold a maximal %d-instruction block"
+      (m.rows * m.cols * m.slots_per_tile)
+      Block.max_instrs
+  else if (match m.hop_model with Manhattan k | Uniform k -> k < 0) then
+    err "negative hop cost"
+  else if m.issue_per_tile < 1 then err "issue_per_tile %d < 1" m.issue_per_tile
+  else if m.window_size < 1 then err "window_size %d < 1" m.window_size
+  else if m.predictor_history_bits < 0 || m.predictor_history_bits > 16 then
+    err "predictor_history_bits %d outside 0..16" m.predictor_history_bits
+  else if m.predictor_table_bits < 1 || m.predictor_table_bits > 24 then
+    err "predictor_table_bits %d outside 1..24" m.predictor_table_bits
+  else if m.fetch_cycles < 0 || m.predict_cycles < 0 then
+    err "negative fetch/predict latency"
+  else if m.max_inflight < 1 || m.max_inflight > 1 lsl 20 then
+    err "max_inflight %d outside 1..2^20" m.max_inflight
+  else if
+    List.exists
+      (fun v -> v < 1)
+      [ m.l1d_size; m.l1d_ways; m.l1i_size; m.l1i_ways; m.l2_size; m.l2_ways ]
+  then err "cache sizes and associativities must be positive"
+  else if m.l1d_latency < 0 || m.l1i_latency < 0 || m.l2_latency < 0
+          || m.mem_latency < 0
+  then err "negative cache/memory latency"
+  else if m.line_bytes < 4 || m.line_bytes land (m.line_bytes - 1) <> 0 then
+    err "line_bytes %d is not a power of two >= 4" m.line_bytes
+  else if m.commit_stores_per_cycle < 1 then
+    err "commit_stores_per_cycle %d < 1" m.commit_stores_per_cycle
+  else if m.max_cycles < 1 then err "max_cycles %d < 1" m.max_cycles
+  else Ok ()
+
+(* -- serialization -------------------------------------------------
+
+   A fixed-order key=value line. [of_compact] also accepts preset names
+   — bare ("inorder_edge") or with overrides folded on top
+   ("inorder_edge;window=8"); a line starting with an override applies
+   to [default] — so the wire protocol can name a machine without
+   spelling out thirty fields. *)
+
+let hop_to_string = function
+  | Manhattan k -> Printf.sprintf "manhattan:%d" k
+  | Uniform k -> Printf.sprintf "uniform:%d" k
+
+let hop_of_string s =
+  match String.split_on_char ':' s with
+  | [ "manhattan"; k ] -> (
+      match int_of_string_opt k with
+      | Some k -> Ok (Manhattan k)
+      | None -> Error ("bad hop cost " ^ s))
+  | [ "uniform"; k ] -> (
+      match int_of_string_opt k with
+      | Some k -> Ok (Uniform k)
+      | None -> Error ("bad hop cost " ^ s))
+  | _ -> Error ("bad hop model " ^ s)
+
+let to_compact m =
+  String.concat ";"
+    [
+      "backend=" ^ backend_name m.backend;
+      Printf.sprintf "rows=%d" m.rows;
+      Printf.sprintf "cols=%d" m.cols;
+      Printf.sprintf "slots=%d" m.slots_per_tile;
+      "hop=" ^ hop_to_string m.hop_model;
+      Printf.sprintf "issue=%d" m.issue_per_tile;
+      Printf.sprintf "window=%d" m.window_size;
+      Printf.sprintf "phist=%d" m.predictor_history_bits;
+      Printf.sprintf "ptable=%d" m.predictor_table_bits;
+      Printf.sprintf "fetch=%d" m.fetch_cycles;
+      Printf.sprintf "predict=%d" m.predict_cycles;
+      Printf.sprintf "inflight=%d" m.max_inflight;
+      Printf.sprintf "l1d=%d:%d:%d" m.l1d_size m.l1d_ways m.l1d_latency;
+      Printf.sprintf "l1i=%d:%d:%d" m.l1i_size m.l1i_ways m.l1i_latency;
+      Printf.sprintf "l2=%d:%d:%d" m.l2_size m.l2_ways m.l2_latency;
+      Printf.sprintf "memlat=%d" m.mem_latency;
+      Printf.sprintf "line=%d" m.line_bytes;
+      Printf.sprintf "early=%b" m.early_termination;
+      Printf.sprintf "aggr=%b" m.aggressive_loads;
+      Printf.sprintf "stcommit=%d" m.commit_stores_per_cycle;
+      Printf.sprintf "maxcyc=%d" m.max_cycles;
+    ]
+
+let of_compact s =
+  let ( let* ) = Result.bind in
+  let named = ("default", default) :: presets in
+  match List.assoc_opt s named with
+  | Some m -> Ok m
+  | None ->
+      (* a leading bare preset name seeds the base the overrides fold
+         over, so "inorder_edge;window=8" means that preset, adjusted *)
+      let base, fields =
+        match String.split_on_char ';' s with
+        | first :: rest when List.mem_assoc first named ->
+            (List.assoc first named, rest)
+        | fields -> (default, fields)
+      in
+      let int_of k v =
+        match int_of_string_opt v with
+        | Some i -> Ok i
+        | None -> Error (Printf.sprintf "bad integer %s for %s" v k)
+      in
+      let bool_of k v =
+        match bool_of_string_opt v with
+        | Some b -> Ok b
+        | None -> Error (Printf.sprintf "bad boolean %s for %s" v k)
+      in
+      let cache_of k v =
+        match String.split_on_char ':' v with
+        | [ size; ways; lat ] ->
+            let* size = int_of k size in
+            let* ways = int_of k ways in
+            let* lat = int_of k lat in
+            Ok (size, ways, lat)
+        | _ -> Error (Printf.sprintf "bad cache shape %s for %s" v k)
+      in
+      let* m =
+        List.fold_left
+          (fun acc field ->
+            let* m = acc in
+            match String.index_opt field '=' with
+            | None -> Error (Printf.sprintf "bad field %S" field)
+            | Some i -> (
+                let k = String.sub field 0 i in
+                let v =
+                  String.sub field (i + 1) (String.length field - i - 1)
+                in
+                match k with
+                | "backend" -> (
+                    match v with
+                    | "trips_grid" -> Ok { m with backend = Trips_grid }
+                    | "inorder_edge" -> Ok { m with backend = Inorder_edge }
+                    | _ -> Error ("unknown backend " ^ v))
+                | "rows" ->
+                    let* v = int_of k v in
+                    Ok { m with rows = v }
+                | "cols" ->
+                    let* v = int_of k v in
+                    Ok { m with cols = v }
+                | "slots" ->
+                    let* v = int_of k v in
+                    Ok { m with slots_per_tile = v }
+                | "hop" ->
+                    let* h = hop_of_string v in
+                    Ok { m with hop_model = h }
+                | "issue" ->
+                    let* v = int_of k v in
+                    Ok { m with issue_per_tile = v }
+                | "window" ->
+                    let* v = int_of k v in
+                    Ok { m with window_size = v }
+                | "phist" ->
+                    let* v = int_of k v in
+                    Ok { m with predictor_history_bits = v }
+                | "ptable" ->
+                    let* v = int_of k v in
+                    Ok { m with predictor_table_bits = v }
+                | "fetch" ->
+                    let* v = int_of k v in
+                    Ok { m with fetch_cycles = v }
+                | "predict" ->
+                    let* v = int_of k v in
+                    Ok { m with predict_cycles = v }
+                | "inflight" ->
+                    let* v = int_of k v in
+                    Ok { m with max_inflight = v }
+                | "l1d" ->
+                    let* size, ways, lat = cache_of k v in
+                    Ok { m with l1d_size = size; l1d_ways = ways; l1d_latency = lat }
+                | "l1i" ->
+                    let* size, ways, lat = cache_of k v in
+                    Ok { m with l1i_size = size; l1i_ways = ways; l1i_latency = lat }
+                | "l2" ->
+                    let* size, ways, lat = cache_of k v in
+                    Ok { m with l2_size = size; l2_ways = ways; l2_latency = lat }
+                | "memlat" ->
+                    let* v = int_of k v in
+                    Ok { m with mem_latency = v }
+                | "line" ->
+                    let* v = int_of k v in
+                    Ok { m with line_bytes = v }
+                | "early" ->
+                    let* v = bool_of k v in
+                    Ok { m with early_termination = v }
+                | "aggr" ->
+                    let* v = bool_of k v in
+                    Ok { m with aggressive_loads = v }
+                | "stcommit" ->
+                    let* v = int_of k v in
+                    Ok { m with commit_stores_per_cycle = v }
+                | "maxcyc" ->
+                    let* v = int_of k v in
+                    Ok { m with max_cycles = v }
+                | _ -> Error ("unknown machine field " ^ k)))
+          (Ok base) fields
+      in
+      let* () = validate m in
+      Ok m

@@ -99,19 +99,25 @@ let run_job ?(on_stream = fun _ -> ()) ?(on_other = fun _ -> ()) t
   in
   await ()
 
-(* convenience builders for the two job kinds *)
-let workload_job ?(trace = false) ~workload ~config () =
+(* convenience builders for the two job kinds; [machine] is a preset
+   name or a Machine.to_compact line *)
+let machine_field machine =
+  Option.to_list (Option.map (fun m -> ("machine", Json.Str m)) machine)
+
+let workload_job ?(trace = false) ?machine ~workload ~config () =
   [
     ("workload", Json.Str workload);
     ("config", Json.Str config);
     ("trace", Json.Bool trace);
   ]
+  @ machine_field machine
 
-let source_job ?(trace = false) ?timeout_ms ?max_cycles ?fuel ~source
-    ~config () =
+let source_job ?(trace = false) ?machine ?timeout_ms ?max_cycles ?fuel
+    ~source ~config () =
   let opt k v = Option.to_list (Option.map (fun n -> (k, Json.Num (float_of_int n))) v) in
   [ ("source", Json.Str source); ("config", Json.Str config);
     ("trace", Json.Bool trace) ]
+  @ machine_field machine
   @ opt "timeout_ms" timeout_ms
   @ opt "max_cycles" max_cycles
   @ opt "fuel" fuel

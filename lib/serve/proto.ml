@@ -13,6 +13,10 @@
 type job_spec = {
   kind : [ `Workload of string | `Source of string ];
   config : string;
+  machine : string option;
+      (** machine description: a preset name ("trips_grid",
+          "inorder_edge") or a [Machine.to_compact] key=value line;
+          absent = the server's default machine *)
   trace : bool;
   timeout_ms : int option;  (** queue-wait deadline, not execution time *)
   max_cycles : int option;  (** cycle-simulator watchdog (source jobs) *)
@@ -35,7 +39,8 @@ let job_digest (s : job_spec) =
   in
   Digest.to_hex
     (Digest.string
-       (Printf.sprintf "%s\x00%s\x00%d\x00%d" kind s.config
+       (Printf.sprintf "%s\x00%s\x00%s\x00%d\x00%d" kind s.config
+          (Option.value s.machine ~default:"")
           (Option.value s.max_cycles ~default:(-1))
           (Option.value s.fuel ~default:(-1))))
 
@@ -89,6 +94,12 @@ let parse_request (line : string) : parsed =
                     | Some _ -> Error "\"config\" must be a string"
                     | None -> Error "job is missing its \"config\" field"
                   in
+                  let machine =
+                    match Json.member "machine" v with
+                    | None -> Ok None
+                    | Some (Json.Str m) -> Ok (Some m)
+                    | Some _ -> Error "\"machine\" must be a string"
+                  in
                   let trace =
                     match Json.member "trace" v with
                     | None -> Ok false
@@ -96,17 +107,18 @@ let parse_request (line : string) : parsed =
                     | Some _ -> Error "\"trace\" must be a boolean"
                   in
                   match
-                    (config, trace, pos_int "timeout_ms",
+                    (config, machine, trace, pos_int "timeout_ms",
                      pos_int "max_cycles", pos_int "fuel")
                   with
-                  | Error m, _, _, _, _
-                  | _, Error m, _, _, _
-                  | _, _, Error m, _, _
-                  | _, _, _, Error m, _
-                  | _, _, _, _, Error m ->
+                  | Error m, _, _, _, _, _
+                  | _, Error m, _, _, _, _
+                  | _, _, Error m, _, _, _
+                  | _, _, _, Error m, _, _
+                  | _, _, _, _, Error m, _
+                  | _, _, _, _, _, Error m ->
                       err m
-                  | Ok config, Ok trace, Ok timeout_ms, Ok max_cycles,
-                    Ok fuel ->
+                  | Ok config, Ok machine, Ok trace, Ok timeout_ms,
+                    Ok max_cycles, Ok fuel ->
                       {
                         id;
                         req =
@@ -115,6 +127,7 @@ let parse_request (line : string) : parsed =
                                {
                                  kind;
                                  config;
+                                 machine;
                                  trace;
                                  timeout_ms;
                                  max_cycles;

@@ -169,23 +169,37 @@ let execute t (e : entry) ~(emit : Json.t -> unit) :
         | None -> Error (Proto.Bad_config, "unknown workload: " ^ name))
     | `Source src -> Ok (workload_of_source src)
   in
-  match (workload, find_config spec.config) with
-  | Error e, _ -> Error e
-  | Ok _, None -> Error (Proto.Bad_config, "unknown config: " ^ spec.config)
-  | Ok w, Some config -> (
-      (* registry workloads run under the stock machine and unbounded
-         fuel so their cache keys (and results) are byte-identical to a
-         direct Experiment.run_one; untrusted source jobs get bounded
-         fuel and a bounded watchdog *)
+  (* the machine field is a preset name or a Machine.to_compact line;
+     anything of_compact rejects is a config error, not a job failure *)
+  let req_machine =
+    match spec.machine with
+    | None -> Ok None
+    | Some s -> (
+        match Edge_sim.Machine.of_compact s with
+        | Ok m -> Ok (Some m)
+        | Error e -> Error (Proto.Bad_config, "bad machine: " ^ e))
+  in
+  match (workload, find_config spec.config, req_machine) with
+  | Error e, _, _ | _, _, Error e -> Error e
+  | Ok _, None, _ -> Error (Proto.Bad_config, "unknown config: " ^ spec.config)
+  | Ok w, Some config, Ok req_machine -> (
+      (* without a machine field, registry workloads run under the
+         stock machine and unbounded fuel so their cache keys (and
+         results) are byte-identical to a direct Experiment.run_one;
+         untrusted source jobs get bounded fuel and a bounded
+         watchdog on top of whatever machine was requested *)
       let machine, interp_fuel =
         match spec.kind with
-        | `Workload _ -> (None, None)
+        | `Workload _ -> (req_machine, None)
         | `Source _ ->
+            let base =
+              Option.value req_machine ~default:Edge_sim.Machine.default
+            in
             let mc =
               min t.cfg.max_cycles
                 (Option.value spec.max_cycles ~default:t.cfg.max_cycles)
             in
-            ( Some { Edge_sim.Machine.default with max_cycles = mc },
+            ( Some { base with Edge_sim.Machine.max_cycles = mc },
               Some (Option.value spec.fuel ~default:t.cfg.interp_fuel) )
       in
       let obs, finish_obs =

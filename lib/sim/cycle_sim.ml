@@ -4,7 +4,6 @@ module Opcode = Edge_isa.Opcode
 module Target = Edge_isa.Target
 module Token = Edge_isa.Token
 module Mem = Edge_isa.Mem
-module Grid = Edge_isa.Grid
 module Program = Edge_isa.Program
 module Bi = Block_image
 module Obs = Edge_obs.Obs
@@ -286,22 +285,29 @@ let oldest_frame sim =
 
 (* ---------- per-block run tables ---------- *)
 
-let default_placement_n n = Array.init n (fun i -> i mod Grid.num_tiles)
+let default_placement_n ~num_tiles n = Array.init n (fun i -> i mod num_tiles)
 
 let make_binfo sim idx =
+  let machine = sim.machine in
+  let num_tiles = Machine.num_tiles machine in
   let img = sim.img.Bi.blocks.(idx) in
   let n = img.Bi.n in
   let placement =
     let p = sim.placement img.Bi.name in
-    if Array.length p = n then p else default_placement_n n
+    (* a placement for another geometry (wrong length or out-of-range
+       tile) falls back to round-robin over this machine's tiles *)
+    if Array.length p = n && Array.for_all (fun t -> t >= 0 && t < num_tiles) p
+    then p
+    else default_placement_n ~num_tiles n
   in
   let res_hops =
     Array.mapi
       (fun id (i : Bi.inst) ->
         Array.map
           (function
-            | Target.To_instr { id = d; _ } -> Grid.hops placement.(id) placement.(d)
-            | Target.To_write _ -> Grid.reg_access_hops placement.(id))
+            | Target.To_instr { id = d; _ } ->
+                Machine.hops machine placement.(id) placement.(d)
+            | Target.To_write _ -> Machine.reg_access_hops machine placement.(id))
           i.Bi.targets)
       img.Bi.instrs
   in
@@ -310,12 +316,15 @@ let make_binfo sim idx =
       (fun tgts ->
         Array.map
           (function
-            | Target.To_instr { id; _ } -> Grid.reg_access_hops placement.(id)
+            | Target.To_instr { id; _ } ->
+                Machine.reg_access_hops machine placement.(id)
             | Target.To_write _ -> 1)
           tgts)
       img.Bi.rtargets
   in
-  let mem_hops = Array.init n (fun id -> Grid.mem_access_hops placement.(id)) in
+  let mem_hops =
+    Array.init n (fun id -> Machine.mem_access_hops machine placement.(id))
+  in
   let lb = sim.machine.Machine.line_bytes in
   {
     img;
@@ -1478,9 +1487,10 @@ let run ?(machine = Machine.default) ?placement ?(obs = Obs.null)
     match placement with
     | Some p -> p
     | None ->
+        let num_tiles = Machine.num_tiles machine in
         fun name ->
           (match Bi.find_index img name with
-          | Some i -> default_placement_n img.Bi.blocks.(i).Bi.n
+          | Some i -> default_placement_n ~num_tiles img.Bi.blocks.(i).Bi.n
           | None -> [||])
   in
   let n_blocks = Array.length img.Bi.blocks in
@@ -1512,7 +1522,9 @@ let run ?(machine = Machine.default) ?placement ?(obs = Obs.null)
         Cache.create ~size_bytes:machine.Machine.l2_size
           ~ways:machine.Machine.l2_ways ~line_bytes:machine.Machine.line_bytes
           ~hit_latency:machine.Machine.l2_latency;
-      predictor = Predictor.create ();
+      predictor =
+        Predictor.create ~history_bits:machine.Machine.predictor_history_bits
+          ~table_bits:machine.Machine.predictor_table_bits ();
       binfos = Array.make (max 1 n_blocks) None;
       dep_stride;
       dep_same = Array.make (max 1 (n_blocks * dep_stride)) (-1);
@@ -1537,7 +1549,7 @@ let run ?(machine = Machine.default) ?placement ?(obs = Obs.null)
       stored_total = 0;
       deferred_total = 0;
       loads_total = 0;
-      ready = Array.init Grid.num_tiles (fun _ -> rq_create ());
+      ready = Array.init (Machine.num_tiles machine) (fun _ -> rq_create ());
       ready_count = 0;
       halted = false;
       fault = None;

@@ -440,25 +440,28 @@ let run_block block ~regs ~mem ~stats =
   prepare st img;
   exec_block st ~regs ~mem ~stats
 
+(* a capacity-sized state for the whole program; [prepare] repoints it
+   per block *)
+let state_for_program (imgp : Bi.program) =
+  make_state ~cap_n:imgp.Bi.max_n ~cap_w:imgp.Bi.max_writes
+    ~cap_s:imgp.Bi.max_stores
+    (* a placeholder image *)
+    (if Array.length imgp.Bi.blocks > 0 then imgp.Bi.blocks.(0)
+     else
+       Bi.of_block
+         {
+           Block.name = "@none";
+           instrs = [||];
+           reads = [||];
+           writes = [||];
+           store_lsids = [];
+           exits = [||];
+         })
+
 let run_interp ?(fuel_blocks = 10_000_000) program ~regs ~mem =
   let stats = Stats.create () in
   let imgp = Bi.of_program program in
-  let st =
-    make_state ~cap_n:imgp.Bi.max_n ~cap_w:imgp.Bi.max_writes
-      ~cap_s:imgp.Bi.max_stores
-      (* a placeholder image; [prepare] repoints it per block *)
-      (if Array.length imgp.Bi.blocks > 0 then imgp.Bi.blocks.(0)
-       else
-         Bi.of_block
-           {
-             Block.name = "@none";
-             instrs = [||];
-             reads = [||];
-             writes = [||];
-             store_lsids = [];
-             exits = [||];
-           })
-  in
+  let st = state_for_program imgp in
   let rec go name fuel =
     if fuel <= 0 then Error "malformed: fuel exhausted"
     else
@@ -494,3 +497,21 @@ let run ?fuel_blocks ?jit program ~regs ~mem =
   let use_jit = match jit with Some j -> j | None -> !jit_default in
   if use_jit then Block_jit.run ?fuel_blocks program ~regs ~mem
   else run_interp ?fuel_blocks program ~regs ~mem
+
+(* ---- the reusable per-block engine ----
+
+   [Inorder_sim] runs blocks through exactly this interpreter for
+   architectural state (so it can never diverge from the functional
+   simulator) and layers a timing model on top, reading back which
+   instructions fired and the operands its cost model needs. *)
+
+module Engine = struct
+  type nonrec state = state
+
+  let make = state_for_program
+  let prepare = prepare
+  let exec_block = exec_block
+  let fired st id = st.fired.(id)
+  let left_operand st id = st.left.(id)
+  let right_operand st id = st.right.(id)
+end

@@ -45,3 +45,37 @@ val set_jit : bool -> unit
     (initialized from [DFP_NO_JIT]). *)
 
 val jit_enabled : unit -> bool
+
+(** The per-block execution engine behind [run_block]/[run], exposed so
+    a timing backend can execute blocks with these exact architectural
+    semantics and read back what happened. [Inorder_sim] is the
+    consumer: it charges cycles for the firings this engine performs,
+    which makes result divergence from the functional simulator
+    impossible by construction. *)
+module Engine : sig
+  type state
+
+  val make : Block_image.program -> state
+  (** A capacity-sized state reusable across every block of the
+      program. *)
+
+  val prepare : state -> Block_image.t -> unit
+  (** Point the state at a block image and clear the live prefix. *)
+
+  val exec_block :
+    state ->
+    regs:int64 array ->
+    mem:Edge_isa.Mem.t ->
+    stats:Stats.t ->
+    (outcome, string) result
+  (** Execute the prepared block to completion and commit its outputs
+      (stores in LSID order, then register writes, then the branch). *)
+
+  val fired : state -> int -> bool
+  (** Did instruction [id] fire during the last [exec_block]? *)
+
+  val left_operand : state -> int -> Edge_isa.Token.t option
+  val right_operand : state -> int -> Edge_isa.Token.t option
+  (** The operands instruction [id] received (addresses for loads and
+      stores live in the left operand). *)
+end

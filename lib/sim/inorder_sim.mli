@@ -1,0 +1,35 @@
+(** The area-efficient in-order EDGE backend.
+
+    Models the scalar end of the EDGE design space (Gray & Smith's
+    soft-processor report): one centralized tile holds the whole block,
+    ready instructions issue [issue_per_tile] per cycle from a window
+    that admits only [window_size] in-flight firings, operands move
+    through centralized register/memory structures with no operand
+    network, and exactly one block is in flight (no speculation: a
+    correct exit prediction saves the [predict_cycles] redirect bubble
+    between blocks; a mispredict or a cold predictor pays it).
+
+    Architectural semantics are not modeled here at all: every block is
+    executed by {!Functional.Engine}, the functional simulator's own
+    per-block engine, and the timing layer charges cycles for the
+    firings that engine performed. Results therefore cannot diverge
+    from the functional simulator; only cycle counts are this module's
+    own. *)
+
+val revision : string
+(** Bumped whenever the timing model or [Stats] accounting changes; the
+    persistent result cache folds it into its keys. *)
+
+val run :
+  ?machine:Machine.t ->
+  ?obs:Edge_obs.Obs.t ->
+  Edge_isa.Program.t ->
+  regs:int64 array ->
+  mem:Edge_isa.Mem.t ->
+  (Stats.t, string) result
+(** Runs until halt; the same contract as {!Cycle_sim.run} ([fault:],
+    [malformed:], [watchdog:] errors; architectural state in
+    [regs]/[mem]; cycles in the stats). [machine] defaults to
+    {!Machine.inorder_edge}; only its timing fields and
+    [issue_per_tile]/[window_size] are read — the backend is
+    centralized regardless of the grid shape. *)

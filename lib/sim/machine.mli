@@ -1,36 +1,13 @@
-(** Machine configuration for the cycle simulator.
+(** Machine configuration for the simulators — a re-export of
+    {!Edge_isa.Machine_desc}, kept under its historical name so
+    simulator call sites read [Machine.default], [Machine.trips_grid],
+    etc.
 
-    Defaults model the delays Section 6 lists for tsim-proc / the TRIPS
-    prototype: one-cycle hops between adjacent tiles, a 32 KB 2-way
-    distributed L1 D-cache with 2-cycle latency, a 64 KB 2-way L1
-    I-cache with 1-cycle latency, 8-cycle block fetch, and 3-cycle
-    next-block prediction. The L2 and memory latencies are our own
-    (documented) choices; the ablation switches turn off individual
-    mechanisms of Section 4. *)
+    The description lives in [Edge_isa] because the compiler's spatial
+    scheduler ([Dfp.Schedule]) consumes the same geometry the simulators
+    charge for; see {!Edge_isa.Machine_desc} for field documentation and
+    the [trips_grid] / [inorder_edge] presets. *)
 
-type t = {
-  fetch_cycles : int;
-  predict_cycles : int;
-  max_inflight : int;  (** frames: 1 non-speculative + 7 speculative *)
-  l1d_size : int;
-  l1d_ways : int;
-  l1d_latency : int;
-  l1i_size : int;
-  l1i_ways : int;
-  l1i_latency : int;
-  l2_size : int;
-  l2_ways : int;
-  l2_latency : int;
-  mem_latency : int;
-  line_bytes : int;
-  early_termination : bool;  (** Section 4.3; off = drain before commit *)
-  aggressive_loads : bool;
-      (** loads may issue before older in-block stores resolve, with a
-          dependence predictor and violation flushes; off = loads always
-          wait (in-order memory) *)
-  issue_per_tile : int;
-  commit_stores_per_cycle : int;
-  max_cycles : int;  (** watchdog *)
-}
-
-val default : t
+include module type of struct
+  include Edge_isa.Machine_desc
+end

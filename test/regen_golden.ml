@@ -16,24 +16,31 @@ let () =
     end
     else failwith "run from the repo root"
   in
+  let write ?machine ?machine_tag (kernel, config_name, config) =
+    let source = Test_support.Goldens.kernel_source kernel in
+    match
+      Edge_harness.Tracekit.trace_source ?machine ~source ~config ()
+    with
+    | Error e -> failwith (Printf.sprintf "%s/%s: %s" kernel config_name e)
+    | Ok t ->
+        let mname = Option.map Edge_sim.Machine.name machine in
+        let text =
+          Edge_harness.Tracekit.render ?machine:mname ~kernel
+            ~config:config_name t
+        in
+        let path =
+          Filename.concat dir
+            (Test_support.Goldens.golden_name ?machine:machine_tag kernel
+               config_name)
+        in
+        let oc = open_out_bin path in
+        output_string oc text;
+        close_out oc;
+        Printf.printf "wrote %s (%d lines)\n" path
+          (List.length (String.split_on_char '\n' text))
+  in
+  List.iter write (Test_support.Goldens.all ());
   List.iter
-    (fun (kernel, config_name, config) ->
-      let source = Test_support.Goldens.kernel_source kernel in
-      match
-        Edge_harness.Tracekit.trace_source ~source ~config ()
-      with
-      | Error e -> failwith (Printf.sprintf "%s/%s: %s" kernel config_name e)
-      | Ok t ->
-          let text =
-            Edge_harness.Tracekit.render ~kernel ~config:config_name t
-          in
-          let path =
-            Filename.concat dir
-              (Test_support.Goldens.golden_name kernel config_name)
-          in
-          let oc = open_out_bin path in
-          output_string oc text;
-          close_out oc;
-          Printf.printf "wrote %s (%d lines)\n" path
-            (List.length (String.split_on_char '\n' text)))
-    (Test_support.Goldens.all ())
+    (write ~machine:Test_support.Goldens.inorder_machine
+       ~machine_tag:Test_support.Goldens.inorder_tag)
+    (Test_support.Goldens.inorder_all ())

@@ -33,10 +33,20 @@ let read_file path =
 let kernel_source name =
   read_file (Filename.concat (kernel_dir ()) (name ^ ".k"))
 
-let golden_name kernel config = kernel ^ "__" ^ config ^ ".trace"
+let golden_name ?machine kernel config =
+  match machine with
+  | None -> kernel ^ "__" ^ config ^ ".trace"
+  | Some m -> kernel ^ "__" ^ config ^ "__" ^ m ^ ".trace"
 
 (* every (kernel, config name, config) element of the locked set *)
 let all () =
   List.concat_map
     (fun k -> List.map (fun (cn, c) -> (k, cn, c)) configs)
     kernels
+
+(* the in-order backend's locked set: the same five kernels under the
+   full optimization pipeline on the scalar core, named
+   [<kernel>__<config>__inorder.trace] *)
+let inorder_tag = "inorder"
+let inorder_machine = Edge_sim.Machine.inorder_edge
+let inorder_all () = List.map (fun k -> (k, "Both", Dfp.Config.both)) kernels

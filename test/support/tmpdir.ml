@@ -1,0 +1,28 @@
+(* A process-private scratch root for tests that write directories
+   (disk caches, regenerated artifacts). `dune runtest` sandboxes each
+   test, but the suite is also run directly from the repo root (`dune
+   exec test/test_main.exe`), where a relative directory would litter
+   the tree — so every scratch path lives under one temp root that is
+   removed at exit. *)
+
+let rec rm_rf path =
+  match Unix.lstat path with
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+      Array.iter
+        (fun f -> rm_rf (Filename.concat path f))
+        (try Sys.readdir path with Sys_error _ -> [||]);
+      (try Unix.rmdir path with Unix.Unix_error _ -> ())
+  | _ -> ( try Sys.remove path with Sys_error _ -> ())
+  | exception Unix.Unix_error _ -> ()
+
+let root =
+  lazy
+    (let base = Filename.temp_file "dfp_test" "" in
+     Sys.remove base;
+     Unix.mkdir base 0o700;
+     at_exit (fun () -> rm_rf base);
+     base)
+
+(* a path under the scratch root; the directory itself is NOT created —
+   Disk_cache.create and friends make their own *)
+let path name = Filename.concat (Lazy.force root) name

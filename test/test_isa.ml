@@ -318,16 +318,23 @@ let asm_rejects () =
     ]
 
 let grid_properties () =
-  check "16 tiles" true (Edge_isa.Grid.num_tiles = 16);
-  check "128 slots" true
-    (Edge_isa.Grid.num_tiles * Edge_isa.Grid.slots_per_tile = 128);
-  check "hops symmetric" true (Edge_isa.Grid.hops 3 12 = Edge_isa.Grid.hops 12 3);
-  check "self distance" true (Edge_isa.Grid.hops 5 5 = 0);
-  check "corner distance" true (Edge_isa.Grid.hops 0 15 = 6);
-  check "reg edge at top" true
-    (Edge_isa.Grid.reg_access_hops 0 < Edge_isa.Grid.reg_access_hops 12);
+  let module Md = Edge_isa.Machine_desc in
+  let m = Md.default in
+  check "16 tiles" true (Md.num_tiles m = 16);
+  check "128 slots" true (Md.num_tiles m * m.Md.slots_per_tile = 128);
+  check "hops symmetric" true (Md.hops m 3 12 = Md.hops m 12 3);
+  check "self distance" true (Md.hops m 5 5 = 0);
+  check "corner distance" true (Md.hops m 0 15 = 6);
+  check "reg edge at top" true (Md.reg_access_hops m 0 < Md.reg_access_hops m 12);
   check "mem edge at left" true
-    (Edge_isa.Grid.mem_access_hops 0 < Edge_isa.Grid.mem_access_hops 3)
+    (Md.mem_access_hops m 0 < Md.mem_access_hops m 3);
+  (* the in-order preset is a single centralized tile *)
+  check "inorder is one tile" true (Md.num_tiles Md.inorder_edge = 1);
+  check "inorder holds a block" true
+    (Md.inorder_edge.Md.slots_per_tile >= Edge_isa.Block.max_instrs);
+  check "inorder has no network" true (Md.hops Md.inorder_edge 0 0 = 0);
+  check "presets validate" true
+    (List.for_all (fun (_, p) -> Md.validate p = Ok ()) Md.presets)
 
 
 (* random well-formed instructions round-trip the binary encoding *)

@@ -9,6 +9,7 @@ let () =
       ("lang", Test_lang.tests);
       ("compiler", Test_compiler.tests);
       ("sim", Test_sim.tests);
+      ("machine", Test_machine.tests);
       ("passes", Test_passes.tests);
       ("workloads", Test_workloads.tests);
       ("harness", Test_harness.tests);

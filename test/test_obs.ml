@@ -162,6 +162,118 @@ let invariant_case (kernel, config_name, config) =
         (kernel ^ "/" ^ config_name)
         (trace_kernel kernel config))
 
+(* ---------- in-order backend goldens and invariants ---------- *)
+
+let trace_kernel_inorder kernel config =
+  let source = G.kernel_source kernel in
+  match Tk.trace_source ~machine:G.inorder_machine ~source ~config () with
+  | Ok t -> t
+  | Error e -> Alcotest.failf "%s (inorder): %s" kernel e
+
+let inorder_golden_case (kernel, config_name, config) =
+  Alcotest.test_case
+    (Printf.sprintf "golden %s/%s inorder" kernel config_name)
+    `Quick
+    (fun () ->
+      let t = trace_kernel_inorder kernel config in
+      let text =
+        Tk.render
+          ~machine:(Edge_sim.Machine.name G.inorder_machine)
+          ~kernel ~config:config_name t
+      in
+      let path =
+        Filename.concat (G.golden_dir ())
+          (G.golden_name ~machine:G.inorder_tag kernel config_name)
+      in
+      if not (Sys.file_exists path) then
+        Alcotest.failf "%s missing; run `make regen-golden`" path;
+      let golden = G.read_file path in
+      match Edge_obs.Trace.first_divergence golden text with
+      | None -> ()
+      | Some (line, want, got) ->
+          Alcotest.failf
+            "trace diverges from %s at line %d\n  golden: %s\n  got:    %s\n\
+             (if the timing change is intentional, run `make regen-golden`)"
+            path line want got)
+
+(* the in-order core has no speculation, so its three views must agree
+   more tightly than the grid's: every dispatched block commits, nothing
+   is ever squashed, and every executed instruction commits *)
+let check_inorder_invariants name (t : Tk.traced) =
+  let m = t.Tk.metrics and stats = t.Tk.stats in
+  let ci what a b =
+    if a <> b then Alcotest.failf "%s: %s: %d <> %d" name what a b
+  in
+  ci "blocks committed" (Mx.counter m "sim.blocks_committed")
+    stats.Stats.blocks_committed;
+  ci "instrs committed" (Mx.counter m "sim.instrs_committed")
+    stats.Stats.instrs_committed;
+  ci "committed = executed (no speculation)" stats.Stats.instrs_committed
+    stats.Stats.instrs_executed;
+  ci "no squashed blocks" 0 stats.Stats.blocks_flushed;
+  ci "dispatched = committed" (Mx.counter m "sim.blocks_dispatched")
+    stats.Stats.blocks_committed;
+  ci "dcache accesses" (Mx.counter m "sim.dcache_accesses")
+    stats.Stats.dcache_accesses;
+  ci "dcache misses" (Mx.counter m "sim.dcache_misses")
+    stats.Stats.dcache_misses;
+  ci "icache accesses" (Mx.counter m "sim.icache_accesses")
+    stats.Stats.icache_accesses;
+  ci "icache misses" (Mx.counter m "sim.icache_misses")
+    stats.Stats.icache_misses;
+  ci "branch mispredicts" (Mx.counter m "sim.branch_mispredicts")
+    stats.Stats.branch_mispredicts;
+  ci "branch resolutions" (Mx.counter m "sim.branch_resolutions")
+    stats.Stats.branch_predictions;
+  ci "occupancy samples" (Mx.hist_total (Mx.histogram m "block.occupancy"))
+    stats.Stats.blocks_committed;
+  let count p = List.length (List.filter p t.Tk.events) in
+  ci "Dispatch events"
+    (count (function Ev.Dispatch _ -> true | _ -> false))
+    stats.Stats.blocks_committed;
+  ci "Commit events"
+    (count (function Ev.Commit _ -> true | _ -> false))
+    stats.Stats.blocks_committed;
+  ci "Squash events" (count (function Ev.Squash _ -> true | _ -> false)) 0;
+  (* every fired instruction issues exactly once; the only firings not
+     counted as executed are stores resolved by an incoming null token
+     (functional.ml counts those under nulls_executed) *)
+  let issues = count (function Ev.Issue _ -> true | _ -> false) in
+  if
+    issues < stats.Stats.instrs_executed
+    || issues > stats.Stats.instrs_executed + stats.Stats.nulls_executed
+  then
+    Alcotest.failf "%s: %d Issue events outside [%d, %d+%d]" name issues
+      stats.Stats.instrs_executed stats.Stats.instrs_executed
+      stats.Stats.nulls_executed;
+  let commit_instrs =
+    List.fold_left
+      (fun a e -> match e with Ev.Commit { instrs; _ } -> a + instrs | _ -> a)
+      0 t.Tk.events
+  in
+  ci "sum of per-block committed instrs" commit_instrs
+    stats.Stats.instrs_committed;
+  (* one block in flight: the event stream is nondecreasing in cycle
+     as emitted (the collector never reorders) *)
+  ignore
+    (List.fold_left
+       (fun prev e ->
+         let c = Ev.cycle e in
+         if c < prev then
+           Alcotest.failf "%s: event cycle %d after %d: %s" name c prev
+             (Ev.to_line e);
+         c)
+       0 t.Tk.events)
+
+let inorder_invariant_case (kernel, config_name, config) =
+  Alcotest.test_case
+    (Printf.sprintf "invariants %s/%s inorder" kernel config_name)
+    `Quick
+    (fun () ->
+      check_inorder_invariants
+        (kernel ^ "/" ^ config_name ^ "/inorder")
+        (trace_kernel_inorder kernel config))
+
 (* the fuzz corpus — minimized reproducers of past bugs — is exactly the
    code most likely to stress odd trace paths *)
 let compile_stage_error e =
@@ -317,6 +429,8 @@ let divergence_unit () =
 let tests =
   List.map golden_case (G.all ())
   @ List.map invariant_case (G.all ())
+  @ List.map inorder_golden_case (G.inorder_all ())
+  @ List.map inorder_invariant_case (G.inorder_all ())
   @ List.map corpus_invariant_case (Edge_fuzz.Corpus.load_dir "corpus")
   @ [
       Alcotest.test_case "pool determinism -j 1/2/4" `Quick pool_determinism;

@@ -174,10 +174,13 @@ let queue_matches_model () =
 
 (* -- persistent disk cache ---------------------------------------- *)
 
-(* dune tests run in a per-test sandbox, so a relative directory is
-   private to this run *)
+(* scratch directories live under Test_support.Tmpdir's process-temp
+   root (removed at exit), so running the suite from the repo root
+   leaves no dc_* litter behind *)
+let dc name = Test_support.Tmpdir.path name
+
 let cache_roundtrip () =
-  let c = Disk_cache.create ~dir:"dc_roundtrip" () in
+  let c = Disk_cache.create ~dir:(dc "dc_roundtrip") () in
   Alcotest.(check (option (list int))) "cold miss" None (Disk_cache.find c ~key:"a");
   Alcotest.(check int) "one miss" 1 (Disk_cache.misses c);
   Disk_cache.store c ~key:"a" [ 1; 2; 3 ];
@@ -191,7 +194,7 @@ let cache_roundtrip () =
   Alcotest.(check int) "two hits" 2 (Disk_cache.hits c);
   (* a second handle on the same dir sees the entries: persistence is
      the point *)
-  let c2 = Disk_cache.create ~dir:"dc_roundtrip" () in
+  let c2 = Disk_cache.create ~dir:(dc "dc_roundtrip") () in
   Alcotest.(check (option (list int)))
     "fresh handle hits" (Some [ 1; 2; 3 ])
     (Disk_cache.find c2 ~key:"a");
@@ -202,7 +205,7 @@ let cache_roundtrip () =
 (* any change to the key — a bumped simulator revision, a different
    config digest — is a different file: old entries simply never match *)
 let cache_key_invalidation () =
-  let c = Disk_cache.create ~dir:"dc_invalidate" () in
+  let c = Disk_cache.create ~dir:(dc "dc_invalidate") () in
   let key rev = String.concat "|" [ "run-v1"; rev; "tblook01"; "Both" ] in
   Disk_cache.store c ~key:(key "cycle-sim-4") 42;
   Alcotest.(check (option int))
@@ -237,7 +240,7 @@ let corrupt_all_entries cache =
     (Sys.readdir root)
 
 let cache_corruption () =
-  let c = Disk_cache.create ~dir:"dc_corrupt" () in
+  let c = Disk_cache.create ~dir:(dc "dc_corrupt") () in
   Disk_cache.store c ~key:"k" (Array.init 64 string_of_int);
   corrupt (Disk_cache.path_of_key c ~key:"k");
   Alcotest.(check (option (array string)))
@@ -272,7 +275,7 @@ let cache_experiment_roundtrip () =
     | None -> Alcotest.fail "tblook01 missing from registry"
   in
   let cfg = ("Both", Dfp.Config.both) in
-  let cache = Disk_cache.create ~dir:"dc_experiment" () in
+  let cache = Disk_cache.create ~dir:(dc "dc_experiment") () in
   let r1 =
     match Edge_harness.Experiment.run_one ~cache w cfg with
     | Ok r -> r
@@ -324,7 +327,7 @@ let same_shard_keys c n =
   go 0 [] 0
 
 let cache_sharded_layout () =
-  let c = Disk_cache.create ~dir:"dc_shape" () in
+  let c = Disk_cache.create ~dir:(dc "dc_shape") () in
   for i = 0 to 63 do
     Disk_cache.store c ~key:(string_of_int i) i
   done;
@@ -352,7 +355,7 @@ let cache_sharded_layout () =
    readable with its exact payload, and no read may ever decode
    garbage (atomic tmp+rename is the mechanism under test) *)
 let cache_concurrent_writers () =
-  let c = Disk_cache.create ~dir:"dc_race_write" () in
+  let c = Disk_cache.create ~dir:(dc "dc_race_write") () in
   let keys = same_shard_keys c 6 in
   let payload key = (key, String.length key, String.make 256 key.[0]) in
   let torn = Atomic.make 0 in
@@ -384,7 +387,7 @@ let cache_concurrent_writers () =
    value or a clean miss — never a decode error *)
 let cache_eviction_race () =
   let payload k = (k, String.make 2048 (Char.chr (97 + (k mod 26)))) in
-  let c = Disk_cache.create ~dir:"dc_evict_race" ~max_bytes:(32 * 1024) () in
+  let c = Disk_cache.create ~dir:(dc "dc_evict_race") ~max_bytes:(32 * 1024) () in
   let stop = Atomic.make false in
   let torn = Atomic.make 0 in
   let reader =
@@ -413,7 +416,7 @@ let cache_eviction_race () =
    within cap + the just-written entry (the documented invariant) *)
 let cache_size_cap_soak () =
   let cap = 16 * 1024 in
-  let c = Disk_cache.create ~dir:"dc_cap" ~max_bytes:cap () in
+  let c = Disk_cache.create ~dir:(dc "dc_cap") ~max_bytes:cap () in
   Alcotest.(check (option int)) "cap recorded" (Some cap) (Disk_cache.max_bytes c);
   let last = ref "" in
   for i = 0 to 199 do
@@ -434,7 +437,7 @@ let cache_size_cap_soak () =
 (* writers that die between write and rename leave *.tmp.* litter;
    opening a handle sweeps stale ones and spares live ones *)
 let cache_tmp_sweep () =
-  let dir = "dc_tmp" in
+  let dir = dc "dc_tmp" in
   let c = Disk_cache.create ~dir () in
   Disk_cache.store c ~key:"live" 41;
   let shard = Filename.dirname (Disk_cache.path_of_key c ~key:"live") in
@@ -457,7 +460,7 @@ let cache_tmp_sweep () =
     (Disk_cache.find c2 ~key:"live")
 
 let cache_publish_metrics () =
-  let c = Disk_cache.create ~dir:"dc_pub" () in
+  let c = Disk_cache.create ~dir:(dc "dc_pub") () in
   Alcotest.(check (option int)) "miss" None (Disk_cache.find c ~key:"absent");
   Disk_cache.store c ~key:"a" 1;
   Disk_cache.store c ~key:"b" 2;

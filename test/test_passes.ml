@@ -110,18 +110,19 @@ let schedule_props seed () =
       Alcotest.(check bool)
         "one slot per instruction" true
         (Array.length p1 = Array.length b.Edge_isa.Block.instrs);
-      let loads = Array.make Edge_isa.Grid.num_tiles 0 in
+      let md = Edge_isa.Machine_desc.default in
+      let num_tiles = Edge_isa.Machine_desc.num_tiles md in
+      let loads = Array.make num_tiles 0 in
       Array.iter
         (fun t ->
-          Alcotest.(check bool) "tile in range" true
-            (t >= 0 && t < Edge_isa.Grid.num_tiles);
+          Alcotest.(check bool) "tile in range" true (t >= 0 && t < num_tiles);
           loads.(t) <- loads.(t) + 1)
         p1;
       Array.iter
         (fun l ->
           Alcotest.(check bool)
             "slot capacity respected" true
-            (l <= Edge_isa.Grid.slots_per_tile))
+            (l <= md.Edge_isa.Machine_desc.slots_per_tile))
         loads)
     c.Dfp.Driver.program.Edge_isa.Program.blocks
 

@@ -71,6 +71,14 @@ let proto_parse () =
       Alcotest.(check bool) "trace on" true s.Proto.trace;
       Alcotest.(check (option int)) "fuel" (Some 5) s.Proto.fuel
   | _ -> Alcotest.fail "source job did not parse");
+  (match
+     Proto.parse_request
+       "{\"workload\":\"w\",\"config\":\"Both\",\"machine\":\"inorder_edge\"}"
+   with
+  | { Proto.req = Ok (Proto.Job s); _ } ->
+      Alcotest.(check (option string))
+        "machine" (Some "inorder_edge") s.Proto.machine
+  | _ -> Alcotest.fail "machine job did not parse");
   (match Proto.parse_request "{\"op\":\"ping\"}" with
   | { Proto.req = Ok Proto.Ping; _ } -> ()
   | _ -> Alcotest.fail "ping did not parse");
@@ -89,6 +97,7 @@ let proto_parse () =
       "{\"workload\":\"w\",\"source\":\"s\",\"config\":\"Both\"}";
       "{\"source\":\"s\",\"config\":\"Both\",\"fuel\":0}";
       "{\"source\":\"s\",\"config\":\"Both\",\"trace\":\"yes\"}";
+      "{\"workload\":\"w\",\"config\":\"Both\",\"machine\":7}";
     ];
   match Proto.parse_request "{\"id\":\"j7\",\"op\":\"nope\"}" with
   | { Proto.id = Some "j7"; req = Error _ } -> ()
@@ -100,6 +109,7 @@ let proto_digest () =
     {
       Proto.kind = `Source "kernel k";
       config = "Both";
+      machine = None;
       trace = false;
       timeout_ms = None;
       max_cycles = None;
@@ -114,6 +124,9 @@ let proto_digest () =
     (d { base with trace = true; timeout_ms = Some 5 });
   Alcotest.(check bool) "config splits" true (d base <> d { base with config = "Hyper" });
   Alcotest.(check bool) "fuel splits" true (d base <> d { base with fuel = Some 9 });
+  Alcotest.(check bool)
+    "machine splits" true
+    (d base <> d { base with machine = Some "inorder_edge" });
   Alcotest.(check bool)
     "kind splits" true
     (d base <> d { base with kind = `Workload "kernel k" })
@@ -168,7 +181,9 @@ let identical_across_jobs () =
   List.iter
     (fun jobs ->
       let name = Printf.sprintf "srv_id%d" jobs in
-      let cache = Disk_cache.create ~dir:(name ^ ".cache") () in
+      let cache =
+        Disk_cache.create ~dir:(Test_support.Tmpdir.path (name ^ ".cache")) ()
+      in
       with_server ~cache ~jobs name @@ fun _srv ->
       let c = Client.connect (name ^ ".sock") in
       List.iter2
@@ -209,7 +224,9 @@ let mixed_battery () =
         | Error e -> Alcotest.failf "direct %s/%s: %s" w c e)
       specs
   in
-  let cache = Disk_cache.create ~dir:"srv_mix.cache" () in
+  let cache =
+    Disk_cache.create ~dir:(Test_support.Tmpdir.path "srv_mix.cache") ()
+  in
   with_server ~cache ~jobs:3 "srv_mix" @@ fun _srv ->
   let threads = 4 and per_thread = 6 in
   let failures = Atomic.make 0 in
@@ -415,6 +432,61 @@ let trace_streaming () =
   Alcotest.(check int) "one metrics snapshot" 1 !metrics;
   Client.close c
 
+(* machine-parameterized jobs: a preset name selects the backend, the
+   server's answer is byte-identical to a direct run under that
+   machine, and a malformed machine string is a structured config
+   error, not a crash *)
+let machine_jobs () =
+  Edge_check.Check.without_check @@ fun () ->
+  let w = "tblook01" and cfg_name = "Both" in
+  let workload = Option.get (Edge_workloads.Registry.find w) in
+  let config = Option.get (Server.find_config cfg_name) in
+  let direct machine =
+    match Experiment.run_one ?machine workload (cfg_name, config) with
+    | Ok r -> r
+    | Error e -> Alcotest.failf "direct %s/%s: %s" w cfg_name e
+  in
+  let grid = direct None in
+  let inorder = direct (Some Edge_sim.Machine.inorder_edge) in
+  Alcotest.(check bool)
+    "backends disagree on cycles (different timing models)" true
+    (grid.Experiment.cycles <> inorder.Experiment.cycles);
+  Alcotest.(check string) "backends agree on the result"
+    (Int64.to_string grid.Experiment.ret)
+    (Int64.to_string inorder.Experiment.ret);
+  with_server ~jobs:2 "srv_mach" @@ fun _srv ->
+  let c = Client.connect "srv_mach.sock" in
+  let served machine =
+    run_ok c (Client.workload_job ?machine ~workload:w ~config:cfg_name ())
+  in
+  let check_matches what v (r : Experiment.run) =
+    Alcotest.(check (option string))
+      (what ^ " digest")
+      (Some (Server.run_digest r))
+      (Json.str_member "run_digest" v);
+    Alcotest.(check (option (float 0.0)))
+      (what ^ " cycles")
+      (Some (float_of_int r.Experiment.cycles))
+      (Json.num_member "cycles" v)
+  in
+  check_matches "default" (served None) grid;
+  check_matches "preset name" (served (Some "inorder_edge")) inorder;
+  (* a compact key=value line resolves to the same machine *)
+  check_matches "compact form"
+    (served (Some (Edge_sim.Machine.to_compact Edge_sim.Machine.inorder_edge)))
+    inorder;
+  (* a bad machine is rejected as a config error *)
+  (match
+     Client.run_job c
+       (Client.workload_job ~machine:"rows=0;cols=0" ~workload:w
+          ~config:cfg_name ())
+   with
+  | Ok v ->
+      Alcotest.(check string) "bad machine is an error" "error" (rtype v);
+      Alcotest.(check string) "bad machine reason" "config" (reason v)
+  | Error e -> Alcotest.fail e);
+  Client.close c
+
 (* stopping with work still queued answers every waiter with a
    structured shutdown error and unlinks the socket *)
 let shutdown_drains () =
@@ -470,5 +542,6 @@ let tests =
     Alcotest.test_case "backpressure" `Quick backpressure;
     Alcotest.test_case "timeouts" `Quick timeouts;
     Alcotest.test_case "trace streaming" `Quick trace_streaming;
+    Alcotest.test_case "machine jobs" `Quick machine_jobs;
     Alcotest.test_case "shutdown drains" `Quick shutdown_drains;
   ]

@@ -46,4 +46,35 @@ let () =
         "trace-smoke: %s/%s ok (%d events, %d-byte JSON, golden matches)\n"
         kernel config_name
         (List.length t.Edge_harness.Tracekit.events)
-        (String.length json)
+        (String.length json);
+      (* 4. the in-order backend's trace matches its blessed golden *)
+      let machine = Test_support.Goldens.inorder_machine in
+      (match
+         Edge_harness.Tracekit.trace_source ~machine ~source ~config ()
+       with
+      | Error e -> fail "%s/%s inorder: %s" kernel config_name e
+      | Ok t ->
+          let text =
+            Edge_harness.Tracekit.render
+              ~machine:(Edge_sim.Machine.name machine)
+              ~kernel ~config:config_name t
+          in
+          let golden_path =
+            Filename.concat
+              (Test_support.Goldens.golden_dir ())
+              (Test_support.Goldens.golden_name
+                 ~machine:Test_support.Goldens.inorder_tag kernel config_name)
+          in
+          let golden = Test_support.Goldens.read_file golden_path in
+          (match Edge_obs.Trace.first_divergence golden text with
+          | None -> ()
+          | Some (line, want, got) ->
+              fail
+                "inorder trace diverges from %s at line %d:\n\
+                \  golden: %s\n\
+                \  got:    %s"
+                golden_path line want got);
+          Printf.printf
+            "trace-smoke: %s/%s inorder ok (%d events, golden matches)\n"
+            kernel config_name
+            (List.length t.Edge_harness.Tracekit.events))
