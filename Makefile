@@ -1,6 +1,6 @@
 .PHONY: all build test check smoke check-smoke fuzz-smoke matrix-smoke \
-	trace-smoke jit-smoke perf-smoke serve-smoke serve-bench \
-	bench-compare regen-golden bench clean
+	trace-smoke jit-smoke perf-smoke serve-smoke serve-scale-smoke \
+	serve-bench cross-cache-smoke bench-compare regen-golden bench clean
 
 all: build
 
@@ -17,8 +17,9 @@ check:
 	dune build @all && dune runtest && $(MAKE) fuzz-smoke && $(MAKE) matrix-smoke \
 	&& $(MAKE) check-smoke \
 	&& $(MAKE) trace-smoke && $(MAKE) jit-smoke && $(MAKE) perf-smoke \
-	&& $(MAKE) serve-smoke \
-	&& $(MAKE) bench-compare BASE=BENCH_fig7.json NEW=BENCH_fig7.json
+	&& $(MAKE) serve-smoke && $(MAKE) serve-scale-smoke \
+	&& $(MAKE) bench-compare BASE=BENCH_fig7.json NEW=BENCH_fig7.json \
+	&& $(MAKE) bench-compare BASE=BENCH_serve.json NEW=BENCH_serve.json
 
 # compile the example kernels plus 50 fixed-seed generated kernels
 # under every configuration with the per-pass static verifier on; any
@@ -104,11 +105,23 @@ perf-smoke: build
 serve-smoke: build
 	./_build/default/bin/serve_bench.exe --smoke
 
+# the scaling gate: pipelined batch framing at -j4 must clear at least
+# 2x the lock-step -j1 warm throughput, and cold throughput must not
+# regress from idle-worker overhead (tolerance for host noise)
+serve-scale-smoke: build
+	./_build/default/bin/serve_bench.exe --scale-smoke
+
 # the serve throughput benchmark; writes BENCH_serve.json (compare
 # against a baseline with `make bench-compare BASE=... NEW=...` --
-# serve numbers are informational, only the byte-identical flag gates)
+# latency/ratio drift is informational; the byte-identical flags and
+# >20% warm-throughput regressions gate)
 serve-bench: build
 	./_build/default/bin/serve_bench.exe --out BENCH_serve.json
+
+# two dfpd processes sharing one --cache-dir: the second must warm-hit
+# the first's results with zero decode errors and no torn reads
+cross-cache-smoke: build
+	./_build/default/bin/serve_bench.exe --cross-cache
 
 # re-bless the golden trace files after an intentional schedule change;
 # inspect the diff before committing

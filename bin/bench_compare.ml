@@ -10,9 +10,11 @@
    comparison: they are host-dependent.
 
    Files whose "experiment" field is "serve" (written by
-   serve_bench.exe) hold only machine-dependent throughput/latency
-   numbers plus the byte-identical flag; those are compared entirely
-   non-fatally except for the identical flag itself regressing.
+   serve_bench.exe) hold machine-dependent throughput/latency numbers
+   plus two byte-identical flags; latency and ratio drift is reported
+   non-fatally, but either identical flag flipping false or warm
+   throughput regressing more than 20% for a matching -j fails the
+   comparison.
 
    The parser below is a minimal recursive-descent JSON reader — just
    enough for the bench writer's output — so the tool needs no JSON
@@ -271,29 +273,60 @@ let serve_rows v =
 
 let is_serve v = member "experiment" v = Some (Str "serve")
 
-(* serve numbers are host-dependent: report drift, fail only if the
-   byte-identical invariant was lost *)
+(* serve latency/ratio numbers are host-dependent and reported
+   non-fatally, but two regressions gate: warm throughput falling by
+   more than [warm_tolerance] for a matching -j (the warm path is
+   in-memory and deterministic enough that a >20% drop is a code
+   regression, not host noise), and either byte-identical flag
+   flipping false *)
+let warm_tolerance = 0.20
+
 let compare_serve base next new_path =
+  let failures = ref 0 in
   List.iter
     (fun (j, (wb, rb, pb)) ->
       match List.assoc_opt j (serve_rows next) with
-      | None -> Printf.printf "serve -j%d missing from %s\n" j new_path
+      | None ->
+          incr failures;
+          Printf.printf "FAIL: serve -j%d missing from %s\n" j new_path
       | Some (wn, rn, pn) ->
           Printf.printf
             "serve -j%d: warm %.0f -> %.0f jobs/s (%+.1f%%), ratio %.0fx -> \
              %.0fx, p99 %.3f -> %.3f ms\n"
             j wb wn
             (if wb > 0. then (wn -. wb) /. wb *. 100. else 0.)
-            rb rn pb pn)
+            rb rn pb pn;
+          if wn < wb *. (1. -. warm_tolerance) then begin
+            incr failures;
+            Printf.printf
+              "FAIL: serve -j%d warm throughput regressed %.1f%% (tolerance \
+               %.0f%%)\n"
+              j
+              ((wb -. wn) /. wb *. 100.)
+              (warm_tolerance *. 100.)
+          end)
     (serve_rows base);
   let identical v = member "identical" v = Some (Bool true) in
   if identical base && not (identical next) then begin
+    incr failures;
     Printf.printf
-      "FAIL: server responses no longer byte-identical to direct runs\n";
-    exit 1
+      "FAIL: server responses no longer byte-identical to direct runs\n"
   end;
-  Printf.printf "OK: serve comparison is informational (throughput is \
-                 host-dependent)\n"
+  let pre_identical v =
+    match member "preencoded" v with
+    | Some pre -> member "identical" pre = Some (Bool true)
+    | None -> false
+  in
+  if pre_identical base && not (pre_identical next) then begin
+    incr failures;
+    Printf.printf
+      "FAIL: pre-encoded image jobs no longer byte-identical to source jobs\n"
+  end;
+  if !failures > 0 then exit 1;
+  Printf.printf
+    "OK: serve identical flags hold, warm throughput within %.0f%% \
+     (latency/ratio informational)\n"
+    (warm_tolerance *. 100.)
 
 let () =
   let base_path, new_path =

@@ -16,6 +16,7 @@ let () =
   let queue_cap = ref 64 in
   let cache_dir = ref "" in
   let cache_max_mb = ref 0 in
+  let mem_entries = ref 4096 in
   let max_cycles = ref 10_000_000 in
   let quiet = ref false in
   let spec =
@@ -27,6 +28,12 @@ let () =
       ( "--cache-max-mb",
         Arg.Set_int cache_max_mb,
         "MB evict the cache down to this size (default: uncapped)" );
+      ( "--mem-entries",
+        Arg.Set_int mem_entries,
+        "N in-memory result cache entries (default 4096)" );
+      ( "--no-mem-cache",
+        Arg.Unit (fun () -> mem_entries := 0),
+        " disable the in-memory result cache (and the warm fast path)" );
       ( "--max-cycles",
         Arg.Set_int max_cycles,
         "N watchdog ceiling for submitted-source jobs (default 10M)" );
@@ -44,13 +51,14 @@ let () =
            ?max_bytes:
              (if !cache_max_mb > 0 then Some (!cache_max_mb * 1024 * 1024)
               else None)
-           ~dir:!cache_dir ())
+           ~writeback:true ~dir:!cache_dir ())
   in
   let cfg =
     {
       (Edge_serve.Server.default_config ?cache ~socket_path:!socket ()) with
       jobs = max 1 !jobs;
       queue_cap = max 1 !queue_cap;
+      mem_entries = max 0 !mem_entries;
       max_cycles = max 1000 !max_cycles;
     }
   in

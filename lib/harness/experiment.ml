@@ -96,13 +96,11 @@ let cache_key (w : Workload.t) config_name config machine =
       Digest.to_hex (Digest.string (Marshal.to_string machine []));
     ]
 
-let run_one_uncached ?(machine = Edge_sim.Machine.default) ?obs
-    ?(arena = true) ?interp_fuel (w : Workload.t) (config_name, config) =
-  let t0 = Unix.gettimeofday () in
-  let* reference, ref_mem = reference_cached ?fuel:interp_fuel w in
-  let t1 = Unix.gettimeofday () in
-  let* compiled = compile_cached w config in
-  let t2 = Unix.gettimeofday () in
+(* the verified execution of one compiled artifact: functional check
+   against the reference, then the timed cycle-simulator run, also
+   checked. Shared between source-compiled and pre-encoded runs. *)
+let run_body ~machine ?obs ~arena (w : Workload.t) config_name
+    (compiled : Dfp.Driver.compiled) ~reference ~ref_mem =
   (* functional check *)
   let regs, mem = setup_run w in
   let* _ =
@@ -168,47 +166,128 @@ let run_one_uncached ?(machine = Edge_sim.Machine.default) ?obs
            regs.(Conv.result_reg)
            reference)
   in
+  Ok stats
+
+let make_run (w : Workload.t) config_name (compiled : Dfp.Driver.compiled)
+    stats ~reference ~compile_s ~sim_s =
+  {
+    workload = w.Workload.name;
+    config = config_name;
+    cycles = stats.Edge_sim.Stats.cycles;
+    ret = reference;
+    stats;
+    static_instrs = compiled.Dfp.Driver.static_instrs;
+    static_blocks = compiled.Dfp.Driver.static_blocks;
+    static_fanout_moves = compiled.Dfp.Driver.static_fanout_moves;
+    explicit_predicates = compiled.Dfp.Driver.explicit_predicates;
+    pass_counters = compiled.Dfp.Driver.pass_counters;
+    compile_s;
+    sim_s;
+  }
+
+let run_one_uncached ?(machine = Edge_sim.Machine.default) ?obs
+    ?(arena = true) ?interp_fuel (w : Workload.t) (config_name, config) =
+  let t0 = Unix.gettimeofday () in
+  let* reference, ref_mem = reference_cached ?fuel:interp_fuel w in
+  let t1 = Unix.gettimeofday () in
+  let* compiled = compile_cached w config in
+  let t2 = Unix.gettimeofday () in
+  let* stats =
+    run_body ~machine ?obs ~arena w config_name compiled ~reference ~ref_mem
+  in
   let t3 = Unix.gettimeofday () in
   Ok
-    {
-      workload = w.Workload.name;
-      config = config_name;
-      cycles = stats.Edge_sim.Stats.cycles;
-      ret = reference;
-      stats;
-      static_instrs = compiled.Dfp.Driver.static_instrs;
-      static_blocks = compiled.Dfp.Driver.static_blocks;
-      static_fanout_moves = compiled.Dfp.Driver.static_fanout_moves;
-      explicit_predicates = compiled.Dfp.Driver.explicit_predicates;
-      pass_counters = compiled.Dfp.Driver.pass_counters;
-      compile_s = t2 -. t1;
-      sim_s = (t1 -. t0) +. (t3 -. t2);
-    }
+    (make_run w config_name compiled stats ~reference ~compile_s:(t2 -. t1)
+       ~sim_s:((t1 -. t0) +. (t3 -. t2)))
 
-let run_one ?machine ?obs ?(arena = true) ?interp_fuel ?cache
-    (w : Workload.t) ((config_name, config) as cfg) =
-  match cache with
-  (* an attached observer wants the events of a real run, so a cached
-     result would be wrong; obs runs always execute. Likewise
-     [~arena:false] asks for a real (fresh-allocation) run, so it
-     bypasses the cache rather than answer from a pooled run's entry.
-     And with the checker on, the point is to *run* the verifier over
-     every compile — answering from a cached run would skip it.
-     [interp_fuel] does not join the cache key: a fuel-bounded run that
-     *succeeds* is identical to the unbounded run, and errors (fuel
-     exhaustion included) are never cached. *)
-  | Some c when Option.is_none obs && arena && not (Edge_check.Check.enabled ())
-    -> (
-      let key =
-        cache_key w config_name config
-          (Option.value machine ~default:Edge_sim.Machine.default)
-      in
-      match Edge_parallel.Disk_cache.find c ~key with
-      | Some (r : run) -> Ok { r with compile_s = 0.; sim_s = 0. }
+(* mem-before-disk layered caching around [compute]: a mem hit costs a
+   stripe probe, a disk hit is promoted into the mem layer, and a
+   computed result lands in both (the disk store optionally handed to
+   the cache's writeback thread so worker domains never block on the
+   filesystem) *)
+let run_layered ~key ?cache ?mem ~async_store compute =
+  match Option.bind mem (fun m -> Edge_parallel.Mem_cache.find m ~key) with
+  | Some (r : run) -> Ok { r with compile_s = 0.; sim_s = 0. }
+  | None -> (
+      match
+        Option.bind cache (fun c ->
+            (Edge_parallel.Disk_cache.find c ~key : run option))
+      with
+      | Some r ->
+          Option.iter
+            (fun m -> Edge_parallel.Mem_cache.store m ~key r)
+            mem;
+          Ok { r with compile_s = 0.; sim_s = 0. }
       | None ->
-          let res = run_one_uncached ?machine ?obs ~arena ?interp_fuel w cfg in
+          let res = compute () in
           (match res with
-          | Ok r -> Edge_parallel.Disk_cache.store c ~key r
+          | Ok (r : run) ->
+              Option.iter
+                (fun m -> Edge_parallel.Mem_cache.store m ~key r)
+                mem;
+              Option.iter
+                (fun c ->
+                  if async_store then
+                    Edge_parallel.Disk_cache.store_async c ~key r
+                  else Edge_parallel.Disk_cache.store c ~key r)
+                cache
           | Error _ -> ());
           res)
-  | Some _ | None -> run_one_uncached ?machine ?obs ~arena ?interp_fuel w cfg
+
+(* an attached observer wants the events of a real run, so a cached
+   result would be wrong; obs runs always execute. Likewise
+   [~arena:false] asks for a real (fresh-allocation) run, so it
+   bypasses the cache rather than answer from a pooled run's entry.
+   And with the checker on, the point is to *run* the verifier over
+   every compile — answering from a cached run would skip it.
+   [interp_fuel] does not join the cache key: a fuel-bounded run that
+   *succeeds* is identical to the unbounded run, and errors (fuel
+   exhaustion included) are never cached. *)
+let cacheable ?obs ~arena ?cache ?mem () =
+  (Option.is_some cache || Option.is_some mem)
+  && Option.is_none obs && arena
+  && not (Edge_check.Check.enabled ())
+
+let run_one ?machine ?obs ?(arena = true) ?interp_fuel ?cache ?mem
+    ?(async_store = false) (w : Workload.t) ((config_name, config) as cfg) =
+  if cacheable ?obs ~arena ?cache ?mem () then
+    let key =
+      cache_key w config_name config
+        (Option.value machine ~default:Edge_sim.Machine.default)
+    in
+    run_layered ~key ?cache ?mem ~async_store (fun () ->
+        run_one_uncached ?machine ?obs ~arena ?interp_fuel w cfg)
+  else run_one_uncached ?machine ?obs ~arena ?interp_fuel w cfg
+
+let run_precompiled_uncached ?(machine = Edge_sim.Machine.default) ?obs
+    ?(arena = true) ?interp_fuel (w : Workload.t) config_name
+    (compiled : Dfp.Driver.compiled) =
+  let t0 = Unix.gettimeofday () in
+  let* reference, ref_mem = reference_cached ?fuel:interp_fuel w in
+  let* stats =
+    run_body ~machine ?obs ~arena w config_name compiled ~reference ~ref_mem
+  in
+  let t3 = Unix.gettimeofday () in
+  Ok
+    (make_run w config_name compiled stats ~reference ~compile_s:0.
+       ~sim_s:(t3 -. t0))
+
+let run_precompiled ?machine ?obs ?(arena = true) ?interp_fuel ?cache ?mem
+    ?(async_store = false) ~image_digest (w : Workload.t)
+    (config_name, config) (compiled : Dfp.Driver.compiled) =
+  if cacheable ?obs ~arena ?cache ?mem () then
+    (* the image digest salts the key: a shipped artifact may differ
+       from what this process would compile (other compiler revision —
+       or a hostile client), so it must never answer for, or be
+       answered by, a source-compiled entry *)
+    let key =
+      cache_key w config_name config
+        (Option.value machine ~default:Edge_sim.Machine.default)
+      ^ "|img:" ^ image_digest
+    in
+    run_layered ~key ?cache ?mem ~async_store (fun () ->
+        run_precompiled_uncached ?machine ?obs ~arena ?interp_fuel w
+          config_name compiled)
+  else
+    run_precompiled_uncached ?machine ?obs ~arena ?interp_fuel w config_name
+      compiled

@@ -42,6 +42,8 @@ val run_one :
   ?arena:bool ->
   ?interp_fuel:int ->
   ?cache:Edge_parallel.Disk_cache.t ->
+  ?mem:run Edge_parallel.Mem_cache.t ->
+  ?async_store:bool ->
   Edge_workloads.Workload.t ->
   string * Dfp.Config.t ->
   (run, string) result
@@ -67,7 +69,39 @@ val run_one :
     with an [obs] attached, with [~arena:false], or with the static
     checker enabled ({!Edge_check.Check.enabled}) bypass the cache
     (the caller wants a real, verified run); errors are never
-    cached. *)
+    cached.
+
+    [mem] layers a sharded in-memory result cache in front of [cache]
+    (same keys): a warm hit costs one stripe probe — no filesystem, no
+    unmarshalling — and a disk hit is promoted into the mem layer. The
+    bypass rules above apply to both layers. [async_store] (default
+    [false]) hands the disk store to the cache's writeback thread (see
+    {!Edge_parallel.Disk_cache.store_async}) so the computing domain
+    never blocks on the filesystem. *)
+
+val run_precompiled :
+  ?machine:Edge_sim.Machine.t ->
+  ?obs:Edge_obs.Obs.t ->
+  ?arena:bool ->
+  ?interp_fuel:int ->
+  ?cache:Edge_parallel.Disk_cache.t ->
+  ?mem:run Edge_parallel.Mem_cache.t ->
+  ?async_store:bool ->
+  image_digest:string ->
+  Edge_workloads.Workload.t ->
+  string * Dfp.Config.t ->
+  Dfp.Driver.compiled ->
+  (run, string) result
+(** Like {!run_one}, but simulating a pre-compiled artifact (a decoded
+    pre-encoded block job) instead of compiling the workload's source:
+    [compile_s] is reported as [0.]. The full verification battery
+    still runs — reference interpreter, functional executor and cycle
+    simulator must agree on return value and final memory — so an
+    artifact whose semantics diverge from the workload source fails
+    the run rather than producing unchecked numbers. [image_digest]
+    (the hex digest of the raw artifact bytes) salts the cache key, so
+    a shipped artifact never shares cache entries with source-compiled
+    runs and a corrupt or hostile image cannot poison them. *)
 
 val cache_key :
   Edge_workloads.Workload.t ->

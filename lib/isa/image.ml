@@ -180,6 +180,79 @@ let decode_program image =
     | entry :: _ -> Program.make ~entry:entry.Block.name blocks
   end
 
+(* --- compact wire/cache images ---------------------------------------
+
+   The fixed-frame image above is the I-cache's address layout; on the
+   wire and in cache payloads most of each 1024-byte frame is trailing
+   zeros.  The compact form strips them: per block we keep only the
+   prefix up to the last non-zero byte, length-prefixed, and seal the
+   whole thing with an MD5 trailer so a torn or corrupted image fails
+   loudly instead of decoding to a different program. *)
+
+let compact_magic = "EDGC"
+let compact_version = 1
+
+let trim_frame frame =
+  let rec last i = if i < 0 || Bytes.get frame i <> '\000' then i else last (i - 1) in
+  Bytes.sub_string frame 0 (last (frame_bytes - 1) + 1)
+
+let encode_compact (p : Program.t) =
+  let* image = encode_program p in
+  let nblocks = Bytes.length image / frame_bytes in
+  let buf = Buffer.create (Bytes.length image / 4) in
+  Buffer.add_string buf compact_magic;
+  Buffer.add_uint8 buf compact_version;
+  Buffer.add_int32_le buf (Int32.of_int nblocks);
+  for i = 0 to nblocks - 1 do
+    let body = trim_frame (Bytes.sub image (i * frame_bytes) frame_bytes) in
+    Buffer.add_int32_le buf (Int32.of_int (String.length body));
+    Buffer.add_string buf body
+  done;
+  let payload = Buffer.contents buf in
+  Ok (payload ^ Digest.string payload)
+
+let decode_compact s =
+  let n = String.length s in
+  if n < 4 + 1 + 4 + 16 then Error "compact image: truncated"
+  else if not (String.equal (String.sub s 0 4) compact_magic) then
+    Error "compact image: bad magic"
+  else if Char.code s.[4] <> compact_version then
+    Error
+      (Printf.sprintf "compact image: unsupported version %d" (Char.code s.[4]))
+  else begin
+    let payload = String.sub s 0 (n - 16) in
+    if not (String.equal (String.sub s (n - 16) 16) (Digest.string payload))
+    then Error "compact image: digest mismatch"
+    else begin
+      let nblocks = Int32.to_int (String.get_int32_le s 5) in
+      let pos = ref 9 in
+      let limit = n - 16 in
+      let rec go i acc =
+        if i >= nblocks then Ok (List.rev acc)
+        else if !pos + 4 > limit then Error "compact image: truncated block table"
+        else begin
+          let len = Int32.to_int (String.get_int32_le s !pos) in
+          pos := !pos + 4;
+          if len < 0 || len > frame_bytes || !pos + len > limit then
+            Error "compact image: bad block length"
+          else begin
+            let frame = Bytes.make frame_bytes '\000' in
+            Bytes.blit_string s !pos frame 0 len;
+            pos := !pos + len;
+            let* b = decode_block frame in
+            go (i + 1) (b :: acc)
+          end
+        end
+      in
+      let* blocks = go 0 [] in
+      if !pos <> limit then Error "compact image: trailing bytes"
+      else
+        match blocks with
+        | [] -> Error "compact image: empty"
+        | entry :: _ -> Program.make ~entry:entry.Block.name blocks
+    end
+  end
+
 let write_file path p =
   let* image = encode_program p in
   let oc = open_out_bin path in

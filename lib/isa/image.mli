@@ -29,5 +29,18 @@ val frame_bytes : int
 val encode_program : Program.t -> (Bytes.t, string) result
 val decode_program : Bytes.t -> (Program.t, string) result
 
+val encode_compact : Program.t -> (string, string) result
+(** Compact self-checking image for wire transport and cache payloads:
+    ["EDGC"] magic, a version byte, a block count, then each frame
+    with its trailing zeros stripped behind a length prefix, sealed by
+    an MD5 trailer over everything before it. Typically 5-20x smaller
+    than the fixed-frame image. The entry block leads, as in
+    {!encode_program}. *)
+
+val decode_compact : string -> (Program.t, string) result
+(** Inverse of {!encode_compact}. Any truncation, bit flip, version
+    skew or trailing garbage is rejected with a descriptive error —
+    never a silently different program. *)
+
 val write_file : string -> Program.t -> (unit, string) result
 val read_file : string -> (Program.t, string) result

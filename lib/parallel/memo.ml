@@ -1,40 +1,62 @@
 (* A domain-safe memo table: the first caller of a key computes, every
    concurrent caller of the same key blocks until the value lands, and
    later callers hit the table.  Used for compile artifacts and
-   reference-interpreter runs shared across the experiment sweep. *)
+   reference-interpreter runs shared across the experiment sweep.
+
+   The table is striped by key hash: each stripe has its own mutex,
+   condition and hashtable, so concurrent hits on *different* keys
+   never serialize on one global lock (the old single-mutex layout made
+   the memo itself the bottleneck when every worker domain consulted it
+   per job). Waiters of a pending computation block on their stripe's
+   condition only; a completion broadcast wakes at most the waiters of
+   that stripe. *)
 
 type 'v state = Done of 'v | Failed of exn | Pending
 
-type ('k, 'v) t = {
+type ('k, 'v) stripe = {
   mu : Mutex.t;
   ready : Condition.t;
   tbl : ('k, 'v state) Hashtbl.t;
 }
 
+type ('k, 'v) t = ('k, 'v) stripe array
+
+let rec pow2 n k = if k >= n then k else pow2 n (k * 2)
+
 let create ?(size = 64) () =
-  { mu = Mutex.create (); ready = Condition.create (); tbl = Hashtbl.create size }
+  let stripes = pow2 16 1 in
+  Array.init stripes (fun _ ->
+      {
+        mu = Mutex.create ();
+        ready = Condition.create ();
+        tbl = Hashtbl.create (max 1 (size / stripes));
+      })
+
+let stripe_of (t : ('k, 'v) t) key =
+  t.(Hashtbl.hash key land (Array.length t - 1))
 
 let get t key f =
-  Mutex.lock t.mu;
+  let s = stripe_of t key in
+  Mutex.lock s.mu;
   let rec loop () =
-    match Hashtbl.find_opt t.tbl key with
+    match Hashtbl.find_opt s.tbl key with
     | Some (Done v) ->
-        Mutex.unlock t.mu;
+        Mutex.unlock s.mu;
         v
     | Some (Failed e) ->
-        Mutex.unlock t.mu;
+        Mutex.unlock s.mu;
         raise e
     | Some Pending ->
-        Condition.wait t.ready t.mu;
+        Condition.wait s.ready s.mu;
         loop ()
     | None ->
-        Hashtbl.replace t.tbl key Pending;
-        Mutex.unlock t.mu;
+        Hashtbl.replace s.tbl key Pending;
+        Mutex.unlock s.mu;
         let st = try Done (f ()) with e -> Failed e in
-        Mutex.lock t.mu;
-        Hashtbl.replace t.tbl key st;
-        Condition.broadcast t.ready;
-        Mutex.unlock t.mu;
+        Mutex.lock s.mu;
+        Hashtbl.replace s.tbl key st;
+        Condition.broadcast s.ready;
+        Mutex.unlock s.mu;
         (match st with
         | Done v -> v
         | Failed e -> raise e
@@ -43,13 +65,19 @@ let get t key f =
   loop ()
 
 let clear t =
-  Mutex.lock t.mu;
-  (* never clear in-flight computations out from under their waiters *)
-  let keep =
-    Hashtbl.fold
-      (fun k v acc -> match v with Pending -> (k, v) :: acc | Done _ | Failed _ -> acc)
-      t.tbl []
-  in
-  Hashtbl.reset t.tbl;
-  List.iter (fun (k, v) -> Hashtbl.replace t.tbl k v) keep;
-  Mutex.unlock t.mu
+  Array.iter
+    (fun s ->
+      Mutex.lock s.mu;
+      (* never clear in-flight computations out from under their waiters *)
+      let keep =
+        Hashtbl.fold
+          (fun k v acc ->
+            match v with
+            | Pending -> (k, v) :: acc
+            | Done _ | Failed _ -> acc)
+          s.tbl []
+      in
+      Hashtbl.reset s.tbl;
+      List.iter (fun (k, v) -> Hashtbl.replace s.tbl k v) keep;
+      Mutex.unlock s.mu)
+    t

@@ -1,6 +1,11 @@
 (** Domain-safe memoization with single-flight semantics: concurrent
     [get]s of the same key run the computation once and share the
-    result (or the exception). *)
+    result (or the exception).
+
+    The table is striped by key hash — each stripe owns its mutex,
+    condition and hashtable — so hits on different keys proceed in
+    parallel and a completion only wakes the waiters of its own
+    stripe. *)
 
 type ('k, 'v) t
 

@@ -1,0 +1,76 @@
+(* RFC 4648 base64, padded. The wire protocol is newline-delimited
+   JSON, so binary payloads (pre-encoded block images) ride inside
+   string fields as base64. Hand-rolled: the toolchain ships no base64
+   library and the payloads are small enough that simplicity wins. *)
+
+let alphabet =
+  "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/"
+
+let encode s =
+  let n = String.length s in
+  let out = Buffer.create ((n + 2) / 3 * 4) in
+  let emit b0 b1 b2 k =
+    let v = (b0 lsl 16) lor (b1 lsl 8) lor b2 in
+    Buffer.add_char out alphabet.[(v lsr 18) land 63];
+    Buffer.add_char out alphabet.[(v lsr 12) land 63];
+    Buffer.add_char out (if k > 1 then alphabet.[(v lsr 6) land 63] else '=');
+    Buffer.add_char out (if k > 2 then alphabet.[v land 63] else '=')
+  in
+  let i = ref 0 in
+  while !i + 3 <= n do
+    emit (Char.code s.[!i]) (Char.code s.[!i + 1]) (Char.code s.[!i + 2]) 3;
+    i := !i + 3
+  done;
+  (match n - !i with
+  | 1 -> emit (Char.code s.[!i]) 0 0 1
+  | 2 -> emit (Char.code s.[!i]) (Char.code s.[!i + 1]) 0 2
+  | _ -> ());
+  Buffer.contents out
+
+let value_of = function
+  | 'A' .. 'Z' as c -> Char.code c - 65
+  | 'a' .. 'z' as c -> Char.code c - 97 + 26
+  | '0' .. '9' as c -> Char.code c - 48 + 52
+  | '+' -> 62
+  | '/' -> 63
+  | _ -> -1
+
+let decode s =
+  let n = String.length s in
+  if n mod 4 <> 0 then Error "base64: length not a multiple of 4"
+  else begin
+    let pad =
+      if n = 0 then 0
+      else if s.[n - 2] = '=' then 2
+      else if s.[n - 1] = '=' then 1
+      else 0
+    in
+    let out = Buffer.create (n / 4 * 3) in
+    let err = ref None in
+    let i = ref 0 in
+    while !err = None && !i < n do
+      let quad k =
+        let c = s.[!i + k] in
+        if c = '=' then begin
+          (* '=' is only legal in the final quad's tail *)
+          if !i + 4 < n || k < 4 - pad then err := Some "base64: stray '='";
+          0
+        end
+        else
+          match value_of c with
+          | -1 ->
+              err := Some (Printf.sprintf "base64: bad character %C" c);
+              0
+          | v -> v
+      in
+      let v0 = quad 0 and v1 = quad 1 and v2 = quad 2 and v3 = quad 3 in
+      let v = (v0 lsl 18) lor (v1 lsl 12) lor (v2 lsl 6) lor v3 in
+      Buffer.add_char out (Char.chr ((v lsr 16) land 0xFF));
+      let last = !i + 4 >= n in
+      if not (last && pad >= 2) then
+        Buffer.add_char out (Char.chr ((v lsr 8) land 0xFF));
+      if not (last && pad >= 1) then Buffer.add_char out (Char.chr (v land 0xFF));
+      i := !i + 4
+    done;
+    match !err with Some e -> Error e | None -> Ok (Buffer.contents out)
+  end

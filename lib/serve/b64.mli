@@ -1,0 +1,8 @@
+(** RFC 4648 base64 (standard alphabet, padded) — binary payload
+    transport inside the newline-delimited JSON wire protocol. *)
+
+val encode : string -> string
+
+val decode : string -> (string, string) result
+(** Strict: rejects bad lengths, characters outside the alphabet and
+    misplaced padding. *)

@@ -1,18 +1,23 @@
-(* A minimal dfpd client: one Unix-socket connection, blocking
-   line-oriented I/O. Used by the tests, the serve benchmark and
-   `fuzz --serve`; also a reference implementation of the protocol's
-   client side.
+(* A dfpd client: one Unix-socket connection, blocking line-oriented
+   I/O. Used by the tests, the serve benchmark and `fuzz --serve`;
+   also a reference implementation of the protocol's client side.
 
-   A connection may have several jobs in flight (the server tags every
-   response with the job's id), but this client's [run_job] is the
-   simple synchronous pattern: submit, then read until this job's
-   terminal response arrives, handing interleaved responses for other
-   ids to [on_other]. *)
+   The connection is pipelined: [submit] (or [submit_batch]) fires a
+   job without waiting, [await] blocks until that job's terminal
+   response arrives, and terminal responses for *other* in-flight ids
+   read along the way are parked in [pending] for their own [await].
+   Completions may arrive in any order — the id matches them up.
+   [run_job] is submit-then-await, the old lock-step pattern.
+
+   One thread per connection: the pending table is unsynchronized by
+   design. Open one client per thread for concurrent use. *)
 
 type t = {
   fd : Unix.file_descr;
   ic : in_channel;
   next_id : int Atomic.t;
+  pending : (string, Json.t) Hashtbl.t;
+      (* terminal responses awaiting their [await] call, by id *)
 }
 
 let connect path =
@@ -21,7 +26,12 @@ let connect path =
    with e ->
      (try Unix.close fd with Unix.Unix_error _ -> ());
      raise e);
-  { fd; ic = Unix.in_channel_of_descr fd; next_id = Atomic.make 0 }
+  {
+    fd;
+    ic = Unix.in_channel_of_descr fd;
+    next_id = Atomic.make 0;
+    pending = Hashtbl.create 64;
+  }
 
 (* retry [connect] until the server's listener is up (fresh spawns) *)
 let rec connect_retry ?(attempts = 100) ?(delay_s = 0.05) path =
@@ -72,32 +82,71 @@ let is_terminal v =
   | "done" | "error" | "rejected" -> true
   | _ -> false
 
-(* Submit [job] (an object WITHOUT an id; one is added) and block until
-   its terminal response. Streaming responses for this id (trace lines,
-   metrics) go to [on_stream]; responses carrying other ids go to
-   [on_other] (default: dropped). Returns the terminal response, or
-   [Error] if the server hung up first. *)
-let run_job ?(on_stream = fun _ -> ()) ?(on_other = fun _ -> ()) t
-    (job : (string * Json.t) list) : (Json.t, string) result =
+(* Fire [job] (an object WITHOUT an id; one is added) without waiting
+   for any response; returns the id to [await] on. Any number of jobs
+   may be in flight on the connection. *)
+let submit t (job : (string * Json.t) list) : string =
   let id = fresh_id t in
   send t (Json.Obj (("id", Json.Str id) :: job));
-  let rec await () =
-    match recv t with
-    | None -> Error "connection closed by server"
-    | Some (Error e) -> Error ("unparseable response: " ^ e)
-    | Some (Ok v) ->
-        if Json.str_member "id" v = Some id then
-          if is_terminal v then Ok v
-          else begin
-            on_stream v;
-            await ()
-          end
-        else begin
-          on_other v;
-          await ()
-        end
+  id
+
+(* Fire many jobs in ONE wire frame ({"op":"batch","jobs":[...]}) —
+   one write(2), one parse on the server, one flush of the verdicts.
+   Returns the ids in job order. *)
+let submit_batch t (jobs : (string * Json.t) list list) : string list =
+  let tagged =
+    List.map
+      (fun job ->
+        let id = fresh_id t in
+        (id, Json.Obj (("id", Json.Str id) :: job)))
+      jobs
   in
-  await ()
+  send t
+    (Json.Obj
+       [
+         ("op", Json.Str "batch");
+         ("jobs", Json.Arr (List.map snd tagged));
+       ]);
+  List.map fst tagged
+
+(* Block until [id]'s terminal response (done/error/rejected),
+   whatever order completions arrive in. Streaming responses for this
+   id (trace lines, metrics, accepted) go to [on_stream]; non-terminal
+   responses carrying other ids go to [on_other] (default: dropped);
+   terminal responses for other in-flight ids are parked for their own
+   [await]. *)
+let await ?(on_stream = fun _ -> ()) ?(on_other = fun _ -> ()) t (id : string)
+    : (Json.t, string) result =
+  match Hashtbl.find_opt t.pending id with
+  | Some v ->
+      Hashtbl.remove t.pending id;
+      Ok v
+  | None ->
+      let rec loop () =
+        match recv t with
+        | None -> Error "connection closed by server"
+        | Some (Error e) -> Error ("unparseable response: " ^ e)
+        | Some (Ok v) -> (
+            match Json.str_member "id" v with
+            | Some i when String.equal i id ->
+                if is_terminal v then Ok v
+                else begin
+                  on_stream v;
+                  loop ()
+                end
+            | Some other when is_terminal v ->
+                Hashtbl.replace t.pending other v;
+                loop ()
+            | Some _ | None ->
+                on_other v;
+                loop ())
+      in
+      loop ()
+
+(* submit-then-await: the lock-step pattern *)
+let run_job ?on_stream ?on_other t (job : (string * Json.t) list) :
+    (Json.t, string) result =
+  await ?on_stream ?on_other t (submit t job)
 
 (* convenience builders for the two job kinds; [machine] is a preset
    name or a Machine.to_compact line *)
@@ -121,3 +170,47 @@ let source_job ?(trace = false) ?machine ?timeout_ms ?max_cycles ?fuel
   @ opt "timeout_ms" timeout_ms
   @ opt "max_cycles" max_cycles
   @ opt "fuel" fuel
+
+(* -- pre-encoded block jobs ---------------------------------------- *)
+
+(* Compile [source] under the named config locally and encode the
+   artifact for shipping: the same parse → lower → compile pipeline
+   the server runs, so an honest image produces a byte-identical run
+   (and run_digest) to the equivalent source job. *)
+let precompile_source ~source ~config () =
+  let ( let* ) = Result.bind in
+  match List.assoc_opt config Edge_fuzz.Oracle.configs with
+  | None -> Error ("unknown config: " ^ config)
+  | Some cfg_v ->
+      let w =
+        {
+          Edge_workloads.Workload.name = "client-precompile";
+          description = "";
+          source;
+          mem_size = 0;
+          setup = (fun _ -> []);
+        }
+      in
+      let* ast = Edge_workloads.Workload.parse w in
+      let* cfg = Edge_lang.Lower.lower ast in
+      let* compiled = Dfp.Driver.compile_cfg cfg cfg_v in
+      Wire.encode_compiled compiled
+
+(* Precompile a registry workload by name. *)
+let precompile ~workload ~config () =
+  match Edge_workloads.Registry.find workload with
+  | None -> Error ("unknown workload: " ^ workload)
+  | Some w -> precompile_source ~source:w.Edge_workloads.Workload.source ~config ()
+
+(* A job that ships a pre-encoded artifact (raw [precompile] bytes;
+   base64 happens here) for the named registry workload: the server
+   skips compilation and simulates the image, still verifying it
+   against the workload's reference semantics. *)
+let image_job ?(trace = false) ?machine ~workload ~config ~image () =
+  [
+    ("workload", Json.Str workload);
+    ("config", Json.Str config);
+    ("image", Json.Str (B64.encode image));
+    ("trace", Json.Bool trace);
+  ]
+  @ machine_field machine

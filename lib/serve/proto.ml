@@ -17,32 +17,146 @@ type job_spec = {
       (** machine description: a preset name ("trips_grid",
           "inorder_edge") or a [Machine.to_compact] key=value line;
           absent = the server's default machine *)
+  image : string option;
+      (** pre-encoded compiled artifact ({!Wire.encode_compiled}
+          bytes, already base64-decoded): the server skips compilation
+          and simulates this image instead *)
   trace : bool;
   timeout_ms : int option;  (** queue-wait deadline, not execution time *)
   max_cycles : int option;  (** cycle-simulator watchdog (source jobs) *)
   fuel : int option;  (** reference-interpreter statement bound *)
 }
 
-type request = Job of job_spec | Ping | Stats | Shutdown
+type request =
+  | Job of job_spec
+  | Batch of parsed list
+  | Ping
+  | Stats
+  | Shutdown
 
-type parsed = { id : string option; req : (request, string) result }
+and parsed = { id : string option; req : (request, string) result }
 
 let protocol = "dfpd-v1"
 
+let max_batch = 256
+
 (* jobs that differ only by id/trace/timeout are the same computation;
-   this digest is the single-flight key *)
+   this digest is the single-flight key.  A pre-encoded image salts
+   the digest: the same (workload, config) pair computed from source
+   and from a shipped artifact are distinct computations with distinct
+   cache entries, so a hostile image can never poison a source job's
+   result. *)
 let job_digest (s : job_spec) =
   let kind =
     match s.kind with
     | `Workload w -> "w\x00" ^ w
     | `Source src -> "s\x00" ^ src
   in
+  let image =
+    match s.image with None -> "" | Some img -> Digest.string img
+  in
   Digest.to_hex
     (Digest.string
-       (Printf.sprintf "%s\x00%s\x00%s\x00%d\x00%d" kind s.config
+       (Printf.sprintf "%s\x00%s\x00%s\x00%d\x00%d\x00%s" kind s.config
           (Option.value s.machine ~default:"")
           (Option.value s.max_cycles ~default:(-1))
-          (Option.value s.fuel ~default:(-1))))
+          (Option.value s.fuel ~default:(-1))
+          image))
+
+(* the job-field parser: [v] is a JSON object with no "op" (or a
+   batch element) *)
+let parse_job (v : Json.t) : parsed =
+  let id = Json.str_member "id" v in
+  let err m = { id; req = Error m } in
+  let pos_int key =
+    (* Ok None when absent, Error when present but not a
+       positive integer *)
+    match Json.member key v with
+    | None -> Ok None
+    | Some (Json.Num f) when Float.is_integer f && f >= 1. && f <= 1e12 ->
+        Ok (Some (int_of_float f))
+    | Some _ -> Error (Printf.sprintf "%S must be a positive integer" key)
+  in
+  let kind =
+    match (Json.member "workload" v, Json.member "source" v) with
+    | Some (Json.Str w), None -> Ok (`Workload w)
+    | None, Some (Json.Str s) -> Ok (`Source s)
+    | Some _, Some _ -> Error "give either \"workload\" or \"source\", not both"
+    | Some _, None -> Error "\"workload\" must be a string"
+    | None, Some _ -> Error "\"source\" must be a string"
+    | None, None ->
+        Error "expected an \"op\", a \"workload\" or a \"source\" field"
+  in
+  match kind with
+  | Error m -> err m
+  | Ok kind -> (
+      let config =
+        match Json.member "config" v with
+        | Some (Json.Str c) -> Ok c
+        | Some _ -> Error "\"config\" must be a string"
+        | None -> Error "job is missing its \"config\" field"
+      in
+      let machine =
+        match Json.member "machine" v with
+        | None -> Ok None
+        | Some (Json.Str m) -> Ok (Some m)
+        | Some _ -> Error "\"machine\" must be a string"
+      in
+      let image =
+        match Json.member "image" v with
+        | None -> Ok None
+        | Some (Json.Str b) -> (
+            match B64.decode b with
+            | Ok raw -> Ok (Some raw)
+            | Error e -> Error ("\"image\": " ^ e))
+        | Some _ -> Error "\"image\" must be a base64 string"
+      in
+      let trace =
+        match Json.member "trace" v with
+        | None -> Ok false
+        | Some (Json.Bool b) -> Ok b
+        | Some _ -> Error "\"trace\" must be a boolean"
+      in
+      match
+        ( config,
+          machine,
+          image,
+          trace,
+          pos_int "timeout_ms",
+          pos_int "max_cycles",
+          pos_int "fuel" )
+      with
+      | Error m, _, _, _, _, _, _
+      | _, Error m, _, _, _, _, _
+      | _, _, Error m, _, _, _, _
+      | _, _, _, Error m, _, _, _
+      | _, _, _, _, Error m, _, _
+      | _, _, _, _, _, Error m, _
+      | _, _, _, _, _, _, Error m ->
+          err m
+      | ( Ok config,
+          Ok machine,
+          Ok image,
+          Ok trace,
+          Ok timeout_ms,
+          Ok max_cycles,
+          Ok fuel ) ->
+          {
+            id;
+            req =
+              Ok
+                (Job
+                   {
+                     kind;
+                     config;
+                     machine;
+                     image;
+                     trace;
+                     timeout_ms;
+                     max_cycles;
+                     fuel;
+                   });
+          })
 
 let parse_request (line : string) : parsed =
   match Json.parse line with
@@ -52,88 +166,42 @@ let parse_request (line : string) : parsed =
       | Json.Obj _ -> (
           let id = Json.str_member "id" v in
           let err m = { id; req = Error m } in
-          let pos_int key =
-            (* Ok None when absent, Error when present but not a
-               positive integer *)
-            match Json.member key v with
-            | None -> Ok None
-            | Some (Json.Num f)
-              when Float.is_integer f && f >= 1. && f <= 1e12 ->
-                Ok (Some (int_of_float f))
-            | Some _ ->
-                Error (Printf.sprintf "%S must be a positive integer" key)
-          in
           match Json.member "op" v with
           | Some (Json.Str "ping") -> { id; req = Ok Ping }
           | Some (Json.Str "stats") -> { id; req = Ok Stats }
           | Some (Json.Str "shutdown") -> { id; req = Ok Shutdown }
+          | Some (Json.Str "batch") -> (
+              match Json.member "jobs" v with
+              | Some (Json.Arr jobs) ->
+                  let n = List.length jobs in
+                  if n = 0 then err "batch with no jobs"
+                  else if n > max_batch then
+                    err
+                      (Printf.sprintf "batch of %d exceeds the cap of %d" n
+                         max_batch)
+                  else
+                    {
+                      id;
+                      req =
+                        Ok
+                          (Batch
+                             (List.map
+                                (function
+                                  | Json.Obj _ as j -> parse_job j
+                                  | _ ->
+                                      {
+                                        id = None;
+                                        req =
+                                          Error
+                                            "batch jobs must be json objects";
+                                      })
+                                jobs));
+                    }
+              | Some _ -> err "\"jobs\" must be an array"
+              | None -> err "batch is missing its \"jobs\" array")
           | Some (Json.Str op) -> err (Printf.sprintf "unknown op %S" op)
           | Some _ -> err "\"op\" must be a string"
-          | None -> (
-              let kind =
-                match
-                  (Json.member "workload" v, Json.member "source" v)
-                with
-                | Some (Json.Str w), None -> Ok (`Workload w)
-                | None, Some (Json.Str s) -> Ok (`Source s)
-                | Some _, Some _ ->
-                    Error "give either \"workload\" or \"source\", not both"
-                | Some _, None -> Error "\"workload\" must be a string"
-                | None, Some _ -> Error "\"source\" must be a string"
-                | None, None ->
-                    Error
-                      "expected an \"op\", a \"workload\" or a \"source\" \
-                       field"
-              in
-              match kind with
-              | Error m -> err m
-              | Ok kind -> (
-                  let config =
-                    match Json.member "config" v with
-                    | Some (Json.Str c) -> Ok c
-                    | Some _ -> Error "\"config\" must be a string"
-                    | None -> Error "job is missing its \"config\" field"
-                  in
-                  let machine =
-                    match Json.member "machine" v with
-                    | None -> Ok None
-                    | Some (Json.Str m) -> Ok (Some m)
-                    | Some _ -> Error "\"machine\" must be a string"
-                  in
-                  let trace =
-                    match Json.member "trace" v with
-                    | None -> Ok false
-                    | Some (Json.Bool b) -> Ok b
-                    | Some _ -> Error "\"trace\" must be a boolean"
-                  in
-                  match
-                    (config, machine, trace, pos_int "timeout_ms",
-                     pos_int "max_cycles", pos_int "fuel")
-                  with
-                  | Error m, _, _, _, _, _
-                  | _, Error m, _, _, _, _
-                  | _, _, Error m, _, _, _
-                  | _, _, _, Error m, _, _
-                  | _, _, _, _, Error m, _
-                  | _, _, _, _, _, Error m ->
-                      err m
-                  | Ok config, Ok machine, Ok trace, Ok timeout_ms,
-                    Ok max_cycles, Ok fuel ->
-                      {
-                        id;
-                        req =
-                          Ok
-                            (Job
-                               {
-                                 kind;
-                                 config;
-                                 machine;
-                                 trace;
-                                 timeout_ms;
-                                 max_cycles;
-                                 fuel;
-                               });
-                      })))
+          | None -> parse_job v)
       | _ -> { id = None; req = Error "request must be a json object" })
 
 (* -- responses ----------------------------------------------------- *)

@@ -25,13 +25,17 @@
 module Experiment = Edge_harness.Experiment
 module Workload = Edge_workloads.Workload
 module Disk_cache = Edge_parallel.Disk_cache
+module Mem_cache = Edge_parallel.Mem_cache
 module Metrics = Edge_obs.Metrics
 
 type config = {
   socket_path : string;
-  jobs : int;  (** worker domains *)
+  jobs : int;  (** worker-domain ceiling (domains spawn on demand) *)
   queue_cap : int;  (** pending (not-yet-running) job bound *)
   cache : Disk_cache.t option;
+  mem_entries : int;
+      (** in-memory result cache entry cap; [0] disables the cache
+          (and with it the reader-thread warm fast path) *)
   max_cycles : int;  (** watchdog ceiling for source jobs *)
   interp_fuel : int;  (** reference-interpreter bound for source jobs *)
   retry_after_ms : int;  (** hint attached to queue-full rejections *)
@@ -43,6 +47,7 @@ let default_config ?cache ~socket_path () =
     jobs = max 1 (Domain.recommended_domain_count () - 1);
     queue_cap = 64;
     cache;
+    mem_entries = 4096;
     max_cycles = 10_000_000;
     interp_fuel = 3_000_000;
     retry_after_ms = 50;
@@ -75,6 +80,13 @@ let send_raw conn (s : string) =
 
 let send conn (v : Json.t) = send_raw conn (Json.to_string v)
 
+(* one writev-style syscall for a burst of rendered response lines (a
+   batch request's accepted/fast-hit lines): one buffer, one write(2)
+   for the whole frame instead of one per response *)
+let send_raw_lines conn = function
+  | [] -> ()
+  | lines -> send_raw conn (String.concat "\n" lines)
+
 (* one queued unit of work; [waiters] accumulates the submitters of
    merged identical jobs — each gets the terminal response under its
    own id *)
@@ -95,6 +107,10 @@ type stats = {
   timeouts : int Atomic.t;
   protocol_errors : int Atomic.t;
   trace_events : int Atomic.t;
+  fast_hits : int Atomic.t;
+      (* jobs answered by the reader thread from the mem cache,
+         without touching the queue, the in-flight table or a worker *)
+  batches : int Atomic.t;
 }
 
 type t = {
@@ -102,16 +118,61 @@ type t = {
   listen_fd : Unix.file_descr;
   queue : entry Queue.t;
   mu : Mutex.t;
-  not_empty : Condition.t;
   inflight : (string, entry) Hashtbl.t;  (* digest -> entry, mu-guarded *)
+  mem : Experiment.run Mem_cache.t option;
+      (* in-memory result cache layered in front of the disk cache by
+         the workers' run_one/run_precompiled calls (Experiment cache
+         keys) *)
+  fast : (string * string) Mem_cache.t option;
+      (* the reader-thread fast path, keyed "job:<job digest>": the
+         fully rendered (accepted, done) response pair (sans ids), so
+         a hit costs one stripe probe and two id splices — no Marshal,
+         no MD5, no JSON building *)
   mutable closing : bool;
   shutdown_req : bool Atomic.t;
   stats : stats;
+  (* per-stage latency histograms, "serve.stage." prefixed; Metrics is
+     not thread-safe, so this private registry has its own mutex and
+     is merged into the caller's registry at publish time *)
+  stage_metrics : Metrics.t;
+  stage_mu : Mutex.t;
   mutable conns : conn list;  (* mu-guarded *)
-  mutable workers : unit Domain.t list;
+  (* worker domains are spawned on demand, up to [cfg.jobs], and run
+     until the queue is dry: every live domain joins the runtime's
+     stop-the-world handshakes whether it has work or not, so an idle
+     worker retires (moving its handle to [dead] for reaping) rather
+     than parking in a condvar. A purely warm server is single-domain;
+     a cold burst spawns afresh — Domain.spawn is microseconds against
+     a compile. [workers]/[dead]/[spawned]/[next_wid] are mu-guarded;
+     [active] counts workers currently executing a job. *)
+  mutable workers : (int * unit Domain.t) list;
+  mutable dead : unit Domain.t list;
+  mutable spawned : int;
+  mutable next_wid : int;
+  active : int Atomic.t;
   mutable accept_thread : Thread.t option;
   mutable conn_threads : Thread.t list;  (* mu-guarded *)
 }
+
+(* stage latencies are observed in microseconds, bucketed to a 1-2-5
+   ladder so the histogram stays a handful of meaningful bins instead
+   of one bin per distinct sample *)
+let bucket_us v =
+  if v <= 0 then 0
+  else begin
+    let d = ref 1 in
+    while v / !d >= 10 do
+      d := !d * 10
+    done;
+    let m = v / !d in
+    (if m >= 5 then 5 else if m >= 2 then 2 else 1) * !d
+  end
+
+let observe_stage t name seconds =
+  let us = int_of_float (seconds *. 1e6) in
+  Mutex.lock t.stage_mu;
+  Metrics.observe t.stage_metrics name (bucket_us us);
+  Mutex.unlock t.stage_mu
 
 (* -- job execution ------------------------------------------------- *)
 
@@ -179,10 +240,22 @@ let execute t (e : entry) ~(emit : Json.t -> unit) :
         | Ok m -> Ok (Some m)
         | Error e -> Error (Proto.Bad_config, "bad machine: " ^ e))
   in
-  match (workload, find_config spec.config, req_machine) with
-  | Error e, _, _ | _, _, Error e -> Error e
-  | Ok _, None, _ -> Error (Proto.Bad_config, "unknown config: " ^ spec.config)
-  | Ok w, Some config, Ok req_machine -> (
+  (* a pre-encoded image is decoded (and digest-verified) before the
+     job counts as runnable: torn or corrupt artifacts are a config
+     error, not a job failure *)
+  let image =
+    match spec.image with
+    | None -> Ok None
+    | Some raw -> (
+        match Wire.decode_compiled raw with
+        | Ok c -> Ok (Some (c, Wire.image_digest raw))
+        | Error e -> Error (Proto.Bad_config, e))
+  in
+  match (workload, find_config spec.config, req_machine, image) with
+  | Error e, _, _, _ | _, _, Error e, _ | _, _, _, Error e -> Error e
+  | Ok _, None, _, _ ->
+      Error (Proto.Bad_config, "unknown config: " ^ spec.config)
+  | Ok w, Some config, Ok req_machine, Ok image -> (
       (* without a machine field, registry workloads run under the
          stock machine and unbounded fuel so their cache keys (and
          results) are byte-identical to a direct Experiment.run_one;
@@ -219,14 +292,25 @@ let execute t (e : entry) ~(emit : Json.t -> unit) :
       in
       let result =
         try
-          Experiment.run_one ?machine ?obs ?interp_fuel ?cache:t.cfg.cache w
-            (spec.config, config)
+          match image with
+          | None ->
+              Experiment.run_one ?machine ?obs ?interp_fuel
+                ?cache:t.cfg.cache ?mem:t.mem ~async_store:true w
+                (spec.config, config)
+          | Some (compiled, image_digest) ->
+              Experiment.run_precompiled ?machine ?obs ?interp_fuel
+                ?cache:t.cfg.cache ?mem:t.mem ~async_store:true
+                ~image_digest w (spec.config, config) compiled
         with exn -> Error ("exception: " ^ Printexc.to_string exn)
       in
       finish_obs ();
       match result with
       | Ok r ->
           let warm = r.Experiment.compile_s = 0. && r.Experiment.sim_s = 0. in
+          if r.Experiment.compile_s > 0. then
+            observe_stage t "serve.stage.compile_us" r.Experiment.compile_s;
+          if r.Experiment.sim_s > 0. then
+            observe_stage t "serve.stage.sim_us" r.Experiment.sim_s;
           Ok (r, warm)
       | Error msg when timeoutish msg -> Error (Proto.Timeout, msg)
       | Error msg -> Error (Proto.Job_failed, msg))
@@ -250,33 +334,57 @@ let complete t (e : entry) result =
   e.waiters <- [];
   Mutex.unlock t.mu;
   (match result with
-  | Ok _ -> Atomic.incr t.stats.completed
+  | Ok (r, _) ->
+      Atomic.incr t.stats.completed;
+      (* back the reader-thread fast path: the next identical job is
+         answered straight from these pre-rendered lines (times zeroed
+         — a replayed result spent nothing compiling or simulating) *)
+      (match t.fast with
+      | Some f when not e.spec.trace ->
+          Mem_cache.store f
+            ~key:("job:" ^ e.digest)
+            ( Json.to_string (Proto.accepted ~digest:e.digest ~merged:false ()),
+              Json.to_string
+                (Proto.done_ ~workload:r.Experiment.workload
+                   ~config:r.Experiment.config ~cycles:r.Experiment.cycles
+                   ~ret:r.Experiment.ret ~warm:true
+                   ~run_digest:(run_digest r) ~compile_s:0. ~sim_s:0. ()) )
+      | Some _ | None -> ())
   | Error (Proto.Timeout, _) ->
       Atomic.incr t.stats.timeouts;
       Atomic.incr t.stats.failed
   | Error _ -> Atomic.incr t.stats.failed);
+  let t0 = Unix.gettimeofday () in
   List.iter
     (fun (id, conn) -> send conn (terminal_response id result))
-    waiters
+    waiters;
+  observe_stage t "serve.stage.encode_us" (Unix.gettimeofday () -. t0)
 
-let worker_loop t () =
+let worker_loop t wid () =
   let rec next () =
-    Mutex.lock t.mu;
-    let rec wait () =
-      if Queue.is_empty t.queue && not t.closing then begin
-        Condition.wait t.not_empty t.mu;
-        wait ()
-      end
-    in
-    wait ();
     let job =
-      if Queue.is_empty t.queue then None else Some (Queue.pop t.queue)
+      Mutex.protect t.mu (fun () ->
+          if Queue.is_empty t.queue then begin
+            (* run until dry, then retire: the handle moves to [dead]
+               for the next spawner (or [stop]) to join. The decrement
+               and the queue check share one critical section with
+               [submit]'s push-and-spawn, so a job can never be left
+               queued with nobody coming for it. *)
+            t.spawned <- t.spawned - 1;
+            (match List.assoc_opt wid t.workers with
+            | Some h -> t.dead <- h :: t.dead
+            | None -> ());
+            t.workers <- List.remove_assoc wid t.workers;
+            None
+          end
+          else begin
+            Atomic.incr t.active;
+            Some (Queue.pop t.queue, t.closing)
+          end)
     in
-    let closing = t.closing in
-    Mutex.unlock t.mu;
     match job with
-    | None -> ()  (* closing and drained *)
-    | Some e ->
+    | None -> ()
+    | Some (e, closing) ->
         (if closing then
            complete t e
              (Error (Proto.Shutdown_r, "server shutting down"))
@@ -290,12 +398,15 @@ let worker_loop t () =
                         "timed out after %.0f ms waiting in queue"
                         ((Unix.gettimeofday () -. e.enqueued_at) *. 1000.) ))
            | _ ->
+               observe_stage t "serve.stage.queue_us"
+                 (Unix.gettimeofday () -. e.enqueued_at);
                let emit v =
                  match e.waiters with
                  | (_, conn) :: _ -> send conn v
                  | [] -> ()
                in
                complete t e (execute t e ~emit));
+        Atomic.decr t.active;
         next ()
   in
   next ()
@@ -303,7 +414,9 @@ let worker_loop t () =
 (* -- request handling ---------------------------------------------- *)
 
 let stats_response t =
-  let pending = Mutex.protect t.mu (fun () -> Queue.length t.queue) in
+  let pending, spawned =
+    Mutex.protect t.mu (fun () -> (Queue.length t.queue, t.spawned))
+  in
   let base =
     [
       ("jobs_accepted", Atomic.get t.stats.accepted);
@@ -314,8 +427,11 @@ let stats_response t =
       ("timeouts", Atomic.get t.stats.timeouts);
       ("protocol_errors", Atomic.get t.stats.protocol_errors);
       ("trace_events", Atomic.get t.stats.trace_events);
+      ("fast_hits", Atomic.get t.stats.fast_hits);
+      ("batches", Atomic.get t.stats.batches);
       ("queue_depth", pending);
       ("workers", t.cfg.jobs);
+      ("workers_spawned", spawned);
     ]
   in
   let cache =
@@ -329,7 +445,18 @@ let stats_response t =
           ("cache_evictions", Disk_cache.evictions c);
         ]
   in
-  Proto.stats (base @ cache)
+  let mem =
+    match t.mem with
+    | None -> []
+    | Some m ->
+        [
+          ("mem_hits", Mem_cache.hits m);
+          ("mem_misses", Mem_cache.misses m);
+          ("mem_entries", Mem_cache.entry_count m);
+          ("mem_evictions", Mem_cache.evictions m);
+        ]
+  in
+  Proto.stats (base @ cache @ mem)
 
 (* snapshot the server (and cache) counters into a metrics registry
    under the serve.* / cache.* namespaces *)
@@ -344,58 +471,124 @@ let publish t (m : Metrics.t) =
     ~by:(Atomic.get t.stats.protocol_errors)
     m "serve.protocol_errors";
   Metrics.incr ~by:(Atomic.get t.stats.trace_events) m "serve.trace_events";
+  Metrics.incr ~by:(Atomic.get t.stats.fast_hits) m "serve.fast_hits";
+  Metrics.incr ~by:(Atomic.get t.stats.batches) m "serve.batches";
+  Mutex.lock t.stage_mu;
+  Metrics.merge ~into:m t.stage_metrics;
+  Mutex.unlock t.stage_mu;
+  (match t.mem with None -> () | Some mc -> Mem_cache.publish mc m);
   match t.cfg.cache with None -> () | Some c -> Disk_cache.publish c m
 
-let submit t conn id (spec : Proto.job_spec) =
+(* splice a request id in as the first field of a pre-rendered
+   response line (always a non-empty JSON object) *)
+let with_id id line =
+  match id with
+  | None -> line
+  | Some id ->
+      Printf.sprintf "{\"id\":%s,%s"
+        (Json.to_string (Json.Str id))
+        (String.sub line 1 (String.length line - 1))
+
+(* [out] receives the synchronous (reader-thread) responses — verdicts
+   and fast-path results — as rendered lines.  Single jobs pass
+   [send_raw conn]; a batch collects them and flushes once.  Terminal
+   responses of queued jobs are sent by the completing worker, as
+   before.  [ack] controls whether a fast hit sends its "accepted"
+   line before the terminal response: single jobs keep the dfpd-v1
+   accepted-then-done sequence byte for byte, while batch frames elide
+   the accepted line when the done travels in the same flush — a third
+   of the response bytes for pure overhead (batch verdicts for queued
+   and merged jobs are still sent; they are the only synchronous
+   answer those jobs get). *)
+let submit t conn id (spec : Proto.job_spec) ~ack ~(out : string -> unit) =
   let digest = Proto.job_digest spec in
-  let now = Unix.gettimeofday () in
-  let fresh () =
-    {
-      digest;
-      spec;
-      enqueued_at = now;
-      deadline =
-        Option.map
-          (fun ms -> now +. (float_of_int ms /. 1000.))
-          spec.timeout_ms;
-      waiters = [ (id, conn) ];
-    }
+  (* warm fast path: a known result is answered from the mem cache by
+     the reader thread itself — no queue, no in-flight table, no
+     worker wakeup, no disk. Trace jobs always execute for real. *)
+  let fast =
+    if spec.trace then None
+    else
+      Option.bind t.fast (fun f -> Mem_cache.find f ~key:("job:" ^ digest))
   in
-  let verdict =
-    Mutex.protect t.mu (fun () ->
-        if t.closing then `Closing
-        else if (not spec.trace) && Hashtbl.mem t.inflight digest then begin
-          let e = Hashtbl.find t.inflight digest in
-          e.waiters <- e.waiters @ [ (id, conn) ];
-          `Merged
-        end
-        else if Queue.length t.queue >= t.cfg.queue_cap then `Full
-        else begin
-          let e = fresh () in
-          if not spec.trace then Hashtbl.replace t.inflight digest e;
-          Queue.push e t.queue;
-          Condition.signal t.not_empty;
-          `Queued
-        end)
-  in
-  match verdict with
-  | `Closing ->
-      send conn
-        (Proto.error ?id ~reason:Proto.Shutdown_r
-           ~message:"server shutting down" ())
-  | `Merged ->
+  match fast with
+  | Some (accepted, done_line) ->
       Atomic.incr t.stats.accepted;
-      Atomic.incr t.stats.merged;
-      send conn (Proto.accepted ?id ~digest ~merged:true ())
-  | `Full ->
-      Atomic.incr t.stats.rejected;
-      send conn (Proto.rejected ?id ~retry_after_ms:t.cfg.retry_after_ms ())
-  | `Queued ->
-      Atomic.incr t.stats.accepted;
-      send conn (Proto.accepted ?id ~digest ~merged:false ())
+      Atomic.incr t.stats.fast_hits;
+      Atomic.incr t.stats.completed;
+      if ack then out (with_id id accepted);
+      out (with_id id done_line)
+  | None -> (
+      let now = Unix.gettimeofday () in
+      let fresh () =
+        {
+          digest;
+          spec;
+          enqueued_at = now;
+          deadline =
+            Option.map
+              (fun ms -> now +. (float_of_int ms /. 1000.))
+              spec.timeout_ms;
+          waiters = [ (id, conn) ];
+        }
+      in
+      let reap = ref [] in
+      let verdict =
+        Mutex.protect t.mu (fun () ->
+            if t.closing then `Closing
+            else if (not spec.trace) && Hashtbl.mem t.inflight digest
+            then begin
+              let e = Hashtbl.find t.inflight digest in
+              e.waiters <- e.waiters @ [ (id, conn) ];
+              `Merged
+            end
+            else if Queue.length t.queue >= t.cfg.queue_cap then `Full
+            else begin
+              let e = fresh () in
+              if not spec.trace then Hashtbl.replace t.inflight digest e;
+              Queue.push e t.queue;
+              (* grow the pool only when demand outruns the workers
+                 still draining; a single-stream client on a -j4
+                 server keeps one domain, and the full ceiling only
+                 ever exists under real concurrency *)
+              let idle = t.spawned - Atomic.get t.active in
+              if Queue.length t.queue > idle && t.spawned < t.cfg.jobs
+              then begin
+                t.spawned <- t.spawned + 1;
+                let wid = t.next_wid in
+                t.next_wid <- wid + 1;
+                reap := t.dead;
+                t.dead <- [];
+                t.workers <- (wid, Domain.spawn (worker_loop t wid)) :: t.workers
+              end;
+              `Queued
+            end)
+      in
+      (* retired workers are joined outside the lock *)
+      List.iter Domain.join !reap;
+      match verdict with
+      | `Closing ->
+          out
+            (Json.to_string
+               (Proto.error ?id ~reason:Proto.Shutdown_r
+                  ~message:"server shutting down" ()))
+      | `Merged ->
+          Atomic.incr t.stats.accepted;
+          Atomic.incr t.stats.merged;
+          out (Json.to_string (Proto.accepted ?id ~digest ~merged:true ()))
+      | `Full ->
+          Atomic.incr t.stats.rejected;
+          out
+            (Json.to_string
+               (Proto.rejected ?id ~retry_after_ms:t.cfg.retry_after_ms ()))
+      | `Queued ->
+          Atomic.incr t.stats.accepted;
+          out (Json.to_string (Proto.accepted ?id ~digest ~merged:false ())))
 
 let handle_line t conn line =
-  let { Proto.id; req } = Proto.parse_request line in
+  let t0 = Unix.gettimeofday () in
+  let parsed = Proto.parse_request line in
+  observe_stage t "serve.stage.parse_us" (Unix.gettimeofday () -. t0);
+  let { Proto.id; req } = parsed in
   match req with
   | Error msg ->
       Atomic.incr t.stats.protocol_errors;
@@ -405,7 +598,32 @@ let handle_line t conn line =
   | Ok Proto.Shutdown ->
       Atomic.set t.shutdown_req true;
       send conn (Json.Obj [ ("type", Json.Str "shutting_down") ])
-  | Ok (Proto.Job spec) -> submit t conn id spec
+  | Ok (Proto.Job spec) -> submit t conn id spec ~ack:true ~out:(send_raw conn)
+  | Ok (Proto.Batch jobs) ->
+      (* one frame in, one flush out: every synchronous response of the
+         batch (verdicts, fast hits, per-element protocol errors) is
+         serialized into a single write *)
+      Atomic.incr t.stats.batches;
+      let acc = ref [] in
+      let out line = acc := line :: !acc in
+      List.iter
+        (fun { Proto.id; req } ->
+          match req with
+          | Error msg ->
+              Atomic.incr t.stats.protocol_errors;
+              out
+                (Json.to_string
+                   (Proto.error ?id ~reason:Proto.Protocol ~message:msg ()))
+          | Ok (Proto.Job spec) -> submit t conn id spec ~ack:false ~out
+          | Ok _ ->
+              (* unreachable: the parser only puts jobs in a batch *)
+              Atomic.incr t.stats.protocol_errors;
+              out
+                (Json.to_string
+                   (Proto.error ?id ~reason:Proto.Protocol
+                      ~message:"batch elements must be jobs" ())))
+        jobs;
+      send_raw_lines conn (List.rev !acc)
 
 let conn_loop t conn () =
   let ic = Unix.in_channel_of_descr conn.fd in
@@ -462,8 +680,15 @@ let start (cfg : config) : t =
       listen_fd;
       queue = Queue.create ();
       mu = Mutex.create ();
-      not_empty = Condition.create ();
       inflight = Hashtbl.create 64;
+      mem =
+        (if cfg.mem_entries > 0 then
+           Some (Mem_cache.create ~max_entries:cfg.mem_entries ())
+         else None);
+      fast =
+        (if cfg.mem_entries > 0 then
+           Some (Mem_cache.create ~max_entries:cfg.mem_entries ())
+         else None);
       closing = false;
       shutdown_req = Atomic.make false;
       stats =
@@ -476,15 +701,21 @@ let start (cfg : config) : t =
           timeouts = Atomic.make 0;
           protocol_errors = Atomic.make 0;
           trace_events = Atomic.make 0;
+          fast_hits = Atomic.make 0;
+          batches = Atomic.make 0;
         };
+      stage_metrics = Metrics.create ();
+      stage_mu = Mutex.create ();
       conns = [];
       workers = [];
+      dead = [];
+      spawned = 0;
+      next_wid = 0;
+      active = Atomic.make 0;
       accept_thread = None;
       conn_threads = [];
     }
   in
-  t.workers <-
-    List.init cfg.jobs (fun _ -> Domain.spawn (worker_loop t));
   t.accept_thread <- Some (Thread.create (accept_loop t) ());
   t
 
@@ -504,14 +735,39 @@ let stop t =
     Mutex.protect t.mu (fun () ->
         let was = t.closing in
         t.closing <- true;
-        Condition.broadcast t.not_empty;
         was)
   in
   if not already then begin
-    (* workers drain the queue (answering "shutting down" to whatever
-       was still pending) and exit *)
-    List.iter Domain.join t.workers;
-    t.workers <- [];
+    (* live workers drain the queue (answering "shutting down" to
+       whatever was still pending) and retire; [closing] stops further
+       submits, so this snapshot is complete. Join the already-retired
+       handles too — Domain.join is idempotent, so a worker that
+       retires between the snapshot and the join is covered either
+       way. *)
+    let live, retired =
+      Mutex.protect t.mu (fun () ->
+          let l = List.map snd t.workers and d = t.dead in
+          t.dead <- [];
+          (l, d))
+    in
+    List.iter Domain.join live;
+    List.iter Domain.join retired;
+    Mutex.protect t.mu (fun () ->
+        t.workers <- [];
+        List.iter Domain.join t.dead;
+        t.dead <- []);
+    (* every queued entry had a worker coming (push and spawn share a
+       critical section), so the queue is dry here; drain defensively
+       in case that invariant ever breaks rather than hang clients *)
+    let leftover =
+      Mutex.protect t.mu (fun () ->
+          let l = List.of_seq (Queue.to_seq t.queue) in
+          Queue.clear t.queue;
+          l)
+    in
+    List.iter
+      (fun e -> complete t e (Error (Proto.Shutdown_r, "server shutting down")))
+      leftover;
     (match t.accept_thread with
     | Some th ->
         Thread.join th;
@@ -529,6 +785,9 @@ let stop t =
     List.iter Thread.join threads;
     Mutex.protect t.mu (fun () -> t.conn_threads <- []);
     (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+    (* every result accepted before shutdown must be on disk before
+       the process exits *)
+    (match t.cfg.cache with Some c -> Disk_cache.drain c | None -> ());
     if Sys.file_exists t.cfg.socket_path then
       try Sys.remove t.cfg.socket_path with Sys_error _ -> ()
   end

@@ -1,0 +1,166 @@
+(* Binary codec for compiled artifacts (Dfp.Driver.compiled).
+
+   Pre-encoded block jobs ship one of these over the wire instead of
+   kernel source: the client compiles once, the server decodes and
+   simulates. The same bytes double as the disk-cache payload digest
+   salt, so a given image always maps to the same cache entries.
+
+   Layout (little-endian):
+
+     "DFPW" magic, u8 version
+     u32 len | compact program image   (Edge_isa.Image.encode_compact)
+     u32 count | per placement: u32 nlen, name, u32 ntiles, u16 tiles
+     u32 static_fanout_moves, static_instrs, static_blocks,
+         explicit_predicates
+     u32 count | per pass counter: u32 nlen, name, i32 value
+     16-byte MD5 over everything above
+
+   The digest trailer plus the compact image's own digest means a torn
+   or bit-flipped artifact decodes to an error, never to a different
+   program. *)
+
+let magic = "DFPW"
+let version = 1
+
+let ( let* ) = Result.bind
+
+let add_u32 buf v = Buffer.add_int32_le buf (Int32.of_int v)
+
+let add_str buf s =
+  add_u32 buf (String.length s);
+  Buffer.add_string buf s
+
+let encode_compiled (c : Dfp.Driver.compiled) =
+  let* image = Edge_isa.Image.encode_compact c.Dfp.Driver.program in
+  let buf = Buffer.create (String.length image + 256) in
+  Buffer.add_string buf magic;
+  Buffer.add_uint8 buf version;
+  add_str buf image;
+  add_u32 buf (List.length c.Dfp.Driver.placements);
+  List.iter
+    (fun (name, tiles) ->
+      add_str buf name;
+      add_u32 buf (Array.length tiles);
+      Array.iter (fun t -> Buffer.add_uint16_le buf (t land 0xFFFF)) tiles)
+    c.Dfp.Driver.placements;
+  add_u32 buf c.Dfp.Driver.static_fanout_moves;
+  add_u32 buf c.Dfp.Driver.static_instrs;
+  add_u32 buf c.Dfp.Driver.static_blocks;
+  add_u32 buf c.Dfp.Driver.explicit_predicates;
+  add_u32 buf (List.length c.Dfp.Driver.pass_counters);
+  List.iter
+    (fun (name, v) ->
+      add_str buf name;
+      Buffer.add_int32_le buf (Int32.of_int v))
+    c.Dfp.Driver.pass_counters;
+  let payload = Buffer.contents buf in
+  Ok (payload ^ Digest.string payload)
+
+(* stateful little reader over the payload; every read is bounds
+   checked so truncation surfaces as an error, not an exception *)
+type reader = { s : string; mutable pos : int; limit : int }
+
+let ru32 r =
+  if r.pos + 4 > r.limit then Error "compiled artifact: truncated"
+  else begin
+    let v = Int32.to_int (String.get_int32_le r.s r.pos) in
+    r.pos <- r.pos + 4;
+    if v < 0 then Error "compiled artifact: negative length" else Ok v
+  end
+
+let ri32 r =
+  if r.pos + 4 > r.limit then Error "compiled artifact: truncated"
+  else begin
+    let v = Int32.to_int (String.get_int32_le r.s r.pos) in
+    r.pos <- r.pos + 4;
+    Ok v
+  end
+
+let ru16 r =
+  if r.pos + 2 > r.limit then Error "compiled artifact: truncated"
+  else begin
+    let v = String.get_uint16_le r.s r.pos in
+    r.pos <- r.pos + 2;
+    Ok v
+  end
+
+let rstr r =
+  let* n = ru32 r in
+  if r.pos + n > r.limit then Error "compiled artifact: truncated string"
+  else begin
+    let s = String.sub r.s r.pos n in
+    r.pos <- r.pos + n;
+    Ok s
+  end
+
+let rec rlist r n f acc =
+  if n = 0 then Ok (List.rev acc)
+  else
+    let* x = f r in
+    rlist r (n - 1) f (x :: acc)
+
+let decode_compiled s =
+  let n = String.length s in
+  if n < 4 + 1 + 16 then Error "compiled artifact: truncated"
+  else if not (String.equal (String.sub s 0 4) magic) then
+    Error "compiled artifact: bad magic"
+  else if Char.code s.[4] <> version then
+    Error
+      (Printf.sprintf "compiled artifact: unsupported version %d"
+         (Char.code s.[4]))
+  else if
+    not
+      (String.equal
+         (String.sub s (n - 16) 16)
+         (Digest.string (String.sub s 0 (n - 16))))
+  then Error "compiled artifact: digest mismatch"
+  else begin
+    let r = { s; pos = 5; limit = n - 16 } in
+    let* image = rstr r in
+    let* program = Edge_isa.Image.decode_compact image in
+    let* nplace = ru32 r in
+    let* placements =
+      rlist r nplace
+        (fun r ->
+          let* name = rstr r in
+          let* ntiles = ru32 r in
+          let tiles = Array.make ntiles 0 in
+          let rec go i =
+            if i >= ntiles then Ok ()
+            else
+              let* t = ru16 r in
+              tiles.(i) <- t;
+              go (i + 1)
+          in
+          let* () = go 0 in
+          Ok (name, tiles))
+        []
+    in
+    let* static_fanout_moves = ru32 r in
+    let* static_instrs = ru32 r in
+    let* static_blocks = ru32 r in
+    let* explicit_predicates = ru32 r in
+    let* npass = ru32 r in
+    let* pass_counters =
+      rlist r npass
+        (fun r ->
+          let* name = rstr r in
+          let* v = ri32 r in
+          Ok (name, v))
+        []
+    in
+    if r.pos <> r.limit then Error "compiled artifact: trailing bytes"
+    else
+      Ok
+        {
+          Dfp.Driver.program;
+          placements;
+          static_fanout_moves;
+          static_instrs;
+          static_blocks;
+          explicit_predicates;
+          pass_counters;
+        }
+  end
+
+let image_digest s = Digest.to_hex (Digest.string s)

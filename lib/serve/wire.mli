@@ -1,0 +1,18 @@
+(** Binary codec for compiled artifacts.
+
+    A pre-encoded block job carries [encode_compiled]'s output
+    (base64ed into the JSON frame) instead of kernel source: the
+    client pays compilation once, the server decodes, verifies and
+    simulates. Layout: magic + version, the compact program image
+    ({!Edge_isa.Image.encode_compact}), placements, static counters
+    and pass counters, sealed with an MD5 trailer. *)
+
+val encode_compiled : Dfp.Driver.compiled -> (string, string) result
+
+val decode_compiled : string -> (Dfp.Driver.compiled, string) result
+(** Rejects truncation, corruption, version skew and trailing bytes. *)
+
+val image_digest : string -> string
+(** Hex MD5 of the raw artifact bytes — the cache-key salt for
+    pre-encoded jobs, so an image job can never poison a source job's
+    cache entry. *)

@@ -225,6 +225,7 @@ let qcheck_digest_salted =
           Proto.kind = `Workload "w";
           config = "Both";
           machine = Some (M.to_compact m);
+          image = None;
           trace = false;
           timeout_ms = None;
           max_cycles = None;

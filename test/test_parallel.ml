@@ -5,6 +5,7 @@
 module Pool = Edge_parallel.Pool
 module Memo = Edge_parallel.Memo
 module Disk_cache = Edge_parallel.Disk_cache
+module Mem_cache = Edge_parallel.Mem_cache
 module Event_queue = Edge_sim.Event_queue
 
 (* -- pool --------------------------------------------------------- *)
@@ -478,7 +479,170 @@ let cache_publish_metrics () =
     (Edge_obs.Metrics.hist_sum
        (Edge_obs.Metrics.histogram m "cache.shard.entries"))
 
+(* -- sharded in-memory result cache ------------------------------- *)
+
+let mem_basics () =
+  let m = Mem_cache.create () in
+  Alcotest.(check (option int)) "cold miss" None (Mem_cache.find m ~key:"a");
+  Alcotest.(check int) "miss counted" 1 (Mem_cache.misses m);
+  Mem_cache.store m ~key:"a" 1;
+  Mem_cache.store m ~key:"b" 2;
+  Alcotest.(check (option int)) "hit" (Some 1) (Mem_cache.find m ~key:"a");
+  Alcotest.(check int) "hit counted" 1 (Mem_cache.hits m);
+  Alcotest.(check int) "entries" 2 (Mem_cache.entry_count m);
+  Mem_cache.store m ~key:"a" 10;
+  Alcotest.(check (option int))
+    "replace, not duplicate" (Some 10)
+    (Mem_cache.find m ~key:"a");
+  Alcotest.(check int) "replace keeps count" 2 (Mem_cache.entry_count m);
+  Mem_cache.remove m ~key:"a";
+  Alcotest.(check (option int)) "removed" None (Mem_cache.find m ~key:"a");
+  Mem_cache.clear m;
+  Alcotest.(check int) "cleared" 0 (Mem_cache.entry_count m)
+
+let mem_eviction_lru () =
+  (* one stripe so the whole cap lands in a single LRU clock *)
+  let m = Mem_cache.create ~stripes:1 ~max_entries:3 () in
+  Mem_cache.store m ~key:"a" 1;
+  Mem_cache.store m ~key:"b" 2;
+  Mem_cache.store m ~key:"c" 3;
+  (* touch [a] so [b] is now the least recently used *)
+  Alcotest.(check (option int)) "refresh a" (Some 1) (Mem_cache.find m ~key:"a");
+  Mem_cache.store m ~key:"d" 4;
+  Alcotest.(check int) "capped" 3 (Mem_cache.entry_count m);
+  Alcotest.(check int) "one eviction" 1 (Mem_cache.evictions m);
+  Alcotest.(check (option int)) "LRU victim gone" None (Mem_cache.find m ~key:"b");
+  Alcotest.(check (option int)) "refreshed survives" (Some 1)
+    (Mem_cache.find m ~key:"a");
+  Alcotest.(check (option int)) "newest survives" (Some 4)
+    (Mem_cache.find m ~key:"d")
+
+let mem_publish_metrics () =
+  let m = Mem_cache.create () in
+  ignore (Mem_cache.find m ~key:"absent" : int option);
+  Mem_cache.store m ~key:"a" 1;
+  Mem_cache.store m ~key:"b" 2;
+  Alcotest.(check (option int)) "hit" (Some 1) (Mem_cache.find m ~key:"a");
+  let reg = Edge_obs.Metrics.create () in
+  Mem_cache.publish m reg;
+  let counter = Edge_obs.Metrics.counter reg in
+  Alcotest.(check int) "cache.mem.hits" 1 (counter "cache.mem.hits");
+  Alcotest.(check int) "cache.mem.misses" 1 (counter "cache.mem.misses");
+  Alcotest.(check int) "cache.mem.stores" 2 (counter "cache.mem.stores");
+  Alcotest.(check int) "cache.mem.entries" 2 (counter "cache.mem.entries");
+  Alcotest.(check int) "stripe occupancy sums to the entries" 2
+    (Edge_obs.Metrics.hist_sum
+       (Edge_obs.Metrics.histogram reg "cache.mem.stripe.entries"))
+
+(* domains hammering overlapping keys: every lookup must return a
+   value some store put there for that exact key — stripe locking is
+   the mechanism under test *)
+let mem_concurrent () =
+  let m = Mem_cache.create ~stripes:4 ~max_entries:64 () in
+  let torn = Atomic.make 0 in
+  let domains =
+    List.init 4 (fun d ->
+        Domain.spawn (fun () ->
+            for i = 1 to 2000 do
+              let key = "k" ^ string_of_int (i mod 16) in
+              Mem_cache.store m ~key (key, d);
+              match Mem_cache.find m ~key with
+              | None -> () (* evicted by a neighbour: clean miss *)
+              | Some (k, _) -> if k <> key then Atomic.incr torn
+            done))
+  in
+  List.iter Domain.join domains;
+  Alcotest.(check int) "no torn values" 0 (Atomic.get torn)
+
+(* the two-layer coherence contract: a mem hit answers without
+   touching the disk cache, a disk hit is promoted into the mem layer,
+   and every layer returns the identical run *)
+let mem_disk_coherence () =
+  Edge_check.Check.without_check @@ fun () ->
+  let w =
+    match Edge_workloads.Registry.find "tblook01" with
+    | Some w -> w
+    | None -> Alcotest.fail "tblook01 missing from registry"
+  in
+  let cfg = ("Both", Dfp.Config.both) in
+  let cache = Disk_cache.create ~dir:(dc "dc_mem_coherence") () in
+  let mem = Mem_cache.create () in
+  let run () =
+    match Edge_harness.Experiment.run_one ~cache ~mem w cfg with
+    | Ok r -> r
+    | Error e -> Alcotest.failf "run: %s" e
+  in
+  let r1 = run () in
+  Alcotest.(check int) "cold: disk missed" 1 (Disk_cache.misses cache);
+  Alcotest.(check bool) "cold: mem populated" true (Mem_cache.stores mem >= 1);
+  let disk_reads_before = Disk_cache.hits cache + Disk_cache.misses cache in
+  let r2 = run () in
+  Alcotest.(check int) "warm: no filesystem touch" disk_reads_before
+    (Disk_cache.hits cache + Disk_cache.misses cache);
+  Alcotest.(check bool) "warm: mem hit" true (Mem_cache.hits mem >= 1);
+  Alcotest.(check bool) "mem hit identical" true
+    (r1.Edge_harness.Experiment.cycles = r2.Edge_harness.Experiment.cycles
+    && r1.Edge_harness.Experiment.stats = r2.Edge_harness.Experiment.stats);
+  (* drop the mem layer: the disk layer answers and re-promotes *)
+  Mem_cache.clear mem;
+  let stores_before = Mem_cache.stores mem in
+  let r3 = run () in
+  Alcotest.(check int) "disk hit after mem clear" 1 (Disk_cache.hits cache);
+  Alcotest.(check bool) "disk hit promoted to mem" true
+    (Mem_cache.stores mem > stores_before);
+  Alcotest.(check bool) "disk hit identical" true
+    (r1.Edge_harness.Experiment.cycles = r3.Edge_harness.Experiment.cycles
+    && r1.Edge_harness.Experiment.stats = r3.Edge_harness.Experiment.stats);
+  (* and the promoted entry serves the next lookup from memory *)
+  ignore (run () : Edge_harness.Experiment.run);
+  Alcotest.(check int) "promotion serves from memory" 1 (Disk_cache.hits cache)
+
+(* store_async persists after drain, and the payload round-trips even
+   through a fresh handle on the same directory *)
+let cache_async_writeback () =
+  let dir = dc "dc_async" in
+  let c = Disk_cache.create ~writeback:true ~dir () in
+  for i = 0 to 31 do
+    Disk_cache.store_async c ~key:("as" ^ string_of_int i) (i, String.make 128 'x')
+  done;
+  Disk_cache.drain c;
+  Alcotest.(check int) "all stores landed" 32 (Disk_cache.entry_count c);
+  let c2 = Disk_cache.create ~dir () in
+  for i = 0 to 31 do
+    Alcotest.(check (option (pair int string)))
+      ("async entry " ^ string_of_int i)
+      (Some (i, String.make 128 'x'))
+      (Disk_cache.find c2 ~key:("as" ^ string_of_int i))
+  done;
+  (* without a writeback thread store_async degrades to a synchronous
+     store: visible immediately, no drain needed *)
+  let c3 = Disk_cache.create ~dir:(dc "dc_async_sync") () in
+  Disk_cache.store_async c3 ~key:"k" 7;
+  Alcotest.(check (option int)) "sync fallback" (Some 7)
+    (Disk_cache.find c3 ~key:"k")
+
 (* -- determinism of the parallel sweep ---------------------------- *)
+
+(* the work-stealing pool must not let scheduling order leak into
+   results: same inputs, same outputs, same order, for every jobs
+   value — including deliberately lopsided task costs that force
+   steals *)
+let pool_stealing_deterministic () =
+  let xs = List.init 200 Fun.id in
+  let busy x =
+    (* task cost swings by ~1000x across inputs *)
+    let n = if x mod 17 = 0 then 20_000 else 20 in
+    let acc = ref x in
+    for i = 1 to n do
+      acc := ((!acc * 1103515245) + i) land 0x3FFFFFFF
+    done;
+    !acc
+  in
+  let r1 = Pool.run ~jobs:1 busy xs in
+  let r2 = Pool.run ~jobs:2 busy xs in
+  let r4 = Pool.run ~jobs:4 busy xs in
+  Alcotest.(check (list int)) "jobs=2 matches jobs=1" r1 r2;
+  Alcotest.(check (list int)) "jobs=4 matches jobs=1" r1 r4
 
 let sweep_deterministic () =
   let benches =
@@ -531,5 +695,14 @@ let tests =
     Alcotest.test_case "disk cache tmp sweep" `Quick cache_tmp_sweep;
     Alcotest.test_case "disk cache publish metrics" `Quick
       cache_publish_metrics;
+    Alcotest.test_case "disk cache async writeback" `Quick
+      cache_async_writeback;
+    Alcotest.test_case "mem cache basics" `Quick mem_basics;
+    Alcotest.test_case "mem cache LRU eviction" `Quick mem_eviction_lru;
+    Alcotest.test_case "mem cache publish metrics" `Quick mem_publish_metrics;
+    Alcotest.test_case "mem cache concurrent" `Quick mem_concurrent;
+    Alcotest.test_case "mem/disk cache coherence" `Quick mem_disk_coherence;
+    Alcotest.test_case "pool stealing deterministic" `Quick
+      pool_stealing_deterministic;
     Alcotest.test_case "sweep deterministic" `Slow sweep_deterministic;
   ]

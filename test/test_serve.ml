@@ -110,6 +110,7 @@ let proto_digest () =
       Proto.kind = `Source "kernel k";
       config = "Both";
       machine = None;
+      image = None;
       trace = false;
       timeout_ms = None;
       max_cycles = None;
@@ -530,6 +531,217 @@ let shutdown_drains () =
   | Some _ -> ()
   | None -> Alcotest.fail "blocker got no terminal answer"
 
+(* -- pipelining, batching and the warm fast path ------------------- *)
+
+(* a deterministic shuffle so the stress replays identically *)
+let shuffle seed a =
+  let s = ref seed in
+  let rand bound =
+    s := (!s * 1103515245) + 12345;
+    (!s lsr 7) mod bound
+  in
+  for i = Array.length a - 1 downto 1 do
+    let j = rand (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+(* 4 client threads, each with 32 jobs in flight on one connection,
+   awaited in shuffled order: out-of-order completion matching by id
+   is the property under test *)
+let pipelined_stress () =
+  Edge_check.Check.without_check @@ fun () ->
+  let specs = [| ("tblook01", "Both"); ("tblook01", "Hyper") |] in
+  let direct =
+    Array.map
+      (fun (w, c) ->
+        let workload = Option.get (Edge_workloads.Registry.find w) in
+        let config = Option.get (Server.find_config c) in
+        match Experiment.run_one workload (c, config) with
+        | Ok r -> Server.run_digest r
+        | Error e -> Alcotest.failf "direct %s/%s: %s" w c e)
+      specs
+  in
+  with_server ~jobs:2 "srv_pipe" @@ fun _srv ->
+  let threads = 4 and inflight = 32 in
+  let failures = Atomic.make 0 in
+  let worker k () =
+    let c = Client.connect "srv_pipe.sock" in
+    (* fire all 32 without reading a single response *)
+    let ids =
+      Array.init inflight (fun i ->
+          let idx = (k + i) mod Array.length specs in
+          let w, cfg = specs.(idx) in
+          (Client.submit c (Client.workload_job ~workload:w ~config:cfg ()), idx))
+    in
+    shuffle (0x5EED + k) ids;
+    Array.iter
+      (fun (id, idx) ->
+        match Client.await c id with
+        | Ok v
+          when rtype v = "done"
+               && Json.str_member "run_digest" v = Some direct.(idx) ->
+            ()
+        | Ok v ->
+            Printf.eprintf "thread %d await %s: bad response %s\n" k id
+              (Json.to_string v);
+            Atomic.incr failures
+        | Error e ->
+            Printf.eprintf "thread %d await %s: %s\n" k id e;
+            Atomic.incr failures)
+      ids;
+    Client.close c
+  in
+  let ths = List.init threads (fun k -> Thread.create (worker k) ()) in
+  List.iter Thread.join ths;
+  Alcotest.(check int) "every shuffled await matched its digest" 0
+    (Atomic.get failures)
+
+(* batch frames: one write carries many jobs, every job gets its
+   terminal answer, and warm fast-path hits elide the per-job
+   accepted line (the terminal done travels in the same flush) while
+   single-job submissions keep the v1 accepted-then-done shape *)
+let batch_requests () =
+  Edge_check.Check.without_check @@ fun () ->
+  let specs = [ ("tblook01", "Both"); ("tblook01", "Hyper") ] in
+  with_server ~jobs:2 "srv_batch" @@ fun _srv ->
+  let c = Client.connect "srv_batch.sock" in
+  let jobs =
+    List.concat_map
+      (fun (w, cfg) ->
+        List.init 3 (fun _ -> Client.workload_job ~workload:w ~config:cfg ()))
+      specs
+  in
+  let await_all ids =
+    (* accepted lines interleave with other ids' responses, so count
+       them per id from both await callbacks rather than per await *)
+    let acks = Hashtbl.create 16 in
+    let note v =
+      if rtype v = "accepted" then
+        match Json.str_member "id" v with
+        | Some i ->
+            Hashtbl.replace acks i
+              (1 + Option.value (Hashtbl.find_opt acks i) ~default:0)
+        | None -> ()
+    in
+    List.map
+      (fun id ->
+        match Client.await c ~on_stream:note ~on_other:note id with
+        | Ok v when rtype v = "done" ->
+            ( Option.get (Json.str_member "run_digest" v),
+              fun () -> Option.value (Hashtbl.find_opt acks id) ~default:0 )
+        | Ok v -> Alcotest.failf "batch job %s: %s" id (Json.to_string v)
+        | Error e -> Alcotest.failf "batch job %s: %s" id e)
+      ids
+  in
+  (* cold batch: every job is acknowledged before it runs *)
+  let cold = await_all (Client.submit_batch c jobs) in
+  List.iter
+    (fun (_, acks) -> Alcotest.(check int) "cold batch job acked" 1 (acks ()))
+    cold;
+  (* warm batch: all fast-path hits, accepted lines elided *)
+  let warm = await_all (Client.submit_batch c jobs) in
+  List.iter2
+    (fun (d_cold, _) (d_warm, acks) ->
+      Alcotest.(check string) "warm batch digest matches cold" d_cold d_warm;
+      Alcotest.(check int) "warm fast hit elides accepted" 0 (acks ()))
+    cold warm;
+  (* a warm single-job submission still gets the v1 accepted line *)
+  let acks = ref 0 in
+  (match
+     Client.run_job c
+       ~on_stream:(fun v -> if rtype v = "accepted" then incr acks)
+       (List.hd jobs)
+   with
+  | Ok v -> Alcotest.(check string) "single warm done" "done" (rtype v)
+  | Error e -> Alcotest.fail e);
+  Alcotest.(check int) "single-job path keeps accepted" 1 !acks;
+  (* an empty batch is a protocol error, not a hang *)
+  Client.send_line c "{\"op\":\"batch\",\"jobs\":[]}";
+  (match Client.recv c with
+  | Some (Ok v) ->
+      Alcotest.(check string) "empty batch rejected" "error" (rtype v)
+  | _ -> Alcotest.fail "no answer for empty batch");
+  Client.close c
+
+(* pre-encoded block jobs: an honest image reproduces the source job's
+   run digest exactly; a corrupted image is a config error; an image
+   whose semantics diverge from the named workload fails verification *)
+let image_jobs () =
+  Edge_check.Check.without_check @@ fun () ->
+  let w = "tblook01" and cfg = "Both" in
+  with_server ~jobs:2 "srv_img" @@ fun _srv ->
+  let c = Client.connect "srv_img.sock" in
+  let source_run = run_ok c (Client.workload_job ~workload:w ~config:cfg ()) in
+  let image =
+    match Client.precompile ~workload:w ~config:cfg () with
+    | Ok raw -> raw
+    | Error e -> Alcotest.failf "precompile: %s" e
+  in
+  let image_run = run_ok c (Client.image_job ~workload:w ~config:cfg ~image ()) in
+  Alcotest.(check (option string))
+    "image job reproduces the source digest"
+    (Json.str_member "run_digest" source_run)
+    (Json.str_member "run_digest" image_run);
+  (* resubmitting the same image answers from cache *)
+  let again = run_ok c (Client.image_job ~workload:w ~config:cfg ~image ()) in
+  Alcotest.(check (option bool)) "image rerun is warm" (Some true)
+    (Json.bool_member "warm" again);
+  (* flip a byte mid-payload: decode must fail cleanly *)
+  let corrupt = Bytes.of_string image in
+  Bytes.set corrupt (Bytes.length corrupt / 2) '\xff';
+  (match
+     Client.run_job c
+       (Client.image_job ~workload:w ~config:cfg
+          ~image:(Bytes.to_string corrupt) ())
+   with
+  | Ok v ->
+      Alcotest.(check string) "corrupt image is an error" "error" (rtype v);
+      Alcotest.(check string) "corrupt image reason" "config" (reason v)
+  | Error e -> Alcotest.fail e);
+  (* an image compiled from a different workload must fail the
+     named workload's verification battery, not produce numbers *)
+  let alien =
+    match Client.precompile ~workload:"canrdr01" ~config:cfg () with
+    | Ok raw -> raw
+    | Error e -> Alcotest.failf "alien precompile: %s" e
+  in
+  (match
+     Client.run_job c (Client.image_job ~workload:w ~config:cfg ~image:alien ())
+   with
+  | Ok v ->
+      Alcotest.(check string) "mismatched image is an error" "error" (rtype v);
+      Alcotest.(check string) "mismatched image reason" "job" (reason v)
+  | Error e -> Alcotest.fail e);
+  Client.close c
+
+(* the stats op exposes the fast path: repeats of a job must count
+   fast_hits, batch frames must count batches *)
+let fast_path_stats () =
+  Edge_check.Check.without_check @@ fun () ->
+  with_server ~jobs:1 "srv_fast" @@ fun _srv ->
+  let c = Client.connect "srv_fast.sock" in
+  let job = Client.workload_job ~workload:"tblook01" ~config:"Hyper" () in
+  ignore (run_ok c job : Json.t);
+  ignore (run_ok c job : Json.t);
+  ignore (run_ok c job : Json.t);
+  List.iter
+    (fun id -> ignore (Client.await c id : (Json.t, string) result))
+    (Client.submit_batch c [ job; job ]);
+  match Client.rpc c (Json.Obj [ ("op", Json.Str "stats") ]) with
+  | Ok v ->
+      let stat k =
+        match Json.num_member k v with
+        | Some n -> int_of_float n
+        | None -> Alcotest.failf "stats missing %s" k
+      in
+      Alcotest.(check bool) "repeats hit the fast path" true (stat "fast_hits" >= 4);
+      Alcotest.(check int) "batch frames counted" 1 (stat "batches");
+      Alcotest.(check int) "every job completed" 5 (stat "jobs_completed");
+      Client.close c
+  | Error e -> Alcotest.fail e
+
 let tests =
   [
     Alcotest.test_case "json roundtrip" `Quick json_roundtrip;
@@ -544,4 +756,8 @@ let tests =
     Alcotest.test_case "trace streaming" `Quick trace_streaming;
     Alcotest.test_case "machine jobs" `Quick machine_jobs;
     Alcotest.test_case "shutdown drains" `Quick shutdown_drains;
+    Alcotest.test_case "pipelined stress" `Quick pipelined_stress;
+    Alcotest.test_case "batch requests" `Quick batch_requests;
+    Alcotest.test_case "image jobs" `Quick image_jobs;
+    Alcotest.test_case "fast-path stats" `Quick fast_path_stats;
   ]
