@@ -1,6 +1,7 @@
-.PHONY: all build test check smoke check-smoke fuzz-smoke matrix-smoke \
-	trace-smoke jit-smoke perf-smoke serve-smoke serve-scale-smoke \
-	serve-bench cross-cache-smoke bench-compare regen-golden bench clean
+.PHONY: all build test check smoke check-smoke analyze-smoke fuzz-smoke \
+	matrix-smoke trace-smoke jit-smoke perf-smoke serve-smoke \
+	serve-scale-smoke serve-bench cross-cache-smoke bench-compare \
+	regen-golden bench clean
 
 all: build
 
@@ -15,7 +16,7 @@ test:
 # layer round-trips (valid Chrome JSON, golden trace matches)
 check:
 	dune build @all && dune runtest && $(MAKE) fuzz-smoke && $(MAKE) matrix-smoke \
-	&& $(MAKE) check-smoke \
+	&& $(MAKE) check-smoke && $(MAKE) analyze-smoke \
 	&& $(MAKE) trace-smoke && $(MAKE) jit-smoke && $(MAKE) perf-smoke \
 	&& $(MAKE) serve-smoke && $(MAKE) serve-scale-smoke \
 	&& $(MAKE) bench-compare BASE=BENCH_fig7.json NEW=BENCH_fig7.json \
@@ -26,6 +27,13 @@ check:
 # checker diagnostic fails the run
 check-smoke: build
 	dune exec bin/fuzz.exe -- --check-smoke examples/kernels -j 4
+
+# the ineffectuality lint gate: run the Psi-SSA analysis in lint mode
+# (report, don't delete) over the example kernels plus 50 fixed-seed
+# generated kernels; every finding is cross-validated against the
+# exhaustive path enumerator, so one false positive fails the run
+analyze-smoke: build
+	dune exec bin/fuzz.exe -- --analyze-smoke examples/kernels -j 4
 
 # seconds-long differential-fuzzing sanity run (small programs, every
 # config, both simulators, block validator, parallel path)

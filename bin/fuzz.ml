@@ -21,6 +21,12 @@
                    every .k kernel in DIR plus 50 fixed-seed generated
                    kernels, under every configuration; any diagnostic
                    fails
+     --analyze-smoke DIR
+                   same kernel set, but compile in ineffectuality-lint
+                   mode: report ineff[...] findings without applying
+                   them, with every verdict re-proved by exhaustive
+                   path enumeration; a disproved verdict (false
+                   positive) fails
      --max-vars N  enumerator width cutoff: blocks with more than N
                    predicate variables are skipped by exhaustive path
                    enumeration (they still get the lattice checker);
@@ -164,7 +170,8 @@ let usage =
   \                [--no-cycle] [--no-validate] [--no-check] [--matrix]\n\
   \                [--no-minimize]\n\
   \                [--max-vars N] [--corpus DIR] [--cache-dir DIR]\n\
-  \                [--workloads] [--replay DIR] [--check-smoke DIR] [--serve]"
+  \                [--workloads] [--replay DIR] [--check-smoke DIR]\n\
+  \                [--analyze-smoke DIR] [--serve]"
 
 let () =
   let seed = ref 0 in
@@ -211,6 +218,7 @@ let () =
     | "--workloads" :: rest -> mode := `Workloads; parse rest
     | "--replay" :: dir :: rest -> mode := `Replay dir; parse rest
     | "--check-smoke" :: dir :: rest -> mode := `Check_smoke dir; parse rest
+    | "--analyze-smoke" :: dir :: rest -> mode := `Analyze_smoke dir; parse rest
     | "--serve" :: rest -> mode := `Serve; parse rest
     | a :: _ ->
         Printf.eprintf "unknown argument %s\n%s\n" a usage;
@@ -251,6 +259,25 @@ let () =
           Format.printf "checker clean on every compile@.";
           exit 0
       | errs ->
+          List.iter
+            (fun (label, e) -> Format.printf "FAIL %s: %s@." label e)
+            errs;
+          exit 1)
+  | `Analyze_smoke dir -> (
+      let sources = Edge_fuzz.Corpus.load_dir dir in
+      Format.printf
+        "ineffectuality lint smoke: %d kernels from %s + 50 generated, %d \
+         configs@."
+        (List.length sources) dir
+        (List.length Edge_fuzz.Oracle.configs);
+      match Edge_fuzz.Fuzz.analyze_smoke ~jobs:!jobs ~sources () with
+      | [], found ->
+          Format.printf
+            "lint clean: %d finding(s), zero false positives (every verdict \
+             re-proved by enumeration)@."
+            found;
+          exit 0
+      | errs, _ ->
           List.iter
             (fun (label, e) -> Format.printf "FAIL %s: %s@." label e)
             errs;

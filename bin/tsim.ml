@@ -148,8 +148,33 @@ let run_kernel path (config_name, config) machine ?machine_tag ~arena oopts =
               t.Edge_harness.Tracekit.metrics;
           Ok ())
 
+(* --lint: compile-only ineffectuality report.  Findings print as
+   ineff[block=... at=... pred=...] lines and nothing is simulated;
+   the code the findings describe is left untouched. *)
+let run_lint workload config_name =
+  let ( let* ) = Result.bind in
+  let* _, config = config_of_name config_name in
+  let* findings =
+    if Filename.check_suffix workload ".k" then begin
+      let ic = open_in_bin workload in
+      let source = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      Edge_harness.Experiment.lint_source source config
+    end
+    else
+      match Edge_workloads.Registry.find workload with
+      | Some w -> Edge_harness.Experiment.lint w config
+      | None ->
+          Error
+            (Printf.sprintf "unknown workload %s; available: %s" workload
+               (String.concat ", " (Edge_workloads.Registry.names ())))
+  in
+  List.iter (fun f -> print_endline (Dfp.Opt_ineff.render f)) findings;
+  Format.printf "%d finding(s)@." (List.length findings);
+  Ok ()
+
 let run workload config_name machine_name functional_only no_early in_order
-    no_arena no_jit check asm_args trace_out trace_text metrics =
+    no_arena no_jit check lint asm_args trace_out trace_text metrics =
   let ( let* ) = Result.bind in
   let arena = not no_arena in
   if no_jit then Edge_sim.Functional.set_jit false;
@@ -173,6 +198,8 @@ let run workload config_name machine_name functional_only no_early in_order
       }
   in
   let compute () =
+    if lint then run_lint workload config_name
+    else
     let* machine = machine_of () in
     if Filename.check_suffix workload ".s" || Filename.check_suffix workload ".img"
     then
@@ -303,6 +330,16 @@ let check_arg =
   in
   Arg.(value & flag & info [ "check" ] ~doc)
 
+let lint_arg =
+  let doc =
+    "Compile-only ineffectuality report: print one \
+     ineff[block=... at=... pred=...] line per instruction the \
+     analysis proves can never contribute to a block output, store, or \
+     branch (and per droppable guard), without deleting anything or \
+     simulating. Works on workload names and .k kernels."
+  in
+  Arg.(value & flag & info [ "lint" ] ~doc)
+
 let no_jit_arg =
   let doc =
     "Run the functional simulator through the reference token-pushing \
@@ -345,6 +382,7 @@ let cmd =
     Term.(
       const run $ workload_arg $ config_arg $ machine_arg $ functional_arg
       $ no_early_arg $ in_order_arg $ no_arena_arg $ no_jit_arg $ check_arg
-      $ asm_args_arg $ trace_out_arg $ trace_text_arg $ metrics_arg)
+      $ lint_arg $ asm_args_arg $ trace_out_arg $ trace_text_arg
+      $ metrics_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -52,6 +52,12 @@ let to_string d =
 
 let pp ppf d = Format.pp_print_string ppf (to_string d)
 
+(* Lint findings (the ineffectuality report mode) share the diagnostic
+   grammar under a distinct prefix: they are observations about legal
+   code, not failures, so they must never parse as checker output. *)
+let lint_line ~block ~at ~pred msg =
+  Printf.sprintf "ineff[block=%s at=%s pred=%s]: %s" block at pred msg
+
 (* Extract (pass, invariant) from a rendered diagnostic — possibly
    embedded in a larger compile-error string.  Used by the shrinker's
    keep predicate and by bin/tsim to recognize checker failures. *)

@@ -1,23 +1,8 @@
 (* The polynomial invariant checker at the hyperblock (pre-codegen)
-   level: the same three-valued gating analysis as [Block_check], but
-   over guarded TAC, so a pass that breaks an invariant is caught right
-   after it runs instead of after codegen.
-
-   The symbolic model mirrors what codegen will emit:
-
-     avail(t)  — assignments on which temp [t] carries a token: always,
-                 for live-in temps (a register read fires
-                 unconditionally); otherwise the union of its def
-                 sites' fire regions.  There is no fallthrough from a
-                 def site to a live-in read — codegen emits reads only
-                 for temps with no in-block producer.
-     E(site)   — a site fires when its guard matches and its data
-                 operands are available (sand short-circuits on a false
-                 left operand, as the sand instruction does).
-     value     — three-valued (true/false/underivable) per def site,
-                 with compare defs sharing one variable exactly like
-                 encoded-block tests (complementary integer compares
-                 share it negated; float compares never merge).
+   level: structural pre-checks here, then the three-valued gating
+   analysis shared with the Psi-SSA layer ([Edge_ir.Pgate] — per-site
+   fire regions and values as BDDs over the block's enumeration
+   variables), then the invariant checks over that model.
 
    Checks: exit guards partition the predicate space (exactly one exit),
    guard predicate-OR disjointness (no two matching deliveries), no
@@ -36,53 +21,26 @@
 module Hb = Edge_ir.Hblock
 module Tac = Edge_ir.Tac
 module Temp = Edge_ir.Temp
-module O = Edge_isa.Opcode
 module Bdd = Edge_ir.Bdd
-module Gate = Edge_ir.Gate
+module Pg = Edge_ir.Pgate
 
 type outcome = Clean | Skipped of string | Diags of Diag.t list
-
-(* operand identity for compare-variable sharing: chase single-def mov
-   chains so [t2 = mov t1; tlt t2, n] shares with [tlt t1, n] *)
-type horigin = HTemp of Temp.t | HImm of int64
-
-let origin sites body op =
-  let rec go op seen =
-    match op with
-    | Tac.C c -> HImm c
-    | Tac.T t -> (
-        if Temp.Set.mem t seen then HTemp t
-        else
-          match Temp.Map.find_opt t sites with
-          | Some [ i ] -> (
-              match (List.nth body i).Hb.hop with
-              | Hb.Op (Tac.Un { op = O.Mov; a; _ }) ->
-                  go a (Temp.Set.add t seen)
-              | _ -> HTemp t)
-          | _ -> HTemp t)
-  in
-  go op Temp.Set.empty
 
 let check ~pass (h : Hb.t) : outcome =
   let body = h.Hb.body in
   let barr = Array.of_list body in
-  let len = Array.length barr in
-  let sites = Hb.def_sites h in
   let block = h.Hb.hname in
   let structural = ref [] in
   let add_structural where invariant msg =
     structural := Diag.make ~pass ~block ~where invariant msg :: !structural
   in
   (* store indices are positional; Null_store must reference one *)
-  let store_positions =
-    let pos = ref [] in
-    List.iteri
-      (fun i hi ->
-        match hi.Hb.hop with
-        | Hb.Op (Tac.Store _) -> pos := i :: !pos
-        | _ -> ())
-      body;
-    Array.of_list (List.rev !pos)
+  let store_count =
+    List.length
+      (List.filter
+         (fun hi ->
+           match hi.Hb.hop with Hb.Op (Tac.Store _) -> true | _ -> false)
+         body)
   in
   Array.iteri
     (fun i hi ->
@@ -91,241 +49,24 @@ let check ~pass (h : Hb.t) : outcome =
           add_structural (Printf.sprintf "I%d" i) Diag.Structure
             "phi survives into a hyperblock"
       | Hb.Null_store k ->
-          if k < 0 || k >= Array.length store_positions then
+          if k < 0 || k >= store_count then
             add_structural (Printf.sprintf "I%d" i) Diag.Structure
               (Printf.sprintf "null store references store %d of %d" k
-                 (Array.length store_positions))
+                 store_count)
       | _ -> ())
     barr;
   if !structural <> [] then Diags (List.rev !structural)
-  else begin
-    (* ---- relevance: temps whose boolean value feeds guard matching ---- *)
-    let relevant = ref Temp.Set.empty in
-    let frontier = ref [] in
-    let mark t =
-      if not (Temp.Set.mem t !relevant) then begin
-        relevant := Temp.Set.add t !relevant;
-        frontier := t :: !frontier
-      end
-    in
-    List.iter
-      (fun hi ->
-        List.iter mark (Hb.guard_uses hi.Hb.guard);
-        match hi.Hb.hop with
-        | Hb.Sand { a; b; _ } ->
-            mark a;
-            mark b
-        | _ -> ())
-      body;
-    List.iter (fun e -> List.iter mark (Hb.guard_uses e.Hb.eguard)) h.Hb.hexits;
-    let mark_op = function Tac.T t -> mark t | Tac.C _ -> () in
-    while !frontier <> [] do
-      let work = !frontier in
-      frontier := [];
-      List.iter
-        (fun t ->
-          match Temp.Map.find_opt t sites with
-          | None -> ()
-          | Some ss ->
-              List.iter
-                (fun i ->
-                  match barr.(i).Hb.hop with
-                  | Hb.Op (Tac.Un { op = O.Mov | O.Not | O.Neg; a; _ }) ->
-                      mark_op a
-                  | Hb.Sand { a; b; _ } ->
-                      mark a;
-                      mark b
-                  | _ -> ())
-                ss)
-        work
-    done;
-    let relevant = !relevant in
-    (* ---- variables ---- *)
-    let m = Bdd.create () in
-    let names = ref [] in
-    let count = ref 0 in
-    let alloc name =
-      let pos = !count in
-      incr count;
-      names := name :: !names;
-      pos
-    in
-    let key_tbl = Hashtbl.create 16 in
-    let site_var = Array.make len None in
-    let livein_var = Hashtbl.create 16 in
-    let cmp_key (c : Tac.instr) =
-      match c with
-      | Tac.Cmp { cond; fp; a; b; _ } ->
-          let oa = origin sites body a and ob = origin sites body b in
-          if fp then Some (`F (cond, oa, ob), false)
-          else
-            let cond, oa, ob =
-              if compare oa ob > 0 then (Gate.swap_cond cond, ob, oa)
-              else (cond, oa, ob)
-            in
-            let cond, neg = Gate.normalize_cond cond in
-            Some (`I (cond, oa, ob), neg)
-      | _ -> None
-    in
-    Array.iteri
-      (fun i hi ->
-        match Hb.hop_def hi.Hb.hop with
-        | Some d when Temp.Set.mem d relevant -> (
-            match hi.Hb.hop with
-            | Hb.Op (Tac.Un { op = O.Mov | O.Not | O.Neg; _ }) | Hb.Sand _ ->
-                () (* derived *)
-            | Hb.Op (Tac.Cmp _ as c) -> (
-                let name = Format.asprintf "%a@%d" Temp.pp d i in
-                match cmp_key c with
-                | Some (key, neg) ->
-                    let pos =
-                      match Hashtbl.find_opt key_tbl key with
-                      | Some pos -> pos
-                      | None ->
-                          let pos = alloc name in
-                          Hashtbl.replace key_tbl key pos;
-                          pos
-                    in
-                    site_var.(i) <- Some (pos, neg)
-                | None -> site_var.(i) <- Some (alloc name, false))
-            | _ ->
-                let name = Format.asprintf "%a@%d" Temp.pp d i in
-                site_var.(i) <- Some (alloc name, false))
-        | _ -> ())
-      barr;
-    Temp.Set.iter
-      (fun t ->
-        if not (Temp.Map.mem t sites) then
-          Hashtbl.replace livein_var t
-            (alloc (Format.asprintf "%a" Temp.pp t)))
-      relevant;
-    let names_arr = Array.of_list (List.rev !names) in
-    (* ---- fixpoint over site fire regions and values ---- *)
-    let e = Array.make len Bdd.False in
-    let svt = Array.make len Bdd.False in
-    let svu = Array.make len Bdd.False in
-    let avail t =
-      match Temp.Map.find_opt t sites with
-      | None -> Bdd.True
-      | Some ss -> Bdd.disj_list m (List.map (fun i -> e.(i)) ss)
-    in
-    let temp_val t =
-      match Temp.Map.find_opt t sites with
-      | None -> (
-          match Hashtbl.find_opt livein_var t with
-          | Some pos -> (Bdd.var m pos, Bdd.False)
-          | None -> (Bdd.False, Bdd.True))
-      | Some ss ->
-          let vt =
-            Bdd.disj_list m
-              (List.map (fun i -> Bdd.conj m e.(i) svt.(i)) ss)
-          in
-          let vu =
-            Bdd.disj_list m
-              (List.map (fun i -> Bdd.conj m e.(i) svu.(i)) ss)
-          in
-          (vt, vu)
-    in
-    let op_val = function
-      | Tac.C c ->
-          ((if Int64.logand c 1L <> 0L then Bdd.True else Bdd.False), Bdd.False)
-      | Tac.T t -> temp_val t
-    in
-    let op_avail = function Tac.C _ -> Bdd.True | Tac.T t -> avail t in
-    let is_false_op op =
-      let vt, vu = op_val op in
-      Bdd.conj m (Bdd.neg m vt) (Bdd.neg m vu)
-    in
-    let guard_matched = function
-      | None -> Bdd.True
-      | Some g ->
-          Bdd.disj_list m
-            (List.map
-               (fun p ->
-                 let vt, vu = temp_val p in
-                 let pol =
-                   if g.Hb.gpol then Bdd.conj m vt (Bdd.neg m vu)
-                   else Bdd.conj m (Bdd.neg m vt) (Bdd.neg m vu)
-                 in
-                 Bdd.conj m (avail p) pol)
-               g.Hb.gpreds)
-    in
-    let step i (hi : Hb.hinstr) =
-      let g = guard_matched hi.Hb.guard in
-      let fire =
-        match hi.Hb.hop with
-        | Hb.Sand { a; b; _ } ->
-            Bdd.conj m g
-              (Bdd.conj m (avail a)
-                 (Bdd.disj m (is_false_op (Tac.T a)) (avail b)))
-        | _ ->
-            Bdd.conj_list m (g :: List.map op_avail
-              (List.map (fun t -> Tac.T t) (Hb.data_uses hi)))
-      in
-      e.(i) <- fire;
-      (match site_var.(i) with
-      | Some (pos, neg) ->
-          svt.(i) <- (if neg then Bdd.nvar m pos else Bdd.var m pos);
-          svu.(i) <- Bdd.False
-      | None -> (
-          match hi.Hb.hop with
-          | Hb.Op (Tac.Un { op = O.Mov; a; _ }) ->
-              let vt, vu = op_val a in
-              svt.(i) <- vt;
-              svu.(i) <- vu
-          | Hb.Op (Tac.Un { op = O.Not; a; _ }) ->
-              let vt, vu = op_val a in
-              svt.(i) <- Bdd.conj m (op_avail a)
-                  (Bdd.conj m (Bdd.neg m vt) (Bdd.neg m vu));
-              svu.(i) <- vu
-          | Hb.Op (Tac.Un { op = O.Neg; a; _ }) ->
-              let vt, vu = op_val a in
-              svt.(i) <- vt;
-              svu.(i) <- vu
-          | Hb.Sand { a; b; _ } ->
-              let vta, vua = op_val (Tac.T a) in
-              let vtb, vub = op_val (Tac.T b) in
-              let ta = Bdd.conj m vta (Bdd.neg m vua) in
-              svt.(i) <- Bdd.conj m ta vtb;
-              svu.(i) <- Bdd.disj m vua (Bdd.conj m ta vub)
-          | _ ->
-              (* non-relevant def: value never queried by a guard *)
-              svu.(i) <- Bdd.True))
-    in
-    let snapshot () =
-      Array.append (Array.map Bdd.uid e)
-        (Array.append (Array.map Bdd.uid svt) (Array.map Bdd.uid svu))
-    in
-    let max_rounds = (2 * len) + 16 in
-    let rec iterate round prev =
-      if round > max_rounds then Error "fixpoint did not converge"
-      else begin
-        Array.iteri step barr;
-        let cur = snapshot () in
-        if cur = prev then Ok () else iterate (round + 1) cur
-      end
-    in
-    match iterate 0 (snapshot ()) with
-    | exception Bdd.Budget -> Skipped "BDD node budget exceeded"
+  else
+    match Pg.analyze h with
     | Error msg -> Skipped msg
-    | Ok () -> (
+    | Ok g -> (
+        let m = g.Pg.m in
         try
           let diags = ref [] in
           let add where invariant msg =
             diags := Diag.make ~pass ~block ~where invariant msg :: !diags
           in
-          let witness cond =
-            match Bdd.any_sat cond with
-            | None | Some [] -> ""
-            | Some pairs ->
-                Printf.sprintf " on path [%s]"
-                  (String.concat " "
-                     (List.map
-                        (fun (v, value) ->
-                          Printf.sprintf "%s=%d" names_arr.(v)
-                            (if value then 1 else 0))
-                        pairs))
-          in
+          let witness = Pg.witness g in
           let pairwise events on_clash =
             let rec go = function
               | [] -> ()
@@ -342,36 +83,37 @@ let check ~pass (h : Hb.t) : outcome =
           (* guards: no underivable value, and predicate-OR disjointness *)
           let check_guard where = function
             | None -> ()
-            | Some g ->
+            | Some gd ->
                 List.iter
                   (fun p ->
-                    let _, vu = temp_val p in
-                    let bad = Bdd.conj m (avail p) vu in
+                    let _, vu = Pg.temp_val g p in
+                    let bad = Bdd.conj m (Pg.avail g p) vu in
                     if Bdd.sat bad then
                       add where Diag.Polarity
                         (Format.asprintf
                            "guard %a arrives with underivable value%s" Temp.pp
                            p (witness bad)))
-                  g.Hb.gpreds;
+                  gd.Hb.gpreds;
                 (* one match event per (predicate temp, def site) — each
                    def is a distinct predicate delivery after codegen *)
                 let events =
                   List.concat_map
                     (fun p ->
                       let pol_of vt vu =
-                        if g.Hb.gpol then Bdd.conj m vt (Bdd.neg m vu)
+                        if gd.Hb.gpol then Bdd.conj m vt (Bdd.neg m vu)
                         else Bdd.conj m (Bdd.neg m vt) (Bdd.neg m vu)
                       in
-                      match Temp.Map.find_opt p sites with
+                      match Temp.Map.find_opt p g.Pg.sites with
                       | None ->
-                          let vt, vu = temp_val p in
+                          let vt, vu = Pg.temp_val g p in
                           [ pol_of vt vu ]
                       | Some ss ->
                           List.map
                             (fun i ->
-                              Bdd.conj m e.(i) (pol_of svt.(i) svu.(i)))
+                              Bdd.conj m g.Pg.e.(i)
+                                (pol_of g.Pg.svt.(i) g.Pg.svu.(i)))
                             ss)
-                    g.Hb.gpreds
+                    gd.Hb.gpreds
                 in
                 pairwise events (fun both ->
                     add where Diag.Pred_or
@@ -387,7 +129,7 @@ let check ~pass (h : Hb.t) : outcome =
             h.Hb.hexits;
           (* exits partition the space *)
           let exit_events =
-            List.map (fun ex -> guard_matched ex.Hb.eguard) h.Hb.hexits
+            List.map (fun ex -> Pg.guard_matched g ex.Hb.eguard) h.Hb.hexits
           in
           pairwise exit_events (fun both ->
               add "exit" Diag.Branch
@@ -412,7 +154,7 @@ let check ~pass (h : Hb.t) : outcome =
               | _ ->
                   if Temp.Set.mem t data_consumed then
                     pairwise
-                      (List.map (fun i -> e.(i)) ss)
+                      (List.map (fun i -> g.Pg.e.(i)) ss)
                       (fun both ->
                         add
                           (Format.asprintf "%a" Temp.pp t)
@@ -420,21 +162,22 @@ let check ~pass (h : Hb.t) : outcome =
                           (Format.asprintf
                              "two defs of %a fire for a data consumer%s"
                              Temp.pp t (witness both))))
-            sites;
+            g.Pg.sites;
           (* hout obligations: defined or explicitly nulled, exactly once *)
           List.iter
             (fun (x, prod) ->
               let def_events =
-                match Temp.Map.find_opt prod sites with
+                match Temp.Map.find_opt prod g.Pg.sites with
                 | None -> [ Bdd.True ] (* live-in: read fires always *)
-                | Some ss -> List.map (fun i -> e.(i)) ss
+                | Some ss -> List.map (fun i -> g.Pg.e.(i)) ss
               in
               let null_events =
                 List.concat
                   (List.mapi
                      (fun i hi ->
                        match hi.Hb.hop with
-                       | Hb.Null_write t when Temp.equal t prod -> [ e.(i) ]
+                       | Hb.Null_write t when Temp.equal t prod ->
+                           [ g.Pg.e.(i) ]
                        | _ -> [])
                      body)
               in
@@ -460,11 +203,11 @@ let check ~pass (h : Hb.t) : outcome =
                   (List.mapi
                      (fun i hi ->
                        match hi.Hb.hop with
-                       | Hb.Null_store k' when k' = k -> [ e.(i) ]
+                       | Hb.Null_store k' when k' = k -> [ g.Pg.e.(i) ]
                        | _ -> [])
                      body)
               in
-              let events = e.(si) :: null_events in
+              let events = g.Pg.e.(si) :: null_events in
               let where = Printf.sprintf "store@%d" k in
               pairwise events (fun both ->
                   add where Diag.Lsid
@@ -474,7 +217,6 @@ let check ~pass (h : Hb.t) : outcome =
               if Bdd.sat missing then
                 add where Diag.Output_completeness
                   (Printf.sprintf "store %d starves%s" k (witness missing)))
-            store_positions;
+            g.Pg.store_positions;
           match List.rev !diags with [] -> Clean | ds -> Diags ds
         with Bdd.Budget -> Skipped "BDD node budget exceeded")
-  end

@@ -10,6 +10,7 @@ type t = {
   max_block_instrs : int;
   aggressive_regions : bool;
   use_sand : bool;
+  opt_ineff : bool;
 }
 
 let base =
@@ -23,13 +24,19 @@ let base =
     max_block_instrs = 128;
     aggressive_regions = false;
     use_sand = false;
+    opt_ineff = false;
   }
 
 let bb = { base with mode = Bb }
 let hyper_baseline = base
 let intra = { base with opt_fanout = true }
 let inter = { base with opt_path_sensitive = true }
-let both = { base with opt_fanout = true; opt_path_sensitive = true }
+(* "Both" is where this reproduction goes beyond the paper: on top of
+   intra + inter it runs the Psi-SSA ineffectuality pass (delete defs
+   that provably feed no output, store, or branch; drop guards proven
+   to be ineffectual deliveries), so every derived config inherits it. *)
+let both =
+  { base with opt_fanout = true; opt_path_sensitive = true; opt_ineff = true }
 let merge = { both with opt_merge = true }
 
 let sand = { both with use_sand = true }

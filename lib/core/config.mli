@@ -24,6 +24,11 @@ type t = {
   use_sand : bool;
       (** convert serial predicate-AND chains to short-circuiting [sand]
           folds (Section 7 near-term work) *)
+  opt_ineff : bool;
+      (** Psi-SSA ineffectuality elimination: delete instructions that
+          provably contribute to no output, store, or branch, and drop
+          guards proven to be ineffectual predicate deliveries.  Not in
+          the paper; on in [both] and every config derived from it. *)
 }
 
 val bb : t

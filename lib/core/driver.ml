@@ -30,7 +30,27 @@ let checked ~check result_thunk =
     | Some e -> Error e
 
 let check_hblocks ~check ~pass hblocks =
-  checked ~check (fun () -> Edge_check.Check.hblocks ~pass hblocks)
+  checked ~check (fun () ->
+      Edge_check.Check.hblocks ~pass:(Pass_id.name pass) hblocks)
+
+(* The psi round-trip invariant: Psi-SSA construction followed by
+   destruction must be the structural identity on every hyperblock (so
+   it trivially preserves checker verdicts).  Runs with [check] on,
+   after the optimization pipeline. *)
+let check_psi_roundtrip ~check ~gen hblocks =
+  if not check then Ok ()
+  else
+    List.fold_left
+      (fun acc (h : Hb.t) ->
+        let* () = acc in
+        if Edge_ir.Psi_ssa.roundtrip ~gen h then Ok ()
+        else
+          Error
+            (Edge_check.Diag.to_string
+               (Edge_check.Diag.make ~pass:"psi_ssa" ~block:h.Hb.hname
+                  ~where:"body" Edge_check.Diag.Structure
+                  "psi construct/destruct round-trip changed the block")))
+      (Ok ()) hblocks
 
 let rec convert_regions ?m cfg liveness ~retq regions =
   match regions with
@@ -45,29 +65,29 @@ let rec convert_regions ?m cfg liveness ~retq regions =
    the refined region list.  With [check] on, the static verifier runs
    after every optimization pass and any diagnostic aborts compilation,
    naming the pass that broke the invariant. *)
-let apply_opts ?m ?(check = false) (config : Config.t) cfg liveness ~retq
-    hblocks =
+let apply_opts ?m ?(check = false) ?lint (config : Config.t) cfg liveness
+    ~retq hblocks =
   let hook pass = check_hblocks ~check ~pass hblocks in
   if config.Config.mode <> Config.Hyper then Ok hblocks
   else
     let* () =
       if config.Config.opt_path_sensitive then begin
         Opt_path.run ?m hblocks cfg liveness ~retq;
-        hook "opt_path"
+        hook Pass_id.Opt_path
       end
       else Ok ()
     in
     let* () =
       if config.Config.opt_fanout then begin
         List.iter (Opt_fanout.run ?m) hblocks;
-        hook "opt_fanout"
+        hook Pass_id.Opt_fanout
       end
       else Ok ()
     in
     let* () =
       if config.Config.opt_merge then begin
         List.iter (Opt_merge.run ?m) hblocks;
-        hook "opt_merge"
+        hook Pass_id.Opt_merge
       end
       else Ok ()
     in
@@ -76,25 +96,53 @@ let apply_opts ?m ?(check = false) (config : Config.t) cfg liveness ~retq
         List.iter
           (fun h -> ignore (Opt_sand.run ?m h ~gen:cfg.Cfg.gen))
           hblocks;
-        hook "opt_sand"
+        hook Pass_id.Opt_sand
       end
       else Ok ()
     in
     let* () =
       List.iter Opt_hclean.run hblocks;
-      hook "opt_hclean"
+      hook Pass_id.Opt_hclean
     in
-    Ok hblocks
+    (* lint mode reports what opt_ineff would do and leaves the code
+       alone, so the diagnostics describe the blocks the caller sees *)
+    match lint with
+    | Some report ->
+        List.iter
+          (fun (h : Hb.t) -> List.iter report (Opt_ineff.findings h))
+          hblocks;
+        Ok hblocks
+    | None ->
+        let* () =
+          if config.Config.opt_ineff then begin
+            List.iter (Opt_ineff.run ?m) hblocks;
+            hook Pass_id.Opt_ineff
+          end
+          else Ok ()
+        in
+        let* () =
+          (* mop up the test/pred chains the deleted sites and dropped
+             guards were the last consumers of *)
+          if config.Config.opt_ineff then begin
+            List.iter Opt_hclean.run hblocks;
+            hook Pass_id.Opt_hclean
+          end
+          else Ok ()
+        in
+        Ok hblocks
 
 (* Each attempt gets a fresh registry: a retry after an emit failure
    redoes the whole pipeline, and only the successful attempt's counts
    may survive. *)
-let rec generate ~check cfg (config : Config.t) liveness ~retq ~params regions
-    =
+let rec generate ~check ?lint cfg (config : Config.t) liveness ~retq ~params
+    regions =
   let m = Edge_obs.Metrics.create () in
   let* hblocks = convert_regions ~m cfg liveness ~retq regions in
-  let* () = check_hblocks ~check ~pass:"if_convert" hblocks in
-  let* hblocks = apply_opts ~m ~check config cfg liveness ~retq hblocks in
+  let* () = check_hblocks ~check ~pass:Pass_id.If_convert hblocks in
+  let* hblocks =
+    apply_opts ~m ~check ?lint config cfg liveness ~retq hblocks
+  in
+  let* () = check_psi_roundtrip ~check ~gen:cfg.Cfg.gen hblocks in
   let* alloc =
     Regalloc.allocate hblocks ~entry:cfg.Cfg.entry ~params ~retq
   in
@@ -103,7 +151,8 @@ let rec generate ~check cfg (config : Config.t) liveness ~retq ~params regions
         List.fold_left
           (fun acc (h : Hb.t) ->
             Edge_check.Check.merge acc
-              (Edge_check.Check.alloc ~pass:"regalloc" ~block:h.Hb.hname
+              (Edge_check.Check.alloc ~pass:(Pass_id.name Pass_id.Regalloc)
+                 ~block:h.Hb.hname
                  ~reg_of:(Regalloc.reg_of alloc)
                  ~live_in:(Regalloc.live_in alloc h.Hb.hname)
                  ~live_out:(Regalloc.live_out alloc h.Hb.hname)))
@@ -123,10 +172,17 @@ let rec generate ~check cfg (config : Config.t) liveness ~retq ~params regions
             List.fold_left
               (fun acc (_, e) ->
                 Edge_check.Check.merge acc
-                  (Edge_check.Check.block ~pass:"codegen" e.Codegen.block))
+                  (Edge_check.Check.block
+                     ~pass:(Pass_id.name Pass_id.Codegen)
+                     e.Codegen.block))
               Edge_check.Check.empty emitted)
       in
-      Ok (emitted, Edge_obs.Metrics.counters m)
+      let counters = Edge_obs.Metrics.counters m in
+      (* every counter key must belong to a structured pass id, so the
+         "pass.*" namespace and check[pass=...] attribution stay in
+         lock-step *)
+      assert (List.for_all (fun (k, _) -> Pass_id.of_counter k <> None) counters);
+      Ok (emitted, counters)
   | Error (bad, msg) -> (
       (* split the offending region into singletons and retry *)
       let offending =
@@ -141,7 +197,7 @@ let rec generate ~check cfg (config : Config.t) liveness ~retq ~params regions
                 else [ r' ])
               regions
           in
-          generate ~check cfg config liveness ~retq ~params refined
+          generate ~check ?lint cfg config liveness ~retq ~params refined
       | _ -> Error msg)
 
 (* Size regions against the *naive* (baseline) predication: if the fully
@@ -199,7 +255,7 @@ let rec fit_regions cfg (config : Config.t) liveness ~retq ~params regions =
            let the config's own pipeline report it *)
         Ok regions
 
-let compile_cfg ?check cfg (config : Config.t) =
+let compile_cfg ?check ?lint cfg (config : Config.t) =
   let check =
     match check with Some c -> c | None -> Edge_check.Check.enabled ()
   in
@@ -209,7 +265,8 @@ let compile_cfg ?check cfg (config : Config.t) =
   Edge_ir.Ssa.destruct cfg;
   Cfg.prune_unreachable cfg;
   let* () =
-    checked ~check (fun () -> Edge_check.Check.cfg ~pass:"opt_classic" cfg)
+    checked ~check (fun () ->
+        Edge_check.Check.cfg ~pass:(Pass_id.name Pass_id.Opt_classic) cfg)
   in
   if config.Config.mode = Config.Hyper then begin
     let target =
@@ -233,7 +290,7 @@ let compile_cfg ?check cfg (config : Config.t) =
         fit_regions cfg config liveness ~retq ~params initial
   in
   let* emitted, pass_counters =
-    generate ~check cfg config liveness ~retq ~params regions
+    generate ~check ?lint cfg config liveness ~retq ~params regions
   in
   let blocks = List.map (fun (_, e) -> e.Codegen.block) emitted in
   let entry = cfg.Cfg.entry in
@@ -253,7 +310,8 @@ let compile_cfg ?check cfg (config : Config.t) =
         List.fold_left2
           (fun acc (b : Edge_isa.Block.t) (_, p) ->
             Edge_check.Check.merge acc
-              (Edge_check.Check.placement ~pass:"schedule" b p))
+              (Edge_check.Check.placement ~pass:(Pass_id.name Pass_id.Schedule)
+                 b p))
           Edge_check.Check.empty blocks placements)
   in
   Ok

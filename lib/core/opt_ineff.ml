@@ -1,0 +1,239 @@
+(* Ineffectuality elimination over the Psi-SSA analysis (not in the
+   paper; the "dynamic ineffectuality" work suggests the prize).  The
+   analysis ([Edge_ir.Psi_ssa.ineffectuality]) proves per def site the
+   BDD region on which its firing can still contribute to a store, a
+   block output, or an exit decision; this pass applies the two legal
+   transforms as one planned rewrite per block:
+
+     - delete every site whose effectual region is empty.  A site that
+       can fault (load, div, rem) is only deleted when it provably
+       never fires at all — deleting a firing-but-unused load would
+       erase an exception the program could raise.
+     - drop the guard of any surviving site whose unguarded fire
+       region equals its guarded one (the predicate delivery is
+       ineffectual) — the BDD-implication generalization of
+       opt_fanout's syntactic implicit-predication rule, which shrinks
+       the predicate fanout trees feeding those sites.
+
+   Two policy repairs keep the block model intact:
+
+     - a deleted store takes its Null_stores with it (the obligation
+       disappears), and surviving Null_store indices are renumbered to
+       the new store positions;
+     - a temp still named by surviving code (a data operand, a kept
+       guard, an exit guard, or an hout producer entry) keeps at least
+       one def site: [Pgate] models a producer-less temp as an
+       always-available live-in register read, so emptying a def-site
+       list would change the model out from under the survivors.  The
+       kept site provably never fires, so it costs no dynamic work.
+
+   An inconclusive analysis (BDD budget, fixpoint divergence) skips the
+   block — never a verdict.  [findings] is the same plan as a report
+   (the tsim/dfpd lint mode): what would be deleted or unguarded,
+   without mutating anything. *)
+
+module Hb = Edge_ir.Hblock
+module Tac = Edge_ir.Tac
+module Temp = Edge_ir.Temp
+module Bdd = Edge_ir.Bdd
+module Psi = Edge_ir.Psi_ssa
+module Pgate = Edge_ir.Pgate
+
+type plan = { pdead : int list; pdrops : int list }
+
+exception Breach of string
+(** A cross-validation hook rejected a plan: the exponential oracle
+    disproved a verdict the BDD analysis claimed.  The message is a
+    rendered [check\[pass=opt_ineff …\]] diagnostic so oracle harnesses
+    classify it as a checker breach. *)
+
+(* The fuzz oracle installs its enumerator here ([Ineff_oracle]): every
+   computed plan is re-proved by exhaustive path enumeration before
+   anything acts on it.  Set once at module init, read-only afterwards
+   (worker domains share it). *)
+let cross_validate : (Hb.t -> plan -> (unit, string) result) option ref =
+  ref None
+
+(* test hook: extra body positions forced into the dead set, to prove
+   the enumerator cross-validation catches bogus verdicts *)
+let force_dead : int list ref = ref []
+
+let plan (h : Hb.t) : (plan, string) result =
+  match Psi.ineffectuality h with
+  | Error msg -> Error msg
+  | Ok iv ->
+      let g = iv.Psi.pg in
+      let body = g.Pgate.body in
+      let dead = Hashtbl.create 16 in
+      List.iter
+        (fun i ->
+          let deletable =
+            match body.(i).Hb.hop with
+            | Hb.Op instr when Tac.can_raise instr ->
+                (* fault preservation: only if it never fires *)
+                Bdd.is_false g.Pgate.e.(i)
+            | _ -> true
+          in
+          if deletable then Hashtbl.replace dead i ())
+        iv.Psi.dead;
+      List.iter
+        (fun i -> if i >= 0 && i < Array.length body then Hashtbl.replace dead i ())
+        !force_dead;
+      (* a deleted store takes its null stores with it *)
+      Array.iteri
+        (fun k si ->
+          if Hashtbl.mem dead si then
+            Array.iteri
+              (fun i hi ->
+                match hi.Hb.hop with
+                | Hb.Null_store k' when k' = k -> Hashtbl.replace dead i ()
+                | _ -> ())
+              body)
+        g.Pgate.store_positions;
+      let drops = Hashtbl.create 16 in
+      List.iter
+        (fun i -> if not (Hashtbl.mem dead i) then Hashtbl.replace drops i ())
+        iv.Psi.droppable;
+      (* never empty the def-site list of a temp surviving code still
+         names; resurrecting a site keeps its own references alive, so
+         iterate to closure *)
+      let sites = g.Pgate.sites in
+      let changed = ref true in
+      while !changed do
+        changed := false;
+        let refs = ref Temp.Set.empty in
+        let name t = refs := Temp.Set.add t !refs in
+        Array.iteri
+          (fun j hi ->
+            if not (Hashtbl.mem dead j) then begin
+              List.iter name (Hb.data_uses hi);
+              if not (Hashtbl.mem drops j) then
+                List.iter name (Hb.guard_uses hi.Hb.guard)
+            end)
+          body;
+        List.iter
+          (fun ex -> List.iter name (Hb.guard_uses ex.Hb.eguard))
+          h.Hb.hexits;
+        List.iter (fun (_, prod) -> name prod) h.Hb.houts;
+        Temp.Set.iter
+          (fun t ->
+            match Temp.Map.find_opt t sites with
+            | None | Some [] -> ()
+            | Some ss ->
+                if List.for_all (Hashtbl.mem dead) ss then begin
+                  Hashtbl.remove dead (List.hd ss);
+                  changed := true
+                end)
+          !refs
+      done;
+      let pdead = ref [] and pdrops = ref [] in
+      Array.iteri
+        (fun i _ ->
+          if Hashtbl.mem dead i then pdead := i :: !pdead
+          else if Hashtbl.mem drops i then pdrops := i :: !pdrops)
+        body;
+      let p = { pdead = List.rev !pdead; pdrops = List.rev !pdrops } in
+      (match !cross_validate with
+      | Some f when p.pdead <> [] || p.pdrops <> [] -> (
+          match f h p with Ok () -> () | Error msg -> raise (Breach msg))
+      | _ -> ());
+      Ok p
+
+(* ---------------- lint findings ---------------------------------- *)
+
+type finding = {
+  fblock : string;
+  fsite : int;
+  fkind : [ `Dead | `Guard_drop ];
+  fpred : string;  (** guard rendering, "-" when unguarded *)
+  fdetail : string;  (** the instruction *)
+}
+
+let render f =
+  Edge_check.Diag.lint_line ~block:f.fblock
+    ~at:(Printf.sprintf "I%d" f.fsite)
+    ~pred:f.fpred
+    ((match f.fkind with
+     | `Dead -> "provably ineffectual (feeds no output, store, or branch): "
+     | `Guard_drop -> "guard is an ineffectual predicate delivery: ")
+    ^ f.fdetail)
+
+let findings (h : Hb.t) : finding list =
+  match plan h with
+  | Error _ -> []
+  | Ok p ->
+      let body = Array.of_list h.Hb.body in
+      let mk kind i =
+        let hi = body.(i) in
+        let pred =
+          match hi.Hb.guard with
+          | None -> "-"
+          | Some _ -> Format.asprintf "%a" Hb.pp_guard hi.Hb.guard
+        in
+        {
+          fblock = h.Hb.hname;
+          fsite = i;
+          fkind = kind;
+          fpred = pred;
+          fdetail = Format.asprintf "%a" Hb.pp_hinstr hi;
+        }
+      in
+      List.map (mk `Dead) p.pdead @ List.map (mk `Guard_drop) p.pdrops
+
+(* ---------------- the rewrite ------------------------------------ *)
+
+let apply (h : Hb.t) (p : plan) =
+  let body = Array.of_list h.Hb.body in
+  let dead = Hashtbl.create 16 and drops = Hashtbl.create 16 in
+  List.iter (fun i -> Hashtbl.replace dead i ()) p.pdead;
+  List.iter (fun i -> Hashtbl.replace drops i ()) p.pdrops;
+  (* store indices are positional: renumber survivors.  The lookup can
+     only miss for a null whose store was deleted, and the plan's
+     cascade already deleted those nulls. *)
+  let new_idx_of_site = Hashtbl.create 8 in
+  let old_store_pos = ref [] in
+  let next = ref 0 in
+  Array.iteri
+    (fun i hi ->
+      match hi.Hb.hop with
+      | Hb.Op (Tac.Store _) ->
+          old_store_pos := i :: !old_store_pos;
+          if not (Hashtbl.mem dead i) then begin
+            Hashtbl.replace new_idx_of_site i !next;
+            incr next
+          end
+      | _ -> ())
+    body;
+  let old_store_pos = Array.of_list (List.rev !old_store_pos) in
+  let renumber k = Hashtbl.find new_idx_of_site old_store_pos.(k) in
+  let body' =
+    List.concat
+      (List.mapi
+         (fun i hi ->
+           if Hashtbl.mem dead i then []
+           else
+             let hi =
+               if Hashtbl.mem drops i then { hi with Hb.guard = None } else hi
+             in
+             match hi.Hb.hop with
+             | Hb.Null_store k ->
+                 [ { hi with Hb.hop = Hb.Null_store (renumber k) } ]
+             | _ -> [ hi ])
+         (Array.to_list body))
+  in
+  h.Hb.body <- body'
+
+let run ?m (h : Hb.t) =
+  let incr ?by key =
+    match m with
+    | Some m -> Edge_obs.Metrics.incr ?by m (Pass_id.counter Pass_id.Opt_ineff key)
+    | None -> ()
+  in
+  match plan h with
+  | Error _ -> incr "blocks_skipped"
+  | Ok p ->
+      if p.pdead <> [] || p.pdrops <> [] then begin
+        incr ~by:(List.length p.pdead) "instrs_deleted";
+        incr ~by:(List.length p.pdrops) "guards_dropped";
+        apply h p
+      end

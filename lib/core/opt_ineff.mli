@@ -1,0 +1,46 @@
+(** Ineffectuality elimination (not in the paper): over the Psi-SSA
+    analysis ({!Edge_ir.Psi_ssa.ineffectuality}), delete def sites
+    whose effectual region is provably empty (sites that can fault only
+    when they provably never fire), drop guards proven to be
+    ineffectual predicate deliveries, cascade-delete the Null_stores of
+    deleted stores (renumbering the positional indices), and keep one
+    def site for any temp the surviving code still names.  Inconclusive
+    analyses skip the block. *)
+
+type plan = { pdead : int list; pdrops : int list }
+
+exception Breach of string
+(** A cross-validation hook disproved a plan.  The message is a
+    rendered [check\[pass=opt_ineff …\]] diagnostic. *)
+
+val cross_validate :
+  (Edge_ir.Hblock.t -> plan -> (unit, string) result) option ref
+(** When set (the fuzz oracle's enumerator), every computed plan is
+    re-proved before anything acts on it; a rejection raises
+    {!Breach}.  Set once at module init — worker domains share it. *)
+
+val plan : Edge_ir.Hblock.t -> (plan, string) result
+(** @raise Breach when {!cross_validate} rejects the plan. *)
+
+type finding = {
+  fblock : string;
+  fsite : int;
+  fkind : [ `Dead | `Guard_drop ];
+  fpred : string;  (** guard rendering, "-" when unguarded *)
+  fdetail : string;  (** the instruction *)
+}
+
+val render : finding -> string
+(** ["ineff[block=... at=I... pred=...]: ..."] — the lint line. *)
+
+val findings : Edge_ir.Hblock.t -> finding list
+(** The plan as a report, without mutating the block (lint mode). *)
+
+val run : ?m:Edge_obs.Metrics.t -> Edge_ir.Hblock.t -> unit
+(** Apply the plan.  [m] receives ["pass.ineff.instrs_deleted"],
+    ["pass.ineff.guards_dropped"] and ["pass.ineff.blocks_skipped"]. *)
+
+val force_dead : int list ref
+(** Test hook: extra body positions forced into the dead set, so the
+    mutation tests can prove the checker and the enumerator
+    cross-validation catch bogus verdicts.  Leave [[]] outside tests. *)

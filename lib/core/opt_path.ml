@@ -1,85 +1,52 @@
 module Hb = Edge_ir.Hblock
 module Tac = Edge_ir.Tac
 module Temp = Edge_ir.Temp
+module Psi = Edge_ir.Psi_ssa
 
-(* For output temp [x_out], collect its definition sites: output moves
-   (guarded copies of some version) and null writes. *)
+(* The pass now reads the Psi-SSA view: an output temp's psi-node
+   argument list is exactly its definition sites (guarded output moves,
+   direct producers) plus its explicit nulls, each with the predicate
+   it delivers under — what the old code recomputed by scanning the
+   body per output.  Classify the arguments of [x_out]'s psi. *)
 type out_defs = {
   movs : (int * Temp.t) list;  (* body position, source version *)
   nulls : int list;  (* body positions of Null_write *)
   others : int;  (* defs that are not moves (direct producer case) *)
 }
 
-let defs_of_out (body : Hb.hinstr array) x_out =
+let classify_psi (vw : Psi.view) (args : Psi.psi_arg list) =
   let movs = ref [] and nulls = ref [] and others = ref 0 in
-  Array.iteri
-    (fun i hi ->
-      match hi.Hb.hop with
-      | Hb.Op (Tac.Un { dst; op = Edge_isa.Opcode.Mov; a = Tac.T src })
-        when Temp.equal dst x_out ->
-          movs := (i, src) :: !movs
-      | Hb.Null_write t when Temp.equal t x_out -> nulls := i :: !nulls
-      | Hb.Op i -> (
-          match Tac.def i with
-          | Some d when Temp.equal d x_out -> incr others
-          | Some _ | None -> ())
-      | Hb.Sand { dst; _ } -> if Temp.equal dst x_out then incr others
-      | Hb.Null_write _ | Hb.Null_store _ -> ())
-    body;
+  List.iter
+    (fun (a : Psi.psi_arg) ->
+      if a.Psi.anull then nulls := a.Psi.asite :: !nulls
+      else
+        match vw.Psi.vbody.(a.Psi.asite).Hb.hop with
+        | Hb.Op (Tac.Un { op = Edge_isa.Opcode.Mov; a = Tac.T src; _ }) ->
+            movs := (a.Psi.asite, src) :: !movs
+        | _ -> incr others)
+    args;
   { movs = List.rev !movs; nulls = List.rev !nulls; others = !others }
 
-(* Can the upward data dependence chain rooted at [v] be promoted to
-   unconditional execution? Walk single-def, exception-free instructions;
-   a chain root is a live-in or constant. Returns the body positions whose
-   guards must be removed, or None if promotion is illegal. *)
-let promotable_chain (body : Hb.hinstr array) def_sites pred_temps v =
-  let visited = ref Temp.Set.empty in
-  let acc = ref [] in
-  let rec walk v =
-    if Temp.Set.mem v !visited then true
-    else begin
-      visited := Temp.Set.add v !visited;
-      match Temp.Map.find_opt v def_sites with
-      | None | Some [] -> true (* live-in or constant: always available *)
-      | Some [ i ] -> (
-          match body.(i).Hb.hop with
-          | Hb.Null_write _ | Hb.Null_store _ | Hb.Sand _ -> false
-          | Hb.Op instr ->
-              (not (Tac.can_raise instr))
-              && (not (Temp.Set.mem v pred_temps))
-              && begin
-                   acc := i :: !acc;
-                   List.for_all walk (Tac.uses instr)
-                 end)
-      | Some _ -> false (* joins carry path-dependent values *)
-    end
-  in
-  if walk v then Some !acc else None
-
-let pred_temps_of (h : Hb.t) =
-  let s = ref Temp.Set.empty in
-  let add g = List.iter (fun p -> s := Temp.Set.add p !s) (Hb.guard_uses g) in
-  List.iter (fun hi -> add hi.Hb.guard) h.Hb.body;
-  List.iter (fun e -> add e.Hb.eguard) h.Hb.hexits;
-  !s
-
 let analyze_block (h : Hb.t) =
-  let body = Array.of_list h.Hb.body in
-  let def_sites = Hb.def_sites h in
-  let pred_temps = pred_temps_of h in
+  let vw = Psi.view h in
   List.filter_map
     (fun (x, x_out) ->
-      let d = defs_of_out body x_out in
-      if d.others > 0 || d.movs = [] then None
-      else
-        let sources = List.sort_uniq Temp.compare (List.map snd d.movs) in
-        match sources with
-        | [ v ] when d.nulls <> [] || List.length d.movs > 1 -> (
-            (* single version feeds every live exit; candidate *)
-            match promotable_chain body def_sites pred_temps v with
-            | Some chain -> Some (x, x_out, v, d, chain)
-            | None -> None)
-        | _ -> None)
+      match Psi.psi vw x_out with
+      | None -> None (* a single delivery never needs promotion *)
+      | Some args -> (
+          let d = classify_psi vw args in
+          if d.others > 0 || d.movs = [] then None
+          else
+            let sources =
+              List.sort_uniq Temp.compare (List.map snd d.movs)
+            in
+            match sources with
+            | [ v ] when d.nulls <> [] || List.length d.movs > 1 -> (
+                (* single version feeds every live exit; candidate *)
+                match Psi.promotable_chain vw v with
+                | Some chain -> Some (x, x_out, v, d, chain)
+                | None -> None)
+            | _ -> None))
     h.Hb.houts
 
 let promotions h = List.length (analyze_block h)
@@ -94,7 +61,8 @@ let run ?m hblocks _cfg _liveness ~retq =
         | Some m ->
             Edge_obs.Metrics.incr
               ~by:(List.length candidates)
-              m "pass.path.outputs_promoted"
+              m
+              (Pass_id.counter Pass_id.Opt_path "outputs_promoted")
         | None -> ());
         let body = Array.of_list h.Hb.body in
         let kill = Hashtbl.create 16 in

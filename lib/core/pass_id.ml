@@ -1,0 +1,72 @@
+(* The single source of truth for pass identity.  The checker hook in
+   [Driver] derives the [check[pass=...]] attribution from the same
+   variant that owns the pass's ["pass.<prefix>.*"] counter namespace,
+   so diagnostics and counters cannot drift apart when passes are
+   added or reordered.  [Driver.generate] asserts that every counter it
+   ships parses back through [of_counter]. *)
+
+type t =
+  | If_convert
+  | Opt_classic
+  | Opt_path
+  | Opt_fanout
+  | Opt_merge
+  | Opt_sand
+  | Opt_hclean
+  | Opt_ineff
+  | Regalloc
+  | Codegen
+  | Schedule
+
+let all =
+  [
+    If_convert;
+    Opt_classic;
+    Opt_path;
+    Opt_fanout;
+    Opt_merge;
+    Opt_sand;
+    Opt_hclean;
+    Opt_ineff;
+    Regalloc;
+    Codegen;
+    Schedule;
+  ]
+
+(* the [check[pass=...]] attribution string *)
+let name = function
+  | If_convert -> "if_convert"
+  | Opt_classic -> "opt_classic"
+  | Opt_path -> "opt_path"
+  | Opt_fanout -> "opt_fanout"
+  | Opt_merge -> "opt_merge"
+  | Opt_sand -> "opt_sand"
+  | Opt_hclean -> "opt_hclean"
+  | Opt_ineff -> "opt_ineff"
+  | Regalloc -> "regalloc"
+  | Codegen -> "codegen"
+  | Schedule -> "schedule"
+
+(* the counter namespace the pass owns: "pass.<prefix>.<metric>" *)
+let counter_prefix = function
+  | If_convert -> "if_convert"
+  | Opt_classic -> "classic"
+  | Opt_path -> "path"
+  | Opt_fanout -> "fanout"
+  | Opt_merge -> "merge"
+  | Opt_sand -> "sand"
+  | Opt_hclean -> "hclean"
+  | Opt_ineff -> "ineff"
+  | Regalloc -> "regalloc"
+  | Codegen -> "codegen"
+  | Schedule -> "schedule"
+
+let counter t metric = Printf.sprintf "pass.%s.%s" (counter_prefix t) metric
+
+let of_name s = List.find_opt (fun t -> String.equal (name t) s) all
+
+let of_counter key =
+  match String.split_on_char '.' key with
+  | "pass" :: prefix :: _ :: _ ->
+      List.find_opt (fun t -> String.equal (counter_prefix t) prefix) all
+  | _ -> None

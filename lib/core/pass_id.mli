@@ -1,0 +1,31 @@
+(** Structured pass identity: the [check[pass=...]] attribution string
+    and the ["pass.<prefix>.*"] counter namespace of each compiler pass
+    come from one variant, so diagnostics and counters cannot drift
+    apart.  {!Driver} asserts every shipped counter key parses back
+    through {!of_counter}. *)
+
+type t =
+  | If_convert
+  | Opt_classic
+  | Opt_path
+  | Opt_fanout
+  | Opt_merge
+  | Opt_sand
+  | Opt_hclean
+  | Opt_ineff
+  | Regalloc
+  | Codegen
+  | Schedule
+
+val all : t list
+
+val name : t -> string
+(** The [check[pass=...]] attribution string. *)
+
+val counter : t -> string -> string
+(** [counter t metric] is ["pass.<prefix>.<metric>"] in the pass's
+    counter namespace. *)
+
+val of_name : string -> t option
+val of_counter : string -> t option
+(** Recover the owning pass from a counter key. *)

@@ -161,8 +161,7 @@ let validate_workloads ?jobs ?max_vars ?(workloads = Edge_workloads.Registry.all
    a set of named kernel sources plus [n] generated kernels, under every
    configuration. Returns one entry per diagnostic-bearing compile; a
    clean sweep is the `make check-smoke` gate. *)
-let check_smoke ?jobs ?(n = 50) ?(seed = 2006) ~sources () :
-    (string * string) list =
+let smoke_tasks ?(n = 50) ?(seed = 2006) ~sources () =
   let gen_tasks =
     List.init n (fun i ->
         let size =
@@ -172,14 +171,14 @@ let check_smoke ?jobs ?(n = 50) ?(seed = 2006) ~sources () :
         ( Printf.sprintf "gen-seed-%d" s,
           Pretty.kernel_to_string (Gen.generate ~seed:s ~size) ))
   in
-  let tasks =
-    List.concat_map
-      (fun (name, src) ->
-        List.map
-          (fun (cname, config) -> (name, src, cname, config))
-          Oracle.configs)
-      (sources @ gen_tasks)
-  in
+  List.concat_map
+    (fun (name, src) ->
+      List.map
+        (fun (cname, config) -> (name, src, cname, config))
+        Oracle.configs)
+    (sources @ gen_tasks)
+
+let check_smoke ?jobs ?n ?seed ~sources () : (string * string) list =
   Edge_parallel.Pool.run ?jobs
     (fun (name, src, cname, config) ->
       let label = Printf.sprintf "%s/%s" name cname in
@@ -192,5 +191,39 @@ let check_smoke ?jobs ?(n = 50) ?(seed = 2006) ~sources () :
               match Dfp.Driver.compile_cfg ~check:true cfg config with
               | Ok _ -> []
               | Error e -> [ (label, e) ])))
-    tasks
+    (smoke_tasks ?n ?seed ~sources ())
   |> List.concat
+
+(* ---------- ineffectuality-lint smoke ---------- *)
+
+(* Compile the same kernel set in lint mode: every ineffectuality
+   finding is reported (not applied), and — since the enumerator
+   cross-validation hook is installed process-wide — every reported
+   plan has already been re-proved by exhaustive path enumeration.  A
+   disproved verdict (a false positive) raises [Opt_ineff.Breach],
+   which we surface as a failure; the return is the per-compile
+   failure list plus the total finding count, so the `make
+   analyze-smoke` gate can assert both "zero false positives" and
+   "the analysis actually finds things". *)
+let analyze_smoke ?jobs ?n ?seed ~sources () : (string * string) list * int =
+  let results =
+    Edge_parallel.Pool.run ?jobs
+      (fun (name, src, cname, config) ->
+        let label = Printf.sprintf "%s/%s" name cname in
+        match Edge_lang.Parser.parse src with
+        | Error e -> ([ (label, "parse: " ^ e) ], 0)
+        | Ok ast -> (
+            match Edge_lang.Lower.lower ast with
+            | Error e -> ([ (label, "lower: " ^ e) ], 0)
+            | Ok cfg -> (
+                let found = ref 0 in
+                let lint _f = incr found in
+                match Dfp.Driver.compile_cfg ~check:true ~lint cfg config with
+                | Ok _ -> ([], !found)
+                | Error e -> ([ (label, e) ], !found)
+                | exception Dfp.Opt_ineff.Breach msg ->
+                    ([ (label, "false positive: " ^ msg) ], !found))))
+      (smoke_tasks ?n ?seed ~sources ())
+  in
+  ( List.concat_map fst results,
+    List.fold_left (fun acc (_, c) -> acc + c) 0 results )

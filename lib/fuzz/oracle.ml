@@ -75,13 +75,20 @@ let run_reference (ast : A.kernel) : (outcome, fail) result =
   | Error e ->
       Error { config = "-"; kind = Exec_error; message = "interp: " ^ e }
 
+(* every compile in the fuzz process has its ineffectuality plans
+   re-proved by the exhaustive enumerator; a disproved plan raises
+   [Breach] with a check[pass=opt_ineff ...] diagnostic, which
+   [check_config] below classifies as a Checker breach *)
+let () = Ineff_oracle.install ()
+
 let compile ?check ast config =
   match Edge_lang.Lower.lower ast with
   | Error e -> Error ("lower: " ^ e)
   | Ok cfg -> (
       match Dfp.Driver.compile_cfg ?check cfg config with
       | Error e -> Error ("compile: " ^ e)
-      | Ok c -> Ok c)
+      | Ok c -> Ok c
+      | exception Dfp.Opt_ineff.Breach msg -> Error msg)
 
 let prep_regs () =
   let regs = Array.make 128 0L in
@@ -289,7 +296,7 @@ let check_cache_key ?cycle ?(machines = default_machines) ?validate ?check
     ?max_vars ast =
   String.concat "|"
     [
-      "fuzz-oracle-v3";
+      "fuzz-oracle-v4";
       Edge_sim.Block_jit.revision;
       (* one entry per machine on the axis: its backend's revision plus
          the full description, so axis changes re-verify *)

@@ -26,11 +26,30 @@ let compile_counter = Atomic.make 0
 
 let compiles_performed () = Atomic.get compile_counter
 
-let compile ?check (w : Workload.t) config =
+let compile ?check ?lint (w : Workload.t) config =
   Atomic.incr compile_counter;
   let* ast = Workload.parse w in
   let* cfg = Edge_lang.Lower.lower ast in
-  Dfp.Driver.compile_cfg ?check cfg config
+  Dfp.Driver.compile_cfg ?check ?lint cfg config
+
+(* ineffectuality lint over raw kernel source: compile in report mode
+   and collect the findings.  Never memoized — the lint artifact is not
+   the artifact a normal compile produces (deletion is suppressed).
+   Split-retries can re-report a surviving block's findings; sort_uniq
+   collapses the duplicates. *)
+let lint_source ?check source config =
+  let* ast = Edge_lang.Parser.parse source in
+  let* cfg = Edge_lang.Lower.lower ast in
+  let findings = ref [] in
+  let* _compiled =
+    Dfp.Driver.compile_cfg ?check
+      ~lint:(fun f -> findings := f :: !findings)
+      cfg config
+  in
+  Ok (List.sort_uniq compare !findings)
+
+let lint ?check (w : Workload.t) config =
+  lint_source ?check w.Workload.source config
 
 (* Process-wide memo tables. Compilation is deterministic in
    (workload, config) and the artifacts are read-only to both
@@ -186,11 +205,17 @@ let make_run (w : Workload.t) config_name (compiled : Dfp.Driver.compiled)
   }
 
 let run_one_uncached ?(machine = Edge_sim.Machine.default) ?obs
-    ?(arena = true) ?interp_fuel (w : Workload.t) (config_name, config) =
+    ?(arena = true) ?interp_fuel ?lint (w : Workload.t) (config_name, config) =
   let t0 = Unix.gettimeofday () in
   let* reference, ref_mem = reference_cached ?fuel:interp_fuel w in
   let t1 = Unix.gettimeofday () in
-  let* compiled = compile_cached w config in
+  (* a lint run simulates the lint artifact (deletion suppressed), which
+     the memo must never hold — compile fresh *)
+  let* compiled =
+    match lint with
+    | None -> compile_cached w config
+    | Some report -> compile ~lint:report w config
+  in
   let t2 = Unix.gettimeofday () in
   let* stats =
     run_body ~machine ?obs ~arena w config_name compiled ~reference ~ref_mem
@@ -249,15 +274,18 @@ let cacheable ?obs ~arena ?cache ?mem () =
   && not (Edge_check.Check.enabled ())
 
 let run_one ?machine ?obs ?(arena = true) ?interp_fuel ?cache ?mem
-    ?(async_store = false) (w : Workload.t) ((config_name, config) as cfg) =
-  if cacheable ?obs ~arena ?cache ?mem () then
+    ?(async_store = false) ?lint (w : Workload.t)
+    ((config_name, config) as cfg) =
+  (* a lint run wants its findings streamed and simulates a different
+     artifact: it bypasses both cache layers, like an obs run *)
+  if Option.is_none lint && cacheable ?obs ~arena ?cache ?mem () then
     let key =
       cache_key w config_name config
         (Option.value machine ~default:Edge_sim.Machine.default)
     in
     run_layered ~key ?cache ?mem ~async_store (fun () ->
         run_one_uncached ?machine ?obs ~arena ?interp_fuel w cfg)
-  else run_one_uncached ?machine ?obs ~arena ?interp_fuel w cfg
+  else run_one_uncached ?machine ?obs ~arena ?interp_fuel ?lint w cfg
 
 let run_precompiled_uncached ?(machine = Edge_sim.Machine.default) ?obs
     ?(arena = true) ?interp_fuel (w : Workload.t) config_name

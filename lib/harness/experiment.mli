@@ -44,6 +44,7 @@ val run_one :
   ?cache:Edge_parallel.Disk_cache.t ->
   ?mem:run Edge_parallel.Mem_cache.t ->
   ?async_store:bool ->
+  ?lint:(Dfp.Opt_ineff.finding -> unit) ->
   Edge_workloads.Workload.t ->
   string * Dfp.Config.t ->
   (run, string) result
@@ -77,7 +78,13 @@ val run_one :
     bypass rules above apply to both layers. [async_store] (default
     [false]) hands the disk store to the cache's writeback thread (see
     {!Edge_parallel.Disk_cache.store_async}) so the computing domain
-    never blocks on the filesystem. *)
+    never blocks on the filesystem.
+
+    [lint] compiles in ineffectuality-report mode (findings streamed to
+    the callback, deletion suppressed — see {!Dfp.Driver.compile_cfg})
+    and simulates that artifact. Lint runs bypass both cache layers and
+    the compile memo: the artifact is not the one a normal compile
+    produces. *)
 
 val run_precompiled :
   ?machine:Edge_sim.Machine.t ->
@@ -116,12 +123,29 @@ val cache_key :
 
 val compile :
   ?check:bool ->
+  ?lint:(Dfp.Opt_ineff.finding -> unit) ->
   Edge_workloads.Workload.t ->
   Dfp.Config.t ->
   (Dfp.Driver.compiled, string) result
 (** Uncached compilation (used by the microbenchmarks to time the
-    compiler itself). [check] is forwarded to
+    compiler itself). [check] and [lint] are forwarded to
     {!Dfp.Driver.compile_cfg}. *)
+
+val lint_source :
+  ?check:bool ->
+  string ->
+  Dfp.Config.t ->
+  (Dfp.Opt_ineff.finding list, string) result
+(** Compile raw kernel source in ineffectuality-report mode and return
+    the findings (sorted, deduplicated across split-retries). Never
+    memoized. *)
+
+val lint :
+  ?check:bool ->
+  Edge_workloads.Workload.t ->
+  Dfp.Config.t ->
+  (Dfp.Opt_ineff.finding list, string) result
+(** {!lint_source} over a registry workload's kernel source. *)
 
 val setup_run : Edge_workloads.Workload.t -> int64 array * Edge_isa.Mem.t
 (** Fresh register file and memory image for one execution of the

@@ -153,19 +153,21 @@ let run_job ?on_stream ?on_other t (job : (string * Json.t) list) :
 let machine_field machine =
   Option.to_list (Option.map (fun m -> ("machine", Json.Str m)) machine)
 
-let workload_job ?(trace = false) ?machine ~workload ~config () =
+let workload_job ?(trace = false) ?(lint = false) ?machine ~workload ~config
+    () =
   [
     ("workload", Json.Str workload);
     ("config", Json.Str config);
     ("trace", Json.Bool trace);
+    ("lint", Json.Bool lint);
   ]
   @ machine_field machine
 
-let source_job ?(trace = false) ?machine ?timeout_ms ?max_cycles ?fuel
-    ~source ~config () =
+let source_job ?(trace = false) ?(lint = false) ?machine ?timeout_ms
+    ?max_cycles ?fuel ~source ~config () =
   let opt k v = Option.to_list (Option.map (fun n -> (k, Json.Num (float_of_int n))) v) in
   [ ("source", Json.Str source); ("config", Json.Str config);
-    ("trace", Json.Bool trace) ]
+    ("trace", Json.Bool trace); ("lint", Json.Bool lint) ]
   @ machine_field machine
   @ opt "timeout_ms" timeout_ms
   @ opt "max_cycles" max_cycles

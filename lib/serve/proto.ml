@@ -22,6 +22,11 @@ type job_spec = {
           bytes, already base64-decoded): the server skips compilation
           and simulates this image instead *)
   trace : bool;
+  lint : bool;
+      (** compile in ineffectuality-report mode: one "lint" response
+          line per finding before the terminal response, with the
+          reported code left untouched (deletion suppressed).  Like
+          trace jobs, lint jobs are never merged and never cached. *)
   timeout_ms : int option;  (** queue-wait deadline, not execution time *)
   max_cycles : int option;  (** cycle-simulator watchdog (source jobs) *)
   fuel : int option;  (** reference-interpreter statement bound *)
@@ -40,7 +45,8 @@ let protocol = "dfpd-v1"
 
 let max_batch = 256
 
-(* jobs that differ only by id/trace/timeout are the same computation;
+(* jobs that differ only by id/trace/lint/timeout are the same
+   computation (streaming jobs never merge anyway);
    this digest is the single-flight key.  A pre-encoded image salts
    the digest: the same (workload, config) pair computed from source
    and from a shipped artifact are distinct computations with distinct
@@ -111,17 +117,17 @@ let parse_job (v : Json.t) : parsed =
             | Error e -> Error ("\"image\": " ^ e))
         | Some _ -> Error "\"image\" must be a base64 string"
       in
-      let trace =
-        match Json.member "trace" v with
+      let bool_flag key =
+        match Json.member key v with
         | None -> Ok false
         | Some (Json.Bool b) -> Ok b
-        | Some _ -> Error "\"trace\" must be a boolean"
+        | Some _ -> Error (Printf.sprintf "%S must be a boolean" key)
       in
       match
         ( config,
           machine,
           image,
-          trace,
+          (bool_flag "trace", bool_flag "lint"),
           pos_int "timeout_ms",
           pos_int "max_cycles",
           pos_int "fuel" )
@@ -129,7 +135,8 @@ let parse_job (v : Json.t) : parsed =
       | Error m, _, _, _, _, _, _
       | _, Error m, _, _, _, _, _
       | _, _, Error m, _, _, _, _
-      | _, _, _, Error m, _, _, _
+      | _, _, _, (Error m, _), _, _, _
+      | _, _, _, (_, Error m), _, _, _
       | _, _, _, _, Error m, _, _
       | _, _, _, _, _, Error m, _
       | _, _, _, _, _, _, Error m ->
@@ -137,7 +144,7 @@ let parse_job (v : Json.t) : parsed =
       | ( Ok config,
           Ok machine,
           Ok image,
-          Ok trace,
+          (Ok trace, Ok lint),
           Ok timeout_ms,
           Ok max_cycles,
           Ok fuel ) ->
@@ -152,6 +159,7 @@ let parse_job (v : Json.t) : parsed =
                      machine;
                      image;
                      trace;
+                     lint;
                      timeout_ms;
                      max_cycles;
                      fuel;
@@ -235,6 +243,9 @@ let rejected ?id ~retry_after_ms () =
 
 let trace_line ?id line =
   Json.Obj (("type", Json.Str "trace") :: with_id id [ ("line", Json.Str line) ])
+
+let lint_line ?id line =
+  Json.Obj (("type", Json.Str "lint") :: with_id id [ ("line", Json.Str line) ])
 
 let job_metrics ?id counters =
   Json.Obj

@@ -290,13 +290,26 @@ let execute t (e : entry) ~(emit : Json.t -> unit) :
                 (Proto.job_metrics ?id
                    (List.sort compare (Metrics.counters metrics))) )
       in
+      (* lint jobs stream one "lint" line per ineffectuality finding
+         before the terminal response; the simulated artifact is the
+         lint artifact (deletion suppressed), and like trace jobs the
+         result is never merged or cached *)
+      let lint =
+        if not spec.lint then None
+        else
+          let id = match e.waiters with (id, _) :: _ -> id | [] -> None in
+          Some
+            (fun f -> emit (Proto.lint_line ?id (Dfp.Opt_ineff.render f)))
+      in
       let result =
         try
           match image with
           | None ->
               Experiment.run_one ?machine ?obs ?interp_fuel
-                ?cache:t.cfg.cache ?mem:t.mem ~async_store:true w
+                ?cache:t.cfg.cache ?mem:t.mem ~async_store:true ?lint w
                 (spec.config, config)
+          | Some _ when spec.lint ->
+              Error "lint applies to compiled-from-source jobs, not images"
           | Some (compiled, image_digest) ->
               Experiment.run_precompiled ?machine ?obs ?interp_fuel
                 ?cache:t.cfg.cache ?mem:t.mem ~async_store:true
@@ -340,7 +353,7 @@ let complete t (e : entry) result =
          answered straight from these pre-rendered lines (times zeroed
          — a replayed result spent nothing compiling or simulating) *)
       (match t.fast with
-      | Some f when not e.spec.trace ->
+      | Some f when not (e.spec.trace || e.spec.lint) ->
           Mem_cache.store f
             ~key:("job:" ^ e.digest)
             ( Json.to_string (Proto.accepted ~digest:e.digest ~merged:false ()),
@@ -506,7 +519,7 @@ let submit t conn id (spec : Proto.job_spec) ~ack ~(out : string -> unit) =
      the reader thread itself — no queue, no in-flight table, no
      worker wakeup, no disk. Trace jobs always execute for real. *)
   let fast =
-    if spec.trace then None
+    if spec.trace || spec.lint then None
     else
       Option.bind t.fast (fun f -> Mem_cache.find f ~key:("job:" ^ digest))
   in
@@ -535,7 +548,9 @@ let submit t conn id (spec : Proto.job_spec) ~ack ~(out : string -> unit) =
       let verdict =
         Mutex.protect t.mu (fun () ->
             if t.closing then `Closing
-            else if (not spec.trace) && Hashtbl.mem t.inflight digest
+            else if
+              (not (spec.trace || spec.lint))
+              && Hashtbl.mem t.inflight digest
             then begin
               let e = Hashtbl.find t.inflight digest in
               e.waiters <- e.waiters @ [ (id, conn) ];
@@ -544,7 +559,8 @@ let submit t conn id (spec : Proto.job_spec) ~ack ~(out : string -> unit) =
             else if Queue.length t.queue >= t.cfg.queue_cap then `Full
             else begin
               let e = fresh () in
-              if not spec.trace then Hashtbl.replace t.inflight digest e;
+              if not (spec.trace || spec.lint) then
+                Hashtbl.replace t.inflight digest e;
               Queue.push e t.queue;
               (* grow the pool only when demand outruns the workers
                  still draining; a single-stream client on a -j4

@@ -227,6 +227,7 @@ let qcheck_digest_salted =
           machine = Some (M.to_compact m);
           image = None;
           trace = false;
+          lint = false;
           timeout_ms = None;
           max_cycles = None;
           fuel = None;

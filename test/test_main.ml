@@ -11,6 +11,7 @@ let () =
       ("sim", Test_sim.tests);
       ("machine", Test_machine.tests);
       ("passes", Test_passes.tests);
+      ("psi", Test_psi.tests);
       ("workloads", Test_workloads.tests);
       ("harness", Test_harness.tests);
       ("parallel", Test_parallel.tests);

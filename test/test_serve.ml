@@ -112,6 +112,7 @@ let proto_digest () =
       machine = None;
       image = None;
       trace = false;
+      lint = false;
       timeout_ms = None;
       max_cycles = None;
       fuel = None;
